@@ -1,0 +1,581 @@
+//! Abstract syntax of Appl (Fig. 5 of the paper).
+//!
+//! Statements `S`, conditions `L`, and expressions `E` follow the grammar
+//!
+//! ```text
+//! S ::= skip | tick(c) | x := E | x ~ D | call f | while L do S od
+//!     | if prob(p) then S1 else S2 fi | if L then S1 else S2 fi | S1; S2
+//! L ::= true | not L | L1 and L2 | E1 <= E2
+//! E ::= x | c | E1 + E2 | E1 * E2
+//! ```
+//!
+//! with a handful of conveniences (subtraction, strict/flipped comparisons)
+//! that are pure syntactic sugar over the paper's grammar.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use cma_semiring::poly::{Polynomial, Var};
+
+use crate::dist::Dist;
+
+/// Arithmetic expressions over program variables.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A program variable.
+    Var(Var),
+    /// A real constant.
+    Const(f64),
+    /// Addition `E1 + E2`.
+    Add(Box<Expr>, Box<Expr>),
+    /// Subtraction `E1 - E2` (sugar for `E1 + (-1)·E2`).
+    Sub(Box<Expr>, Box<Expr>),
+    /// Multiplication `E1 × E2`.
+    Mul(Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// Converts the expression into a polynomial over program variables.
+    pub fn to_polynomial(&self) -> Polynomial {
+        match self {
+            Expr::Var(v) => Polynomial::var(v.clone()),
+            Expr::Const(c) => Polynomial::constant(*c),
+            Expr::Add(a, b) => a.to_polynomial().add(&b.to_polynomial()),
+            Expr::Sub(a, b) => a.to_polynomial().sub(&b.to_polynomial()),
+            Expr::Mul(a, b) => a.to_polynomial().mul(&b.to_polynomial()),
+        }
+    }
+
+    /// Variables mentioned in the expression.
+    pub fn vars(&self) -> BTreeSet<Var> {
+        let mut set = BTreeSet::new();
+        self.collect_vars(&mut set);
+        set
+    }
+
+    fn collect_vars(&self, set: &mut BTreeSet<Var>) {
+        match self {
+            Expr::Var(v) => {
+                set.insert(v.clone());
+            }
+            Expr::Const(_) => {}
+            Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) => {
+                a.collect_vars(set);
+                b.collect_vars(set);
+            }
+        }
+    }
+
+    /// Evaluates the expression under a valuation.
+    pub fn eval(&self, valuation: &dyn Fn(&Var) -> f64) -> f64 {
+        match self {
+            Expr::Var(v) => valuation(v),
+            Expr::Const(c) => *c,
+            Expr::Add(a, b) => a.eval(valuation) + b.eval(valuation),
+            Expr::Sub(a, b) => a.eval(valuation) - b.eval(valuation),
+            Expr::Mul(a, b) => a.eval(valuation) * b.eval(valuation),
+        }
+    }
+
+    /// Whether the expression is linear (degree ≤ 1) in the program variables.
+    pub fn is_linear(&self) -> bool {
+        self.to_polynomial().degree() <= 1
+    }
+}
+
+/// Boolean conditions over program variables.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Cond {
+    /// The constant `true`.
+    True,
+    /// Negation `not L`.
+    Not(Box<Cond>),
+    /// Conjunction `L1 and L2`.
+    And(Box<Cond>, Box<Cond>),
+    /// Comparison `E1 ≤ E2`.
+    Le(Box<Expr>, Box<Expr>),
+    /// Comparison `E1 < E2` (sugar; treated as `≤` for logical contexts).
+    Lt(Box<Expr>, Box<Expr>),
+    /// Comparison `E1 ≥ E2` (sugar for `E2 ≤ E1`).
+    Ge(Box<Expr>, Box<Expr>),
+    /// Comparison `E1 > E2` (sugar for `E2 < E1`).
+    Gt(Box<Expr>, Box<Expr>),
+    /// Equality `E1 = E2` (sugar for `E1 ≤ E2 and E2 ≤ E1`).
+    Eq(Box<Expr>, Box<Expr>),
+}
+
+impl Cond {
+    /// Evaluates the condition under a valuation.
+    pub fn eval(&self, valuation: &dyn Fn(&Var) -> f64) -> bool {
+        match self {
+            Cond::True => true,
+            Cond::Not(c) => !c.eval(valuation),
+            Cond::And(a, b) => a.eval(valuation) && b.eval(valuation),
+            Cond::Le(a, b) => a.eval(valuation) <= b.eval(valuation),
+            Cond::Lt(a, b) => a.eval(valuation) < b.eval(valuation),
+            Cond::Ge(a, b) => a.eval(valuation) >= b.eval(valuation),
+            Cond::Gt(a, b) => a.eval(valuation) > b.eval(valuation),
+            Cond::Eq(a, b) => (a.eval(valuation) - b.eval(valuation)).abs() == 0.0,
+        }
+    }
+
+    /// Variables mentioned in the condition.
+    pub fn vars(&self) -> BTreeSet<Var> {
+        match self {
+            Cond::True => BTreeSet::new(),
+            Cond::Not(c) => c.vars(),
+            Cond::And(a, b) => {
+                let mut s = a.vars();
+                s.extend(b.vars());
+                s
+            }
+            Cond::Le(a, b) | Cond::Lt(a, b) | Cond::Ge(a, b) | Cond::Gt(a, b) | Cond::Eq(a, b) => {
+                let mut s = a.vars();
+                s.extend(b.vars());
+                s
+            }
+        }
+    }
+
+    /// The logical negation, pushed through the structure where easy.
+    pub fn negate(&self) -> Cond {
+        match self {
+            Cond::Not(c) => (**c).clone(),
+            Cond::Le(a, b) => Cond::Gt(a.clone(), b.clone()),
+            Cond::Lt(a, b) => Cond::Ge(a.clone(), b.clone()),
+            Cond::Ge(a, b) => Cond::Lt(a.clone(), b.clone()),
+            Cond::Gt(a, b) => Cond::Le(a.clone(), b.clone()),
+            other => Cond::Not(Box::new(other.clone())),
+        }
+    }
+}
+
+/// Statements of Appl.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// The no-op statement.
+    Skip,
+    /// `tick(c)`: add the constant `c` to the anonymous cost accumulator.
+    Tick(f64),
+    /// Deterministic assignment `x := E`.
+    Assign(Var, Expr),
+    /// Random-sampling assignment `x ~ D`.
+    Sample(Var, Dist),
+    /// Call to the function named `f`.
+    Call(String),
+    /// Conditional branching `if L then S1 else S2 fi`.
+    If(Cond, Box<Stmt>, Box<Stmt>),
+    /// Probabilistic branching `if prob(p) then S1 else S2 fi`.
+    IfProb(f64, Box<Stmt>, Box<Stmt>),
+    /// Loop `while L do S od`.
+    While(Cond, Box<Stmt>),
+    /// Sequential composition of zero or more statements.
+    Seq(Vec<Stmt>),
+}
+
+impl Stmt {
+    /// Variables assigned or sampled anywhere inside the statement.
+    pub fn modified_vars(&self) -> BTreeSet<Var> {
+        let mut set = BTreeSet::new();
+        self.collect_modified(&mut set);
+        set
+    }
+
+    fn collect_modified(&self, set: &mut BTreeSet<Var>) {
+        match self {
+            Stmt::Assign(v, _) | Stmt::Sample(v, _) => {
+                set.insert(v.clone());
+            }
+            Stmt::If(_, a, b) | Stmt::IfProb(_, a, b) => {
+                a.collect_modified(set);
+                b.collect_modified(set);
+            }
+            Stmt::While(_, s) => s.collect_modified(set),
+            Stmt::Seq(ss) => {
+                for s in ss {
+                    s.collect_modified(set);
+                }
+            }
+            Stmt::Skip | Stmt::Tick(_) | Stmt::Call(_) => {}
+        }
+    }
+
+    /// All variables mentioned anywhere inside the statement.
+    pub fn vars(&self) -> BTreeSet<Var> {
+        let mut set = BTreeSet::new();
+        self.collect_vars(&mut set);
+        set
+    }
+
+    fn collect_vars(&self, set: &mut BTreeSet<Var>) {
+        match self {
+            Stmt::Assign(v, e) => {
+                set.insert(v.clone());
+                set.extend(e.vars());
+            }
+            Stmt::Sample(v, _) => {
+                set.insert(v.clone());
+            }
+            Stmt::If(c, a, b) => {
+                set.extend(c.vars());
+                a.collect_vars(set);
+                b.collect_vars(set);
+            }
+            Stmt::IfProb(_, a, b) => {
+                a.collect_vars(set);
+                b.collect_vars(set);
+            }
+            Stmt::While(c, s) => {
+                set.extend(c.vars());
+                s.collect_vars(set);
+            }
+            Stmt::Seq(ss) => {
+                for s in ss {
+                    s.collect_vars(set);
+                }
+            }
+            Stmt::Skip | Stmt::Tick(_) | Stmt::Call(_) => {}
+        }
+    }
+
+    /// Names of functions called anywhere inside the statement.
+    pub fn called_functions(&self) -> BTreeSet<String> {
+        let mut set = BTreeSet::new();
+        self.collect_calls(&mut set);
+        set
+    }
+
+    fn collect_calls(&self, set: &mut BTreeSet<String>) {
+        match self {
+            Stmt::Call(f) => {
+                set.insert(f.clone());
+            }
+            Stmt::If(_, a, b) | Stmt::IfProb(_, a, b) => {
+                a.collect_calls(set);
+                b.collect_calls(set);
+            }
+            Stmt::While(_, s) => s.collect_calls(set),
+            Stmt::Seq(ss) => {
+                for s in ss {
+                    s.collect_calls(set);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Number of AST nodes — a proxy for "lines of code" used by the
+    /// scalability study.
+    pub fn size(&self) -> usize {
+        match self {
+            Stmt::Skip | Stmt::Tick(_) | Stmt::Assign(..) | Stmt::Sample(..) | Stmt::Call(_) => 1,
+            Stmt::If(_, a, b) | Stmt::IfProb(_, a, b) => 1 + a.size() + b.size(),
+            Stmt::While(_, s) => 1 + s.size(),
+            Stmt::Seq(ss) => ss.iter().map(Stmt::size).sum::<usize>().max(1),
+        }
+    }
+}
+
+/// A function declaration: a body together with an optional precondition that
+/// the analysis may assume at every entry of the function.
+///
+/// In the paper the entry context is recovered by an interprocedural numeric
+/// analysis (APRON); here the precondition plays that role and is additionally
+/// cross-checked by the Monte-Carlo simulator in the test-suite.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Function {
+    name: String,
+    body: Stmt,
+    precondition: Vec<Cond>,
+}
+
+impl Function {
+    /// Creates a function with an empty precondition.
+    pub fn new(name: impl Into<String>, body: Stmt) -> Self {
+        Function {
+            name: name.into(),
+            body,
+            precondition: Vec::new(),
+        }
+    }
+
+    /// The function's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The function's body.
+    pub fn body(&self) -> &Stmt {
+        &self.body
+    }
+
+    /// The conjunction of precondition facts.
+    pub fn precondition(&self) -> &[Cond] {
+        &self.precondition
+    }
+
+    /// Adds a precondition fact.
+    pub fn add_precondition(&mut self, cond: Cond) {
+        self.precondition.push(cond);
+    }
+}
+
+/// Errors raised while assembling or validating a program.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProgramError {
+    /// A call targets a function that is not declared.
+    UnknownFunction(String),
+    /// A probability annotation lies outside `[0, 1]`.
+    InvalidProbability(f64),
+    /// A distribution parameter is invalid (e.g. `uniform(a, b)` with `a ≥ b`).
+    InvalidDistribution(String),
+    /// Two functions share the same name.
+    DuplicateFunction(String),
+}
+
+impl fmt::Display for ProgramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProgramError::UnknownFunction(name) => write!(f, "call to undeclared function `{name}`"),
+            ProgramError::InvalidProbability(p) => write!(f, "probability {p} is not in [0, 1]"),
+            ProgramError::InvalidDistribution(msg) => write!(f, "invalid distribution: {msg}"),
+            ProgramError::DuplicateFunction(name) => write!(f, "function `{name}` declared twice"),
+        }
+    }
+}
+
+impl std::error::Error for ProgramError {}
+
+/// A complete Appl program `⟨𝒟, S_main⟩`: a finite map from function
+/// identifiers to bodies plus the body of the `main` function.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    functions: BTreeMap<String, Function>,
+    main: Stmt,
+    /// Precondition assumed at the start of `main` (e.g. `d > 0` in Fig. 2).
+    precondition: Vec<Cond>,
+}
+
+impl Program {
+    /// Creates a program from its parts, validating call targets,
+    /// probabilities, and distribution parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ProgramError`] if validation fails.
+    pub fn new(
+        functions: Vec<Function>,
+        main: Stmt,
+        precondition: Vec<Cond>,
+    ) -> Result<Self, ProgramError> {
+        let mut map = BTreeMap::new();
+        for f in functions {
+            if map.contains_key(f.name()) {
+                return Err(ProgramError::DuplicateFunction(f.name().to_string()));
+            }
+            map.insert(f.name().to_string(), f);
+        }
+        let program = Program {
+            functions: map,
+            main,
+            precondition,
+        };
+        program.validate()?;
+        Ok(program)
+    }
+
+    fn validate(&self) -> Result<(), ProgramError> {
+        let mut bodies: Vec<&Stmt> = self.functions.values().map(Function::body).collect();
+        bodies.push(&self.main);
+        for body in bodies {
+            for f in body.called_functions() {
+                if !self.functions.contains_key(&f) {
+                    return Err(ProgramError::UnknownFunction(f));
+                }
+            }
+            Self::validate_stmt(body)?;
+        }
+        Ok(())
+    }
+
+    fn validate_stmt(stmt: &Stmt) -> Result<(), ProgramError> {
+        match stmt {
+            Stmt::IfProb(p, a, b) => {
+                if !(0.0..=1.0).contains(p) {
+                    return Err(ProgramError::InvalidProbability(*p));
+                }
+                Self::validate_stmt(a)?;
+                Self::validate_stmt(b)
+            }
+            Stmt::Sample(_, d) => d
+                .validate()
+                .map_err(ProgramError::InvalidDistribution),
+            Stmt::If(_, a, b) => {
+                Self::validate_stmt(a)?;
+                Self::validate_stmt(b)
+            }
+            Stmt::While(_, s) => Self::validate_stmt(s),
+            Stmt::Seq(ss) => {
+                for s in ss {
+                    Self::validate_stmt(s)?;
+                }
+                Ok(())
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// The body of the `main` function.
+    pub fn main(&self) -> &Stmt {
+        &self.main
+    }
+
+    /// Looks up a declared function.
+    pub fn function(&self, name: &str) -> Option<&Function> {
+        self.functions.get(name)
+    }
+
+    /// Iterates over all declared functions.
+    pub fn functions(&self) -> impl Iterator<Item = &Function> {
+        self.functions.values()
+    }
+
+    /// The precondition assumed at the start of `main`.
+    pub fn precondition(&self) -> &[Cond] {
+        &self.precondition
+    }
+
+    /// All program variables mentioned anywhere (the set `XID`).
+    pub fn vars(&self) -> Vec<Var> {
+        let mut set = self.main.vars();
+        for f in self.functions.values() {
+            set.extend(f.body().vars());
+            for c in f.precondition() {
+                set.extend(c.vars());
+            }
+        }
+        for c in &self.precondition {
+            set.extend(c.vars());
+        }
+        set.into_iter().collect()
+    }
+
+    /// Total AST size across `main` and all function bodies.
+    pub fn size(&self) -> usize {
+        self.main.size() + self.functions.values().map(|f| f.body().size()).sum::<usize>()
+    }
+
+    /// The call graph as an adjacency list: `caller → set of callees`.
+    pub fn call_graph(&self) -> BTreeMap<String, BTreeSet<String>> {
+        let mut graph = BTreeMap::new();
+        for (name, f) in &self.functions {
+            graph.insert(name.clone(), f.body().called_functions());
+        }
+        graph
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::*;
+
+    #[test]
+    fn expr_to_polynomial_and_eval_agree() {
+        let e = add(mul(v("x"), v("x")), sub(cst(3.0), v("y")));
+        let p = e.to_polynomial();
+        let val = |var: &Var| if var.name() == "x" { 2.0 } else { 5.0 };
+        assert_eq!(e.eval(&val), p.eval(&val));
+        assert_eq!(e.eval(&val), 4.0 + 3.0 - 5.0);
+    }
+
+    #[test]
+    fn expr_vars_and_linearity() {
+        let e = add(mul(v("x"), v("y")), cst(1.0));
+        assert_eq!(e.vars().len(), 2);
+        assert!(!e.is_linear());
+        assert!(add(v("x"), cst(2.0)).is_linear());
+    }
+
+    #[test]
+    fn cond_negation_flips_comparisons() {
+        let c = lt(v("x"), v("d"));
+        let n = c.negate();
+        assert_eq!(n, ge(v("x"), v("d")));
+        assert_eq!(Cond::True.negate(), Cond::Not(Box::new(Cond::True)));
+        let val_true = |var: &Var| if var.name() == "x" { 0.0 } else { 1.0 };
+        assert!(c.eval(&val_true));
+        assert!(!n.eval(&val_true));
+    }
+
+    #[test]
+    fn stmt_collections() {
+        let s = seq([
+            assign("x", cst(0.0)),
+            while_loop(
+                lt(v("x"), v("n")),
+                seq([sample("t", uniform(0.0, 1.0)), assign("x", add(v("x"), v("t"))), tick(1.0)]),
+            ),
+            call("helper"),
+        ]);
+        let modified = s.modified_vars();
+        assert!(modified.contains(&Var::new("x")));
+        assert!(modified.contains(&Var::new("t")));
+        assert!(!modified.contains(&Var::new("n")));
+        assert!(s.vars().contains(&Var::new("n")));
+        assert_eq!(s.called_functions().len(), 1);
+        assert!(s.size() >= 5);
+    }
+
+    #[test]
+    fn program_validation_rejects_unknown_call() {
+        let err = Program::new(vec![], call("nope"), vec![]).unwrap_err();
+        assert_eq!(err, ProgramError::UnknownFunction("nope".into()));
+    }
+
+    #[test]
+    fn program_validation_rejects_bad_probability() {
+        let err = Program::new(vec![], if_prob(1.5, tick(1.0), skip()), vec![]).unwrap_err();
+        assert_eq!(err, ProgramError::InvalidProbability(1.5));
+    }
+
+    #[test]
+    fn program_validation_rejects_bad_distribution() {
+        let err = Program::new(vec![], sample("x", uniform(2.0, 1.0)), vec![]).unwrap_err();
+        assert!(matches!(err, ProgramError::InvalidDistribution(_)));
+    }
+
+    #[test]
+    fn program_validation_rejects_duplicate_function() {
+        let f1 = Function::new("f", skip());
+        let f2 = Function::new("f", tick(1.0));
+        let err = Program::new(vec![f1, f2], skip(), vec![]).unwrap_err();
+        assert_eq!(err, ProgramError::DuplicateFunction("f".into()));
+    }
+
+    #[test]
+    fn program_accessors() {
+        let program = ProgramBuilder::new()
+            .function("f", seq([tick(1.0), call("g")]))
+            .function("g", tick(2.0))
+            .main(call("f"))
+            .precondition(gt(v("d"), cst(0.0)))
+            .build()
+            .unwrap();
+        assert!(program.function("f").is_some());
+        assert!(program.function("h").is_none());
+        assert_eq!(program.functions().count(), 2);
+        assert_eq!(program.precondition().len(), 1);
+        assert!(program.vars().contains(&Var::new("d")));
+        let graph = program.call_graph();
+        assert!(graph["f"].contains("g"));
+        assert!(graph["g"].is_empty());
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = ProgramError::UnknownFunction("foo".into());
+        assert!(e.to_string().contains("foo"));
+        assert!(ProgramError::InvalidProbability(2.0).to_string().contains('2'));
+    }
+}

@@ -1,0 +1,303 @@
+//! A builder DSL for constructing Appl programs in Rust.
+//!
+//! The free functions in this module mirror the concrete syntax of the paper
+//! (`assign`, `sample`, `tick`, `if_prob`, `while_loop`, …) and compose into
+//! [`Stmt`] values; [`ProgramBuilder`] assembles functions, the `main` body,
+//! and the global precondition into a validated [`Program`].
+//!
+//! ```
+//! use cma_appl::build::*;
+//!
+//! // A geometric loop: with probability 1/2 keep ticking.
+//! let geo = ProgramBuilder::new()
+//!     .function("geo", seq([
+//!         assign("x", add(v("x"), cst(1.0))),
+//!         if_prob(0.5, seq([tick(1.0), call("geo")]), skip()),
+//!     ]))
+//!     .main(call("geo"))
+//!     .build()
+//!     .unwrap();
+//! assert!(geo.function("geo").is_some());
+//! ```
+
+use cma_semiring::poly::Var;
+
+use crate::ast::{Cond, Expr, Function, Program, ProgramError, Stmt};
+use crate::dist::Dist;
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+/// A variable expression.
+pub fn v(name: &str) -> Expr {
+    Expr::Var(Var::new(name))
+}
+
+/// A constant expression.
+pub fn cst(c: f64) -> Expr {
+    Expr::Const(c)
+}
+
+/// Addition of two expressions.
+pub fn add(a: Expr, b: Expr) -> Expr {
+    Expr::Add(Box::new(a), Box::new(b))
+}
+
+/// Subtraction of two expressions.
+pub fn sub(a: Expr, b: Expr) -> Expr {
+    Expr::Sub(Box::new(a), Box::new(b))
+}
+
+/// Multiplication of two expressions.
+pub fn mul(a: Expr, b: Expr) -> Expr {
+    Expr::Mul(Box::new(a), Box::new(b))
+}
+
+// ---------------------------------------------------------------------------
+// Conditions
+// ---------------------------------------------------------------------------
+
+/// The condition `a ≤ b`.
+pub fn le(a: Expr, b: Expr) -> Cond {
+    Cond::Le(Box::new(a), Box::new(b))
+}
+
+/// The condition `a < b`.
+pub fn lt(a: Expr, b: Expr) -> Cond {
+    Cond::Lt(Box::new(a), Box::new(b))
+}
+
+/// The condition `a ≥ b`.
+pub fn ge(a: Expr, b: Expr) -> Cond {
+    Cond::Ge(Box::new(a), Box::new(b))
+}
+
+/// The condition `a > b`.
+pub fn gt(a: Expr, b: Expr) -> Cond {
+    Cond::Gt(Box::new(a), Box::new(b))
+}
+
+/// The condition `a = b`.
+pub fn eq(a: Expr, b: Expr) -> Cond {
+    Cond::Eq(Box::new(a), Box::new(b))
+}
+
+/// Conjunction of two conditions.
+pub fn and(a: Cond, b: Cond) -> Cond {
+    Cond::And(Box::new(a), Box::new(b))
+}
+
+/// Negation of a condition.
+pub fn not(a: Cond) -> Cond {
+    Cond::Not(Box::new(a))
+}
+
+/// The condition `true`.
+pub fn tt() -> Cond {
+    Cond::True
+}
+
+// ---------------------------------------------------------------------------
+// Distributions
+// ---------------------------------------------------------------------------
+
+/// The continuous uniform distribution on `[a, b]`.
+pub fn uniform(a: f64, b: f64) -> Dist {
+    Dist::Uniform(a, b)
+}
+
+/// A finite discrete distribution from `(value, probability)` pairs.
+pub fn discrete(choices: impl IntoIterator<Item = (f64, f64)>) -> Dist {
+    Dist::Discrete(choices.into_iter().collect())
+}
+
+/// The uniform distribution over the integers `{a, …, b}`.
+pub fn unif_int(a: i64, b: i64) -> Dist {
+    Dist::UniformInt(a, b)
+}
+
+/// The Bernoulli distribution with success probability `p`.
+pub fn bernoulli(p: f64) -> Dist {
+    Dist::Bernoulli(p)
+}
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+/// The no-op statement.
+pub fn skip() -> Stmt {
+    Stmt::Skip
+}
+
+/// The statement `tick(c)`.
+pub fn tick(c: f64) -> Stmt {
+    Stmt::Tick(c)
+}
+
+/// The assignment `x := e`.
+pub fn assign(x: &str, e: Expr) -> Stmt {
+    Stmt::Assign(Var::new(x), e)
+}
+
+/// The sampling statement `x ~ d`.
+pub fn sample(x: &str, d: Dist) -> Stmt {
+    Stmt::Sample(Var::new(x), d)
+}
+
+/// The call statement `call f`.
+pub fn call(f: &str) -> Stmt {
+    Stmt::Call(f.to_string())
+}
+
+/// The conditional `if c then s1 else s2 fi`.
+pub fn if_then_else(c: Cond, s1: Stmt, s2: Stmt) -> Stmt {
+    Stmt::If(c, Box::new(s1), Box::new(s2))
+}
+
+/// The one-armed conditional `if c then s fi`.
+pub fn if_then(c: Cond, s: Stmt) -> Stmt {
+    if_then_else(c, s, skip())
+}
+
+/// The probabilistic branch `if prob(p) then s1 else s2 fi`.
+pub fn if_prob(p: f64, s1: Stmt, s2: Stmt) -> Stmt {
+    Stmt::IfProb(p, Box::new(s1), Box::new(s2))
+}
+
+/// The loop `while c do s od`.
+pub fn while_loop(c: Cond, s: Stmt) -> Stmt {
+    Stmt::While(c, Box::new(s))
+}
+
+/// Sequential composition of statements.
+pub fn seq(stmts: impl IntoIterator<Item = Stmt>) -> Stmt {
+    Stmt::Seq(stmts.into_iter().collect())
+}
+
+// ---------------------------------------------------------------------------
+// Programs
+// ---------------------------------------------------------------------------
+
+/// Incremental builder for [`Program`] values.
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    functions: Vec<Function>,
+    main: Option<Stmt>,
+    precondition: Vec<Cond>,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        ProgramBuilder::default()
+    }
+
+    /// Declares a function with the given body.
+    pub fn function(mut self, name: &str, body: Stmt) -> Self {
+        self.functions.push(Function::new(name, body));
+        self
+    }
+
+    /// Declares a function with a body and an entry precondition.
+    pub fn function_with_precondition(
+        mut self,
+        name: &str,
+        body: Stmt,
+        preconditions: impl IntoIterator<Item = Cond>,
+    ) -> Self {
+        let mut f = Function::new(name, body);
+        for c in preconditions {
+            f.add_precondition(c);
+        }
+        self.functions.push(f);
+        self
+    }
+
+    /// Sets the body of `main`.
+    pub fn main(mut self, body: Stmt) -> Self {
+        self.main = Some(body);
+        self
+    }
+
+    /// Adds a fact to the global precondition (assumed on entry of `main`).
+    pub fn precondition(mut self, cond: Cond) -> Self {
+        self.precondition.push(cond);
+        self
+    }
+
+    /// Assembles and validates the program.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ProgramError`] if the program fails validation (unknown
+    /// calls, invalid probabilities or distributions, duplicate functions).
+    pub fn build(self) -> Result<Program, ProgramError> {
+        Program::new(
+            self.functions,
+            self.main.unwrap_or(Stmt::Skip),
+            self.precondition,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_constructs_the_fig2_random_walk() {
+        let program = ProgramBuilder::new()
+            .function_with_precondition(
+                "rdwalk",
+                if_then(
+                    lt(v("x"), v("d")),
+                    seq([
+                        sample("t", uniform(-1.0, 2.0)),
+                        assign("x", add(v("x"), v("t"))),
+                        call("rdwalk"),
+                        tick(1.0),
+                    ]),
+                ),
+                [lt(v("x"), add(v("d"), cst(2.0)))],
+            )
+            .main(seq([assign("x", cst(0.0)), call("rdwalk")]))
+            .precondition(gt(v("d"), cst(0.0)))
+            .build()
+            .unwrap();
+        assert_eq!(program.functions().count(), 1);
+        let f = program.function("rdwalk").unwrap();
+        assert_eq!(f.precondition().len(), 1);
+        assert!(program.vars().len() >= 3);
+    }
+
+    #[test]
+    fn expression_helpers_compose() {
+        let e = mul(add(v("a"), cst(1.0)), sub(v("b"), cst(2.0)));
+        let val = |var: &Var| if var.name() == "a" { 3.0 } else { 5.0 };
+        assert_eq!(e.eval(&val), 4.0 * 3.0);
+    }
+
+    #[test]
+    fn condition_helpers_compose() {
+        let c = and(le(v("x"), cst(1.0)), not(gt(v("y"), cst(0.0))));
+        let val = |var: &Var| if var.name() == "x" { 0.5 } else { -1.0 };
+        assert!(c.eval(&val));
+        assert!(tt().eval(&val));
+        assert!(eq(cst(2.0), cst(2.0)).eval(&val));
+    }
+
+    #[test]
+    fn builder_default_main_is_skip() {
+        let p = ProgramBuilder::new().build().unwrap();
+        assert_eq!(p.main(), &Stmt::Skip);
+    }
+
+    #[test]
+    fn distribution_helpers() {
+        assert!(discrete([(0.0, 0.5), (1.0, 0.5)]).validate().is_ok());
+        assert!(unif_int(1, 6).validate().is_ok());
+        assert!(bernoulli(0.5).validate().is_ok());
+    }
+}

@@ -1,0 +1,282 @@
+//! Primitive probability distributions.
+//!
+//! Each distribution exposes exactly what the analysis needs:
+//!
+//! * **raw moments** `E[x^k]` (the `Q-Sample` rule replaces `x^k` by its
+//!   moment, §3.3);
+//! * **support bounds** (used to extend the logical context after sampling and
+//!   for the bounded-update soundness check, §4.3);
+//! * an **inverse-transform sampler** driven by an external uniform `[0,1)`
+//!   value, so the Monte-Carlo interpreter can sample without this crate
+//!   depending on a random-number generator.
+
+/// A primitive distribution `D` in a sampling statement `x ~ D`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Dist {
+    /// Continuous uniform distribution on `[a, b]`.
+    Uniform(f64, f64),
+    /// A finite discrete distribution: a list of `(value, probability)` pairs.
+    ///
+    /// Probabilities must be nonnegative and sum to 1 (up to rounding).
+    Discrete(Vec<(f64, f64)>),
+    /// Uniform distribution over the integers `{a, a+1, …, b}`.
+    UniformInt(i64, i64),
+    /// Bernoulli distribution on `{0, 1}` with success probability `p`.
+    Bernoulli(f64),
+}
+
+impl Dist {
+    /// Validates the distribution parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the problem.
+    pub fn validate(&self) -> Result<(), String> {
+        match self {
+            Dist::Uniform(a, b) => {
+                if a >= b {
+                    Err(format!("uniform({a}, {b}) requires a < b"))
+                } else {
+                    Ok(())
+                }
+            }
+            Dist::Discrete(choices) => {
+                if choices.is_empty() {
+                    return Err("discrete distribution needs at least one outcome".to_string());
+                }
+                if choices.iter().any(|(_, p)| *p < 0.0) {
+                    return Err("discrete distribution has a negative probability".to_string());
+                }
+                let total: f64 = choices.iter().map(|(_, p)| p).sum();
+                if (total - 1.0).abs() > 1e-9 {
+                    return Err(format!("discrete probabilities sum to {total}, expected 1"));
+                }
+                Ok(())
+            }
+            Dist::UniformInt(a, b) => {
+                if a > b {
+                    Err(format!("unif_int({a}, {b}) requires a <= b"))
+                } else {
+                    Ok(())
+                }
+            }
+            Dist::Bernoulli(p) => {
+                if (0.0..=1.0).contains(p) {
+                    Ok(())
+                } else {
+                    Err(format!("bernoulli({p}) requires p in [0, 1]"))
+                }
+            }
+        }
+    }
+
+    /// The exact raw moment `E[x^k]` of the distribution.
+    pub fn raw_moment(&self, k: u32) -> f64 {
+        if k == 0 {
+            return 1.0;
+        }
+        match self {
+            Dist::Uniform(a, b) => {
+                // E[x^k] = (b^{k+1} - a^{k+1}) / ((k+1)(b-a))
+                let kp1 = (k + 1) as f64;
+                (b.powi(k as i32 + 1) - a.powi(k as i32 + 1)) / (kp1 * (b - a))
+            }
+            Dist::Discrete(choices) => choices.iter().map(|(v, p)| p * v.powi(k as i32)).sum(),
+            Dist::UniformInt(a, b) => {
+                let n = (b - a + 1) as f64;
+                (*a..=*b).map(|v| (v as f64).powi(k as i32)).sum::<f64>() / n
+            }
+            Dist::Bernoulli(p) => *p,
+        }
+    }
+
+    /// The expectation `E[x]`.
+    pub fn mean(&self) -> f64 {
+        self.raw_moment(1)
+    }
+
+    /// The variance `V[x]`.
+    pub fn variance(&self) -> f64 {
+        self.raw_moment(2) - self.mean().powi(2)
+    }
+
+    /// Bounds `[lo, hi]` of the support.
+    pub fn support(&self) -> (f64, f64) {
+        match self {
+            Dist::Uniform(a, b) => (*a, *b),
+            Dist::Discrete(choices) => {
+                let lo = choices.iter().map(|(v, _)| *v).fold(f64::INFINITY, f64::min);
+                let hi = choices.iter().map(|(v, _)| *v).fold(f64::NEG_INFINITY, f64::max);
+                (lo, hi)
+            }
+            Dist::UniformInt(a, b) => (*a as f64, *b as f64),
+            Dist::Bernoulli(_) => (0.0, 1.0),
+        }
+    }
+
+    /// The maximum absolute value the sample can take — used by the
+    /// bounded-update check (§4.3).
+    pub fn max_abs(&self) -> f64 {
+        let (lo, hi) = self.support();
+        lo.abs().max(hi.abs())
+    }
+
+    /// Draws a sample by inverse-transform sampling from a uniform value
+    /// `u ∈ [0, 1)`.
+    pub fn sample_with(&self, u: f64) -> f64 {
+        let u = u.clamp(0.0, 1.0 - f64::EPSILON);
+        match self {
+            Dist::Uniform(a, b) => a + u * (b - a),
+            Dist::Discrete(choices) => {
+                let mut acc = 0.0;
+                for (v, p) in choices {
+                    acc += p;
+                    if u < acc {
+                        return *v;
+                    }
+                }
+                choices.last().map(|(v, _)| *v).unwrap_or(0.0)
+            }
+            Dist::UniformInt(a, b) => {
+                let n = (b - a + 1) as f64;
+                let idx = (u * n).floor() as i64;
+                (a + idx.min(b - a)) as f64
+            }
+            Dist::Bernoulli(p) => {
+                if u < *p {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for Dist {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Dist::Uniform(a, b) => write!(f, "uniform({a}, {b})"),
+            Dist::Discrete(choices) => {
+                write!(f, "discrete(")?;
+                for (i, (v, p)) in choices.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}: {p}")?;
+                }
+                write!(f, ")")
+            }
+            Dist::UniformInt(a, b) => write!(f, "unif_int({a}, {b})"),
+            Dist::Bernoulli(p) => write!(f, "bernoulli({p})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn uniform_moments_match_paper_example() {
+        // §3.3: for D = uniform(-1, 2): E[x⁰]=1, E[x¹]=1/2, E[x²]=1, E[x³]=5/4.
+        let d = Dist::Uniform(-1.0, 2.0);
+        assert!((d.raw_moment(0) - 1.0).abs() < 1e-12);
+        assert!((d.raw_moment(1) - 0.5).abs() < 1e-12);
+        assert!((d.raw_moment(2) - 1.0).abs() < 1e-12);
+        assert!((d.raw_moment(3) - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn discrete_moments() {
+        let d = Dist::Discrete(vec![(0.0, 0.25), (2.0, 0.75)]);
+        assert!((d.mean() - 1.5).abs() < 1e-12);
+        assert!((d.raw_moment(2) - 3.0).abs() < 1e-12);
+        assert!((d.variance() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_int_and_bernoulli_moments() {
+        let d = Dist::UniformInt(1, 3);
+        assert!((d.mean() - 2.0).abs() < 1e-12);
+        assert!((d.raw_moment(2) - (1.0 + 4.0 + 9.0) / 3.0).abs() < 1e-12);
+        let b = Dist::Bernoulli(0.3);
+        assert!((b.mean() - 0.3).abs() < 1e-12);
+        assert!((b.raw_moment(5) - 0.3).abs() < 1e-12);
+        assert!((b.variance() - 0.21).abs() < 1e-12);
+    }
+
+    #[test]
+    fn support_and_max_abs() {
+        assert_eq!(Dist::Uniform(-1.0, 2.0).support(), (-1.0, 2.0));
+        assert_eq!(Dist::Uniform(-3.0, 2.0).max_abs(), 3.0);
+        assert_eq!(Dist::Discrete(vec![(5.0, 0.5), (-2.0, 0.5)]).support(), (-2.0, 5.0));
+        assert_eq!(Dist::UniformInt(-4, 4).max_abs(), 4.0);
+        assert_eq!(Dist::Bernoulli(0.5).support(), (0.0, 1.0));
+    }
+
+    #[test]
+    fn validation() {
+        assert!(Dist::Uniform(0.0, 1.0).validate().is_ok());
+        assert!(Dist::Uniform(1.0, 1.0).validate().is_err());
+        assert!(Dist::Discrete(vec![]).validate().is_err());
+        assert!(Dist::Discrete(vec![(1.0, 0.4), (2.0, 0.6)]).validate().is_ok());
+        assert!(Dist::Discrete(vec![(1.0, 0.4), (2.0, 0.4)]).validate().is_err());
+        assert!(Dist::Discrete(vec![(1.0, -0.5), (2.0, 1.5)]).validate().is_err());
+        assert!(Dist::UniformInt(3, 2).validate().is_err());
+        assert!(Dist::Bernoulli(1.2).validate().is_err());
+    }
+
+    #[test]
+    fn sampling_respects_support() {
+        let dists = [
+            Dist::Uniform(-1.0, 2.0),
+            Dist::Discrete(vec![(1.0, 0.5), (4.0, 0.5)]),
+            Dist::UniformInt(0, 3),
+            Dist::Bernoulli(0.25),
+        ];
+        for d in &dists {
+            let (lo, hi) = d.support();
+            for i in 0..100 {
+                let u = i as f64 / 100.0;
+                let s = d.sample_with(u);
+                assert!(s >= lo - 1e-9 && s <= hi + 1e-9, "{d}: sample {s} outside [{lo},{hi}]");
+            }
+        }
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Dist::Uniform(-1.0, 2.0).to_string(), "uniform(-1, 2)");
+        assert!(Dist::Discrete(vec![(1.0, 1.0)]).to_string().contains("discrete"));
+        assert_eq!(Dist::UniformInt(0, 5).to_string(), "unif_int(0, 5)");
+        assert_eq!(Dist::Bernoulli(0.5).to_string(), "bernoulli(0.5)");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_uniform_sample_mean_close(a in -5.0f64..0.0, w in 0.5f64..5.0) {
+            let d = Dist::Uniform(a, a + w);
+            let n = 2000;
+            let mean: f64 = (0..n).map(|i| d.sample_with((i as f64 + 0.5) / n as f64)).sum::<f64>() / n as f64;
+            prop_assert!((mean - d.mean()).abs() < 0.05 * w);
+        }
+
+        #[test]
+        fn prop_moments_of_uniform_bounded_by_support(a in -3.0f64..0.0, w in 0.5f64..4.0, k in 1u32..5) {
+            let d = Dist::Uniform(a, a + w);
+            let m = d.raw_moment(k);
+            let bound = d.max_abs().powi(k as i32);
+            prop_assert!(m.abs() <= bound + 1e-9);
+        }
+
+        #[test]
+        fn prop_discrete_sampler_frequencies(p in 0.05f64..0.95) {
+            let d = Dist::Bernoulli(p);
+            let n = 1000usize;
+            let ones = (0..n).filter(|&i| d.sample_with((i as f64 + 0.5) / n as f64) == 1.0).count();
+            prop_assert!(((ones as f64 / n as f64) - p).abs() < 0.02);
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! Appl — the imperative arithmetic probabilistic programming language of the
+//! paper *Central Moment Analysis for Cost Accumulators in Probabilistic
+//! Programs* (PLDI 2021, Fig. 5).
+//!
+//! Appl programs manipulate real-valued global variables with assignments,
+//! random sampling, probabilistic and conditional branching, loops, and
+//! (possibly recursive) function calls, and accumulate cost into an anonymous
+//! global cost accumulator via `tick(c)`.
+//!
+//! The crate provides:
+//!
+//! * [`ast`] — the abstract syntax (statements, expressions, conditions) and
+//!   the [`ast::Program`]/[`ast::Function`] containers;
+//! * [`dist`] — primitive distributions together with exact raw-moment oracles
+//!   and support information (needed by the `Q-Sample` rule);
+//! * [`build`] — an ergonomic builder DSL for constructing programs in Rust;
+//! * [`parse`] — a text parser for the concrete syntax used in the paper's
+//!   figures;
+//! * [`pretty`] — a pretty printer producing that same concrete syntax.
+//!
+//! # Example
+//!
+//! The bounded biased random walk of Fig. 2:
+//!
+//! ```
+//! use cma_appl::build::*;
+//!
+//! let rdwalk = seq([
+//!     if_then(
+//!         lt(v("x"), v("d")),
+//!         seq([
+//!             sample("t", uniform(-1.0, 2.0)),
+//!             assign("x", add(v("x"), v("t"))),
+//!             call("rdwalk"),
+//!             tick(1.0),
+//!         ]),
+//!     ),
+//! ]);
+//! let program = ProgramBuilder::new()
+//!     .function("rdwalk", rdwalk)
+//!     .main(seq([assign("x", cst(0.0)), call("rdwalk")]))
+//!     .precondition(gt(v("d"), cst(0.0)))
+//!     .build()
+//!     .unwrap();
+//! assert_eq!(program.functions().count(), 1);
+//! ```
+
+pub mod ast;
+pub mod build;
+pub mod dist;
+pub mod parse;
+pub mod pretty;
+
+pub use ast::{Cond, Expr, Function, Program, ProgramError, Stmt};
+pub use dist::Dist;
+pub use parse::{parse_program, ParseError};
+pub use cma_semiring::poly::Var;

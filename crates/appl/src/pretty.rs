@@ -1,0 +1,213 @@
+//! Pretty printer for Appl programs.
+//!
+//! The output follows the concrete syntax of the paper's figures and is
+//! accepted back by [`crate::parse::parse_program`] (round-tripping is covered
+//! by property tests).
+
+use std::fmt;
+
+use crate::ast::{Cond, Expr, Function, Program, Stmt};
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Var(v) => write!(f, "{v}"),
+            Expr::Const(c) => {
+                if *c < 0.0 {
+                    write!(f, "({c})")
+                } else {
+                    write!(f, "{c}")
+                }
+            }
+            Expr::Add(a, b) => write!(f, "({a} + {b})"),
+            Expr::Sub(a, b) => write!(f, "({a} - {b})"),
+            Expr::Mul(a, b) => write!(f, "({a} * {b})"),
+        }
+    }
+}
+
+impl fmt::Display for Cond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Cond::True => write!(f, "true"),
+            Cond::Not(c) => write!(f, "not ({c})"),
+            Cond::And(a, b) => write!(f, "({a} and {b})"),
+            Cond::Le(a, b) => write!(f, "{a} <= {b}"),
+            Cond::Lt(a, b) => write!(f, "{a} < {b}"),
+            Cond::Ge(a, b) => write!(f, "{a} >= {b}"),
+            Cond::Gt(a, b) => write!(f, "{a} > {b}"),
+            Cond::Eq(a, b) => write!(f, "{a} == {b}"),
+        }
+    }
+}
+
+fn indent(f: &mut fmt::Formatter<'_>, level: usize) -> fmt::Result {
+    for _ in 0..level {
+        write!(f, "  ")?;
+    }
+    Ok(())
+}
+
+fn fmt_stmt(stmt: &Stmt, f: &mut fmt::Formatter<'_>, level: usize) -> fmt::Result {
+    match stmt {
+        Stmt::Skip => {
+            indent(f, level)?;
+            write!(f, "skip")
+        }
+        Stmt::Tick(c) => {
+            indent(f, level)?;
+            write!(f, "tick({c})")
+        }
+        Stmt::Assign(x, e) => {
+            indent(f, level)?;
+            write!(f, "{x} := {e}")
+        }
+        Stmt::Sample(x, d) => {
+            indent(f, level)?;
+            write!(f, "{x} ~ {d}")
+        }
+        Stmt::Call(name) => {
+            indent(f, level)?;
+            write!(f, "call {name}")
+        }
+        Stmt::If(c, s1, s2) => {
+            indent(f, level)?;
+            writeln!(f, "if {c} then")?;
+            fmt_stmt(s1, f, level + 1)?;
+            if **s2 != Stmt::Skip {
+                writeln!(f)?;
+                indent(f, level)?;
+                writeln!(f, "else")?;
+                fmt_stmt(s2, f, level + 1)?;
+            }
+            writeln!(f)?;
+            indent(f, level)?;
+            write!(f, "fi")
+        }
+        Stmt::IfProb(p, s1, s2) => {
+            indent(f, level)?;
+            writeln!(f, "if prob({p}) then")?;
+            fmt_stmt(s1, f, level + 1)?;
+            if **s2 != Stmt::Skip {
+                writeln!(f)?;
+                indent(f, level)?;
+                writeln!(f, "else")?;
+                fmt_stmt(s2, f, level + 1)?;
+            }
+            writeln!(f)?;
+            indent(f, level)?;
+            write!(f, "fi")
+        }
+        Stmt::While(c, s) => {
+            indent(f, level)?;
+            writeln!(f, "while {c} do")?;
+            fmt_stmt(s, f, level + 1)?;
+            writeln!(f)?;
+            indent(f, level)?;
+            write!(f, "od")
+        }
+        Stmt::Seq(stmts) => {
+            if stmts.is_empty() {
+                indent(f, level)?;
+                return write!(f, "skip");
+            }
+            for (i, s) in stmts.iter().enumerate() {
+                if i > 0 {
+                    writeln!(f, ";")?;
+                }
+                fmt_stmt(s, f, level)?;
+            }
+            Ok(())
+        }
+    }
+}
+
+impl fmt::Display for Stmt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_stmt(self, f, 0)
+    }
+}
+
+impl fmt::Display for Function {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "func {}()", self.name())?;
+        for c in self.precondition() {
+            write!(f, " pre {c}")?;
+        }
+        writeln!(f, " begin")?;
+        fmt_stmt(self.body(), f, 1)?;
+        writeln!(f)?;
+        write!(f, "end")
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for c in self.precondition() {
+            writeln!(f, "pre {c}")?;
+        }
+        for func in self.functions() {
+            writeln!(f, "{func}")?;
+            writeln!(f)?;
+        }
+        writeln!(f, "func main() begin")?;
+        fmt_stmt(self.main(), f, 1)?;
+        writeln!(f)?;
+        write!(f, "end")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::build::*;
+
+    #[test]
+    fn expressions_and_conditions_render() {
+        assert_eq!(add(v("x"), cst(1.0)).to_string(), "(x + 1)");
+        assert_eq!(mul(v("x"), sub(v("d"), v("x"))).to_string(), "(x * (d - x))");
+        assert_eq!(cst(-2.0).to_string(), "(-2)");
+        assert_eq!(lt(v("x"), v("d")).to_string(), "x < d");
+        assert_eq!(and(tt(), ge(v("y"), cst(0.0))).to_string(), "(true and y >= 0)");
+        assert_eq!(not(le(v("x"), cst(3.0))).to_string(), "not (x <= 3)");
+    }
+
+    #[test]
+    fn statements_render_with_structure() {
+        let s = seq([
+            assign("x", cst(0.0)),
+            while_loop(
+                lt(v("x"), v("n")),
+                seq([tick(1.0), assign("x", add(v("x"), cst(1.0)))]),
+            ),
+            if_prob(0.5, tick(2.0), skip()),
+        ]);
+        let text = s.to_string();
+        assert!(text.contains("x := 0"));
+        assert!(text.contains("while x < n do"));
+        assert!(text.contains("od"));
+        assert!(text.contains("if prob(0.5) then"));
+        assert!(text.contains("fi"));
+        // One-armed conditionals omit the else branch.
+        assert!(!text.contains("else"));
+    }
+
+    #[test]
+    fn empty_seq_renders_as_skip() {
+        assert_eq!(seq([]).to_string(), "skip");
+    }
+
+    #[test]
+    fn program_renders_with_pre_and_functions() {
+        let p = ProgramBuilder::new()
+            .function_with_precondition("f", seq([tick(1.0)]), [gt(v("d"), cst(0.0))])
+            .main(call("f"))
+            .precondition(gt(v("d"), cst(0.0)))
+            .build()
+            .unwrap();
+        let text = p.to_string();
+        assert!(text.starts_with("pre d > 0"));
+        assert!(text.contains("func f() pre d > 0 begin"));
+        assert!(text.contains("func main() begin"));
+        assert!(text.contains("call f"));
+    }
+}

@@ -1,0 +1,53 @@
+//! Criterion micro-benchmarks for the algebraic substrate: moment-semiring
+//! composition and polynomial arithmetic (the inner loops of the analysis).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cma_semiring::moment::MomentVec;
+use cma_semiring::poly::{Polynomial, Var};
+use cma_semiring::Interval;
+
+fn bench_moment_compose(c: &mut Criterion) {
+    let a = MomentVec::from_raw(vec![
+        Interval::point(1.0),
+        Interval::new(2.0, 3.0),
+        Interval::new(5.0, 9.0),
+        Interval::new(10.0, 30.0),
+        Interval::new(20.0, 90.0),
+    ]);
+    let b = MomentVec::from_raw(vec![
+        Interval::point(1.0),
+        Interval::new(1.0, 2.0),
+        Interval::new(2.0, 6.0),
+        Interval::new(4.0, 20.0),
+        Interval::new(8.0, 70.0),
+    ]);
+    c.bench_function("moment_semiring_compose_deg4", |bencher| {
+        bencher.iter(|| black_box(&a).compose(black_box(&b)))
+    });
+    c.bench_function("moment_semiring_combine_deg4", |bencher| {
+        bencher.iter(|| black_box(&a).combine(black_box(&b)))
+    });
+}
+
+fn bench_polynomial_ops(c: &mut Criterion) {
+    let x = Var::new("x");
+    let d = Var::new("d");
+    let p = Polynomial::var(d.clone())
+        .sub(&Polynomial::var(x.clone()))
+        .pow(2)
+        .scale(4.0)
+        .add(&Polynomial::var(d.clone()).scale(22.0))
+        .add(&Polynomial::constant(28.0));
+    let replacement = Polynomial::var(x.clone()).add(&Polynomial::var(Var::new("t")));
+    c.bench_function("polynomial_substitute_deg2", |bencher| {
+        bencher.iter(|| black_box(&p).substitute(black_box(&x), black_box(&replacement)))
+    });
+    c.bench_function("polynomial_multiply_deg2", |bencher| {
+        bencher.iter(|| black_box(&p).mul(black_box(&p)))
+    });
+}
+
+criterion_group!(benches, bench_moment_compose, bench_polynomial_ops);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Regenerates the tables and figures of the paper's evaluation.
+//!
+//! ```text
+//! cargo run -p cma-bench --release --bin tables -- table1
+//! cargo run -p cma-bench --release --bin tables -- all
+//! ```
+
+use cma_bench::{run_experiment, EXPERIMENT_IDS};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: tables <experiment-id|all> ...");
+        eprintln!("available experiments: {}", EXPERIMENT_IDS.join(", "));
+        std::process::exit(2);
+    }
+    for id in &args {
+        let reports = run_experiment(id);
+        if reports.is_empty() {
+            eprintln!("unknown experiment `{id}`; available: {}", EXPERIMENT_IDS.join(", "));
+            continue;
+        }
+        for report in reports {
+            println!("{report}");
+            println!();
+        }
+    }
+}

@@ -1,0 +1,11 @@
+//! Benchmark harness regenerating the tables and figures of the paper's
+//! evaluation section.
+//!
+//! The [`experiments`] module contains one function per experiment id (see
+//! `DESIGN.md` §5); the `tables` binary dispatches on a command-line argument
+//! and prints the corresponding rows/series as plain text / CSV, and the
+//! Criterion benches under `benches/` measure analysis times.
+
+pub mod experiments;
+
+pub use experiments::{run_experiment, ExperimentReport, EXPERIMENT_IDS};

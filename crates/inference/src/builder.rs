@@ -1,0 +1,235 @@
+//! The LP constraint builder.
+//!
+//! Collects the linear constraints emitted by the derivation rules (§3.4),
+//! the objective that rewards tight bounds, and mild regularization bounds on
+//! template coefficients that keep the LP bounded, and hands everything to
+//! the simplex solver of `cma-lp`.
+
+use cma_lp::{Cmp, LpProblem, LpSolution, LpVarId};
+use cma_semiring::poly::{Monomial, Var};
+
+use crate::template::{LinCoef, SymInterval, SymMoment, TemplatePoly};
+
+/// Builder that accumulates LP variables, constraints, and the objective.
+#[derive(Debug, Default)]
+pub struct ConstraintBuilder {
+    lp: LpProblem,
+    objective: Vec<(LpVarId, f64)>,
+    fresh_counter: usize,
+}
+
+impl ConstraintBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        ConstraintBuilder::default()
+    }
+
+    /// Number of LP variables created so far.
+    pub fn num_vars(&self) -> usize {
+        self.lp.num_vars()
+    }
+
+    /// Number of LP constraints emitted so far.
+    pub fn num_constraints(&self) -> usize {
+        self.lp.num_constraints()
+    }
+
+    fn fresh_name(&mut self, prefix: &str) -> String {
+        self.fresh_counter += 1;
+        format!("{prefix}#{}", self.fresh_counter)
+    }
+
+    /// A fresh free (sign-unrestricted) LP unknown for a template coefficient.
+    pub fn fresh_coefficient(&mut self, prefix: &str) -> LpVarId {
+        let name = self.fresh_name(prefix);
+        self.lp.add_var(name, true)
+    }
+
+    /// A fresh non-negative LP unknown (used for certificate multipliers).
+    pub fn fresh_multiplier(&mut self, prefix: &str) -> LpVarId {
+        let name = self.fresh_name(prefix);
+        self.lp.add_var(name, false)
+    }
+
+    /// A fresh template polynomial over `vars` with total degree ≤ `degree`.
+    pub fn fresh_poly(&mut self, prefix: &str, vars: &[Var], degree: u32) -> TemplatePoly {
+        let monomials = Monomial::all_up_to_degree(vars, degree);
+        TemplatePoly::from_terms(
+            monomials
+                .into_iter()
+                .map(|m| (m, LinCoef::var(self.fresh_coefficient(prefix)))),
+        )
+    }
+
+    /// A fresh symbolic interval whose ends are template polynomials.
+    pub fn fresh_interval(&mut self, prefix: &str, vars: &[Var], degree: u32) -> SymInterval {
+        SymInterval {
+            lo: self.fresh_poly(&format!("{prefix}.lo"), vars, degree),
+            hi: self.fresh_poly(&format!("{prefix}.hi"), vars, degree),
+        }
+    }
+
+    /// A fresh `h`-restricted moment annotation of degree `m`: components
+    /// `k < restriction` are the zero interval; component `k ≥ restriction`
+    /// is a template of polynomial degree `k · poly_degree`.
+    pub fn fresh_moment(
+        &mut self,
+        prefix: &str,
+        vars: &[Var],
+        m: usize,
+        poly_degree: u32,
+        restriction: usize,
+    ) -> SymMoment {
+        let components = (0..=m)
+            .map(|k| {
+                if k < restriction {
+                    SymInterval::zero()
+                } else {
+                    let deg = (k as u32 * poly_degree).max(if k == 0 { 0 } else { 1 });
+                    self.fresh_interval(&format!("{prefix}.m{k}"), vars, deg)
+                }
+            })
+            .collect();
+        SymMoment::from_components(components)
+    }
+
+    /// Emits the constraint `coef = 0`.
+    pub fn constrain_zero_coef(&mut self, coef: &LinCoef) {
+        let terms: Vec<(LpVarId, f64)> = coef.terms().collect();
+        if terms.is_empty() {
+            // A non-zero constant with no unknowns can never be satisfied; emit
+            // an explicitly infeasible constraint so the solver reports it.
+            if coef.constant_part().abs() > 1e-9 {
+                let dummy = self.fresh_multiplier("infeasible");
+                self.lp.add_constraint(vec![(dummy, 0.0)], Cmp::Eq, 1.0);
+            }
+            return;
+        }
+        self.lp
+            .add_constraint(terms, Cmp::Eq, -coef.constant_part());
+    }
+
+    /// Emits the constraint `coef ≥ 0`.
+    pub fn constrain_nonneg_coef(&mut self, coef: &LinCoef) {
+        let terms: Vec<(LpVarId, f64)> = coef.terms().collect();
+        if terms.is_empty() {
+            if coef.constant_part() < -1e-9 {
+                let dummy = self.fresh_multiplier("infeasible");
+                self.lp.add_constraint(vec![(dummy, 0.0)], Cmp::Eq, 1.0);
+            }
+            return;
+        }
+        self.lp
+            .add_constraint(terms, Cmp::Ge, -coef.constant_part());
+    }
+
+    /// Emits `poly = 0` coefficient-wise (one equality per monomial).
+    pub fn constrain_zero_poly(&mut self, poly: &TemplatePoly) {
+        let monomials: Vec<Monomial> = poly.monomials().cloned().collect();
+        for m in monomials {
+            self.constrain_zero_coef(&poly.coefficient(&m));
+        }
+    }
+
+    /// Adds `weight · value(coef)` to the minimization objective.
+    pub fn add_objective(&mut self, coef: &LinCoef, weight: f64) {
+        for (v, c) in coef.terms() {
+            self.objective.push((v, c * weight));
+        }
+    }
+
+    /// Solves the accumulated problem.
+    pub fn solve(&mut self) -> LpSolution {
+        // Aggregate duplicate objective entries.
+        let mut objective: std::collections::BTreeMap<LpVarId, f64> = Default::default();
+        for &(v, c) in &self.objective {
+            *objective.entry(v).or_insert(0.0) += c;
+        }
+        self.lp
+            .set_objective(objective.into_iter().collect());
+        self.lp.solve()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cma_semiring::poly::Polynomial;
+
+    #[test]
+    fn fresh_poly_has_all_monomials() {
+        let mut b = ConstraintBuilder::new();
+        let vars = [Var::new("x"), Var::new("y")];
+        let p = b.fresh_poly("t", &vars, 2);
+        assert_eq!(p.monomials().count(), 6);
+        assert_eq!(b.num_vars(), 6);
+    }
+
+    #[test]
+    fn fresh_moment_respects_restriction() {
+        let mut b = ConstraintBuilder::new();
+        let vars = [Var::new("x")];
+        let q = b.fresh_moment("spec", &vars, 2, 1, 1);
+        assert!(q.component(0).is_zero());
+        assert!(!q.component(1).is_zero());
+        assert!(!q.component(2).is_zero());
+        // Degree of the k-th component is k.
+        assert_eq!(q.component(2).hi.monomials().count(), 3);
+    }
+
+    #[test]
+    fn constrain_zero_poly_pins_template_to_concrete_value() {
+        // fresh p(x) constrained to equal 3x + 1, objective irrelevant.
+        let mut b = ConstraintBuilder::new();
+        let x = Var::new("x");
+        let p = b.fresh_poly("p", &[x.clone()], 1);
+        let target = TemplatePoly::from_concrete(
+            &Polynomial::var(x.clone()).scale(3.0).add(&Polynomial::constant(1.0)),
+        );
+        b.constrain_zero_poly(&p.sub(&target));
+        let sol = b.solve();
+        assert!(sol.is_optimal());
+        let resolved = p.resolve(&|v| sol.value(v));
+        assert!((resolved.coefficient(&Monomial::var(x.clone())) - 3.0).abs() < 1e-6);
+        assert!((resolved.coefficient(&Monomial::unit()) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn objective_minimizes_upper_end() {
+        // p(x) >= 5 at coefficient level (constant term), minimize its value at x=0.
+        let mut b = ConstraintBuilder::new();
+        let x = Var::new("x");
+        let p = b.fresh_poly("p", &[x.clone()], 1);
+        let five = LinCoef::constant(5.0);
+        let diff = p.coefficient(&Monomial::unit()).sub(&five);
+        b.constrain_nonneg_coef(&diff);
+        // Also force the x coefficient to be exactly 2.
+        b.constrain_zero_coef(&p.coefficient(&Monomial::var(x.clone())).sub(&LinCoef::constant(2.0)));
+        let at_zero = p.eval_vars(&|_| 0.0);
+        b.add_objective(&at_zero, 1.0);
+        let sol = b.solve();
+        assert!(sol.is_optimal());
+        let resolved = p.resolve(&|v| sol.value(v));
+        assert!((resolved.coefficient(&Monomial::unit()) - 5.0).abs() < 1e-6);
+        assert!((resolved.coefficient(&Monomial::var(x)) - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn impossible_constant_constraint_is_infeasible() {
+        let mut b = ConstraintBuilder::new();
+        b.constrain_zero_coef(&LinCoef::constant(1.0));
+        let sol = b.solve();
+        assert!(!sol.is_optimal());
+    }
+
+    #[test]
+    fn impossible_nonneg_constant_is_infeasible() {
+        let mut b = ConstraintBuilder::new();
+        b.constrain_nonneg_coef(&LinCoef::constant(-2.0));
+        assert!(!b.solve().is_optimal());
+        // A nonnegative constant is fine and adds nothing.
+        let mut ok = ConstraintBuilder::new();
+        ok.constrain_nonneg_coef(&LinCoef::constant(2.0));
+        assert_eq!(ok.num_constraints(), 0);
+    }
+}

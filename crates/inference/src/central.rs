@@ -1,0 +1,212 @@
+//! Central moments derived from interval bounds on raw moments.
+//!
+//! A central moment `E[(X − E[X])^k]` is a polynomial in the raw moments
+//! `E[X], …, E[X^k]` (§2.1); with *interval* bounds on each raw moment the
+//! central moment is bracketed by evaluating that polynomial in interval
+//! arithmetic — which is exactly why the analysis must produce upper *and*
+//! lower bounds simultaneously.
+
+use cma_semiring::{binomial, Interval};
+
+/// Central-moment information extracted from raw-moment interval bounds.
+#[derive(Debug, Clone)]
+pub struct CentralMoments {
+    raw: Vec<Interval>,
+    central: Vec<Interval>,
+}
+
+impl CentralMoments {
+    /// Computes interval bounds on the central moments `E[(X−E[X])^k]` for all
+    /// `k` up to the degree of the supplied raw bounds.
+    ///
+    /// `raw[k]` must bracket `E[X^k]`; `raw[0]` is the termination-probability
+    /// component and is ignored (assumed 1).
+    pub fn from_raw_intervals(raw: &[Interval]) -> Self {
+        let m = raw.len().saturating_sub(1);
+        let mean = if m >= 1 { raw[1] } else { Interval::point(0.0) };
+        let mut central = vec![Interval::point(1.0); m + 1];
+        if m >= 1 {
+            central[1] = Interval::point(0.0);
+        }
+        for (k, slot) in central.iter_mut().enumerate().take(m + 1).skip(2) {
+            // E[(X-μ)^k] written as a polynomial in the raw moments (§2.1),
+            // with the j = 0 and j = 1 terms combined exactly:
+            //   Σ_{j=2..k} C(k,j) E[X^j] (−μ)^{k−j}  +  (−1)^k (1−k) μ^k.
+            // This matches the paper's formulas (e.g. V = E[X²] − E²[X]) and is
+            // tighter than the naive term-by-term interval expansion.
+            let mut acc = Interval::point(0.0);
+            for j in 2..=k {
+                let term = raw[j]
+                    .mul(mean.neg().powi((k - j) as u32))
+                    .scale(binomial(k, j));
+                acc = acc.add(term);
+            }
+            let sign = if k % 2 == 0 { 1.0 } else { -1.0 };
+            acc = acc.add(mean.powi(k as u32).scale(sign * (1.0 - k as f64)));
+            *slot = acc;
+        }
+        CentralMoments {
+            raw: raw.to_vec(),
+            central,
+        }
+    }
+
+    /// The highest moment degree available.
+    pub fn degree(&self) -> usize {
+        self.raw.len().saturating_sub(1)
+    }
+
+    /// The interval bound on `E[X^k]`.
+    pub fn raw(&self, k: usize) -> Interval {
+        self.raw[k]
+    }
+
+    /// The interval bound on the `k`-th central moment.
+    pub fn central(&self, k: usize) -> Interval {
+        self.central[k]
+    }
+
+    /// The interval bracketing the mean.
+    pub fn mean(&self) -> Interval {
+        self.raw(1)
+    }
+
+    /// Upper bound on the variance (`E[X²]` upper minus squared mean lower).
+    pub fn variance_upper(&self) -> f64 {
+        self.central(2).hi()
+    }
+
+    /// Lower bound on the variance, clamped at 0.
+    pub fn variance_lower(&self) -> f64 {
+        self.central(2).lo().max(0.0)
+    }
+
+    /// Upper bound on the `2k`-th central moment (for Chebyshev bounds).
+    pub fn even_central_upper(&self, two_k: usize) -> Option<f64> {
+        self.central.get(two_k).map(|i| i.hi())
+    }
+
+    /// Upper bound on the skewness `E[(X−μ)³] / V[X]^{3/2}`.
+    ///
+    /// Returns `None` when the third central moment is unavailable or the
+    /// variance lower bound is not strictly positive.
+    pub fn skewness_upper(&self) -> Option<f64> {
+        let third = self.central.get(3)?;
+        let var_lo = self.variance_lower();
+        if var_lo <= 0.0 {
+            return None;
+        }
+        Some(third.hi() / var_lo.powf(1.5))
+    }
+
+    /// Upper bound on the kurtosis `E[(X−μ)⁴] / V[X]²`.
+    pub fn kurtosis_upper(&self) -> Option<f64> {
+        let fourth = self.central.get(4)?;
+        let var_lo = self.variance_lower();
+        if var_lo <= 0.0 {
+            return None;
+        }
+        Some(fourth.hi() / (var_lo * var_lo))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn exact(raw: &[f64]) -> CentralMoments {
+        CentralMoments::from_raw_intervals(
+            &raw.iter().map(|&x| Interval::point(x)).collect::<Vec<_>>(),
+        )
+    }
+
+    #[test]
+    fn variance_from_exact_raw_moments() {
+        // Bernoulli(1/2): E=0.5, E[X²]=0.5 → V = 0.25.
+        let c = exact(&[1.0, 0.5, 0.5]);
+        assert!((c.variance_upper() - 0.25).abs() < 1e-9);
+        assert!((c.variance_lower() - 0.25).abs() < 1e-9);
+        assert_eq!(c.mean(), Interval::point(0.5));
+        assert_eq!(c.raw(2), Interval::point(0.5));
+    }
+
+    #[test]
+    fn fourth_central_moment_of_a_die() {
+        // Fair die: E=3.5, E[X²]=15.1667, E[X³]=73.5, E[X⁴]=379.1667
+        // → central 4th ≈ 14.7292, variance ≈ 2.9167.
+        let c = exact(&[1.0, 3.5, 91.0 / 6.0, 441.0 / 6.0, 2275.0 / 6.0]);
+        assert!((c.central(2).mid() - 35.0 / 12.0).abs() < 1e-9);
+        assert!((c.central(4).mid() - 14.729166).abs() < 1e-3);
+        assert!(c.kurtosis_upper().unwrap() > 1.5);
+        // Symmetric distribution: skewness 0.
+        assert!(c.skewness_upper().unwrap().abs() < 1e-9);
+    }
+
+    #[test]
+    fn interval_raw_moments_widen_central_moments() {
+        // Paper Ex. 2.4: E[tick] ∈ [2d, 2d+4], E[tick²] ≤ 4d²+22d+28 at d=10:
+        // V ≤ (4·100+220+28) − (20)² = 648 − 400 = 248 = 22d+28.
+        let d = 10.0;
+        let raw = [
+            Interval::point(1.0),
+            Interval::new(2.0 * d, 2.0 * d + 4.0),
+            Interval::new(0.0, 4.0 * d * d + 22.0 * d + 28.0),
+        ];
+        let c = CentralMoments::from_raw_intervals(&raw);
+        assert!((c.variance_upper() - (22.0 * d + 28.0)).abs() < 1e-9);
+        assert_eq!(c.variance_lower(), 0.0);
+    }
+
+    #[test]
+    fn first_central_moment_is_zero_and_zeroth_is_one() {
+        let c = exact(&[1.0, 7.0, 50.0]);
+        assert_eq!(c.central(0), Interval::point(1.0));
+        assert_eq!(c.central(1), Interval::point(0.0));
+    }
+
+    #[test]
+    fn missing_higher_moments_return_none() {
+        let c = exact(&[1.0, 1.0, 2.0]);
+        assert!(c.skewness_upper().is_none());
+        assert!(c.kurtosis_upper().is_none());
+        assert!(c.even_central_upper(2).is_some());
+        assert!(c.even_central_upper(4).is_none());
+    }
+
+    #[test]
+    fn degenerate_variance_disables_ratios() {
+        // A deterministic cost: variance 0 → no skewness/kurtosis bound.
+        let c = exact(&[1.0, 3.0, 9.0, 27.0, 81.0]);
+        assert!(c.variance_upper().abs() < 1e-9);
+        assert!(c.skewness_upper().is_none());
+        assert!(c.kurtosis_upper().is_none());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_central_intervals_contain_true_central_moments(
+            p in 0.05f64..0.95, a in -3.0f64..3.0, b in -3.0f64..3.0, slack in 0.0f64..2.0
+        ) {
+            // Two-point distribution on {a, b} with prob p on a.
+            let raw_exact: Vec<f64> = (0..=4)
+                .map(|k| p * a.powi(k) + (1.0 - p) * b.powi(k))
+                .collect();
+            let mean = raw_exact[1];
+            let true_central: Vec<f64> = (0..=4)
+                .map(|k| p * (a - mean).powi(k) + (1.0 - p) * (b - mean).powi(k))
+                .collect();
+            // Widen the raw moments by `slack` on both sides: the central
+            // intervals must still contain the truth.
+            let raw: Vec<Interval> = raw_exact
+                .iter()
+                .map(|&x| Interval::new(x - slack, x + slack))
+                .collect();
+            let c = CentralMoments::from_raw_intervals(&raw);
+            for k in 2..=4usize {
+                prop_assert!(c.central(k).lo() <= true_central[k] + 1e-7);
+                prop_assert!(c.central(k).hi() >= true_central[k] - 1e-7);
+            }
+        }
+    }
+}

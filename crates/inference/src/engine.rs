@@ -1,0 +1,642 @@
+//! The analysis driver: call-graph decomposition, specification templates,
+//! objectives, LP solving, and bound extraction.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::time::{Duration, Instant};
+
+use cma_appl::Program;
+use cma_logic::Context;
+use cma_lp::LpStatus;
+use cma_semiring::poly::{Polynomial, Var};
+use cma_semiring::Interval;
+
+use crate::builder::ConstraintBuilder;
+use crate::central::CentralMoments;
+use crate::derive::{transform, DeriveCtx, DeriveError};
+use crate::spec::{ResolvedSpec, SpecEntry, SpecTable};
+use crate::template::SymMoment;
+use crate::weaken::require_contains;
+
+/// How the per-function specifications are solved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SolveMode {
+    /// One linear program for the whole program (most precise; the default).
+    #[default]
+    Global,
+    /// One linear program per call-graph SCC, callees first, with resolved
+    /// specifications frozen before moving on.  Scales linearly in the number
+    /// of functions (Fig. 10) but requires cross-component calls to be in
+    /// tail position (see `DESIGN.md`).
+    Compositional,
+}
+
+/// User-facing options of the analysis.
+#[derive(Debug, Clone)]
+pub struct AnalysisOptions {
+    /// Target moment degree `m` (2 for variance, 4 for the fourth central
+    /// moment, …).
+    pub degree: usize,
+    /// Base polynomial degree `d`: the `k`-th moment component uses templates
+    /// of degree `k·d`.
+    pub poly_degree: u32,
+    /// Solving strategy.
+    pub mode: SolveMode,
+    /// Concrete valuation at which imprecision is minimized (§3.4);
+    /// unmentioned variables default to 1.
+    pub valuation: Vec<(Var, f64)>,
+    /// Restrict templates to these variables (default: all program variables).
+    pub template_vars: Option<Vec<Var>>,
+}
+
+impl AnalysisOptions {
+    /// Options for analyzing moments up to degree `m` with linear base
+    /// templates.
+    pub fn degree(m: usize) -> Self {
+        AnalysisOptions {
+            degree: m,
+            poly_degree: 1,
+            mode: SolveMode::Global,
+            valuation: Vec::new(),
+            template_vars: None,
+        }
+    }
+
+    /// Sets the objective valuation.
+    pub fn with_valuation(mut self, valuation: Vec<(Var, f64)>) -> Self {
+        self.valuation = valuation;
+        self
+    }
+
+    /// Sets the solving mode.
+    pub fn with_mode(mut self, mode: SolveMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Sets the base polynomial degree.
+    pub fn with_poly_degree(mut self, d: u32) -> Self {
+        self.poly_degree = d;
+        self
+    }
+
+    /// Restricts the template variables.
+    pub fn with_template_vars(mut self, vars: Vec<Var>) -> Self {
+        self.template_vars = Some(vars);
+        self
+    }
+
+    fn valuation_fn(&self) -> impl Fn(&Var) -> f64 + '_ {
+        move |v: &Var| {
+            self.valuation
+                .iter()
+                .find(|(var, _)| var == v)
+                .map(|(_, value)| *value)
+                .unwrap_or(1.0)
+        }
+    }
+}
+
+impl Default for AnalysisOptions {
+    fn default() -> Self {
+        AnalysisOptions::degree(2)
+    }
+}
+
+/// Failures of the analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AnalysisError {
+    /// The generated LP has no solution: the templates (at the given degree)
+    /// cannot express a bound, or a weakening certificate does not exist.
+    LpFailed {
+        /// Solver status (infeasible, unbounded, iteration limit).
+        status: LpStatus,
+        /// Functions whose constraints were being solved.
+        group: Vec<String>,
+    },
+    /// Constraint generation failed.
+    Derivation(DeriveError),
+}
+
+impl std::fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AnalysisError::LpFailed { status, group } => {
+                write!(f, "linear program {status} while solving {group:?}")
+            }
+            AnalysisError::Derivation(e) => write!(f, "derivation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AnalysisError {}
+
+impl From<DeriveError> for AnalysisError {
+    fn from(e: DeriveError) -> Self {
+        AnalysisError::Derivation(e)
+    }
+}
+
+/// Symbolic interval bound on one raw moment of the accumulated cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MomentBound {
+    /// Lower-bound polynomial over the program variables (initial state).
+    pub lower: Polynomial,
+    /// Upper-bound polynomial over the program variables (initial state).
+    pub upper: Polynomial,
+}
+
+impl MomentBound {
+    /// Evaluates the bound at an initial valuation (unmentioned variables
+    /// default to 0, matching the all-zero initial state of the semantics).
+    pub fn at(&self, valuation: &[(Var, f64)]) -> Interval {
+        let val = |v: &Var| {
+            valuation
+                .iter()
+                .find(|(var, _)| var == v)
+                .map(|(_, value)| *value)
+                .unwrap_or(0.0)
+        };
+        Interval::hull(self.lower.eval(&val), self.upper.eval(&val))
+    }
+}
+
+/// The outcome of a successful analysis.
+#[derive(Debug, Clone)]
+pub struct AnalysisResult {
+    /// Interval bounds on the raw moments `E[C^k]` for `k = 0..=m`, as
+    /// polynomials over the program variables at the start of `main`.
+    pub bounds: Vec<MomentBound>,
+    /// Resolved per-function specifications (function name, restriction level).
+    pub specs: BTreeMap<(String, usize), ResolvedSpec>,
+    /// Total number of LP variables generated.
+    pub lp_variables: usize,
+    /// Total number of LP constraints generated.
+    pub lp_constraints: usize,
+    /// Wall-clock time spent in the analysis.
+    pub elapsed: Duration,
+}
+
+impl AnalysisResult {
+    /// The target moment degree `m`.
+    pub fn degree(&self) -> usize {
+        self.bounds.len() - 1
+    }
+
+    /// The symbolic bound on the `k`-th raw moment.
+    pub fn raw_moment_bound(&self, k: usize) -> &MomentBound {
+        &self.bounds[k]
+    }
+
+    /// The `k`-th raw moment bound evaluated at an initial valuation.
+    pub fn raw_moment_at(&self, k: usize, valuation: &[(Var, f64)]) -> Interval {
+        self.bounds[k].at(valuation)
+    }
+
+    /// All raw-moment intervals at an initial valuation.
+    pub fn raw_intervals_at(&self, valuation: &[(Var, f64)]) -> Vec<Interval> {
+        self.bounds.iter().map(|b| b.at(valuation)).collect()
+    }
+
+    /// Central-moment information (variance, central 3rd/4th moments,
+    /// skewness, kurtosis) at an initial valuation.
+    pub fn central_at(&self, valuation: &[(Var, f64)]) -> CentralMoments {
+        CentralMoments::from_raw_intervals(&self.raw_intervals_at(valuation))
+    }
+
+    /// Symbolic upper bound on the variance: `U₂ − L₁²`
+    /// (valid wherever `L₁ ≥ 0`, cf. Ex. 2.4).
+    pub fn variance_upper_poly(&self) -> Option<Polynomial> {
+        if self.bounds.len() < 3 {
+            return None;
+        }
+        let u2 = &self.bounds[2].upper;
+        let l1 = &self.bounds[1].lower;
+        Some(u2.sub(&l1.mul(l1)))
+    }
+
+    /// The resolved specification of a function at a restriction level.
+    pub fn spec(&self, function: &str, level: usize) -> Option<&ResolvedSpec> {
+        self.specs.get(&(function.to_string(), level))
+    }
+}
+
+/// Analyzes a program, deriving symbolic interval bounds on the raw moments
+/// `E[C^k]`, `k ≤ m`, of its accumulated cost.
+///
+/// # Errors
+///
+/// Returns [`AnalysisError`] when constraint generation fails or the LP has no
+/// solution under the chosen template degrees.
+pub fn analyze(program: &Program, options: &AnalysisOptions) -> Result<AnalysisResult, AnalysisError> {
+    let start = Instant::now();
+    let groups = match options.mode {
+        SolveMode::Global => {
+            vec![program.functions().map(|f| f.name().to_string()).collect::<Vec<_>>()]
+        }
+        SolveMode::Compositional => call_graph_sccs(program),
+    };
+
+    let mut resolved: BTreeMap<(String, usize), ResolvedSpec> = BTreeMap::new();
+    let main_bounds: Option<Vec<(Polynomial, Polynomial)>>;
+    let mut lp_variables = 0usize;
+    let mut lp_constraints = 0usize;
+
+    match options.mode {
+        SolveMode::Global => {
+            let group = &groups[0];
+            let outcome = solve_group(program, options, group, true, &resolved)?;
+            lp_variables += outcome.lp_variables;
+            lp_constraints += outcome.lp_constraints;
+            resolved.extend(outcome.specs);
+            main_bounds = outcome.main_bounds;
+        }
+        SolveMode::Compositional => {
+            for group in &groups {
+                let outcome = solve_group(program, options, group, false, &resolved)?;
+                lp_variables += outcome.lp_variables;
+                lp_constraints += outcome.lp_constraints;
+                resolved.extend(outcome.specs);
+            }
+            let outcome = solve_group(program, options, &[], true, &resolved)?;
+            lp_variables += outcome.lp_variables;
+            lp_constraints += outcome.lp_constraints;
+            main_bounds = outcome.main_bounds;
+        }
+    }
+
+    let main_bounds = main_bounds.expect("main bounds computed by the final group");
+    let bounds = main_bounds
+        .into_iter()
+        .map(|(lower, upper)| MomentBound { lower, upper })
+        .collect();
+    Ok(AnalysisResult {
+        bounds,
+        specs: resolved,
+        lp_variables,
+        lp_constraints,
+        elapsed: start.elapsed(),
+    })
+}
+
+struct GroupOutcome {
+    specs: BTreeMap<(String, usize), ResolvedSpec>,
+    main_bounds: Option<Vec<(Polynomial, Polynomial)>>,
+    lp_variables: usize,
+    lp_constraints: usize,
+}
+
+fn template_vars(program: &Program, options: &AnalysisOptions) -> Vec<Var> {
+    options
+        .template_vars
+        .clone()
+        .unwrap_or_else(|| program.vars())
+}
+
+fn solve_group(
+    program: &Program,
+    options: &AnalysisOptions,
+    group: &[String],
+    include_main: bool,
+    resolved: &BTreeMap<(String, usize), ResolvedSpec>,
+) -> Result<GroupOutcome, AnalysisError> {
+    let m = options.degree;
+    let d = options.poly_degree;
+    let vars = template_vars(program, options);
+    let valuation = options.valuation_fn();
+
+    let mut builder = ConstraintBuilder::new();
+    let mut specs = SpecTable::new();
+
+    // Resolved specifications from earlier groups become constant annotations.
+    for ((name, level), spec) in resolved {
+        specs.insert(name, *level, spec.to_entry());
+    }
+    // Fresh templates for the functions of this group.
+    for name in group {
+        for level in 0..=m {
+            let entry = SpecEntry {
+                pre: builder.fresh_moment(&format!("{name}.pre{level}"), &vars, m, d, level),
+                post: builder.fresh_moment(&format!("{name}.post{level}"), &vars, m, d, level),
+            };
+            specs.insert(name, level, entry);
+        }
+    }
+
+    // In compositional mode the exported specifications must stay usable by
+    // later callers: the level-0 post must cover the identity annotation and
+    // higher-level posts must cover the zero annotation.
+    if options.mode == SolveMode::Compositional {
+        for name in group {
+            for level in 0..=m {
+                let post = specs.get(name, level).expect("just inserted").post.clone();
+                let target = if level == 0 {
+                    SymMoment::one(m)
+                } else {
+                    SymMoment::zero(m)
+                };
+                require_contains(
+                    &mut builder,
+                    &Context::top(),
+                    &post,
+                    &target,
+                    d,
+                    &format!("export.{name}.{level}"),
+                );
+            }
+        }
+    }
+
+    // Justify every specification of the group by analyzing the body.
+    for name in group {
+        let function = program
+            .function(name)
+            .expect("group members are declared functions");
+        let ctx = Context::from_conditions(function.precondition());
+        for level in 0..=m {
+            let entry = specs.get(name, level).expect("just inserted").clone();
+            let dctx = DeriveCtx {
+                program,
+                specs: &specs,
+                degree: m,
+                poly_degree: d,
+                template_vars: vars.clone(),
+                level,
+            };
+            let derived_pre =
+                transform(&mut builder, &dctx, function.body(), &ctx, entry.post.clone())?;
+            require_contains(
+                &mut builder,
+                &ctx,
+                &entry.pre,
+                &derived_pre,
+                d,
+                &format!("spec.{name}.{level}"),
+            );
+            // Reward tight specifications (lower weight for deeper levels).
+            let weight = 0.1 / (1.0 + level as f64);
+            for k in 0..=m {
+                builder.add_objective(&entry.pre.component(k).hi.eval_vars(&valuation), weight);
+                builder.add_objective(&entry.pre.component(k).lo.eval_vars(&valuation), -weight);
+            }
+        }
+    }
+
+    // Analyze `main` with the identity post-annotation.
+    let main_pre = if include_main {
+        let ctx = Context::from_conditions(program.precondition());
+        let dctx = DeriveCtx {
+            program,
+            specs: &specs,
+            degree: m,
+            poly_degree: d,
+            template_vars: vars.clone(),
+            level: 0,
+        };
+        let pre = transform(&mut builder, &dctx, program.main(), &ctx, SymMoment::one(m))?;
+        for k in 0..=m {
+            builder.add_objective(&pre.component(k).hi.eval_vars(&valuation), 1.0);
+            builder.add_objective(&pre.component(k).lo.eval_vars(&valuation), -1.0);
+        }
+        Some(pre)
+    } else {
+        None
+    };
+
+    let lp_variables = builder.num_vars();
+    let solution = builder.solve();
+    let lp_constraints = builder.num_constraints();
+    if !solution.is_optimal() {
+        return Err(AnalysisError::LpFailed {
+            status: solution.status,
+            group: if include_main && group.is_empty() {
+                vec!["main".to_string()]
+            } else {
+                group.to_vec()
+            },
+        });
+    }
+
+    let values = |v| solution.value(v);
+    let mut resolved_specs = BTreeMap::new();
+    for name in group {
+        for level in 0..=m {
+            let entry = specs.get(name, level).expect("inserted above");
+            resolved_specs.insert(
+                (name.clone(), level),
+                ResolvedSpec {
+                    pre: entry.pre.resolve(&values),
+                    post: entry.post.resolve(&values),
+                },
+            );
+        }
+    }
+    let main_bounds = main_pre.map(|pre| pre.resolve(&values));
+
+    Ok(GroupOutcome {
+        specs: resolved_specs,
+        main_bounds,
+        lp_variables,
+        lp_constraints,
+    })
+}
+
+/// Strongly connected components of the call graph in reverse topological
+/// order (callees before callers).
+pub fn call_graph_sccs(program: &Program) -> Vec<Vec<String>> {
+    let graph: BTreeMap<String, BTreeSet<String>> = program.call_graph();
+    let nodes: Vec<String> = graph.keys().cloned().collect();
+    let mut state = TarjanState {
+        graph: &graph,
+        index: 0,
+        indices: BTreeMap::new(),
+        lowlink: BTreeMap::new(),
+        on_stack: BTreeSet::new(),
+        stack: Vec::new(),
+        sccs: Vec::new(),
+    };
+    for node in &nodes {
+        if !state.indices.contains_key(node) {
+            state.strong_connect(node);
+        }
+    }
+    // Tarjan emits SCCs in reverse topological order of the condensation
+    // (an SCC is emitted only after all SCCs it can reach), i.e. callees first.
+    state.sccs
+}
+
+struct TarjanState<'a> {
+    graph: &'a BTreeMap<String, BTreeSet<String>>,
+    index: usize,
+    indices: BTreeMap<String, usize>,
+    lowlink: BTreeMap<String, usize>,
+    on_stack: BTreeSet<String>,
+    stack: Vec<String>,
+    sccs: Vec<Vec<String>>,
+}
+
+impl TarjanState<'_> {
+    fn strong_connect(&mut self, v: &str) {
+        self.indices.insert(v.to_string(), self.index);
+        self.lowlink.insert(v.to_string(), self.index);
+        self.index += 1;
+        self.stack.push(v.to_string());
+        self.on_stack.insert(v.to_string());
+
+        let successors: Vec<String> = self
+            .graph
+            .get(v)
+            .map(|s| s.iter().cloned().collect())
+            .unwrap_or_default();
+        for w in successors {
+            if !self.graph.contains_key(&w) {
+                continue;
+            }
+            if !self.indices.contains_key(&w) {
+                self.strong_connect(&w);
+                let low = self.lowlink[&w].min(self.lowlink[v]);
+                self.lowlink.insert(v.to_string(), low);
+            } else if self.on_stack.contains(&w) {
+                let low = self.indices[&w].min(self.lowlink[v]);
+                self.lowlink.insert(v.to_string(), low);
+            }
+        }
+
+        if self.lowlink[v] == self.indices[v] {
+            let mut scc = Vec::new();
+            while let Some(w) = self.stack.pop() {
+                self.on_stack.remove(&w);
+                let done = w == v;
+                scc.push(w);
+                if done {
+                    break;
+                }
+            }
+            scc.reverse();
+            self.sccs.push(scc);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cma_appl::build::*;
+
+    #[test]
+    fn sccs_are_in_callee_first_order() {
+        let program = ProgramBuilder::new()
+            .function("a", seq([call("b"), call("c")]))
+            .function("b", call("c"))
+            .function("c", if_prob(0.5, call("c"), skip()))
+            .main(call("a"))
+            .build()
+            .unwrap();
+        let sccs = call_graph_sccs(&program);
+        assert_eq!(sccs.len(), 3);
+        let pos = |name: &str| sccs.iter().position(|s| s.contains(&name.to_string())).unwrap();
+        assert!(pos("c") < pos("b"));
+        assert!(pos("b") < pos("a"));
+    }
+
+    #[test]
+    fn mutually_recursive_functions_form_one_scc() {
+        let program = ProgramBuilder::new()
+            .function("even", if_prob(0.5, call("odd"), skip()))
+            .function("odd", call("even"))
+            .main(call("even"))
+            .build()
+            .unwrap();
+        let sccs = call_graph_sccs(&program);
+        assert_eq!(sccs.len(), 1);
+        assert_eq!(sccs[0].len(), 2);
+    }
+
+    #[test]
+    fn straight_line_program_moments_are_exact() {
+        let program = ProgramBuilder::new()
+            .main(seq([tick(2.0), tick(3.0)]))
+            .build()
+            .unwrap();
+        let result = analyze(&program, &AnalysisOptions::degree(3)).unwrap();
+        let intervals = result.raw_intervals_at(&[]);
+        assert!((intervals[1].mid() - 5.0).abs() < 1e-6);
+        assert!((intervals[2].mid() - 25.0).abs() < 1e-6);
+        assert!((intervals[3].mid() - 125.0).abs() < 1e-6);
+        assert!(intervals[1].width() < 1e-6);
+        assert_eq!(result.degree(), 3);
+    }
+
+    #[test]
+    fn probabilistic_choice_moments_are_exact() {
+        // cost 2 w.p. 1/2, else 4: E = 3, E² = 10, E³ = 36.
+        let program = ProgramBuilder::new()
+            .main(if_prob(0.5, tick(2.0), tick(4.0)))
+            .build()
+            .unwrap();
+        let result = analyze(&program, &AnalysisOptions::degree(3)).unwrap();
+        let i = result.raw_intervals_at(&[]);
+        assert!((i[1].mid() - 3.0).abs() < 1e-6 && i[1].width() < 1e-6);
+        assert!((i[2].mid() - 10.0).abs() < 1e-6);
+        assert!((i[3].mid() - 36.0).abs() < 1e-6);
+        // Variance = 10 - 9 = 1.
+        let central = result.central_at(&[]);
+        assert!(central.variance_upper() >= 1.0 - 1e-6);
+        assert!(central.variance_upper() <= 1.0 + 1e-4);
+    }
+
+    #[test]
+    fn geometric_recursion_is_bounded() {
+        // Geometric(1/2): E = 2, E[C²] = 6.
+        let program = ProgramBuilder::new()
+            .function("geo", if_prob(0.5, seq([tick(1.0), call("geo")]), tick(1.0)))
+            .main(call("geo"))
+            .build()
+            .unwrap();
+        let result = analyze(&program, &AnalysisOptions::degree(2)).unwrap();
+        let i = result.raw_intervals_at(&[]);
+        assert!(i[1].lo() <= 2.0 + 1e-6 && i[1].hi() >= 2.0 - 1e-6);
+        assert!(i[2].hi() >= 6.0 - 1e-6);
+        // The bounds should be reasonably tight for this simple program.
+        assert!(i[1].hi() <= 2.0 + 1e-4, "upper bound {}", i[1].hi());
+        assert!(i[2].hi() <= 6.0 + 1e-3, "upper bound {}", i[2].hi());
+    }
+
+    #[test]
+    fn unknown_callee_levels_surface_as_errors() {
+        // Force an error by requesting a compositional analysis of a program
+        // whose cross-group call is *not* in tail position with a large
+        // trailing cost — the exported specification cannot cover it exactly
+        // when the callee's exported post is too narrow.  The analysis must
+        // not panic; it either succeeds (with a valid bound) or reports an
+        // LP failure.
+        let program = ProgramBuilder::new()
+            .function("leaf", tick(1.0))
+            .function("wrap", seq([call("leaf"), tick(5.0)]))
+            .main(call("wrap"))
+            .build()
+            .unwrap();
+        let options = AnalysisOptions::degree(2).with_mode(SolveMode::Compositional);
+        match analyze(&program, &options) {
+            Ok(result) => {
+                let i = result.raw_intervals_at(&[]);
+                assert!(i[1].hi() >= 6.0 - 1e-6);
+            }
+            Err(AnalysisError::LpFailed { .. }) => {}
+            Err(other) => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn options_builders() {
+        let o = AnalysisOptions::degree(4)
+            .with_poly_degree(2)
+            .with_mode(SolveMode::Compositional)
+            .with_valuation(vec![(Var::new("d"), 10.0)])
+            .with_template_vars(vec![Var::new("d")]);
+        assert_eq!(o.degree, 4);
+        assert_eq!(o.poly_degree, 2);
+        assert_eq!(o.mode, SolveMode::Compositional);
+        assert_eq!((o.valuation_fn())(&Var::new("d")), 10.0);
+        assert_eq!((o.valuation_fn())(&Var::new("zzz")), 1.0);
+    }
+}

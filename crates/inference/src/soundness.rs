@@ -1,0 +1,346 @@
+//! Algorithmic checks of the soundness side conditions of Theorem 4.4 (§4.3).
+//!
+//! The expected-potential method is sound for a program and target degree `m`
+//! whenever
+//!
+//! 1. `E[T^{m·d}] < ∞` — the `(m·d)`-th moment of the stopping time is finite,
+//!    checked by re-running the bound inference on a *step-counting*
+//!    instrumentation of the program (every statement ticks 1), and
+//! 2. the program has **bounded updates** — every assignment changes the
+//!    assigned variable by an almost-surely bounded amount, so that
+//!    `∥Y_n∥∞ ∈ O((n+1)^{m·d})` (Lemma F.3).
+
+use cma_appl::ast::{Expr, Function, Program, Stmt};
+use cma_semiring::poly::Var;
+
+use crate::engine::{analyze, AnalysisError, AnalysisOptions};
+
+/// The outcome of the combined soundness check.
+#[derive(Debug, Clone)]
+pub struct SoundnessReport {
+    /// Whether the bounded-update check passed.
+    pub bounded_updates: bool,
+    /// Offending statements reported by the bounded-update check.
+    pub violations: Vec<String>,
+    /// Whether a finite bound on `E[T^k]` was derived (and for which `k`).
+    pub termination_moment: Option<usize>,
+}
+
+impl SoundnessReport {
+    /// Whether both side conditions hold.
+    pub fn is_sound(&self) -> bool {
+        self.bounded_updates && self.termination_moment.is_some()
+    }
+}
+
+/// Checks the bounded-update property (§4.3, Lemma F.3).
+///
+/// An assignment `x := e` has bounded update when `e − x` is a constant, or
+/// `e` is a constant, or `e − x` is a sum of a constant and variables that are
+/// only ever assigned by bounded-support sampling ("noise variables").
+/// A sampling statement has bounded update when its support is bounded.
+///
+/// Returns the list of violating statements (empty means the check passed).
+pub fn check_bounded_update(program: &Program) -> Vec<String> {
+    let noise_vars = noise_variables(program);
+    let mut violations = Vec::new();
+    let mut check_body = |body: &Stmt| collect_violations(body, &noise_vars, &mut violations);
+    check_body(program.main());
+    for f in program.functions() {
+        check_body(f.body());
+    }
+    violations
+}
+
+/// Variables that are only ever assigned through bounded-support sampling.
+fn noise_variables(program: &Program) -> Vec<Var> {
+    let mut sampled: Vec<Var> = Vec::new();
+    let mut assigned_otherwise: Vec<Var> = Vec::new();
+    let mut scan = |stmt: &Stmt| {
+        visit(stmt, &mut |s| match s {
+            Stmt::Sample(x, d) => {
+                let (lo, hi) = d.support();
+                if lo.is_finite() && hi.is_finite() {
+                    sampled.push(x.clone());
+                } else {
+                    assigned_otherwise.push(x.clone());
+                }
+            }
+            Stmt::Assign(x, _) => assigned_otherwise.push(x.clone()),
+            _ => {}
+        });
+    };
+    scan(program.main());
+    for f in program.functions() {
+        scan(f.body());
+    }
+    sampled
+        .into_iter()
+        .filter(|v| !assigned_otherwise.contains(v))
+        .collect()
+}
+
+fn visit(stmt: &Stmt, f: &mut impl FnMut(&Stmt)) {
+    f(stmt);
+    match stmt {
+        Stmt::If(_, a, b) | Stmt::IfProb(_, a, b) => {
+            visit(a, f);
+            visit(b, f);
+        }
+        Stmt::While(_, s) => visit(s, f),
+        Stmt::Seq(ss) => {
+            for s in ss {
+                visit(s, f);
+            }
+        }
+        _ => {}
+    }
+}
+
+fn collect_violations(stmt: &Stmt, noise_vars: &[Var], out: &mut Vec<String>) {
+    visit(stmt, &mut |s| match s {
+        Stmt::Assign(x, e) => {
+            if !assignment_is_bounded(x, e, noise_vars) {
+                out.push(format!("{x} := {e}"));
+            }
+        }
+        Stmt::Sample(x, d) => {
+            let (lo, hi) = d.support();
+            if !(lo.is_finite() && hi.is_finite()) {
+                out.push(format!("{x} ~ {d}"));
+            }
+        }
+        _ => {}
+    });
+}
+
+fn assignment_is_bounded(x: &Var, e: &Expr, noise_vars: &[Var]) -> bool {
+    let poly = e.to_polynomial();
+    // e constant: the variable jumps to a fixed value.
+    if poly.as_constant().is_some() {
+        return true;
+    }
+    // Otherwise require e − x to be affine in noise variables plus a constant.
+    let delta = poly.sub(&cma_semiring::poly::Polynomial::var(x.clone()));
+    if delta.degree() > 1 {
+        return false;
+    }
+    delta
+        .vars()
+        .iter()
+        .all(|v| noise_vars.contains(v))
+}
+
+/// Checks condition (i) of Theorem 4.4: derives an upper bound on `E[T^k]`
+/// for the *step-counting* instrumentation of the program (every statement is
+/// charged one unit of cost).  Returns `Ok(())` when a finite bound exists.
+///
+/// # Errors
+///
+/// Propagates the underlying [`AnalysisError`] when no bound can be derived,
+/// which means the soundness of moment bounds of degree `k` is not
+/// established for this program.
+pub fn check_termination_moment(
+    program: &Program,
+    k: usize,
+    options: &AnalysisOptions,
+) -> Result<(), AnalysisError> {
+    let instrumented = step_counting_instrumentation(program);
+    let mut opts = options.clone();
+    opts.degree = k;
+    analyze(&instrumented, &opts).map(|_| ())
+}
+
+/// Runs both soundness checks and assembles a report.
+pub fn soundness_report(
+    program: &Program,
+    degree: usize,
+    options: &AnalysisOptions,
+) -> SoundnessReport {
+    let violations = check_bounded_update(program);
+    let termination_moment = check_termination_moment(program, degree, options)
+        .ok()
+        .map(|_| degree);
+    SoundnessReport {
+        bounded_updates: violations.is_empty(),
+        violations,
+        termination_moment,
+    }
+}
+
+/// The step-counting instrumentation: replaces every `tick(c)` by `tick(1)`
+/// and charges one unit before every other primitive statement, loop
+/// iteration, and branch — an over-approximation of the number of evaluation
+/// steps of the Markov-chain semantics.
+pub fn step_counting_instrumentation(program: &Program) -> Program {
+    let functions = program
+        .functions()
+        .map(|f| {
+            let mut new_f = Function::new(f.name(), instrument(f.body()));
+            for c in f.precondition() {
+                new_f.add_precondition(c.clone());
+            }
+            new_f
+        })
+        .collect();
+    Program::new(
+        functions,
+        instrument(program.main()),
+        program.precondition().to_vec(),
+    )
+    .expect("instrumentation preserves validity")
+}
+
+fn instrument(stmt: &Stmt) -> Stmt {
+    match stmt {
+        Stmt::Skip => Stmt::Tick(1.0),
+        Stmt::Tick(_) => Stmt::Tick(1.0),
+        Stmt::Assign(..) | Stmt::Sample(..) | Stmt::Call(_) => {
+            Stmt::Seq(vec![Stmt::Tick(1.0), stmt.clone()])
+        }
+        Stmt::If(c, a, b) => Stmt::Seq(vec![
+            Stmt::Tick(1.0),
+            Stmt::If(c.clone(), Box::new(instrument(a)), Box::new(instrument(b))),
+        ]),
+        Stmt::IfProb(p, a, b) => Stmt::Seq(vec![
+            Stmt::Tick(1.0),
+            Stmt::IfProb(*p, Box::new(instrument(a)), Box::new(instrument(b))),
+        ]),
+        Stmt::While(c, body) => Stmt::Seq(vec![
+            Stmt::Tick(1.0),
+            Stmt::While(
+                c.clone(),
+                Box::new(Stmt::Seq(vec![Stmt::Tick(1.0), instrument(body)])),
+            ),
+        ]),
+        Stmt::Seq(ss) => Stmt::Seq(ss.iter().map(instrument).collect()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cma_appl::build::*;
+
+    #[test]
+    fn bounded_update_accepts_paper_style_programs() {
+        // x := x + t with t ~ uniform(-1, 2): bounded.
+        let program = ProgramBuilder::new()
+            .function(
+                "rdwalk",
+                if_then(
+                    lt(v("x"), v("d")),
+                    seq([
+                        sample("t", uniform(-1.0, 2.0)),
+                        assign("x", add(v("x"), v("t"))),
+                        call("rdwalk"),
+                        tick(1.0),
+                    ]),
+                ),
+            )
+            .main(seq([assign("x", cst(0.0)), call("rdwalk")]))
+            .build()
+            .unwrap();
+        assert!(check_bounded_update(&program).is_empty());
+    }
+
+    #[test]
+    fn bounded_update_accepts_constant_steps_and_rejects_doubling() {
+        let ok = ProgramBuilder::new()
+            .main(seq([
+                assign("x", cst(5.0)),
+                assign("x", sub(v("x"), cst(1.0))),
+                assign("y", add(v("y"), cst(3.0))),
+            ]))
+            .build()
+            .unwrap();
+        assert!(check_bounded_update(&ok).is_empty());
+
+        let doubling = ProgramBuilder::new()
+            .main(assign("x", mul(v("x"), cst(2.0))))
+            .build()
+            .unwrap();
+        let violations = check_bounded_update(&doubling);
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].contains("x :="));
+    }
+
+    #[test]
+    fn bounded_update_rejects_copying_unbounded_variables() {
+        // y is assigned from x (not a noise variable): rejected because the
+        // jump |y' - y| is unbounded in general.
+        let program = ProgramBuilder::new()
+            .main(assign("y", add(v("y"), v("x"))))
+            .build()
+            .unwrap();
+        assert_eq!(check_bounded_update(&program).len(), 1);
+    }
+
+    #[test]
+    fn noise_variables_must_not_be_reassigned() {
+        // t is sampled but also assigned from x + x, so x := x + t is rejected.
+        let program = ProgramBuilder::new()
+            .main(seq([
+                sample("t", uniform(0.0, 1.0)),
+                assign("t", add(v("x"), v("x"))),
+                assign("x", add(v("x"), v("t"))),
+            ]))
+            .build()
+            .unwrap();
+        let violations = check_bounded_update(&program);
+        assert!(violations.iter().any(|s| s.starts_with("x :=")));
+    }
+
+    #[test]
+    fn step_counting_instrumentation_charges_every_step() {
+        let program = ProgramBuilder::new()
+            .main(seq([
+                assign("n", cst(3.0)),
+                while_loop(
+                    gt(v("n"), cst(0.0)),
+                    seq([assign("n", sub(v("n"), cst(1.0))), tick(5.0)]),
+                ),
+            ]))
+            .build()
+            .unwrap();
+        let instrumented = step_counting_instrumentation(&program);
+        // The instrumented program charges 1 per step; simulating it counts
+        // statements rather than the original cost.
+        let stats = cma_sim::simulate(
+            &instrumented,
+            &cma_sim::SimConfig {
+                trials: 1,
+                seed: 0,
+                ..Default::default()
+            },
+        );
+        assert!(stats.mean() >= 8.0);
+        // The original cost (15) is replaced by unit costs.
+        assert!(stats.mean() < 15.0 + 8.0);
+    }
+
+    #[test]
+    fn termination_moment_check_succeeds_for_geometric() {
+        let program = ProgramBuilder::new()
+            .function("geo", if_prob(0.5, seq([tick(1.0), call("geo")]), tick(1.0)))
+            .main(call("geo"))
+            .build()
+            .unwrap();
+        let options = AnalysisOptions::degree(2);
+        assert!(check_termination_moment(&program, 2, &options).is_ok());
+        let report = soundness_report(&program, 2, &options);
+        assert!(report.is_sound());
+        assert_eq!(report.termination_moment, Some(2));
+    }
+
+    #[test]
+    fn report_reflects_violations() {
+        let program = ProgramBuilder::new()
+            .main(assign("x", mul(v("x"), v("x"))))
+            .build()
+            .unwrap();
+        let report = soundness_report(&program, 1, &AnalysisOptions::degree(1));
+        assert!(!report.bounded_updates);
+        assert!(!report.violations.is_empty());
+    }
+}

@@ -1,0 +1,132 @@
+//! Moment-polymorphic function specifications.
+//!
+//! For every function `f` and restriction level `h ∈ {0, …, m}` the analysis
+//! keeps one specification `(QPre_{f,h}, QPost_{f,h})` of `h`-restricted
+//! annotations, justified by analyzing the body of `f` at level `h`
+//! (rule Q-Call-Poly / Q-Call-Mono and the elimination sequences of Ex. 2.6).
+//! Specifications of functions from already-solved call-graph components are
+//! *resolved*: their templates have been replaced by concrete polynomials.
+
+use std::collections::BTreeMap;
+
+use cma_semiring::poly::Polynomial;
+
+use crate::template::{SymInterval, SymMoment, TemplatePoly};
+
+/// A (possibly still symbolic) specification of one function at one
+/// restriction level.
+#[derive(Debug, Clone)]
+pub struct SpecEntry {
+    /// Annotation holding at the function's entry.
+    pub pre: SymMoment,
+    /// Annotation holding at the function's exit.
+    pub post: SymMoment,
+}
+
+/// A specification whose templates have been resolved to concrete interval
+/// polynomials `(lower, upper)` per moment component.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResolvedSpec {
+    /// Entry bounds per component.
+    pub pre: Vec<(Polynomial, Polynomial)>,
+    /// Exit bounds per component.
+    pub post: Vec<(Polynomial, Polynomial)>,
+}
+
+impl ResolvedSpec {
+    /// Lifts the resolved bounds back into (constant-coefficient) symbolic
+    /// annotations so later call sites can use them uniformly.
+    pub fn to_entry(&self) -> SpecEntry {
+        SpecEntry {
+            pre: lift(&self.pre),
+            post: lift(&self.post),
+        }
+    }
+}
+
+fn lift(bounds: &[(Polynomial, Polynomial)]) -> SymMoment {
+    SymMoment::from_components(
+        bounds
+            .iter()
+            .map(|(lo, hi)| SymInterval {
+                lo: TemplatePoly::from_concrete(lo),
+                hi: TemplatePoly::from_concrete(hi),
+            })
+            .collect(),
+    )
+}
+
+/// The table of specifications available while deriving a group of functions.
+#[derive(Debug, Default)]
+pub struct SpecTable {
+    entries: BTreeMap<(String, usize), SpecEntry>,
+}
+
+impl SpecTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        SpecTable::default()
+    }
+
+    /// Registers the specification of `function` at restriction level `level`.
+    pub fn insert(&mut self, function: &str, level: usize, entry: SpecEntry) {
+        self.entries.insert((function.to_string(), level), entry);
+    }
+
+    /// Looks up the specification of `function` at `level`.
+    pub fn get(&self, function: &str, level: usize) -> Option<&SpecEntry> {
+        self.entries.get(&(function.to_string(), level))
+    }
+
+    /// Whether a specification is registered.
+    pub fn contains(&self, function: &str, level: usize) -> bool {
+        self.entries.contains_key(&(function.to_string(), level))
+    }
+
+    /// Iterates over all `(function, level)` keys.
+    pub fn keys(&self) -> impl Iterator<Item = (&str, usize)> {
+        self.entries.keys().map(|(f, l)| (f.as_str(), *l))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cma_semiring::poly::Var;
+
+    fn resolved_example() -> ResolvedSpec {
+        let x = Var::new("x");
+        ResolvedSpec {
+            pre: vec![
+                (Polynomial::constant(1.0), Polynomial::constant(1.0)),
+                (Polynomial::var(x.clone()), Polynomial::var(x).scale(2.0)),
+            ],
+            post: vec![
+                (Polynomial::constant(1.0), Polynomial::constant(1.0)),
+                (Polynomial::zero(), Polynomial::zero()),
+            ],
+        }
+    }
+
+    #[test]
+    fn resolved_spec_lifts_to_constant_templates() {
+        let spec = resolved_example();
+        let entry = spec.to_entry();
+        assert_eq!(entry.pre.degree(), 1);
+        let hi = entry.pre.component(1).hi.resolve(&|_| 0.0);
+        assert_eq!(hi, Polynomial::var(Var::new("x")).scale(2.0));
+        assert!(entry.post.component(1).is_zero());
+    }
+
+    #[test]
+    fn table_insert_and_lookup() {
+        let mut table = SpecTable::new();
+        assert!(!table.contains("f", 0));
+        table.insert("f", 0, resolved_example().to_entry());
+        table.insert("f", 1, resolved_example().to_entry());
+        assert!(table.contains("f", 0));
+        assert!(table.get("f", 1).is_some());
+        assert!(table.get("g", 0).is_none());
+        assert_eq!(table.keys().count(), 2);
+    }
+}

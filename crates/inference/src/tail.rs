@@ -1,0 +1,195 @@
+//! Tail bounds from moment bounds (§5 of the paper).
+//!
+//! Given (interval) bounds on raw and central moments of a nonnegative cost
+//! `X`, concentration-of-measure inequalities yield upper bounds on tail
+//! probabilities `P[X ≥ d]`:
+//!
+//! * **Markov** (Prop. 5.1) from upper bounds on raw moments,
+//! * **Cantelli** (Prop. 5.2) from an upper bound on the variance and bounds
+//!   on the mean,
+//! * **Chebyshev** (Prop. 5.3) from upper bounds on even central moments.
+//!
+//! These are the three families plotted in Fig. 1(c) and Fig. 9.
+
+use cma_semiring::Interval;
+
+use crate::central::CentralMoments;
+
+/// A single tail-bound evaluation `P[X ≥ threshold] ≤ probability`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TailBound {
+    /// The threshold `d`.
+    pub threshold: f64,
+    /// The derived upper bound on `P[X ≥ d]`, clamped to `[0, 1]`.
+    pub probability: f64,
+}
+
+fn clamp(p: f64) -> f64 {
+    p.clamp(0.0, 1.0)
+}
+
+/// Markov's inequality using the `k`-th raw moment:
+/// `P[X ≥ d] ≤ E[X^k] / d^k` for a nonnegative `X`.
+pub fn markov_tail(raw_moment_upper: f64, k: u32, threshold: f64) -> f64 {
+    if threshold <= 0.0 {
+        return 1.0;
+    }
+    clamp(raw_moment_upper / threshold.powi(k as i32))
+}
+
+/// Cantelli's (one-sided Chebyshev) inequality:
+/// `P[X − E[X] ≥ a] ≤ V[X] / (V[X] + a²)`.
+///
+/// To bound `P[X ≥ d]` soundly we use the *upper* bound on the mean:
+/// `P[X ≥ d] ≤ P[X − E[X] ≥ d − ub(E[X])]` whenever `d > ub(E[X])`;
+/// otherwise the trivial bound 1 is returned.
+pub fn cantelli_upper_tail(variance_upper: f64, mean: Interval, threshold: f64) -> f64 {
+    let a = threshold - mean.hi();
+    if a <= 0.0 {
+        return 1.0;
+    }
+    clamp(variance_upper / (variance_upper + a * a))
+}
+
+/// Chebyshev's inequality with the `2k`-th central moment:
+/// `P[|X − E[X]| ≥ a] ≤ E[(X−E[X])^{2k}] / a^{2k}`.
+///
+/// As for Cantelli, the one-sided bound on `P[X ≥ d]` uses `a = d − ub(E[X])`.
+pub fn chebyshev_tail(central_even_upper: f64, two_k: u32, mean: Interval, threshold: f64) -> f64 {
+    let a = threshold - mean.hi();
+    if a <= 0.0 {
+        return 1.0;
+    }
+    clamp(central_even_upper / a.powi(two_k as i32))
+}
+
+/// The best (smallest) available tail bound at a threshold, combining Markov
+/// bounds from every raw moment with Cantelli and Chebyshev bounds from the
+/// central moments — this is the quantity plotted per-curve in Fig. 9.
+pub fn best_tail_bound(moments: &CentralMoments, threshold: f64) -> TailBound {
+    let mut best = 1.0f64;
+    let degree = moments.degree();
+    for k in 1..=degree {
+        best = best.min(markov_tail(moments.raw(k).hi(), k as u32, threshold));
+    }
+    if degree >= 2 {
+        best = best.min(cantelli_upper_tail(
+            moments.variance_upper(),
+            moments.mean(),
+            threshold,
+        ));
+    }
+    let mut two_k = 4;
+    while two_k <= degree {
+        if let Some(c) = moments.even_central_upper(two_k) {
+            best = best.min(chebyshev_tail(c, two_k as u32, moments.mean(), threshold));
+        }
+        two_k += 2;
+    }
+    TailBound {
+        threshold,
+        probability: best,
+    }
+}
+
+/// Evaluates a tail-bound family over a range of thresholds, producing the
+/// series plotted in Fig. 1(c)/Fig. 9.
+pub fn tail_curve(
+    moments: &CentralMoments,
+    thresholds: impl IntoIterator<Item = f64>,
+) -> Vec<TailBound> {
+    thresholds
+        .into_iter()
+        .map(|d| best_tail_bound(moments, d))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markov_matches_paper_running_example() {
+        // Fig. 1(b): E[tick] ≤ 2d+4 gives P[tick ≥ 4d] ≤ (2d+4)/(4d) → 1/2.
+        let d = 1000.0;
+        let p = markov_tail(2.0 * d + 4.0, 1, 4.0 * d);
+        assert!((p - 0.5).abs() < 1e-2);
+        // Second raw moment ≤ 4d²+22d+28 gives ≈ 1/4.
+        let p2 = markov_tail(4.0 * d * d + 22.0 * d + 28.0, 2, 4.0 * d);
+        assert!((p2 - 0.25).abs() < 1e-2);
+    }
+
+    #[test]
+    fn cantelli_matches_paper_running_example() {
+        // Eq. (10): with V[tick] ≤ 22d+28 and E[tick] ≤ 2d+4,
+        // P[tick ≥ 4d] ≤ (22d+28)/((22d+28) + (2d−4)²) → 0 as d → ∞.
+        let d = 50.0;
+        let p = cantelli_upper_tail(
+            22.0 * d + 28.0,
+            cma_semiring::Interval::new(2.0 * d, 2.0 * d + 4.0),
+            4.0 * d,
+        );
+        let expected = (22.0 * d + 28.0) / (22.0 * d + 28.0 + (2.0 * d - 4.0).powi(2));
+        assert!((p - expected).abs() < 1e-9);
+        let d_large = 1.0e6;
+        assert!(
+            cantelli_upper_tail(
+                22.0 * d_large + 28.0,
+                cma_semiring::Interval::new(2.0 * d_large, 2.0 * d_large + 4.0),
+                4.0 * d_large
+            ) < 1e-4
+        );
+    }
+
+    #[test]
+    fn chebyshev_uses_even_central_moments() {
+        let mean = cma_semiring::Interval::new(10.0, 12.0);
+        // 4th central moment ≤ 100, threshold 22: a = 10, bound = 100/10⁴ = 0.01.
+        let p = chebyshev_tail(100.0, 4, mean, 22.0);
+        assert!((p - 0.01).abs() < 1e-12);
+        // Below the mean upper bound the bound degenerates to 1.
+        assert_eq!(chebyshev_tail(100.0, 4, mean, 11.0), 1.0);
+    }
+
+    #[test]
+    fn bounds_are_clamped_to_probabilities() {
+        assert_eq!(markov_tail(50.0, 1, 10.0), 1.0);
+        assert_eq!(markov_tail(50.0, 1, 0.0), 1.0);
+        assert_eq!(markov_tail(0.0, 2, 10.0), 0.0);
+        assert_eq!(cantelli_upper_tail(4.0, cma_semiring::Interval::point(5.0), 4.0), 1.0);
+    }
+
+    #[test]
+    fn best_tail_bound_picks_the_tightest_family() {
+        // Geometric(1/2)-like moments: E=2, E[X²]=6, V=2.
+        let moments = CentralMoments::from_raw_intervals(&[
+            cma_semiring::Interval::point(1.0),
+            cma_semiring::Interval::point(2.0),
+            cma_semiring::Interval::point(6.0),
+        ]);
+        let far = best_tail_bound(&moments, 20.0);
+        // Cantelli: 2/(2+18²) ≈ 0.0061; Markov deg 2: 6/400 = 0.015.
+        assert!(far.probability < 0.01);
+        let near = best_tail_bound(&moments, 3.0);
+        assert!(near.probability <= 1.0);
+        assert_eq!(far.threshold, 20.0);
+    }
+
+    #[test]
+    fn tail_curve_is_monotone_nonincreasing() {
+        let moments = CentralMoments::from_raw_intervals(&[
+            cma_semiring::Interval::point(1.0),
+            cma_semiring::Interval::point(4.0),
+            cma_semiring::Interval::point(20.0),
+            cma_semiring::Interval::point(120.0),
+            cma_semiring::Interval::point(850.0),
+        ]);
+        let curve = tail_curve(&moments, (1..=20).map(|i| i as f64 * 2.0));
+        assert_eq!(curve.len(), 20);
+        for pair in curve.windows(2) {
+            assert!(pair[1].probability <= pair[0].probability + 1e-12);
+        }
+        // With the 4th central moment available, far tails decay fast.
+        assert!(curve.last().unwrap().probability < 0.05);
+    }
+}

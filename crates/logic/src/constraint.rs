@@ -1,0 +1,361 @@
+//! Linear expressions and constraints over program variables.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use cma_appl::ast::{Cond, Expr};
+use cma_semiring::poly::{Monomial, Polynomial, Var};
+
+/// An affine expression `Σ cᵢ·xᵢ + c₀` over program variables.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct LinExpr {
+    coeffs: BTreeMap<Var, f64>,
+    constant: f64,
+}
+
+impl LinExpr {
+    /// The zero expression.
+    pub fn zero() -> Self {
+        LinExpr::default()
+    }
+
+    /// The constant expression `c`.
+    pub fn constant(c: f64) -> Self {
+        LinExpr {
+            coeffs: BTreeMap::new(),
+            constant: c,
+        }
+    }
+
+    /// The expression `v`.
+    pub fn var(v: Var) -> Self {
+        let mut coeffs = BTreeMap::new();
+        coeffs.insert(v, 1.0);
+        LinExpr {
+            coeffs,
+            constant: 0.0,
+        }
+    }
+
+    /// Converts a polynomial of degree ≤ 1 into a linear expression.
+    ///
+    /// Returns `None` if the polynomial has degree > 1.
+    pub fn from_polynomial(p: &Polynomial) -> Option<LinExpr> {
+        if p.degree() > 1 {
+            return None;
+        }
+        let mut result = LinExpr::zero();
+        for (m, c) in p.terms() {
+            if m.is_unit() {
+                result.constant += c;
+            } else {
+                let v = m.vars().next().expect("degree-1 monomial has a variable");
+                *result.coeffs.entry(v.clone()).or_insert(0.0) += c;
+            }
+        }
+        result.normalize();
+        Some(result)
+    }
+
+    /// Converts an Appl expression if it is linear.
+    pub fn from_expr(e: &Expr) -> Option<LinExpr> {
+        LinExpr::from_polynomial(&e.to_polynomial())
+    }
+
+    fn normalize(&mut self) {
+        self.coeffs.retain(|_, c| *c != 0.0);
+    }
+
+    /// The constant term.
+    pub fn constant_term(&self) -> f64 {
+        self.constant
+    }
+
+    /// The coefficient of a variable (0 if absent).
+    pub fn coefficient(&self, v: &Var) -> f64 {
+        self.coeffs.get(v).copied().unwrap_or(0.0)
+    }
+
+    /// Variables with non-zero coefficients.
+    pub fn vars(&self) -> impl Iterator<Item = &Var> {
+        self.coeffs.keys()
+    }
+
+    /// Whether the expression mentions `v`.
+    pub fn mentions(&self, v: &Var) -> bool {
+        self.coeffs.contains_key(v)
+    }
+
+    /// Whether the expression is a constant.
+    pub fn is_constant(&self) -> bool {
+        self.coeffs.is_empty()
+    }
+
+    /// Sum of two expressions.
+    pub fn add(&self, other: &LinExpr) -> LinExpr {
+        let mut result = self.clone();
+        for (v, c) in &other.coeffs {
+            *result.coeffs.entry(v.clone()).or_insert(0.0) += c;
+        }
+        result.constant += other.constant;
+        result.normalize();
+        result
+    }
+
+    /// Difference of two expressions.
+    pub fn sub(&self, other: &LinExpr) -> LinExpr {
+        self.add(&other.scale(-1.0))
+    }
+
+    /// Scales the expression by `c`.
+    pub fn scale(&self, c: f64) -> LinExpr {
+        if c == 0.0 {
+            return LinExpr::zero();
+        }
+        LinExpr {
+            coeffs: self.coeffs.iter().map(|(v, k)| (v.clone(), k * c)).collect(),
+            constant: self.constant * c,
+        }
+    }
+
+    /// Substitutes `v := replacement` (the replacement must be affine).
+    pub fn substitute(&self, v: &Var, replacement: &LinExpr) -> LinExpr {
+        let coeff = self.coefficient(v);
+        if coeff == 0.0 {
+            return self.clone();
+        }
+        let mut without = self.clone();
+        without.coeffs.remove(v);
+        without.add(&replacement.scale(coeff))
+    }
+
+    /// Evaluates the expression under a valuation.
+    pub fn eval(&self, valuation: &dyn Fn(&Var) -> f64) -> f64 {
+        self.constant
+            + self
+                .coeffs
+                .iter()
+                .map(|(v, c)| c * valuation(v))
+                .sum::<f64>()
+    }
+
+    /// Converts the expression to a polynomial.
+    pub fn to_polynomial(&self) -> Polynomial {
+        let mut terms: Vec<(Monomial, f64)> = vec![(Monomial::unit(), self.constant)];
+        for (v, c) in &self.coeffs {
+            terms.push((Monomial::var(v.clone()), *c));
+        }
+        Polynomial::from_terms(terms)
+    }
+}
+
+impl fmt::Display for LinExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_polynomial())
+    }
+}
+
+/// A linear constraint in the normalized form `expr ≥ 0`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearConstraint {
+    expr: LinExpr,
+}
+
+impl LinearConstraint {
+    /// The constraint `expr ≥ 0`.
+    pub fn nonneg(expr: LinExpr) -> Self {
+        LinearConstraint { expr }
+    }
+
+    /// The constraint `lhs ≤ rhs` (as `rhs − lhs ≥ 0`), if both are linear.
+    pub fn le(lhs: &Expr, rhs: &Expr) -> Option<Self> {
+        let l = LinExpr::from_expr(lhs)?;
+        let r = LinExpr::from_expr(rhs)?;
+        Some(LinearConstraint::nonneg(r.sub(&l)))
+    }
+
+    /// The underlying nonnegative expression.
+    pub fn expr(&self) -> &LinExpr {
+        &self.expr
+    }
+
+    /// Whether the constraint mentions `v`.
+    pub fn mentions(&self, v: &Var) -> bool {
+        self.expr.mentions(v)
+    }
+
+    /// Whether the constraint holds under a valuation (with tolerance).
+    pub fn holds(&self, valuation: &dyn Fn(&Var) -> f64) -> bool {
+        self.expr.eval(valuation) >= -1e-9
+    }
+
+    /// Whether the constraint is trivially true (a nonnegative constant).
+    pub fn is_trivial(&self) -> bool {
+        self.expr.is_constant() && self.expr.constant_term() >= 0.0
+    }
+
+    /// Whether the constraint is trivially false (a negative constant).
+    pub fn is_contradiction(&self) -> bool {
+        self.expr.is_constant() && self.expr.constant_term() < 0.0
+    }
+
+    /// Substitutes `v := replacement` in the constraint.
+    pub fn substitute(&self, v: &Var, replacement: &LinExpr) -> LinearConstraint {
+        LinearConstraint {
+            expr: self.expr.substitute(v, replacement),
+        }
+    }
+}
+
+impl fmt::Display for LinearConstraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} >= 0", self.expr)
+    }
+}
+
+/// Extracts the linear facts implied by an Appl condition, dropping anything
+/// non-linear or disjunctive (dropping facts is always sound for a context).
+///
+/// Strict comparisons are relaxed to their non-strict counterparts, matching
+/// the treatment of logical contexts in the paper's implementation.
+pub fn conjuncts_of(cond: &Cond) -> Vec<LinearConstraint> {
+    let mut result = Vec::new();
+    collect(cond, false, &mut result);
+    result
+}
+
+fn collect(cond: &Cond, negated: bool, out: &mut Vec<LinearConstraint>) {
+    match cond {
+        Cond::True => {}
+        Cond::Not(inner) => collect(inner, !negated, out),
+        Cond::And(a, b) => {
+            if !negated {
+                collect(a, false, out);
+                collect(b, false, out);
+            }
+            // A negated conjunction is a disjunction; no linear fact is kept.
+        }
+        Cond::Le(a, b) | Cond::Lt(a, b) => {
+            let (lhs, rhs) = if negated { (&**b, &**a) } else { (&**a, &**b) };
+            if let Some(c) = LinearConstraint::le(lhs, rhs) {
+                out.push(c);
+            }
+        }
+        Cond::Ge(a, b) | Cond::Gt(a, b) => {
+            let (lhs, rhs) = if negated { (&**a, &**b) } else { (&**b, &**a) };
+            if let Some(c) = LinearConstraint::le(lhs, rhs) {
+                out.push(c);
+            }
+        }
+        Cond::Eq(a, b) => {
+            if !negated {
+                if let Some(c) = LinearConstraint::le(a, b) {
+                    out.push(c);
+                }
+                if let Some(c) = LinearConstraint::le(b, a) {
+                    out.push(c);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cma_appl::build::*;
+
+    fn x() -> Var {
+        Var::new("x")
+    }
+    fn d() -> Var {
+        Var::new("d")
+    }
+
+    #[test]
+    fn linexpr_arithmetic() {
+        let e = LinExpr::var(x()).scale(2.0).add(&LinExpr::constant(3.0));
+        assert_eq!(e.coefficient(&x()), 2.0);
+        assert_eq!(e.constant_term(), 3.0);
+        let f = e.sub(&LinExpr::var(d()));
+        assert_eq!(f.coefficient(&d()), -1.0);
+        assert_eq!(f.eval(&|v| if *v == x() { 1.0 } else { 4.0 }), 1.0);
+        assert!(f.mentions(&d()));
+        assert!(!LinExpr::constant(5.0).mentions(&d()));
+        assert!(LinExpr::constant(5.0).is_constant());
+    }
+
+    #[test]
+    fn from_polynomial_rejects_nonlinear() {
+        let quadratic = Polynomial::var(x()).pow(2);
+        assert!(LinExpr::from_polynomial(&quadratic).is_none());
+        let linear = Polynomial::var(x()).scale(3.0).add(&Polynomial::constant(1.0));
+        let e = LinExpr::from_polynomial(&linear).unwrap();
+        assert_eq!(e.coefficient(&x()), 3.0);
+    }
+
+    #[test]
+    fn from_expr_and_roundtrip_polynomial() {
+        let e = LinExpr::from_expr(&sub(v("d"), v("x"))).unwrap();
+        let p = e.to_polynomial();
+        assert_eq!(p.eval(&|var| if *var == x() { 2.0 } else { 5.0 }), 3.0);
+        assert!(LinExpr::from_expr(&mul(v("x"), v("x"))).is_none());
+    }
+
+    #[test]
+    fn substitution_is_affine_composition() {
+        // e = 2x + y; x := y - 1  =>  2y - 2 + y = 3y - 2
+        let e = LinExpr::var(x()).scale(2.0).add(&LinExpr::var(Var::new("y")));
+        let replacement = LinExpr::var(Var::new("y")).sub(&LinExpr::constant(1.0));
+        let s = e.substitute(&x(), &replacement);
+        assert_eq!(s.coefficient(&Var::new("y")), 3.0);
+        assert_eq!(s.constant_term(), -2.0);
+        // Substituting an absent variable is the identity.
+        assert_eq!(e.substitute(&Var::new("z"), &replacement), e);
+    }
+
+    #[test]
+    fn constraint_construction_and_satisfaction() {
+        // x < d  =>  d - x >= 0
+        let c = conjuncts_of(&lt(v("x"), v("d")));
+        assert_eq!(c.len(), 1);
+        assert!(c[0].holds(&|var| if *var == x() { 1.0 } else { 3.0 }));
+        assert!(!c[0].holds(&|var| if *var == x() { 5.0 } else { 3.0 }));
+        assert_eq!(c[0].to_string(), "d - x >= 0");
+    }
+
+    #[test]
+    fn conjuncts_handle_all_comparison_forms() {
+        let cond = and(
+            and(ge(v("x"), cst(0.0)), gt(v("d"), cst(1.0))),
+            and(le(v("x"), v("d")), eq(v("y"), cst(2.0))),
+        );
+        let cs = conjuncts_of(&cond);
+        // ge, gt, le contribute one each; eq contributes two.
+        assert_eq!(cs.len(), 5);
+    }
+
+    #[test]
+    fn negation_flips_comparisons() {
+        // not (x <= d)  =>  x - d >= 0 (relaxed from x > d)
+        let cs = conjuncts_of(&not(le(v("x"), v("d"))));
+        assert_eq!(cs.len(), 1);
+        assert_eq!(cs[0].expr().coefficient(&x()), 1.0);
+        assert_eq!(cs[0].expr().coefficient(&d()), -1.0);
+        // A negated conjunction yields no facts.
+        assert!(conjuncts_of(&not(and(tt(), tt()))).is_empty());
+    }
+
+    #[test]
+    fn nonlinear_comparisons_are_dropped() {
+        let cs = conjuncts_of(&le(mul(v("x"), v("x")), cst(4.0)));
+        assert!(cs.is_empty());
+    }
+
+    #[test]
+    fn trivial_and_contradictory_constraints() {
+        assert!(LinearConstraint::nonneg(LinExpr::constant(1.0)).is_trivial());
+        assert!(LinearConstraint::nonneg(LinExpr::constant(-1.0)).is_contradiction());
+        assert!(!LinearConstraint::nonneg(LinExpr::var(x())).is_trivial());
+    }
+}

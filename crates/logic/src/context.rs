@@ -1,0 +1,693 @@
+//! Logical contexts `Γ`: conjunctions of linear facts about reachable states.
+//!
+//! A context is updated *forward* through statements (guards add facts,
+//! assignments substitute or drop facts, sampling adds support bounds, calls
+//! havoc the callee's modified variables) and consumed by the weakening rule,
+//! which expresses slack polynomials as conical combinations of products of
+//! the context's constraints (Handelman certificates).
+
+use std::collections::BTreeSet;
+
+use cma_appl::ast::{Cond, Expr, Stmt};
+use cma_appl::dist::Dist;
+use cma_appl::Program;
+use cma_semiring::poly::{Polynomial, Var};
+
+use crate::constraint::{conjuncts_of, LinExpr, LinearConstraint};
+
+/// A logical context: the conjunction of a finite set of linear constraints
+/// `eᵢ ≥ 0` over program variables.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Context {
+    constraints: Vec<LinearConstraint>,
+}
+
+impl Context {
+    /// The empty (trivially true) context.
+    pub fn top() -> Self {
+        Context::default()
+    }
+
+    /// Builds a context from a conjunction of Appl conditions (non-linear
+    /// parts are dropped, which is sound).
+    pub fn from_conditions(conds: &[Cond]) -> Self {
+        let mut ctx = Context::top();
+        for c in conds {
+            ctx.assume(c);
+        }
+        ctx
+    }
+
+    /// The constraints of the context.
+    pub fn constraints(&self) -> &[LinearConstraint] {
+        &self.constraints
+    }
+
+    /// Number of constraints.
+    pub fn len(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Whether the context contains no constraints.
+    pub fn is_empty(&self) -> bool {
+        self.constraints.is_empty()
+    }
+
+    /// Adds a raw constraint, dropping trivial duplicates.
+    pub fn add_constraint(&mut self, c: LinearConstraint) {
+        if c.is_trivial() || self.constraints.contains(&c) {
+            return;
+        }
+        self.constraints.push(c);
+    }
+
+    /// Conjoins the linear facts of an Appl condition.
+    pub fn assume(&mut self, cond: &Cond) {
+        for c in conjuncts_of(cond) {
+            self.add_constraint(c);
+        }
+    }
+
+    /// Returns a copy of the context extended with a condition.
+    pub fn and(&self, cond: &Cond) -> Context {
+        let mut ctx = self.clone();
+        ctx.assume(cond);
+        ctx
+    }
+
+    /// Removes every constraint that mentions any of `vars`.
+    pub fn havoc(&mut self, vars: &BTreeSet<Var>) {
+        self.constraints
+            .retain(|c| !vars.iter().any(|v| c.mentions(v)));
+    }
+
+    /// Updates the context across the assignment `x := e`.
+    ///
+    /// If `e` is affine with a non-zero coefficient on `x`, the assignment is
+    /// invertible and existing facts are rewritten; otherwise facts mentioning
+    /// `x` are dropped.  When `e` is affine, the equality `x = e` over the
+    /// *old* values is retained in the invertible case and added in the
+    /// non-self-referential case.
+    pub fn assign(&mut self, x: &Var, e: &Expr) {
+        let rhs = LinExpr::from_expr(e);
+        match rhs {
+            Some(rhs) => {
+                let a = rhs.coefficient(x);
+                if a != 0.0 {
+                    // Invertible update: old_x = (new_x - rest) / a.
+                    let mut rest = rhs.clone();
+                    let rest_without_x = {
+                        let mut r = LinExpr::zero();
+                        for v in rest.vars() {
+                            if v != x {
+                                r = r.add(&LinExpr::var(v.clone()).scale(rest.coefficient(v)));
+                            }
+                        }
+                        r.add(&LinExpr::constant(rest.constant_term()))
+                    };
+                    rest = rest_without_x;
+                    let inverse = LinExpr::var(x.clone()).sub(&rest).scale(1.0 / a);
+                    self.constraints = self
+                        .constraints
+                        .iter()
+                        .map(|c| c.substitute(x, &inverse))
+                        .filter(|c| !c.is_trivial())
+                        .collect();
+                } else {
+                    // Non-self-referential: drop old facts about x, add x = e.
+                    let vars: BTreeSet<Var> = [x.clone()].into_iter().collect();
+                    self.havoc(&vars);
+                    self.add_constraint(LinearConstraint::nonneg(
+                        LinExpr::var(x.clone()).sub(&rhs),
+                    ));
+                    self.add_constraint(LinearConstraint::nonneg(
+                        rhs.sub(&LinExpr::var(x.clone())),
+                    ));
+                }
+            }
+            None => {
+                let vars: BTreeSet<Var> = [x.clone()].into_iter().collect();
+                self.havoc(&vars);
+            }
+        }
+    }
+
+    /// Updates the context across the sampling statement `x ~ d`.
+    pub fn sample(&mut self, x: &Var, d: &Dist) {
+        let vars: BTreeSet<Var> = [x.clone()].into_iter().collect();
+        self.havoc(&vars);
+        let (lo, hi) = d.support();
+        if lo.is_finite() {
+            self.add_constraint(LinearConstraint::nonneg(
+                LinExpr::var(x.clone()).sub(&LinExpr::constant(lo)),
+            ));
+        }
+        if hi.is_finite() {
+            self.add_constraint(LinearConstraint::nonneg(
+                LinExpr::constant(hi).sub(&LinExpr::var(x.clone())),
+            ));
+        }
+    }
+
+    /// The join of two contexts for branch merges: a fact is kept when the
+    /// *other* context entails it (so the result holds on both branches).
+    pub fn join(&self, other: &Context) -> Context {
+        let mut result = Context::top();
+        for c in &self.constraints {
+            if other.entails(c) {
+                result.add_constraint(c.clone());
+            }
+        }
+        for c in &other.constraints {
+            if self.entails(c) {
+                result.add_constraint(c.clone());
+            }
+        }
+        result
+    }
+
+    /// Whether every constraint holds under a valuation.
+    pub fn holds(&self, valuation: &dyn Fn(&Var) -> f64) -> bool {
+        self.constraints.iter().all(|c| c.holds(valuation))
+    }
+
+    /// All products of context constraints (as polynomials) with total degree
+    /// at most `degree`, including the constant polynomial `1`.
+    ///
+    /// Every conical combination of these products is nonnegative wherever the
+    /// context holds; the weakening rule searches for slack polynomials in
+    /// this cone (Handelman representation).
+    pub fn certificate_products(&self, degree: u32) -> Vec<Polynomial> {
+        let base: Vec<Polynomial> = self
+            .constraints
+            .iter()
+            .map(|c| c.expr().to_polynomial())
+            .collect();
+        let mut products = vec![Polynomial::constant(1.0)];
+        // Breadth-first expansion by repeatedly multiplying with base factors.
+        let mut frontier = vec![Polynomial::constant(1.0)];
+        for _ in 0..degree {
+            let mut next = Vec::new();
+            for p in &frontier {
+                for b in &base {
+                    let candidate = p.mul(b);
+                    if candidate.degree() <= degree
+                        && !products.contains(&candidate)
+                        && !next.contains(&candidate)
+                    {
+                        next.push(candidate);
+                    }
+                }
+            }
+            products.extend(next.clone());
+            frontier = next;
+            if frontier.is_empty() {
+                break;
+            }
+        }
+        products
+    }
+
+    /// Computes the post-context of executing `stmt` from this context.
+    ///
+    /// Loops and branches are handled conservatively (modified variables are
+    /// havocked, guard information is added where sound); calls havoc every
+    /// variable the callee may transitively modify.
+    pub fn after_stmt(&self, stmt: &Stmt, program: &Program) -> Context {
+        match stmt {
+            Stmt::Skip | Stmt::Tick(_) => self.clone(),
+            Stmt::Assign(x, e) => {
+                let mut ctx = self.clone();
+                ctx.assign(x, e);
+                ctx
+            }
+            Stmt::Sample(x, d) => {
+                let mut ctx = self.clone();
+                ctx.sample(x, d);
+                ctx
+            }
+            Stmt::Call(f) => {
+                let mut ctx = self.clone();
+                ctx.havoc(&transitively_modified(program, f));
+                // The callee's own entry precondition does not constrain the
+                // *post* state, so nothing is added back.
+                ctx
+            }
+            Stmt::If(c, s1, s2) => {
+                let then_ctx = self.and(c).after_stmt(s1, program);
+                let else_ctx = self.and(&c.negate()).after_stmt(s2, program);
+                then_ctx.join(&else_ctx)
+            }
+            Stmt::IfProb(_, s1, s2) => {
+                let a = self.after_stmt(s1, program);
+                let b = self.after_stmt(s2, program);
+                a.join(&b)
+            }
+            Stmt::While(c, body) => {
+                // The post-context of a loop is the inferred loop-head
+                // invariant conjoined with the negated guard.
+                self.loop_head_invariant(c, body, program).and(&c.negate())
+            }
+            Stmt::Seq(stmts) => {
+                let mut ctx = self.clone();
+                for s in stmts {
+                    ctx = ctx.after_stmt(s, program);
+                }
+                ctx
+            }
+        }
+    }
+
+    /// The context available at the head of a loop body: the inferred loop
+    /// invariant conjoined with the guard.
+    pub fn loop_body_entry(&self, guard: &Cond, body: &Stmt, program: &Program) -> Context {
+        self.loop_head_invariant(guard, body, program).and(guard)
+    }
+
+    /// Whether the context logically entails `goal` (checked with a small LP:
+    /// the minimum of `goal`'s expression over the context is non-negative).
+    ///
+    /// Returns `true` when the context is infeasible (vacuous entailment) and
+    /// `false` when the minimum is negative or unbounded below.
+    pub fn entails(&self, goal: &LinearConstraint) -> bool {
+        if goal.is_trivial() {
+            return true;
+        }
+        // Collect the variables involved.
+        let mut vars: BTreeSet<Var> = goal.expr().vars().cloned().collect();
+        for c in &self.constraints {
+            vars.extend(c.expr().vars().cloned());
+        }
+        let mut lp = cma_lp::LpProblem::new();
+        let lp_vars: std::collections::BTreeMap<Var, cma_lp::LpVarId> = vars
+            .iter()
+            .map(|v| (v.clone(), lp.add_var(v.name(), true)))
+            .collect();
+        let to_terms = |e: &LinExpr| -> Vec<(cma_lp::LpVarId, f64)> {
+            e.vars()
+                .map(|v| (lp_vars[v], e.coefficient(v)))
+                .collect()
+        };
+        for c in &self.constraints {
+            lp.add_constraint(
+                to_terms(c.expr()),
+                cma_lp::Cmp::Ge,
+                -c.expr().constant_term(),
+            );
+        }
+        lp.set_objective(to_terms(goal.expr()));
+        let sol = lp.solve();
+        match sol.status {
+            cma_lp::LpStatus::Optimal => {
+                sol.objective + goal.expr().constant_term() >= -1e-7
+            }
+            cma_lp::LpStatus::Infeasible => true,
+            _ => false,
+        }
+    }
+
+    /// Infers a loop-head invariant context: the subset of candidate facts
+    /// that hold on entry and are preserved by one iteration of the body under
+    /// the guard (a fixpoint of the filtering step).
+    ///
+    /// Candidates are the facts of the incoming context plus guard facts
+    /// relaxed by the body's bounded per-iteration change — the role played by
+    /// the APRON-based numeric analysis in the paper's implementation.
+    pub fn loop_head_invariant(&self, guard: &Cond, body: &Stmt, program: &Program) -> Context {
+        let mut candidates: Vec<LinearConstraint> = self.constraints.clone();
+        // Relaxed guard facts: if an iteration can decrease a guard expression
+        // g by at most δ, then g ≥ −δ holds at every loop head reached from a
+        // state inside the loop; it must also hold initially to be invariant,
+        // which the fixpoint's entry check establishes.
+        let steps = per_iteration_change(body, program);
+        for g in conjuncts_of(guard) {
+            let mut worst_decrease = 0.0f64;
+            let mut bounded = true;
+            for v in g.expr().vars() {
+                let coeff = g.expr().coefficient(v);
+                match steps.get(v) {
+                    Some(Some(interval)) => {
+                        let delta = if coeff >= 0.0 {
+                            coeff * interval.lo()
+                        } else {
+                            coeff * interval.hi()
+                        };
+                        worst_decrease += delta.min(0.0);
+                    }
+                    Some(None) => {
+                        bounded = false;
+                        break;
+                    }
+                    None => {}
+                }
+            }
+            if bounded {
+                candidates.push(LinearConstraint::nonneg(
+                    g.expr().add(&LinExpr::constant(-worst_decrease)),
+                ));
+            }
+        }
+        candidates.retain(|c| !c.is_trivial());
+        candidates.dedup();
+
+        // Keep only facts that hold on entry.
+        candidates.retain(|c| self.entails(c));
+        // Filter to an inductive subset.
+        loop {
+            let head = Context {
+                constraints: candidates.clone(),
+            };
+            let after = head.and(guard).after_stmt(body, program);
+            let kept: Vec<LinearConstraint> = candidates
+                .iter()
+                .filter(|c| after.entails(c))
+                .cloned()
+                .collect();
+            if kept.len() == candidates.len() {
+                break;
+            }
+            candidates = kept;
+        }
+        Context {
+            constraints: candidates,
+        }
+    }
+}
+
+/// The per-iteration change of each variable modified by `body`, as an
+/// interval when it is syntactically bounded (`x := x + c`, `x := x + noise`
+/// with bounded-support noise), `None` when unbounded.
+fn per_iteration_change(
+    body: &Stmt,
+    program: &Program,
+) -> std::collections::BTreeMap<Var, Option<cma_semiring::Interval>> {
+    use cma_semiring::Interval;
+    // Support intervals of variables sampled within the body.
+    let mut sampled: std::collections::BTreeMap<Var, Interval> = Default::default();
+    collect_sampled(body, &mut sampled);
+
+    let mut changes: std::collections::BTreeMap<Var, Option<Interval>> = Default::default();
+    accumulate_changes(body, program, &sampled, &mut changes);
+    changes
+}
+
+fn collect_sampled(stmt: &Stmt, out: &mut std::collections::BTreeMap<Var, cma_semiring::Interval>) {
+    match stmt {
+        Stmt::Sample(x, d) => {
+            let (lo, hi) = d.support();
+            if lo.is_finite() && hi.is_finite() {
+                out.insert(x.clone(), cma_semiring::Interval::new(lo, hi));
+            }
+        }
+        Stmt::If(_, a, b) | Stmt::IfProb(_, a, b) => {
+            collect_sampled(a, out);
+            collect_sampled(b, out);
+        }
+        Stmt::While(_, s) => collect_sampled(s, out),
+        Stmt::Seq(ss) => {
+            for s in ss {
+                collect_sampled(s, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+fn accumulate_changes(
+    stmt: &Stmt,
+    program: &Program,
+    sampled: &std::collections::BTreeMap<Var, cma_semiring::Interval>,
+    out: &mut std::collections::BTreeMap<Var, Option<cma_semiring::Interval>>,
+) {
+    use cma_semiring::Interval;
+    let mut record = |v: &Var, delta: Option<Interval>| {
+        let entry = out.entry(v.clone()).or_insert_with(|| Some(Interval::point(0.0)));
+        *entry = match (entry.clone(), delta) {
+            (Some(acc), Some(d)) => Some(acc.add(d).join(acc)),
+            _ => None,
+        };
+    };
+    match stmt {
+        Stmt::Assign(x, e) => {
+            // delta = e - x must be a constant plus bounded sampled variables.
+            let delta_poly = e
+                .to_polynomial()
+                .sub(&cma_semiring::poly::Polynomial::var(x.clone()));
+            if delta_poly.degree() > 1 {
+                record(x, None);
+                return;
+            }
+            let mut interval = Interval::point(0.0);
+            let mut bounded = true;
+            for (m, c) in delta_poly.terms() {
+                if m.is_unit() {
+                    interval = interval.add(Interval::point(c));
+                } else {
+                    let v = m.vars().next().expect("degree-1 monomial");
+                    match sampled.get(v) {
+                        Some(range) => interval = interval.add(range.scale(c)),
+                        None => {
+                            bounded = false;
+                            break;
+                        }
+                    }
+                }
+            }
+            record(x, if bounded { Some(interval) } else { None });
+        }
+        Stmt::Sample(x, _) => {
+            // The absolute change of a freshly sampled variable is unbounded in
+            // general (it depends on the previous value).
+            record(x, None);
+        }
+        Stmt::Call(f) => {
+            for v in transitively_modified(program, f) {
+                record(&v, None);
+            }
+        }
+        Stmt::If(_, a, b) | Stmt::IfProb(_, a, b) => {
+            accumulate_changes(a, program, sampled, out);
+            accumulate_changes(b, program, sampled, out);
+        }
+        Stmt::While(_, s) => {
+            // Nested loops can iterate arbitrarily often.
+            for v in s.modified_vars() {
+                record(&v, None);
+            }
+        }
+        Stmt::Seq(ss) => {
+            for s in ss {
+                accumulate_changes(s, program, sampled, out);
+            }
+        }
+        Stmt::Skip | Stmt::Tick(_) => {}
+    }
+}
+
+/// Variables modified by `stmt`, including those modified by called functions.
+pub fn modified_with_calls(program: &Program, stmt: &Stmt) -> BTreeSet<Var> {
+    let mut vars = stmt.modified_vars();
+    for f in stmt.called_functions() {
+        vars.extend(transitively_modified(program, &f));
+    }
+    vars
+}
+
+/// Variables transitively modified by the body of function `f`.
+pub fn transitively_modified(program: &Program, f: &str) -> BTreeSet<Var> {
+    let mut visited = BTreeSet::new();
+    let mut result = BTreeSet::new();
+    let mut stack = vec![f.to_string()];
+    while let Some(name) = stack.pop() {
+        if !visited.insert(name.clone()) {
+            continue;
+        }
+        if let Some(func) = program.function(&name) {
+            result.extend(func.body().modified_vars());
+            stack.extend(func.body().called_functions());
+        }
+    }
+    result
+}
+
+impl std::fmt::Display for Context {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.constraints.is_empty() {
+            return write!(f, "true");
+        }
+        for (i, c) in self.constraints.iter().enumerate() {
+            if i > 0 {
+                write!(f, " /\\ ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cma_appl::build::*;
+
+    fn x() -> Var {
+        Var::new("x")
+    }
+    fn d() -> Var {
+        Var::new("d")
+    }
+
+    fn empty_program() -> Program {
+        ProgramBuilder::new().build().unwrap()
+    }
+
+    #[test]
+    fn assume_and_holds() {
+        let mut ctx = Context::top();
+        assert!(ctx.is_empty());
+        ctx.assume(&lt(v("x"), v("d")));
+        ctx.assume(&ge(v("x"), cst(0.0)));
+        assert_eq!(ctx.len(), 2);
+        assert!(ctx.holds(&|var| if *var == x() { 1.0 } else { 2.0 }));
+        assert!(!ctx.holds(&|var| if *var == x() { -1.0 } else { 2.0 }));
+        // Duplicate facts are not added twice.
+        ctx.assume(&lt(v("x"), v("d")));
+        assert_eq!(ctx.len(), 2);
+    }
+
+    #[test]
+    fn invertible_assignment_rewrites_facts() {
+        // Γ = {d - x >= 0}; after x := x + t the fact becomes d - x + t >= 0.
+        let mut ctx = Context::top();
+        ctx.assume(&le(v("x"), v("d")));
+        ctx.assign(&x(), &add(v("x"), v("t")));
+        assert_eq!(ctx.len(), 1);
+        let c = &ctx.constraints()[0];
+        assert_eq!(c.expr().coefficient(&x()), -1.0);
+        assert_eq!(c.expr().coefficient(&Var::new("t")), 1.0);
+        assert_eq!(c.expr().coefficient(&d()), 1.0);
+    }
+
+    #[test]
+    fn non_self_referential_assignment_adds_equality() {
+        let mut ctx = Context::top();
+        ctx.assume(&le(v("x"), cst(5.0)));
+        ctx.assign(&x(), &cst(0.0));
+        // Old fact dropped; x = 0 recorded as two inequalities.
+        assert_eq!(ctx.len(), 2);
+        assert!(ctx.holds(&|_| 0.0));
+        assert!(!ctx.holds(&|_| 1.0));
+    }
+
+    #[test]
+    fn nonlinear_assignment_havocs() {
+        let mut ctx = Context::top();
+        ctx.assume(&le(v("x"), cst(5.0)));
+        ctx.assume(&le(v("y"), cst(2.0)));
+        ctx.assign(&x(), &mul(v("x"), v("x")));
+        assert_eq!(ctx.len(), 1);
+        assert!(!ctx.constraints()[0].mentions(&x()));
+    }
+
+    #[test]
+    fn sampling_adds_support_bounds() {
+        let mut ctx = Context::top();
+        ctx.assume(&le(v("t"), cst(100.0)));
+        ctx.sample(&Var::new("t"), &Dist::Uniform(-1.0, 2.0));
+        assert_eq!(ctx.len(), 2);
+        assert!(ctx.holds(&|_| 0.0));
+        assert!(!ctx.holds(&|_| 3.0));
+    }
+
+    #[test]
+    fn join_keeps_common_facts() {
+        let mut a = Context::top();
+        a.assume(&ge(v("x"), cst(0.0)));
+        a.assume(&le(v("x"), cst(5.0)));
+        let mut b = Context::top();
+        b.assume(&ge(v("x"), cst(0.0)));
+        let j = a.join(&b);
+        assert_eq!(j.len(), 1);
+    }
+
+    #[test]
+    fn certificate_products_include_constant_and_pairs() {
+        let mut ctx = Context::top();
+        ctx.assume(&ge(v("x"), cst(0.0)));
+        ctx.assume(&le(v("x"), v("d")));
+        let products = ctx.certificate_products(2);
+        // 1, x, d-x, x², x(d-x), (d-x)² — six distinct products.
+        assert_eq!(products.len(), 6);
+        assert!(products.contains(&Polynomial::constant(1.0)));
+        // Degree-1 request excludes the quadratic products.
+        assert_eq!(ctx.certificate_products(1).len(), 3);
+    }
+
+    #[test]
+    fn after_stmt_threads_contexts_through_control_flow() {
+        let program = ProgramBuilder::new()
+            .function("f", assign("x", cst(0.0)))
+            .main(skip())
+            .build()
+            .unwrap();
+        let mut ctx = Context::top();
+        ctx.assume(&ge(v("d"), cst(1.0)));
+        ctx.assume(&ge(v("x"), cst(0.0)));
+
+        // A call havocs variables the callee modifies.
+        let after_call = ctx.after_stmt(&call("f"), &program);
+        assert_eq!(after_call.len(), 1);
+
+        // A sequence of assignments updates facts.
+        let after_seq = ctx.after_stmt(&seq([assign("x", add(v("x"), cst(1.0)))]), &program);
+        assert!(after_seq.holds(&|var| if *var == x() { 1.0 } else { 1.0 }));
+
+        // A conditional joins branch facts; here both branches keep d >= 1.
+        let branchy = if_then_else(lt(v("x"), cst(3.0)), assign("x", cst(1.0)), skip());
+        let after_if = ctx.after_stmt(&branchy, &program);
+        assert!(after_if.constraints().iter().any(|c| c.mentions(&d())));
+
+        // A loop havocs modified variables and adds the negated guard.
+        let loop_stmt = while_loop(lt(v("x"), v("d")), assign("x", add(v("x"), cst(1.0))));
+        let after_loop = ctx.after_stmt(&loop_stmt, &empty_program());
+        assert!(after_loop
+            .constraints()
+            .iter()
+            .any(|c| c.expr().coefficient(&x()) == 1.0 && c.expr().coefficient(&d()) == -1.0));
+    }
+
+    #[test]
+    fn loop_body_entry_adds_guard() {
+        let ctx = Context::from_conditions(&[ge(v("n"), cst(0.0))]);
+        let body = assign("x", add(v("x"), cst(1.0)));
+        let entry = ctx.loop_body_entry(&lt(v("x"), v("n")), &body, &empty_program());
+        assert!(entry
+            .constraints()
+            .iter()
+            .any(|c| c.expr().coefficient(&x()) == -1.0));
+    }
+
+    #[test]
+    fn transitive_modification_follows_call_chains() {
+        let program = ProgramBuilder::new()
+            .function("a", seq([assign("x", cst(1.0)), call("b")]))
+            .function("b", sample("y", uniform(0.0, 1.0)))
+            .main(call("a"))
+            .build()
+            .unwrap();
+        let vars = transitively_modified(&program, "a");
+        assert!(vars.contains(&Var::new("x")));
+        assert!(vars.contains(&Var::new("y")));
+        let vars_b = transitively_modified(&program, "b");
+        assert!(!vars_b.contains(&Var::new("x")));
+    }
+
+    #[test]
+    fn display_renders_conjunction() {
+        let ctx = Context::from_conditions(&[ge(v("x"), cst(0.0)), le(v("x"), cst(2.0))]);
+        let s = ctx.to_string();
+        assert!(s.contains(">= 0"));
+        assert!(s.contains("/\\"));
+        assert_eq!(Context::top().to_string(), "true");
+    }
+}

@@ -1,0 +1,34 @@
+//! A self-contained linear-programming solver.
+//!
+//! The template-based inference of the central-moment analysis reduces bound
+//! derivation to linear programming (§3.4 of the paper).  The paper's artifact
+//! used Gurobi; this crate provides the substitute: a dense **two-phase primal
+//! simplex** over `f64` with Dantzig pricing and a Bland's-rule fallback that
+//! guarantees termination.
+//!
+//! The problem format is deliberately small: named variables that are either
+//! non-negative or free (free variables are split internally), linear
+//! constraints `a·x {≤,≥,=} b`, and a linear objective to *minimize*.
+//!
+//! # Example
+//!
+//! ```
+//! use cma_lp::{Cmp, LpProblem, LpStatus};
+//!
+//! // minimize  -x - 2y   s.t.  x + y <= 4,  y <= 3,  x, y >= 0
+//! let mut lp = LpProblem::new();
+//! let x = lp.add_var("x", false);
+//! let y = lp.add_var("y", false);
+//! lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Cmp::Le, 4.0);
+//! lp.add_constraint(vec![(y, 1.0)], Cmp::Le, 3.0);
+//! lp.set_objective(vec![(x, -1.0), (y, -2.0)]);
+//! let sol = lp.solve();
+//! assert_eq!(sol.status, LpStatus::Optimal);
+//! assert!((sol.objective - (-7.0)).abs() < 1e-7);
+//! assert!((sol.value(x) - 1.0).abs() < 1e-7);
+//! assert!((sol.value(y) - 3.0).abs() < 1e-7);
+//! ```
+
+pub mod simplex;
+
+pub use simplex::{Cmp, LpProblem, LpSolution, LpStatus, LpVarId};

@@ -1,0 +1,325 @@
+//! The interval semiring `I = {[a, b] | a ≤ b}` (§2.1, §3.3).
+//!
+//! Moment semirings are instantiated with intervals so that upper and lower
+//! bounds of each raw moment are tracked *simultaneously* — essential both for
+//! central moments (which subtract raw moments) and for non-monotone costs.
+
+use crate::semiring::{PartialOrderedSemiring, Semiring};
+
+/// A closed real interval `[lo, hi]`.
+///
+/// Intervals form a semiring with `+` and `·` defined as the usual interval
+/// extensions of addition and multiplication; the partial order is
+/// **reverse containment**: `x ≤ y` iff `x ⊆ y` (a wider interval is "larger",
+/// i.e. a more conservative bound).
+///
+/// ```
+/// use cma_semiring::Interval;
+/// let a = Interval::new(-1.0, 2.0);
+/// let b = Interval::new(3.0, 4.0);
+/// assert_eq!(a.add(b), Interval::new(2.0, 6.0));
+/// assert_eq!(a.mul(b), Interval::new(-4.0, 8.0));
+/// assert!(Interval::new(0.0, 1.0).subset_of(&Interval::new(-1.0, 2.0)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Interval {
+    lo: f64,
+    hi: f64,
+}
+
+impl Interval {
+    /// Creates the interval `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi` or either bound is NaN.
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(!lo.is_nan() && !hi.is_nan(), "interval bounds must not be NaN");
+        assert!(lo <= hi, "invalid interval [{lo}, {hi}]");
+        Interval { lo, hi }
+    }
+
+    /// The degenerate (point) interval `[v, v]`.
+    pub fn point(v: f64) -> Self {
+        Interval::new(v, v)
+    }
+
+    /// Creates `[lo, hi]` after sorting the end points, so the call never
+    /// panics on finite inputs.
+    pub fn hull(a: f64, b: f64) -> Self {
+        Interval::new(a.min(b), a.max(b))
+    }
+
+    /// Lower end point.
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper end point.
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+
+    /// Width `hi - lo` of the interval.
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+
+    /// Midpoint of the interval.
+    pub fn mid(&self) -> f64 {
+        0.5 * (self.lo + self.hi)
+    }
+
+    /// Whether `v` lies in the interval.
+    pub fn contains(&self, v: f64) -> bool {
+        self.lo <= v && v <= self.hi
+    }
+
+    /// Whether `self ⊆ other`.
+    pub fn subset_of(&self, other: &Interval) -> bool {
+        other.lo <= self.lo && self.hi <= other.hi
+    }
+
+    /// Interval addition `[a,b] + [c,d] = [a+c, b+d]`.
+    pub fn add(self, other: Interval) -> Interval {
+        Interval::new(self.lo + other.lo, self.hi + other.hi)
+    }
+
+    /// Interval negation `-[a,b] = [-b,-a]`.
+    pub fn neg(self) -> Interval {
+        Interval::new(-self.hi, -self.lo)
+    }
+
+    /// Interval subtraction.
+    pub fn sub(self, other: Interval) -> Interval {
+        self.add(other.neg())
+    }
+
+    /// Interval multiplication: the hull of all pairwise end-point products.
+    pub fn mul(self, other: Interval) -> Interval {
+        let candidates = [
+            self.lo * other.lo,
+            self.lo * other.hi,
+            self.hi * other.lo,
+            self.hi * other.hi,
+        ];
+        let mut lo = candidates[0];
+        let mut hi = candidates[0];
+        for &c in &candidates[1..] {
+            lo = lo.min(c);
+            hi = hi.max(c);
+        }
+        Interval::new(lo, hi)
+    }
+
+    /// Scales the interval by a real constant (flipping ends when negative).
+    pub fn scale(self, c: f64) -> Interval {
+        if c >= 0.0 {
+            Interval::new(c * self.lo, c * self.hi)
+        } else {
+            Interval::new(c * self.hi, c * self.lo)
+        }
+    }
+
+    /// `k`-th power of the interval, i.e. the exact image of `x ↦ x^k`.
+    pub fn powi(self, k: u32) -> Interval {
+        if k == 0 {
+            return Interval::point(1.0);
+        }
+        if k % 2 == 1 {
+            Interval::new(self.lo.powi(k as i32), self.hi.powi(k as i32))
+        } else {
+            // Even power: minimum attained at the point of smallest magnitude.
+            let lo_mag = if self.contains(0.0) {
+                0.0
+            } else {
+                self.lo.abs().min(self.hi.abs())
+            };
+            let hi_mag = self.lo.abs().max(self.hi.abs());
+            Interval::new(lo_mag.powi(k as i32), hi_mag.powi(k as i32))
+        }
+    }
+
+    /// Smallest interval containing both `self` and `other` (the join of the
+    /// containment lattice).
+    pub fn join(self, other: Interval) -> Interval {
+        Interval::new(self.lo.min(other.lo), self.hi.max(other.hi))
+    }
+}
+
+impl Default for Interval {
+    fn default() -> Self {
+        Interval::point(0.0)
+    }
+}
+
+impl std::fmt::Display for Interval {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}, {}]", self.lo, self.hi)
+    }
+}
+
+impl From<f64> for Interval {
+    fn from(v: f64) -> Self {
+        Interval::point(v)
+    }
+}
+
+impl Semiring for Interval {
+    fn zero() -> Self {
+        Interval::point(0.0)
+    }
+
+    fn one() -> Self {
+        Interval::point(1.0)
+    }
+
+    fn add(&self, other: &Self) -> Self {
+        Interval::add(*self, *other)
+    }
+
+    fn mul(&self, other: &Self) -> Self {
+        Interval::mul(*self, *other)
+    }
+
+    fn scale_nat(&self, n: f64) -> Self {
+        self.scale(n)
+    }
+
+    fn is_zero(&self) -> bool {
+        self.lo == 0.0 && self.hi == 0.0
+    }
+}
+
+impl PartialOrderedSemiring for Interval {
+    /// `x ≤ y` iff `x ⊆ y`: the wider interval is the more conservative bound.
+    fn leq(&self, other: &Self) -> bool {
+        self.subset_of(other)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn point_and_accessors() {
+        let p = Interval::point(2.5);
+        assert_eq!(p.lo(), 2.5);
+        assert_eq!(p.hi(), 2.5);
+        assert_eq!(p.width(), 0.0);
+        assert_eq!(p.mid(), 2.5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_interval_panics() {
+        let _ = Interval::new(1.0, 0.0);
+    }
+
+    #[test]
+    fn hull_sorts_endpoints() {
+        assert_eq!(Interval::hull(3.0, -1.0), Interval::new(-1.0, 3.0));
+    }
+
+    #[test]
+    fn add_sub_neg() {
+        let a = Interval::new(-1.0, 2.0);
+        let b = Interval::new(0.5, 1.5);
+        assert_eq!(a.add(b), Interval::new(-0.5, 3.5));
+        assert_eq!(a.sub(b), Interval::new(-2.5, 1.5));
+        assert_eq!(a.neg(), Interval::new(-2.0, 1.0));
+    }
+
+    #[test]
+    fn mul_covers_sign_cases() {
+        let neg = Interval::new(-3.0, -1.0);
+        let mix = Interval::new(-2.0, 4.0);
+        let pos = Interval::new(2.0, 5.0);
+        assert_eq!(neg.mul(pos), Interval::new(-15.0, -2.0));
+        assert_eq!(mix.mul(pos), Interval::new(-10.0, 20.0));
+        assert_eq!(neg.mul(neg), Interval::new(1.0, 9.0));
+        assert_eq!(mix.mul(mix), Interval::new(-8.0, 16.0));
+    }
+
+    #[test]
+    fn scale_negative_flips() {
+        let a = Interval::new(1.0, 3.0);
+        assert_eq!(a.scale(-2.0), Interval::new(-6.0, -2.0));
+        assert_eq!(a.scale(2.0), Interval::new(2.0, 6.0));
+    }
+
+    #[test]
+    fn powers() {
+        let a = Interval::new(-2.0, 3.0);
+        assert_eq!(a.powi(0), Interval::point(1.0));
+        assert_eq!(a.powi(1), a);
+        assert_eq!(a.powi(2), Interval::new(0.0, 9.0));
+        assert_eq!(a.powi(3), Interval::new(-8.0, 27.0));
+        let b = Interval::new(-4.0, -2.0);
+        assert_eq!(b.powi(2), Interval::new(4.0, 16.0));
+    }
+
+    #[test]
+    fn semiring_identities() {
+        let a = Interval::new(-1.0, 5.0);
+        assert_eq!(Semiring::add(&a, &Interval::zero()), a);
+        assert_eq!(Semiring::mul(&a, &Interval::one()), a);
+        assert!(Interval::zero().is_zero());
+    }
+
+    #[test]
+    fn order_is_containment() {
+        let narrow = Interval::new(0.0, 1.0);
+        let wide = Interval::new(-1.0, 2.0);
+        assert!(narrow.leq(&wide));
+        assert!(!wide.leq(&narrow));
+        assert!(narrow.leq(&narrow));
+    }
+
+    #[test]
+    fn join_is_least_upper_bound() {
+        let a = Interval::new(0.0, 1.0);
+        let b = Interval::new(2.0, 3.0);
+        let j = a.join(b);
+        assert!(a.leq(&j) && b.leq(&j));
+        assert_eq!(j, Interval::new(0.0, 3.0));
+    }
+
+    fn arb_interval() -> impl Strategy<Value = Interval> {
+        (-100.0f64..100.0, -100.0f64..100.0).prop_map(|(a, b)| Interval::hull(a, b))
+    }
+
+    proptest! {
+        #[test]
+        fn prop_mul_is_sound(a in arb_interval(), b in arb_interval(),
+                             s in 0.0f64..1.0, t in 0.0f64..1.0) {
+            // Any product of points from the operands lies in the product interval.
+            let x = a.lo() + s * a.width();
+            let y = b.lo() + t * b.width();
+            let prod = a.mul(b);
+            prop_assert!(prod.contains(x * y) || (x * y - prod.lo()).abs() < 1e-9
+                         || (x * y - prod.hi()).abs() < 1e-9);
+        }
+
+        #[test]
+        fn prop_add_monotone(a in arb_interval(), b in arb_interval(), c in arb_interval()) {
+            // Monotonicity required by Lemma E.2: a ⊆ b implies a+c ⊆ b+c.
+            let wide = a.join(b);
+            prop_assert!(a.add(c).subset_of(&wide.add(c)));
+        }
+
+        #[test]
+        fn prop_mul_monotone(a in arb_interval(), b in arb_interval(), c in arb_interval()) {
+            let wide = a.join(b);
+            prop_assert!(a.mul(c).subset_of(&wide.mul(c)));
+        }
+
+        #[test]
+        fn prop_powi_consistent_with_mul(a in arb_interval()) {
+            // x^2 computed exactly is a subset of x*x (which ignores dependency).
+            prop_assert!(a.powi(2).subset_of(&a.mul(a)));
+        }
+    }
+}

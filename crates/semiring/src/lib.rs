@@ -1,0 +1,93 @@
+//! Algebraic foundations for central-moment analysis of probabilistic programs.
+//!
+//! This crate provides the algebraic structures used by the PLDI 2021 paper
+//! *Central Moment Analysis for Cost Accumulators in Probabilistic Programs*:
+//!
+//! * [`semiring`] — partially ordered semirings (Definition 3.1 is parametrized
+//!   by such a structure).
+//! * [`interval`] — the interval semiring `I = {[a, b] | a ≤ b}` used to track
+//!   upper *and* lower bounds simultaneously.
+//! * [`poly`] — multivariate polynomials over program variables, the carrier of
+//!   the *symbolic* interval semiring `PI`.
+//! * [`moment`] — the moment semirings `M(m)_R` with the binomial-convolution
+//!   composition operator `⊗` and the pointwise combination operator `⊕`.
+//!
+//! # Example
+//!
+//! Composing the first two moments of two sequenced computations (Eq. (3) of
+//! the paper):
+//!
+//! ```
+//! use cma_semiring::moment::MomentVec;
+//!
+//! // ⟨1, r1, s1⟩ ⊗ ⟨1, r2, s2⟩ = ⟨1, r1+r2, s1 + 2 r1 r2 + s2⟩
+//! let a = MomentVec::from_raw(vec![1.0, 3.0, 11.0]);
+//! let b = MomentVec::from_raw(vec![1.0, 2.0, 5.0]);
+//! let c = a.compose(&b);
+//! assert_eq!(c.component(1), &5.0);
+//! assert_eq!(c.component(2), &(11.0 + 2.0 * 3.0 * 2.0 + 5.0));
+//! ```
+
+pub mod interval;
+pub mod moment;
+pub mod poly;
+pub mod semiring;
+
+pub use interval::Interval;
+pub use moment::MomentVec;
+pub use poly::{Monomial, Polynomial, Var};
+pub use semiring::{PartialOrderedSemiring, Semiring};
+
+/// Binomial coefficient `C(n, k)` as an `f64`.
+///
+/// Used by the moment-semiring composition operator `⊗` (Definition 3.1).
+/// Values are exact for the small `n` used in moment analysis (`n ≤ ~20`).
+///
+/// ```
+/// assert_eq!(cma_semiring::binomial(4, 2), 6.0);
+/// assert_eq!(cma_semiring::binomial(5, 0), 1.0);
+/// assert_eq!(cma_semiring::binomial(3, 5), 0.0);
+/// ```
+pub fn binomial(n: usize, k: usize) -> f64 {
+    if k > n {
+        return 0.0;
+    }
+    let k = k.min(n - k);
+    let mut num = 1.0f64;
+    let mut den = 1.0f64;
+    for i in 0..k {
+        num *= (n - i) as f64;
+        den *= (i + 1) as f64;
+    }
+    num / den
+}
+
+#[cfg(test)]
+mod tests {
+    use super::binomial;
+
+    #[test]
+    fn binomial_small_values() {
+        assert_eq!(binomial(0, 0), 1.0);
+        assert_eq!(binomial(1, 0), 1.0);
+        assert_eq!(binomial(1, 1), 1.0);
+        assert_eq!(binomial(4, 2), 6.0);
+        assert_eq!(binomial(6, 3), 20.0);
+        assert_eq!(binomial(10, 5), 252.0);
+    }
+
+    #[test]
+    fn binomial_out_of_range_is_zero() {
+        assert_eq!(binomial(2, 3), 0.0);
+        assert_eq!(binomial(0, 1), 0.0);
+    }
+
+    #[test]
+    fn binomial_pascal_rule() {
+        for n in 1..15usize {
+            for k in 1..n {
+                assert_eq!(binomial(n, k), binomial(n - 1, k - 1) + binomial(n - 1, k));
+            }
+        }
+    }
+}

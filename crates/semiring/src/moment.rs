@@ -1,0 +1,371 @@
+//! Moment semirings `M(m)_R` (Definition 3.1).
+//!
+//! An element of the `m`-th order moment semiring is an `(m+1)`-vector
+//! `⟨u_0, …, u_m⟩` over a partially ordered semiring `R`.  The k-th component
+//! tracks (a bound on) the k-th moment of an accumulated cost; the 0-th
+//! component tracks the termination probability mass.
+//!
+//! * `⊕` is the pointwise sum (Eq. (6)) — used by the frame rule and
+//!   probabilistic branching.
+//! * `⊗` is the binomial convolution (Eq. (7)) — used to *compose* the moments
+//!   of two sequenced computations, generalizing
+//!   `E[(a+b)²] = a² + 2aE[b] + E[b²]`.
+//! * `⊑` is the pointwise extension of the order on `R`.
+
+use crate::binomial;
+use crate::interval::Interval;
+use crate::semiring::{PartialOrderedSemiring, Semiring};
+
+/// An element of the moment semiring `M(m)_R`: the vector `⟨u_0, …, u_m⟩`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MomentVec<T> {
+    components: Vec<T>,
+}
+
+impl<T: Semiring> MomentVec<T> {
+    /// The multiplicative identity `1 = ⟨1, 0, …, 0⟩` of degree `m`.
+    pub fn one(degree: usize) -> Self {
+        let mut components = vec![T::zero(); degree + 1];
+        components[0] = T::one();
+        MomentVec { components }
+    }
+
+    /// The additive identity `0 = ⟨0, 0, …, 0⟩` of degree `m`.
+    pub fn zero(degree: usize) -> Self {
+        MomentVec {
+            components: vec![T::zero(); degree + 1],
+        }
+    }
+
+    /// Builds a moment vector from raw components `⟨u_0, …, u_m⟩`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `components` is empty.
+    pub fn from_raw(components: Vec<T>) -> Self {
+        assert!(!components.is_empty(), "a moment vector needs a 0-th component");
+        MomentVec { components }
+    }
+
+    /// The vector of powers `⟨u⁰, u¹, …, u^m⟩` (left operand of Lemma 3.2).
+    pub fn powers_of(u: &T, degree: usize) -> Self {
+        let mut components = Vec::with_capacity(degree + 1);
+        let mut acc = T::one();
+        components.push(acc.clone());
+        for _ in 0..degree {
+            acc = acc.mul(u);
+            components.push(acc.clone());
+        }
+        MomentVec { components }
+    }
+
+    /// Degree `m` of the moment vector (one less than the number of components).
+    pub fn degree(&self) -> usize {
+        self.components.len() - 1
+    }
+
+    /// The `k`-th component.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k > m`.
+    pub fn component(&self, k: usize) -> &T {
+        &self.components[k]
+    }
+
+    /// All components in order.
+    pub fn components(&self) -> &[T] {
+        &self.components
+    }
+
+    /// Mutable access to the `k`-th component.
+    pub fn component_mut(&mut self, k: usize) -> &mut T {
+        &mut self.components[k]
+    }
+
+    /// The combination operator `⊕` (pointwise sum, Eq. (6)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the degrees differ.
+    pub fn combine(&self, other: &Self) -> Self {
+        assert_eq!(self.degree(), other.degree(), "degree mismatch in ⊕");
+        MomentVec {
+            components: self
+                .components
+                .iter()
+                .zip(&other.components)
+                .map(|(a, b)| a.add(b))
+                .collect(),
+        }
+    }
+
+    /// The composition operator `⊗` (binomial convolution, Eq. (7)):
+    /// `(u ⊗ v)_k = Σ_{i=0}^{k} C(k,i) × (u_i · v_{k-i})`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the degrees differ.
+    pub fn compose(&self, other: &Self) -> Self {
+        assert_eq!(self.degree(), other.degree(), "degree mismatch in ⊗");
+        let m = self.degree();
+        let mut components = Vec::with_capacity(m + 1);
+        for k in 0..=m {
+            let mut acc = T::zero();
+            for i in 0..=k {
+                let prod = self.components[i].mul(&other.components[k - i]);
+                acc = acc.add(&prod.scale_nat(binomial(k, i)));
+            }
+            components.push(acc);
+        }
+        MomentVec { components }
+    }
+
+    /// Maps every component through `f`, preserving the degree.
+    pub fn map<U: Semiring>(&self, f: impl Fn(&T) -> U) -> MomentVec<U> {
+        MomentVec {
+            components: self.components.iter().map(f).collect(),
+        }
+    }
+}
+
+impl<T: PartialOrderedSemiring> MomentVec<T> {
+    /// The pointwise partial order `⊑`.
+    pub fn leq(&self, other: &Self) -> bool {
+        self.degree() == other.degree()
+            && self
+                .components
+                .iter()
+                .zip(&other.components)
+                .all(|(a, b)| a.leq(b))
+    }
+}
+
+impl MomentVec<Interval> {
+    /// The interval moment vector `⟨[c⁰,c⁰], [c¹,c¹], …, [c^m,c^m]⟩` of a
+    /// deterministic cost `c` — the left operand of `⊗` in the `tick` rule.
+    pub fn of_cost(c: f64, degree: usize) -> Self {
+        MomentVec {
+            components: (0..=degree)
+                .map(|k| Interval::point(c.powi(k as i32)))
+                .collect(),
+        }
+    }
+
+    /// The interval moment vector with exact raw moments `⟨1, E[X], …, E[X^m]⟩`
+    /// of a known distribution (each component a point interval).
+    pub fn of_raw_moments(moments: &[f64]) -> Self {
+        MomentVec {
+            components: moments.iter().map(|&m| Interval::point(m)).collect(),
+        }
+    }
+
+    /// Widths of all components — a measure of imprecision.
+    pub fn total_width(&self) -> f64 {
+        self.components.iter().map(Interval::width).sum()
+    }
+
+    /// The maximum absolute end point over all components
+    /// (the `∥·∥∞` norm used in Theorem 4.4).
+    pub fn sup_norm(&self) -> f64 {
+        self.components
+            .iter()
+            .map(|i| i.lo().abs().max(i.hi().abs()))
+            .fold(0.0, f64::max)
+    }
+}
+
+impl MomentVec<f64> {
+    /// Interprets a vector of exact raw moments as point intervals.
+    pub fn to_intervals(&self) -> MomentVec<Interval> {
+        self.map(|&x| Interval::point(x))
+    }
+}
+
+impl<T: Semiring + std::fmt::Display> std::fmt::Display for MomentVec<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "⟨")?;
+        for (i, c) in self.components.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, "⟩")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn identities() {
+        let one = MomentVec::<f64>::one(2);
+        let zero = MomentVec::<f64>::zero(2);
+        let x = MomentVec::from_raw(vec![1.0, 3.0, 10.0]);
+        assert_eq!(x.compose(&one), x);
+        assert_eq!(one.compose(&x), x);
+        assert_eq!(x.combine(&zero), x);
+        assert_eq!(zero.compose(&x), zero);
+    }
+
+    #[test]
+    fn second_moment_composition_matches_eq3() {
+        // Eq. (3): ⟨1, r1, s1⟩ ⊗ ⟨1, r2, s2⟩ = ⟨1, r1+r2, s1 + 2 r1 r2 + s2⟩
+        let a = MomentVec::from_raw(vec![1.0, 2.0, 7.0]);
+        let b = MomentVec::from_raw(vec![1.0, 5.0, 30.0]);
+        let c = a.compose(&b);
+        assert_eq!(*c.component(0), 1.0);
+        assert_eq!(*c.component(1), 7.0);
+        assert_eq!(*c.component(2), 7.0 + 2.0 * 2.0 * 5.0 + 30.0);
+    }
+
+    #[test]
+    fn composition_with_termination_probability_matches_eq5() {
+        // Eq. (5): ⟨p1,r1,s1⟩ ⊗ ⟨p2,r2,s2⟩ = ⟨p1p2, p2r1+p1r2, p2s1+2r1r2+p1s2⟩
+        let a = MomentVec::from_raw(vec![0.5, 2.0, 7.0]);
+        let b = MomentVec::from_raw(vec![0.25, 5.0, 30.0]);
+        let c = a.compose(&b);
+        assert_eq!(*c.component(0), 0.125);
+        assert_eq!(*c.component(1), 0.25 * 2.0 + 0.5 * 5.0);
+        assert_eq!(*c.component(2), 0.25 * 7.0 + 2.0 * 2.0 * 5.0 + 0.5 * 30.0);
+    }
+
+    #[test]
+    fn lemma_3_2_composition_of_powers() {
+        // ⟨(u+v)^k⟩ = ⟨u^k⟩ ⊗ ⟨v^k⟩ for the reals.
+        for degree in 1..=5usize {
+            let u = 1.7;
+            let v = -0.6;
+            let lhs = MomentVec::powers_of(&(u + v), degree);
+            let rhs = MomentVec::powers_of(&u, degree).compose(&MomentVec::powers_of(&v, degree));
+            for k in 0..=degree {
+                assert!((lhs.component(k) - rhs.component(k)).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn frame_rule_decomposition_example() {
+        // Remark 2.5: ⟨1,r3,s3⟩ ⊗ ⟨1, r1+r2, s1+s2⟩
+        //           = (⟨1,r3,s3⟩ ⊗ ⟨0,r1,s1⟩) ⊕ (⟨1,r3,s3⟩ ⊗ ⟨1,r2,s2⟩)
+        // only when the decomposition is as in Ex. 2.6 (0-th components 0/1).
+        let q = MomentVec::from_raw(vec![1.0, 4.0, 20.0]);
+        let part1 = MomentVec::from_raw(vec![0.0, 1.0, 1.0]);
+        let part2 = MomentVec::from_raw(vec![1.0, 2.0, 6.0]);
+        let total = part1.combine(&part2);
+        let lhs = q.compose(&total);
+        let rhs = q.compose(&part1).combine(&q.compose(&part2));
+        for k in 0..=2 {
+            assert!((lhs.component(k) - rhs.component(k)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn rdwalk_example_2_3_composition() {
+        // Ex. 2.3: ⟨1, 2w+4, 4w²+22w+28⟩ ⊗ ⟨1,1,1⟩ = ⟨1, 2w+5, 4w²+26w+37⟩  (w = d-x)
+        // Check at a few values of w.
+        for w in [0.0, 1.0, 2.5, 7.0] {
+            let callee = MomentVec::from_raw(vec![
+                1.0,
+                2.0 * w + 4.0,
+                4.0 * w * w + 22.0 * w + 28.0,
+            ]);
+            let post = MomentVec::from_raw(vec![1.0, 1.0, 1.0]);
+            let pre = callee.compose(&post);
+            assert!((pre.component(1) - (2.0 * w + 5.0)).abs() < 1e-9);
+            assert!((pre.component(2) - (4.0 * w * w + 26.0 * w + 37.0)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn interval_instantiation_example_from_section_2_1() {
+        // ⟨[1,1],[-1,-1],[1,1]⟩ ⊗ ⟨[1,1],[-2,2],[5,5]⟩ = ⟨[1,1],[-3,1],[2,10]⟩
+        let a = MomentVec::from_raw(vec![
+            Interval::point(1.0),
+            Interval::point(-1.0),
+            Interval::point(1.0),
+        ]);
+        let b = MomentVec::from_raw(vec![
+            Interval::point(1.0),
+            Interval::new(-2.0, 2.0),
+            Interval::point(5.0),
+        ]);
+        let c = a.compose(&b);
+        assert_eq!(*c.component(0), Interval::point(1.0));
+        assert_eq!(*c.component(1), Interval::new(-3.0, 1.0));
+        assert_eq!(*c.component(2), Interval::new(2.0, 10.0));
+    }
+
+    #[test]
+    fn of_cost_builds_point_powers() {
+        let v = MomentVec::of_cost(3.0, 3);
+        assert_eq!(*v.component(0), Interval::point(1.0));
+        assert_eq!(*v.component(2), Interval::point(9.0));
+        assert_eq!(*v.component(3), Interval::point(27.0));
+    }
+
+    #[test]
+    fn order_is_pointwise() {
+        let narrow = MomentVec::from_raw(vec![Interval::point(1.0), Interval::new(0.0, 1.0)]);
+        let wide = MomentVec::from_raw(vec![Interval::point(1.0), Interval::new(-1.0, 2.0)]);
+        assert!(narrow.leq(&wide));
+        assert!(!wide.leq(&narrow));
+    }
+
+    #[test]
+    fn total_width_and_sup_norm() {
+        let v = MomentVec::from_raw(vec![Interval::point(1.0), Interval::new(-2.0, 3.0)]);
+        assert_eq!(v.total_width(), 5.0);
+        assert_eq!(v.sup_norm(), 3.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn degree_mismatch_panics() {
+        let a = MomentVec::<f64>::one(2);
+        let b = MomentVec::<f64>::one(3);
+        let _ = a.compose(&b);
+    }
+
+    fn arb_vec(degree: usize) -> impl Strategy<Value = MomentVec<f64>> {
+        proptest::collection::vec(-3.0f64..3.0, degree + 1..degree + 2)
+            .prop_map(MomentVec::from_raw)
+    }
+
+    proptest! {
+        #[test]
+        fn prop_compose_associative(a in arb_vec(3), b in arb_vec(3), c in arb_vec(3)) {
+            let lhs = a.compose(&b).compose(&c);
+            let rhs = a.compose(&b.compose(&c));
+            for k in 0..=3 {
+                prop_assert!((lhs.component(k) - rhs.component(k)).abs() < 1e-6);
+            }
+        }
+
+        #[test]
+        fn prop_compose_distributes_over_combine(a in arb_vec(3), b in arb_vec(3), c in arb_vec(3)) {
+            let lhs = a.compose(&b.combine(&c));
+            let rhs = a.compose(&b).combine(&a.compose(&c));
+            for k in 0..=3 {
+                prop_assert!((lhs.component(k) - rhs.component(k)).abs() < 1e-6);
+            }
+        }
+
+        #[test]
+        fn prop_lemma_3_2(u in -3.0f64..3.0, v in -3.0f64..3.0) {
+            let lhs = MomentVec::powers_of(&(u + v), 4);
+            let rhs = MomentVec::powers_of(&u, 4).compose(&MomentVec::powers_of(&v, 4));
+            for k in 0..=4 {
+                prop_assert!((lhs.component(k) - rhs.component(k)).abs() < 1e-6);
+            }
+        }
+
+        #[test]
+        fn prop_combine_commutative(a in arb_vec(2), b in arb_vec(2)) {
+            prop_assert_eq!(a.combine(&b), b.combine(&a));
+        }
+    }
+}

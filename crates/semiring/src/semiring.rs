@@ -1,0 +1,125 @@
+//! Partially ordered semirings.
+//!
+//! The moment semiring `M(m)_R` (Definition 3.1 of the paper) is parametrized
+//! by a *partially ordered semiring* `R = (|R|, ≤, +, ·, 0, 1)`.  This module
+//! defines the corresponding traits and implements them for `f64` (the
+//! "extended reals with the usual order" used for point bounds) so that
+//! concrete and interval-valued moment vectors share a single implementation.
+
+/// A semiring `(|R|, +, ·, 0, 1)`.
+///
+/// Addition and multiplication must be associative, addition commutative,
+/// multiplication must distribute over addition and `0` must annihilate.
+/// The analysis only relies on these laws for finitely many compositions, so
+/// `f64` (with rounding) is accepted as an approximate model.
+pub trait Semiring: Clone + PartialEq + std::fmt::Debug {
+    /// Additive identity.
+    fn zero() -> Self;
+    /// Multiplicative identity.
+    fn one() -> Self;
+    /// Semiring addition.
+    fn add(&self, other: &Self) -> Self;
+    /// Semiring multiplication.
+    fn mul(&self, other: &Self) -> Self;
+
+    /// Scalar product `n × u = u + u + … + u` (`n` times).
+    ///
+    /// Used by the binomial coefficients in the `⊗` operator.
+    fn scale_nat(&self, n: f64) -> Self {
+        // Default implementation valid for rings embedding ℝ; overridden where
+        // a more precise definition exists.
+        let mut acc = Self::zero();
+        let mut left = n;
+        while left >= 1.0 {
+            acc = acc.add(self);
+            left -= 1.0;
+        }
+        if left > 0.0 {
+            // Fractional scaling never arises from binomial coefficients, but
+            // keep the default total.
+            acc = acc.add(self);
+        }
+        acc
+    }
+
+    /// Whether the value is the additive identity.
+    fn is_zero(&self) -> bool {
+        *self == Self::zero()
+    }
+}
+
+/// A semiring together with a partial order compatible with `+` and `·`
+/// (both operations are monotone, cf. Lemma E.1/E.2 of the paper).
+pub trait PartialOrderedSemiring: Semiring {
+    /// Returns `true` iff `self ≤ other` in the semiring order.
+    fn leq(&self, other: &Self) -> bool;
+}
+
+impl Semiring for f64 {
+    fn zero() -> Self {
+        0.0
+    }
+
+    fn one() -> Self {
+        1.0
+    }
+
+    fn add(&self, other: &Self) -> Self {
+        self + other
+    }
+
+    fn mul(&self, other: &Self) -> Self {
+        self * other
+    }
+
+    fn scale_nat(&self, n: f64) -> Self {
+        self * n
+    }
+
+    fn is_zero(&self) -> bool {
+        *self == 0.0
+    }
+}
+
+impl PartialOrderedSemiring for f64 {
+    fn leq(&self, other: &Self) -> bool {
+        self <= other
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f64_semiring_identities() {
+        let x = 3.5f64;
+        assert_eq!(x.add(&f64::zero()), x);
+        assert_eq!(x.mul(&f64::one()), x);
+        assert_eq!(x.mul(&f64::zero()), 0.0);
+        assert!(f64::zero().is_zero());
+        assert!(!f64::one().is_zero());
+    }
+
+    #[test]
+    fn f64_scale_nat_matches_repeated_addition() {
+        let x = 2.25f64;
+        assert_eq!(x.scale_nat(4.0), 9.0);
+        assert_eq!(x.scale_nat(0.0), 0.0);
+    }
+
+    #[test]
+    fn f64_order_is_numeric() {
+        assert!(1.0f64.leq(&2.0));
+        assert!(!2.0f64.leq(&1.0));
+        assert!(2.0f64.leq(&2.0));
+    }
+
+    #[test]
+    fn f64_distributivity_on_samples() {
+        let a = 1.5;
+        let b = -2.0;
+        let c = 0.75;
+        assert!((a.mul(&b.add(&c)) - (a.mul(&b).add(&a.mul(&c)))).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,284 @@
+//! A sampling interpreter for the operational semantics of Appl.
+//!
+//! Each run starts from the all-zero valuation (the initial configuration
+//! `⟨λ_.0, S_main, Kstop, 0⟩` of Appendix C), optionally overridden by an
+//! initial valuation, and executes until termination or until the step budget
+//! is exhausted.
+
+use std::collections::HashMap;
+
+use cma_appl::ast::{Expr, Stmt};
+use cma_appl::Program;
+use cma_semiring::poly::Var;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of a simulation campaign.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Number of independent trials.
+    pub trials: usize,
+    /// Seed for the pseudo-random number generator (runs are reproducible).
+    pub seed: u64,
+    /// Maximum number of evaluation steps per trial before the trial is cut
+    /// off (guards against non-terminating runs).
+    pub max_steps: usize,
+    /// Initial values for program variables (unmentioned variables start at 0).
+    pub initial: Vec<(Var, f64)>,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            trials: 10_000,
+            seed: 0xC0FFEE,
+            max_steps: 1_000_000,
+            initial: Vec::new(),
+        }
+    }
+}
+
+/// The outcome of a single trial.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Trial {
+    /// Total accumulated cost at termination.
+    pub cost: f64,
+    /// Number of statements executed.
+    pub steps: usize,
+    /// Whether the run terminated within the step budget.
+    pub terminated: bool,
+}
+
+/// Errors that abort a simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InterpError {
+    /// A call targeted an unknown function (programs validated by
+    /// [`cma_appl::Program::new`] cannot trigger this).
+    UnknownFunction(String),
+}
+
+impl std::fmt::Display for InterpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InterpError::UnknownFunction(name) => write!(f, "unknown function `{name}`"),
+        }
+    }
+}
+
+impl std::error::Error for InterpError {}
+
+struct Machine<'a> {
+    program: &'a Program,
+    state: HashMap<Var, f64>,
+    cost: f64,
+    steps: usize,
+    max_steps: usize,
+    rng: StdRng,
+}
+
+impl<'a> Machine<'a> {
+    fn lookup(&self, v: &Var) -> f64 {
+        self.state.get(v).copied().unwrap_or(0.0)
+    }
+
+    fn eval_expr(&self, e: &Expr) -> f64 {
+        e.eval(&|v| self.lookup(v))
+    }
+
+    fn exec(&mut self, stmt: &Stmt) -> Result<bool, InterpError> {
+        if self.steps >= self.max_steps {
+            return Ok(false);
+        }
+        self.steps += 1;
+        match stmt {
+            Stmt::Skip => Ok(true),
+            Stmt::Tick(c) => {
+                self.cost += c;
+                Ok(true)
+            }
+            Stmt::Assign(x, e) => {
+                let value = self.eval_expr(e);
+                self.state.insert(x.clone(), value);
+                Ok(true)
+            }
+            Stmt::Sample(x, d) => {
+                let u: f64 = self.rng.gen();
+                self.state.insert(x.clone(), d.sample_with(u));
+                Ok(true)
+            }
+            Stmt::Call(f) => {
+                let func = self
+                    .program
+                    .function(f)
+                    .ok_or_else(|| InterpError::UnknownFunction(f.clone()))?;
+                self.exec(func.body())
+            }
+            Stmt::If(c, s1, s2) => {
+                if c.eval(&|v| self.lookup(v)) {
+                    self.exec(s1)
+                } else {
+                    self.exec(s2)
+                }
+            }
+            Stmt::IfProb(p, s1, s2) => {
+                let u: f64 = self.rng.gen();
+                if u < *p {
+                    self.exec(s1)
+                } else {
+                    self.exec(s2)
+                }
+            }
+            Stmt::While(c, body) => {
+                while c.eval(&|v| self.lookup(v)) {
+                    if self.steps >= self.max_steps {
+                        return Ok(false);
+                    }
+                    self.steps += 1;
+                    if !self.exec(body)? {
+                        return Ok(false);
+                    }
+                }
+                Ok(true)
+            }
+            Stmt::Seq(stmts) => {
+                for s in stmts {
+                    if !self.exec(s)? {
+                        return Ok(false);
+                    }
+                }
+                Ok(true)
+            }
+        }
+    }
+}
+
+/// Executes one trial of the program with the given RNG seed.
+///
+/// # Errors
+///
+/// Returns [`InterpError::UnknownFunction`] when a call targets an undeclared
+/// function (impossible for validated programs).
+pub fn run_once(program: &Program, config: &SimConfig, seed: u64) -> Result<Trial, InterpError> {
+    let mut machine = Machine {
+        program,
+        state: config.initial.iter().cloned().collect(),
+        cost: 0.0,
+        steps: 0,
+        max_steps: config.max_steps,
+        rng: StdRng::seed_from_u64(seed),
+    };
+    let terminated = machine.exec(program.main())?;
+    Ok(Trial {
+        cost: machine.cost,
+        steps: machine.steps,
+        terminated,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cma_appl::build::*;
+
+    #[test]
+    fn deterministic_straight_line_cost() {
+        let program = ProgramBuilder::new()
+            .main(seq([tick(1.5), tick(2.0), tick(-0.5)]))
+            .build()
+            .unwrap();
+        let trial = run_once(&program, &SimConfig::default(), 1).unwrap();
+        assert_eq!(trial.cost, 3.0);
+        assert!(trial.terminated);
+    }
+
+    #[test]
+    fn assignments_and_conditionals() {
+        let program = ProgramBuilder::new()
+            .main(seq([
+                assign("x", cst(3.0)),
+                assign("x", add(v("x"), cst(2.0))),
+                if_then_else(ge(v("x"), cst(5.0)), tick(10.0), tick(1.0)),
+            ]))
+            .build()
+            .unwrap();
+        let trial = run_once(&program, &SimConfig::default(), 3).unwrap();
+        assert_eq!(trial.cost, 10.0);
+    }
+
+    #[test]
+    fn while_loop_counts_iterations() {
+        let program = ProgramBuilder::new()
+            .main(seq([
+                assign("i", cst(0.0)),
+                while_loop(
+                    lt(v("i"), cst(10.0)),
+                    seq([assign("i", add(v("i"), cst(1.0))), tick(1.0)]),
+                ),
+            ]))
+            .build()
+            .unwrap();
+        let trial = run_once(&program, &SimConfig::default(), 5).unwrap();
+        assert_eq!(trial.cost, 10.0);
+    }
+
+    #[test]
+    fn initial_valuation_is_respected() {
+        let program = ProgramBuilder::new()
+            .main(if_then_else(gt(v("d"), cst(5.0)), tick(1.0), tick(0.0)))
+            .build()
+            .unwrap();
+        let config = SimConfig {
+            initial: vec![(Var::new("d"), 10.0)],
+            ..Default::default()
+        };
+        assert_eq!(run_once(&program, &config, 0).unwrap().cost, 1.0);
+        assert_eq!(run_once(&program, &SimConfig::default(), 0).unwrap().cost, 0.0);
+    }
+
+    #[test]
+    fn step_budget_cuts_off_divergence() {
+        let program = ProgramBuilder::new()
+            .main(while_loop(tt(), tick(1.0)))
+            .build()
+            .unwrap();
+        let config = SimConfig {
+            max_steps: 100,
+            ..Default::default()
+        };
+        let trial = run_once(&program, &config, 0).unwrap();
+        assert!(!trial.terminated);
+        assert!(trial.steps >= 100);
+    }
+
+    #[test]
+    fn recursion_through_calls() {
+        // A function that recurses exactly `n` times.
+        let program = ProgramBuilder::new()
+            .function(
+                "count",
+                if_then(
+                    gt(v("n"), cst(0.0)),
+                    seq([assign("n", sub(v("n"), cst(1.0))), tick(1.0), call("count")]),
+                ),
+            )
+            .main(seq([assign("n", cst(7.0)), call("count")]))
+            .build()
+            .unwrap();
+        let trial = run_once(&program, &SimConfig::default(), 11).unwrap();
+        assert_eq!(trial.cost, 7.0);
+    }
+
+    #[test]
+    fn sampling_and_probabilistic_branching_are_seed_deterministic() {
+        let program = ProgramBuilder::new()
+            .main(seq([
+                sample("t", uniform(0.0, 1.0)),
+                if_prob(0.5, tick(1.0), tick(2.0)),
+            ]))
+            .build()
+            .unwrap();
+        let a = run_once(&program, &SimConfig::default(), 42).unwrap();
+        let b = run_once(&program, &SimConfig::default(), 42).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,318 @@
+//! Sample statistics over simulated cost accumulators.
+
+use cma_appl::Program;
+
+use crate::interp::{run_once, SimConfig, Trial};
+
+/// The empirical distribution of the accumulated cost over many trials.
+#[derive(Debug, Clone)]
+pub struct CostSamples {
+    costs: Vec<f64>,
+    cutoff_trials: usize,
+}
+
+impl CostSamples {
+    /// Builds the statistics object from raw samples.
+    pub fn from_costs(costs: Vec<f64>) -> Self {
+        CostSamples {
+            costs,
+            cutoff_trials: 0,
+        }
+    }
+
+    /// The raw samples.
+    pub fn costs(&self) -> &[f64] {
+        &self.costs
+    }
+
+    /// Number of trials that hit the step budget before terminating.
+    pub fn cutoff_trials(&self) -> usize {
+        self.cutoff_trials
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.costs.len()
+    }
+
+    /// Whether no samples were collected.
+    pub fn is_empty(&self) -> bool {
+        self.costs.is_empty()
+    }
+
+    /// The empirical raw moment `E[X^k]`.
+    pub fn raw_moment(&self, k: u32) -> f64 {
+        if self.costs.is_empty() {
+            return 0.0;
+        }
+        self.costs.iter().map(|c| c.powi(k as i32)).sum::<f64>() / self.costs.len() as f64
+    }
+
+    /// The empirical mean.
+    pub fn mean(&self) -> f64 {
+        self.raw_moment(1)
+    }
+
+    /// The empirical central moment `E[(X − E[X])^k]`.
+    pub fn central_moment(&self, k: u32) -> f64 {
+        if self.costs.is_empty() {
+            return 0.0;
+        }
+        let mean = self.mean();
+        self.costs
+            .iter()
+            .map(|c| (c - mean).powi(k as i32))
+            .sum::<f64>()
+            / self.costs.len() as f64
+    }
+
+    /// The empirical variance.
+    pub fn variance(&self) -> f64 {
+        self.central_moment(2)
+    }
+
+    /// The empirical skewness `E[(X−E[X])³] / V[X]^{3/2}`.
+    pub fn skewness(&self) -> f64 {
+        let var = self.variance();
+        if var <= 0.0 {
+            return 0.0;
+        }
+        self.central_moment(3) / var.powf(1.5)
+    }
+
+    /// The empirical kurtosis `E[(X−E[X])⁴] / V[X]²`.
+    pub fn kurtosis(&self) -> f64 {
+        let var = self.variance();
+        if var <= 0.0 {
+            return 0.0;
+        }
+        self.central_moment(4) / (var * var)
+    }
+
+    /// The empirical tail probability `P[X ≥ threshold]`.
+    pub fn tail_probability(&self, threshold: f64) -> f64 {
+        if self.costs.is_empty() {
+            return 0.0;
+        }
+        self.costs.iter().filter(|&&c| c >= threshold).count() as f64 / self.costs.len() as f64
+    }
+
+    /// The maximum observed cost.
+    pub fn max(&self) -> f64 {
+        self.costs.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// The minimum observed cost.
+    pub fn min(&self) -> f64 {
+        self.costs.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// A normalized histogram (density estimate) over `bins` equal-width bins
+    /// spanning the observed range, as `(bin_center, density)` pairs.
+    pub fn density(&self, bins: usize) -> Vec<(f64, f64)> {
+        if self.costs.is_empty() || bins == 0 {
+            return Vec::new();
+        }
+        let min = self.min();
+        let max = self.max();
+        let width = ((max - min) / bins as f64).max(1e-12);
+        let mut counts = vec![0usize; bins];
+        for &c in &self.costs {
+            let idx = (((c - min) / width) as usize).min(bins - 1);
+            counts[idx] += 1;
+        }
+        let n = self.costs.len() as f64;
+        counts
+            .iter()
+            .enumerate()
+            .map(|(i, &count)| {
+                let center = min + (i as f64 + 0.5) * width;
+                (center, count as f64 / (n * width))
+            })
+            .collect()
+    }
+}
+
+/// Simulates a program under the given configuration, collecting the cost of
+/// every trial.
+pub fn simulate(program: &Program, config: &SimConfig) -> CostSamples {
+    simulate_with(program, config, |_| {})
+}
+
+/// Like [`simulate`], but also invokes `observer` on every completed trial
+/// (useful to collect auxiliary statistics such as step counts).
+pub fn simulate_with(
+    program: &Program,
+    config: &SimConfig,
+    mut observer: impl FnMut(&Trial),
+) -> CostSamples {
+    let mut costs = Vec::with_capacity(config.trials);
+    let mut cutoffs = 0usize;
+    for i in 0..config.trials {
+        let trial = run_once(program, config, config.seed.wrapping_add(i as u64))
+            .expect("validated programs cannot fail to interpret");
+        if !trial.terminated {
+            cutoffs += 1;
+        }
+        observer(&trial);
+        costs.push(trial.cost);
+    }
+    CostSamples {
+        costs,
+        cutoff_trials: cutoffs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cma_appl::build::*;
+    use cma_semiring::poly::Var;
+
+    fn geometric_program() -> Program {
+        // Flip a fair coin until heads, ticking once per flip: Geometric(1/2).
+        ProgramBuilder::new()
+            .function("flip", if_prob(0.5, seq([tick(1.0), call("flip")]), tick(1.0)))
+            .main(call("flip"))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn constant_cost_statistics() {
+        let s = CostSamples::from_costs(vec![3.0; 100]);
+        assert_eq!(s.mean(), 3.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.raw_moment(2), 9.0);
+        assert_eq!(s.skewness(), 0.0);
+        assert_eq!(s.kurtosis(), 0.0);
+        assert_eq!(s.tail_probability(2.0), 1.0);
+        assert_eq!(s.tail_probability(4.0), 0.0);
+        assert_eq!(s.len(), 100);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn empty_samples_are_harmless() {
+        let s = CostSamples::from_costs(vec![]);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert!(s.density(10).is_empty());
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn geometric_cost_moments_match_theory() {
+        // For Geometric(p = 1/2) starting at 1: E = 2, V = 2, E[X²] = 6.
+        let program = geometric_program();
+        let stats = simulate(
+            &program,
+            &SimConfig {
+                trials: 40_000,
+                seed: 123,
+                ..Default::default()
+            },
+        );
+        assert!((stats.mean() - 2.0).abs() < 0.05);
+        assert!((stats.variance() - 2.0).abs() < 0.15);
+        assert!((stats.raw_moment(2) - 6.0).abs() < 0.4);
+        assert_eq!(stats.cutoff_trials(), 0);
+    }
+
+    #[test]
+    fn uniform_sampling_statistics() {
+        let program = ProgramBuilder::new()
+            .main(seq([
+                sample("t", uniform(-1.0, 2.0)),
+                // cost = t (via two ticks to exercise accumulation of variables):
+                // tick cannot take an expression, so branch on t's sign instead.
+                if_then_else(ge(v("t"), cst(0.5)), tick(1.0), tick(0.0)),
+            ]))
+            .build()
+            .unwrap();
+        let stats = simulate(
+            &program,
+            &SimConfig {
+                trials: 30_000,
+                seed: 7,
+                ..Default::default()
+            },
+        );
+        // P[t >= 0.5] for uniform(-1,2) is 0.5.
+        assert!((stats.mean() - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    fn initial_valuation_controls_loop_length() {
+        let program = ProgramBuilder::new()
+            .main(while_loop(
+                gt(v("n"), cst(0.0)),
+                seq([assign("n", sub(v("n"), cst(1.0))), tick(2.0)]),
+            ))
+            .build()
+            .unwrap();
+        let stats = simulate(
+            &program,
+            &SimConfig {
+                trials: 10,
+                seed: 3,
+                initial: vec![(Var::new("n"), 6.0)],
+                ..Default::default()
+            },
+        );
+        assert_eq!(stats.mean(), 12.0);
+        assert_eq!(stats.min(), 12.0);
+        assert_eq!(stats.max(), 12.0);
+    }
+
+    #[test]
+    fn density_integrates_to_one() {
+        let program = geometric_program();
+        let stats = simulate(
+            &program,
+            &SimConfig {
+                trials: 5_000,
+                seed: 11,
+                ..Default::default()
+            },
+        );
+        let density = stats.density(20);
+        assert_eq!(density.len(), 20);
+        let width = (stats.max() - stats.min()) / 20.0;
+        let mass: f64 = density.iter().map(|(_, d)| d * width).sum();
+        assert!((mass - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn observer_sees_every_trial() {
+        let program = geometric_program();
+        let mut steps = 0usize;
+        let stats = simulate_with(
+            &program,
+            &SimConfig {
+                trials: 100,
+                seed: 5,
+                ..Default::default()
+            },
+            |t| steps += t.steps,
+        );
+        assert_eq!(stats.len(), 100);
+        assert!(steps > 0);
+    }
+
+    #[test]
+    fn skewness_and_kurtosis_of_geometric_are_positive() {
+        let program = geometric_program();
+        let stats = simulate(
+            &program,
+            &SimConfig {
+                trials: 30_000,
+                seed: 17,
+                ..Default::default()
+            },
+        );
+        // Geometric distributions are right-skewed with heavy tails.
+        assert!(stats.skewness() > 1.0);
+        assert!(stats.kurtosis() > 5.0);
+    }
+}

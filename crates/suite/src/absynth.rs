@@ -1,0 +1,418 @@
+//! A representative subset of the Absynth benchmark suite used in Tab. 5:
+//! expected-cost bounds for programs with (mostly monotone) costs.
+//!
+//! The paper's table lists ~40 small loop programs; we reproduce the
+//! structurally distinct families (probabilistic increments, continuous
+//! steps, sequenced and nested loops, probabilistic termination, monotone
+//! resource counters).  Parameters follow the published bounds where the
+//! program shape determines them.
+
+use cma_appl::build::*;
+use cma_appl::{Program, Stmt};
+
+use crate::{var, Benchmark};
+
+fn loop_program(precondition: Vec<cma_appl::Cond>, body: Stmt) -> Program {
+    let mut builder = ProgramBuilder::new().main(body);
+    for c in precondition {
+        builder = builder.precondition(c);
+    }
+    builder.build().expect("absynth benchmark is valid")
+}
+
+/// `ber`: increment `x` with probability 1/2 per iteration until it reaches
+/// `n`; expected cost `2(n − x)`.
+pub fn ber() -> Benchmark {
+    let program = loop_program(
+        vec![le(v("x"), v("n"))],
+        while_loop(
+            lt(v("x"), v("n")),
+            seq([
+                if_prob(0.5, assign("x", add(v("x"), cst(1.0))), skip()),
+                tick(1.0),
+            ]),
+        ),
+    );
+    Benchmark::new("ber", "Bernoulli increments until x reaches n; E ≤ 2(n−x)", program,
+        vec![(var("n"), 10.0), (var("x"), 0.0)], 1)
+}
+
+/// `bin`: a binomial-style countdown: each iteration decrements `n` with
+/// probability 1/10 and always costs 1; expected cost `10·n`.
+pub fn bin() -> Benchmark {
+    let program = loop_program(
+        vec![ge(v("n"), cst(0.0))],
+        while_loop(
+            gt(v("n"), cst(0.0)),
+            seq([
+                if_prob(0.1, assign("n", sub(v("n"), cst(1.0))), skip()),
+                tick(1.0),
+            ]),
+        ),
+    );
+    Benchmark::new("bin", "slow probabilistic countdown; E ≤ 10n", program,
+        vec![(var("n"), 10.0)], 1)
+}
+
+/// `geo`: a geometric loop that stops with probability 1/5 per iteration;
+/// expected cost 5.
+pub fn geo() -> Benchmark {
+    let program = loop_program(
+        vec![],
+        seq([
+            assign("stop", cst(0.0)),
+            while_loop(
+                lt(v("stop"), cst(0.5)),
+                seq([
+                    if_prob(0.2, assign("stop", cst(1.0)), skip()),
+                    tick(1.0),
+                ]),
+            ),
+        ]),
+    );
+    Benchmark::new("geo", "geometric loop, stop probability 1/5; E ≤ 5", program, vec![], 1)
+}
+
+/// `hyper`: increments drawn uniformly from {0,…,4}; expected cost `5(n−x)/2`
+/// (cost 5 per iteration, mean increment 2).
+pub fn hyper() -> Benchmark {
+    let program = loop_program(
+        vec![le(v("x"), v("n"))],
+        while_loop(
+            lt(v("x"), v("n")),
+            seq([
+                sample("t", unif_int(0, 4)),
+                assign("x", add(v("x"), v("t"))),
+                tick(5.0),
+            ]),
+        ),
+    );
+    Benchmark::new("hyper", "uniform integer increments, cost 5 per draw", program,
+        vec![(var("n"), 10.0), (var("x"), 0.0)], 1)
+}
+
+/// `linear01`: probabilistic decrease by 2 or 1; expected cost `0.6x`.
+pub fn linear01() -> Benchmark {
+    let program = loop_program(
+        vec![ge(v("x"), cst(0.0))],
+        while_loop(
+            ge(v("x"), cst(2.0)),
+            seq([
+                if_prob(
+                    1.0 / 3.0,
+                    assign("x", sub(v("x"), cst(1.0))),
+                    assign("x", sub(v("x"), cst(2.0))),
+                ),
+                tick(1.0),
+            ]),
+        ),
+    );
+    Benchmark::new("linear01", "probabilistic decrease by 1 or 2; E ≤ 0.6x", program,
+        vec![(var("x"), 10.0)], 1)
+}
+
+/// `prdwalk`: random walk with uniform forward jumps; cost 1 per step.
+pub fn prdwalk() -> Benchmark {
+    let program = loop_program(
+        vec![le(v("x"), v("n"))],
+        while_loop(
+            lt(v("x"), v("n")),
+            seq([
+                sample("t", unif_int(0, 3)),
+                assign("x", add(v("x"), v("t"))),
+                tick(1.0),
+            ]),
+        ),
+    );
+    Benchmark::new("prdwalk", "forward jumps uniform on {0..3}; E ≤ (n−x+3)·2/3", program,
+        vec![(var("n"), 10.0), (var("x"), 0.0)], 1)
+}
+
+/// `rdwalk` (loop form): the classic ±1 walk with downward drift.
+pub fn rdwalk_loop() -> Benchmark {
+    let program = loop_program(
+        vec![le(v("x"), v("n"))],
+        while_loop(
+            lt(v("x"), v("n")),
+            seq([
+                if_prob(
+                    0.75,
+                    assign("x", add(v("x"), cst(1.0))),
+                    assign("x", sub(v("x"), cst(1.0))),
+                ),
+                tick(1.0),
+            ]),
+        ),
+    );
+    Benchmark::new("rdwalk", "±1 walk with upward drift toward n; E ≤ 2(n−x+1)", program,
+        vec![(var("n"), 10.0), (var("x"), 0.0)], 1)
+}
+
+/// `sprdwalk`: steps of stochastic size 0 or 1.
+pub fn sprdwalk() -> Benchmark {
+    let program = loop_program(
+        vec![le(v("x"), v("n"))],
+        while_loop(
+            lt(v("x"), v("n")),
+            seq([
+                sample("t", bernoulli(0.5)),
+                assign("x", add(v("x"), v("t"))),
+                tick(1.0),
+            ]),
+        ),
+    );
+    Benchmark::new("sprdwalk", "Bernoulli steps toward n; E ≤ 2(n−x)", program,
+        vec![(var("n"), 10.0), (var("x"), 0.0)], 1)
+}
+
+/// `rdseql`: two sequenced probabilistic loops.
+pub fn rdseql() -> Benchmark {
+    let program = loop_program(
+        vec![ge(v("x"), cst(0.0)), ge(v("y"), cst(0.0))],
+        seq([
+            while_loop(
+                gt(v("x"), cst(0.0)),
+                seq([
+                    if_prob(0.5, assign("x", sub(v("x"), cst(1.0))), skip()),
+                    tick(1.0),
+                ]),
+            ),
+            while_loop(
+                gt(v("y"), cst(0.0)),
+                seq([assign("y", sub(v("y"), cst(1.0))), tick(1.0)]),
+            ),
+        ]),
+    );
+    Benchmark::new("rdseql", "sequenced probabilistic then deterministic loops; E ≤ 2x + y",
+        program, vec![(var("x"), 10.0), (var("y"), 10.0)], 1)
+}
+
+/// `rdspeed`: two counters racing with different speeds.
+pub fn rdspeed() -> Benchmark {
+    let program = loop_program(
+        vec![le(v("x"), v("n")), le(v("y"), v("m"))],
+        seq([
+            while_loop(
+                lt(v("x"), v("n")),
+                seq([
+                    if_prob(
+                        0.75,
+                        assign("x", add(v("x"), cst(2.0))),
+                        assign("x", add(v("x"), cst(1.0))),
+                    ),
+                    tick(1.0),
+                ]),
+            ),
+            while_loop(
+                lt(v("y"), v("m")),
+                seq([
+                    if_prob(0.5, assign("y", add(v("y"), cst(1.0))), skip()),
+                    tick(1.0),
+                ]),
+            ),
+        ]),
+    );
+    Benchmark::new("rdspeed", "two racing counters; E ≤ 2(m−y) + 0.57(n−x)", program,
+        vec![(var("n"), 10.0), (var("m"), 10.0), (var("x"), 0.0), (var("y"), 0.0)], 1)
+}
+
+/// `race`: a hare-and-tortoise race (probabilistic catch-up).
+pub fn race() -> Benchmark {
+    let program = loop_program(
+        vec![le(v("h"), v("t"))],
+        while_loop(
+            le(v("h"), v("t")),
+            seq([
+                assign("t", add(v("t"), cst(1.0))),
+                if_prob(
+                    0.5,
+                    seq([sample("s", unif_int(0, 5)), assign("h", add(v("h"), v("s")))]),
+                    skip(),
+                ),
+                tick(1.0),
+            ]),
+        ),
+    );
+    Benchmark::new("race", "hare catches tortoise; E ≤ 0.67(t−h+9)", program,
+        vec![(var("h"), 0.0), (var("t"), 10.0)], 1)
+}
+
+/// `coupon`: the 5-coupon collector of the Absynth suite.
+pub fn coupon() -> Benchmark {
+    let program = loop_program(
+        vec![],
+        seq([
+            assign("c", cst(0.0)),
+            while_loop(
+                lt(v("c"), cst(1.0)),
+                seq([if_prob(0.2, assign("c", cst(1.0)), skip()), tick(1.0)]),
+            ),
+            while_loop(
+                lt(v("c"), cst(2.0)),
+                seq([if_prob(0.4, assign("c", cst(2.0)), skip()), tick(1.0)]),
+            ),
+            while_loop(
+                lt(v("c"), cst(3.0)),
+                seq([if_prob(0.6, assign("c", cst(3.0)), skip()), tick(1.0)]),
+            ),
+            while_loop(
+                lt(v("c"), cst(4.0)),
+                seq([if_prob(0.8, assign("c", cst(4.0)), skip()), tick(1.0)]),
+            ),
+            tick(1.0),
+        ]),
+    );
+    Benchmark::new("coupon", "5-coupon collector as sequenced phases; E ≈ 11.42", program,
+        vec![], 1)
+}
+
+/// `cowboy_duel`: a duel won with probability 1/3 per round by the shooter.
+pub fn cowboy_duel() -> Benchmark {
+    let program = ProgramBuilder::new()
+        .function(
+            "duel",
+            if_prob(
+                1.0 / 3.0,
+                tick(1.0),
+                seq([tick(1.0), if_prob(0.5, skip(), call("duel"))]),
+            ),
+        )
+        .main(call("duel"))
+        .build()
+        .expect("cowboy_duel is valid");
+    Benchmark::new("cowboy_duel", "alternating duel; E ≤ 1.5 rounds", program, vec![], 1)
+}
+
+/// `fcall`: cost hidden behind a helper function call.
+pub fn fcall() -> Benchmark {
+    let program = ProgramBuilder::new()
+        .function(
+            "step",
+            seq([
+                if_prob(0.5, assign("x", add(v("x"), cst(1.0))), skip()),
+                tick(1.0),
+            ]),
+        )
+        .function_with_precondition(
+            "outer",
+            if_then(lt(v("x"), v("n")), seq([call("step"), call("outer")])),
+            [le(v("x"), add(v("n"), cst(1.0)))],
+        )
+        .main(call("outer"))
+        .precondition(le(v("x"), v("n")))
+        .build()
+        .expect("fcall is valid");
+    Benchmark::new("fcall", "loop via function calls; E ≤ 2(n−x)", program,
+        vec![(var("n"), 10.0), (var("x"), 0.0)], 1)
+}
+
+/// `condand`: cost proportional to the smaller of two counters.
+pub fn condand() -> Benchmark {
+    let program = loop_program(
+        vec![ge(v("n"), cst(0.0)), ge(v("m"), cst(0.0))],
+        while_loop(
+            and(gt(v("n"), cst(0.0)), gt(v("m"), cst(0.0))),
+            seq([
+                if_prob(
+                    0.5,
+                    assign("n", sub(v("n"), cst(1.0))),
+                    assign("m", sub(v("m"), cst(1.0))),
+                ),
+                tick(1.0),
+            ]),
+        ),
+    );
+    Benchmark::new("condand", "terminates when either counter hits 0; E ≤ 2·min(n,m)-ish",
+        program, vec![(var("n"), 8.0), (var("m"), 8.0)], 1)
+}
+
+/// `C4B_t13`: two phases with probabilistic transfer between counters.
+pub fn c4b_t13() -> Benchmark {
+    let program = loop_program(
+        vec![ge(v("x"), cst(0.0)), ge(v("y"), cst(0.0))],
+        seq([
+            while_loop(
+                gt(v("x"), cst(0.0)),
+                seq([
+                    assign("x", sub(v("x"), cst(1.0))),
+                    if_prob(0.25, assign("y", add(v("y"), cst(1.0))), skip()),
+                    tick(1.0),
+                ]),
+            ),
+            while_loop(
+                gt(v("y"), cst(0.0)),
+                seq([assign("y", sub(v("y"), cst(1.0))), tick(1.0)]),
+            ),
+        ]),
+    );
+    Benchmark::new("C4B_t13", "transfer between counters then drain; E ≤ 1.25x + y", program,
+        vec![(var("x"), 10.0), (var("y"), 10.0)], 1)
+}
+
+/// All benchmarks of the Absynth comparison subset.
+pub fn all() -> Vec<Benchmark> {
+    vec![
+        ber(),
+        bin(),
+        geo(),
+        hyper(),
+        linear01(),
+        prdwalk(),
+        rdwalk_loop(),
+        sprdwalk(),
+        rdseql(),
+        rdspeed(),
+        race(),
+        coupon(),
+        cowboy_duel(),
+        fcall(),
+        condand(),
+        c4b_t13(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cma_sim::{simulate, SimConfig};
+
+    #[test]
+    fn suite_is_populated_and_valid() {
+        let suite = all();
+        assert_eq!(suite.len(), 16);
+        for b in &suite {
+            assert!(b.program.size() > 0);
+        }
+    }
+
+    #[test]
+    fn expected_costs_match_closed_forms_by_simulation() {
+        // Spot-check a few closed-form expectations by simulation.
+        let cases: Vec<(Benchmark, f64, f64)> = vec![
+            (ber(), 20.0, 0.6),
+            (bin(), 100.0, 3.5),
+            (geo(), 5.0, 0.2),
+            (sprdwalk(), 20.0, 0.6),
+            // From x = 10 the loop stops once x drops below 2, slightly before
+            // the asymptotic 0.6·x estimate; the simulated mean is ≈ 5.65.
+            (linear01(), 5.65, 0.3),
+        ];
+        for (b, expected, tolerance) in cases {
+            let stats = simulate(
+                &b.program,
+                &SimConfig {
+                    trials: 20_000,
+                    seed: 9,
+                    initial: b.initial_state(),
+                    ..Default::default()
+                },
+            );
+            assert!(
+                (stats.mean() - expected).abs() < tolerance,
+                "{}: simulated {} vs expected {expected}",
+                b.name,
+                stats.mean()
+            );
+        }
+    }
+}

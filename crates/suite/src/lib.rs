@@ -1,0 +1,130 @@
+//! The benchmark programs of the paper's evaluation (§6 and appendices),
+//! expressed with the `cma-appl` builder DSL.
+//!
+//! Every benchmark carries the metadata the harness needs to reproduce the
+//! corresponding table row or figure series: the program, the valuation at
+//! which bounds are reported (and at which the LP objective minimizes
+//! imprecision), the target moment degree, and the initial valuation used by
+//! the Monte-Carlo cross-check.
+//!
+//! | Module | Paper experiment |
+//! |---|---|
+//! | [`running`]     | Fig. 1/2/3/7 running example, Tab. 2 / Fig. 11 variants |
+//! | [`kura`]        | Tab. 1/3/4, Fig. 9/15 — comparison with Kura et al. |
+//! | [`absynth`]     | Tab. 5 — expected monotone costs (Absynth suite subset) |
+//! | [`nonmonotone`] | Tab. 6 — non-monotone expected costs (Wang et al. suite) |
+//! | [`synthetic`]   | Fig. 10 — scalability chains |
+//! | [`timing`]      | Appendix I — timing-attack case study |
+
+pub mod absynth;
+pub mod kura;
+pub mod nonmonotone;
+pub mod running;
+pub mod synthetic;
+pub mod timing;
+
+use cma_appl::Program;
+use cma_semiring::poly::Var;
+
+/// A benchmark program plus the metadata needed to reproduce the paper's
+/// experiment for it.
+#[derive(Debug, Clone)]
+pub struct Benchmark {
+    /// Short identifier used in tables (e.g. `"(2-1)"` or `"coupon"`).
+    pub name: String,
+    /// What the benchmark models and which experiment uses it.
+    pub description: String,
+    /// The program itself.
+    pub program: Program,
+    /// Valuation of symbolic parameters at which bounds are evaluated and at
+    /// which the analysis minimizes imprecision.
+    pub valuation: Vec<(Var, f64)>,
+    /// Target moment degree for the experiment (2 or 4 in the paper).
+    pub degree: usize,
+    /// Template variables to use (None = all program variables).
+    pub template_vars: Option<Vec<Var>>,
+}
+
+impl Benchmark {
+    /// Builds a benchmark with the given data.
+    pub fn new(
+        name: impl Into<String>,
+        description: impl Into<String>,
+        program: Program,
+        valuation: Vec<(Var, f64)>,
+        degree: usize,
+    ) -> Self {
+        Benchmark {
+            name: name.into(),
+            description: description.into(),
+            program,
+            valuation,
+            degree,
+            template_vars: None,
+        }
+    }
+
+    /// Restricts template variables.
+    pub fn with_template_vars(mut self, vars: Vec<Var>) -> Self {
+        self.template_vars = Some(vars);
+        self
+    }
+
+    /// The valuation as `(name, value)` pairs for the simulator's initial
+    /// state.
+    pub fn initial_state(&self) -> Vec<(Var, f64)> {
+        self.valuation.clone()
+    }
+}
+
+/// Convenience: a variable by name.
+pub fn var(name: &str) -> Var {
+    Var::new(name)
+}
+
+/// All benchmarks used by the moment-bound tables (Tab. 1/3/4, Fig. 9).
+pub fn kura_suite() -> Vec<Benchmark> {
+    kura::all()
+}
+
+/// All benchmarks of the expected-cost comparison (Tab. 5).
+pub fn absynth_suite() -> Vec<Benchmark> {
+    absynth::all()
+}
+
+/// All benchmarks of the non-monotone comparison (Tab. 6).
+pub fn nonmonotone_suite() -> Vec<Benchmark> {
+    nonmonotone::all()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_suites_build_valid_programs() {
+        let mut total = 0;
+        for b in kura_suite()
+            .into_iter()
+            .chain(absynth_suite())
+            .chain(nonmonotone_suite())
+            .chain([running::rdwalk(), running::rdwalk_variant_1(), running::rdwalk_variant_2()])
+            .chain([timing::password_checker(8)])
+            .chain([synthetic::coupon_chain(5), synthetic::random_walk_chain(5)])
+        {
+            assert!(!b.name.is_empty());
+            assert!(!b.description.is_empty());
+            assert!(b.degree >= 1);
+            assert!(b.program.size() > 0);
+            total += 1;
+        }
+        assert!(total >= 20, "expected a sizable suite, got {total}");
+    }
+
+    #[test]
+    fn benchmark_metadata_helpers() {
+        let b = running::rdwalk().with_template_vars(vec![var("x"), var("d")]);
+        assert_eq!(b.template_vars.as_ref().unwrap().len(), 2);
+        assert_eq!(b.initial_state(), b.valuation);
+    }
+}

@@ -1,0 +1,224 @@
+//! Benchmarks with non-monotone costs compared against Wang et al. (Tab. 6).
+//!
+//! These programs mix rewards (negative ticks) and costs, which is exactly the
+//! situation where interval bounds — simultaneous upper *and* lower bounds —
+//! are required for soundness (§3.3).
+
+use cma_appl::build::*;
+
+use crate::{var, Benchmark};
+
+/// Bitcoin mining: every attempt costs nothing but succeeds with probability
+/// 1/4 and then pays a block reward of 6 (modeled as cost −6); the loop runs
+/// `x` rounds.  The expected total cost is `−1.5·x`.
+pub fn bitcoin_mining() -> Benchmark {
+    let program = ProgramBuilder::new()
+        .main(while_loop(
+            ge(v("x"), cst(1.0)),
+            seq([
+                assign("x", sub(v("x"), cst(1.0))),
+                if_prob(0.25, tick(-6.0), skip()),
+            ]),
+        ))
+        .precondition(ge(v("x"), cst(0.0)))
+        .build()
+        .expect("bitcoin_mining is valid");
+    Benchmark::new(
+        "bitcoin-mining",
+        "block rewards as negative costs over x rounds; E = −1.5x",
+        program,
+        vec![(var("x"), 10.0)],
+        2,
+    )
+}
+
+/// Bitcoin mining pool: each of `y` miners runs a geometric number of rounds,
+/// collecting rewards; costs are quadratic in `y`.
+pub fn bitcoin_pool() -> Benchmark {
+    let program = ProgramBuilder::new()
+        .function(
+            "mine_block",
+            seq([
+                if_prob(0.5, tick(-3.0), skip()),
+                if_prob(0.2, skip(), call("mine_block")),
+            ]),
+        )
+        .main(while_loop(
+            ge(v("y"), cst(1.0)),
+            seq([assign("y", sub(v("y"), cst(1.0))), call("mine_block")]),
+        ))
+        .precondition(ge(v("y"), cst(0.0)))
+        .build()
+        .expect("bitcoin_pool is valid");
+    Benchmark::new(
+        "bitcoin-pool",
+        "pooled mining with geometric rounds per miner; E = −7.5y",
+        program,
+        vec![(var("y"), 6.0)],
+        2,
+    )
+}
+
+/// The running example of Wang et al.: a loop whose body both charges and
+/// refunds cost with equal probability but drifts toward charging.
+pub fn running_example() -> Benchmark {
+    let program = ProgramBuilder::new()
+        .main(while_loop(
+            gt(v("x"), cst(0.0)),
+            seq([
+                assign("x", sub(v("x"), cst(1.0))),
+                if_prob(2.0 / 3.0, tick(1.0), tick(-1.0)),
+            ]),
+        ))
+        .precondition(ge(v("x"), cst(0.0)))
+        .build()
+        .expect("running_example is valid");
+    Benchmark::new(
+        "wang-running",
+        "±1 costs with drift; E = x/3",
+        program,
+        vec![(var("x"), 9.0)],
+        2,
+    )
+}
+
+/// Random walk with cost proportional to distance covered: the accumulated
+/// cost decreases on backward moves.
+pub fn signed_random_walk() -> Benchmark {
+    let program = ProgramBuilder::new()
+        .main(while_loop(
+            lt(v("x"), v("n")),
+            seq([
+                if_prob(
+                    0.75,
+                    seq([assign("x", add(v("x"), cst(1.0))), tick(3.0)]),
+                    seq([assign("x", sub(v("x"), cst(1.0))), tick(-1.0)]),
+                ),
+            ]),
+        ))
+        .precondition(le(v("x"), v("n")))
+        .build()
+        .expect("signed_random_walk is valid");
+    Benchmark::new(
+        "signed-walk",
+        "walk toward n charging on forward and refunding on backward moves; E = 4(n−x)",
+        program,
+        vec![(var("n"), 10.0), (var("x"), 0.0)],
+        2,
+    )
+}
+
+/// Pollutant disposal: each of `n` days disposes a random amount at unit
+/// revenue but pays a quadratic-in-time penalty, yielding a concave profile.
+pub fn pollutant_disposal() -> Benchmark {
+    let program = ProgramBuilder::new()
+        .main(while_loop(
+            gt(v("n"), cst(0.0)),
+            seq([
+                assign("n", sub(v("n"), cst(1.0))),
+                sample("t", unif_int(0, 10)),
+                if_prob(0.5, tick(10.0), tick(-9.0)),
+            ]),
+        ))
+        .precondition(ge(v("n"), cst(0.0)))
+        .build()
+        .expect("pollutant_disposal is valid");
+    Benchmark::new(
+        "pollutant",
+        "mixed charges and refunds per day; E = 0.5n",
+        program,
+        vec![(var("n"), 10.0)],
+        2,
+    )
+}
+
+/// Good discount: a store grants discounts (refunds) while stock lasts.
+pub fn good_discount() -> Benchmark {
+    let program = ProgramBuilder::new()
+        .main(while_loop(
+            ge(v("n"), cst(1.0)),
+            seq([
+                assign("n", sub(v("n"), cst(1.0))),
+                if_prob(0.1, tick(-5.0), tick(0.5)),
+            ]),
+        ))
+        .precondition(ge(v("n"), cst(0.0)))
+        .build()
+        .expect("good_discount is valid");
+    Benchmark::new(
+        "good-discount",
+        "occasional refunds among small charges; E = −0.05n",
+        program,
+        vec![(var("n"), 20.0)],
+        2,
+    )
+}
+
+/// All benchmarks of the non-monotone comparison.
+pub fn all() -> Vec<Benchmark> {
+    vec![
+        bitcoin_mining(),
+        bitcoin_pool(),
+        running_example(),
+        signed_random_walk(),
+        pollutant_disposal(),
+        good_discount(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cma_sim::{simulate, SimConfig};
+
+    #[test]
+    fn suite_is_populated() {
+        assert_eq!(all().len(), 6);
+    }
+
+    #[test]
+    fn expected_costs_match_closed_forms_by_simulation() {
+        let cases: Vec<(Benchmark, f64, f64)> = vec![
+            (bitcoin_mining(), -15.0, 0.5),
+            (bitcoin_pool(), -45.0, 2.0),
+            (running_example(), 3.0, 0.2),
+            (pollutant_disposal(), 5.0, 0.5),
+            (good_discount(), -1.0, 0.3),
+        ];
+        for (b, expected, tolerance) in cases {
+            let stats = simulate(
+                &b.program,
+                &SimConfig {
+                    trials: 30_000,
+                    seed: 21,
+                    initial: b.initial_state(),
+                    ..Default::default()
+                },
+            );
+            assert!(
+                (stats.mean() - expected).abs() < tolerance,
+                "{}: simulated {} vs expected {expected}",
+                b.name,
+                stats.mean()
+            );
+        }
+    }
+
+    #[test]
+    fn signed_walk_has_negative_excursions() {
+        // The accumulated cost can temporarily decrease, so per-trial costs
+        // can fall below the expectation of a monotone counter.
+        let b = signed_random_walk();
+        let stats = simulate(
+            &b.program,
+            &SimConfig {
+                trials: 5_000,
+                seed: 5,
+                initial: b.initial_state(),
+                ..Default::default()
+            },
+        );
+        assert!(stats.min() < stats.mean());
+        assert!(stats.mean() > 0.0);
+    }
+}

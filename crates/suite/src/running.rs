@@ -1,0 +1,118 @@
+//! The running example of the paper (Fig. 2) and the two random-walk variants
+//! used for the skewness/kurtosis case study (Tab. 2 / Fig. 11).
+
+use cma_appl::build::*;
+use cma_appl::Program;
+
+use crate::{var, Benchmark};
+
+/// The bounded, biased random walk of Fig. 2, implemented with non-tail
+/// recursion exactly as in the paper.
+///
+/// Expected results (Fig. 1(b)): `E[tick] ≤ 2d + 4`,
+/// `E[tick²] ≤ 4d² + 22d + 28`, `V[tick] ≤ 22d + 28`.
+pub fn rdwalk_program() -> Program {
+    ProgramBuilder::new()
+        .function_with_precondition(
+            "rdwalk",
+            if_then(
+                lt(v("x"), v("d")),
+                seq([
+                    sample("t", uniform(-1.0, 2.0)),
+                    assign("x", add(v("x"), v("t"))),
+                    call("rdwalk"),
+                    tick(1.0),
+                ]),
+            ),
+            [lt(v("x"), add(v("d"), cst(2.0))), gt(v("d"), cst(0.0))],
+        )
+        .main(seq([assign("x", cst(0.0)), call("rdwalk")]))
+        .precondition(gt(v("d"), cst(0.0)))
+        .build()
+        .expect("rdwalk is a valid program")
+}
+
+/// The running example as a [`Benchmark`] evaluated at `d = 10`.
+pub fn rdwalk() -> Benchmark {
+    Benchmark::new(
+        "rdwalk",
+        "Fig. 2 bounded biased random walk (recursion, uniform(-1,2) steps)",
+        rdwalk_program(),
+        vec![(var("d"), 10.0), (var("x"), 0.0)],
+        2,
+    )
+}
+
+fn loop_walk(name: &str, description: &str, p_forward: f64, forward: f64, backward: f64, start: f64) -> Benchmark {
+    // A loop-based random walk toward 0 from `x = start`:
+    // with probability p_forward the position decreases by `forward`,
+    // otherwise it increases by `backward`; each step costs 1.
+    let program = ProgramBuilder::new()
+        .main(seq([
+            assign("x", cst(start)),
+            while_loop(
+                gt(v("x"), cst(0.0)),
+                seq([
+                    if_prob(
+                        p_forward,
+                        assign("x", sub(v("x"), cst(forward))),
+                        assign("x", add(v("x"), cst(backward))),
+                    ),
+                    tick(1.0),
+                ]),
+            ),
+        ]))
+        .build()
+        .expect("loop walk is a valid program");
+    Benchmark::new(name, description, program, vec![], 4)
+}
+
+/// Variant `rdwalk-1` of §6 (Tab. 2): moderate drift, unit steps.
+pub fn rdwalk_variant_1() -> Benchmark {
+    loop_walk(
+        "rdwalk-1",
+        "random walk variant 1 of the skewness/kurtosis case study (Tab. 2)",
+        0.75,
+        1.0,
+        1.0,
+        10.0,
+    )
+}
+
+/// Variant `rdwalk-2` of §6 (Tab. 2): same expected runtime as `rdwalk-1` but
+/// smaller per-step progress probability and larger steps, hence heavier
+/// tails.
+pub fn rdwalk_variant_2() -> Benchmark {
+    loop_walk(
+        "rdwalk-2",
+        "random walk variant 2 of the skewness/kurtosis case study (Tab. 2)",
+        0.625,
+        2.0,
+        2.0,
+        10.0,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rdwalk_program_shape() {
+        let p = rdwalk_program();
+        assert!(p.function("rdwalk").is_some());
+        assert_eq!(p.precondition().len(), 1);
+        assert!(p.vars().len() >= 3);
+    }
+
+    #[test]
+    fn variants_have_equal_expected_drift() {
+        // Both variants make expected progress 0.5 per step from x = 10, so
+        // their expected runtimes agree (the paper's premise for Tab. 2).
+        let drift1: f64 = 0.75 * 1.0 - 0.25 * 1.0;
+        let drift2: f64 = 0.625 * 2.0 - 0.375 * 2.0;
+        assert!((drift1 - drift2).abs() < 1e-12);
+        assert_eq!(rdwalk_variant_1().degree, 4);
+        assert_eq!(rdwalk_variant_2().degree, 4);
+    }
+}

@@ -1,0 +1,136 @@
+//! Synthetic scalability benchmarks (Fig. 10): families of programs whose
+//! size grows with a parameter `N`, used to measure how the analysis time
+//! scales with the number of (recursive) functions.
+
+use cma_appl::build::*;
+
+use crate::{var, Benchmark};
+
+/// Fig. 10(a): a coupon-collector with `N` coupons implemented as `N`
+/// tail-recursive functions, one per collection state.
+pub fn coupon_chain(n: usize) -> Benchmark {
+    assert!(n >= 1, "need at least one coupon");
+    let mut builder = ProgramBuilder::new();
+    for i in 0..n {
+        let p_fresh = (n - i) as f64 / n as f64;
+        let next = if i + 1 == n {
+            skip()
+        } else {
+            call(&format!("phase{}", i + 1))
+        };
+        builder = builder.function(
+            &format!("phase{i}"),
+            seq([
+                tick(1.0),
+                if_prob(p_fresh, next, call(&format!("phase{i}"))),
+            ]),
+        );
+    }
+    let program = builder.main(call("phase0")).build().expect("coupon chain is valid");
+    Benchmark::new(
+        format!("coupon-chain-{n}"),
+        format!("coupon collector with {n} coupons, one tail-recursive function per state (Fig. 10a)"),
+        program,
+        vec![],
+        4,
+    )
+}
+
+/// Fig. 10(b): `N` consecutive bounded random walks, each a non-tail-recursive
+/// function; walk `i+1` starts where walk `i` stopped (shared position
+/// variable), and the hand-off call is in tail position.
+pub fn random_walk_chain(n: usize) -> Benchmark {
+    assert!(n >= 1, "need at least one walk");
+    let mut builder = ProgramBuilder::new();
+    for i in 0..n {
+        let walk = format!("walk{i}");
+        let recursive_step = seq([
+            if_prob(
+                0.75,
+                assign("x", sub(v("x"), cst(1.0))),
+                assign("x", add(v("x"), cst(1.0))),
+            ),
+            call(&walk),
+            tick(1.0),
+        ]);
+        let handoff = if i + 1 == n {
+            skip()
+        } else {
+            seq([assign("x", cst(4.0)), call(&format!("walk{}", i + 1))])
+        };
+        builder = builder.function_with_precondition(
+            &walk,
+            if_then_else(gt(v("x"), cst(0.0)), recursive_step, handoff),
+            [ge(v("x"), cst(0.0))],
+        );
+    }
+    let program = builder
+        .main(seq([assign("x", cst(4.0)), call("walk0")]))
+        .precondition(ge(v("x"), cst(0.0)))
+        .build()
+        .expect("random walk chain is valid");
+    Benchmark::new(
+        format!("walk-chain-{n}"),
+        format!("{n} chained bounded random walks, non-tail recursion per walk (Fig. 10b)"),
+        program,
+        vec![(var("x"), 4.0)],
+        2,
+    )
+}
+
+/// The sweep of chain lengths used by the scalability harness.
+pub fn sweep(max_n: usize, step: usize) -> Vec<usize> {
+    (1..=max_n).step_by(step.max(1)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cma_sim::{simulate, SimConfig};
+
+    #[test]
+    fn chains_grow_linearly_in_size() {
+        let small = coupon_chain(5);
+        let large = coupon_chain(20);
+        assert!(large.program.size() > 3 * small.program.size());
+        let w_small = random_walk_chain(3);
+        let w_large = random_walk_chain(12);
+        assert!(w_large.program.size() > 3 * w_small.program.size());
+    }
+
+    #[test]
+    fn coupon_chain_expected_cost_is_harmonic() {
+        let b = coupon_chain(4);
+        let stats = simulate(
+            &b.program,
+            &SimConfig {
+                trials: 20_000,
+                seed: 13,
+                ..Default::default()
+            },
+        );
+        let expected = 4.0 * (1.0 + 0.5 + 1.0 / 3.0 + 0.25);
+        assert!((stats.mean() - expected).abs() < 0.15);
+    }
+
+    #[test]
+    fn walk_chain_cost_scales_with_length() {
+        let short = random_walk_chain(1);
+        let long = random_walk_chain(4);
+        let config = |b: &Benchmark| SimConfig {
+            trials: 4_000,
+            seed: 17,
+            initial: b.initial_state(),
+            ..Default::default()
+        };
+        let cost_short = simulate(&short.program, &config(&short)).mean();
+        let cost_long = simulate(&long.program, &config(&long)).mean();
+        assert!(cost_long > 3.0 * cost_short);
+    }
+
+    #[test]
+    fn sweep_generates_requested_points() {
+        assert_eq!(sweep(10, 3), vec![1, 4, 7, 10]);
+        assert_eq!(sweep(2, 0), vec![1, 2]);
+    }
+}

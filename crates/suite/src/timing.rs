@@ -1,0 +1,116 @@
+//! The timing-attack case study of Appendix I.
+//!
+//! The DARPA STAC password checker compares a guess against a secret bit by
+//! bit, adding random delays as a (flawed) countermeasure.  The attack infers
+//! one secret bit at a time from the *running time* of the comparison; its
+//! success probability is bounded using the mean and **variance** of the
+//! running time under the two hypotheses (`secret[i] = guess[i]` vs. not),
+//! which is exactly where central moments beat raw moments.
+//!
+//! Appl has no arrays, so the two hypotheses are modeled as two programs over
+//! the number of *matching* bits `eq` and *mismatching* bits `neq` that the
+//! comparison still has to process: the per-bit cost is `2` plus a
+//! geometrically-distributed number of delay rounds costing `5` (matching
+//! bits) or `10` (mismatching bits), mirroring the cost model of Fig. 16(b).
+
+use cma_appl::build::*;
+use cma_appl::{Program, Stmt};
+
+use crate::Benchmark;
+
+fn per_bit_cost(delay_cost: f64) -> Stmt {
+    // tick(2) for the outer-loop bookkeeping, then a geometric number of
+    // delay rounds (continue with probability 1/2 each time).
+    seq([
+        tick(2.0),
+        assign("again", cst(1.0)),
+        while_loop(
+            ge(v("again"), cst(1.0)),
+            seq([
+                tick(delay_cost),
+                if_prob(0.5, assign("again", cst(0.0)), skip()),
+            ]),
+        ),
+    ])
+}
+
+/// The comparison loop when the remaining `eq` bits all match the guess.
+pub fn compare_matching(bits: u32) -> Program {
+    ProgramBuilder::new()
+        .main(seq([
+            assign("eq", cst(bits as f64)),
+            while_loop(
+                gt(v("eq"), cst(0.0)),
+                seq([assign("eq", sub(v("eq"), cst(1.0))), per_bit_cost(5.0)]),
+            ),
+        ]))
+        .precondition(ge(v("eq"), cst(0.0)))
+        .build()
+        .expect("compare_matching is valid")
+}
+
+/// The comparison loop when the remaining `neq` bits all mismatch the guess
+/// (each costs the more expensive branch of Fig. 16(b)).
+pub fn compare_mismatching(bits: u32) -> Program {
+    ProgramBuilder::new()
+        .main(seq([
+            assign("neq", cst(bits as f64)),
+            while_loop(
+                gt(v("neq"), cst(0.0)),
+                seq([assign("neq", sub(v("neq"), cst(1.0))), per_bit_cost(10.0)]),
+            ),
+        ]))
+        .precondition(ge(v("neq"), cst(0.0)))
+        .build()
+        .expect("compare_mismatching is valid")
+}
+
+/// The matching-bits hypothesis as a [`Benchmark`].
+pub fn password_checker(bits: u32) -> Benchmark {
+    Benchmark::new(
+        format!("timing-eq-{bits}"),
+        "password checker running time when the guessed bit is correct (Appendix I)",
+        compare_matching(bits),
+        vec![],
+        2,
+    )
+}
+
+/// The mismatching-bits hypothesis as a [`Benchmark`].
+pub fn password_checker_mismatch(bits: u32) -> Benchmark {
+    Benchmark::new(
+        format!("timing-neq-{bits}"),
+        "password checker running time when the guessed bit is wrong (Appendix I)",
+        compare_mismatching(bits),
+        vec![],
+        2,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cma_sim::{simulate, SimConfig};
+
+    #[test]
+    fn per_bit_expected_costs_differ_between_hypotheses() {
+        // Matching bits: 2 + 5·E[rounds] = 2 + 10 = 12 per bit.
+        // Mismatching bits: 2 + 10·E[rounds] = 22 per bit.
+        let config = SimConfig {
+            trials: 20_000,
+            seed: 3,
+            ..Default::default()
+        };
+        let eq = simulate(&compare_matching(4), &config);
+        let neq = simulate(&compare_mismatching(4), &config);
+        assert!((eq.mean() - 48.0).abs() < 1.0);
+        assert!((neq.mean() - 88.0).abs() < 1.5);
+        assert!(neq.mean() > eq.mean() + 30.0);
+    }
+
+    #[test]
+    fn benchmarks_expose_both_hypotheses() {
+        assert!(password_checker(8).name.contains("eq"));
+        assert!(password_checker_mismatch(8).name.contains("neq"));
+    }
+}

@@ -1,0 +1,22 @@
+//! Umbrella crate for the central-moment-analysis reproduction.
+//!
+//! Re-exports every workspace crate under a short module name so examples and
+//! downstream users can depend on a single package:
+//!
+//! * [`semiring`] — moment semirings, intervals, polynomials;
+//! * [`appl`] — the Appl probabilistic language (AST, parser, builder DSL);
+//! * [`sim`] — Monte-Carlo operational semantics;
+//! * [`lp`] — the simplex LP solver;
+//! * [`logic`] — logical contexts and certificates;
+//! * [`inference`] — the central-moment analysis itself;
+//! * [`suite`] — the benchmark programs of the paper's evaluation.
+//!
+//! See `README.md` for a tour and `DESIGN.md` for the architecture.
+
+pub use cma_appl as appl;
+pub use cma_inference as inference;
+pub use cma_logic as logic;
+pub use cma_lp as lp;
+pub use cma_semiring as semiring;
+pub use cma_sim as sim;
+pub use cma_suite as suite;

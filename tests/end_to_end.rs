@@ -1,0 +1,177 @@
+//! Cross-crate integration tests: every analytic bound is checked against the
+//! Monte-Carlo semantics, and the whole pipeline (parse → analyze → central
+//! moments → tail bounds) is exercised end to end.
+
+use central_moment_analysis::appl::parse_program;
+use central_moment_analysis::inference::{analyze, AnalysisOptions, CentralMoments};
+use central_moment_analysis::sim::{simulate, SimConfig};
+use central_moment_analysis::suite::{self, Benchmark};
+
+/// Analyzes a benchmark and checks every derived bound against simulation.
+/// Returns `false` when the analysis itself fails (some loop-heavy benchmarks
+/// exceed what the linear certificates can express — the callers require a
+/// minimum success count rather than perfection).
+fn check_bounds_against_simulation(benchmark: &Benchmark, degree: usize) -> bool {
+    let options = AnalysisOptions::degree(degree).with_valuation(benchmark.valuation.clone());
+    let Ok(result) = analyze(&benchmark.program, &options) else {
+        eprintln!("note: {} not analyzable at degree {degree}", benchmark.name);
+        return false;
+    };
+    let intervals = result.raw_intervals_at(&benchmark.valuation);
+    let stats = simulate(
+        &benchmark.program,
+        &SimConfig {
+            trials: 20_000,
+            seed: 7,
+            initial: benchmark.initial_state(),
+            ..Default::default()
+        },
+    );
+    // Tolerances account for Monte-Carlo noise (higher moments are noisier).
+    for k in 1..=degree.min(2) {
+        let simulated = stats.raw_moment(k as u32);
+        let tolerance = 0.02 * simulated.abs() + 0.5;
+        assert!(
+            simulated <= intervals[k].hi() + tolerance,
+            "{}: E[C^{k}] = {simulated} exceeds derived upper bound {}",
+            benchmark.name,
+            intervals[k].hi()
+        );
+        assert!(
+            simulated >= intervals[k].lo() - tolerance,
+            "{}: E[C^{k}] = {simulated} is below derived lower bound {}",
+            benchmark.name,
+            intervals[k].lo()
+        );
+    }
+    true
+}
+
+#[test]
+fn running_example_bounds_are_sound_and_tight() {
+    let b = suite::running::rdwalk();
+    assert!(check_bounds_against_simulation(&b, 2));
+    // Tightness: the first-moment upper bound at d = 10 matches the paper.
+    let options = AnalysisOptions::degree(2).with_valuation(b.valuation.clone());
+    let result = analyze(&b.program, &options).unwrap();
+    let e1 = result.raw_moment_at(1, &b.valuation);
+    assert!(e1.hi() <= 24.0 + 1e-3);
+}
+
+#[test]
+fn kura_suite_first_and_second_moments_are_sound() {
+    let suite = [
+        suite::kura::coupon_two(),
+        suite::kura::coupon_four(),
+        suite::kura::random_walk_int(),
+        suite::kura::random_walk_real(),
+    ];
+    let analyzed = suite
+        .iter()
+        .filter(|b| check_bounds_against_simulation(b, 2))
+        .count();
+    assert!(analyzed >= 3, "only {analyzed} of {} benchmarks analyzable", suite.len());
+}
+
+#[test]
+fn absynth_suite_expected_costs_are_sound() {
+    let suite = suite::absynth_suite();
+    let analyzed = suite
+        .iter()
+        .filter(|b| check_bounds_against_simulation(b, 1))
+        .count();
+    assert!(
+        analyzed * 10 >= suite.len() * 7,
+        "only {analyzed} of {} Absynth benchmarks analyzable",
+        suite.len()
+    );
+}
+
+#[test]
+fn nonmonotone_suite_interval_bounds_are_sound() {
+    let suite = suite::nonmonotone_suite();
+    let analyzed = suite
+        .iter()
+        .filter(|b| check_bounds_against_simulation(b, 1))
+        .count();
+    assert!(
+        analyzed >= suite.len() - 2,
+        "only {analyzed} of {} non-monotone benchmarks analyzable",
+        suite.len()
+    );
+}
+
+#[test]
+fn central_moment_tail_bounds_dominate_empirical_tails() {
+    let b = suite::kura::coupon_four();
+    let options = AnalysisOptions::degree(2).with_valuation(b.valuation.clone());
+    let result = analyze(&b.program, &options).unwrap();
+    let central = CentralMoments::from_raw_intervals(&result.raw_intervals_at(&b.valuation));
+    let stats = simulate(
+        &b.program,
+        &SimConfig {
+            trials: 30_000,
+            seed: 11,
+            initial: b.initial_state(),
+            ..Default::default()
+        },
+    );
+    for factor in [2.0, 3.0, 5.0] {
+        let d = stats.mean() * factor;
+        let bound = central_moment_analysis::inference::cantelli_upper_tail(
+            central.variance_upper(),
+            central.mean(),
+            d,
+        );
+        assert!(
+            stats.tail_probability(d) <= bound + 0.01,
+            "empirical tail at {d} exceeds Cantelli bound {bound}"
+        );
+    }
+}
+
+#[test]
+fn parsed_programs_flow_through_the_whole_pipeline() {
+    let program = parse_program(
+        r#"
+        pre n >= 0
+        func main() begin
+          while n > 0 do
+            if prob(0.5) then n := n - 1 fi;
+            tick(1)
+          od
+        end
+        "#,
+    )
+    .unwrap();
+    let n = central_moment_analysis::appl::Var::new("n");
+    let options = AnalysisOptions::degree(2).with_valuation(vec![(n.clone(), 8.0)]);
+    let result = analyze(&program, &options).unwrap();
+    let at = vec![(n.clone(), 8.0)];
+    // True expectation is 2n = 16.
+    let e1 = result.raw_moment_at(1, &at);
+    assert!(e1.hi() >= 16.0 - 1e-6);
+    assert!(e1.hi() <= 18.5);
+    let stats = simulate(
+        &program,
+        &SimConfig {
+            trials: 20_000,
+            seed: 3,
+            initial: vec![(n, 8.0)],
+            ..Default::default()
+        },
+    );
+    assert!(stats.mean() <= e1.hi() + 0.3);
+}
+
+#[test]
+fn soundness_checks_run_on_suite_programs() {
+    use central_moment_analysis::inference::check_bounded_update;
+    for b in suite::kura_suite() {
+        assert!(
+            check_bounded_update(&b.program).is_empty(),
+            "{} should have bounded updates",
+            b.name
+        );
+    }
+}
