@@ -336,7 +336,9 @@ pub enum ProgramError {
 impl fmt::Display for ProgramError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ProgramError::UnknownFunction(name) => write!(f, "call to undeclared function `{name}`"),
+            ProgramError::UnknownFunction(name) => {
+                write!(f, "call to undeclared function `{name}`")
+            }
             ProgramError::InvalidProbability(p) => write!(f, "probability {p} is not in [0, 1]"),
             ProgramError::InvalidDistribution(msg) => write!(f, "invalid distribution: {msg}"),
             ProgramError::DuplicateFunction(name) => write!(f, "function `{name}` declared twice"),
@@ -407,9 +409,7 @@ impl Program {
                 Self::validate_stmt(a)?;
                 Self::validate_stmt(b)
             }
-            Stmt::Sample(_, d) => d
-                .validate()
-                .map_err(ProgramError::InvalidDistribution),
+            Stmt::Sample(_, d) => d.validate().map_err(ProgramError::InvalidDistribution),
             Stmt::If(_, a, b) => {
                 Self::validate_stmt(a)?;
                 Self::validate_stmt(b)
@@ -462,7 +462,12 @@ impl Program {
 
     /// Total AST size across `main` and all function bodies.
     pub fn size(&self) -> usize {
-        self.main.size() + self.functions.values().map(|f| f.body().size()).sum::<usize>()
+        self.main.size()
+            + self
+                .functions
+                .values()
+                .map(|f| f.body().size())
+                .sum::<usize>()
     }
 
     /// The call graph as an adjacency list: `caller → set of callees`.
@@ -514,7 +519,11 @@ mod tests {
             assign("x", cst(0.0)),
             while_loop(
                 lt(v("x"), v("n")),
-                seq([sample("t", uniform(0.0, 1.0)), assign("x", add(v("x"), v("t"))), tick(1.0)]),
+                seq([
+                    sample("t", uniform(0.0, 1.0)),
+                    assign("x", add(v("x"), v("t"))),
+                    tick(1.0),
+                ]),
             ),
             call("helper"),
         ]);
@@ -576,6 +585,8 @@ mod tests {
     fn error_display_is_informative() {
         let e = ProgramError::UnknownFunction("foo".into());
         assert!(e.to_string().contains("foo"));
-        assert!(ProgramError::InvalidProbability(2.0).to_string().contains('2'));
+        assert!(ProgramError::InvalidProbability(2.0)
+            .to_string()
+            .contains('2'));
     }
 }

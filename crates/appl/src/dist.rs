@@ -105,8 +105,14 @@ impl Dist {
         match self {
             Dist::Uniform(a, b) => (*a, *b),
             Dist::Discrete(choices) => {
-                let lo = choices.iter().map(|(v, _)| *v).fold(f64::INFINITY, f64::min);
-                let hi = choices.iter().map(|(v, _)| *v).fold(f64::NEG_INFINITY, f64::max);
+                let lo = choices
+                    .iter()
+                    .map(|(v, _)| *v)
+                    .fold(f64::INFINITY, f64::min);
+                let hi = choices
+                    .iter()
+                    .map(|(v, _)| *v)
+                    .fold(f64::NEG_INFINITY, f64::max);
                 (lo, hi)
             }
             Dist::UniformInt(a, b) => (*a as f64, *b as f64),
@@ -211,7 +217,10 @@ mod tests {
     fn support_and_max_abs() {
         assert_eq!(Dist::Uniform(-1.0, 2.0).support(), (-1.0, 2.0));
         assert_eq!(Dist::Uniform(-3.0, 2.0).max_abs(), 3.0);
-        assert_eq!(Dist::Discrete(vec![(5.0, 0.5), (-2.0, 0.5)]).support(), (-2.0, 5.0));
+        assert_eq!(
+            Dist::Discrete(vec![(5.0, 0.5), (-2.0, 0.5)]).support(),
+            (-2.0, 5.0)
+        );
         assert_eq!(Dist::UniformInt(-4, 4).max_abs(), 4.0);
         assert_eq!(Dist::Bernoulli(0.5).support(), (0.0, 1.0));
     }
@@ -221,9 +230,15 @@ mod tests {
         assert!(Dist::Uniform(0.0, 1.0).validate().is_ok());
         assert!(Dist::Uniform(1.0, 1.0).validate().is_err());
         assert!(Dist::Discrete(vec![]).validate().is_err());
-        assert!(Dist::Discrete(vec![(1.0, 0.4), (2.0, 0.6)]).validate().is_ok());
-        assert!(Dist::Discrete(vec![(1.0, 0.4), (2.0, 0.4)]).validate().is_err());
-        assert!(Dist::Discrete(vec![(1.0, -0.5), (2.0, 1.5)]).validate().is_err());
+        assert!(Dist::Discrete(vec![(1.0, 0.4), (2.0, 0.6)])
+            .validate()
+            .is_ok());
+        assert!(Dist::Discrete(vec![(1.0, 0.4), (2.0, 0.4)])
+            .validate()
+            .is_err());
+        assert!(Dist::Discrete(vec![(1.0, -0.5), (2.0, 1.5)])
+            .validate()
+            .is_err());
         assert!(Dist::UniformInt(3, 2).validate().is_err());
         assert!(Dist::Bernoulli(1.2).validate().is_err());
     }
@@ -241,7 +256,10 @@ mod tests {
             for i in 0..100 {
                 let u = i as f64 / 100.0;
                 let s = d.sample_with(u);
-                assert!(s >= lo - 1e-9 && s <= hi + 1e-9, "{d}: sample {s} outside [{lo},{hi}]");
+                assert!(
+                    s >= lo - 1e-9 && s <= hi + 1e-9,
+                    "{d}: sample {s} outside [{lo},{hi}]"
+                );
             }
         }
     }
@@ -249,7 +267,9 @@ mod tests {
     #[test]
     fn display_formats() {
         assert_eq!(Dist::Uniform(-1.0, 2.0).to_string(), "uniform(-1, 2)");
-        assert!(Dist::Discrete(vec![(1.0, 1.0)]).to_string().contains("discrete"));
+        assert!(Dist::Discrete(vec![(1.0, 1.0)])
+            .to_string()
+            .contains("discrete"));
         assert_eq!(Dist::UniformInt(0, 5).to_string(), "unif_int(0, 5)");
         assert_eq!(Dist::Bernoulli(0.5).to_string(), "bernoulli(0.5)");
     }

@@ -52,6 +52,6 @@ pub mod parse;
 pub mod pretty;
 
 pub use ast::{Cond, Expr, Function, Program, ProgramError, Stmt};
+pub use cma_semiring::poly::Var;
 pub use dist::Dist;
 pub use parse::{parse_program, ParseError};
-pub use cma_semiring::poly::Var;

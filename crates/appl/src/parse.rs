@@ -128,7 +128,8 @@ impl<'a> Lexer<'a> {
                         || self.input[self.pos] == b'E'
                         || ((self.input[self.pos] == b'-' || self.input[self.pos] == b'+')
                             && self.pos > start
-                            && (self.input[self.pos - 1] == b'e' || self.input[self.pos - 1] == b'E')))
+                            && (self.input[self.pos - 1] == b'e'
+                                || self.input[self.pos - 1] == b'E')))
                 {
                     self.pos += 1;
                 }
@@ -169,7 +170,10 @@ impl<'a> Lexer<'a> {
                 '<' => "<",
                 '>' => ">",
                 _ => {
-                    return Err(ParseError::new(format!("unexpected character `{c}`"), start));
+                    return Err(ParseError::new(
+                        format!("unexpected character `{c}`"),
+                        start,
+                    ));
                 }
             };
             tokens.push((Token::Symbol(one), start));
@@ -722,7 +726,9 @@ mod tests {
         match p.main() {
             Stmt::Seq(ss) => {
                 assert!(matches!(&ss[0], Stmt::Assign(_, Expr::Const(c)) if *c == -3.0));
-                assert!(matches!(&ss[1], Stmt::Sample(_, Dist::Uniform(a, b)) if *a == -2.5 && *b == -0.5));
+                assert!(
+                    matches!(&ss[1], Stmt::Sample(_, Dist::Uniform(a, b)) if *a == -2.5 && *b == -0.5)
+                );
             }
             other => panic!("unexpected main {other:?}"),
         }

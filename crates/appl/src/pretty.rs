@@ -164,10 +164,16 @@ mod tests {
     #[test]
     fn expressions_and_conditions_render() {
         assert_eq!(add(v("x"), cst(1.0)).to_string(), "(x + 1)");
-        assert_eq!(mul(v("x"), sub(v("d"), v("x"))).to_string(), "(x * (d - x))");
+        assert_eq!(
+            mul(v("x"), sub(v("d"), v("x"))).to_string(),
+            "(x * (d - x))"
+        );
         assert_eq!(cst(-2.0).to_string(), "(-2)");
         assert_eq!(lt(v("x"), v("d")).to_string(), "x < d");
-        assert_eq!(and(tt(), ge(v("y"), cst(0.0))).to_string(), "(true and y >= 0)");
+        assert_eq!(
+            and(tt(), ge(v("y"), cst(0.0))).to_string(),
+            "(true and y >= 0)"
+        );
         assert_eq!(not(le(v("x"), cst(3.0))).to_string(), "not (x <= 3)");
     }
 

@@ -1,11 +1,13 @@
 //! Criterion benchmarks for the end-to-end analysis: one group per
 //! table/figure family, measuring the time to derive the bounds that the
 //! corresponding experiment reports (the quantity plotted in Fig. 10).
+//! All benchmarks drive the `Analysis` pipeline facade, so what is measured
+//! is exactly what `cma analyze` and the experiment harness execute.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
-use cma_inference::{analyze, AnalysisOptions, SolveMode};
+use central_moment_analysis::{Analysis, SolveMode};
 use cma_suite::{running, synthetic};
 
 fn bench_running_example(c: &mut Criterion) {
@@ -13,9 +15,9 @@ fn bench_running_example(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig1_running_example");
     group.sample_size(10);
     for degree in [1usize, 2] {
-        let options = AnalysisOptions::degree(degree).with_valuation(b.valuation.clone());
+        let pipeline = Analysis::benchmark(&b).degree(degree).soundness(false);
         group.bench_with_input(BenchmarkId::new("rdwalk", degree), &degree, |bencher, _| {
-            bencher.iter(|| analyze(black_box(&b.program), black_box(&options)))
+            bencher.iter(|| black_box(&pipeline).run())
         });
     }
     group.finish();
@@ -25,9 +27,9 @@ fn bench_kura_suite(c: &mut Criterion) {
     let mut group = c.benchmark_group("table1_kura_suite");
     group.sample_size(10);
     for b in cma_suite::kura_suite().into_iter().take(4) {
-        let options = AnalysisOptions::degree(2).with_valuation(b.valuation.clone());
-        group.bench_with_input(BenchmarkId::new("degree2", &b.name), &b, |bencher, b| {
-            bencher.iter(|| analyze(black_box(&b.program), black_box(&options)))
+        let pipeline = Analysis::benchmark(&b).degree(2).soundness(false);
+        group.bench_with_input(BenchmarkId::new("degree2", &b.name), &b, |bencher, _| {
+            bencher.iter(|| black_box(&pipeline).run())
         });
     }
     group.finish();
@@ -38,11 +40,12 @@ fn bench_scalability(c: &mut Criterion) {
     group.sample_size(10);
     for n in [4usize, 8, 16] {
         let b = synthetic::coupon_chain(n);
-        let options = AnalysisOptions::degree(2)
-            .with_valuation(b.valuation.clone())
-            .with_mode(SolveMode::Compositional);
+        let pipeline = Analysis::benchmark(&b)
+            .degree(2)
+            .mode(SolveMode::Compositional)
+            .soundness(false);
         group.bench_with_input(BenchmarkId::new("coupon_chain", n), &n, |bencher, _| {
-            bencher.iter(|| analyze(black_box(&b.program), black_box(&options)))
+            bencher.iter(|| black_box(&pipeline).run())
         });
     }
     group.finish();
@@ -52,9 +55,9 @@ fn bench_expected_cost(c: &mut Criterion) {
     let mut group = c.benchmark_group("table5_expected_cost");
     group.sample_size(10);
     for b in cma_suite::absynth_suite().into_iter().take(4) {
-        let options = AnalysisOptions::degree(1).with_valuation(b.valuation.clone());
-        group.bench_with_input(BenchmarkId::new("degree1", &b.name), &b, |bencher, b| {
-            bencher.iter(|| analyze(black_box(&b.program), black_box(&options)))
+        let pipeline = Analysis::benchmark(&b).degree(1).soundness(false);
+        group.bench_with_input(BenchmarkId::new("degree1", &b.name), &b, |bencher, _| {
+            bencher.iter(|| black_box(&pipeline).run())
         });
     }
     group.finish();

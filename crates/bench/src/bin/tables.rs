@@ -17,7 +17,10 @@ fn main() {
     for id in &args {
         let reports = run_experiment(id);
         if reports.is_empty() {
-            eprintln!("unknown experiment `{id}`; available: {}", EXPERIMENT_IDS.join(", "));
+            eprintln!(
+                "unknown experiment `{id}`; available: {}",
+                EXPERIMENT_IDS.join(", ")
+            );
             continue;
         }
         for report in reports {

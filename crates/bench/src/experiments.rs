@@ -1,18 +1,27 @@
 //! One function per table/figure of the evaluation.
 
 use std::fmt::Write as _;
-use std::time::Instant;
 
+use central_moment_analysis::{Analysis, AnalysisReport};
 use cma_appl::Program;
-use cma_inference::{analyze, AnalysisOptions, SolveMode};
+use cma_inference::SolveMode;
 use cma_semiring::poly::Var;
 use cma_sim::{simulate, SimConfig};
 use cma_suite::{running, synthetic, timing, Benchmark};
 
 /// The identifiers accepted by [`run_experiment`] and the `tables` binary.
 pub const EXPERIMENT_IDS: &[&str] = &[
-    "fig1b", "fig1c", "table1", "table3", "fig9", "fig10a", "fig10b", "table2", "table5",
-    "table6", "appendixI",
+    "fig1b",
+    "fig1c",
+    "table1",
+    "table3",
+    "fig9",
+    "fig10a",
+    "fig10b",
+    "table2",
+    "table5",
+    "table6",
+    "appendixI",
 ];
 
 /// A rendered experiment: a title plus preformatted text rows.
@@ -33,19 +42,18 @@ impl std::fmt::Display for ExperimentReport {
     }
 }
 
-fn options_for(b: &Benchmark, degree: usize) -> AnalysisOptions {
-    let mut o = AnalysisOptions::degree(degree).with_valuation(b.valuation.clone());
-    if let Some(vars) = &b.template_vars {
-        o = o.with_template_vars(vars.clone());
-    }
-    o
+/// The pipeline configured the way every experiment runs it: the benchmark's
+/// valuation and template variables, soundness checks off (the tables measure
+/// bound derivation, not the Thm 4.4 side conditions).
+fn pipeline_for(b: &Benchmark, degree: usize) -> Analysis {
+    Analysis::benchmark(b).degree(degree).soundness(false)
 }
 
 fn analyze_benchmark(b: &Benchmark, degree: usize) -> Option<(Vec<cma_semiring::Interval>, f64)> {
-    let start = Instant::now();
-    let result = analyze(&b.program, &options_for(b, degree)).ok()?;
-    let elapsed = start.elapsed().as_secs_f64();
-    Some((result.raw_intervals_at(&b.valuation), elapsed))
+    let report = pipeline_for(b, degree).run().ok()?;
+    // The tables report bound-derivation time (what the paper measures), not
+    // the cost of the central-moment/tail post-processing.
+    Some((report.raw_intervals, report.result.elapsed.as_secs_f64()))
 }
 
 fn simulate_benchmark(b: &Benchmark, trials: usize) -> cma_sim::CostSamples {
@@ -64,21 +72,39 @@ fn simulate_benchmark(b: &Benchmark, trials: usize) -> cma_sim::CostSamples {
 pub fn fig1b() -> ExperimentReport {
     let b = running::rdwalk();
     let mut body = String::new();
-    match analyze(&b.program, &options_for(&b, 2)) {
-        Ok(result) => {
+    match pipeline_for(&b, 2).run() {
+        Ok(report) => {
             let d = 10.0;
             let at = vec![(Var::new("d"), d)];
-            let e1 = result.raw_moment_at(1, &at);
-            let e2 = result.raw_moment_at(2, &at);
-            let central = result.central_at(&at);
+            let e1 = report.result.raw_moment_at(1, &at);
+            let e2 = report.result.raw_moment_at(2, &at);
+            let central = report.result.central_at(&at);
             let _ = writeln!(body, "paper:    E[tick] <= 2d+4        = {}", 2.0 * d + 4.0);
-            let _ = writeln!(body, "measured: E[tick] <= {:.4}  (lower bound {:.4})", e1.hi(), e1.lo());
-            let _ = writeln!(body, "paper:    E[tick^2] <= 4d^2+22d+28 = {}", 4.0 * d * d + 22.0 * d + 28.0);
+            let _ = writeln!(
+                body,
+                "measured: E[tick] <= {:.4}  (lower bound {:.4})",
+                e1.hi(),
+                e1.lo()
+            );
+            let _ = writeln!(
+                body,
+                "paper:    E[tick^2] <= 4d^2+22d+28 = {}",
+                4.0 * d * d + 22.0 * d + 28.0
+            );
             let _ = writeln!(body, "measured: E[tick^2] <= {:.4}", e2.hi());
-            let _ = writeln!(body, "paper:    V[tick] <= 22d+28      = {}", 22.0 * d + 28.0);
+            let _ = writeln!(
+                body,
+                "paper:    V[tick] <= 22d+28      = {}",
+                22.0 * d + 28.0
+            );
             let _ = writeln!(body, "measured: V[tick] <= {:.4}", central.variance_upper());
             let sim = simulate_benchmark(&b, 20_000);
-            let _ = writeln!(body, "simulated (d = {d}): mean {:.3}, variance {:.3}", sim.mean(), sim.variance());
+            let _ = writeln!(
+                body,
+                "simulated (d = {d}): mean {:.3}, variance {:.3}",
+                sim.mean(),
+                sim.variance()
+            );
         }
         Err(e) => {
             let _ = writeln!(body, "analysis failed: {e}");
@@ -95,16 +121,24 @@ pub fn fig1b() -> ExperimentReport {
 pub fn fig1c() -> ExperimentReport {
     let b = running::rdwalk();
     let mut body = String::new();
-    let _ = writeln!(body, "{:>5} {:>12} {:>12} {:>12}", "d", "Markov(k=1)", "Markov(k=2)", "Cantelli");
-    if let Ok(result) = analyze(&b.program, &options_for(&b, 2)) {
+    let _ = writeln!(
+        body,
+        "{:>5} {:>12} {:>12} {:>12}",
+        "d", "Markov(k=1)", "Markov(k=2)", "Cantelli"
+    );
+    if let Ok(report) = pipeline_for(&b, 2).run() {
         for d in (20..=80).step_by(10) {
             let d = d as f64;
             let at = vec![(Var::new("d"), d)];
-            let central = result.central_at(&at);
+            let central = report.result.central_at(&at);
             let threshold = 4.0 * d;
             let m1 = cma_inference::markov_tail(central.raw(1).hi(), 1, threshold);
             let m2 = cma_inference::markov_tail(central.raw(2).hi(), 2, threshold);
-            let cant = cma_inference::cantelli_upper_tail(central.variance_upper(), central.mean(), threshold);
+            let cant = cma_inference::cantelli_upper_tail(
+                central.variance_upper(),
+                central.mean(),
+                threshold,
+            );
             let _ = writeln!(body, "{:>5} {:>12.4} {:>12.4} {:>12.4}", d, m1, m2, cant);
         }
     } else {
@@ -167,12 +201,23 @@ pub fn table1() -> ExperimentReport {
 /// Tab. 3: expected-runtime upper bounds (first moments only).
 pub fn table3() -> ExperimentReport {
     let mut body = String::new();
-    let _ = writeln!(body, "{:<8} {:>14} {:>12} {:>10}", "program", "E[C] upper", "sim E[C]", "time(s)");
+    let _ = writeln!(
+        body,
+        "{:<8} {:>14} {:>12} {:>10}",
+        "program", "E[C] upper", "sim E[C]", "time(s)"
+    );
     for b in cma_suite::kura_suite() {
         match analyze_benchmark(&b, 1) {
             Some((intervals, secs)) => {
                 let sim = simulate_benchmark(&b, 10_000);
-                let _ = writeln!(body, "{:<8} {:>14.3} {:>12.3} {:>10.3}", b.name, intervals[1].hi(), sim.mean(), secs);
+                let _ = writeln!(
+                    body,
+                    "{:<8} {:>14.3} {:>12.3} {:>10.3}",
+                    b.name,
+                    intervals[1].hi(),
+                    sim.mean(),
+                    secs
+                );
             }
             None => {
                 let _ = writeln!(body, "{:<8} analysis failed", b.name);
@@ -198,14 +243,23 @@ pub fn fig9() -> ExperimentReport {
         let moments = cma_inference::CentralMoments::from_raw_intervals(&intervals);
         let sim = simulate_benchmark(&b, 20_000);
         let baseline = sim.mean().max(1.0);
-        let _ = writeln!(body, "-- {} (thresholds as multiples of the simulated mean)", b.name);
-        let _ = writeln!(body, "{:>8} {:>12} {:>12} {:>12}", "d", "raw(Markov)", "central", "simulated");
+        let _ = writeln!(
+            body,
+            "-- {} (thresholds as multiples of the simulated mean)",
+            b.name
+        );
+        let _ = writeln!(
+            body,
+            "{:>8} {:>12} {:>12} {:>12}",
+            "d", "raw(Markov)", "central", "simulated"
+        );
         for factor in [2.0, 3.0, 4.0, 6.0, 8.0] {
             let d = baseline * factor;
             let markov = (1..=degree)
                 .map(|k| cma_inference::markov_tail(moments.raw(k).hi(), k as u32, d))
                 .fold(1.0f64, f64::min);
-            let central_bound = cma_inference::cantelli_upper_tail(moments.variance_upper(), moments.mean(), d);
+            let central_bound =
+                cma_inference::cantelli_upper_tail(moments.variance_upper(), moments.mean(), d);
             let _ = writeln!(
                 body,
                 "{:>8.1} {:>12.4} {:>12.4} {:>12.4}",
@@ -225,24 +279,31 @@ pub fn fig9() -> ExperimentReport {
 
 fn scalability(chains: impl Iterator<Item = (usize, Benchmark)>) -> String {
     let mut body = String::new();
-    let _ = writeln!(body, "{:>6} {:>10} {:>12} {:>12}", "N", "AST size", "LP vars", "time(s)");
+    let _ = writeln!(
+        body,
+        "{:>6} {:>10} {:>12} {:>12}",
+        "N", "AST size", "LP vars", "time(s)"
+    );
     for (n, b) in chains {
-        let mut opts = options_for(&b, 2).with_mode(SolveMode::Compositional);
-        opts.degree = 2;
-        let start = Instant::now();
-        match analyze(&b.program, &opts) {
-            Ok(result) => {
+        let pipeline = pipeline_for(&b, 2).mode(SolveMode::Compositional);
+        match pipeline.run() {
+            Ok(report) => {
                 let _ = writeln!(
                     body,
                     "{:>6} {:>10} {:>12} {:>12.3}",
                     n,
                     b.program.size(),
-                    result.lp_variables,
-                    start.elapsed().as_secs_f64()
+                    report.lp.variables,
+                    report.result.elapsed.as_secs_f64()
                 );
             }
             Err(e) => {
-                let _ = writeln!(body, "{:>6} {:>10} analysis failed: {e}", n, b.program.size());
+                let _ = writeln!(
+                    body,
+                    "{:>6} {:>10} analysis failed: {e}",
+                    n,
+                    b.program.size()
+                );
             }
         }
     }
@@ -289,7 +350,10 @@ pub fn table2() -> ExperimentReport {
         let (mean_txt, var_txt) = match &analysis {
             Some((intervals, _)) => {
                 let m = cma_inference::CentralMoments::from_raw_intervals(intervals);
-                (format!("{:.2}", m.mean().hi()), format!("{:.2}", m.variance_upper()))
+                (
+                    format!("{:.2}", m.mean().hi()),
+                    format!("{:.2}", m.variance_upper()),
+                )
             }
             None => ("fail".to_string(), "fail".to_string()),
         };
@@ -371,18 +435,26 @@ pub fn appendix_i() -> ExperimentReport {
     let trials_per_bit = 10_000.0;
     let mut body = String::new();
     let analyze_hypothesis = |program: &Program| -> Option<(f64, f64)> {
-        let result = analyze(program, &AnalysisOptions::degree(2)).ok()?;
-        let intervals = result.raw_intervals_at(&[]);
-        let central = cma_inference::CentralMoments::from_raw_intervals(&intervals);
-        Some((central.mean().hi(), central.variance_upper()))
+        let report: AnalysisReport = Analysis::of(program)
+            .degree(2)
+            .soundness(false)
+            .run()
+            .ok()?;
+        Some((report.mean().hi(), report.variance_upper()?))
     };
     let eq = analyze_hypothesis(&timing::compare_matching(bits));
     let neq = analyze_hypothesis(&timing::compare_mismatching(bits));
     match (eq, neq) {
         (Some((mean_eq, var_eq)), Some((mean_neq, var_neq))) => {
             let _ = writeln!(body, "bits = {bits}, samples per bit K = {trials_per_bit}");
-            let _ = writeln!(body, "matching bits:     E[T] <= {mean_eq:.1},  V[T] <= {var_eq:.1}");
-            let _ = writeln!(body, "mismatching bits:  E[T] <= {mean_neq:.1},  V[T] <= {var_neq:.1}");
+            let _ = writeln!(
+                body,
+                "matching bits:     E[T] <= {mean_eq:.1},  V[T] <= {var_eq:.1}"
+            );
+            let _ = writeln!(
+                body,
+                "mismatching bits:  E[T] <= {mean_neq:.1},  V[T] <= {var_neq:.1}"
+            );
             // The attacker averages K trials and thresholds halfway between the
             // two hypothesis means; Cantelli bounds the per-bit failure rate.
             let gap = (mean_neq - mean_eq).abs() / 2.0;
@@ -393,7 +465,10 @@ pub fn appendix_i() -> ExperimentReport {
                 success *= 1.0 - failure;
             }
             let _ = writeln!(body, "per-bit decision gap: {gap:.2}");
-            let _ = writeln!(body, "lower bound on attack success probability: {success:.6}");
+            let _ = writeln!(
+                body,
+                "lower bound on attack success probability: {success:.6}"
+            );
         }
         _ => {
             let _ = writeln!(body, "analysis failed for one of the hypotheses");
@@ -420,7 +495,10 @@ pub fn run_experiment(id: &str) -> Vec<ExperimentReport> {
         "table5" => vec![table5()],
         "table6" => vec![table6()],
         "appendixI" => vec![appendix_i()],
-        "all" => EXPERIMENT_IDS.iter().flat_map(|id| run_experiment(id)).collect(),
+        "all" => EXPERIMENT_IDS
+            .iter()
+            .flat_map(|id| run_experiment(id))
+            .collect(),
         _ => Vec::new(),
     }
 }

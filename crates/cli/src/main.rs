@@ -1,0 +1,463 @@
+//! `cma` — the command line of the central-moment analysis.
+//!
+//! ```text
+//! cma analyze  <file.appl> [--degree N] [--mode global|compositional] [--json] …
+//! cma simulate <file.appl> [--trials N] [--seed N] [--json] …
+//! cma tail     <file.appl> --thresholds d1,d2,… [--json] …
+//! cma suite    list|run [name|all] [--degree N] [--json]
+//! ```
+//!
+//! Every subcommand accepts `--json` for machine-readable output; the human
+//! rendering is the `Display` of the same [`AnalysisReport`], so the two views
+//! never drift apart.  Argument parsing is hand-rolled: the dependency-free
+//! build environment has no `clap`, and the grammar is small.
+//!
+//! [`AnalysisReport`]: central_moment_analysis::AnalysisReport
+
+use std::process::ExitCode;
+
+use central_moment_analysis::suite::{self, Benchmark};
+use central_moment_analysis::{Analysis, CmaError, SolveMode, Var};
+
+const USAGE: &str = "\
+cma — central moment analysis for cost accumulators in probabilistic programs
+
+USAGE:
+    cma analyze  <file.appl> [OPTIONS]     derive moment/variance/tail bounds
+    cma simulate <file.appl> [OPTIONS]     Monte-Carlo estimate of the same moments
+    cma tail     <file.appl> --thresholds d1,d2,… [OPTIONS]
+                                           tail bounds P[C >= d] at thresholds
+    cma suite    list                      list the paper's benchmark programs
+    cma suite    run <name|all> [OPTIONS]  analyze benchmark(s) from the suite
+
+ANALYSIS OPTIONS:
+    --degree N           target moment degree m (default 2)
+    --poly-degree D      base polynomial degree of templates (default 1)
+    --mode MODE          global | compositional (default global)
+    --valuation K=V,…    initial-state valuation, e.g. d=10,x=0
+    --tail D1,D2,…       tail-bound thresholds (default 2x/4x/8x mean bound)
+    --no-soundness       skip the Thm 4.4 side-condition checks
+    --label NAME         label the report (defaults to the file name)
+
+SIMULATION OPTIONS:
+    --trials N           number of Monte-Carlo trials (default 10000)
+    --seed N             RNG seed (default 12648430)
+    --max-steps N        per-trial step budget (default 1000000)
+
+COMMON OPTIONS:
+    --json               emit the full report as JSON on stdout
+    -h, --help           show this help
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args[0] == "-h" || args[0] == "--help" {
+        print!("{USAGE}");
+        return if args.is_empty() {
+            ExitCode::from(2)
+        } else {
+            ExitCode::SUCCESS
+        };
+    }
+    let result = match args[0].as_str() {
+        "analyze" => cmd_analyze(&args[1..], false),
+        "tail" => cmd_analyze(&args[1..], true),
+        "simulate" => cmd_simulate(&args[1..]),
+        "suite" => cmd_suite(&args[1..]),
+        other => Err(CmaError::Usage(format!(
+            "unknown subcommand `{other}` (expected analyze, simulate, tail, or suite)"
+        ))),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("cma: {e}");
+            if e.is_usage() {
+                eprintln!("run `cma --help` for usage");
+                ExitCode::from(2)
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+    }
+}
+
+/// Options shared by `analyze`, `tail`, and `suite run`.
+#[derive(Debug, Clone, Default)]
+struct AnalyzeOpts {
+    degree: Option<usize>,
+    poly_degree: Option<u32>,
+    mode: Option<SolveMode>,
+    valuation: Option<Vec<(Var, f64)>>,
+    tail: Option<Vec<f64>>,
+    no_soundness: bool,
+    label: Option<String>,
+    json: bool,
+    /// Positional arguments (file name, benchmark name, …).
+    positional: Vec<String>,
+    /// Simulation-only knobs (accepted everywhere, used by `simulate`).
+    trials: Option<usize>,
+    seed: Option<u64>,
+    max_steps: Option<usize>,
+}
+
+fn parse_opts(args: &[String]) -> Result<AnalyzeOpts, CmaError> {
+    let mut opts = AnalyzeOpts::default();
+    let mut it = args.iter();
+    let missing = |flag: &str| CmaError::Usage(format!("missing value for `{flag}`"));
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => opts.json = true,
+            "--no-soundness" => opts.no_soundness = true,
+            "--degree" => {
+                let v = it.next().ok_or_else(|| missing("--degree"))?;
+                opts.degree = Some(parse_num(v, "--degree")?);
+            }
+            "--poly-degree" => {
+                let v = it.next().ok_or_else(|| missing("--poly-degree"))?;
+                opts.poly_degree = Some(parse_num(v, "--poly-degree")?);
+            }
+            "--trials" => {
+                let v = it.next().ok_or_else(|| missing("--trials"))?;
+                opts.trials = Some(parse_num(v, "--trials")?);
+            }
+            "--seed" => {
+                let v = it.next().ok_or_else(|| missing("--seed"))?;
+                opts.seed = Some(parse_num(v, "--seed")?);
+            }
+            "--max-steps" => {
+                let v = it.next().ok_or_else(|| missing("--max-steps"))?;
+                opts.max_steps = Some(parse_num(v, "--max-steps")?);
+            }
+            "--mode" => {
+                let v = it.next().ok_or_else(|| missing("--mode"))?;
+                opts.mode = Some(match v.as_str() {
+                    "global" => SolveMode::Global,
+                    "compositional" => SolveMode::Compositional,
+                    other => {
+                        return Err(CmaError::Usage(format!(
+                            "invalid --mode `{other}` (expected global or compositional)"
+                        )))
+                    }
+                });
+            }
+            "--valuation" => {
+                let v = it.next().ok_or_else(|| missing("--valuation"))?;
+                opts.valuation = Some(parse_valuation(v)?);
+            }
+            "--tail" | "--thresholds" => {
+                let v = it.next().ok_or_else(|| missing(arg))?;
+                opts.tail = Some(parse_f64_list(v, arg)?);
+            }
+            "--label" => {
+                let v = it.next().ok_or_else(|| missing("--label"))?;
+                opts.label = Some(v.clone());
+            }
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            flag if flag.starts_with("--") => {
+                return Err(CmaError::Usage(format!("unknown option `{flag}`")));
+            }
+            positional => opts.positional.push(positional.to_string()),
+        }
+    }
+    Ok(opts)
+}
+
+fn parse_num<T: std::str::FromStr>(value: &str, flag: &str) -> Result<T, CmaError> {
+    value
+        .parse()
+        .map_err(|_| CmaError::Usage(format!("invalid value `{value}` for `{flag}`")))
+}
+
+/// Parses `d=10,x=0.5` into variable bindings.
+fn parse_valuation(spec: &str) -> Result<Vec<(Var, f64)>, CmaError> {
+    spec.split(',')
+        .filter(|part| !part.is_empty())
+        .map(|part| {
+            let (name, value) = part.split_once('=').ok_or_else(|| {
+                CmaError::Usage(format!(
+                    "invalid valuation entry `{part}` (expected var=value)"
+                ))
+            })?;
+            let value: f64 = value.parse().map_err(|_| {
+                CmaError::Usage(format!(
+                    "invalid number `{value}` in valuation entry `{part}`"
+                ))
+            })?;
+            Ok((Var::new(name.trim()), value))
+        })
+        .collect()
+}
+
+fn parse_f64_list(spec: &str, flag: &str) -> Result<Vec<f64>, CmaError> {
+    spec.split(',')
+        .filter(|part| !part.is_empty())
+        .map(|part| {
+            part.trim()
+                .parse()
+                .map_err(|_| CmaError::Usage(format!("invalid number `{part}` for `{flag}`")))
+        })
+        .collect()
+}
+
+fn read_source(path: &str) -> Result<String, CmaError> {
+    std::fs::read_to_string(path).map_err(|e| CmaError::io(path, e))
+}
+
+fn configured_analysis(source: &str, path: &str, opts: &AnalyzeOpts) -> Result<Analysis, CmaError> {
+    let mut analysis = Analysis::parse(source)
+        .map_err(|e| e.with_context(format!("while parsing `{path}`")))?
+        .label(opts.label.clone().unwrap_or_else(|| path.to_string()))
+        .soundness(!opts.no_soundness);
+    if let Some(degree) = opts.degree {
+        analysis = analysis.degree(degree);
+    }
+    if let Some(d) = opts.poly_degree {
+        analysis = analysis.poly_degree(d);
+    }
+    if let Some(mode) = opts.mode {
+        analysis = analysis.mode(mode);
+    }
+    if let Some(valuation) = &opts.valuation {
+        analysis = analysis.valuation(valuation.clone());
+    }
+    if let Some(tail) = &opts.tail {
+        analysis = analysis.tail_at(tail.iter().copied());
+    }
+    Ok(analysis)
+}
+
+fn cmd_analyze(args: &[String], tail_only: bool) -> Result<(), CmaError> {
+    let opts = parse_opts(args)?;
+    let [path] = opts.positional.as_slice() else {
+        return Err(CmaError::Usage(
+            "expected exactly one <file.appl> argument".into(),
+        ));
+    };
+    if tail_only && opts.tail.is_none() {
+        return Err(CmaError::Usage(
+            "`cma tail` requires `--thresholds d1,d2,…`".into(),
+        ));
+    }
+    let source = read_source(path)?;
+    let report = configured_analysis(&source, path, &opts)?
+        .run()
+        .map_err(|e| e.with_context(format!("while analyzing `{path}`")))?;
+    if opts.json {
+        println!("{}", report.to_json());
+    } else if tail_only {
+        println!("tail bounds for {path} (degree {}):", report.degree);
+        for t in &report.tail {
+            println!("  P[C >= {:.4}] <= {:.6}", t.threshold, t.probability);
+        }
+    } else {
+        print!("{report}");
+    }
+    Ok(())
+}
+
+fn cmd_simulate(args: &[String]) -> Result<(), CmaError> {
+    use central_moment_analysis::sim::{simulate, SimConfig};
+
+    let opts = parse_opts(args)?;
+    let [path] = opts.positional.as_slice() else {
+        return Err(CmaError::Usage(
+            "expected exactly one <file.appl> argument".into(),
+        ));
+    };
+    let source = read_source(path)?;
+    let program = central_moment_analysis::parse_program(&source)
+        .map_err(|e| CmaError::from(e).with_context(format!("while parsing `{path}`")))?;
+    let mut config = SimConfig::default();
+    if let Some(trials) = opts.trials {
+        config.trials = trials;
+    }
+    if let Some(seed) = opts.seed {
+        config.seed = seed;
+    }
+    if let Some(max_steps) = opts.max_steps {
+        config.max_steps = max_steps;
+    }
+    if let Some(valuation) = &opts.valuation {
+        config.initial = valuation.clone();
+    }
+    let stats = simulate(&program, &config);
+    if opts.json {
+        let raw = (1..=4)
+            .map(|k| json_num(stats.raw_moment(k)))
+            .collect::<Vec<_>>()
+            .join(",");
+        println!(
+            "{{\"label\":\"{}\",\"trials\":{},\"seed\":{},\"cutoff_trials\":{},\"mean\":{},\"variance\":{},\"skewness\":{},\"kurtosis\":{},\"raw_moments\":[{raw}],\"min\":{},\"max\":{}}}",
+            json_escape(path),
+            stats.len(),
+            config.seed,
+            stats.cutoff_trials(),
+            json_num(stats.mean()),
+            json_num(stats.variance()),
+            json_num(stats.skewness()),
+            json_num(stats.kurtosis()),
+            json_num(stats.min()),
+            json_num(stats.max()),
+        );
+    } else {
+        println!(
+            "simulation of {path}: {} trials, seed {}",
+            stats.len(),
+            config.seed
+        );
+        if stats.cutoff_trials() > 0 {
+            println!(
+                "  warning: {} trials hit the step budget",
+                stats.cutoff_trials()
+            );
+        }
+        println!("  E[C]      = {:.6}", stats.mean());
+        println!("  E[C^2]    = {:.6}", stats.raw_moment(2));
+        println!("  V[C]      = {:.6}", stats.variance());
+        println!("  skewness  = {:.6}", stats.skewness());
+        println!("  kurtosis  = {:.6}", stats.kurtosis());
+        println!("  range     = [{:.4}, {:.4}]", stats.min(), stats.max());
+    }
+    Ok(())
+}
+
+/// Every named benchmark of the paper's evaluation, across all suites.
+fn all_benchmarks() -> Vec<Benchmark> {
+    let mut all = suite::kura_suite();
+    all.extend(suite::absynth_suite());
+    all.extend(suite::nonmonotone_suite());
+    all.push(suite::running::rdwalk());
+    all.push(suite::running::rdwalk_variant_1());
+    all.push(suite::running::rdwalk_variant_2());
+    all.push(suite::timing::password_checker(8));
+    all.push(suite::synthetic::coupon_chain(5));
+    all.push(suite::synthetic::random_walk_chain(5));
+    all
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Finite floats render as decimals; non-finite values (which JSON cannot
+/// represent) become `null` — mirrors the report encoder.
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn cmd_suite(args: &[String]) -> Result<(), CmaError> {
+    let Some(action) = args.first() else {
+        return Err(CmaError::Usage(
+            "expected `suite list` or `suite run <name|all>`".into(),
+        ));
+    };
+    match action.as_str() {
+        "list" => {
+            let opts = parse_opts(&args[1..])?;
+            let benchmarks = all_benchmarks();
+            if opts.json {
+                let rows = benchmarks
+                    .iter()
+                    .map(|b| {
+                        format!(
+                            "{{\"name\":\"{}\",\"degree\":{},\"description\":\"{}\"}}",
+                            json_escape(&b.name),
+                            b.degree,
+                            json_escape(&b.description)
+                        )
+                    })
+                    .collect::<Vec<_>>()
+                    .join(",");
+                println!("[{rows}]");
+            } else {
+                println!("{} benchmarks:", benchmarks.len());
+                for b in &benchmarks {
+                    println!("  {:<14} (degree {})  {}", b.name, b.degree, b.description);
+                }
+            }
+            Ok(())
+        }
+        "run" => {
+            let opts = parse_opts(&args[1..])?;
+            let [name] = opts.positional.as_slice() else {
+                return Err(CmaError::Usage("expected `suite run <name|all>`".into()));
+            };
+            let benchmarks = all_benchmarks();
+            let selected: Vec<&Benchmark> = if name == "all" {
+                benchmarks.iter().collect()
+            } else {
+                let found: Vec<&Benchmark> =
+                    benchmarks.iter().filter(|b| &b.name == name).collect();
+                if found.is_empty() {
+                    return Err(CmaError::Usage(format!(
+                        "unknown benchmark `{name}`; run `cma suite list`"
+                    )));
+                }
+                found
+            };
+            let mut json_rows = Vec::new();
+            let mut failures = 0usize;
+            for b in selected {
+                let mut analysis = Analysis::benchmark(b).soundness(!opts.no_soundness);
+                if let Some(degree) = opts.degree {
+                    analysis = analysis.degree(degree);
+                }
+                if let Some(d) = opts.poly_degree {
+                    analysis = analysis.poly_degree(d);
+                }
+                if let Some(mode) = opts.mode {
+                    analysis = analysis.mode(mode);
+                }
+                if let Some(valuation) = &opts.valuation {
+                    analysis = analysis.valuation(valuation.clone());
+                }
+                if let Some(label) = &opts.label {
+                    analysis = analysis.label(label.clone());
+                }
+                if let Some(tail) = &opts.tail {
+                    analysis = analysis.tail_at(tail.iter().copied());
+                }
+                match analysis.run() {
+                    Ok(report) => {
+                        if opts.json {
+                            json_rows.push(report.to_json());
+                        } else {
+                            print!("{report}");
+                            println!();
+                        }
+                    }
+                    Err(e) => {
+                        failures += 1;
+                        if opts.json {
+                            json_rows.push(format!(
+                                "{{\"label\":\"{}\",\"error\":\"{}\"}}",
+                                json_escape(&b.name),
+                                json_escape(&e.to_string())
+                            ));
+                        } else {
+                            println!("{}: {e}", b.name);
+                            println!();
+                        }
+                    }
+                }
+            }
+            if opts.json {
+                println!("[{}]", json_rows.join(","));
+            } else if failures > 0 {
+                println!("({failures} benchmark(s) not analyzable at the requested degree)");
+            }
+            Ok(())
+        }
+        other => Err(CmaError::Usage(format!(
+            "unknown suite action `{other}` (expected list or run)"
+        ))),
+    }
+}

@@ -1,0 +1,211 @@
+//! End-to-end tests of the `cma` binary: a golden test pinning the
+//! `analyze --json` report format, plus behavioral checks of the other
+//! subcommands and of error handling.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn cma() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_cma"))
+}
+
+fn repo_root() -> PathBuf {
+    // crates/cli → repo root.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .unwrap()
+        .parent()
+        .unwrap()
+        .to_path_buf()
+}
+
+fn fig2() -> String {
+    repo_root().join("examples/fig2.appl").display().to_string()
+}
+
+fn run(args: &[&str]) -> Output {
+    cma().args(args).output().expect("cma runs")
+}
+
+fn stdout(output: &Output) -> String {
+    assert!(
+        output.status.success(),
+        "cma failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    String::from_utf8(output.stdout.clone()).expect("utf-8 output")
+}
+
+/// Strips the single volatile section (`"timings":{…}`, always emitted last)
+/// so reports compare reproducibly.
+fn strip_timings(json: &str) -> String {
+    let json = json.trim();
+    match json.rfind(",\"timings\":") {
+        Some(i) => format!("{}{}", &json[..i], "}"),
+        None => json.to_string(),
+    }
+}
+
+#[test]
+fn analyze_json_matches_the_golden_report() {
+    let output = run(&[
+        "analyze",
+        &fig2(),
+        "--degree",
+        "2",
+        "--valuation",
+        "d=10,x=0",
+        "--tail",
+        "40,80",
+        "--no-soundness",
+        "--label",
+        "fig2",
+        "--json",
+    ]);
+    let actual = strip_timings(&stdout(&output));
+    let golden = include_str!("golden/fig2_analyze.json").trim();
+    assert_eq!(
+        actual, golden,
+        "cma analyze --json drifted from the golden report"
+    );
+}
+
+#[test]
+fn analyze_human_output_reports_moments_variance_and_tail_in_one_invocation() {
+    // The acceptance criterion of the pipeline redesign: E[C], E[C²],
+    // variance, and a Cantelli-backed tail bound from a single `cma analyze`.
+    let output = run(&[
+        "analyze",
+        &fig2(),
+        "--valuation",
+        "d=10,x=0",
+        "--no-soundness",
+    ]);
+    let text = stdout(&output);
+    assert!(text.contains("E[C^1]"), "missing E[C]: {text}");
+    assert!(text.contains("E[C^2]"), "missing E[C^2]: {text}");
+    assert!(text.contains("V[C]"), "missing variance: {text}");
+    assert!(text.contains("P[C >="), "missing tail bound: {text}");
+    // Fig. 1(b) at d = 10: E[tick] <= 24, V <= 248.
+    assert!(text.contains("24.0000"), "mean bound drifted: {text}");
+    assert!(text.contains("248.0000"), "variance bound drifted: {text}");
+}
+
+#[test]
+fn analyze_with_soundness_reports_theorem_4_4() {
+    // Small program so the step-counting re-analysis stays fast.
+    let dir = std::env::temp_dir().join("cma-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let file = dir.join("coin.appl");
+    std::fs::write(
+        &file,
+        "func main() begin if prob(0.5) then tick(2) else tick(4) fi end",
+    )
+    .unwrap();
+    let output = run(&["analyze", file.to_str().unwrap(), "--json"]);
+    let json = stdout(&output);
+    assert!(
+        json.contains("\"soundness\":{\"bounded_updates\":true"),
+        "{json}"
+    );
+    assert!(json.contains("\"is_sound\":true"), "{json}");
+    assert!(json.contains("\"soundness_ms\":"), "{json}");
+}
+
+#[test]
+fn simulate_agrees_with_the_analysis_bounds() {
+    let output = run(&[
+        "simulate",
+        &fig2(),
+        "--trials",
+        "4000",
+        "--seed",
+        "9",
+        "--valuation",
+        "d=10",
+        "--json",
+    ]);
+    let json = stdout(&output);
+    // Extract the simulated mean and check it against the paper bound 2d+4.
+    let mean: f64 = json
+        .split("\"mean\":")
+        .nth(1)
+        .and_then(|rest| rest.split(',').next())
+        .and_then(|v| v.parse().ok())
+        .expect("mean field present");
+    assert!(
+        mean > 18.0 && mean <= 24.0,
+        "simulated mean {mean} out of range"
+    );
+    assert!(json.contains("\"trials\":4000"));
+}
+
+#[test]
+fn tail_subcommand_prints_requested_thresholds() {
+    let output = run(&[
+        "tail",
+        &fig2(),
+        "--thresholds",
+        "40,80",
+        "--valuation",
+        "d=10,x=0",
+        "--no-soundness",
+    ]);
+    let text = stdout(&output);
+    assert!(text.contains("P[C >= 40.0000]"));
+    assert!(text.contains("P[C >= 80.0000]"));
+}
+
+#[test]
+fn suite_list_and_run_work() {
+    let list = stdout(&run(&["suite", "list"]));
+    assert!(list.contains("benchmarks:"));
+    assert!(list.contains("coupon"), "{list}");
+
+    let json = stdout(&run(&["suite", "list", "--json"]));
+    assert!(json.starts_with('[') && json.trim_end().ends_with(']'));
+    assert!(json.contains("\"name\":"));
+
+    let run_out = stdout(&run(&[
+        "suite",
+        "run",
+        "(1-1)",
+        "--degree",
+        "2",
+        "--no-soundness",
+    ]));
+    assert!(run_out.contains("E[C^1]"), "{run_out}");
+}
+
+#[test]
+fn usage_errors_exit_with_code_2() {
+    let bad_sub = run(&["frobnicate"]);
+    assert_eq!(bad_sub.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&bad_sub.stderr).contains("unknown subcommand"));
+
+    let bad_flag = run(&["analyze", "--frobnicate"]);
+    assert_eq!(bad_flag.status.code(), Some(2));
+
+    let missing_thresholds = run(&["tail", &fig2()]);
+    assert_eq!(missing_thresholds.status.code(), Some(2));
+
+    let unknown_benchmark = run(&["suite", "run", "does-not-exist"]);
+    assert_eq!(unknown_benchmark.status.code(), Some(2));
+}
+
+#[test]
+fn missing_files_and_parse_errors_exit_with_code_1() {
+    let missing = run(&["analyze", "/no/such/file.appl"]);
+    assert_eq!(missing.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&missing.stderr).contains("cannot access"));
+
+    let dir = std::env::temp_dir().join("cma-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let bad = dir.join("bad.appl");
+    std::fs::write(&bad, "func main( begin end").unwrap();
+    let parse_fail = run(&["analyze", bad.to_str().unwrap()]);
+    assert_eq!(parse_fail.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&parse_fail.stderr);
+    assert!(stderr.contains("parse error"), "{stderr}");
+    assert!(stderr.contains("while parsing"), "{stderr}");
+}

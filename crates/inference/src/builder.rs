@@ -5,7 +5,7 @@
 //! template coefficients that keep the LP bounded, and hands everything to
 //! the simplex solver of `cma-lp`.
 
-use cma_lp::{Cmp, LpProblem, LpSolution, LpVarId};
+use cma_lp::{Cmp, LpBackend, LpProblem, LpSolution, LpVarId, SimplexBackend};
 use cma_semiring::poly::{Monomial, Var};
 
 use crate::template::{LinCoef, SymInterval, SymMoment, TemplatePoly};
@@ -138,16 +138,20 @@ impl ConstraintBuilder {
         }
     }
 
-    /// Solves the accumulated problem.
+    /// Solves the accumulated problem with the default simplex backend.
     pub fn solve(&mut self) -> LpSolution {
+        self.solve_with(&SimplexBackend)
+    }
+
+    /// Solves the accumulated problem with the given [`LpBackend`].
+    pub fn solve_with(&mut self, backend: &dyn LpBackend) -> LpSolution {
         // Aggregate duplicate objective entries.
         let mut objective: std::collections::BTreeMap<LpVarId, f64> = Default::default();
         for &(v, c) in &self.objective {
             *objective.entry(v).or_insert(0.0) += c;
         }
-        self.lp
-            .set_objective(objective.into_iter().collect());
-        self.lp.solve()
+        self.lp.set_objective(objective.into_iter().collect());
+        backend.solve(&self.lp)
     }
 }
 
@@ -182,9 +186,11 @@ mod tests {
         // fresh p(x) constrained to equal 3x + 1, objective irrelevant.
         let mut b = ConstraintBuilder::new();
         let x = Var::new("x");
-        let p = b.fresh_poly("p", &[x.clone()], 1);
+        let p = b.fresh_poly("p", std::slice::from_ref(&x), 1);
         let target = TemplatePoly::from_concrete(
-            &Polynomial::var(x.clone()).scale(3.0).add(&Polynomial::constant(1.0)),
+            &Polynomial::var(x.clone())
+                .scale(3.0)
+                .add(&Polynomial::constant(1.0)),
         );
         b.constrain_zero_poly(&p.sub(&target));
         let sol = b.solve();
@@ -199,12 +205,15 @@ mod tests {
         // p(x) >= 5 at coefficient level (constant term), minimize its value at x=0.
         let mut b = ConstraintBuilder::new();
         let x = Var::new("x");
-        let p = b.fresh_poly("p", &[x.clone()], 1);
+        let p = b.fresh_poly("p", std::slice::from_ref(&x), 1);
         let five = LinCoef::constant(5.0);
         let diff = p.coefficient(&Monomial::unit()).sub(&five);
         b.constrain_nonneg_coef(&diff);
         // Also force the x coefficient to be exactly 2.
-        b.constrain_zero_coef(&p.coefficient(&Monomial::var(x.clone())).sub(&LinCoef::constant(2.0)));
+        b.constrain_zero_coef(
+            &p.coefficient(&Monomial::var(x.clone()))
+                .sub(&LinCoef::constant(2.0)),
+        );
         let at_zero = p.eval_vars(&|_| 0.0);
         b.add_objective(&at_zero, 1.0);
         let sol = b.solve();

@@ -53,10 +53,7 @@ pub struct DeriveCtx<'a> {
 }
 
 impl<'a> DeriveCtx<'a> {
-    fn spec_pair(
-        &self,
-        name: &str,
-    ) -> Result<(SymMoment, SymMoment), DeriveError> {
+    fn spec_pair(&self, name: &str) -> Result<(SymMoment, SymMoment), DeriveError> {
         let h = self.level;
         let base = self
             .specs
@@ -67,10 +64,7 @@ impl<'a> DeriveCtx<'a> {
                 .specs
                 .get(name, h + 1)
                 .ok_or_else(|| DeriveError::MissingSpec(name.to_string(), h + 1))?;
-            Ok((
-                base.pre.combine(&frame.pre),
-                base.post.combine(&frame.post),
-            ))
+            Ok((base.pre.combine(&frame.pre), base.post.combine(&frame.post)))
         } else {
             Ok((base.pre.clone(), base.post.clone()))
         }
@@ -130,8 +124,22 @@ pub fn transform(
                 dctx.poly_degree,
                 dctx.level,
             );
-            require_contains(builder, &ctx_then, &joined, &pre_then, dctx.poly_degree, &format!("if.then.h{}", dctx.level));
-            require_contains(builder, &ctx_else, &joined, &pre_else, dctx.poly_degree, &format!("if.else.h{}", dctx.level));
+            require_contains(
+                builder,
+                &ctx_then,
+                &joined,
+                &pre_then,
+                dctx.poly_degree,
+                &format!("if.then.h{}", dctx.level),
+            );
+            require_contains(
+                builder,
+                &ctx_else,
+                &joined,
+                &pre_else,
+                dctx.poly_degree,
+                &format!("if.else.h{}", dctx.level),
+            );
             Ok(joined)
         }
         Stmt::IfProb(p, s1, s2) => {
@@ -272,7 +280,10 @@ mod tests {
             crate::template::SymInterval::point_poly(&Polynomial::var(x.clone())),
             crate::template::SymInterval::point_poly(&Polynomial::var(x.clone()).pow(2)),
         ]);
-        let stmt = seq([sample("t", uniform(-1.0, 2.0)), assign("x", add(v("x"), v("t")))]);
+        let stmt = seq([
+            sample("t", uniform(-1.0, 2.0)),
+            assign("x", add(v("x"), v("t"))),
+        ]);
         let pre = transform(&mut b, &d, &stmt, &Context::top(), post).unwrap();
         // E[(x+t)²] = x² + x + 1 with E[t]=1/2, E[t²]=1.
         let hi2 = pre.component(2).hi.resolve(&|_| 0.0);
@@ -294,8 +305,14 @@ mod tests {
         let specs = SpecTable::new();
         let mut b = ConstraintBuilder::new();
         let d = dctx(&program, &specs, 1);
-        let err = transform(&mut b, &d, program.main(), &Context::top(), SymMoment::one(1))
-            .unwrap_err();
+        let err = transform(
+            &mut b,
+            &d,
+            program.main(),
+            &Context::top(),
+            SymMoment::one(1),
+        )
+        .unwrap_err();
         assert_eq!(err, DeriveError::MissingSpec("f".into(), 0));
         assert!(err.to_string().contains('f'));
     }

@@ -6,7 +6,7 @@ use std::time::{Duration, Instant};
 
 use cma_appl::Program;
 use cma_logic::Context;
-use cma_lp::LpStatus;
+use cma_lp::{LpBackend, LpStatus, SimplexBackend};
 use cma_semiring::poly::{Polynomial, Var};
 use cma_semiring::Interval;
 
@@ -172,6 +172,9 @@ pub struct AnalysisResult {
     pub lp_variables: usize,
     /// Total number of LP constraints generated.
     pub lp_constraints: usize,
+    /// Number of linear programs handed to the backend (1 in global mode, one
+    /// per call-graph SCC plus one for `main` in compositional mode).
+    pub lp_solves: usize,
     /// Wall-clock time spent in the analysis.
     pub elapsed: Duration,
 }
@@ -220,49 +223,76 @@ impl AnalysisResult {
     }
 }
 
+/// Analyzes a program with the default simplex backend.
+///
+/// Legacy entry point: new code should go through the `Analysis` pipeline
+/// facade of the umbrella `central_moment_analysis` crate, or call
+/// [`analyze_with`] to choose the LP backend explicitly.
+#[deprecated(
+    since = "0.2.0",
+    note = "use the `Analysis` pipeline facade (central_moment_analysis::Analysis) or `analyze_with`"
+)]
+pub fn analyze(
+    program: &Program,
+    options: &AnalysisOptions,
+) -> Result<AnalysisResult, AnalysisError> {
+    analyze_with(program, options, &SimplexBackend)
+}
+
 /// Analyzes a program, deriving symbolic interval bounds on the raw moments
-/// `E[C^k]`, `k ≤ m`, of its accumulated cost.
+/// `E[C^k]`, `k ≤ m`, of its accumulated cost, solving every generated linear
+/// program with the given [`LpBackend`].
 ///
 /// # Errors
 ///
 /// Returns [`AnalysisError`] when constraint generation fails or the LP has no
 /// solution under the chosen template degrees.
-pub fn analyze(program: &Program, options: &AnalysisOptions) -> Result<AnalysisResult, AnalysisError> {
+pub fn analyze_with(
+    program: &Program,
+    options: &AnalysisOptions,
+    backend: &dyn LpBackend,
+) -> Result<AnalysisResult, AnalysisError> {
     let start = Instant::now();
     let groups = match options.mode {
         SolveMode::Global => {
-            vec![program.functions().map(|f| f.name().to_string()).collect::<Vec<_>>()]
+            vec![program
+                .functions()
+                .map(|f| f.name().to_string())
+                .collect::<Vec<_>>()]
         }
         SolveMode::Compositional => call_graph_sccs(program),
     };
 
     let mut resolved: BTreeMap<(String, usize), ResolvedSpec> = BTreeMap::new();
-    let main_bounds: Option<Vec<(Polynomial, Polynomial)>>;
     let mut lp_variables = 0usize;
     let mut lp_constraints = 0usize;
+    let mut lp_solves = 0usize;
 
-    match options.mode {
+    let main_bounds: Option<Vec<(Polynomial, Polynomial)>> = match options.mode {
         SolveMode::Global => {
             let group = &groups[0];
-            let outcome = solve_group(program, options, group, true, &resolved)?;
+            let outcome = solve_group(program, options, group, true, &resolved, backend)?;
             lp_variables += outcome.lp_variables;
             lp_constraints += outcome.lp_constraints;
+            lp_solves += 1;
             resolved.extend(outcome.specs);
-            main_bounds = outcome.main_bounds;
+            outcome.main_bounds
         }
         SolveMode::Compositional => {
             for group in &groups {
-                let outcome = solve_group(program, options, group, false, &resolved)?;
+                let outcome = solve_group(program, options, group, false, &resolved, backend)?;
                 lp_variables += outcome.lp_variables;
                 lp_constraints += outcome.lp_constraints;
+                lp_solves += 1;
                 resolved.extend(outcome.specs);
             }
-            let outcome = solve_group(program, options, &[], true, &resolved)?;
+            let outcome = solve_group(program, options, &[], true, &resolved, backend)?;
             lp_variables += outcome.lp_variables;
             lp_constraints += outcome.lp_constraints;
-            main_bounds = outcome.main_bounds;
+            lp_solves += 1;
+            outcome.main_bounds
         }
-    }
+    };
 
     let main_bounds = main_bounds.expect("main bounds computed by the final group");
     let bounds = main_bounds
@@ -274,6 +304,7 @@ pub fn analyze(program: &Program, options: &AnalysisOptions) -> Result<AnalysisR
         specs: resolved,
         lp_variables,
         lp_constraints,
+        lp_solves,
         elapsed: start.elapsed(),
     })
 }
@@ -298,6 +329,7 @@ fn solve_group(
     group: &[String],
     include_main: bool,
     resolved: &BTreeMap<(String, usize), ResolvedSpec>,
+    backend: &dyn LpBackend,
 ) -> Result<GroupOutcome, AnalysisError> {
     let m = options.degree;
     let d = options.poly_degree;
@@ -362,8 +394,13 @@ fn solve_group(
                 template_vars: vars.clone(),
                 level,
             };
-            let derived_pre =
-                transform(&mut builder, &dctx, function.body(), &ctx, entry.post.clone())?;
+            let derived_pre = transform(
+                &mut builder,
+                &dctx,
+                function.body(),
+                &ctx,
+                entry.post.clone(),
+            )?;
             require_contains(
                 &mut builder,
                 &ctx,
@@ -403,7 +440,7 @@ fn solve_group(
     };
 
     let lp_variables = builder.num_vars();
-    let solution = builder.solve();
+    let solution = builder.solve_with(backend);
     let lp_constraints = builder.num_constraints();
     if !solution.is_optimal() {
         return Err(AnalysisError::LpFailed {
@@ -533,7 +570,11 @@ mod tests {
             .unwrap();
         let sccs = call_graph_sccs(&program);
         assert_eq!(sccs.len(), 3);
-        let pos = |name: &str| sccs.iter().position(|s| s.contains(&name.to_string())).unwrap();
+        let pos = |name: &str| {
+            sccs.iter()
+                .position(|s| s.contains(&name.to_string()))
+                .unwrap()
+        };
         assert!(pos("c") < pos("b"));
         assert!(pos("b") < pos("a"));
     }
@@ -557,7 +598,7 @@ mod tests {
             .main(seq([tick(2.0), tick(3.0)]))
             .build()
             .unwrap();
-        let result = analyze(&program, &AnalysisOptions::degree(3)).unwrap();
+        let result = analyze_with(&program, &AnalysisOptions::degree(3), &SimplexBackend).unwrap();
         let intervals = result.raw_intervals_at(&[]);
         assert!((intervals[1].mid() - 5.0).abs() < 1e-6);
         assert!((intervals[2].mid() - 25.0).abs() < 1e-6);
@@ -573,7 +614,7 @@ mod tests {
             .main(if_prob(0.5, tick(2.0), tick(4.0)))
             .build()
             .unwrap();
-        let result = analyze(&program, &AnalysisOptions::degree(3)).unwrap();
+        let result = analyze_with(&program, &AnalysisOptions::degree(3), &SimplexBackend).unwrap();
         let i = result.raw_intervals_at(&[]);
         assert!((i[1].mid() - 3.0).abs() < 1e-6 && i[1].width() < 1e-6);
         assert!((i[2].mid() - 10.0).abs() < 1e-6);
@@ -588,11 +629,14 @@ mod tests {
     fn geometric_recursion_is_bounded() {
         // Geometric(1/2): E = 2, E[C²] = 6.
         let program = ProgramBuilder::new()
-            .function("geo", if_prob(0.5, seq([tick(1.0), call("geo")]), tick(1.0)))
+            .function(
+                "geo",
+                if_prob(0.5, seq([tick(1.0), call("geo")]), tick(1.0)),
+            )
             .main(call("geo"))
             .build()
             .unwrap();
-        let result = analyze(&program, &AnalysisOptions::degree(2)).unwrap();
+        let result = analyze_with(&program, &AnalysisOptions::degree(2), &SimplexBackend).unwrap();
         let i = result.raw_intervals_at(&[]);
         assert!(i[1].lo() <= 2.0 + 1e-6 && i[1].hi() >= 2.0 - 1e-6);
         assert!(i[2].hi() >= 6.0 - 1e-6);
@@ -616,7 +660,7 @@ mod tests {
             .build()
             .unwrap();
         let options = AnalysisOptions::degree(2).with_mode(SolveMode::Compositional);
-        match analyze(&program, &options) {
+        match analyze_with(&program, &options, &SimplexBackend) {
             Ok(result) => {
                 let i = result.raw_intervals_at(&[]);
                 assert!(i[1].hi() >= 6.0 - 1e-6);

@@ -29,20 +29,25 @@
 //!
 //! ```
 //! use cma_appl::parse_program;
-//! use cma_inference::{analyze, AnalysisOptions};
+//! use cma_inference::{analyze_with, AnalysisOptions};
+//! use cma_lp::SimplexBackend;
 //!
 //! let program = parse_program(r#"
 //!     func main() begin
 //!       if prob(0.5) then tick(2) else tick(4) fi
 //!     end
 //! "#).unwrap();
-//! let result = analyze(&program, &AnalysisOptions::degree(2)).unwrap();
+//! let result = analyze_with(&program, &AnalysisOptions::degree(2), &SimplexBackend).unwrap();
 //! // E[C] = 3, E[C^2] = 10 exactly; the analysis brackets both.
 //! let e1 = result.raw_moment_at(1, &[]);
 //! let e2 = result.raw_moment_at(2, &[]);
 //! assert!(e1.lo() <= 3.0 + 1e-6 && 3.0 - 1e-6 <= e1.hi());
 //! assert!(e2.lo() <= 10.0 + 1e-6 && 10.0 - 1e-6 <= e2.hi());
 //! ```
+//!
+//! Downstream users should prefer the `Analysis` pipeline facade of the
+//! umbrella `central_moment_analysis` crate, which wires parsing, inference,
+//! central moments, tail bounds, and soundness checking into one call.
 
 pub mod builder;
 pub mod central;
@@ -55,6 +60,15 @@ pub mod template;
 pub mod weaken;
 
 pub use central::CentralMoments;
-pub use engine::{analyze, AnalysisError, AnalysisOptions, AnalysisResult, MomentBound, SolveMode};
-pub use soundness::{check_bounded_update, check_termination_moment, SoundnessReport};
-pub use tail::{cantelli_upper_tail, chebyshev_tail, markov_tail, TailBound};
+#[allow(deprecated)]
+pub use engine::analyze;
+pub use engine::{
+    analyze_with, AnalysisError, AnalysisOptions, AnalysisResult, MomentBound, SolveMode,
+};
+pub use soundness::{
+    check_bounded_update, check_termination_moment, check_termination_moment_with,
+    soundness_report, soundness_report_with, SoundnessReport,
+};
+pub use tail::{
+    best_tail_bound, cantelli_upper_tail, chebyshev_tail, markov_tail, tail_curve, TailBound,
+};

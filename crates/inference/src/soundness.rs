@@ -11,9 +11,10 @@
 //!    `∥Y_n∥∞ ∈ O((n+1)^{m·d})` (Lemma F.3).
 
 use cma_appl::ast::{Expr, Function, Program, Stmt};
+use cma_lp::{LpBackend, SimplexBackend};
 use cma_semiring::poly::Var;
 
-use crate::engine::{analyze, AnalysisError, AnalysisOptions};
+use crate::engine::{analyze_with, AnalysisError, AnalysisOptions};
 
 /// The outcome of the combined soundness check.
 #[derive(Debug, Clone)]
@@ -99,10 +100,8 @@ fn visit(stmt: &Stmt, f: &mut impl FnMut(&Stmt)) {
 
 fn collect_violations(stmt: &Stmt, noise_vars: &[Var], out: &mut Vec<String>) {
     visit(stmt, &mut |s| match s {
-        Stmt::Assign(x, e) => {
-            if !assignment_is_bounded(x, e, noise_vars) {
-                out.push(format!("{x} := {e}"));
-            }
+        Stmt::Assign(x, e) if !assignment_is_bounded(x, e, noise_vars) => {
+            out.push(format!("{x} := {e}"));
         }
         Stmt::Sample(x, d) => {
             let (lo, hi) = d.support();
@@ -125,10 +124,7 @@ fn assignment_is_bounded(x: &Var, e: &Expr, noise_vars: &[Var]) -> bool {
     if delta.degree() > 1 {
         return false;
     }
-    delta
-        .vars()
-        .iter()
-        .all(|v| noise_vars.contains(v))
+    delta.vars().iter().all(|v| noise_vars.contains(v))
 }
 
 /// Checks condition (i) of Theorem 4.4: derives an upper bound on `E[T^k]`
@@ -145,10 +141,24 @@ pub fn check_termination_moment(
     k: usize,
     options: &AnalysisOptions,
 ) -> Result<(), AnalysisError> {
+    check_termination_moment_with(program, k, options, &SimplexBackend)
+}
+
+/// [`check_termination_moment`] with an explicit [`LpBackend`].
+///
+/// # Errors
+///
+/// Propagates the underlying [`AnalysisError`] when no bound can be derived.
+pub fn check_termination_moment_with(
+    program: &Program,
+    k: usize,
+    options: &AnalysisOptions,
+    backend: &dyn LpBackend,
+) -> Result<(), AnalysisError> {
     let instrumented = step_counting_instrumentation(program);
     let mut opts = options.clone();
     opts.degree = k;
-    analyze(&instrumented, &opts).map(|_| ())
+    analyze_with(&instrumented, &opts, backend).map(|_| ())
 }
 
 /// Runs both soundness checks and assembles a report.
@@ -157,8 +167,18 @@ pub fn soundness_report(
     degree: usize,
     options: &AnalysisOptions,
 ) -> SoundnessReport {
+    soundness_report_with(program, degree, options, &SimplexBackend)
+}
+
+/// [`soundness_report`] with an explicit [`LpBackend`].
+pub fn soundness_report_with(
+    program: &Program,
+    degree: usize,
+    options: &AnalysisOptions,
+    backend: &dyn LpBackend,
+) -> SoundnessReport {
     let violations = check_bounded_update(program);
-    let termination_moment = check_termination_moment(program, degree, options)
+    let termination_moment = check_termination_moment_with(program, degree, options, backend)
         .ok()
         .map(|_| degree);
     SoundnessReport {
@@ -322,7 +342,10 @@ mod tests {
     #[test]
     fn termination_moment_check_succeeds_for_geometric() {
         let program = ProgramBuilder::new()
-            .function("geo", if_prob(0.5, seq([tick(1.0), call("geo")]), tick(1.0)))
+            .function(
+                "geo",
+                if_prob(0.5, seq([tick(1.0), call("geo")]), tick(1.0)),
+            )
             .main(call("geo"))
             .build()
             .unwrap();

@@ -156,7 +156,10 @@ mod tests {
         assert_eq!(markov_tail(50.0, 1, 10.0), 1.0);
         assert_eq!(markov_tail(50.0, 1, 0.0), 1.0);
         assert_eq!(markov_tail(0.0, 2, 10.0), 0.0);
-        assert_eq!(cantelli_upper_tail(4.0, cma_semiring::Interval::point(5.0), 4.0), 1.0);
+        assert_eq!(
+            cantelli_upper_tail(4.0, cma_semiring::Interval::point(5.0), 4.0),
+            1.0
+        );
     }
 
     #[test]

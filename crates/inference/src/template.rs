@@ -515,7 +515,9 @@ mod tests {
 
     #[test]
     fn template_from_concrete_and_resolve_roundtrip() {
-        let p = Polynomial::var(x()).scale(2.0).add(&Polynomial::constant(4.0));
+        let p = Polynomial::var(x())
+            .scale(2.0)
+            .add(&Polynomial::constant(4.0));
         let t = TemplatePoly::from_concrete(&p);
         let back = t.resolve(&|_| 0.0);
         assert_eq!(back, p);
@@ -598,14 +600,26 @@ mod tests {
         let post = SymMoment::one(2);
         let pre = post.prepend_cost(1.0);
         for k in 0..=2 {
-            assert_eq!(pre.component(k).hi.resolve(&|_| 0.0).as_constant(), Some(1.0));
-            assert_eq!(pre.component(k).lo.resolve(&|_| 0.0).as_constant(), Some(1.0));
+            assert_eq!(
+                pre.component(k).hi.resolve(&|_| 0.0).as_constant(),
+                Some(1.0)
+            );
+            assert_eq!(
+                pre.component(k).lo.resolve(&|_| 0.0).as_constant(),
+                Some(1.0)
+            );
         }
         // Negative costs flip nothing structurally but produce signed powers:
         // cost -1 on ⟨1,0,0⟩ gives ⟨1,-1,1⟩.
         let neg = post.prepend_cost(-1.0);
-        assert_eq!(neg.component(1).hi.resolve(&|_| 0.0).as_constant(), Some(-1.0));
-        assert_eq!(neg.component(2).hi.resolve(&|_| 0.0).as_constant(), Some(1.0));
+        assert_eq!(
+            neg.component(1).hi.resolve(&|_| 0.0).as_constant(),
+            Some(-1.0)
+        );
+        assert_eq!(
+            neg.component(2).hi.resolve(&|_| 0.0).as_constant(),
+            Some(1.0)
+        );
     }
 
     #[test]
@@ -618,7 +632,10 @@ mod tests {
             SymInterval::point(11.0),
         ]);
         let pre = post.prepend_cost(2.0);
-        assert_eq!(pre.component(1).hi.resolve(&|_| 0.0).as_constant(), Some(5.0));
+        assert_eq!(
+            pre.component(1).hi.resolve(&|_| 0.0).as_constant(),
+            Some(5.0)
+        );
         assert_eq!(
             pre.component(2).hi.resolve(&|_| 0.0).as_constant(),
             Some(4.0 + 2.0 * 2.0 * 3.0 + 11.0)
@@ -629,9 +646,17 @@ mod tests {
     fn combine_and_scale_probability() {
         let a = SymMoment::from_components(vec![SymInterval::point(1.0), SymInterval::point(2.0)]);
         let b = SymMoment::from_components(vec![SymInterval::point(1.0), SymInterval::point(6.0)]);
-        let mix = a.scale_probability(0.25).combine(&b.scale_probability(0.75));
-        assert_eq!(mix.component(0).hi.resolve(&|_| 0.0).as_constant(), Some(1.0));
-        assert_eq!(mix.component(1).hi.resolve(&|_| 0.0).as_constant(), Some(5.0));
+        let mix = a
+            .scale_probability(0.25)
+            .combine(&b.scale_probability(0.75));
+        assert_eq!(
+            mix.component(0).hi.resolve(&|_| 0.0).as_constant(),
+            Some(1.0)
+        );
+        assert_eq!(
+            mix.component(1).hi.resolve(&|_| 0.0).as_constant(),
+            Some(5.0)
+        );
     }
 
     #[test]
@@ -644,7 +669,8 @@ mod tests {
             comp(Polynomial::var(x()).pow(2)),
         ]);
         let t = Var::new("t");
-        let after_assign = q.substitute(&x(), &Polynomial::var(x()).add(&Polynomial::var(t.clone())));
+        let after_assign =
+            q.substitute(&x(), &Polynomial::var(x()).add(&Polynomial::var(t.clone())));
         // E[t] = 1/2, E[t²] = 1.
         let after_sample = after_assign.expect_over(&t, &[1.0, 0.5, 1.0]);
         let second = after_sample.component(2).hi.resolve(&|_| 0.0);
@@ -659,7 +685,10 @@ mod tests {
     fn one_and_zero_have_expected_shape() {
         let one = SymMoment::one(3);
         assert_eq!(one.degree(), 3);
-        assert_eq!(one.component(0).hi.resolve(&|_| 0.0).as_constant(), Some(1.0));
+        assert_eq!(
+            one.component(0).hi.resolve(&|_| 0.0).as_constant(),
+            Some(1.0)
+        );
         assert!(one.component(1).is_zero());
         let zero = SymMoment::zero(2);
         assert!(zero.components().iter().all(SymInterval::is_zero));

@@ -152,7 +152,7 @@ mod tests {
         let sol = b.solve();
         assert!(sol.is_optimal());
         let c = template.resolve(&|v| sol.value(v)).as_constant().unwrap();
-        assert!(c >= 16.0 - 1e-5 && c <= 16.0 + 1e-5, "got {c}");
+        assert!((16.0 - 1e-5..=16.0 + 1e-5).contains(&c), "got {c}");
     }
 
     #[test]
@@ -178,7 +178,9 @@ mod tests {
             crate::template::SymInterval {
                 lo: TemplatePoly::from_concrete(&Polynomial::var(x())),
                 hi: TemplatePoly::from_concrete(
-                    &Polynomial::var(x()).scale(2.0).add(&Polynomial::constant(3.0)),
+                    &Polynomial::var(x())
+                        .scale(2.0)
+                        .add(&Polynomial::constant(3.0)),
                 ),
             },
         ]);

@@ -113,7 +113,11 @@ impl LinExpr {
             return LinExpr::zero();
         }
         LinExpr {
-            coeffs: self.coeffs.iter().map(|(v, k)| (v.clone(), k * c)).collect(),
+            coeffs: self
+                .coeffs
+                .iter()
+                .map(|(v, k)| (v.clone(), k * c))
+                .collect(),
             constant: self.constant * c,
         }
     }
@@ -289,7 +293,9 @@ mod tests {
     fn from_polynomial_rejects_nonlinear() {
         let quadratic = Polynomial::var(x()).pow(2);
         assert!(LinExpr::from_polynomial(&quadratic).is_none());
-        let linear = Polynomial::var(x()).scale(3.0).add(&Polynomial::constant(1.0));
+        let linear = Polynomial::var(x())
+            .scale(3.0)
+            .add(&Polynomial::constant(1.0));
         let e = LinExpr::from_polynomial(&linear).unwrap();
         assert_eq!(e.coefficient(&x()), 3.0);
     }
@@ -305,7 +311,9 @@ mod tests {
     #[test]
     fn substitution_is_affine_composition() {
         // e = 2x + y; x := y - 1  =>  2y - 2 + y = 3y - 2
-        let e = LinExpr::var(x()).scale(2.0).add(&LinExpr::var(Var::new("y")));
+        let e = LinExpr::var(x())
+            .scale(2.0)
+            .add(&LinExpr::var(Var::new("y")));
         let replacement = LinExpr::var(Var::new("y")).sub(&LinExpr::constant(1.0));
         let s = e.substitute(&x(), &replacement);
         assert_eq!(s.coefficient(&Var::new("y")), 3.0);

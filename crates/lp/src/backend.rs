@@ -1,0 +1,106 @@
+//! The solver abstraction: [`LpBackend`].
+//!
+//! The derivation system reduces bound inference to linear programming but
+//! does not care *how* the program is solved — the paper's artifact used
+//! Gurobi, this reproduction ships a dense simplex, and a production
+//! deployment might shell out to a parallel interior-point solver.  The
+//! [`LpBackend`] trait is that seam: everything above `cma-lp` (the constraint
+//! builder, the analysis engine, the `Analysis` pipeline facade) takes a
+//! backend value instead of hard-wiring a solver.
+//!
+//! # Contract
+//!
+//! An implementation must, for every well-formed [`LpProblem`]:
+//!
+//! 1. return [`LpStatus::Optimal`] together with a feasible point attaining
+//!    the minimum whenever the problem is feasible and bounded (within the
+//!    backend's numeric tolerance);
+//! 2. return [`LpStatus::Infeasible`] when no feasible point exists;
+//! 3. return [`LpStatus::Unbounded`] when the objective is unbounded below on
+//!    a non-empty feasible region;
+//! 4. respect variable domains: non-negative variables must be ≥ 0 in any
+//!    reported solution, free variables may take any sign;
+//! 5. be deterministic: solving the same problem twice yields the same status
+//!    and (for `Optimal`) the same objective value;
+//! 6. never panic on solvable input — resource exhaustion is reported as
+//!    [`LpStatus::IterationLimit`].
+//!
+//! The conformance suite in `tests/backend_conformance.rs` checks these
+//! obligations and should be run against every new backend.
+
+use crate::simplex::{LpProblem, LpSolution};
+
+/// A linear-programming solver usable by the analysis.
+///
+/// See the [module documentation](self) for the behavioral contract.
+pub trait LpBackend {
+    /// A short human-readable solver name (reported in `AnalysisReport`).
+    fn name(&self) -> &str;
+
+    /// Solves `minimize c·x subject to constraints` for the given problem.
+    fn solve(&self, problem: &LpProblem) -> LpSolution;
+}
+
+/// The built-in dense two-phase primal simplex (the default backend).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimplexBackend;
+
+impl LpBackend for SimplexBackend {
+    fn name(&self) -> &str {
+        "dense-simplex"
+    }
+
+    fn solve(&self, problem: &LpProblem) -> LpSolution {
+        problem.solve()
+    }
+}
+
+/// Blanket impl so `&B` and `&dyn LpBackend` are themselves backends — lets
+/// callers thread borrowed backends through generic code.
+impl<B: LpBackend + ?Sized> LpBackend for &B {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn solve(&self, problem: &LpProblem) -> LpSolution {
+        (**self).solve(problem)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simplex::{Cmp, LpStatus};
+
+    fn toy_problem() -> LpProblem {
+        // minimize -x - 2y  s.t.  x + y <= 4, y <= 3; optimum -7 at (1, 3).
+        let mut lp = LpProblem::new();
+        let x = lp.add_var("x", false);
+        let y = lp.add_var("y", false);
+        lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Cmp::Le, 4.0);
+        lp.add_constraint(vec![(y, 1.0)], Cmp::Le, 3.0);
+        lp.set_objective(vec![(x, -1.0), (y, -2.0)]);
+        lp
+    }
+
+    #[test]
+    fn simplex_backend_matches_direct_solve() {
+        let lp = toy_problem();
+        let direct = lp.solve();
+        let via_backend = SimplexBackend.solve(&lp);
+        assert_eq!(via_backend.status, LpStatus::Optimal);
+        assert!((via_backend.objective - direct.objective).abs() < 1e-9);
+    }
+
+    #[test]
+    fn backends_work_behind_references_and_dyn() {
+        let lp = toy_problem();
+        let backend = SimplexBackend;
+        let by_ref: &SimplexBackend = &backend;
+        assert_eq!(by_ref.name(), "dense-simplex");
+        assert!(by_ref.solve(&lp).is_optimal());
+        let dynamic: &dyn LpBackend = &backend;
+        assert!(dynamic.solve(&lp).is_optimal());
+        assert_eq!(dynamic.name(), "dense-simplex");
+    }
+}

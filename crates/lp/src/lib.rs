@@ -6,6 +6,10 @@
 //! simplex** over `f64` with Dantzig pricing and a Bland's-rule fallback that
 //! guarantees termination.
 //!
+//! Solvers are pluggable: the [`LpBackend`] trait (see [`backend`] and
+//! `DESIGN.md` for the contract) decouples problem construction from solving,
+//! and [`SimplexBackend`] is the built-in default implementation.
+//!
 //! The problem format is deliberately small: named variables that are either
 //! non-negative or free (free variables are split internally), linear
 //! constraints `a·x {≤,≥,=} b`, and a linear objective to *minimize*.
@@ -29,6 +33,8 @@
 //! assert!((sol.value(y) - 3.0).abs() < 1e-7);
 //! ```
 
+pub mod backend;
 pub mod simplex;
 
+pub use backend::{LpBackend, SimplexBackend};
 pub use simplex::{Cmp, LpProblem, LpSolution, LpStatus, LpVarId};

@@ -6,6 +6,10 @@
 //! tableau is both simple and fast enough, and it keeps the solver free of
 //! external dependencies.
 
+// Dense tableau kernels index several parallel rows/columns at once; indexed
+// loops are the clearest form here.
+#![allow(clippy::needless_range_loop)]
+
 use std::fmt;
 
 /// Identifier of a variable in an [`LpProblem`].
@@ -443,14 +447,12 @@ impl Tableau {
         let mut used = vec![false; m];
         for i in 0..m {
             let col = self.basis[i];
-            let pivot_row = (0..m)
-                .filter(|&r| !used[r])
-                .max_by(|&a, &b| {
-                    work[a][col]
-                        .abs()
-                        .partial_cmp(&work[b][col].abs())
-                        .unwrap_or(std::cmp::Ordering::Equal)
-                });
+            let pivot_row = (0..m).filter(|&r| !used[r]).max_by(|&a, &b| {
+                work[a][col]
+                    .abs()
+                    .partial_cmp(&work[b][col].abs())
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
             let Some(r) = pivot_row else { return false };
             let pivot = work[r][col];
             if pivot.abs() < 1e-11 {
@@ -706,8 +708,16 @@ mod tests {
         let x2 = lp.add_var("x2", false);
         let x3 = lp.add_var("x3", false);
         let x4 = lp.add_var("x4", false);
-        lp.add_constraint(vec![(x1, 0.5), (x2, -5.5), (x3, -2.5), (x4, 9.0)], Cmp::Le, 0.0);
-        lp.add_constraint(vec![(x1, 0.5), (x2, -1.5), (x3, -0.5), (x4, 1.0)], Cmp::Le, 0.0);
+        lp.add_constraint(
+            vec![(x1, 0.5), (x2, -5.5), (x3, -2.5), (x4, 9.0)],
+            Cmp::Le,
+            0.0,
+        );
+        lp.add_constraint(
+            vec![(x1, 0.5), (x2, -1.5), (x3, -0.5), (x4, 1.0)],
+            Cmp::Le,
+            0.0,
+        );
         lp.add_constraint(vec![(x1, 1.0)], Cmp::Le, 1.0);
         lp.set_objective(vec![(x1, -10.0), (x2, 57.0), (x3, 9.0), (x4, 24.0)]);
         let sol = lp.solve();
@@ -728,13 +738,12 @@ mod tests {
         };
         for _ in 0..5 {
             let mut lp = LpProblem::new();
-            let vars: Vec<_> = (0..12).map(|i| lp.add_var(format!("v{i}"), false)).collect();
+            let vars: Vec<_> = (0..12)
+                .map(|i| lp.add_var(format!("v{i}"), false))
+                .collect();
             let mut rows = Vec::new();
             for _ in 0..8 {
-                let terms: Vec<_> = vars
-                    .iter()
-                    .map(|&v| (v, 0.2 + next()))
-                    .collect();
+                let terms: Vec<_> = vars.iter().map(|&v| (v, 0.2 + next())).collect();
                 let rhs = 1.0 + 3.0 * next();
                 rows.push((terms.clone(), rhs));
                 lp.add_constraint(terms, Cmp::Ge, rhs);

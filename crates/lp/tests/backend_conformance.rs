@@ -1,0 +1,166 @@
+//! The [`LpBackend`] conformance suite.
+//!
+//! Every obligation of the backend contract (see `crates/lp/src/backend.rs`
+//! and `DESIGN.md`) is exercised by `conformance::<B>()`, instantiated here
+//! for the built-in [`SimplexBackend`].  A new backend earns its place by
+//! adding one `#[test]` that calls the same function.
+
+use cma_lp::{Cmp, LpBackend, LpProblem, LpStatus, SimplexBackend};
+
+const TOL: f64 = 1e-6;
+
+/// Runs the whole conformance suite against `backend`.
+fn conformance<B: LpBackend>(backend: &B) {
+    assert!(!backend.name().is_empty(), "backends must be nameable");
+    solves_bounded_problems_to_optimality(backend);
+    respects_equality_constraints(backend);
+    handles_free_variables(backend);
+    reports_infeasibility(backend);
+    reports_unboundedness(backend);
+    keeps_nonnegative_domains(backend);
+    is_deterministic(backend);
+    tolerates_empty_and_degenerate_problems(backend);
+}
+
+/// Obligation 1: feasible bounded problems come back `Optimal` with the
+/// minimum attained.
+fn solves_bounded_problems_to_optimality<B: LpBackend>(backend: &B) {
+    // minimize -x - 2y  s.t.  x + y <= 4, y <= 3; optimum -7 at (1, 3).
+    let mut lp = LpProblem::new();
+    let x = lp.add_var("x", false);
+    let y = lp.add_var("y", false);
+    lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Cmp::Le, 4.0);
+    lp.add_constraint(vec![(y, 1.0)], Cmp::Le, 3.0);
+    lp.set_objective(vec![(x, -1.0), (y, -2.0)]);
+    let sol = backend.solve(&lp);
+    assert_eq!(sol.status, LpStatus::Optimal);
+    assert!(
+        (sol.objective - (-7.0)).abs() < TOL,
+        "objective {}",
+        sol.objective
+    );
+    assert!((sol.value(x) - 1.0).abs() < TOL);
+    assert!((sol.value(y) - 3.0).abs() < TOL);
+}
+
+/// Obligation 1 (equalities): `=` rows hold exactly at the solution.
+fn respects_equality_constraints<B: LpBackend>(backend: &B) {
+    // minimize x + y  s.t.  x + y = 5, x >= 2  → optimum 5 with x in [2, 5].
+    let mut lp = LpProblem::new();
+    let x = lp.add_var("x", false);
+    let y = lp.add_var("y", false);
+    lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Cmp::Eq, 5.0);
+    lp.add_constraint(vec![(x, 1.0)], Cmp::Ge, 2.0);
+    lp.set_objective(vec![(x, 1.0), (y, 1.0)]);
+    let sol = backend.solve(&lp);
+    assert_eq!(sol.status, LpStatus::Optimal);
+    assert!((sol.objective - 5.0).abs() < TOL);
+    assert!((sol.value(x) + sol.value(y) - 5.0).abs() < TOL);
+    assert!(sol.value(x) >= 2.0 - TOL);
+}
+
+/// Obligation 4 (free variables): sign-unrestricted variables may go negative.
+fn handles_free_variables<B: LpBackend>(backend: &B) {
+    // minimize z  s.t.  z >= -10  → optimum -10 (z free).
+    let mut lp = LpProblem::new();
+    let z = lp.add_var("z", true);
+    lp.add_constraint(vec![(z, 1.0)], Cmp::Ge, -10.0);
+    lp.set_objective(vec![(z, 1.0)]);
+    let sol = backend.solve(&lp);
+    assert_eq!(sol.status, LpStatus::Optimal);
+    assert!(
+        (sol.value(z) - (-10.0)).abs() < TOL,
+        "free var hit {}",
+        sol.value(z)
+    );
+}
+
+/// Obligation 2: contradictory constraints are `Infeasible`.
+fn reports_infeasibility<B: LpBackend>(backend: &B) {
+    let mut lp = LpProblem::new();
+    let x = lp.add_var("x", false);
+    lp.add_constraint(vec![(x, 1.0)], Cmp::Ge, 3.0);
+    lp.add_constraint(vec![(x, 1.0)], Cmp::Le, 1.0);
+    lp.set_objective(vec![(x, 1.0)]);
+    assert_eq!(backend.solve(&lp).status, LpStatus::Infeasible);
+}
+
+/// Obligation 3: an objective unbounded below is `Unbounded`.
+fn reports_unboundedness<B: LpBackend>(backend: &B) {
+    // minimize -x  s.t.  x >= 0 (no upper bound).
+    let mut lp = LpProblem::new();
+    let x = lp.add_var("x", false);
+    lp.add_constraint(vec![(x, 1.0)], Cmp::Ge, 0.0);
+    lp.set_objective(vec![(x, -1.0)]);
+    assert_eq!(backend.solve(&lp).status, LpStatus::Unbounded);
+}
+
+/// Obligation 4: non-negative variables stay ≥ 0 even when the objective
+/// pushes them down.
+fn keeps_nonnegative_domains<B: LpBackend>(backend: &B) {
+    // minimize x + y  s.t.  x + y >= -5  → optimum 0 at the origin.
+    let mut lp = LpProblem::new();
+    let x = lp.add_var("x", false);
+    let y = lp.add_var("y", false);
+    lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Cmp::Ge, -5.0);
+    lp.set_objective(vec![(x, 1.0), (y, 1.0)]);
+    let sol = backend.solve(&lp);
+    assert_eq!(sol.status, LpStatus::Optimal);
+    assert!(sol.value(x) >= -TOL && sol.value(y) >= -TOL);
+    assert!(sol.objective.abs() < TOL);
+}
+
+/// Obligation 5: re-solving yields the identical outcome.
+fn is_deterministic<B: LpBackend>(backend: &B) {
+    let mut lp = LpProblem::new();
+    let vars: Vec<_> = (0..6)
+        .map(|i| lp.add_var(format!("v{i}"), i % 2 == 0))
+        .collect();
+    for (i, pair) in vars.windows(2).enumerate() {
+        lp.add_constraint(
+            vec![(pair[0], 1.0), (pair[1], 0.5)],
+            if i % 2 == 0 { Cmp::Le } else { Cmp::Ge },
+            i as f64,
+        );
+    }
+    lp.set_objective(vars.iter().map(|&v| (v, 1.0)).collect());
+    let a = backend.solve(&lp);
+    let b = backend.solve(&lp);
+    assert_eq!(a.status, b.status);
+    if a.status == LpStatus::Optimal {
+        assert_eq!(a.objective, b.objective);
+        assert_eq!(a.values(), b.values());
+    }
+}
+
+/// Obligation 6: degenerate input must not panic.
+fn tolerates_empty_and_degenerate_problems<B: LpBackend>(backend: &B) {
+    // No variables, no constraints.
+    let empty = LpProblem::new();
+    let sol = backend.solve(&empty);
+    assert_eq!(sol.status, LpStatus::Optimal);
+    assert!(sol.objective.abs() < TOL);
+
+    // A variable that appears in no constraint, minimized: bounded at 0 for a
+    // non-negative variable.
+    let mut lp = LpProblem::new();
+    let x = lp.add_var("x", false);
+    lp.set_objective(vec![(x, 1.0)]);
+    let sol = backend.solve(&lp);
+    assert_eq!(sol.status, LpStatus::Optimal);
+    assert!(sol.value(x).abs() < TOL);
+}
+
+#[test]
+fn simplex_backend_conforms() {
+    conformance(&SimplexBackend);
+}
+
+#[test]
+fn borrowed_and_dyn_backends_conform() {
+    // The blanket impl for references must preserve conformance.
+    let backend = SimplexBackend;
+    conformance(&&backend);
+    let dynamic: &dyn LpBackend = &backend;
+    conformance(&dynamic);
+}

@@ -34,7 +34,10 @@ impl Interval {
     ///
     /// Panics if `lo > hi` or either bound is NaN.
     pub fn new(lo: f64, hi: f64) -> Self {
-        assert!(!lo.is_nan() && !hi.is_nan(), "interval bounds must not be NaN");
+        assert!(
+            !lo.is_nan() && !hi.is_nan(),
+            "interval bounds must not be NaN"
+        );
         assert!(lo <= hi, "invalid interval [{lo}, {hi}]");
         Interval { lo, hi }
     }
@@ -81,21 +84,29 @@ impl Interval {
     }
 
     /// Interval addition `[a,b] + [c,d] = [a+c, b+d]`.
+    ///
+    /// The semiring API uses plain method names (`add`/`sub`/`neg`/`mul`)
+    /// rather than operator traits so the call sites mirror the paper's
+    /// algebraic notation.
+    #[allow(clippy::should_implement_trait)]
     pub fn add(self, other: Interval) -> Interval {
         Interval::new(self.lo + other.lo, self.hi + other.hi)
     }
 
     /// Interval negation `-[a,b] = [-b,-a]`.
+    #[allow(clippy::should_implement_trait)]
     pub fn neg(self) -> Interval {
         Interval::new(-self.hi, -self.lo)
     }
 
     /// Interval subtraction.
+    #[allow(clippy::should_implement_trait)]
     pub fn sub(self, other: Interval) -> Interval {
         self.add(other.neg())
     }
 
     /// Interval multiplication: the hull of all pairwise end-point products.
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(self, other: Interval) -> Interval {
         let candidates = [
             self.lo * other.lo,

@@ -43,7 +43,10 @@ impl<T: Semiring> MomentVec<T> {
     ///
     /// Panics if `components` is empty.
     pub fn from_raw(components: Vec<T>) -> Self {
-        assert!(!components.is_empty(), "a moment vector needs a 0-th component");
+        assert!(
+            !components.is_empty(),
+            "a moment vector needs a 0-th component"
+        );
         MomentVec { components }
     }
 
@@ -268,11 +271,8 @@ mod tests {
         // Ex. 2.3: ⟨1, 2w+4, 4w²+22w+28⟩ ⊗ ⟨1,1,1⟩ = ⟨1, 2w+5, 4w²+26w+37⟩  (w = d-x)
         // Check at a few values of w.
         for w in [0.0, 1.0, 2.5, 7.0] {
-            let callee = MomentVec::from_raw(vec![
-                1.0,
-                2.0 * w + 4.0,
-                4.0 * w * w + 22.0 * w + 28.0,
-            ]);
+            let callee =
+                MomentVec::from_raw(vec![1.0, 2.0 * w + 4.0, 4.0 * w * w + 22.0 * w + 28.0]);
             let post = MomentVec::from_raw(vec![1.0, 1.0, 1.0]);
             let pre = callee.compose(&post);
             assert!((pre.component(1) - (2.0 * w + 5.0)).abs() < 1e-9);

@@ -357,10 +357,7 @@ impl Polynomial {
     ///
     /// Returns an interval guaranteed to contain the range of the polynomial
     /// over the box (standard interval arithmetic, not necessarily tight).
-    pub fn eval_interval(
-        &self,
-        valuation: &dyn Fn(&Var) -> crate::Interval,
-    ) -> crate::Interval {
+    pub fn eval_interval(&self, valuation: &dyn Fn(&Var) -> crate::Interval) -> crate::Interval {
         let mut acc = crate::Interval::point(0.0);
         for (m, c) in self.terms() {
             let mut term = crate::Interval::point(1.0);
@@ -374,10 +371,7 @@ impl Polynomial {
 
     /// Maximum absolute value of any coefficient (0 for the zero polynomial).
     pub fn max_abs_coefficient(&self) -> f64 {
-        self.terms
-            .values()
-            .map(|c| c.abs())
-            .fold(0.0, f64::max)
+        self.terms.values().map(|c| c.abs()).fold(0.0, f64::max)
     }
 }
 
@@ -508,7 +502,9 @@ mod tests {
     #[test]
     fn polynomial_construction_and_eval() {
         // p = 2x^2 - 3xy + 4
-        let p = Polynomial::var(x()).pow(2).scale(2.0)
+        let p = Polynomial::var(x())
+            .pow(2)
+            .scale(2.0)
             .sub(&Polynomial::var(x()).mul(&Polynomial::var(y())).scale(3.0))
             .add(&Polynomial::constant(4.0));
         assert_eq!(p.degree(), 2);
@@ -537,7 +533,8 @@ mod tests {
         let p = Polynomial::var(x()).pow(2).add(&Polynomial::var(y()));
         let repl = Polynomial::var(y()).add(&Polynomial::constant(1.0));
         let q = p.substitute(&x(), &repl);
-        let expected = Polynomial::var(y()).pow(2)
+        let expected = Polynomial::var(y())
+            .pow(2)
             .add(&Polynomial::var(y()).scale(3.0))
             .add(&Polynomial::constant(1.0));
         assert_eq!(q, expected);
@@ -545,14 +542,18 @@ mod tests {
 
     #[test]
     fn substitution_of_absent_variable_is_identity() {
-        let p = Polynomial::var(x()).scale(5.0).add(&Polynomial::constant(1.0));
+        let p = Polynomial::var(x())
+            .scale(5.0)
+            .add(&Polynomial::constant(1.0));
         let q = p.substitute(&Var::new("z"), &Polynomial::constant(77.0));
         assert_eq!(p, q);
     }
 
     #[test]
     fn interval_evaluation_contains_point_evaluations() {
-        let p = Polynomial::var(x()).pow(2).sub(&Polynomial::var(x()).scale(3.0));
+        let p = Polynomial::var(x())
+            .pow(2)
+            .sub(&Polynomial::var(x()).scale(3.0));
         let box_val = |_: &Var| crate::Interval::new(-1.0, 2.0);
         let range = p.eval_interval(&box_val);
         for t in [-1.0, -0.5, 0.0, 1.0, 1.5, 2.0] {
@@ -563,7 +564,9 @@ mod tests {
 
     #[test]
     fn display_is_readable() {
-        let p = Polynomial::var(x()).pow(2).scale(4.0)
+        let p = Polynomial::var(x())
+            .pow(2)
+            .scale(4.0)
             .add(&Polynomial::var(x()).scale(-22.0))
             .add(&Polynomial::constant(28.0));
         let s = p.to_string();
@@ -580,7 +583,9 @@ mod tests {
     #[test]
     fn coefficient_wise_order() {
         let p = Polynomial::var(x()).scale(2.0);
-        let q = Polynomial::var(x()).scale(3.0).add(&Polynomial::constant(1.0));
+        let q = Polynomial::var(x())
+            .scale(3.0)
+            .add(&Polynomial::constant(1.0));
         assert!(p.leq(&q));
         assert!(!q.leq(&p));
     }

@@ -232,7 +232,10 @@ mod tests {
             ..Default::default()
         };
         assert_eq!(run_once(&program, &config, 0).unwrap().cost, 1.0);
-        assert_eq!(run_once(&program, &SimConfig::default(), 0).unwrap().cost, 0.0);
+        assert_eq!(
+            run_once(&program, &SimConfig::default(), 0).unwrap().cost,
+            0.0
+        );
     }
 
     #[test]

@@ -172,7 +172,10 @@ mod tests {
     fn geometric_program() -> Program {
         // Flip a fair coin until heads, ticking once per flip: Geometric(1/2).
         ProgramBuilder::new()
-            .function("flip", if_prob(0.5, seq([tick(1.0), call("flip")]), tick(1.0)))
+            .function(
+                "flip",
+                if_prob(0.5, seq([tick(1.0), call("flip")]), tick(1.0)),
+            )
             .main(call("flip"))
             .build()
             .unwrap()

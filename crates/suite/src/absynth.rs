@@ -33,8 +33,13 @@ pub fn ber() -> Benchmark {
             ]),
         ),
     );
-    Benchmark::new("ber", "Bernoulli increments until x reaches n; E ≤ 2(n−x)", program,
-        vec![(var("n"), 10.0), (var("x"), 0.0)], 1)
+    Benchmark::new(
+        "ber",
+        "Bernoulli increments until x reaches n; E ≤ 2(n−x)",
+        program,
+        vec![(var("n"), 10.0), (var("x"), 0.0)],
+        1,
+    )
 }
 
 /// `bin`: a binomial-style countdown: each iteration decrements `n` with
@@ -50,8 +55,13 @@ pub fn bin() -> Benchmark {
             ]),
         ),
     );
-    Benchmark::new("bin", "slow probabilistic countdown; E ≤ 10n", program,
-        vec![(var("n"), 10.0)], 1)
+    Benchmark::new(
+        "bin",
+        "slow probabilistic countdown; E ≤ 10n",
+        program,
+        vec![(var("n"), 10.0)],
+        1,
+    )
 }
 
 /// `geo`: a geometric loop that stops with probability 1/5 per iteration;
@@ -63,14 +73,17 @@ pub fn geo() -> Benchmark {
             assign("stop", cst(0.0)),
             while_loop(
                 lt(v("stop"), cst(0.5)),
-                seq([
-                    if_prob(0.2, assign("stop", cst(1.0)), skip()),
-                    tick(1.0),
-                ]),
+                seq([if_prob(0.2, assign("stop", cst(1.0)), skip()), tick(1.0)]),
             ),
         ]),
     );
-    Benchmark::new("geo", "geometric loop, stop probability 1/5; E ≤ 5", program, vec![], 1)
+    Benchmark::new(
+        "geo",
+        "geometric loop, stop probability 1/5; E ≤ 5",
+        program,
+        vec![],
+        1,
+    )
 }
 
 /// `hyper`: increments drawn uniformly from {0,…,4}; expected cost `5(n−x)/2`
@@ -87,8 +100,13 @@ pub fn hyper() -> Benchmark {
             ]),
         ),
     );
-    Benchmark::new("hyper", "uniform integer increments, cost 5 per draw", program,
-        vec![(var("n"), 10.0), (var("x"), 0.0)], 1)
+    Benchmark::new(
+        "hyper",
+        "uniform integer increments, cost 5 per draw",
+        program,
+        vec![(var("n"), 10.0), (var("x"), 0.0)],
+        1,
+    )
 }
 
 /// `linear01`: probabilistic decrease by 2 or 1; expected cost `0.6x`.
@@ -107,8 +125,13 @@ pub fn linear01() -> Benchmark {
             ]),
         ),
     );
-    Benchmark::new("linear01", "probabilistic decrease by 1 or 2; E ≤ 0.6x", program,
-        vec![(var("x"), 10.0)], 1)
+    Benchmark::new(
+        "linear01",
+        "probabilistic decrease by 1 or 2; E ≤ 0.6x",
+        program,
+        vec![(var("x"), 10.0)],
+        1,
+    )
 }
 
 /// `prdwalk`: random walk with uniform forward jumps; cost 1 per step.
@@ -124,8 +147,13 @@ pub fn prdwalk() -> Benchmark {
             ]),
         ),
     );
-    Benchmark::new("prdwalk", "forward jumps uniform on {0..3}; E ≤ (n−x+3)·2/3", program,
-        vec![(var("n"), 10.0), (var("x"), 0.0)], 1)
+    Benchmark::new(
+        "prdwalk",
+        "forward jumps uniform on {0..3}; E ≤ (n−x+3)·2/3",
+        program,
+        vec![(var("n"), 10.0), (var("x"), 0.0)],
+        1,
+    )
 }
 
 /// `rdwalk` (loop form): the classic ±1 walk with downward drift.
@@ -144,8 +172,13 @@ pub fn rdwalk_loop() -> Benchmark {
             ]),
         ),
     );
-    Benchmark::new("rdwalk", "±1 walk with upward drift toward n; E ≤ 2(n−x+1)", program,
-        vec![(var("n"), 10.0), (var("x"), 0.0)], 1)
+    Benchmark::new(
+        "rdwalk",
+        "±1 walk with upward drift toward n; E ≤ 2(n−x+1)",
+        program,
+        vec![(var("n"), 10.0), (var("x"), 0.0)],
+        1,
+    )
 }
 
 /// `sprdwalk`: steps of stochastic size 0 or 1.
@@ -161,8 +194,13 @@ pub fn sprdwalk() -> Benchmark {
             ]),
         ),
     );
-    Benchmark::new("sprdwalk", "Bernoulli steps toward n; E ≤ 2(n−x)", program,
-        vec![(var("n"), 10.0), (var("x"), 0.0)], 1)
+    Benchmark::new(
+        "sprdwalk",
+        "Bernoulli steps toward n; E ≤ 2(n−x)",
+        program,
+        vec![(var("n"), 10.0), (var("x"), 0.0)],
+        1,
+    )
 }
 
 /// `rdseql`: two sequenced probabilistic loops.
@@ -183,8 +221,13 @@ pub fn rdseql() -> Benchmark {
             ),
         ]),
     );
-    Benchmark::new("rdseql", "sequenced probabilistic then deterministic loops; E ≤ 2x + y",
-        program, vec![(var("x"), 10.0), (var("y"), 10.0)], 1)
+    Benchmark::new(
+        "rdseql",
+        "sequenced probabilistic then deterministic loops; E ≤ 2x + y",
+        program,
+        vec![(var("x"), 10.0), (var("y"), 10.0)],
+        1,
+    )
 }
 
 /// `rdspeed`: two counters racing with different speeds.
@@ -212,8 +255,18 @@ pub fn rdspeed() -> Benchmark {
             ),
         ]),
     );
-    Benchmark::new("rdspeed", "two racing counters; E ≤ 2(m−y) + 0.57(n−x)", program,
-        vec![(var("n"), 10.0), (var("m"), 10.0), (var("x"), 0.0), (var("y"), 0.0)], 1)
+    Benchmark::new(
+        "rdspeed",
+        "two racing counters; E ≤ 2(m−y) + 0.57(n−x)",
+        program,
+        vec![
+            (var("n"), 10.0),
+            (var("m"), 10.0),
+            (var("x"), 0.0),
+            (var("y"), 0.0),
+        ],
+        1,
+    )
 }
 
 /// `race`: a hare-and-tortoise race (probabilistic catch-up).
@@ -226,15 +279,23 @@ pub fn race() -> Benchmark {
                 assign("t", add(v("t"), cst(1.0))),
                 if_prob(
                     0.5,
-                    seq([sample("s", unif_int(0, 5)), assign("h", add(v("h"), v("s")))]),
+                    seq([
+                        sample("s", unif_int(0, 5)),
+                        assign("h", add(v("h"), v("s"))),
+                    ]),
                     skip(),
                 ),
                 tick(1.0),
             ]),
         ),
     );
-    Benchmark::new("race", "hare catches tortoise; E ≤ 0.67(t−h+9)", program,
-        vec![(var("h"), 0.0), (var("t"), 10.0)], 1)
+    Benchmark::new(
+        "race",
+        "hare catches tortoise; E ≤ 0.67(t−h+9)",
+        program,
+        vec![(var("h"), 0.0), (var("t"), 10.0)],
+        1,
+    )
 }
 
 /// `coupon`: the 5-coupon collector of the Absynth suite.
@@ -262,8 +323,13 @@ pub fn coupon() -> Benchmark {
             tick(1.0),
         ]),
     );
-    Benchmark::new("coupon", "5-coupon collector as sequenced phases; E ≈ 11.42", program,
-        vec![], 1)
+    Benchmark::new(
+        "coupon",
+        "5-coupon collector as sequenced phases; E ≈ 11.42",
+        program,
+        vec![],
+        1,
+    )
 }
 
 /// `cowboy_duel`: a duel won with probability 1/3 per round by the shooter.
@@ -280,7 +346,13 @@ pub fn cowboy_duel() -> Benchmark {
         .main(call("duel"))
         .build()
         .expect("cowboy_duel is valid");
-    Benchmark::new("cowboy_duel", "alternating duel; E ≤ 1.5 rounds", program, vec![], 1)
+    Benchmark::new(
+        "cowboy_duel",
+        "alternating duel; E ≤ 1.5 rounds",
+        program,
+        vec![],
+        1,
+    )
 }
 
 /// `fcall`: cost hidden behind a helper function call.
@@ -302,8 +374,13 @@ pub fn fcall() -> Benchmark {
         .precondition(le(v("x"), v("n")))
         .build()
         .expect("fcall is valid");
-    Benchmark::new("fcall", "loop via function calls; E ≤ 2(n−x)", program,
-        vec![(var("n"), 10.0), (var("x"), 0.0)], 1)
+    Benchmark::new(
+        "fcall",
+        "loop via function calls; E ≤ 2(n−x)",
+        program,
+        vec![(var("n"), 10.0), (var("x"), 0.0)],
+        1,
+    )
 }
 
 /// `condand`: cost proportional to the smaller of two counters.
@@ -322,8 +399,13 @@ pub fn condand() -> Benchmark {
             ]),
         ),
     );
-    Benchmark::new("condand", "terminates when either counter hits 0; E ≤ 2·min(n,m)-ish",
-        program, vec![(var("n"), 8.0), (var("m"), 8.0)], 1)
+    Benchmark::new(
+        "condand",
+        "terminates when either counter hits 0; E ≤ 2·min(n,m)-ish",
+        program,
+        vec![(var("n"), 8.0), (var("m"), 8.0)],
+        1,
+    )
 }
 
 /// `C4B_t13`: two phases with probabilistic transfer between counters.
@@ -345,8 +427,13 @@ pub fn c4b_t13() -> Benchmark {
             ),
         ]),
     );
-    Benchmark::new("C4B_t13", "transfer between counters then drain; E ≤ 1.25x + y", program,
-        vec![(var("x"), 10.0), (var("y"), 10.0)], 1)
+    Benchmark::new(
+        "C4B_t13",
+        "transfer between counters then drain; E ≤ 1.25x + y",
+        program,
+        vec![(var("x"), 10.0), (var("y"), 10.0)],
+        1,
+    )
 }
 
 /// All benchmarks of the Absynth comparison subset.

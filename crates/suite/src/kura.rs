@@ -54,7 +54,10 @@ pub fn coupon_four() -> Benchmark {
             ]),
         );
     }
-    let program = builder.main(call("phase0")).build().expect("coupon_four is valid");
+    let program = builder
+        .main(call("phase0"))
+        .build()
+        .expect("coupon_four is valid");
     Benchmark::new(
         "(1-2)",
         "coupon collector, 4 coupons (tail recursion per phase)",

@@ -108,7 +108,11 @@ mod tests {
             .into_iter()
             .chain(absynth_suite())
             .chain(nonmonotone_suite())
-            .chain([running::rdwalk(), running::rdwalk_variant_1(), running::rdwalk_variant_2()])
+            .chain([
+                running::rdwalk(),
+                running::rdwalk_variant_1(),
+                running::rdwalk_variant_2(),
+            ])
             .chain([timing::password_checker(8)])
             .chain([synthetic::coupon_chain(5), synthetic::random_walk_chain(5)])
         {

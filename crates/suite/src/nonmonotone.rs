@@ -88,13 +88,11 @@ pub fn signed_random_walk() -> Benchmark {
     let program = ProgramBuilder::new()
         .main(while_loop(
             lt(v("x"), v("n")),
-            seq([
-                if_prob(
-                    0.75,
-                    seq([assign("x", add(v("x"), cst(1.0))), tick(3.0)]),
-                    seq([assign("x", sub(v("x"), cst(1.0))), tick(-1.0)]),
-                ),
-            ]),
+            seq([if_prob(
+                0.75,
+                seq([assign("x", add(v("x"), cst(1.0))), tick(3.0)]),
+                seq([assign("x", sub(v("x"), cst(1.0))), tick(-1.0)]),
+            )]),
         ))
         .precondition(le(v("x"), v("n")))
         .build()

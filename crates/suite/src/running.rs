@@ -43,7 +43,14 @@ pub fn rdwalk() -> Benchmark {
     )
 }
 
-fn loop_walk(name: &str, description: &str, p_forward: f64, forward: f64, backward: f64, start: f64) -> Benchmark {
+fn loop_walk(
+    name: &str,
+    description: &str,
+    p_forward: f64,
+    forward: f64,
+    backward: f64,
+    start: f64,
+) -> Benchmark {
     // A loop-based random walk toward 0 from `x = start`:
     // with probability p_forward the position decreases by `forward`,
     // otherwise it increases by `backward`; each step costs 1.

@@ -26,10 +26,15 @@ pub fn coupon_chain(n: usize) -> Benchmark {
             ]),
         );
     }
-    let program = builder.main(call("phase0")).build().expect("coupon chain is valid");
+    let program = builder
+        .main(call("phase0"))
+        .build()
+        .expect("coupon chain is valid");
     Benchmark::new(
         format!("coupon-chain-{n}"),
-        format!("coupon collector with {n} coupons, one tail-recursive function per state (Fig. 10a)"),
+        format!(
+            "coupon collector with {n} coupons, one tail-recursive function per state (Fig. 10a)"
+        ),
         program,
         vec![],
         4,

@@ -1,23 +1,29 @@
 //! Analyzes the two benchmark families of the Kura et al. comparison — a
-//! coupon collector and a biased random walk — and cross-checks every derived
-//! bound against Monte-Carlo simulation.
+//! coupon collector and a biased random walk — through the `Analysis`
+//! pipeline and cross-checks every derived bound against Monte-Carlo
+//! simulation.
 //!
 //! ```text
 //! cargo run --release --example coupon_vs_walk
 //! ```
 
-use central_moment_analysis::inference::{analyze, AnalysisOptions, CentralMoments};
 use central_moment_analysis::sim::{simulate, SimConfig};
 use central_moment_analysis::suite::kura;
+use central_moment_analysis::Analysis;
 
 fn main() {
-    for benchmark in [kura::coupon_two(), kura::coupon_four(), kura::random_walk_int()] {
-        let options = AnalysisOptions::degree(2).with_valuation(benchmark.valuation.clone());
+    for benchmark in [
+        kura::coupon_two(),
+        kura::coupon_four(),
+        kura::random_walk_int(),
+    ] {
         println!("== {} — {}", benchmark.name, benchmark.description);
-        match analyze(&benchmark.program, &options) {
-            Ok(result) => {
-                let intervals = result.raw_intervals_at(&benchmark.valuation);
-                let central = CentralMoments::from_raw_intervals(&intervals);
+        let outcome = Analysis::benchmark(&benchmark)
+            .degree(2)
+            .soundness(false)
+            .run();
+        match outcome {
+            Ok(report) => {
                 let stats = simulate(
                     &benchmark.program,
                     &SimConfig {
@@ -29,9 +35,9 @@ fn main() {
                 );
                 println!(
                     "  analysis:   E[C] <= {:.3}   E[C^2] <= {:.3}   V[C] <= {:.3}",
-                    intervals[1].hi(),
-                    intervals[2].hi(),
-                    central.variance_upper()
+                    report.raw_moment(1).hi(),
+                    report.raw_moment(2).hi(),
+                    report.variance_upper().unwrap()
                 );
                 println!(
                     "  simulation: E[C] =  {:.3}   E[C^2] =  {:.3}   V[C] =  {:.3}",
@@ -39,7 +45,10 @@ fn main() {
                     stats.raw_moment(2),
                     stats.variance()
                 );
-                assert!(stats.mean() <= intervals[1].hi() + 0.1, "upper bound violated");
+                assert!(
+                    stats.mean() <= report.raw_moment(1).hi() + 0.1,
+                    "upper bound violated"
+                );
             }
             Err(e) => println!("  analysis failed: {e}"),
         }

@@ -1,15 +1,12 @@
 //! Parses an Appl program from its textual syntax (the concrete syntax of the
-//! paper's figures), analyzes it, checks the soundness side conditions, and
-//! prints the resulting bounds.
+//! paper's figures), runs the full `Analysis` pipeline — bounds, central
+//! moments, soundness side conditions — and prints the report.
 //!
 //! ```text
 //! cargo run --release --example parse_and_analyze
 //! ```
 
-use central_moment_analysis::appl::{parse_program, Var};
-use central_moment_analysis::inference::{
-    analyze, check_bounded_update, AnalysisOptions, CentralMoments,
-};
+use central_moment_analysis::Analysis;
 
 const SOURCE: &str = r#"
     # A gambler plays up to n rounds, winning 2 with probability 1/3 and
@@ -28,27 +25,35 @@ const SOURCE: &str = r#"
 "#;
 
 fn main() {
-    let program = parse_program(SOURCE).expect("the program parses");
-    println!("parsed program:\n{program}\n");
+    let report = Analysis::parse(SOURCE)
+        .expect("the program parses")
+        .degree(2)
+        .at("n", 20.0)
+        .label("gambler")
+        .run()
+        .expect("analysis succeeds");
 
-    let violations = check_bounded_update(&program);
+    let bounded = report
+        .soundness
+        .as_ref()
+        .map(|s| s.bounded_updates)
+        .unwrap_or(false);
     println!(
         "bounded-update check: {}",
-        if violations.is_empty() { "ok" } else { "violated" }
+        if bounded { "ok" } else { "violated" }
     );
+    println!();
 
-    let n = Var::new("n");
-    let options = AnalysisOptions::degree(2).with_valuation(vec![(n.clone(), 20.0)]);
-    let result = analyze(&program, &options).expect("analysis succeeds");
-    let at = vec![(n, 20.0)];
-    let intervals = result.raw_intervals_at(&at);
-    let central = CentralMoments::from_raw_intervals(&intervals);
     println!("at n = 20:");
     println!(
         "  E[C]  in [{:.3}, {:.3}]   (the game is fair in expectation, so the truth is 0)",
-        intervals[1].lo(),
-        intervals[1].hi()
+        report.raw_moment(1).lo(),
+        report.raw_moment(1).hi()
     );
-    println!("  E[C^2] in [{:.3}, {:.3}]", intervals[2].lo(), intervals[2].hi());
-    println!("  V[C]  <= {:.3}", central.variance_upper());
+    println!(
+        "  E[C^2] in [{:.3}, {:.3}]",
+        report.raw_moment(2).lo(),
+        report.raw_moment(2).hi()
+    );
+    println!("  V[C]  <= {:.3}", report.variance_upper().unwrap());
 }

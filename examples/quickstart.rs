@@ -1,32 +1,36 @@
-//! Quickstart: analyze the paper's running example (Fig. 2) and print
-//! interval bounds on the first two moments and the variance of its cost.
+//! Quickstart: analyze the paper's running example (Fig. 2) through the
+//! `Analysis` pipeline and print interval bounds on the first two moments and
+//! the variance of its cost.
 //!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
 
-use central_moment_analysis::inference::{analyze, AnalysisOptions};
-use central_moment_analysis::semiring::poly::Var;
 use central_moment_analysis::suite::running;
+use central_moment_analysis::{Analysis, Var};
 
 fn main() {
     let benchmark = running::rdwalk();
     println!("program:\n{}\n", benchmark.program);
 
-    let options = AnalysisOptions::degree(2).with_valuation(benchmark.valuation.clone());
-    let result = analyze(&benchmark.program, &options).expect("the running example is analyzable");
+    let report = Analysis::benchmark(&benchmark)
+        .soundness(false)
+        .run()
+        .expect("the running example is analyzable");
 
     println!("symbolic bounds (over the initial state):");
     for k in 1..=2 {
-        let bound = result.raw_moment_bound(k);
+        let bound = report.result.raw_moment_bound(k);
         println!("  E[tick^{k}] in [{}, {}]", bound.lower, bound.upper);
     }
     println!();
 
+    // The symbolic bounds evaluate at any distance, not just the one the
+    // pipeline reported at.
     for d in [10.0, 20.0, 50.0] {
         let at = vec![(Var::new("d"), d)];
-        let e1 = result.raw_moment_at(1, &at);
-        let central = result.central_at(&at);
+        let e1 = report.result.raw_moment_at(1, &at);
+        let central = report.result.central_at(&at);
         println!(
             "d = {d:>4}:  E[tick] <= {:>7.2}   V[tick] <= {:>8.2}   (paper: {:>5} and {:>5})",
             e1.hi(),

@@ -6,23 +6,25 @@
 //! cargo run --release --example tail_bounds
 //! ```
 
-use central_moment_analysis::inference::{
-    analyze, cantelli_upper_tail, markov_tail, AnalysisOptions,
-};
-use central_moment_analysis::semiring::poly::Var;
+use central_moment_analysis::inference::{cantelli_upper_tail, markov_tail};
 use central_moment_analysis::suite::running;
+use central_moment_analysis::{Analysis, Var};
 
 fn main() {
-    let benchmark = running::rdwalk();
-    let options = AnalysisOptions::degree(2).with_valuation(benchmark.valuation.clone());
-    let result = analyze(&benchmark.program, &options).expect("analysis succeeds");
+    let report = Analysis::benchmark(&running::rdwalk())
+        .soundness(false)
+        .run()
+        .expect("analysis succeeds");
 
     println!("Upper bounds on P[tick >= 4d]:");
-    println!("{:>6} {:>14} {:>14} {:>14}", "d", "Markov (k=1)", "Markov (k=2)", "Cantelli");
+    println!(
+        "{:>6} {:>14} {:>14} {:>14}",
+        "d", "Markov (k=1)", "Markov (k=2)", "Cantelli"
+    );
     for d in (20..=80).step_by(10) {
         let d = d as f64;
         let at = vec![(Var::new("d"), d)];
-        let central = result.central_at(&at);
+        let central = report.result.central_at(&at);
         let threshold = 4.0 * d;
         println!(
             "{:>6} {:>14.4} {:>14.4} {:>14.4}",

@@ -7,17 +7,20 @@
 //! ```
 
 use central_moment_analysis::appl::Program;
-use central_moment_analysis::inference::{analyze, AnalysisOptions, CentralMoments};
 use central_moment_analysis::suite::timing;
+use central_moment_analysis::Analysis;
 
 fn main() {
     let bits = 16u32;
     let samples_per_bit = 10_000.0;
 
     let hypothesis = |program: &Program| -> (f64, f64) {
-        let result = analyze(program, &AnalysisOptions::degree(2)).expect("analysis succeeds");
-        let central = CentralMoments::from_raw_intervals(&result.raw_intervals_at(&[]));
-        (central.mean().hi(), central.variance_upper())
+        let report = Analysis::of(program)
+            .degree(2)
+            .soundness(false)
+            .run()
+            .expect("analysis succeeds");
+        (report.mean().hi(), report.variance_upper().unwrap())
     };
 
     let (mean_eq, var_eq) = hypothesis(&timing::compare_matching(bits));

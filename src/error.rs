@@ -1,0 +1,179 @@
+//! The unified error hierarchy of the pipeline.
+//!
+//! Every failure mode of the constituent crates — parsing ([`ParseError`]),
+//! program validation ([`ProgramError`]), constraint derivation and LP solving
+//! ([`AnalysisError`]), simulation ([`InterpError`]) — converges into one
+//! [`CmaError`] so that callers of the [`Analysis`](crate::Analysis) facade
+//! and the `cma` CLI handle a single error type with `?`.  The
+//! [`ResultExt::context`] adapter attaches human-readable context ("while
+//! analyzing examples/fig2.appl") without losing the source chain.
+
+use std::fmt;
+
+use cma_appl::{ParseError, ProgramError};
+use cma_inference::AnalysisError;
+use cma_sim::InterpError;
+
+/// Any failure of the analysis pipeline or the `cma` CLI.
+#[derive(Debug)]
+pub enum CmaError {
+    /// The Appl source text did not parse.
+    Parse(ParseError),
+    /// The program failed validation (duplicate/unknown functions, …).
+    Program(ProgramError),
+    /// Constraint derivation failed or the LP backend found no solution.
+    Analysis(AnalysisError),
+    /// The Monte-Carlo interpreter failed.
+    Simulation(InterpError),
+    /// A file could not be read or written.
+    Io {
+        /// The path involved.
+        path: String,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+    /// Invalid command-line usage or option values.
+    Usage(String),
+    /// An error wrapped with additional context.
+    Context {
+        /// What the pipeline was doing when the error occurred.
+        context: String,
+        /// The underlying error.
+        source: Box<CmaError>,
+    },
+}
+
+impl fmt::Display for CmaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CmaError::Parse(e) => write!(f, "parse error: {e}"),
+            CmaError::Program(e) => write!(f, "invalid program: {e}"),
+            CmaError::Analysis(e) => write!(f, "analysis failed: {e}"),
+            CmaError::Simulation(e) => write!(f, "simulation failed: {e}"),
+            CmaError::Io { path, source } => write!(f, "cannot access `{path}`: {source}"),
+            CmaError::Usage(msg) => write!(f, "{msg}"),
+            CmaError::Context { context, source } => write!(f, "{context}: {source}"),
+        }
+    }
+}
+
+impl std::error::Error for CmaError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CmaError::Parse(e) => Some(e),
+            CmaError::Program(e) => Some(e),
+            CmaError::Analysis(e) => Some(e),
+            CmaError::Simulation(e) => Some(e),
+            CmaError::Io { source, .. } => Some(source),
+            CmaError::Usage(_) => None,
+            CmaError::Context { source, .. } => Some(source),
+        }
+    }
+}
+
+impl From<ParseError> for CmaError {
+    fn from(e: ParseError) -> Self {
+        CmaError::Parse(e)
+    }
+}
+
+impl From<ProgramError> for CmaError {
+    fn from(e: ProgramError) -> Self {
+        CmaError::Program(e)
+    }
+}
+
+impl From<AnalysisError> for CmaError {
+    fn from(e: AnalysisError) -> Self {
+        CmaError::Analysis(e)
+    }
+}
+
+impl From<InterpError> for CmaError {
+    fn from(e: InterpError) -> Self {
+        CmaError::Simulation(e)
+    }
+}
+
+impl CmaError {
+    /// Wraps the error with a context message.
+    pub fn with_context(self, context: impl Into<String>) -> CmaError {
+        CmaError::Context {
+            context: context.into(),
+            source: Box::new(self),
+        }
+    }
+
+    /// An I/O failure at `path`.
+    pub fn io(path: impl Into<String>, source: std::io::Error) -> CmaError {
+        CmaError::Io {
+            path: path.into(),
+            source,
+        }
+    }
+
+    /// Whether the root cause is an analysis (LP/derivation) failure.
+    pub fn is_analysis_failure(&self) -> bool {
+        match self {
+            CmaError::Analysis(_) => true,
+            CmaError::Context { source, .. } => source.is_analysis_failure(),
+            _ => false,
+        }
+    }
+
+    /// Whether the root cause is a usage error (CLI exit code 2).
+    pub fn is_usage(&self) -> bool {
+        match self {
+            CmaError::Usage(_) => true,
+            CmaError::Context { source, .. } => source.is_usage(),
+            _ => false,
+        }
+    }
+}
+
+/// Adds [`context`](ResultExt::context) to any `Result` convertible into
+/// [`CmaError`].
+pub trait ResultExt<T> {
+    /// Converts the error into [`CmaError`] and wraps it with context.
+    fn context(self, context: impl Into<String>) -> Result<T, CmaError>;
+}
+
+impl<T, E: Into<CmaError>> ResultExt<T> for Result<T, E> {
+    fn context(self, context: impl Into<String>) -> Result<T, CmaError> {
+        self.map_err(|e| e.into().with_context(context))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cma_appl::parse_program;
+
+    #[test]
+    fn parse_errors_convert_and_chain_context() {
+        let err: CmaError = parse_program("func main(").unwrap_err().into();
+        assert!(matches!(err, CmaError::Parse(_)));
+        let wrapped = err.with_context("while reading prog.appl");
+        let msg = wrapped.to_string();
+        assert!(
+            msg.starts_with("while reading prog.appl: parse error:"),
+            "{msg}"
+        );
+        assert!(std::error::Error::source(&wrapped).is_some());
+    }
+
+    #[test]
+    fn result_ext_attaches_context() {
+        let result: Result<(), ParseError> = Err(parse_program("od").unwrap_err());
+        let err = result.context("loading benchmark").unwrap_err();
+        assert!(err.to_string().contains("loading benchmark"));
+        assert!(!err.is_analysis_failure());
+    }
+
+    #[test]
+    fn usage_errors_have_no_source() {
+        let err = CmaError::Usage("unknown flag --frobnicate".into());
+        assert!(std::error::Error::source(&err).is_none());
+        assert_eq!(err.to_string(), "unknown flag --frobnicate");
+    }
+}

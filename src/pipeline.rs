@@ -1,0 +1,397 @@
+//! The fluent pipeline facade: [`Analysis`].
+//!
+//! One entry point wires together everything the constituent crates provide —
+//! parsing, template-based moment inference over a pluggable
+//! [`LpBackend`], central-moment derivation, tail bounds, and the soundness
+//! side conditions — and returns a single [`AnalysisReport`]:
+//!
+//! ```
+//! use central_moment_analysis::{Analysis, SolveMode};
+//!
+//! let report = Analysis::parse(r#"
+//!     func main() begin
+//!       if prob(0.5) then tick(2) else tick(4) fi
+//!     end
+//! "#)
+//! .unwrap()
+//! .degree(2)
+//! .mode(SolveMode::Global)
+//! .run()
+//! .unwrap();
+//! // E[C] = 3 and E[C^2] = 10 exactly; the report brackets both.
+//! assert!(report.mean().lo() <= 3.0 + 1e-6 && report.mean().hi() >= 3.0 - 1e-6);
+//! assert!(report.raw_moment(2).hi() >= 10.0 - 1e-6);
+//! ```
+//!
+//! Solver choice is a type parameter, not a hard dependency: swap the LP
+//! engine with [`Analysis::backend`] and everything downstream — engine,
+//! soundness instrumentation, report statistics — uses it.
+
+use std::time::{Duration, Instant};
+
+use cma_appl::{parse_program, Program};
+use cma_inference::{
+    analyze_with, soundness_report_with, tail_curve, AnalysisOptions, CentralMoments, SolveMode,
+};
+use cma_lp::{LpBackend, SimplexBackend};
+use cma_semiring::poly::Var;
+use cma_suite::Benchmark;
+
+use crate::error::CmaError;
+use crate::report::{AnalysisReport, LpStats, PhaseTimings};
+
+/// Fluent builder for one end-to-end analysis run.
+///
+/// Construct with [`Analysis::of`] (from an AST), [`Analysis::parse`] (from
+/// Appl source), or [`Analysis::benchmark`] (from a suite benchmark, adopting
+/// its valuation and degree), chain configuration, then call
+/// [`run`](Analysis::run).
+#[derive(Debug, Clone)]
+pub struct Analysis<B: LpBackend = SimplexBackend> {
+    program: Program,
+    label: Option<String>,
+    options: AnalysisOptions,
+    backend: B,
+    tail_thresholds: Option<Vec<f64>>,
+    check_soundness: bool,
+    parse_elapsed: Option<Duration>,
+}
+
+impl Analysis<SimplexBackend> {
+    /// A pipeline over an already-constructed program, with default options
+    /// (degree 2, global mode, simplex backend).
+    pub fn of(program: &Program) -> Self {
+        Analysis {
+            program: program.clone(),
+            label: None,
+            options: AnalysisOptions::degree(2),
+            backend: SimplexBackend,
+            tail_thresholds: None,
+            check_soundness: true,
+            parse_elapsed: None,
+        }
+    }
+
+    /// Parses Appl source text and builds a pipeline over it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CmaError::Parse`] when the source does not parse.
+    pub fn parse(source: &str) -> Result<Self, CmaError> {
+        let start = Instant::now();
+        let program = parse_program(source)?;
+        let parse_elapsed = start.elapsed();
+        let mut analysis = Analysis::of(&program);
+        analysis.parse_elapsed = Some(parse_elapsed);
+        Ok(analysis)
+    }
+
+    /// A pipeline over a suite [`Benchmark`], adopting its program, name,
+    /// target degree, valuation, and template variables.
+    pub fn benchmark(benchmark: &Benchmark) -> Self {
+        let mut analysis = Analysis::of(&benchmark.program)
+            .degree(benchmark.degree)
+            .valuation(benchmark.valuation.clone())
+            .label(&benchmark.name);
+        if let Some(vars) = &benchmark.template_vars {
+            analysis = analysis.template_vars(vars.clone());
+        }
+        analysis
+    }
+}
+
+impl<B: LpBackend> Analysis<B> {
+    /// Sets the target moment degree `m` (2 for variance, 4 for kurtosis).
+    pub fn degree(mut self, m: usize) -> Self {
+        self.options.degree = m;
+        self
+    }
+
+    /// Sets the base polynomial degree of the templates.
+    pub fn poly_degree(mut self, d: u32) -> Self {
+        self.options.poly_degree = d;
+        self
+    }
+
+    /// Sets the solving strategy (global or compositional).
+    pub fn mode(mut self, mode: SolveMode) -> Self {
+        self.options.mode = mode;
+        self
+    }
+
+    /// Sets the valuation at which bounds are evaluated and the LP objective
+    /// minimizes imprecision.
+    pub fn valuation(mut self, valuation: Vec<(Var, f64)>) -> Self {
+        self.options.valuation = valuation;
+        self
+    }
+
+    /// Adds one variable binding to the valuation.
+    pub fn at(mut self, var: impl AsRef<str>, value: f64) -> Self {
+        self.options.valuation.push((Var::new(var.as_ref()), value));
+        self
+    }
+
+    /// Restricts templates to the given variables.
+    pub fn template_vars(mut self, vars: Vec<Var>) -> Self {
+        self.options.template_vars = Some(vars);
+        self
+    }
+
+    /// Labels the report (shown by the CLI and in `to_json`).
+    pub fn label(mut self, label: impl Into<String>) -> Self {
+        self.label = Some(label.into());
+        self
+    }
+
+    /// Requests tail bounds `P[C ≥ d]` at the given thresholds.  Without this
+    /// call, thresholds default to 2×/4×/8× the derived mean upper bound.
+    pub fn tail_at(mut self, thresholds: impl IntoIterator<Item = f64>) -> Self {
+        self.tail_thresholds = Some(thresholds.into_iter().collect());
+        self
+    }
+
+    /// Enables or disables the soundness side-condition checks (enabled by
+    /// default; disabling skips the step-counting re-analysis).
+    pub fn soundness(mut self, check: bool) -> Self {
+        self.check_soundness = check;
+        self
+    }
+
+    /// Swaps the LP backend; all later phases (inference and the soundness
+    /// re-analysis) solve with it.
+    pub fn backend<B2: LpBackend>(self, backend: B2) -> Analysis<B2> {
+        Analysis {
+            program: self.program,
+            label: self.label,
+            options: self.options,
+            backend,
+            tail_thresholds: self.tail_thresholds,
+            check_soundness: self.check_soundness,
+            parse_elapsed: self.parse_elapsed,
+        }
+    }
+
+    /// The program this pipeline will analyze.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// The engine options this pipeline will run with.
+    pub fn options(&self) -> &AnalysisOptions {
+        &self.options
+    }
+
+    /// Runs the pipeline: inference, central moments, tail bounds, and (when
+    /// enabled) the soundness checks, all against the configured backend.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CmaError::Analysis`] when constraint generation fails or the
+    /// LP backend reports the program unsolvable at the configured degrees.
+    /// A failing *soundness check* is not an error: it is reported in
+    /// [`AnalysisReport::soundness`].
+    pub fn run(&self) -> Result<AnalysisReport, CmaError> {
+        if self.options.degree == 0 {
+            return Err(CmaError::Usage(
+                "analysis degree must be at least 1 (use 2 for variance bounds)".into(),
+            ));
+        }
+        let total_start = Instant::now();
+
+        let analysis_start = Instant::now();
+        let result = analyze_with(&self.program, &self.options, &self.backend)?;
+        let analysis_elapsed = analysis_start.elapsed();
+
+        let tail_start = Instant::now();
+        let raw_intervals = result.raw_intervals_at(&self.options.valuation);
+        let central = CentralMoments::from_raw_intervals(&raw_intervals);
+        let thresholds = match &self.tail_thresholds {
+            Some(t) => t.clone(),
+            None => default_thresholds(&central),
+        };
+        let tail = tail_curve(&central, thresholds);
+        let tail_elapsed = tail_start.elapsed();
+
+        let (soundness, soundness_elapsed) = if self.check_soundness {
+            let start = Instant::now();
+            let report = soundness_report_with(
+                &self.program,
+                self.options.degree,
+                &self.options,
+                &self.backend,
+            );
+            (Some(report), Some(start.elapsed()))
+        } else {
+            (None, None)
+        };
+
+        let lp = LpStats {
+            variables: result.lp_variables,
+            constraints: result.lp_constraints,
+            solves: result.lp_solves,
+        };
+        Ok(AnalysisReport {
+            label: self.label.clone(),
+            degree: self.options.degree,
+            mode: self.options.mode,
+            backend: self.backend.name().to_string(),
+            valuation: self.options.valuation.clone(),
+            result,
+            raw_intervals,
+            central,
+            tail,
+            soundness,
+            timings: PhaseTimings {
+                parse: self.parse_elapsed,
+                analysis: analysis_elapsed,
+                soundness: soundness_elapsed,
+                tail: tail_elapsed,
+                total: total_start.elapsed(),
+            },
+            lp,
+        })
+    }
+}
+
+/// Default tail thresholds: 2×, 4×, and 8× the mean upper bound (the paper's
+/// Fig. 1(c) evaluates `P[C ≥ 4d]`-style multiples).  Empty when the mean
+/// bound is non-positive or infinite.
+fn default_thresholds(central: &CentralMoments) -> Vec<f64> {
+    let mean_ub = central.mean().hi();
+    if mean_ub.is_finite() && mean_ub > 0.0 {
+        vec![2.0 * mean_ub, 4.0 * mean_ub, 8.0 * mean_ub]
+    } else {
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cma_lp::{LpProblem, LpSolution};
+    use cma_suite::running;
+
+    #[test]
+    fn fluent_pipeline_matches_paper_bounds() {
+        let report = Analysis::benchmark(&running::rdwalk())
+            .soundness(false)
+            .run()
+            .expect("rdwalk is analyzable");
+        // Fig. 1(b) at d = 10: E[tick] <= 24, V[tick] <= 248.
+        assert!(report.mean().hi() <= 24.0 + 1e-3);
+        assert!(report.variance_upper().unwrap() <= 248.0 + 1e-2);
+        assert_eq!(report.backend, "dense-simplex");
+        assert_eq!(report.degree, 2);
+        assert!(report.lp.variables > 0 && report.lp.constraints > 0);
+        assert_eq!(report.lp.solves, 1);
+        // Default thresholds are multiples of the mean upper bound.
+        assert_eq!(report.tail.len(), 3);
+        assert!(report.tail[0].probability >= report.tail[2].probability);
+    }
+
+    #[test]
+    fn parse_entry_point_records_parse_time_and_runs_soundness() {
+        let report =
+            Analysis::parse("func main() begin if prob(0.5) then tick(2) else tick(4) fi end")
+                .unwrap()
+                .degree(2)
+                .label("coinflip")
+                .run()
+                .unwrap();
+        assert!(report.timings.parse.is_some());
+        assert_eq!(report.is_sound(), Some(true));
+        assert_eq!(report.label.as_deref(), Some("coinflip"));
+        assert!((report.mean().mid() - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn parse_errors_become_cma_errors() {
+        let err = Analysis::parse("func main( begin end").unwrap_err();
+        assert!(matches!(err, CmaError::Parse(_)));
+    }
+
+    #[test]
+    fn explicit_tail_thresholds_are_respected() {
+        let report = Analysis::benchmark(&running::rdwalk())
+            .soundness(false)
+            .tail_at([40.0, 80.0])
+            .run()
+            .unwrap();
+        assert_eq!(report.tail.len(), 2);
+        assert_eq!(report.tail[0].threshold, 40.0);
+        assert!(report.tail[1].probability <= report.tail[0].probability);
+    }
+
+    /// A backend that counts solves and delegates to the simplex — the
+    /// "pluggable backend" seam exercised end to end.
+    struct CountingBackend(std::cell::Cell<usize>);
+
+    impl LpBackend for CountingBackend {
+        fn name(&self) -> &str {
+            "counting-simplex"
+        }
+
+        fn solve(&self, problem: &LpProblem) -> LpSolution {
+            self.0.set(self.0.get() + 1);
+            SimplexBackend.solve(problem)
+        }
+    }
+
+    #[test]
+    fn custom_backends_are_threaded_through_every_phase() {
+        let backend = CountingBackend(std::cell::Cell::new(0));
+        let report = Analysis::benchmark(&running::rdwalk())
+            .backend(&backend)
+            .run()
+            .unwrap();
+        assert_eq!(report.backend, "counting-simplex");
+        // Inference solved once; the soundness termination check re-analyzes
+        // the instrumented program, so the backend must have been used at
+        // least twice.
+        assert!(report.soundness.is_some());
+        assert_eq!(report.lp.solves, 1);
+        assert!(
+            backend.0.get() >= 2,
+            "backend used {} times",
+            backend.0.get()
+        );
+    }
+
+    #[test]
+    fn compositional_mode_reports_multiple_solves() {
+        let report = Analysis::benchmark(&cma_suite::synthetic::coupon_chain(3))
+            .degree(2)
+            .mode(SolveMode::Compositional)
+            .soundness(false)
+            .run()
+            .unwrap();
+        assert!(report.lp.solves > 1, "got {} solves", report.lp.solves);
+    }
+
+    #[test]
+    fn json_report_is_well_formed_and_complete() {
+        let report = Analysis::benchmark(&running::rdwalk())
+            .tail_at([40.0])
+            .run()
+            .unwrap();
+        let json = report.to_json();
+        for key in [
+            "\"label\":\"rdwalk\"",
+            "\"degree\":2",
+            "\"mode\":\"global\"",
+            "\"backend\":\"dense-simplex\"",
+            "\"raw_moments\":[",
+            "\"central_moments\":",
+            "\"tail_bounds\":[{\"threshold\":40",
+            "\"soundness\":{",
+            "\"lp\":{",
+            "\"timings\":{",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        // Balanced braces/brackets — cheap well-formedness check.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+}

@@ -1,0 +1,343 @@
+//! The structured, self-describing result of an [`Analysis`](crate::Analysis)
+//! run.
+//!
+//! [`AnalysisReport`] bundles everything one invocation of the pipeline
+//! produces — raw and central moment intervals, tail bounds, the soundness
+//! report, per-phase timings, and LP statistics — and renders itself either
+//! human-readable (via [`Display`](std::fmt::Display), what `cma analyze`
+//! prints) or as JSON (via [`AnalysisReport::to_json`], what `--json` emits).
+//! The JSON encoder is hand-rolled: the grammar is tiny and the build
+//! environment is dependency-free by design.
+
+use std::fmt;
+use std::time::Duration;
+
+use cma_inference::{AnalysisResult, CentralMoments, SolveMode, SoundnessReport, TailBound};
+use cma_semiring::poly::Var;
+use cma_semiring::Interval;
+
+/// Wall-clock time spent in each phase of the pipeline.
+#[derive(Debug, Clone, Default)]
+pub struct PhaseTimings {
+    /// Parsing the source text (absent when the program was given as an AST).
+    pub parse: Option<Duration>,
+    /// Constraint derivation plus LP solving.
+    pub analysis: Duration,
+    /// The soundness side-condition checks (absent when disabled).
+    pub soundness: Option<Duration>,
+    /// Central-moment and tail-bound evaluation.
+    pub tail: Duration,
+    /// End-to-end time of `run()`.
+    pub total: Duration,
+}
+
+/// Size statistics of the linear programs handed to the backend.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LpStats {
+    /// Total LP variables generated.
+    pub variables: usize,
+    /// Total LP constraints generated.
+    pub constraints: usize,
+    /// Number of LP solves (one per solved group).
+    pub solves: usize,
+}
+
+/// The complete, self-describing outcome of one pipeline run.
+#[derive(Debug, Clone)]
+pub struct AnalysisReport {
+    /// Optional label of the analyzed program (benchmark name or file name).
+    pub label: Option<String>,
+    /// Target moment degree `m`.
+    pub degree: usize,
+    /// Solving strategy used.
+    pub mode: SolveMode,
+    /// Name of the LP backend that solved the programs.
+    pub backend: String,
+    /// The initial-state valuation at which intervals below are evaluated.
+    pub valuation: Vec<(Var, f64)>,
+    /// The raw engine result (symbolic bounds, resolved specs, elapsed time).
+    pub result: AnalysisResult,
+    /// Interval bounds on `E[C^k]`, `k = 0..=m`, at [`valuation`](Self::valuation).
+    pub raw_intervals: Vec<Interval>,
+    /// Central moments derived from the raw intervals.
+    pub central: CentralMoments,
+    /// Best tail bounds `P[C ≥ d]` at the requested thresholds.
+    pub tail: Vec<TailBound>,
+    /// Soundness side conditions of Theorem 4.4 (absent when disabled).
+    pub soundness: Option<SoundnessReport>,
+    /// Per-phase wall-clock timings.
+    pub timings: PhaseTimings,
+    /// LP size statistics.
+    pub lp: LpStats,
+}
+
+impl AnalysisReport {
+    /// The interval bracketing the expected cost `E[C]`.
+    pub fn mean(&self) -> Interval {
+        self.central.mean()
+    }
+
+    /// The interval bound on the `k`-th raw moment at the report valuation.
+    pub fn raw_moment(&self, k: usize) -> Interval {
+        self.raw_intervals[k]
+    }
+
+    /// Upper bound on the variance of the cost (needs degree ≥ 2).
+    pub fn variance_upper(&self) -> Option<f64> {
+        (self.central.degree() >= 2).then(|| self.central.variance_upper())
+    }
+
+    /// Lower bound on the variance of the cost (needs degree ≥ 2).
+    pub fn variance_lower(&self) -> Option<f64> {
+        (self.central.degree() >= 2).then(|| self.central.variance_lower())
+    }
+
+    /// Whether both soundness side conditions were checked and hold.
+    pub fn is_sound(&self) -> Option<bool> {
+        self.soundness.as_ref().map(|s| s.is_sound())
+    }
+
+    /// Serializes the full report as a JSON object.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push('{');
+        match &self.label {
+            Some(label) => push_field(&mut out, "label", &json_string(label)),
+            None => push_field(&mut out, "label", "null"),
+        }
+        push_field(&mut out, "degree", &self.degree.to_string());
+        let mode = match self.mode {
+            SolveMode::Global => "global",
+            SolveMode::Compositional => "compositional",
+        };
+        push_field(&mut out, "mode", &json_string(mode));
+        push_field(&mut out, "backend", &json_string(&self.backend));
+
+        let valuation = self
+            .valuation
+            .iter()
+            .map(|(v, x)| format!("{}:{}", json_string(v.name()), json_f64(*x)))
+            .collect::<Vec<_>>()
+            .join(",");
+        push_field(&mut out, "valuation", &format!("{{{valuation}}}"));
+
+        let raw = self
+            .raw_intervals
+            .iter()
+            .enumerate()
+            .map(|(k, i)| {
+                format!(
+                    "{{\"k\":{k},\"lower\":{},\"upper\":{},\"symbolic_lower\":{},\"symbolic_upper\":{}}}",
+                    json_f64(i.lo()),
+                    json_f64(i.hi()),
+                    json_string(&self.result.bounds[k].lower.to_string()),
+                    json_string(&self.result.bounds[k].upper.to_string()),
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",");
+        push_field(&mut out, "raw_moments", &format!("[{raw}]"));
+
+        let central_list = (0..=self.central.degree())
+            .map(|k| {
+                let i = self.central.central(k);
+                format!(
+                    "{{\"k\":{k},\"lower\":{},\"upper\":{}}}",
+                    json_f64(i.lo()),
+                    json_f64(i.hi())
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",");
+        let central = format!(
+            "{{\"moments\":[{central_list}],\"variance_lower\":{},\"variance_upper\":{},\"skewness_upper\":{},\"kurtosis_upper\":{}}}",
+            json_opt_f64(self.variance_lower()),
+            json_opt_f64(self.variance_upper()),
+            json_opt_f64(self.central.skewness_upper()),
+            json_opt_f64(self.central.kurtosis_upper()),
+        );
+        push_field(&mut out, "central_moments", &central);
+
+        let tail = self
+            .tail
+            .iter()
+            .map(|t| {
+                format!(
+                    "{{\"threshold\":{},\"probability\":{}}}",
+                    json_f64(t.threshold),
+                    json_f64(t.probability)
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",");
+        push_field(&mut out, "tail_bounds", &format!("[{tail}]"));
+
+        let soundness = match &self.soundness {
+            Some(s) => {
+                let violations = s
+                    .violations
+                    .iter()
+                    .map(|v| json_string(v))
+                    .collect::<Vec<_>>()
+                    .join(",");
+                format!(
+                    "{{\"bounded_updates\":{},\"violations\":[{violations}],\"termination_moment\":{},\"is_sound\":{}}}",
+                    s.bounded_updates,
+                    s.termination_moment
+                        .map(|k| k.to_string())
+                        .unwrap_or_else(|| "null".into()),
+                    s.is_sound(),
+                )
+            }
+            None => "null".to_string(),
+        };
+        push_field(&mut out, "soundness", &soundness);
+
+        let lp = format!(
+            "{{\"variables\":{},\"constraints\":{},\"solves\":{}}}",
+            self.lp.variables, self.lp.constraints, self.lp.solves
+        );
+        push_field(&mut out, "lp", &lp);
+
+        // Timings go last so consumers comparing reports can cheaply strip the
+        // single volatile section.
+        let timings = format!(
+            "{{\"parse_ms\":{},\"analysis_ms\":{},\"soundness_ms\":{},\"tail_ms\":{},\"total_ms\":{}}}",
+            json_opt_f64(self.timings.parse.map(|d| d.as_secs_f64() * 1e3)),
+            json_f64(self.timings.analysis.as_secs_f64() * 1e3),
+            json_opt_f64(self.timings.soundness.map(|d| d.as_secs_f64() * 1e3)),
+            json_f64(self.timings.tail.as_secs_f64() * 1e3),
+            json_f64(self.timings.total.as_secs_f64() * 1e3),
+        );
+        push_last_field(&mut out, "timings", &timings);
+        out.push('}');
+        out
+    }
+}
+
+fn push_field(out: &mut String, key: &str, value: &str) {
+    out.push_str(&format!("{}:{value},", json_string(key)));
+}
+
+fn push_last_field(out: &mut String, key: &str, value: &str) {
+    out.push_str(&format!("{}:{value}", json_string(key)));
+}
+
+/// JSON string literal with escaping for the characters Appl text can contain.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Finite floats render as shortest-round-trip decimals; infinities and NaN
+/// (which JSON cannot represent) become `null`.
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn json_opt_f64(v: Option<f64>) -> String {
+    v.map(json_f64).unwrap_or_else(|| "null".to_string())
+}
+
+impl fmt::Display for AnalysisReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(label) = &self.label {
+            writeln!(f, "program:  {label}")?;
+        }
+        let mode = match self.mode {
+            SolveMode::Global => "global",
+            SolveMode::Compositional => "compositional",
+        };
+        writeln!(
+            f,
+            "analysis: degree {} · {mode} mode · backend {}",
+            self.degree, self.backend
+        )?;
+        if !self.valuation.is_empty() {
+            let at = self
+                .valuation
+                .iter()
+                .map(|(v, x)| format!("{v} = {x}"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            writeln!(f, "at:       {at}")?;
+        }
+        writeln!(f)?;
+
+        writeln!(f, "raw moments of the accumulated cost C:")?;
+        for k in 1..=self.degree {
+            let i = self.raw_intervals[k];
+            writeln!(
+                f,
+                "  E[C^{k}]  in [{:.6}, {:.6}]   (symbolic: [{}, {}])",
+                i.lo(),
+                i.hi(),
+                self.result.bounds[k].lower,
+                self.result.bounds[k].upper
+            )?;
+        }
+        if let (Some(lo), Some(hi)) = (self.variance_lower(), self.variance_upper()) {
+            writeln!(f)?;
+            writeln!(f, "central moments:")?;
+            writeln!(f, "  V[C]    in [{lo:.6}, {hi:.6}]")?;
+            if let Some(s) = self.central.skewness_upper() {
+                writeln!(f, "  skewness upper bound: {s:.6}")?;
+            }
+            if let Some(k) = self.central.kurtosis_upper() {
+                writeln!(f, "  kurtosis upper bound: {k:.6}")?;
+            }
+        }
+
+        if !self.tail.is_empty() {
+            writeln!(f)?;
+            writeln!(f, "tail bounds (best of Markov/Cantelli/Chebyshev):")?;
+            for t in &self.tail {
+                writeln!(f, "  P[C >= {:.4}] <= {:.6}", t.threshold, t.probability)?;
+            }
+        }
+
+        if let Some(s) = &self.soundness {
+            writeln!(f)?;
+            writeln!(
+                f,
+                "soundness (Thm 4.4): bounded updates: {}; finite E[T^k]: {}",
+                if s.bounded_updates { "yes" } else { "NO" },
+                match s.termination_moment {
+                    Some(k) => format!("yes (k = {k})"),
+                    None => "not established".to_string(),
+                }
+            )?;
+            for v in &s.violations {
+                writeln!(f, "  unbounded update: {v}")?;
+            }
+        }
+
+        writeln!(f)?;
+        writeln!(
+            f,
+            "lp: {} variables, {} constraints, {} solve(s) · analysis {:.1} ms · total {:.1} ms",
+            self.lp.variables,
+            self.lp.constraints,
+            self.lp.solves,
+            self.timings.analysis.as_secs_f64() * 1e3,
+            self.timings.total.as_secs_f64() * 1e3,
+        )
+    }
+}

@@ -1,23 +1,33 @@
 //! Cross-crate integration tests: every analytic bound is checked against the
-//! Monte-Carlo semantics, and the whole pipeline (parse → analyze → central
-//! moments → tail bounds) is exercised end to end.
+//! Monte-Carlo semantics, and the whole `Analysis` pipeline (parse → analyze →
+//! central moments → tail bounds → soundness) is exercised end to end.
 
-use central_moment_analysis::appl::parse_program;
-use central_moment_analysis::inference::{analyze, AnalysisOptions, CentralMoments};
 use central_moment_analysis::sim::{simulate, SimConfig};
 use central_moment_analysis::suite::{self, Benchmark};
+use central_moment_analysis::{Analysis, CmaError};
 
-/// Analyzes a benchmark and checks every derived bound against simulation.
-/// Returns `false` when the analysis itself fails (some loop-heavy benchmarks
-/// exceed what the linear certificates can express — the callers require a
-/// minimum success count rather than perfection).
+/// Analyzes a benchmark through the pipeline facade and checks every derived
+/// bound against simulation.  Returns `false` when the analysis itself fails
+/// (some loop-heavy benchmarks exceed what the linear certificates can
+/// express — the callers require a minimum success count rather than
+/// perfection).
 fn check_bounds_against_simulation(benchmark: &Benchmark, degree: usize) -> bool {
-    let options = AnalysisOptions::degree(degree).with_valuation(benchmark.valuation.clone());
-    let Ok(result) = analyze(&benchmark.program, &options) else {
-        eprintln!("note: {} not analyzable at degree {degree}", benchmark.name);
-        return false;
+    let outcome = Analysis::benchmark(benchmark)
+        .degree(degree)
+        .soundness(false)
+        .run();
+    let report = match outcome {
+        Ok(report) => report,
+        Err(e) => {
+            assert!(
+                e.is_analysis_failure(),
+                "{}: unexpected failure class: {e}",
+                benchmark.name
+            );
+            eprintln!("note: {} not analyzable at degree {degree}", benchmark.name);
+            return false;
+        }
     };
-    let intervals = result.raw_intervals_at(&benchmark.valuation);
     let stats = simulate(
         &benchmark.program,
         &SimConfig {
@@ -32,16 +42,16 @@ fn check_bounds_against_simulation(benchmark: &Benchmark, degree: usize) -> bool
         let simulated = stats.raw_moment(k as u32);
         let tolerance = 0.02 * simulated.abs() + 0.5;
         assert!(
-            simulated <= intervals[k].hi() + tolerance,
+            simulated <= report.raw_moment(k).hi() + tolerance,
             "{}: E[C^{k}] = {simulated} exceeds derived upper bound {}",
             benchmark.name,
-            intervals[k].hi()
+            report.raw_moment(k).hi()
         );
         assert!(
-            simulated >= intervals[k].lo() - tolerance,
+            simulated >= report.raw_moment(k).lo() - tolerance,
             "{}: E[C^{k}] = {simulated} is below derived lower bound {}",
             benchmark.name,
-            intervals[k].lo()
+            report.raw_moment(k).lo()
         );
     }
     true
@@ -52,10 +62,8 @@ fn running_example_bounds_are_sound_and_tight() {
     let b = suite::running::rdwalk();
     assert!(check_bounds_against_simulation(&b, 2));
     // Tightness: the first-moment upper bound at d = 10 matches the paper.
-    let options = AnalysisOptions::degree(2).with_valuation(b.valuation.clone());
-    let result = analyze(&b.program, &options).unwrap();
-    let e1 = result.raw_moment_at(1, &b.valuation);
-    assert!(e1.hi() <= 24.0 + 1e-3);
+    let report = Analysis::benchmark(&b).soundness(false).run().unwrap();
+    assert!(report.mean().hi() <= 24.0 + 1e-3);
 }
 
 #[test]
@@ -70,7 +78,11 @@ fn kura_suite_first_and_second_moments_are_sound() {
         .iter()
         .filter(|b| check_bounds_against_simulation(b, 2))
         .count();
-    assert!(analyzed >= 3, "only {analyzed} of {} benchmarks analyzable", suite.len());
+    assert!(
+        analyzed >= 3,
+        "only {analyzed} of {} benchmarks analyzable",
+        suite.len()
+    );
 }
 
 #[test]
@@ -104,9 +116,6 @@ fn nonmonotone_suite_interval_bounds_are_sound() {
 #[test]
 fn central_moment_tail_bounds_dominate_empirical_tails() {
     let b = suite::kura::coupon_four();
-    let options = AnalysisOptions::degree(2).with_valuation(b.valuation.clone());
-    let result = analyze(&b.program, &options).unwrap();
-    let central = CentralMoments::from_raw_intervals(&result.raw_intervals_at(&b.valuation));
     let stats = simulate(
         &b.program,
         &SimConfig {
@@ -116,24 +125,29 @@ fn central_moment_tail_bounds_dominate_empirical_tails() {
             ..Default::default()
         },
     );
-    for factor in [2.0, 3.0, 5.0] {
-        let d = stats.mean() * factor;
-        let bound = central_moment_analysis::inference::cantelli_upper_tail(
-            central.variance_upper(),
-            central.mean(),
-            d,
-        );
+    let thresholds: Vec<f64> = [2.0, 3.0, 5.0]
+        .iter()
+        .map(|factor| stats.mean() * factor)
+        .collect();
+    let report = Analysis::benchmark(&b)
+        .degree(2)
+        .soundness(false)
+        .tail_at(thresholds.iter().copied())
+        .run()
+        .unwrap();
+    for tail in &report.tail {
         assert!(
-            stats.tail_probability(d) <= bound + 0.01,
-            "empirical tail at {d} exceeds Cantelli bound {bound}"
+            stats.tail_probability(tail.threshold) <= tail.probability + 0.01,
+            "empirical tail at {} exceeds derived bound {}",
+            tail.threshold,
+            tail.probability
         );
     }
 }
 
 #[test]
 fn parsed_programs_flow_through_the_whole_pipeline() {
-    let program = parse_program(
-        r#"
+    let source = r#"
         pre n >= 0
         func main() begin
           while n > 0 do
@@ -141,23 +155,22 @@ fn parsed_programs_flow_through_the_whole_pipeline() {
             tick(1)
           od
         end
-        "#,
-    )
-    .unwrap();
-    let n = central_moment_analysis::appl::Var::new("n");
-    let options = AnalysisOptions::degree(2).with_valuation(vec![(n.clone(), 8.0)]);
-    let result = analyze(&program, &options).unwrap();
-    let at = vec![(n.clone(), 8.0)];
+        "#;
+    let program = central_moment_analysis::parse_program(source).unwrap();
+    let report = Analysis::of(&program).degree(2).at("n", 8.0).run().unwrap();
     // True expectation is 2n = 16.
-    let e1 = result.raw_moment_at(1, &at);
+    let e1 = report.raw_moment(1);
     assert!(e1.hi() >= 16.0 - 1e-6);
     assert!(e1.hi() <= 18.5);
+    // The full pipeline ran soundness checks and recorded phase timings.
+    assert!(report.soundness.is_some());
+    assert!(report.timings.soundness.is_some());
     let stats = simulate(
         &program,
         &SimConfig {
             trials: 20_000,
             seed: 3,
-            initial: vec![(n, 8.0)],
+            initial: vec![(central_moment_analysis::Var::new("n"), 8.0)],
             ..Default::default()
         },
     );
@@ -173,5 +186,45 @@ fn soundness_checks_run_on_suite_programs() {
             "{} should have bounded updates",
             b.name
         );
+    }
+}
+
+#[test]
+fn legacy_analyze_shim_agrees_with_the_facade() {
+    // The deprecated entry point must keep producing the same bounds as the
+    // pipeline so downstream users can migrate incrementally.
+    #[allow(deprecated)]
+    fn legacy(b: &Benchmark) -> central_moment_analysis::Interval {
+        use central_moment_analysis::inference::{analyze, AnalysisOptions};
+        let options = AnalysisOptions::degree(2).with_valuation(b.valuation.clone());
+        analyze(&b.program, &options)
+            .unwrap()
+            .raw_moment_at(1, &b.valuation)
+    }
+    let b = suite::running::rdwalk();
+    let report = Analysis::benchmark(&b).soundness(false).run().unwrap();
+    let old = legacy(&b);
+    let new = report.raw_moment(1);
+    assert!((old.hi() - new.hi()).abs() < 1e-9);
+    assert!((old.lo() - new.lo()).abs() < 1e-9);
+}
+
+#[test]
+fn analysis_failures_carry_context() {
+    // An unanalyzable program (unbounded multiplicative growth) surfaces as a
+    // unified CmaError with the analysis failure as root cause.
+    let result = Analysis::parse("func main() begin while x > 0 do x := 2 * x; tick(1) od end")
+        .unwrap()
+        .degree(1)
+        .run();
+    match result {
+        Err(e @ CmaError::Analysis(_)) => assert!(e.is_analysis_failure()),
+        Err(other) => panic!("unexpected error class: {other}"),
+        Ok(report) => {
+            // If the LP happens to find a bound, it must at least be infinite
+            // or the soundness check must flag the unbounded update.
+            let sound = report.soundness.expect("soundness checks enabled");
+            assert!(!sound.bounded_updates);
+        }
     }
 }

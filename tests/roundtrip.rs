@@ -1,0 +1,86 @@
+//! Parser/pretty-printer round-trip tests over the whole benchmark suite.
+//!
+//! The pretty printer emits the paper's concrete syntax and the parser reads
+//! it back; `parse(pretty(p))` must reproduce a program whose pretty form is
+//! *identical* (pretty-printing is a normal form, so one round trip reaches
+//! the fixpoint).  This is what keeps `.appl` files, the `cma` CLI, and the
+//! Rust builder DSL interchangeable.
+
+use central_moment_analysis::parse_program;
+use central_moment_analysis::suite::{self, Benchmark};
+
+fn assert_roundtrips(b: &Benchmark) {
+    let printed = b.program.to_string();
+    let reparsed = parse_program(&printed).unwrap_or_else(|e| {
+        panic!(
+            "{}: pretty output does not re-parse: {e}\n{printed}",
+            b.name
+        )
+    });
+    let reprinted = reparsed.to_string();
+    assert_eq!(
+        printed, reprinted,
+        "{}: pretty → parse → pretty is not a fixpoint",
+        b.name
+    );
+    // Structure survives, not just text: same functions, same size.
+    assert_eq!(
+        b.program.functions().count(),
+        reparsed.functions().count(),
+        "{}: function count changed",
+        b.name
+    );
+    assert_eq!(
+        b.program.size(),
+        reparsed.size(),
+        "{}: AST size changed",
+        b.name
+    );
+}
+
+#[test]
+fn kura_suite_roundtrips() {
+    for b in suite::kura_suite() {
+        assert_roundtrips(&b);
+    }
+}
+
+#[test]
+fn absynth_suite_roundtrips() {
+    for b in suite::absynth_suite() {
+        assert_roundtrips(&b);
+    }
+}
+
+#[test]
+fn nonmonotone_suite_roundtrips() {
+    for b in suite::nonmonotone_suite() {
+        assert_roundtrips(&b);
+    }
+}
+
+#[test]
+fn running_examples_and_case_studies_roundtrip() {
+    for b in [
+        suite::running::rdwalk(),
+        suite::running::rdwalk_variant_1(),
+        suite::running::rdwalk_variant_2(),
+        suite::timing::password_checker(8),
+        suite::synthetic::coupon_chain(5),
+        suite::synthetic::random_walk_chain(5),
+    ] {
+        assert_roundtrips(&b);
+    }
+}
+
+#[test]
+fn fig2_fixture_matches_the_builder_program() {
+    // The checked-in .appl fixture used by the CLI golden test must stay in
+    // sync with the builder-constructed running example.
+    let source =
+        std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/examples/fig2.appl"))
+            .expect("fixture exists");
+    let from_file = parse_program(&source).expect("fixture parses");
+    let from_builder = suite::running::rdwalk_program();
+    assert_eq!(from_file.to_string(), from_builder.to_string());
+}
