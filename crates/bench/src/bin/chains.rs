@@ -1,0 +1,182 @@
+//! Fig. 10 chain-scaling experiment under both LP backends.
+//!
+//! Runs the coupon-chain and random-walk-chain families (`cma-suite`'s
+//! `synthetic` module) at growing chain lengths, once per backend
+//! (`dense` reference simplex vs `sparse` revised simplex) and solve mode,
+//! and writes the measurements as a JSON array — the `BENCH_chains.json`
+//! artifact the CI `bench-smoke` job uploads to track the perf trajectory.
+//!
+//! ```text
+//! cargo run -p cma-bench --release --bin chains -- \
+//!     [--out BENCH_chains.json] [--max-n 10] [--step 3] [--threads N]
+//!     [--global-cap 4]
+//! ```
+//!
+//! Compositional mode (the regime Fig. 10 actually evaluates — one LP per
+//! SCC) is measured across the whole sweep; global mode — one monolithic LP
+//! whose simplex iteration count degenerates for long chains under *any*
+//! backend — is capped at `--global-cap` chain links.
+
+use std::fmt::Write as _;
+use std::io::Write as _;
+
+use central_moment_analysis::{Analysis, SimplexBackend, SolveMode, SparseBackend};
+use cma_suite::{synthetic, Benchmark};
+
+struct Row {
+    family: &'static str,
+    n: usize,
+    mode: &'static str,
+    backend: &'static str,
+    analysis_ms: f64,
+    lp_variables: usize,
+    lp_constraints: usize,
+    lp_solves: usize,
+    mean_upper: f64,
+}
+
+fn measure(
+    benchmark: &Benchmark,
+    family: &'static str,
+    n: usize,
+    mode: SolveMode,
+    backend: &'static str,
+    threads: usize,
+) -> Option<Row> {
+    let analysis = Analysis::benchmark(benchmark)
+        .degree(2)
+        .mode(mode)
+        .threads(threads)
+        .soundness(false);
+    let report = match backend {
+        "dense" => analysis.backend(SimplexBackend).run(),
+        _ => analysis.backend(SparseBackend).run(),
+    }
+    .ok()?;
+    Some(Row {
+        family,
+        n,
+        mode: match mode {
+            SolveMode::Global => "global",
+            SolveMode::Compositional => "compositional",
+        },
+        backend,
+        analysis_ms: report.result.elapsed.as_secs_f64() * 1e3,
+        lp_variables: report.lp.variables,
+        lp_constraints: report.lp.constraints,
+        lp_solves: report.lp.solves,
+        mean_upper: report.mean().hi(),
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_path = "BENCH_chains.json".to_string();
+    let mut max_n = 10usize;
+    let mut step = 3usize;
+    let mut threads = 1usize;
+    let mut global_cap = 4usize;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .unwrap_or_else(|| {
+                    eprintln!("missing value for {flag}");
+                    std::process::exit(2);
+                })
+                .clone()
+        };
+        match arg.as_str() {
+            "--out" => out_path = value("--out"),
+            "--max-n" => max_n = value("--max-n").parse().expect("numeric --max-n"),
+            "--step" => step = value("--step").parse().expect("numeric --step"),
+            "--threads" => threads = value("--threads").parse().expect("numeric --threads"),
+            "--global-cap" => {
+                global_cap = value("--global-cap").parse().expect("numeric --global-cap")
+            }
+            other => {
+                eprintln!(
+                    "unknown option `{other}` \
+                     (expected --out/--max-n/--step/--threads/--global-cap)"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut rows: Vec<Row> = Vec::new();
+    for n in synthetic::sweep(max_n, step) {
+        let coupon = synthetic::coupon_chain(n).in_suite("synthetic");
+        let walk = synthetic::random_walk_chain(n).in_suite("synthetic");
+        for mode in [SolveMode::Global, SolveMode::Compositional] {
+            if mode == SolveMode::Global && n > global_cap {
+                continue;
+            }
+            for backend in ["dense", "sparse"] {
+                for (family, b) in [("coupon-chain", &coupon), ("walk-chain", &walk)] {
+                    match measure(b, family, n, mode, backend, threads) {
+                        Some(row) => {
+                            eprintln!(
+                                "{family}/{n} {} {backend}: {:.1} ms ({} vars, {} rows, {} solves)",
+                                row.mode,
+                                row.analysis_ms,
+                                row.lp_variables,
+                                row.lp_constraints,
+                                row.lp_solves
+                            );
+                            rows.push(row);
+                        }
+                        None => eprintln!("{family}/{n} {mode:?} {backend}: not analyzable"),
+                    }
+                }
+            }
+        }
+    }
+
+    let mut json = String::from("{\"experiment\":\"fig10-chains\",\"threads\":");
+    let _ = write!(json, "{threads},\"rows\":[");
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        let _ = write!(
+            json,
+            "{{\"family\":\"{}\",\"n\":{},\"mode\":\"{}\",\"backend\":\"{}\",\"analysis_ms\":{:.3},\"lp_variables\":{},\"lp_constraints\":{},\"lp_solves\":{},\"mean_upper\":{:.6}}}",
+            r.family,
+            r.n,
+            r.mode,
+            r.backend,
+            r.analysis_ms,
+            r.lp_variables,
+            r.lp_constraints,
+            r.lp_solves,
+            r.mean_upper
+        );
+    }
+    json.push_str("]}");
+
+    let mut file = std::fs::File::create(&out_path).expect("create output file");
+    file.write_all(json.as_bytes()).expect("write output");
+    file.write_all(b"\n").expect("write trailing newline");
+    eprintln!("wrote {} rows to {out_path}", rows.len());
+
+    // Summarize the dense-vs-sparse comparison on stdout.
+    let speedup = |family: &str, mode: &str| -> Option<f64> {
+        let total = |backend: &str| -> f64 {
+            rows.iter()
+                .filter(|r| r.family == family && r.mode == mode && r.backend == backend)
+                .map(|r| r.analysis_ms)
+                .sum()
+        };
+        let dense = total("dense");
+        let sparse = total("sparse");
+        (sparse > 0.0).then(|| dense / sparse)
+    };
+    for family in ["coupon-chain", "walk-chain"] {
+        for mode in ["global", "compositional"] {
+            if let Some(s) = speedup(family, mode) {
+                println!("{family} ({mode}): dense/sparse time ratio {s:.2}x");
+            }
+        }
+    }
+}

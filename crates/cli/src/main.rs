@@ -17,7 +17,9 @@
 use std::process::ExitCode;
 
 use central_moment_analysis::suite::{self, Benchmark};
-use central_moment_analysis::{Analysis, CmaError, SolveMode, Var};
+use central_moment_analysis::{
+    Analysis, AnalysisReport, CmaError, LpBackend, SolveMode, SparseBackend, Var,
+};
 
 const USAGE: &str = "\
 cma — central moment analysis for cost accumulators in probabilistic programs
@@ -34,6 +36,8 @@ ANALYSIS OPTIONS:
     --degree N           target moment degree m (default 2)
     --poly-degree D      base polynomial degree of templates (default 1)
     --mode MODE          global | compositional (default global)
+    --backend B          dense | sparse LP solver (default dense)
+    --threads N          solve independent compositional groups on N threads
     --valuation K=V,…    initial-state valuation, e.g. d=10,x=0
     --tail D1,D2,…       tail-bound thresholds (default 2x/4x/8x mean bound)
     --no-soundness       skip the Thm 4.4 side-condition checks
@@ -82,12 +86,24 @@ fn main() -> ExitCode {
     }
 }
 
+/// The LP solver selected with `--backend`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+enum BackendChoice {
+    /// The dense two-phase reference simplex.
+    #[default]
+    Dense,
+    /// The sparse revised simplex (recommended for large chain programs).
+    Sparse,
+}
+
 /// Options shared by `analyze`, `tail`, and `suite run`.
 #[derive(Debug, Clone, Default)]
 struct AnalyzeOpts {
     degree: Option<usize>,
     poly_degree: Option<u32>,
     mode: Option<SolveMode>,
+    backend: BackendChoice,
+    threads: Option<usize>,
     valuation: Option<Vec<(Var, f64)>>,
     tail: Option<Vec<f64>>,
     no_soundness: bool,
@@ -140,6 +156,22 @@ fn parse_opts(args: &[String]) -> Result<AnalyzeOpts, CmaError> {
                         )))
                     }
                 });
+            }
+            "--backend" => {
+                let v = it.next().ok_or_else(|| missing("--backend"))?;
+                opts.backend = match v.as_str() {
+                    "dense" => BackendChoice::Dense,
+                    "sparse" => BackendChoice::Sparse,
+                    other => {
+                        return Err(CmaError::Usage(format!(
+                            "invalid --backend `{other}` (expected dense or sparse)"
+                        )))
+                    }
+                };
+            }
+            "--threads" => {
+                let v = it.next().ok_or_else(|| missing("--threads"))?;
+                opts.threads = Some(parse_num(v, "--threads")?);
             }
             "--valuation" => {
                 let v = it.next().ok_or_else(|| missing("--valuation"))?;
@@ -221,6 +253,9 @@ fn configured_analysis(source: &str, path: &str, opts: &AnalyzeOpts) -> Result<A
     if let Some(mode) = opts.mode {
         analysis = analysis.mode(mode);
     }
+    if let Some(threads) = opts.threads {
+        analysis = analysis.threads(threads);
+    }
     if let Some(valuation) = &opts.valuation {
         analysis = analysis.valuation(valuation.clone());
     }
@@ -228,6 +263,17 @@ fn configured_analysis(source: &str, path: &str, opts: &AnalyzeOpts) -> Result<A
         analysis = analysis.tail_at(tail.iter().copied());
     }
     Ok(analysis)
+}
+
+/// Runs a configured pipeline with the `--backend` the user picked.
+fn run_with_backend<B: LpBackend>(
+    analysis: Analysis<B>,
+    backend: BackendChoice,
+) -> Result<AnalysisReport, CmaError> {
+    match backend {
+        BackendChoice::Dense => analysis.run(),
+        BackendChoice::Sparse => analysis.backend(SparseBackend).run(),
+    }
 }
 
 fn cmd_analyze(args: &[String], tail_only: bool) -> Result<(), CmaError> {
@@ -243,8 +289,7 @@ fn cmd_analyze(args: &[String], tail_only: bool) -> Result<(), CmaError> {
         ));
     }
     let source = read_source(path)?;
-    let report = configured_analysis(&source, path, &opts)?
-        .run()
+    let report = run_with_backend(configured_analysis(&source, path, &opts)?, opts.backend)
         .map_err(|e| e.with_context(format!("while analyzing `{path}`")))?;
     if opts.json {
         println!("{}", report.to_json());
@@ -325,18 +370,27 @@ fn cmd_simulate(args: &[String]) -> Result<(), CmaError> {
     Ok(())
 }
 
-/// Every named benchmark of the paper's evaluation, across all suites.
-fn all_benchmarks() -> Vec<Benchmark> {
-    let mut all = suite::kura_suite();
-    all.extend(suite::absynth_suite());
-    all.extend(suite::nonmonotone_suite());
-    all.push(suite::running::rdwalk());
-    all.push(suite::running::rdwalk_variant_1());
-    all.push(suite::running::rdwalk_variant_2());
-    all.push(suite::timing::password_checker(8));
-    all.push(suite::synthetic::coupon_chain(5));
-    all.push(suite::synthetic::random_walk_chain(5));
-    all
+/// Resolves a `suite run` id: qualified ids (`running/rdwalk`) are exact;
+/// bare names are accepted when unambiguous and rejected with the matching
+/// qualified ids otherwise.
+fn resolve_benchmark(name: &str) -> Result<Benchmark, CmaError> {
+    let matches = suite::find_benchmarks(name);
+    match matches.len() {
+        0 => Err(CmaError::Usage(format!(
+            "unknown benchmark `{name}`; run `cma suite list`"
+        ))),
+        1 => Ok(matches.into_iter().next().expect("one match")),
+        _ => {
+            let ids = matches
+                .iter()
+                .map(|b| b.qualified_name())
+                .collect::<Vec<_>>()
+                .join(", ");
+            Err(CmaError::Usage(format!(
+                "ambiguous benchmark `{name}` (matches {ids}); use the qualified id"
+            )))
+        }
+    }
 }
 
 fn json_escape(s: &str) -> String {
@@ -362,14 +416,15 @@ fn cmd_suite(args: &[String]) -> Result<(), CmaError> {
     match action.as_str() {
         "list" => {
             let opts = parse_opts(&args[1..])?;
-            let benchmarks = all_benchmarks();
+            let benchmarks = suite::all_benchmarks();
             if opts.json {
                 let rows = benchmarks
                     .iter()
                     .map(|b| {
                         format!(
-                            "{{\"name\":\"{}\",\"degree\":{},\"description\":\"{}\"}}",
-                            json_escape(&b.name),
+                            "{{\"name\":\"{}\",\"suite\":\"{}\",\"degree\":{},\"description\":\"{}\"}}",
+                            json_escape(&b.qualified_name()),
+                            json_escape(&b.suite),
                             b.degree,
                             json_escape(&b.description)
                         )
@@ -380,7 +435,12 @@ fn cmd_suite(args: &[String]) -> Result<(), CmaError> {
             } else {
                 println!("{} benchmarks:", benchmarks.len());
                 for b in &benchmarks {
-                    println!("  {:<14} (degree {})  {}", b.name, b.degree, b.description);
+                    println!(
+                        "  {:<26} (degree {})  {}",
+                        b.qualified_name(),
+                        b.degree,
+                        b.description
+                    );
                 }
             }
             Ok(())
@@ -390,22 +450,14 @@ fn cmd_suite(args: &[String]) -> Result<(), CmaError> {
             let [name] = opts.positional.as_slice() else {
                 return Err(CmaError::Usage("expected `suite run <name|all>`".into()));
             };
-            let benchmarks = all_benchmarks();
-            let selected: Vec<&Benchmark> = if name == "all" {
-                benchmarks.iter().collect()
+            let selected: Vec<Benchmark> = if name == "all" {
+                suite::all_benchmarks()
             } else {
-                let found: Vec<&Benchmark> =
-                    benchmarks.iter().filter(|b| &b.name == name).collect();
-                if found.is_empty() {
-                    return Err(CmaError::Usage(format!(
-                        "unknown benchmark `{name}`; run `cma suite list`"
-                    )));
-                }
-                found
+                vec![resolve_benchmark(name)?]
             };
             let mut json_rows = Vec::new();
             let mut failures = 0usize;
-            for b in selected {
+            for b in &selected {
                 let mut analysis = Analysis::benchmark(b).soundness(!opts.no_soundness);
                 if let Some(degree) = opts.degree {
                     analysis = analysis.degree(degree);
@@ -416,6 +468,9 @@ fn cmd_suite(args: &[String]) -> Result<(), CmaError> {
                 if let Some(mode) = opts.mode {
                     analysis = analysis.mode(mode);
                 }
+                if let Some(threads) = opts.threads {
+                    analysis = analysis.threads(threads);
+                }
                 if let Some(valuation) = &opts.valuation {
                     analysis = analysis.valuation(valuation.clone());
                 }
@@ -425,7 +480,7 @@ fn cmd_suite(args: &[String]) -> Result<(), CmaError> {
                 if let Some(tail) = &opts.tail {
                     analysis = analysis.tail_at(tail.iter().copied());
                 }
-                match analysis.run() {
+                match run_with_backend(analysis, opts.backend) {
                     Ok(report) => {
                         if opts.json {
                             json_rows.push(report.to_json());
@@ -439,11 +494,11 @@ fn cmd_suite(args: &[String]) -> Result<(), CmaError> {
                         if opts.json {
                             json_rows.push(format!(
                                 "{{\"label\":\"{}\",\"error\":\"{}\"}}",
-                                json_escape(&b.name),
+                                json_escape(&b.qualified_name()),
                                 json_escape(&e.to_string())
                             ));
                         } else {
-                            println!("{}: {e}", b.name);
+                            println!("{}: {e}", b.qualified_name());
                             println!();
                         }
                     }

@@ -161,11 +161,16 @@ fn suite_list_and_run_work() {
     let list = stdout(&run(&["suite", "list"]));
     assert!(list.contains("benchmarks:"));
     assert!(list.contains("coupon"), "{list}");
+    // Ids are namespaced by suite.
+    assert!(list.contains("running/rdwalk"), "{list}");
+    assert!(list.contains("absynth/rdwalk"), "{list}");
 
     let json = stdout(&run(&["suite", "list", "--json"]));
     assert!(json.starts_with('[') && json.trim_end().ends_with(']'));
-    assert!(json.contains("\"name\":"));
+    assert!(json.contains("\"name\":\"running/rdwalk\""), "{json}");
+    assert!(json.contains("\"suite\":\"kura\""), "{json}");
 
+    // A bare name that is unambiguous still works.
     let run_out = stdout(&run(&[
         "suite",
         "run",
@@ -175,6 +180,75 @@ fn suite_list_and_run_work() {
         "--no-soundness",
     ]));
     assert!(run_out.contains("E[C^1]"), "{run_out}");
+}
+
+#[test]
+fn suite_run_accepts_qualified_ids_and_rejects_ambiguous_bare_names() {
+    // `rdwalk` exists in both the running and absynth suites: the bare name
+    // is ambiguous (the PR 1 behavior silently ran both)…
+    let ambiguous = run(&["suite", "run", "rdwalk", "--no-soundness"]);
+    assert_eq!(ambiguous.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&ambiguous.stderr);
+    assert!(stderr.contains("ambiguous"), "{stderr}");
+    assert!(stderr.contains("running/rdwalk"), "{stderr}");
+    assert!(stderr.contains("absynth/rdwalk"), "{stderr}");
+
+    // …while the qualified id selects exactly one benchmark.
+    let qualified = stdout(&run(&[
+        "suite",
+        "run",
+        "running/rdwalk",
+        "--no-soundness",
+        "--json",
+    ]));
+    assert!(
+        qualified.contains("\"label\":\"running/rdwalk\""),
+        "{qualified}"
+    );
+    assert_eq!(qualified.matches("\"label\":").count(), 1);
+}
+
+#[test]
+fn sparse_backend_and_threads_flags_are_honored() {
+    let dense = stdout(&run(&[
+        "analyze",
+        &fig2(),
+        "--valuation",
+        "d=10,x=0",
+        "--no-soundness",
+        "--json",
+    ]));
+    let sparse = stdout(&run(&[
+        "analyze",
+        &fig2(),
+        "--valuation",
+        "d=10,x=0",
+        "--no-soundness",
+        "--backend",
+        "sparse",
+        "--threads",
+        "2",
+        "--json",
+    ]));
+    assert!(
+        sparse.contains("\"backend\":\"sparse-revised-simplex\""),
+        "{sparse}"
+    );
+    assert!(sparse.contains("\"parallelism\":2"), "{sparse}");
+    // Both backends derive the same Fig. 1(b) mean bound 2d + 4 = 24.
+    for report in [&dense, &sparse] {
+        let upper: f64 = report
+            .split("\"k\":1,\"lower\":")
+            .nth(1)
+            .and_then(|rest| rest.split("\"upper\":").nth(1))
+            .and_then(|rest| rest.split(',').next())
+            .and_then(|v| v.parse().ok())
+            .expect("mean upper bound present");
+        assert!((upper - 24.0).abs() < 1e-3, "mean upper {upper}");
+    }
+
+    let bad = run(&["analyze", &fig2(), "--backend", "frobnicate"]);
+    assert_eq!(bad.status.code(), Some(2));
 }
 
 #[test]

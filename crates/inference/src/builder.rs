@@ -2,19 +2,22 @@
 //!
 //! Collects the linear constraints emitted by the derivation rules (§3.4),
 //! the objective that rewards tight bounds, and mild regularization bounds on
-//! template coefficients that keep the LP bounded, and hands everything to
-//! the simplex solver of `cma-lp`.
+//! template coefficients that keep the LP bounded.  Rows are emitted sparsely
+//! into a shared [`ConstraintStore`], which the engine either snapshots into
+//! one [`cma_lp::LpProblem`] per group (batch solving) or flushes
+//! incrementally into an open [`cma_lp::LpSession`] (the soundness phase
+//! extends the main system this way instead of re-deriving it).
 
-use cma_lp::{Cmp, LpBackend, LpProblem, LpSolution, LpVarId, SimplexBackend};
+use cma_lp::{Cmp, LpBackend, LpSolution, LpVarId, SimplexBackend};
 use cma_semiring::poly::{Monomial, Var};
 
+use crate::store::ConstraintStore;
 use crate::template::{LinCoef, SymInterval, SymMoment, TemplatePoly};
 
 /// Builder that accumulates LP variables, constraints, and the objective.
 #[derive(Debug, Default)]
 pub struct ConstraintBuilder {
-    lp: LpProblem,
-    objective: Vec<(LpVarId, f64)>,
+    store: ConstraintStore,
     fresh_counter: usize,
 }
 
@@ -26,12 +29,23 @@ impl ConstraintBuilder {
 
     /// Number of LP variables created so far.
     pub fn num_vars(&self) -> usize {
-        self.lp.num_vars()
+        self.store.num_vars()
     }
 
     /// Number of LP constraints emitted so far.
     pub fn num_constraints(&self) -> usize {
-        self.lp.num_constraints()
+        self.store.num_constraints()
+    }
+
+    /// The underlying constraint store.
+    pub fn store(&self) -> &ConstraintStore {
+        &self.store
+    }
+
+    /// Mutable access to the underlying constraint store (the engine opens
+    /// sessions and flushes increments through it).
+    pub fn store_mut(&mut self) -> &mut ConstraintStore {
+        &mut self.store
     }
 
     fn fresh_name(&mut self, prefix: &str) -> String {
@@ -42,13 +56,13 @@ impl ConstraintBuilder {
     /// A fresh free (sign-unrestricted) LP unknown for a template coefficient.
     pub fn fresh_coefficient(&mut self, prefix: &str) -> LpVarId {
         let name = self.fresh_name(prefix);
-        self.lp.add_var(name, true)
+        self.store.add_var(name, true)
     }
 
     /// A fresh non-negative LP unknown (used for certificate multipliers).
     pub fn fresh_multiplier(&mut self, prefix: &str) -> LpVarId {
         let name = self.fresh_name(prefix);
-        self.lp.add_var(name, false)
+        self.store.add_var(name, false)
     }
 
     /// A fresh template polynomial over `vars` with total degree ≤ `degree`.
@@ -101,11 +115,11 @@ impl ConstraintBuilder {
             // an explicitly infeasible constraint so the solver reports it.
             if coef.constant_part().abs() > 1e-9 {
                 let dummy = self.fresh_multiplier("infeasible");
-                self.lp.add_constraint(vec![(dummy, 0.0)], Cmp::Eq, 1.0);
+                self.store.add_constraint(vec![(dummy, 0.0)], Cmp::Eq, 1.0);
             }
             return;
         }
-        self.lp
+        self.store
             .add_constraint(terms, Cmp::Eq, -coef.constant_part());
     }
 
@@ -115,11 +129,11 @@ impl ConstraintBuilder {
         if terms.is_empty() {
             if coef.constant_part() < -1e-9 {
                 let dummy = self.fresh_multiplier("infeasible");
-                self.lp.add_constraint(vec![(dummy, 0.0)], Cmp::Eq, 1.0);
+                self.store.add_constraint(vec![(dummy, 0.0)], Cmp::Eq, 1.0);
             }
             return;
         }
-        self.lp
+        self.store
             .add_constraint(terms, Cmp::Ge, -coef.constant_part());
     }
 
@@ -134,7 +148,7 @@ impl ConstraintBuilder {
     /// Adds `weight · value(coef)` to the minimization objective.
     pub fn add_objective(&mut self, coef: &LinCoef, weight: f64) {
         for (v, c) in coef.terms() {
-            self.objective.push((v, c * weight));
+            self.store.add_objective_term(v, c * weight);
         }
     }
 
@@ -143,15 +157,10 @@ impl ConstraintBuilder {
         self.solve_with(&SimplexBackend)
     }
 
-    /// Solves the accumulated problem with the given [`LpBackend`].
+    /// Solves the accumulated problem with the given [`LpBackend`]
+    /// (duplicate objective entries aggregate).
     pub fn solve_with(&mut self, backend: &dyn LpBackend) -> LpSolution {
-        // Aggregate duplicate objective entries.
-        let mut objective: std::collections::BTreeMap<LpVarId, f64> = Default::default();
-        for &(v, c) in &self.objective {
-            *objective.entry(v).or_insert(0.0) += c;
-        }
-        self.lp.set_objective(objective.into_iter().collect());
-        backend.solve(&self.lp)
+        backend.solve(&self.store.to_problem())
     }
 }
 

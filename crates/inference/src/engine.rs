@@ -6,7 +6,7 @@ use std::time::{Duration, Instant};
 
 use cma_appl::Program;
 use cma_logic::Context;
-use cma_lp::{LpBackend, LpStatus, SimplexBackend};
+use cma_lp::{LpBackend, LpSession, LpSolution, LpStatus, SimplexBackend};
 use cma_semiring::poly::{Polynomial, Var};
 use cma_semiring::Interval;
 
@@ -46,6 +46,10 @@ pub struct AnalysisOptions {
     pub valuation: Vec<(Var, f64)>,
     /// Restrict templates to these variables (default: all program variables).
     pub template_vars: Option<Vec<Var>>,
+    /// Worker threads for solving independent compositional SCC groups
+    /// concurrently (1 = sequential; only [`SolveMode::Compositional`] has
+    /// independent groups to parallelize).
+    pub threads: usize,
 }
 
 impl AnalysisOptions {
@@ -58,6 +62,7 @@ impl AnalysisOptions {
             mode: SolveMode::Global,
             valuation: Vec::new(),
             template_vars: None,
+            threads: 1,
         }
     }
 
@@ -82,6 +87,12 @@ impl AnalysisOptions {
     /// Restricts the template variables.
     pub fn with_template_vars(mut self, vars: Vec<Var>) -> Self {
         self.template_vars = Some(vars);
+        self
+    }
+
+    /// Sets the number of worker threads for independent group solves.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
         self
     }
 
@@ -160,6 +171,21 @@ impl MomentBound {
     }
 }
 
+/// Per-group size statistics of one solved linear program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroupLpStats {
+    /// Display name of the group (`"global"`, `"main"`, or the functions of
+    /// a compositional SCC joined with `+`).
+    pub name: String,
+    /// The functions whose specifications the group solved (empty for the
+    /// final `main`-only group).
+    pub functions: Vec<String>,
+    /// LP variables of the group's system.
+    pub variables: usize,
+    /// LP constraint rows of the group's system.
+    pub constraints: usize,
+}
+
 /// The outcome of a successful analysis.
 #[derive(Debug, Clone)]
 pub struct AnalysisResult {
@@ -175,6 +201,8 @@ pub struct AnalysisResult {
     /// Number of linear programs handed to the backend (1 in global mode, one
     /// per call-graph SCC plus one for `main` in compositional mode).
     pub lp_solves: usize,
+    /// Size statistics of every solved group, in solve order.
+    pub groups: Vec<GroupLpStats>,
     /// Wall-clock time spent in the analysis.
     pub elapsed: Duration,
 }
@@ -252,68 +280,275 @@ pub fn analyze_with(
     options: &AnalysisOptions,
     backend: &dyn LpBackend,
 ) -> Result<AnalysisResult, AnalysisError> {
-    let start = Instant::now();
-    let groups = match options.mode {
-        SolveMode::Global => {
-            vec![program
-                .functions()
-                .map(|f| f.name().to_string())
-                .collect::<Vec<_>>()]
-        }
-        SolveMode::Compositional => call_graph_sccs(program),
-    };
+    analyze_session(program, options, backend).map(|(result, _session)| result)
+}
 
+/// The engine state kept alive after [`analyze_session`]: the main group's
+/// [`ConstraintStore`](crate::store::ConstraintStore) (inside its builder)
+/// and the open solver session over it.
+///
+/// The soundness phase extends this state — appending the step-counting
+/// side-condition system and re-minimizing in place — instead of deriving
+/// and solving a fresh problem from scratch (see
+/// [`soundness_report_in_session`](crate::soundness::soundness_report_in_session)).
+pub struct AnalysisSession<'a> {
+    builder: ConstraintBuilder,
+    session: Box<dyn LpSession + 'a>,
+    backend: &'a dyn LpBackend,
+    options: AnalysisOptions,
+    minimizes: usize,
+    extension_variables: usize,
+    extension_constraints: usize,
+}
+
+impl AnalysisSession<'_> {
+    /// Total `minimize` calls issued on the main session so far (1 after the
+    /// main solve; +1 per soundness extension).
+    pub fn minimizes(&self) -> usize {
+        self.minimizes
+    }
+
+    /// LP variables appended by extensions (0 until an extension runs).
+    pub fn extension_variables(&self) -> usize {
+        self.extension_variables
+    }
+
+    /// LP constraint rows appended by extensions (0 until an extension runs).
+    pub fn extension_constraints(&self) -> usize {
+        self.extension_constraints
+    }
+
+    /// Derives `program` (globally, with fresh templates) *into* the existing
+    /// constraint store and minimizes the extension's own objective, without
+    /// re-deriving or re-solving the main system.
+    ///
+    /// The extension's templates are fresh, so its rows are variable-disjoint
+    /// from the main system and the increment solves as a standalone
+    /// subsystem of the shared store ([`ConstraintStore::subproblem`]) — the
+    /// combined system is feasible iff both parts are.  Should an extension
+    /// ever reference main-system variables (a future sharing of templates),
+    /// the increment is instead flushed into the open main session and the
+    /// combined system re-minimized in place.
+    ///
+    /// # Errors
+    ///
+    /// [`AnalysisError::LpFailed`] when the extended system has no optimum,
+    /// [`AnalysisError::Derivation`] when constraint generation fails.
+    pub fn extend_and_minimize(
+        &mut self,
+        program: &Program,
+        degree: usize,
+    ) -> Result<(), AnalysisError> {
+        let mut options = self.options.clone();
+        options.degree = degree;
+        // Extensions always derive globally: all fresh templates in one
+        // block, no compositional export constraints.
+        options.mode = SolveMode::Global;
+        if options.template_vars.is_none() {
+            // Pin the template variables to the extension's own program.
+            options.template_vars = Some(program.vars());
+        }
+        let vars_before = self.builder.num_vars();
+        let rows_before = self.builder.num_constraints();
+        let objective_mark = self.builder.store().objective_len();
+
+        let group: Vec<String> = program.functions().map(|f| f.name().to_string()).collect();
+        build_group(
+            &mut self.builder,
+            program,
+            &options,
+            &group,
+            true,
+            &BTreeMap::new(),
+        )?;
+        let sub = self
+            .builder
+            .store()
+            .subproblem(vars_before, rows_before, objective_mark);
+        let solution = match sub {
+            Some(sub) => self.backend.open(&sub).minimize(sub.objective()),
+            None => {
+                self.builder.store_mut().flush(self.session.as_mut());
+                let objective = self.builder.store().aggregated_objective(objective_mark);
+                self.session.minimize(&objective)
+            }
+        };
+        self.minimizes += 1;
+        self.extension_variables += self.builder.num_vars() - vars_before;
+        self.extension_constraints += self.builder.num_constraints() - rows_before;
+        if solution.is_optimal() {
+            Ok(())
+        } else {
+            Err(AnalysisError::LpFailed {
+                status: solution.status,
+                group: vec!["<extension>".to_string()],
+            })
+        }
+    }
+}
+
+/// [`analyze_with`], additionally returning the live [`AnalysisSession`] so
+/// later phases (the Thm 4.4 soundness check) can extend the constraint
+/// system in place instead of re-deriving it.
+///
+/// # Errors
+///
+/// Returns [`AnalysisError`] when constraint generation fails or the LP has no
+/// solution under the chosen template degrees.
+pub fn analyze_session<'a>(
+    program: &Program,
+    options: &AnalysisOptions,
+    backend: &'a dyn LpBackend,
+) -> Result<(AnalysisResult, AnalysisSession<'a>), AnalysisError> {
+    let start = Instant::now();
     let mut resolved: BTreeMap<(String, usize), ResolvedSpec> = BTreeMap::new();
     let mut lp_variables = 0usize;
     let mut lp_constraints = 0usize;
     let mut lp_solves = 0usize;
+    let mut group_stats: Vec<GroupLpStats> = Vec::new();
 
-    let main_bounds: Option<Vec<(Polynomial, Polynomial)>> = match options.mode {
-        SolveMode::Global => {
-            let group = &groups[0];
-            let outcome = solve_group(program, options, group, true, &resolved, backend)?;
-            lp_variables += outcome.lp_variables;
-            lp_constraints += outcome.lp_constraints;
-            lp_solves += 1;
-            resolved.extend(outcome.specs);
-            outcome.main_bounds
-        }
-        SolveMode::Compositional => {
-            for group in &groups {
-                let outcome = solve_group(program, options, group, false, &resolved, backend)?;
-                lp_variables += outcome.lp_variables;
-                lp_constraints += outcome.lp_constraints;
+    // Solve every non-final group (compositional mode only); groups at the
+    // same dependency level are independent and go through `solve_batch`.
+    if options.mode == SolveMode::Compositional {
+        let groups = call_graph_sccs(program);
+        for level in scc_levels(program, &groups) {
+            let mut builds = Vec::with_capacity(level.len());
+            for &g in &level {
+                let mut builder = ConstraintBuilder::new();
+                let build =
+                    build_group(&mut builder, program, options, &groups[g], false, &resolved)?;
+                builds.push((builder, build, groups[g].clone()));
+            }
+            let problems: Vec<cma_lp::LpProblem> = builds
+                .iter()
+                .map(|(builder, _, _)| builder.store().to_problem())
+                .collect();
+            let solutions = backend.solve_batch(&problems, options.threads);
+            for ((builder, build, group), solution) in builds.into_iter().zip(solutions) {
+                lp_variables += builder.num_vars();
+                lp_constraints += builder.num_constraints();
                 lp_solves += 1;
+                group_stats.push(GroupLpStats {
+                    name: group.join("+"),
+                    functions: group.clone(),
+                    variables: builder.num_vars(),
+                    constraints: builder.num_constraints(),
+                });
+                let outcome = extract_outcome(build, &solution, &group, false)?;
                 resolved.extend(outcome.specs);
             }
-            let outcome = solve_group(program, options, &[], true, &resolved, backend)?;
-            lp_variables += outcome.lp_variables;
-            lp_constraints += outcome.lp_constraints;
-            lp_solves += 1;
-            outcome.main_bounds
         }
-    };
+    }
 
-    let main_bounds = main_bounds.expect("main bounds computed by the final group");
+    // The final group — everything (global mode) or just `main` over the
+    // frozen specifications (compositional mode) — is solved through an open
+    // session that stays alive for the soundness extension.
+    let (final_group, name): (Vec<String>, &str) = match options.mode {
+        SolveMode::Global => (
+            program.functions().map(|f| f.name().to_string()).collect(),
+            "global",
+        ),
+        SolveMode::Compositional => (Vec::new(), "main"),
+    };
+    let mut builder = ConstraintBuilder::new();
+    let build = build_group(
+        &mut builder,
+        program,
+        options,
+        &final_group,
+        true,
+        &resolved,
+    )?;
+    lp_variables += builder.num_vars();
+    lp_constraints += builder.num_constraints();
+    lp_solves += 1;
+    group_stats.push(GroupLpStats {
+        name: name.to_string(),
+        functions: final_group.clone(),
+        variables: builder.num_vars(),
+        constraints: builder.num_constraints(),
+    });
+    let objective = builder.store().aggregated_objective(0);
+    let mut session = builder.store_mut().open_session(backend);
+    let solution = session.minimize(&objective);
+    let outcome = extract_outcome(build, &solution, &final_group, true)?;
+    resolved.extend(outcome.specs);
+
+    let main_bounds = outcome
+        .main_bounds
+        .expect("main bounds computed by the final group");
     let bounds = main_bounds
         .into_iter()
         .map(|(lower, upper)| MomentBound { lower, upper })
         .collect();
-    Ok(AnalysisResult {
+    let result = AnalysisResult {
         bounds,
         specs: resolved,
         lp_variables,
         lp_constraints,
         lp_solves,
+        groups: group_stats,
         elapsed: start.elapsed(),
-    })
+    };
+    Ok((
+        result,
+        AnalysisSession {
+            builder,
+            session,
+            backend,
+            options: options.clone(),
+            minimizes: 1,
+            extension_variables: 0,
+            extension_constraints: 0,
+        },
+    ))
+}
+
+/// Dependency levels of the call-graph SCCs: level 0 groups call nothing
+/// outside themselves, level `n + 1` groups call only groups of level ≤ `n`.
+/// Groups within one level are independent and can be solved concurrently.
+fn scc_levels(program: &Program, sccs: &[Vec<String>]) -> Vec<Vec<usize>> {
+    let graph = program.call_graph();
+    let mut scc_of: BTreeMap<&str, usize> = BTreeMap::new();
+    for (i, scc) in sccs.iter().enumerate() {
+        for f in scc {
+            scc_of.insert(f, i);
+        }
+    }
+    let mut level = vec![0usize; sccs.len()];
+    // `call_graph_sccs` emits callees first, so every callee SCC's level is
+    // final by the time its callers are processed.
+    for (i, scc) in sccs.iter().enumerate() {
+        for f in scc {
+            for callee in graph.get(f.as_str()).into_iter().flatten() {
+                if let Some(&j) = scc_of.get(callee.as_str()) {
+                    if j != i {
+                        level[i] = level[i].max(level[j] + 1);
+                    }
+                }
+            }
+        }
+    }
+    let max_level = level.iter().copied().max().map_or(0, |m| m + 1);
+    let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); max_level];
+    for (i, &l) in level.iter().enumerate() {
+        buckets[l].push(i);
+    }
+    buckets.retain(|b| !b.is_empty());
+    buckets
 }
 
 struct GroupOutcome {
     specs: BTreeMap<(String, usize), ResolvedSpec>,
     main_bounds: Option<Vec<(Polynomial, Polynomial)>>,
-    lp_variables: usize,
-    lp_constraints: usize,
+}
+
+/// Everything `build_group` produces besides the constraints themselves:
+/// the fresh specification templates and (for the final group) the derived
+/// pre-annotation of `main`, both awaiting a solution to resolve against.
+struct GroupBuild {
+    specs: SpecTable,
+    main_pre: Option<SymMoment>,
 }
 
 fn template_vars(program: &Program, options: &AnalysisOptions) -> Vec<Var> {
@@ -323,20 +558,23 @@ fn template_vars(program: &Program, options: &AnalysisOptions) -> Vec<Var> {
         .unwrap_or_else(|| program.vars())
 }
 
-fn solve_group(
+/// Emits the constraint system of one group into `builder`: fresh templates
+/// for the group's functions, derivation of every body, export constraints
+/// (compositional mode), the tightness objective, and — when `include_main`
+/// — the derivation of `main` itself.
+fn build_group(
+    builder: &mut ConstraintBuilder,
     program: &Program,
     options: &AnalysisOptions,
     group: &[String],
     include_main: bool,
     resolved: &BTreeMap<(String, usize), ResolvedSpec>,
-    backend: &dyn LpBackend,
-) -> Result<GroupOutcome, AnalysisError> {
+) -> Result<GroupBuild, AnalysisError> {
     let m = options.degree;
     let d = options.poly_degree;
     let vars = template_vars(program, options);
     let valuation = options.valuation_fn();
 
-    let mut builder = ConstraintBuilder::new();
     let mut specs = SpecTable::new();
 
     // Resolved specifications from earlier groups become constant annotations.
@@ -367,7 +605,7 @@ fn solve_group(
                     SymMoment::zero(m)
                 };
                 require_contains(
-                    &mut builder,
+                    builder,
                     &Context::top(),
                     &post,
                     &target,
@@ -394,15 +632,9 @@ fn solve_group(
                 template_vars: vars.clone(),
                 level,
             };
-            let derived_pre = transform(
-                &mut builder,
-                &dctx,
-                function.body(),
-                &ctx,
-                entry.post.clone(),
-            )?;
+            let derived_pre = transform(builder, &dctx, function.body(), &ctx, entry.post.clone())?;
             require_contains(
-                &mut builder,
+                builder,
                 &ctx,
                 &entry.pre,
                 &derived_pre,
@@ -429,7 +661,7 @@ fn solve_group(
             template_vars: vars.clone(),
             level: 0,
         };
-        let pre = transform(&mut builder, &dctx, program.main(), &ctx, SymMoment::one(m))?;
+        let pre = transform(builder, &dctx, program.main(), &ctx, SymMoment::one(m))?;
         for k in 0..=m {
             builder.add_objective(&pre.component(k).hi.eval_vars(&valuation), 1.0);
             builder.add_objective(&pre.component(k).lo.eval_vars(&valuation), -1.0);
@@ -439,9 +671,17 @@ fn solve_group(
         None
     };
 
-    let lp_variables = builder.num_vars();
-    let solution = builder.solve_with(backend);
-    let lp_constraints = builder.num_constraints();
+    Ok(GroupBuild { specs, main_pre })
+}
+
+/// Resolves a group's templates against an LP solution (or reports the LP
+/// failure for the group).
+fn extract_outcome(
+    build: GroupBuild,
+    solution: &LpSolution,
+    group: &[String],
+    include_main: bool,
+) -> Result<GroupOutcome, AnalysisError> {
     if !solution.is_optimal() {
         return Err(AnalysisError::LpFailed {
             status: solution.status,
@@ -456,8 +696,8 @@ fn solve_group(
     let values = |v| solution.value(v);
     let mut resolved_specs = BTreeMap::new();
     for name in group {
-        for level in 0..=m {
-            let entry = specs.get(name, level).expect("inserted above");
+        let mut level = 0;
+        while let Some(entry) = build.specs.get(name, level) {
             resolved_specs.insert(
                 (name.clone(), level),
                 ResolvedSpec {
@@ -465,15 +705,14 @@ fn solve_group(
                     post: entry.post.resolve(&values),
                 },
             );
+            level += 1;
         }
     }
-    let main_bounds = main_pre.map(|pre| pre.resolve(&values));
+    let main_bounds = build.main_pre.map(|pre| pre.resolve(&values));
 
     Ok(GroupOutcome {
         specs: resolved_specs,
         main_bounds,
-        lp_variables,
-        lp_constraints,
     })
 }
 
@@ -577,6 +816,103 @@ mod tests {
         };
         assert!(pos("c") < pos("b"));
         assert!(pos("b") < pos("a"));
+    }
+
+    #[test]
+    fn scc_levels_bucket_independent_groups_together() {
+        // main → a; a → {b, c}; b → d; c → d: levels d | b,c | a.
+        let program = ProgramBuilder::new()
+            .function("a", seq([call("b"), call("c")]))
+            .function("b", call("d"))
+            .function("c", call("d"))
+            .function("d", if_prob(0.5, call("d"), skip()))
+            .main(call("a"))
+            .build()
+            .unwrap();
+        let sccs = call_graph_sccs(&program);
+        let levels = scc_levels(&program, &sccs);
+        assert_eq!(levels.len(), 3);
+        let names_at = |l: usize| {
+            let mut names: Vec<&str> = levels[l]
+                .iter()
+                .flat_map(|&i| sccs[i].iter().map(String::as_str))
+                .collect();
+            names.sort_unstable();
+            names
+        };
+        assert_eq!(names_at(0), vec!["d"]);
+        assert_eq!(names_at(1), vec!["b", "c"]);
+        assert_eq!(names_at(2), vec!["a"]);
+    }
+
+    #[test]
+    fn parallel_compositional_solves_match_sequential() {
+        // Two independent tail-recursive functions (one dependency level with
+        // two groups → exercised by `solve_batch`), called from `main` in
+        // tail position of a probabilistic branch.
+        let program = ProgramBuilder::new()
+            .function("b", if_prob(0.5, seq([tick(1.0), call("b")]), skip()))
+            .function("c", if_prob(0.25, seq([tick(2.0), call("c")]), tick(1.0)))
+            .main(if_prob(0.5, call("b"), call("c")))
+            .build()
+            .unwrap();
+        let sequential = AnalysisOptions::degree(2).with_mode(SolveMode::Compositional);
+        let parallel = sequential.clone().with_threads(4);
+        let seq_result = analyze_with(&program, &sequential, &SimplexBackend).unwrap();
+        let par_result = analyze_with(&program, &parallel, &SimplexBackend).unwrap();
+        assert_eq!(seq_result.lp_solves, par_result.lp_solves);
+        assert_eq!(seq_result.groups, par_result.groups);
+        for (s, p) in seq_result.bounds.iter().zip(&par_result.bounds) {
+            assert_eq!(s, p, "parallel bounds diverged from sequential");
+        }
+    }
+
+    #[test]
+    fn result_reports_per_group_stats() {
+        let program = ProgramBuilder::new()
+            .function("geo", if_prob(0.5, seq([tick(1.0), call("geo")]), skip()))
+            .main(call("geo"))
+            .build()
+            .unwrap();
+        let global = analyze_with(&program, &AnalysisOptions::degree(2), &SimplexBackend).unwrap();
+        assert_eq!(global.groups.len(), 1);
+        assert_eq!(global.groups[0].name, "global");
+        assert_eq!(global.groups[0].variables, global.lp_variables);
+        assert_eq!(global.groups[0].constraints, global.lp_constraints);
+
+        let options = AnalysisOptions::degree(2).with_mode(SolveMode::Compositional);
+        let compositional = analyze_with(&program, &options, &SimplexBackend).unwrap();
+        assert_eq!(compositional.groups.len(), 2);
+        assert_eq!(compositional.groups[0].name, "geo");
+        assert_eq!(compositional.groups.last().unwrap().name, "main");
+        let total: usize = compositional.groups.iter().map(|g| g.constraints).sum();
+        assert_eq!(total, compositional.lp_constraints);
+    }
+
+    #[test]
+    fn session_extension_layers_onto_the_main_system() {
+        let program = ProgramBuilder::new()
+            .function(
+                "geo",
+                if_prob(0.5, seq([tick(1.0), call("geo")]), tick(1.0)),
+            )
+            .main(call("geo"))
+            .build()
+            .unwrap();
+        let options = AnalysisOptions::degree(2);
+        let backend = SimplexBackend;
+        let (result, mut session) = analyze_session(&program, &options, &backend).unwrap();
+        assert_eq!(session.minimizes(), 1);
+        assert_eq!(session.extension_constraints(), 0);
+        // Extend with the program itself (a stand-in for the instrumented
+        // program): one more minimize, fresh rows, no new solve-from-scratch.
+        session.extend_and_minimize(&program, 2).unwrap();
+        assert_eq!(session.minimizes(), 2);
+        assert!(session.extension_constraints() > 0);
+        assert!(session.extension_variables() > 0);
+        // The main result is untouched by the extension.
+        let e1 = result.raw_moment_at(1, &[]);
+        assert!(e1.lo() <= 2.0 + 1e-6 && e1.hi() >= 2.0 - 1e-6);
     }
 
     #[test]

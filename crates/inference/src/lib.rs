@@ -55,6 +55,7 @@ pub mod derive;
 pub mod engine;
 pub mod soundness;
 pub mod spec;
+pub mod store;
 pub mod tail;
 pub mod template;
 pub mod weaken;
@@ -63,12 +64,15 @@ pub use central::CentralMoments;
 #[allow(deprecated)]
 pub use engine::analyze;
 pub use engine::{
-    analyze_with, AnalysisError, AnalysisOptions, AnalysisResult, MomentBound, SolveMode,
+    analyze_session, analyze_with, AnalysisError, AnalysisOptions, AnalysisResult, AnalysisSession,
+    GroupLpStats, MomentBound, SolveMode,
 };
 pub use soundness::{
-    check_bounded_update, check_termination_moment, check_termination_moment_with,
-    soundness_report, soundness_report_with, SoundnessReport,
+    check_bounded_update, check_termination_moment, check_termination_moment_in_session,
+    check_termination_moment_with, soundness_report, soundness_report_in_session,
+    soundness_report_with, SoundnessReport,
 };
+pub use store::ConstraintStore;
 pub use tail::{
     best_tail_bound, cantelli_upper_tail, chebyshev_tail, markov_tail, tail_curve, TailBound,
 };

@@ -14,7 +14,7 @@ use cma_appl::ast::{Expr, Function, Program, Stmt};
 use cma_lp::{LpBackend, SimplexBackend};
 use cma_semiring::poly::Var;
 
-use crate::engine::{analyze_with, AnalysisError, AnalysisOptions};
+use crate::engine::{analyze_with, AnalysisError, AnalysisOptions, AnalysisSession};
 
 /// The outcome of the combined soundness check.
 #[derive(Debug, Clone)]
@@ -25,6 +25,15 @@ pub struct SoundnessReport {
     pub violations: Vec<String>,
     /// Whether a finite bound on `E[T^k]` was derived (and for which `k`).
     pub termination_moment: Option<usize>,
+    /// Whether the termination check extended the main analysis's constraint
+    /// store in place (no re-derivation, no from-scratch solve) instead of
+    /// running a standalone analysis.
+    pub reused_constraint_store: bool,
+    /// LP variables the in-session extension appended (0 for standalone runs).
+    pub extension_variables: usize,
+    /// LP constraint rows the in-session extension appended (0 for
+    /// standalone runs).
+    pub extension_constraints: usize,
 }
 
 impl SoundnessReport {
@@ -161,6 +170,24 @@ pub fn check_termination_moment_with(
     analyze_with(&instrumented, &opts, backend).map(|_| ())
 }
 
+/// [`check_termination_moment`] performed *inside* an existing analysis
+/// session: the step-counting system is derived into the main pass's
+/// constraint store and layered onto its open solver session (fresh
+/// variables, appended rows, one extra `minimize`) instead of building and
+/// solving a standalone problem.
+///
+/// # Errors
+///
+/// Propagates the underlying [`AnalysisError`] when no bound can be derived.
+pub fn check_termination_moment_in_session(
+    session: &mut AnalysisSession<'_>,
+    program: &Program,
+    k: usize,
+) -> Result<(), AnalysisError> {
+    let instrumented = step_counting_instrumentation(program);
+    session.extend_and_minimize(&instrumented, k)
+}
+
 /// Runs both soundness checks and assembles a report.
 pub fn soundness_report(
     program: &Program,
@@ -170,7 +197,8 @@ pub fn soundness_report(
     soundness_report_with(program, degree, options, &SimplexBackend)
 }
 
-/// [`soundness_report`] with an explicit [`LpBackend`].
+/// [`soundness_report`] with an explicit [`LpBackend`] (standalone: derives
+/// and solves the instrumented program from scratch).
 pub fn soundness_report_with(
     program: &Program,
     degree: usize,
@@ -185,6 +213,32 @@ pub fn soundness_report_with(
         bounded_updates: violations.is_empty(),
         violations,
         termination_moment,
+        reused_constraint_store: false,
+        extension_variables: 0,
+        extension_constraints: 0,
+    }
+}
+
+/// [`soundness_report`] reusing the main analysis's live session: the
+/// termination side condition extends the already-built constraint store (see
+/// [`check_termination_moment_in_session`]) rather than re-deriving it, so
+/// the report's LP statistics show no duplicated derivation solves.
+pub fn soundness_report_in_session(
+    session: &mut AnalysisSession<'_>,
+    program: &Program,
+    degree: usize,
+) -> SoundnessReport {
+    let violations = check_bounded_update(program);
+    let termination_moment = check_termination_moment_in_session(session, program, degree)
+        .ok()
+        .map(|_| degree);
+    SoundnessReport {
+        bounded_updates: violations.is_empty(),
+        violations,
+        termination_moment,
+        reused_constraint_store: true,
+        extension_variables: session.extension_variables(),
+        extension_constraints: session.extension_constraints(),
     }
 }
 
@@ -354,6 +408,40 @@ mod tests {
         let report = soundness_report(&program, 2, &options);
         assert!(report.is_sound());
         assert_eq!(report.termination_moment, Some(2));
+    }
+
+    #[test]
+    fn in_session_report_reuses_the_constraint_store() {
+        use crate::engine::analyze_session;
+        use cma_lp::SparseBackend;
+
+        let program = ProgramBuilder::new()
+            .function(
+                "geo",
+                if_prob(0.5, seq([tick(1.0), call("geo")]), tick(1.0)),
+            )
+            .main(call("geo"))
+            .build()
+            .unwrap();
+        let options = AnalysisOptions::degree(2);
+        for backend in [&SimplexBackend as &dyn LpBackend, &SparseBackend] {
+            let (result, mut session) = analyze_session(&program, &options, backend).unwrap();
+            let report = soundness_report_in_session(&mut session, &program, 2);
+            assert!(report.is_sound(), "geo is sound");
+            assert_eq!(report.termination_moment, Some(2));
+            assert!(report.reused_constraint_store);
+            assert!(report.extension_constraints > 0);
+            assert!(report.extension_variables > 0);
+            // One session, two minimizes — the extension did not re-solve
+            // the main pass from scratch.
+            assert_eq!(session.minimizes(), 2);
+            assert_eq!(result.lp_solves, 1);
+            // The standalone path reports the same verdict without reuse.
+            let standalone = soundness_report_with(&program, 2, &options, backend);
+            assert_eq!(standalone.termination_moment, Some(2));
+            assert!(!standalone.reused_constraint_store);
+            assert_eq!(standalone.extension_constraints, 0);
+        }
     }
 
     #[test]

@@ -1,16 +1,41 @@
-//! The solver abstraction: [`LpBackend`].
+//! The solver abstraction: [`LpBackend`] and [`LpSession`].
 //!
 //! The derivation system reduces bound inference to linear programming but
 //! does not care *how* the program is solved — the paper's artifact used
-//! Gurobi, this reproduction ships a dense simplex, and a production
-//! deployment might shell out to a parallel interior-point solver.  The
-//! [`LpBackend`] trait is that seam: everything above `cma-lp` (the constraint
-//! builder, the analysis engine, the `Analysis` pipeline facade) takes a
-//! backend value instead of hard-wiring a solver.
+//! Gurobi, this reproduction ships a dense simplex and a sparse revised
+//! simplex, and a production deployment might shell out to a parallel
+//! interior-point solver.  The [`LpBackend`] trait is that seam: everything
+//! above `cma-lp` (the constraint builder, the analysis engine, the
+//! `Analysis` pipeline facade) takes a backend value instead of hard-wiring a
+//! solver.
+//!
+//! # The session model
+//!
+//! Template-based analyses solve many structurally similar programs: the
+//! engine minimizes different objectives over one constraint system, and the
+//! soundness phase layers side-condition rows on top of the system the main
+//! pass already built.  A one-shot `solve(&LpProblem)` call makes that reuse
+//! impossible, so the seam is a **session**: [`LpBackend::open`] loads a
+//! problem's constraint set into an [`LpSession`], which then supports
+//!
+//! * [`minimize`](LpSession::minimize) — repeatedly, with different
+//!   objectives, over the same constraint set (stateful backends keep their
+//!   factorization/basis warm between calls);
+//! * [`add_var`](LpSession::add_var) / [`add_constraint`](LpSession::add_constraint)
+//!   — incremental column and row addition, extending the system in place;
+//! * the one-shot [`solve`](LpBackend::solve) and the batch entry point
+//!   [`solve_batch`](LpBackend::solve_batch) are provided methods layered on
+//!   top of `open`.
+//!
+//! Variable ids are shared between a session and the [`LpProblem`] it was
+//! opened on: ids created through [`LpSession::add_var`] continue the same id
+//! space, so callers can keep building one model and flush increments into
+//! the session.
 //!
 //! # Contract
 //!
-//! An implementation must, for every well-formed [`LpProblem`]:
+//! An implementation must, for every well-formed [`LpProblem`] and for every
+//! state a session can reach through `add_var`/`add_constraint`:
 //!
 //! 1. return [`LpStatus::Optimal`] together with a feasible point attaining
 //!    the minimum whenever the problem is feasible and bounded (within the
@@ -20,28 +45,161 @@
 //!    a non-empty feasible region;
 //! 4. respect variable domains: non-negative variables must be ≥ 0 in any
 //!    reported solution, free variables may take any sign;
-//! 5. be deterministic: solving the same problem twice yields the same status
-//!    and (for `Optimal`) the same objective value;
+//! 5. be deterministic: solving the same problem twice — including
+//!    re-minimizing the same objective in one session — yields the same
+//!    status and (for `Optimal`) the same objective value;
 //! 6. never panic on solvable input — resource exhaustion is reported as
 //!    [`LpStatus::IterationLimit`].
 //!
 //! The conformance suite in `tests/backend_conformance.rs` checks these
-//! obligations and should be run against every new backend.
+//! obligations (including the session-specific ones) and should be run
+//! against every new backend.
+//!
+//! # Implementing a backend
+//!
+//! New backends implement [`LpBackend::open`] and inherit `solve` /
+//! `solve_batch`.  Backends written against the PR 1 one-shot contract that
+//! only override [`solve`](LpBackend::solve) keep compiling: the default
+//! `open` wraps such a backend in a re-solving session.  That path is
+//! **soft-deprecated** — it re-solves from scratch on every `minimize`, so
+//! stateful reuse and incremental rows gain nothing; port to `open` to
+//! benefit.  Implement at least one of `open`/`solve`, or every call recurses
+//! between the two defaults.
+//!
+//! Backends must be [`Sync`]: [`solve_batch`](LpBackend::solve_batch) shares
+//! one backend value across worker threads to solve independent problems
+//! (e.g. the engine's compositional SCC groups) concurrently.
 
-use crate::simplex::{LpProblem, LpSolution};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::revised::RevisedState;
+use crate::simplex::{Cmp, LpProblem, LpSolution, LpVarId};
+
+/// An open solver session over one (growable) constraint system.
+///
+/// Obtained from [`LpBackend::open`]; see the [module docs](self) for the
+/// behavioral contract and the shared-id-space invariant.
+pub trait LpSession {
+    /// Adds a variable (non-negative unless `free`), continuing the id space
+    /// of the problem the session was opened on.
+    fn add_var(&mut self, name: &str, free: bool) -> LpVarId;
+
+    /// Appends the constraint row `Σ coeff·var  cmp  rhs` to the system.
+    fn add_constraint(&mut self, terms: &[(LpVarId, f64)], cmp: Cmp, rhs: f64);
+
+    /// Solves `minimize Σ coeff·var` over the current constraint system.
+    ///
+    /// May be called repeatedly; the constraint set persists across calls.
+    fn minimize(&mut self, objective: &[(LpVarId, f64)]) -> LpSolution;
+
+    /// Number of variables currently in the session.
+    fn num_vars(&self) -> usize;
+
+    /// Number of constraint rows currently in the session.
+    fn num_constraints(&self) -> usize;
+}
 
 /// A linear-programming solver usable by the analysis.
 ///
 /// See the [module documentation](self) for the behavioral contract.
-pub trait LpBackend {
+pub trait LpBackend: Sync {
     /// A short human-readable solver name (reported in `AnalysisReport`).
     fn name(&self) -> &str;
 
-    /// Solves `minimize c·x subject to constraints` for the given problem.
-    fn solve(&self, problem: &LpProblem) -> LpSolution;
+    /// Opens a session over the problem's constraint set (the problem's own
+    /// objective, if any, is ignored — objectives are passed to
+    /// [`LpSession::minimize`]).
+    ///
+    /// The default wraps [`solve`](Self::solve)-only backends in a session
+    /// that re-solves from scratch on every call; stateful backends should
+    /// override it.
+    fn open<'a>(&'a self, problem: &LpProblem) -> Box<dyn LpSession + 'a> {
+        Box::new(ResolveSession {
+            problem: problem.clone(),
+            solve: Box::new(move |p| self.solve(p)),
+        })
+    }
+
+    /// Solves `minimize c·x subject to constraints` for the given problem in
+    /// one shot (provided via [`open`](Self::open) + one `minimize`).
+    fn solve(&self, problem: &LpProblem) -> LpSolution {
+        self.open(problem).minimize(problem.objective())
+    }
+
+    /// Solves independent problems concurrently on up to `threads` worker
+    /// threads, returning one solution per problem in order.
+    ///
+    /// The default fans the one-shot [`solve`](Self::solve) out over a scoped
+    /// thread pool; `threads <= 1` (or a single problem) degrades to the
+    /// sequential path.
+    fn solve_batch(&self, problems: &[LpProblem], threads: usize) -> Vec<LpSolution> {
+        if threads <= 1 || problems.len() <= 1 {
+            return problems.iter().map(|p| self.solve(p)).collect();
+        }
+        let workers = threads.min(problems.len());
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<LpSolution>>> =
+            problems.iter().map(|_| Mutex::new(None)).collect();
+        rayon::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= problems.len() {
+                        break;
+                    }
+                    let solution = self.solve(&problems[i]);
+                    *slots[i].lock().expect("batch slot poisoned") = Some(solution);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("batch slot poisoned")
+                    .expect("worker filled every claimed slot")
+            })
+            .collect()
+    }
 }
 
-/// The built-in dense two-phase primal simplex (the default backend).
+/// The fallback session used by the default [`LpBackend::open`]: keeps the
+/// (growable) problem and re-solves it from scratch on every `minimize`.
+/// Correct for any conforming one-shot backend, but gains nothing from reuse.
+struct ResolveSession<'a> {
+    problem: LpProblem,
+    solve: Box<dyn Fn(&LpProblem) -> LpSolution + 'a>,
+}
+
+impl LpSession for ResolveSession<'_> {
+    fn add_var(&mut self, name: &str, free: bool) -> LpVarId {
+        self.problem.add_var(name, free)
+    }
+
+    fn add_constraint(&mut self, terms: &[(LpVarId, f64)], cmp: Cmp, rhs: f64) {
+        self.problem.add_constraint(terms.to_vec(), cmp, rhs);
+    }
+
+    fn minimize(&mut self, objective: &[(LpVarId, f64)]) -> LpSolution {
+        self.problem.set_objective(objective.to_vec());
+        (self.solve)(&self.problem)
+    }
+
+    fn num_vars(&self) -> usize {
+        self.problem.num_vars()
+    }
+
+    fn num_constraints(&self) -> usize {
+        self.problem.num_constraints()
+    }
+}
+
+/// The built-in dense two-phase primal simplex (the reference backend).
+///
+/// Its sessions re-solve the full tableau on every `minimize` — simple and
+/// trustworthy, which is exactly what the reference implementation should be.
+/// The stateful, warm-started alternative is [`SparseBackend`](crate::SparseBackend).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SimplexBackend;
 
@@ -50,27 +208,62 @@ impl LpBackend for SimplexBackend {
         "dense-simplex"
     }
 
+    fn open<'a>(&'a self, problem: &LpProblem) -> Box<dyn LpSession + 'a> {
+        Box::new(ResolveSession {
+            problem: problem.clone(),
+            solve: Box::new(|p| p.solve()),
+        })
+    }
+
     fn solve(&self, problem: &LpProblem) -> LpSolution {
         problem.solve()
     }
 }
 
+/// The sparse revised simplex over the CSR constraint matrix.
+///
+/// Sessions keep the basis factorization warm: re-minimizing with a new
+/// objective restarts phase 2 from the previous optimal basis, and
+/// incrementally added rows extend the basis instead of rebuilding it (see
+/// `crates/lp/src/revised.rs`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SparseBackend;
+
+impl LpBackend for SparseBackend {
+    fn name(&self) -> &str {
+        "sparse-revised-simplex"
+    }
+
+    fn open<'a>(&'a self, problem: &LpProblem) -> Box<dyn LpSession + 'a> {
+        Box::new(RevisedState::open(problem))
+    }
+}
+
 /// Blanket impl so `&B` and `&dyn LpBackend` are themselves backends — lets
-/// callers thread borrowed backends through generic code.
+/// callers thread borrowed backends through generic code.  Every method
+/// forwards, so a borrowed stateful backend keeps its stateful sessions.
 impl<B: LpBackend + ?Sized> LpBackend for &B {
     fn name(&self) -> &str {
         (**self).name()
     }
 
+    fn open<'a>(&'a self, problem: &LpProblem) -> Box<dyn LpSession + 'a> {
+        (**self).open(problem)
+    }
+
     fn solve(&self, problem: &LpProblem) -> LpSolution {
         (**self).solve(problem)
+    }
+
+    fn solve_batch(&self, problems: &[LpProblem], threads: usize) -> Vec<LpSolution> {
+        (**self).solve_batch(problems, threads)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::simplex::{Cmp, LpStatus};
+    use crate::simplex::LpStatus;
 
     fn toy_problem() -> LpProblem {
         // minimize -x - 2y  s.t.  x + y <= 4, y <= 3; optimum -7 at (1, 3).
@@ -102,5 +295,58 @@ mod tests {
         let dynamic: &dyn LpBackend = &backend;
         assert!(dynamic.solve(&lp).is_optimal());
         assert_eq!(dynamic.name(), "dense-simplex");
+        assert!(dynamic.open(&lp).minimize(lp.objective()).is_optimal());
+    }
+
+    /// A PR 1-era backend: overrides only `solve`.  The default `open` must
+    /// wrap it in a conforming (re-solving) session.
+    struct LegacyBackend;
+
+    impl LpBackend for LegacyBackend {
+        fn name(&self) -> &str {
+            "legacy"
+        }
+
+        fn solve(&self, problem: &LpProblem) -> LpSolution {
+            problem.solve()
+        }
+    }
+
+    #[test]
+    fn solve_only_backends_get_sessions_through_the_default_open() {
+        let lp = toy_problem();
+        let mut session = LegacyBackend.open(&lp);
+        let first = session.minimize(lp.objective());
+        assert_eq!(first.status, LpStatus::Optimal);
+        assert!((first.objective - (-7.0)).abs() < 1e-7);
+        // Incremental row through the fallback session: y <= 1 moves the
+        // optimum to (3, 1) with objective -5.
+        let y = LpVarId::from_index(1);
+        session.add_constraint(&[(y, 1.0)], Cmp::Le, 1.0);
+        let second = session.minimize(lp.objective());
+        assert!((second.objective - (-5.0)).abs() < 1e-7);
+        assert_eq!(session.num_constraints(), 3);
+        assert_eq!(session.num_vars(), 2);
+    }
+
+    #[test]
+    fn solve_batch_matches_sequential_solves() {
+        let problems: Vec<LpProblem> = (0..7)
+            .map(|i| {
+                let mut lp = LpProblem::new();
+                let x = lp.add_var("x", false);
+                lp.add_constraint(vec![(x, 1.0)], Cmp::Le, i as f64);
+                lp.set_objective(vec![(x, -1.0)]);
+                lp
+            })
+            .collect();
+        let sequential = SimplexBackend.solve_batch(&problems, 1);
+        let parallel = SimplexBackend.solve_batch(&problems, 4);
+        assert_eq!(sequential.len(), parallel.len());
+        for (s, p) in sequential.iter().zip(&parallel) {
+            assert_eq!(s.status, p.status);
+            assert_eq!(s.objective, p.objective);
+        }
+        assert!((parallel[5].objective - (-5.0)).abs() < 1e-9);
     }
 }

@@ -6,9 +6,14 @@
 //! simplex** over `f64` with Dantzig pricing and a Bland's-rule fallback that
 //! guarantees termination.
 //!
-//! Solvers are pluggable: the [`LpBackend`] trait (see [`backend`] and
-//! `DESIGN.md` for the contract) decouples problem construction from solving,
-//! and [`SimplexBackend`] is the built-in default implementation.
+//! Solvers are pluggable and session-based: the [`LpBackend`] trait (see
+//! [`backend`] and `DESIGN.md` for the contract) decouples problem
+//! construction from solving, and [`LpBackend::open`] yields an [`LpSession`]
+//! that supports repeated `minimize` calls, incremental row/column addition,
+//! and batch solving of independent problems.  Two implementations ship:
+//! [`SimplexBackend`], the dense reference, and [`SparseBackend`], a revised
+//! simplex over the CSR constraint matrix ([`SparseMatrix`]) whose sessions
+//! keep the basis factorization warm between solves.
 //!
 //! The problem format is deliberately small: named variables that are either
 //! non-negative or free (free variables are split internally), linear
@@ -34,7 +39,10 @@
 //! ```
 
 pub mod backend;
+mod revised;
 pub mod simplex;
+pub mod sparse;
 
-pub use backend::{LpBackend, SimplexBackend};
+pub use backend::{LpBackend, LpSession, SimplexBackend, SparseBackend};
 pub use simplex::{Cmp, LpProblem, LpSolution, LpStatus, LpVarId};
+pub use sparse::SparseMatrix;

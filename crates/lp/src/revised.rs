@@ -1,0 +1,867 @@
+//! Sparse revised simplex — the stateful engine behind
+//! [`SparseBackend`](crate::SparseBackend) sessions.
+//!
+//! Where the dense reference solver carries a full `m × n` tableau through
+//! every pivot, the revised method keeps only
+//!
+//! * the constraint columns in sparse form (one `(row, coeff)` list per
+//!   column, assembled from the problem's CSR rows),
+//! * a dense `m × m` basis inverse `B⁻¹`, and
+//! * the basic values `x_B = B⁻¹ b`.
+//!
+//! Pricing computes `y = c_Bᵀ B⁻¹` once per iteration and scores each column
+//! by a sparse dot product, so an iteration costs `O(m² + nnz)` instead of
+//! the tableau's `O(m · n)` — the win the Fig. 10 chain programs need, whose
+//! constraint matrices have a few nonzeros per row but thousands of columns.
+//!
+//! Being stateful buys the session operations of the [`LpSession`] contract:
+//!
+//! * **re-minimize** — a new objective restarts phase 2 from the previous
+//!   optimal basis (the constraint set is unchanged, so that basis is still
+//!   feasible) and skips phase 1 entirely;
+//! * **incremental rows** — an added row extends the basis in place: the new
+//!   row's slack (or a fresh artificial, when the current point violates the
+//!   row) becomes basic, `B⁻¹` grows by one bordered row, and only the new
+//!   artificials — never the whole system — go through phase 1;
+//! * **incremental columns** — a new variable enters nonbasic at zero and
+//!   disturbs nothing.
+//!
+//! Numerical discipline mirrors the dense solver: Dantzig pricing with a
+//! Bland's-rule fallback against cycling, periodic refactorization of `B⁻¹`
+//! from the pristine columns, and fresh-refactorized confirmation before
+//! optimality or unboundedness is declared.
+
+// Simplex kernels index several parallel vectors (directions, basic values,
+// inverse rows) at once; indexed loops are the clearest form here, as in the
+// dense solver.
+#![allow(clippy::needless_range_loop)]
+
+use std::collections::BTreeMap;
+
+use crate::backend::LpSession;
+use crate::simplex::{Cmp, LpProblem, LpSolution, LpStatus, LpVarId};
+
+const EPS: f64 = 1e-9;
+/// Minimum magnitude accepted for a pivot element.
+const PIVOT_EPS: f64 = 1e-7;
+/// Tolerance used when confirming unboundedness against fresh reduced costs.
+const UNBOUNDED_EPS: f64 = 1e-6;
+const FEAS_EPS: f64 = 1e-6;
+
+/// What a standard-form column stands for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ColKind {
+    /// A (split) problem variable.
+    Structural,
+    /// A slack variable of an inequality row.
+    Slack,
+    /// An artificial variable (phase-1 only; banned from phase 2).
+    Artificial,
+}
+
+/// The revised-simplex session state (see the [module docs](self)).
+#[derive(Debug, Clone)]
+pub(crate) struct RevisedState {
+    /// Problem variable → (positive column, optional negative column).
+    var_cols: Vec<(usize, Option<usize>)>,
+    /// Sparse columns of the standard-form matrix: `(row, coeff)` lists.
+    cols: Vec<Vec<(usize, f64)>>,
+    kind: Vec<ColKind>,
+    /// Right-hand sides, sign-normalized at row entry so the initial basic
+    /// value of every row is non-negative.
+    b: Vec<f64>,
+    /// Per-row column forming the from-scratch initial basis (slack with
+    /// coefficient +1, or an artificial).
+    init_basis: Vec<usize>,
+    basis: Vec<usize>,
+    is_basic: Vec<bool>,
+    /// Dense basis inverse; `binv[i][r]` is entry `(i, r)` of `B⁻¹`.
+    binv: Vec<Vec<f64>>,
+    /// Current basic values, aligned with `basis`.
+    xb: Vec<f64>,
+    /// Whether `basis`/`binv`/`xb` describe a feasible point of the current
+    /// rows (true after an `Optimal` minimize; false forces a rebuild).
+    warm: bool,
+    /// Whether incrementally added rows introduced artificials that still
+    /// carry positive values (phase 1 over them runs at the next minimize).
+    needs_phase1: bool,
+    /// Lifetime pivot counter (diagnostics only).
+    pivots: usize,
+    /// Pivots applied since `binv` was last rebuilt from pristine columns
+    /// (by [`rebuild`](Self::rebuild) or a successful refactorization).
+    /// Gates the O(m³) refreshes: a pristine inverse needs none.
+    stale_pivots: usize,
+}
+
+impl RevisedState {
+    /// Opens a session over the problem's variables and constraint rows.
+    pub(crate) fn open(problem: &LpProblem) -> RevisedState {
+        let mut state = RevisedState {
+            var_cols: Vec::new(),
+            cols: Vec::new(),
+            kind: Vec::new(),
+            b: Vec::new(),
+            init_basis: Vec::new(),
+            basis: Vec::new(),
+            is_basic: Vec::new(),
+            binv: Vec::new(),
+            xb: Vec::new(),
+            warm: false,
+            needs_phase1: false,
+            pivots: 0,
+            stale_pivots: 0,
+        };
+        for v in 0..problem.num_vars() {
+            state.push_var(problem.is_free(LpVarId::from_index(v)));
+        }
+        for i in 0..problem.num_constraints() {
+            let terms: Vec<(LpVarId, f64)> = problem.constraint_terms(i).collect();
+            state.append_row(&terms, problem.cmp(i), problem.rhs(i));
+        }
+        state
+    }
+
+    fn push_var(&mut self, free: bool) -> LpVarId {
+        let pos = self.new_col(ColKind::Structural);
+        let neg = free.then(|| self.new_col(ColKind::Structural));
+        self.var_cols.push((pos, neg));
+        LpVarId::from_index(self.var_cols.len() - 1)
+    }
+
+    fn new_col(&mut self, kind: ColKind) -> usize {
+        self.cols.push(Vec::new());
+        self.kind.push(kind);
+        self.is_basic.push(false);
+        self.cols.len() - 1
+    }
+
+    /// Splits free variables and accumulates a constraint row into per-column
+    /// entries (sorted and deduplicated by the map).
+    fn split_row(&self, terms: &[(LpVarId, f64)]) -> BTreeMap<usize, f64> {
+        let mut entries: BTreeMap<usize, f64> = BTreeMap::new();
+        for &(v, coeff) in terms {
+            let (pos, neg) = self.var_cols[v.index()];
+            *entries.entry(pos).or_insert(0.0) += coeff;
+            if let Some(neg) = neg {
+                *entries.entry(neg).or_insert(0.0) -= coeff;
+            }
+        }
+        entries.retain(|_, v| *v != 0.0);
+        entries
+    }
+
+    /// Appends a row in standard form (sign-normalized, slack attached, an
+    /// artificial created when the slack cannot seed the initial basis).
+    /// When the session is warm, the basis is extended in place.
+    fn append_row(&mut self, terms: &[(LpVarId, f64)], cmp: Cmp, rhs: f64) {
+        let mut entries = self.split_row(terms);
+        let (mut rhs, mut cmp) = (rhs, cmp);
+        if rhs < 0.0 {
+            for v in entries.values_mut() {
+                *v = -*v;
+            }
+            rhs = -rhs;
+            cmp = match cmp {
+                Cmp::Le => Cmp::Ge,
+                Cmp::Ge => Cmp::Le,
+                Cmp::Eq => Cmp::Eq,
+            };
+        }
+        let row = self.b.len();
+        for (&col, &val) in &entries {
+            self.cols[col].push((row, val));
+        }
+        let slack = match cmp {
+            Cmp::Le | Cmp::Ge => {
+                let coeff = if cmp == Cmp::Le { 1.0 } else { -1.0 };
+                let col = self.new_col(ColKind::Slack);
+                self.cols[col].push((row, coeff));
+                Some((col, coeff))
+            }
+            Cmp::Eq => None,
+        };
+        let init_col = match slack {
+            Some((col, coeff)) if coeff > 0.0 => col,
+            _ => {
+                let art = self.new_col(ColKind::Artificial);
+                self.cols[art].push((row, 1.0));
+                art
+            }
+        };
+        self.b.push(rhs);
+        self.init_basis.push(init_col);
+
+        if self.warm {
+            self.extend_basis(row, &entries, slack, init_col, rhs);
+        }
+    }
+
+    /// Extends the warm basis with a freshly appended row: picks a basic
+    /// column whose value at the current point is non-negative (the slack
+    /// when the row already holds, otherwise an artificial absorbing the
+    /// violation) and borders `B⁻¹` accordingly.
+    fn extend_basis(
+        &mut self,
+        row: usize,
+        entries: &BTreeMap<usize, f64>,
+        slack: Option<(usize, f64)>,
+        init_col: usize,
+        rhs: f64,
+    ) {
+        let m_old = self.basis.len();
+        // Current point, per column: basic values, everything else zero.
+        let lhs: f64 = entries
+            .iter()
+            .map(|(&col, &a)| {
+                if self.is_basic[col] {
+                    let k = self.basis.iter().position(|&c| c == col).expect("basic");
+                    a * self.xb[k]
+                } else {
+                    0.0
+                }
+            })
+            .sum();
+        let resid = rhs - lhs;
+
+        // Choose the entering basic column and its coefficient in this row.
+        let (basic_col, coeff) = match slack {
+            Some((col, sc)) if resid / sc >= -EPS => (col, sc),
+            _ if self.kind[init_col] == ColKind::Artificial && resid >= -EPS => (init_col, 1.0),
+            _ => {
+                // The current point violates the row in the direction no
+                // existing column can absorb: add an artificial of the
+                // matching sign.
+                let sign = if resid >= 0.0 { 1.0 } else { -1.0 };
+                let art = self.new_col(ColKind::Artificial);
+                self.cols[art].push((row, sign));
+                (art, sign)
+            }
+        };
+        let value = (resid / coeff).max(0.0);
+        if self.kind[basic_col] == ColKind::Artificial && value > FEAS_EPS {
+            self.needs_phase1 = true;
+        }
+
+        // Border B⁻¹: with M = [[B, 0], [w, c]] the inverse is
+        // [[B⁻¹, 0], [-(w·B⁻¹)/c, 1/c]], where w holds the new row's
+        // coefficients at the old basic columns.
+        let w: Vec<f64> = self
+            .basis
+            .iter()
+            .map(|&col| entries.get(&col).copied().unwrap_or(0.0))
+            .collect();
+        let mut border = vec![0.0; m_old + 1];
+        for (r, border_r) in border.iter_mut().enumerate().take(m_old) {
+            let wb: f64 = (0..m_old).map(|k| w[k] * self.binv[k][r]).sum();
+            *border_r = -wb / coeff;
+        }
+        border[m_old] = 1.0 / coeff;
+        for r in self.binv.iter_mut() {
+            r.push(0.0);
+        }
+        self.binv.push(border);
+        self.basis.push(basic_col);
+        self.is_basic[basic_col] = true;
+        self.xb.push(value);
+    }
+
+    /// Resets the solver state to the from-scratch initial basis.
+    fn rebuild(&mut self) {
+        let m = self.b.len();
+        self.basis = self.init_basis.clone();
+        for flag in self.is_basic.iter_mut() {
+            *flag = false;
+        }
+        for &col in &self.basis {
+            self.is_basic[col] = true;
+        }
+        self.binv = (0..m)
+            .map(|i| {
+                let mut row = vec![0.0; m];
+                row[i] = 1.0;
+                row
+            })
+            .collect();
+        self.xb = self.b.clone();
+        self.stale_pivots = 0;
+        self.needs_phase1 = self.kind.contains(&ColKind::Artificial);
+    }
+
+    /// `y = c_Bᵀ B⁻¹`.
+    fn dual_prices(&self, col_costs: &[f64]) -> Vec<f64> {
+        let m = self.basis.len();
+        let mut y = vec![0.0; m];
+        for k in 0..m {
+            let cb = col_costs.get(self.basis[k]).copied().unwrap_or(0.0);
+            if cb.abs() > EPS {
+                for (yr, br) in y.iter_mut().zip(&self.binv[k]) {
+                    *yr += cb * br;
+                }
+            }
+        }
+        y
+    }
+
+    /// Reduced cost of one column under dual prices `y`.
+    fn reduced_cost(&self, j: usize, col_costs: &[f64], y: &[f64]) -> f64 {
+        let dot: f64 = self.cols[j].iter().map(|&(r, a)| y[r] * a).sum();
+        col_costs[j] - dot
+    }
+
+    /// `d = B⁻¹ A_j`.
+    fn direction(&self, j: usize) -> Vec<f64> {
+        let m = self.basis.len();
+        let mut d = vec![0.0; m];
+        let entries = &self.cols[j];
+        for (di, row) in d.iter_mut().zip(&self.binv) {
+            let mut acc = 0.0;
+            for &(r, a) in entries {
+                acc += row[r] * a;
+            }
+            *di = acc;
+        }
+        d
+    }
+
+    fn pivot(&mut self, p: usize, entering: usize, d: &[f64]) {
+        let m = self.basis.len();
+        let theta = self.xb[p] / d[p];
+        for i in 0..m {
+            if i != p {
+                self.xb[i] -= theta * d[i];
+            }
+        }
+        self.xb[p] = theta;
+        let dp = d[p];
+        for x in self.binv[p].iter_mut() {
+            *x /= dp;
+        }
+        // One clone of the pivot row sidesteps the split borrow; the O(m)
+        // copy is dominated by the O(m²) update below.
+        let pivot_row = self.binv[p].clone();
+        for i in 0..m {
+            if i != p && d[i].abs() > EPS {
+                let factor = d[i];
+                for (x, pr) in self.binv[i].iter_mut().zip(&pivot_row) {
+                    *x -= factor * pr;
+                }
+            }
+        }
+        self.is_basic[self.basis[p]] = false;
+        self.is_basic[entering] = true;
+        self.basis[p] = entering;
+        self.pivots += 1;
+        self.stale_pivots = self.stale_pivots.saturating_add(1);
+    }
+
+    /// Recomputes `B⁻¹` (Gauss-Jordan with partial pivoting on the pristine
+    /// basis columns) and `x_B = B⁻¹ b`; returns `false` on a numerically
+    /// singular basis, leaving the state untouched.
+    fn refactorize(&mut self) -> bool {
+        let m = self.basis.len();
+        let stride = 2 * m;
+        // Augmented [B | I], one flat allocation for cache-friendly sweeps.
+        let mut work = vec![0.0; m * stride];
+        for i in 0..m {
+            work[i * stride + m + i] = 1.0;
+        }
+        for (k, &col) in self.basis.iter().enumerate() {
+            for &(r, a) in &self.cols[col] {
+                work[r * stride + k] = a;
+            }
+        }
+        for k in 0..m {
+            let pivot_row = (k..m).max_by(|&a, &b| {
+                work[a * stride + k]
+                    .abs()
+                    .partial_cmp(&work[b * stride + k].abs())
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+            let Some(r) = pivot_row else { return m == 0 };
+            if work[r * stride + k].abs() < 1e-11 {
+                return false;
+            }
+            if r != k {
+                for j in 0..stride {
+                    work.swap(k * stride + j, r * stride + j);
+                }
+            }
+            let pivot = work[k * stride + k];
+            for x in &mut work[k * stride..(k + 1) * stride] {
+                *x /= pivot;
+            }
+            for i in 0..m {
+                if i != k {
+                    let factor = work[i * stride + k];
+                    if factor != 0.0 {
+                        let (head, tail) = work.split_at_mut(k.max(i) * stride);
+                        let (row_i, row_k) = if i > k {
+                            (&mut tail[..stride], &head[k * stride..(k + 1) * stride])
+                        } else {
+                            (&mut head[i * stride..(i + 1) * stride][..], &tail[..stride])
+                        };
+                        // Skip the already-eliminated prefix: columns < k of
+                        // row k are zero.
+                        for (x, rk) in row_i[k..].iter_mut().zip(&row_k[k..]) {
+                            *x -= factor * rk;
+                        }
+                    }
+                }
+            }
+        }
+        // B⁻¹ maps basis positions to rows: position k's row of the inverse
+        // is row k of the right half (B X = I solved column-wise).  The
+        // right half is (B⁻¹) laid out so that entry (k, r) = work[k][m + r];
+        // but positions and rows are both indexed 0..m here with B's column k
+        // being basis[k], so binv[k] = work[k][m..].
+        self.binv = (0..m)
+            .map(|k| work[k * stride + m..(k + 1) * stride].to_vec())
+            .collect();
+        self.xb = self
+            .binv
+            .iter()
+            .map(|row| row.iter().zip(&self.b).map(|(x, b)| x * b).sum())
+            .collect();
+        self.stale_pivots = 0;
+        true
+    }
+
+    /// Runs simplex iterations for the given standard-form column costs.
+    /// `ban_artificials` excludes artificial columns from entering (phase 2).
+    fn iterate(
+        &mut self,
+        col_costs: &[f64],
+        ban_artificials: bool,
+        max_iters: usize,
+    ) -> Result<(), LpStatus> {
+        let debug = std::env::var_os("CMA_LP_DEBUG").is_some();
+        let start = if debug {
+            Some(std::time::Instant::now())
+        } else {
+            None
+        };
+        let before = self.pivots;
+        let result = self.iterate_inner(col_costs, ban_artificials, max_iters);
+        if let Some(start) = start {
+            eprintln!(
+                "[cma-lp revised] phase({}) {:?} in {:.1} ms: {} rows, {} cols, {} pivots",
+                if ban_artificials { 2 } else { 1 },
+                result,
+                start.elapsed().as_secs_f64() * 1e3,
+                self.basis.len(),
+                self.cols.len(),
+                self.pivots - before,
+            );
+        }
+        result
+    }
+
+    fn iterate_inner(
+        &mut self,
+        col_costs: &[f64],
+        ban_artificials: bool,
+        max_iters: usize,
+    ) -> Result<(), LpStatus> {
+        let bland_threshold = (max_iters / 2).min(2_000);
+        // How many pivots of drift the inverse may accumulate before it is
+        // recomputed from the pristine columns (an O(m³) Gauss-Jordan) —
+        // both periodically and before declaring optimality.
+        let refresh_period = 100;
+        // Dual prices are maintained incrementally (an O(m) update per
+        // pivot) and recomputed from scratch at refresh points and before
+        // any optimality/unboundedness verdict.
+        let mut y = self.dual_prices(col_costs);
+        for iter in 0..max_iters {
+            if self.stale_pivots >= refresh_period {
+                self.refactorize();
+                y = self.dual_prices(col_costs);
+            }
+            let pick = |state: &RevisedState, y: &[f64]| {
+                let mut best: Option<usize> = None;
+                let mut best_val = -EPS;
+                for j in 0..state.cols.len() {
+                    if state.is_basic[j]
+                        || (ban_artificials && state.kind[j] == ColKind::Artificial)
+                    {
+                        continue;
+                    }
+                    let rc = state.reduced_cost(j, col_costs, y);
+                    if rc < best_val {
+                        best_val = rc;
+                        best = Some(j);
+                        if iter >= bland_threshold {
+                            // Bland: the first improving column wins.
+                            break;
+                        }
+                    }
+                }
+                best
+            };
+            let mut entering = pick(self, &y);
+            if entering.is_none() {
+                // Recompute the incrementally maintained duals before
+                // trusting the verdict, and — when a full period of drift
+                // has accumulated — refactorize the basis too (below that
+                // the inverse is as fresh as the dense reference solver's
+                // tableau ever is between its periodic refreshes).
+                if self.stale_pivots >= refresh_period {
+                    self.refactorize();
+                }
+                y = self.dual_prices(col_costs);
+                entering = pick(self, &y);
+                if entering.is_none() {
+                    return Ok(());
+                }
+            }
+            let entering = entering.expect("checked above");
+
+            let mut d = self.direction(entering);
+            let leaving = self.ratio_test(&d);
+            let Some(p) = leaving else {
+                // Apparent unboundedness: refactorize and re-confirm before
+                // reporting, so drift cannot cause a false positive.
+                self.refactorize();
+                y = self.dual_prices(col_costs);
+                if self.reduced_cost(entering, col_costs, &y) > -UNBOUNDED_EPS {
+                    continue;
+                }
+                d = self.direction(entering);
+                if d.iter().any(|&di| di > PIVOT_EPS) {
+                    continue;
+                }
+                return Err(LpStatus::Unbounded);
+            };
+            // Classic dual-price update: Δy = (r_q / d_p) · (B⁻¹)ₚ, which in
+            // terms of the *post-pivot* row (B'⁻¹)ₚ = (B⁻¹)ₚ / d_p is simply
+            // Δy = r_q · (B'⁻¹)ₚ — it zeroes the entering column's reduced
+            // cost (r'_q = r_q − (r_q/d_p)·d_p = 0).
+            let rc_entering = self.reduced_cost(entering, col_costs, &y);
+            self.pivot(p, entering, &d);
+            if rc_entering.abs() > EPS {
+                for (yr, br) in y.iter_mut().zip(&self.binv[p]) {
+                    *yr += rc_entering * br;
+                }
+            }
+        }
+        Err(LpStatus::IterationLimit)
+    }
+
+    fn ratio_test(&self, d: &[f64]) -> Option<usize> {
+        let mut leaving: Option<usize> = None;
+        let mut best_ratio = f64::INFINITY;
+        for (i, &di) in d.iter().enumerate() {
+            if di > PIVOT_EPS {
+                let ratio = self.xb[i] / di;
+                if ratio < best_ratio - EPS
+                    || (ratio < best_ratio + EPS
+                        && leaving.is_some_and(|l| self.basis[i] < self.basis[l]))
+                {
+                    best_ratio = ratio;
+                    leaving = Some(i);
+                }
+            }
+        }
+        leaving
+    }
+
+    /// Phase 1 over the artificial columns; returns `false` when the system
+    /// is infeasible.
+    fn run_phase1(&mut self, max_iters: usize) -> Result<bool, LpStatus> {
+        let mut costs = vec![0.0; self.cols.len()];
+        let mut any = false;
+        for (j, &k) in self.kind.iter().enumerate() {
+            if k == ColKind::Artificial {
+                costs[j] = 1.0;
+                any = true;
+            }
+        }
+        if !any {
+            return Ok(true);
+        }
+        self.iterate(&costs, false, max_iters)?;
+        let artificial_sum: f64 = self
+            .basis
+            .iter()
+            .zip(&self.xb)
+            .filter(|&(&col, _)| self.kind[col] == ColKind::Artificial)
+            .map(|(_, &v)| v)
+            .sum();
+        if artificial_sum > FEAS_EPS {
+            return Ok(false);
+        }
+        self.drive_out_artificials();
+        Ok(true)
+    }
+
+    /// Pivots zero-valued basic artificials out of the basis when a
+    /// non-artificial column with a usable pivot element exists.
+    fn drive_out_artificials(&mut self) {
+        let m = self.basis.len();
+        for p in 0..m {
+            if self.kind[self.basis[p]] != ColKind::Artificial {
+                continue;
+            }
+            let candidate = (0..self.cols.len()).find(|&j| {
+                if self.is_basic[j] || self.kind[j] == ColKind::Artificial {
+                    return false;
+                }
+                let dp: f64 = self.cols[j].iter().map(|&(r, a)| self.binv[p][r] * a).sum();
+                dp.abs() > PIVOT_EPS
+            });
+            if let Some(j) = candidate {
+                let d = self.direction(j);
+                self.pivot(p, j, &d);
+            }
+        }
+    }
+
+    /// Standard-form column costs for a problem-variable objective.
+    fn split_costs(&self, objective: &[(LpVarId, f64)]) -> Vec<f64> {
+        let mut costs = vec![0.0; self.cols.len()];
+        for &(v, coeff) in objective {
+            let (pos, neg) = self.var_cols[v.index()];
+            costs[pos] += coeff;
+            if let Some(neg) = neg {
+                costs[neg] -= coeff;
+            }
+        }
+        costs
+    }
+
+    fn extract(&self, objective: &[(LpVarId, f64)], status: LpStatus) -> LpSolution {
+        let mut col_values = vec![0.0; self.cols.len()];
+        for (k, &col) in self.basis.iter().enumerate() {
+            col_values[col] = self.xb[k];
+        }
+        let values: Vec<f64> = self
+            .var_cols
+            .iter()
+            .map(|&(pos, neg)| col_values[pos] - neg.map(|n| col_values[n]).unwrap_or(0.0))
+            .collect();
+        let objective_value = objective.iter().map(|&(v, c)| c * values[v.index()]).sum();
+        LpSolution::new(status, objective_value, values)
+    }
+
+    fn infeasible(&self) -> LpSolution {
+        LpSolution::new(LpStatus::Infeasible, 0.0, vec![0.0; self.var_cols.len()])
+    }
+}
+
+impl LpSession for RevisedState {
+    fn add_var(&mut self, _name: &str, free: bool) -> LpVarId {
+        // A fresh column enters nonbasic at zero: the warm basis survives.
+        self.push_var(free)
+    }
+
+    fn add_constraint(&mut self, terms: &[(LpVarId, f64)], cmp: Cmp, rhs: f64) {
+        self.append_row(terms, cmp, rhs);
+    }
+
+    fn minimize(&mut self, objective: &[(LpVarId, f64)]) -> LpSolution {
+        let m = self.b.len();
+        let max_iters = 20_000 + 50 * (self.cols.len() + m);
+        if !self.warm {
+            self.rebuild();
+        }
+        if self.needs_phase1 {
+            match self.run_phase1(max_iters) {
+                Ok(true) => self.needs_phase1 = false,
+                Ok(false) => {
+                    self.warm = false;
+                    return self.infeasible();
+                }
+                // Resource exhaustion is not an infeasibility proof, and
+                // phase 1 (objective ≥ 0) cannot be genuinely unbounded —
+                // either way the solver gave up without a verdict.
+                Err(_) => {
+                    self.warm = false;
+                    return LpSolution::new(
+                        LpStatus::IterationLimit,
+                        0.0,
+                        vec![0.0; self.var_cols.len()],
+                    );
+                }
+            }
+        }
+        let costs = self.split_costs(objective);
+        let status = match self.iterate(&costs, true, max_iters) {
+            Ok(()) => LpStatus::Optimal,
+            Err(s) => s,
+        };
+        self.warm = status == LpStatus::Optimal;
+        self.extract(objective, status)
+    }
+
+    fn num_vars(&self) -> usize {
+        self.var_cols.len()
+    }
+
+    fn num_constraints(&self) -> usize {
+        self.b.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{LpBackend, SparseBackend};
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6, "{a} != {b}");
+    }
+
+    #[test]
+    fn matches_dense_on_the_doc_example() {
+        let mut lp = LpProblem::new();
+        let x = lp.add_var("x", false);
+        let y = lp.add_var("y", false);
+        lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Cmp::Le, 4.0);
+        lp.add_constraint(vec![(y, 1.0)], Cmp::Le, 3.0);
+        lp.set_objective(vec![(x, -1.0), (y, -2.0)]);
+        let sol = SparseBackend.solve(&lp);
+        assert!(sol.is_optimal());
+        assert_close(sol.objective, -7.0);
+        assert_close(sol.value(x), 1.0);
+        assert_close(sol.value(y), 3.0);
+    }
+
+    #[test]
+    fn equality_rows_and_free_variables() {
+        // x + y = 1, x - y = 5, both free: x = 3, y = -2.
+        let mut lp = LpProblem::new();
+        let x = lp.add_var("x", true);
+        let y = lp.add_var("y", true);
+        lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Cmp::Eq, 1.0);
+        lp.add_constraint(vec![(x, 1.0), (y, -1.0)], Cmp::Eq, 5.0);
+        lp.set_objective(vec![(x, 1.0)]);
+        let sol = SparseBackend.solve(&lp);
+        assert!(sol.is_optimal());
+        assert_close(sol.value(x), 3.0);
+        assert_close(sol.value(y), -2.0);
+    }
+
+    #[test]
+    fn reminimize_skips_phase_one_and_stays_exact() {
+        let mut lp = LpProblem::new();
+        let x = lp.add_var("x", false);
+        let y = lp.add_var("y", false);
+        lp.add_constraint(vec![(x, 1.0), (y, 2.0)], Cmp::Ge, 4.0);
+        lp.add_constraint(vec![(x, 3.0), (y, 1.0)], Cmp::Ge, 6.0);
+        let mut session = SparseBackend.open(&lp);
+        let a = session.minimize(&[(x, 1.0), (y, 1.0)]);
+        assert!(a.is_optimal());
+        let b = session.minimize(&[(x, 5.0), (y, 1.0)]);
+        assert!(b.is_optimal());
+        // minimize 5x + y over the region: best at x = 0, y = 6 → 6.
+        assert_close(b.objective, 6.0);
+        let a_again = session.minimize(&[(x, 1.0), (y, 1.0)]);
+        assert_eq!(a.status, a_again.status);
+        assert_close(a.objective, a_again.objective);
+    }
+
+    #[test]
+    fn incremental_rows_tighten_the_optimum() {
+        let mut lp = LpProblem::new();
+        let x = lp.add_var("x", false);
+        let y = lp.add_var("y", false);
+        lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Cmp::Le, 4.0);
+        let mut session = SparseBackend.open(&lp);
+        let first = session.minimize(&[(x, -1.0), (y, -2.0)]);
+        assert_close(first.objective, -8.0); // y = 4
+                                             // A cutting row the current point violates: y <= 1.
+        session.add_constraint(&[(y, 1.0)], Cmp::Le, 1.0);
+        let second = session.minimize(&[(x, -1.0), (y, -2.0)]);
+        assert!(second.is_optimal());
+        assert_close(second.objective, -5.0); // x = 3, y = 1
+                                              // And an equality row forcing x = 2.
+        session.add_constraint(&[(x, 1.0)], Cmp::Eq, 2.0);
+        let third = session.minimize(&[(x, -1.0), (y, -2.0)]);
+        assert!(third.is_optimal());
+        assert_close(third.objective, -4.0);
+        assert_eq!(session.num_constraints(), 3);
+    }
+
+    #[test]
+    fn incremental_vars_enter_at_zero() {
+        let mut lp = LpProblem::new();
+        let x = lp.add_var("x", false);
+        lp.add_constraint(vec![(x, 1.0)], Cmp::Le, 5.0);
+        let mut session = SparseBackend.open(&lp);
+        assert_close(session.minimize(&[(x, -1.0)]).objective, -5.0);
+        let z = session.add_var("z", false);
+        session.add_constraint(&[(x, 1.0), (z, 1.0)], Cmp::Le, 6.0);
+        let sol = session.minimize(&[(x, -1.0), (z, -1.0)]);
+        assert!(sol.is_optimal());
+        assert_close(sol.objective, -6.0);
+        assert_eq!(session.num_vars(), 2);
+    }
+
+    #[test]
+    fn infeasible_and_unbounded_statuses_match_dense() {
+        let mut infeasible = LpProblem::new();
+        let x = infeasible.add_var("x", false);
+        infeasible.add_constraint(vec![(x, 1.0)], Cmp::Le, 1.0);
+        infeasible.add_constraint(vec![(x, 1.0)], Cmp::Ge, 2.0);
+        infeasible.set_objective(vec![(x, 1.0)]);
+        assert_eq!(
+            SparseBackend.solve(&infeasible).status,
+            LpStatus::Infeasible
+        );
+
+        let mut unbounded = LpProblem::new();
+        let x = unbounded.add_var("x", false);
+        unbounded.add_constraint(vec![(x, 1.0)], Cmp::Ge, 1.0);
+        unbounded.set_objective(vec![(x, -1.0)]);
+        assert_eq!(SparseBackend.solve(&unbounded).status, LpStatus::Unbounded);
+    }
+
+    #[test]
+    fn infeasible_session_recovers_after_rebuild() {
+        let mut lp = LpProblem::new();
+        let x = lp.add_var("x", false);
+        lp.add_constraint(vec![(x, 1.0)], Cmp::Le, 1.0);
+        lp.add_constraint(vec![(x, 1.0)], Cmp::Ge, 2.0);
+        let mut session = SparseBackend.open(&lp);
+        assert_eq!(session.minimize(&[(x, 1.0)]).status, LpStatus::Infeasible);
+        // Deterministic on retry.
+        assert_eq!(session.minimize(&[(x, 1.0)]).status, LpStatus::Infeasible);
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        let mut lp = LpProblem::new();
+        let x1 = lp.add_var("x1", false);
+        let x2 = lp.add_var("x2", false);
+        let x3 = lp.add_var("x3", false);
+        let x4 = lp.add_var("x4", false);
+        lp.add_constraint(
+            vec![(x1, 0.5), (x2, -5.5), (x3, -2.5), (x4, 9.0)],
+            Cmp::Le,
+            0.0,
+        );
+        lp.add_constraint(
+            vec![(x1, 0.5), (x2, -1.5), (x3, -0.5), (x4, 1.0)],
+            Cmp::Le,
+            0.0,
+        );
+        lp.add_constraint(vec![(x1, 1.0)], Cmp::Le, 1.0);
+        lp.set_objective(vec![(x1, -10.0), (x2, 57.0), (x3, 9.0), (x4, 24.0)]);
+        let sol = SparseBackend.solve(&lp);
+        assert!(sol.is_optimal());
+        assert_close(sol.objective, -1.0);
+    }
+
+    #[test]
+    fn negative_rhs_rows_are_normalized() {
+        // min y s.t. -x - y <= -4 (i.e. x + y >= 4), x <= 1  => y = 3.
+        let mut lp = LpProblem::new();
+        let x = lp.add_var("x", false);
+        let y = lp.add_var("y", false);
+        lp.add_constraint(vec![(x, -1.0), (y, -1.0)], Cmp::Le, -4.0);
+        lp.add_constraint(vec![(x, 1.0)], Cmp::Le, 1.0);
+        lp.set_objective(vec![(y, 1.0)]);
+        let sol = SparseBackend.solve(&lp);
+        assert!(sol.is_optimal());
+        assert_close(sol.objective, 3.0);
+    }
+}

@@ -12,6 +12,8 @@
 
 use std::fmt;
 
+use crate::sparse::SparseMatrix;
+
 /// Identifier of a variable in an [`LpProblem`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct LpVarId(usize);
@@ -20,6 +22,16 @@ impl LpVarId {
     /// Index of the variable in the order of creation.
     pub fn index(&self) -> usize {
         self.0
+    }
+
+    /// The variable with the given creation index.
+    ///
+    /// Sessions share one id space with the [`LpProblem`] they were opened
+    /// on (see [`LpSession`](crate::LpSession)), so callers that track
+    /// variables by index can reconstruct ids; an index that was never
+    /// created yields a dangling id.
+    pub fn from_index(index: usize) -> Self {
+        LpVarId(index)
     }
 }
 
@@ -71,6 +83,15 @@ pub struct LpSolution {
 }
 
 impl LpSolution {
+    /// Assembles a solution (used by in-crate backends).
+    pub(crate) fn new(status: LpStatus, objective: f64, values: Vec<f64>) -> Self {
+        LpSolution {
+            status,
+            objective,
+            values,
+        }
+    }
+
     /// The value of a variable in the solution (0 unless the status is
     /// [`LpStatus::Optimal`]).
     pub fn value(&self, var: LpVarId) -> f64 {
@@ -88,20 +109,19 @@ impl LpSolution {
     }
 }
 
-#[derive(Debug, Clone)]
-struct Constraint {
-    terms: Vec<(LpVarId, f64)>,
-    cmp: Cmp,
-    rhs: f64,
-}
-
 /// A linear program: minimize `c·x` subject to linear constraints, with each
 /// variable either non-negative or free.
+///
+/// Constraint rows are stored sparsely (CSR, see [`SparseMatrix`]): the
+/// builder emits rows with a handful of nonzeros each, and both the dense
+/// reference simplex and the revised sparse simplex consume them directly.
 #[derive(Debug, Clone, Default)]
 pub struct LpProblem {
     names: Vec<String>,
     free: Vec<bool>,
-    constraints: Vec<Constraint>,
+    rows: SparseMatrix,
+    cmps: Vec<Cmp>,
+    rhs: Vec<f64>,
     objective: Vec<(LpVarId, f64)>,
 }
 
@@ -134,7 +154,7 @@ impl LpProblem {
 
     /// Number of constraints added so far.
     pub fn num_constraints(&self) -> usize {
-        self.constraints.len()
+        self.cmps.len()
     }
 
     /// The name of a variable.
@@ -142,16 +162,52 @@ impl LpProblem {
         &self.names[var.0]
     }
 
+    /// Whether a variable is sign-unrestricted.
+    pub fn is_free(&self, var: LpVarId) -> bool {
+        self.free[var.0]
+    }
+
     /// Adds the constraint `Σ coeff·var  cmp  rhs`.
     ///
     /// Duplicate variables in `terms` are accepted (their coefficients add up).
     pub fn add_constraint(&mut self, terms: Vec<(LpVarId, f64)>, cmp: Cmp, rhs: f64) {
-        self.constraints.push(Constraint { terms, cmp, rhs });
+        self.rows.push_row(terms.into_iter().map(|(v, c)| (v.0, c)));
+        self.rows.grow_cols(self.names.len());
+        self.cmps.push(cmp);
+        self.rhs.push(rhs);
+    }
+
+    /// The sparse coefficient matrix of the constraint rows (columns are
+    /// variable indices in creation order).
+    pub fn matrix(&self) -> &SparseMatrix {
+        &self.rows
+    }
+
+    /// The comparison operator of constraint `i`.
+    // Takes a row index, so no confusion with `Ord::cmp` in practice.
+    #[allow(clippy::should_implement_trait)]
+    pub fn cmp(&self, i: usize) -> Cmp {
+        self.cmps[i]
+    }
+
+    /// The right-hand side of constraint `i`.
+    pub fn rhs(&self, i: usize) -> f64 {
+        self.rhs[i]
+    }
+
+    /// The `(variable, coefficient)` entries of constraint `i`.
+    pub fn constraint_terms(&self, i: usize) -> impl Iterator<Item = (LpVarId, f64)> + '_ {
+        self.rows.row(i).map(|(c, v)| (LpVarId(c), v))
     }
 
     /// Sets the objective `minimize Σ coeff·var`.
     pub fn set_objective(&mut self, terms: Vec<(LpVarId, f64)>) {
         self.objective = terms;
+    }
+
+    /// The objective terms as set by [`set_objective`](Self::set_objective).
+    pub fn objective(&self) -> &[(LpVarId, f64)] {
+        &self.objective
     }
 
     /// Solves the problem with the two-phase simplex method.
@@ -194,14 +250,10 @@ impl Tableau {
             }
         }
         let n_struct = next;
-        let m = problem.constraints.len();
+        let m = problem.num_constraints();
 
         // Count slack columns.
-        let n_slack = problem
-            .constraints
-            .iter()
-            .filter(|c| c.cmp != Cmp::Eq)
-            .count();
+        let n_slack = problem.cmps.iter().filter(|&&c| c != Cmp::Eq).count();
         let mut n_cols = n_struct + n_slack;
 
         // Rows (RHS appended later); artificials added as needed.
@@ -210,16 +262,16 @@ impl Tableau {
         let mut slack_col = n_struct;
         let mut slack_of_row: Vec<Option<(usize, f64)>> = vec![None; m];
 
-        for (i, c) in problem.constraints.iter().enumerate() {
-            for &(v, coeff) in &c.terms {
-                let (pos, neg) = var_cols[v.0];
+        for i in 0..m {
+            for (v, coeff) in problem.rows.row(i) {
+                let (pos, neg) = var_cols[v];
                 a[i][pos] += coeff;
                 if let Some(neg) = neg {
                     a[i][neg] -= coeff;
                 }
             }
-            rhs[i] = c.rhs;
-            match c.cmp {
+            rhs[i] = problem.rhs[i];
+            match problem.cmps[i] {
                 Cmp::Le => {
                     a[i][slack_col] = 1.0;
                     slack_of_row[i] = Some((slack_col, 1.0));

@@ -1,0 +1,96 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build environment has no access to a crate registry, so this workspace
+//! vendors the narrow slice of rayon's API that the parallel LP batch solver
+//! uses: [`join`] for two-way fork-join and [`scope`] with [`Scope::spawn`]
+//! for n-way fork-join.  Unlike rayon there is no work-stealing pool — every
+//! spawn is an OS thread joined when the scope ends — which is the right
+//! trade-off here: callers spawn a handful of long-running LP solves, not
+//! millions of microtasks.
+//!
+//! [`current_num_threads`] reports `std::thread::available_parallelism`, the
+//! same default a rayon global pool would size itself to.
+
+use std::thread;
+
+/// Runs `a` and `b`, potentially in parallel, and returns both results.
+///
+/// `a` runs on a spawned thread while `b` runs on the caller's thread, so the
+/// call adds at most one thread.  Panics in either closure propagate to the
+/// caller after both have finished, matching rayon's semantics closely enough
+/// for fork-join use.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB,
+    RA: Send,
+{
+    thread::scope(|s| {
+        let ra = s.spawn(a);
+        let rb = b();
+        (ra.join().expect("rayon::join closure panicked"), rb)
+    })
+}
+
+/// A fork-join scope handed to the closure of [`scope`]; spawned tasks may
+/// borrow from the enclosing stack frame and are joined when the scope ends.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a task that runs concurrently with the rest of the scope.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'scope,
+    {
+        self.inner.spawn(f);
+    }
+}
+
+/// Creates a fork-join scope: every task spawned through the [`Scope`] is
+/// guaranteed to have finished before `scope` returns.
+pub fn scope<'env, F, R>(f: F) -> R
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    thread::scope(|s| f(&Scope { inner: s }))
+}
+
+/// The parallelism the host advertises (what a rayon global pool would use).
+pub fn current_num_threads() -> usize {
+    thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = join(|| 2 + 2, || "ok");
+        assert_eq!(a, 4);
+        assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn scope_joins_all_spawns_and_allows_borrows() {
+        let counter = AtomicUsize::new(0);
+        scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 8);
+    }
+
+    #[test]
+    fn current_num_threads_is_positive() {
+        assert!(current_num_threads() >= 1);
+    }
+}

@@ -53,6 +53,8 @@ pub use report::{AnalysisReport, LpStats, PhaseTimings};
 // The vocabulary of the pipeline, re-exported flat so `use
 // central_moment_analysis::{Analysis, SolveMode, Var}` just works.
 pub use cma_appl::{parse_program, Program, Var};
-pub use cma_inference::{AnalysisOptions, CentralMoments, SolveMode, SoundnessReport, TailBound};
-pub use cma_lp::{LpBackend, SimplexBackend};
+pub use cma_inference::{
+    AnalysisOptions, CentralMoments, GroupLpStats, SolveMode, SoundnessReport, TailBound,
+};
+pub use cma_lp::{LpBackend, LpSession, SimplexBackend, SparseBackend};
 pub use cma_semiring::Interval;

@@ -31,7 +31,8 @@ use std::time::{Duration, Instant};
 
 use cma_appl::{parse_program, Program};
 use cma_inference::{
-    analyze_with, soundness_report_with, tail_curve, AnalysisOptions, CentralMoments, SolveMode,
+    analyze_session, soundness_report_in_session, tail_curve, AnalysisOptions, CentralMoments,
+    SolveMode,
 };
 use cma_lp::{LpBackend, SimplexBackend};
 use cma_semiring::poly::Var;
@@ -86,13 +87,14 @@ impl Analysis<SimplexBackend> {
         Ok(analysis)
     }
 
-    /// A pipeline over a suite [`Benchmark`], adopting its program, name,
-    /// target degree, valuation, and template variables.
+    /// A pipeline over a suite [`Benchmark`], adopting its program, name
+    /// (namespaced when the benchmark belongs to a suite, e.g.
+    /// `running/rdwalk`), target degree, valuation, and template variables.
     pub fn benchmark(benchmark: &Benchmark) -> Self {
         let mut analysis = Analysis::of(&benchmark.program)
             .degree(benchmark.degree)
             .valuation(benchmark.valuation.clone())
-            .label(&benchmark.name);
+            .label(benchmark.qualified_name());
         if let Some(vars) = &benchmark.template_vars {
             analysis = analysis.template_vars(vars.clone());
         }
@@ -135,6 +137,14 @@ impl<B: LpBackend> Analysis<B> {
     /// Restricts templates to the given variables.
     pub fn template_vars(mut self, vars: Vec<Var>) -> Self {
         self.options.template_vars = Some(vars);
+        self
+    }
+
+    /// Sets the number of worker threads used to solve independent
+    /// compositional SCC groups concurrently (default 1; only
+    /// [`SolveMode::Compositional`] has independent groups).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.options.threads = threads.max(1);
         self
     }
 
@@ -200,7 +210,8 @@ impl<B: LpBackend> Analysis<B> {
         let total_start = Instant::now();
 
         let analysis_start = Instant::now();
-        let result = analyze_with(&self.program, &self.options, &self.backend)?;
+        let (result, mut engine_session) =
+            analyze_session(&self.program, &self.options, &self.backend)?;
         let analysis_elapsed = analysis_start.elapsed();
 
         let tail_start = Instant::now();
@@ -213,29 +224,34 @@ impl<B: LpBackend> Analysis<B> {
         let tail = tail_curve(&central, thresholds);
         let tail_elapsed = tail_start.elapsed();
 
+        // The soundness side conditions reuse the engine's live constraint
+        // store: the step-counting system is layered onto the main group's
+        // open session and re-minimized — no re-derivation, no extra solve.
         let (soundness, soundness_elapsed) = if self.check_soundness {
             let start = Instant::now();
-            let report = soundness_report_with(
+            let report = soundness_report_in_session(
+                &mut engine_session,
                 &self.program,
                 self.options.degree,
-                &self.options,
-                &self.backend,
             );
             (Some(report), Some(start.elapsed()))
         } else {
             (None, None)
         };
+        drop(engine_session);
 
         let lp = LpStats {
             variables: result.lp_variables,
             constraints: result.lp_constraints,
             solves: result.lp_solves,
+            groups: result.groups.clone(),
         };
         Ok(AnalysisReport {
             label: self.label.clone(),
             degree: self.options.degree,
             mode: self.options.mode,
             backend: self.backend.name().to_string(),
+            parallelism: self.options.threads,
             valuation: self.options.valuation.clone(),
             result,
             raw_intervals,
@@ -323,9 +339,10 @@ mod tests {
         assert!(report.tail[1].probability <= report.tail[0].probability);
     }
 
-    /// A backend that counts solves and delegates to the simplex — the
-    /// "pluggable backend" seam exercised end to end.
-    struct CountingBackend(std::cell::Cell<usize>);
+    /// A PR 1-style backend that overrides only `solve` (counting calls) —
+    /// both the pluggable seam and the solve-only back-compat path exercised
+    /// end to end.  Backends must now be `Sync`, hence the atomic.
+    struct CountingBackend(std::sync::atomic::AtomicUsize);
 
     impl LpBackend for CountingBackend {
         fn name(&self) -> &str {
@@ -333,29 +350,99 @@ mod tests {
         }
 
         fn solve(&self, problem: &LpProblem) -> LpSolution {
-            self.0.set(self.0.get() + 1);
+            self.0.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
             SimplexBackend.solve(problem)
         }
     }
 
     #[test]
     fn custom_backends_are_threaded_through_every_phase() {
-        let backend = CountingBackend(std::cell::Cell::new(0));
+        let backend = CountingBackend(std::sync::atomic::AtomicUsize::new(0));
         let report = Analysis::benchmark(&running::rdwalk())
             .backend(&backend)
             .run()
             .unwrap();
         assert_eq!(report.backend, "counting-simplex");
-        // Inference solved once; the soundness termination check re-analyzes
-        // the instrumented program, so the backend must have been used at
-        // least twice.
+        // Inference minimized once; the soundness extension re-minimizes the
+        // extended session, so the solve-only backend is hit at least twice.
         assert!(report.soundness.is_some());
         assert_eq!(report.lp.solves, 1);
-        assert!(
-            backend.0.get() >= 2,
-            "backend used {} times",
-            backend.0.get()
-        );
+        let uses = backend.0.load(std::sync::atomic::Ordering::SeqCst);
+        assert!(uses >= 2, "backend used {uses} times");
+    }
+
+    #[test]
+    fn sparse_backend_matches_dense_through_the_pipeline() {
+        let dense = Analysis::benchmark(&running::rdwalk())
+            .soundness(false)
+            .run()
+            .unwrap();
+        let sparse = Analysis::benchmark(&running::rdwalk())
+            .backend(cma_lp::SparseBackend)
+            .soundness(false)
+            .run()
+            .unwrap();
+        assert_eq!(sparse.backend, "sparse-revised-simplex");
+        assert!((dense.mean().hi() - sparse.mean().hi()).abs() < 1e-4);
+        assert!((dense.variance_upper().unwrap() - sparse.variance_upper().unwrap()).abs() < 1e-2);
+    }
+
+    #[test]
+    fn soundness_reuses_the_constraint_store_under_both_backends() {
+        use cma_appl::build::*;
+
+        let program = ProgramBuilder::new()
+            .function(
+                "geo",
+                if_prob(0.5, seq([tick(1.0), call("geo")]), tick(1.0)),
+            )
+            .main(call("geo"))
+            .build()
+            .unwrap();
+        let dense = Analysis::of(&program).run().unwrap();
+        let sparse = Analysis::of(&program)
+            .backend(cma_lp::SparseBackend)
+            .run()
+            .unwrap();
+        for report in [&dense, &sparse] {
+            let s = report.soundness.as_ref().unwrap();
+            assert!(s.reused_constraint_store);
+            assert!(s.extension_constraints > 0);
+            assert_eq!(report.is_sound(), Some(true));
+            // The extension rides the main store — no extra group solve.
+            assert_eq!(report.lp.solves, 1);
+        }
+    }
+
+    #[test]
+    fn threads_flow_into_the_report_and_keep_bounds_identical() {
+        let base = Analysis::benchmark(&cma_suite::synthetic::coupon_chain(4))
+            .degree(2)
+            .mode(SolveMode::Compositional)
+            .soundness(false);
+        let sequential = base.clone().run().unwrap();
+        let parallel = base.threads(4).run().unwrap();
+        assert_eq!(sequential.parallelism, 1);
+        assert_eq!(parallel.parallelism, 4);
+        assert_eq!(sequential.lp.solves, parallel.lp.solves);
+        assert_eq!(sequential.lp.groups, parallel.lp.groups);
+        assert_eq!(sequential.raw_intervals, parallel.raw_intervals);
+    }
+
+    #[test]
+    fn per_group_lp_stats_cover_the_whole_system() {
+        let report = Analysis::benchmark(&cma_suite::synthetic::coupon_chain(3))
+            .degree(2)
+            .mode(SolveMode::Compositional)
+            .soundness(false)
+            .run()
+            .unwrap();
+        assert_eq!(report.lp.groups.len(), report.lp.solves);
+        let vars: usize = report.lp.groups.iter().map(|g| g.variables).sum();
+        let cons: usize = report.lp.groups.iter().map(|g| g.constraints).sum();
+        assert_eq!(vars, report.lp.variables);
+        assert_eq!(cons, report.lp.constraints);
+        assert_eq!(report.lp.groups.last().unwrap().name, "main");
     }
 
     #[test]
@@ -381,11 +468,15 @@ mod tests {
             "\"degree\":2",
             "\"mode\":\"global\"",
             "\"backend\":\"dense-simplex\"",
+            "\"parallelism\":1",
             "\"raw_moments\":[",
             "\"central_moments\":",
             "\"tail_bounds\":[{\"threshold\":40",
             "\"soundness\":{",
+            "\"reused_constraint_store\":true",
+            "\"extension_constraints\":",
             "\"lp\":{",
+            "\"groups\":[{\"name\":\"global\"",
             "\"timings\":{",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");

@@ -12,7 +12,9 @@
 use std::fmt;
 use std::time::Duration;
 
-use cma_inference::{AnalysisResult, CentralMoments, SolveMode, SoundnessReport, TailBound};
+use cma_inference::{
+    AnalysisResult, CentralMoments, GroupLpStats, SolveMode, SoundnessReport, TailBound,
+};
 use cma_semiring::poly::Var;
 use cma_semiring::Interval;
 
@@ -32,14 +34,18 @@ pub struct PhaseTimings {
 }
 
 /// Size statistics of the linear programs handed to the backend.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct LpStats {
     /// Total LP variables generated.
     pub variables: usize,
     /// Total LP constraints generated.
     pub constraints: usize,
-    /// Number of LP solves (one per solved group).
+    /// Number of LP solves (one per solved group; the soundness phase adds
+    /// none — it extends the main group's session, see
+    /// [`SoundnessReport::reused_constraint_store`]).
     pub solves: usize,
+    /// Per-group sizes, in solve order.
+    pub groups: Vec<GroupLpStats>,
 }
 
 /// The complete, self-describing outcome of one pipeline run.
@@ -53,6 +59,8 @@ pub struct AnalysisReport {
     pub mode: SolveMode,
     /// Name of the LP backend that solved the programs.
     pub backend: String,
+    /// Worker threads used for independent group solves (1 = sequential).
+    pub parallelism: usize,
     /// The initial-state valuation at which intervals below are evaluated.
     pub valuation: Vec<(Var, f64)>,
     /// The raw engine result (symbolic bounds, resolved specs, elapsed time).
@@ -112,6 +120,7 @@ impl AnalysisReport {
         };
         push_field(&mut out, "mode", &json_string(mode));
         push_field(&mut out, "backend", &json_string(&self.backend));
+        push_field(&mut out, "parallelism", &self.parallelism.to_string());
 
         let valuation = self
             .valuation
@@ -181,20 +190,37 @@ impl AnalysisReport {
                     .collect::<Vec<_>>()
                     .join(",");
                 format!(
-                    "{{\"bounded_updates\":{},\"violations\":[{violations}],\"termination_moment\":{},\"is_sound\":{}}}",
+                    "{{\"bounded_updates\":{},\"violations\":[{violations}],\"termination_moment\":{},\"is_sound\":{},\"reused_constraint_store\":{},\"extension_variables\":{},\"extension_constraints\":{}}}",
                     s.bounded_updates,
                     s.termination_moment
                         .map(|k| k.to_string())
                         .unwrap_or_else(|| "null".into()),
                     s.is_sound(),
+                    s.reused_constraint_store,
+                    s.extension_variables,
+                    s.extension_constraints,
                 )
             }
             None => "null".to_string(),
         };
         push_field(&mut out, "soundness", &soundness);
 
+        let groups = self
+            .lp
+            .groups
+            .iter()
+            .map(|g| {
+                format!(
+                    "{{\"name\":{},\"variables\":{},\"constraints\":{}}}",
+                    json_string(&g.name),
+                    g.variables,
+                    g.constraints
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",");
         let lp = format!(
-            "{{\"variables\":{},\"constraints\":{},\"solves\":{}}}",
+            "{{\"variables\":{},\"constraints\":{},\"solves\":{},\"groups\":[{groups}]}}",
             self.lp.variables, self.lp.constraints, self.lp.solves
         );
         push_field(&mut out, "lp", &lp);
@@ -265,11 +291,15 @@ impl fmt::Display for AnalysisReport {
             SolveMode::Global => "global",
             SolveMode::Compositional => "compositional",
         };
-        writeln!(
+        write!(
             f,
             "analysis: degree {} · {mode} mode · backend {}",
             self.degree, self.backend
         )?;
+        if self.parallelism > 1 {
+            write!(f, " · {} threads", self.parallelism)?;
+        }
+        writeln!(f)?;
         if !self.valuation.is_empty() {
             let at = self
                 .valuation
@@ -327,15 +357,27 @@ impl fmt::Display for AnalysisReport {
             for v in &s.violations {
                 writeln!(f, "  unbounded update: {v}")?;
             }
+            if s.reused_constraint_store && s.extension_constraints > 0 {
+                writeln!(
+                    f,
+                    "  (side conditions layered onto the main LP session: +{} rows, +{} vars)",
+                    s.extension_constraints, s.extension_variables
+                )?;
+            }
         }
 
         writeln!(f)?;
+        write!(
+            f,
+            "lp: {} variables, {} constraints, {} solve(s)",
+            self.lp.variables, self.lp.constraints, self.lp.solves,
+        )?;
+        if self.lp.groups.len() > 1 {
+            write!(f, " across {} groups", self.lp.groups.len())?;
+        }
         writeln!(
             f,
-            "lp: {} variables, {} constraints, {} solve(s) · analysis {:.1} ms · total {:.1} ms",
-            self.lp.variables,
-            self.lp.constraints,
-            self.lp.solves,
+            " · analysis {:.1} ms · total {:.1} ms",
             self.timings.analysis.as_secs_f64() * 1e3,
             self.timings.total.as_secs_f64() * 1e3,
         )

@@ -1,0 +1,84 @@
+//! Dense-vs-sparse agreement over the entire benchmark suite: for every
+//! benchmark of the paper's evaluation, the [`SparseBackend`] must reach the
+//! same verdict as the dense reference — same analyzability, and bounds that
+//! agree within numerical tolerance.  This is the end-to-end counterpart of
+//! the random-LP property test in `crates/lp/tests/dense_sparse_agreement.rs`.
+
+use central_moment_analysis::{suite, Analysis, SimplexBackend, SparseBackend};
+
+/// Relative tolerance for bound agreement: both solvers are f64 simplex
+/// variants with different pivot orders, so optima can differ in the last
+/// few digits on ill-conditioned instances.
+const REL_TOL: f64 = 1e-4;
+
+fn close(a: f64, b: f64) -> bool {
+    if !a.is_finite() || !b.is_finite() {
+        return a == b || (a.is_nan() && b.is_nan());
+    }
+    (a - b).abs() <= REL_TOL * (1.0 + a.abs().max(b.abs()))
+}
+
+#[test]
+fn sparse_backend_agrees_with_dense_on_every_suite_benchmark() {
+    let mut analyzed = 0usize;
+    let mut skipped = Vec::new();
+    for benchmark in suite::all_benchmarks() {
+        let id = benchmark.qualified_name();
+        let dense = Analysis::benchmark(&benchmark).soundness(false).run();
+        let sparse = Analysis::benchmark(&benchmark)
+            .soundness(false)
+            .backend(SparseBackend)
+            .run();
+        match (dense, sparse) {
+            (Ok(d), Ok(s)) => {
+                analyzed += 1;
+                for k in 0..=benchmark.degree {
+                    let (di, si) = (d.raw_moment(k), s.raw_moment(k));
+                    assert!(
+                        close(di.lo(), si.lo()) && close(di.hi(), si.hi()),
+                        "{id}: E[C^{k}] bounds diverged: dense [{}, {}] vs sparse [{}, {}]",
+                        di.lo(),
+                        di.hi(),
+                        si.lo(),
+                        si.hi()
+                    );
+                }
+            }
+            (Err(_), Err(_)) => skipped.push(id), // both agree: not analyzable
+            (Ok(_), Err(e)) => panic!("{id}: dense analyzable but sparse failed: {e}"),
+            (Err(e), Ok(_)) => panic!("{id}: sparse analyzable but dense failed: {e}"),
+        }
+    }
+    assert!(
+        analyzed >= 15,
+        "expected most of the suite to be analyzable, got {analyzed} (skipped: {skipped:?})"
+    );
+}
+
+/// The one-shot `solve` of both backends also agrees behind `&dyn` — the
+/// form the engine actually uses.
+#[test]
+fn dyn_backends_agree_on_the_running_example() {
+    use central_moment_analysis::LpBackend;
+
+    let benchmark = suite::running::rdwalk();
+    let backends: [&dyn LpBackend; 2] = [&SimplexBackend, &SparseBackend];
+    let bounds: Vec<f64> = backends
+        .iter()
+        .map(|b| {
+            Analysis::benchmark(&benchmark)
+                .soundness(false)
+                .backend(*b)
+                .run()
+                .expect("rdwalk is analyzable")
+                .mean()
+                .hi()
+        })
+        .collect();
+    assert!(
+        close(bounds[0], bounds[1]),
+        "mean upper bounds diverged: {bounds:?}"
+    );
+    // Fig. 1(b) at d = 10: E[tick] <= 2d + 4 = 24.
+    assert!((bounds[0] - 24.0).abs() < 1e-3);
+}
