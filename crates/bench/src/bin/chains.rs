@@ -2,25 +2,32 @@
 //!
 //! Runs the coupon-chain and random-walk-chain families (`cma-suite`'s
 //! `synthetic` module) at growing chain lengths, once per backend
-//! (`dense` reference simplex vs `sparse` revised simplex) and solve mode,
-//! and writes the measurements as a JSON array — the `BENCH_chains.json`
-//! artifact the CI `bench-smoke` job uploads to track the perf trajectory.
+//! (`dense` reference simplex vs `sparse` revised simplex), solve mode, and
+//! requested pricing rule, and writes the measurements as a JSON array — the
+//! `BENCH_chains.json` artifact the CI `bench-smoke` job uploads to track the
+//! perf trajectory.  Rows carry the pricing rule and the solver's iteration
+//! count, so degeneracy regressions show up as iteration blow-up at fixed
+//! problem size.
 //!
 //! ```text
 //! cargo run -p cma-bench --release --bin chains -- \
 //!     [--out BENCH_chains.json] [--max-n 10] [--step 3] [--threads N]
-//!     [--global-cap 4]
+//!     [--global-cap 8] [--pricing devex|dantzig|partial|all]
 //! ```
 //!
 //! Compositional mode (the regime Fig. 10 actually evaluates — one LP per
-//! SCC) is measured across the whole sweep; global mode — one monolithic LP
-//! whose simplex iteration count degenerates for long chains under *any*
-//! backend — is capped at `--global-cap` chain links.
+//! SCC) is measured across the whole sweep.  Global mode — one monolithic LP
+//! whose degeneracy once stalled both backends past ~6 links — is capped at
+//! `--global-cap` chain links.  Since the pricing/presolve/anti-degeneracy
+//! overhaul the default cap is 8 (up from 4): devex pricing plus the Harris
+//! ratio test keep global-mode iteration counts near-linear in the chain
+//! length, and the cap now only bounds the dense reference solver's
+//! tableau-sized solve times, not a degeneracy blow-up.
 
 use std::fmt::Write as _;
 use std::io::Write as _;
 
-use central_moment_analysis::{Analysis, SimplexBackend, SolveMode, SparseBackend};
+use central_moment_analysis::{Analysis, PricingRule, SimplexBackend, SolveMode, SparseBackend};
 use cma_suite::{synthetic, Benchmark};
 
 struct Row {
@@ -28,10 +35,12 @@ struct Row {
     n: usize,
     mode: &'static str,
     backend: &'static str,
+    pricing: &'static str,
     analysis_ms: f64,
     lp_variables: usize,
     lp_constraints: usize,
     lp_solves: usize,
+    lp_iterations: usize,
     mean_upper: f64,
 }
 
@@ -41,12 +50,14 @@ fn measure(
     n: usize,
     mode: SolveMode,
     backend: &'static str,
+    pricing: PricingRule,
     threads: usize,
 ) -> Option<Row> {
     let analysis = Analysis::benchmark(benchmark)
         .degree(2)
         .mode(mode)
         .threads(threads)
+        .pricing(pricing)
         .soundness(false);
     let report = match backend {
         "dense" => analysis.backend(SimplexBackend).run(),
@@ -61,10 +72,12 @@ fn measure(
             SolveMode::Compositional => "compositional",
         },
         backend,
+        pricing: pricing.name(),
         analysis_ms: report.result.elapsed.as_secs_f64() * 1e3,
         lp_variables: report.lp.variables,
         lp_constraints: report.lp.constraints,
         lp_solves: report.lp.solves,
+        lp_iterations: report.lp.iterations,
         mean_upper: report.mean().hi(),
     })
 }
@@ -75,7 +88,8 @@ fn main() {
     let mut max_n = 10usize;
     let mut step = 3usize;
     let mut threads = 1usize;
-    let mut global_cap = 4usize;
+    let mut global_cap = 8usize;
+    let mut pricing_arg = "devex".to_string();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut value = |flag: &str| {
@@ -94,15 +108,24 @@ fn main() {
             "--global-cap" => {
                 global_cap = value("--global-cap").parse().expect("numeric --global-cap")
             }
+            "--pricing" => pricing_arg = value("--pricing"),
             other => {
                 eprintln!(
                     "unknown option `{other}` \
-                     (expected --out/--max-n/--step/--threads/--global-cap)"
+                     (expected --out/--max-n/--step/--threads/--global-cap/--pricing)"
                 );
                 std::process::exit(2);
             }
         }
     }
+    let pricings: Vec<PricingRule> = if pricing_arg == "all" {
+        PricingRule::ALL.to_vec()
+    } else {
+        vec![pricing_arg.parse().unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        })]
+    };
 
     let mut rows: Vec<Row> = Vec::new();
     for n in synthetic::sweep(max_n, step) {
@@ -113,20 +136,26 @@ fn main() {
                 continue;
             }
             for backend in ["dense", "sparse"] {
-                for (family, b) in [("coupon-chain", &coupon), ("walk-chain", &walk)] {
-                    match measure(b, family, n, mode, backend, threads) {
-                        Some(row) => {
-                            eprintln!(
-                                "{family}/{n} {} {backend}: {:.1} ms ({} vars, {} rows, {} solves)",
-                                row.mode,
-                                row.analysis_ms,
-                                row.lp_variables,
-                                row.lp_constraints,
-                                row.lp_solves
-                            );
-                            rows.push(row);
+                for &pricing in &pricings {
+                    for (family, b) in [("coupon-chain", &coupon), ("walk-chain", &walk)] {
+                        match measure(b, family, n, mode, backend, pricing, threads) {
+                            Some(row) => {
+                                eprintln!(
+                                    "{family}/{n} {} {backend} {}: {:.1} ms ({} vars, {} rows, {} solves, {} iters)",
+                                    row.mode,
+                                    row.pricing,
+                                    row.analysis_ms,
+                                    row.lp_variables,
+                                    row.lp_constraints,
+                                    row.lp_solves,
+                                    row.lp_iterations
+                                );
+                                rows.push(row);
+                            }
+                            None => eprintln!(
+                                "{family}/{n} {mode:?} {backend} {pricing}: not analyzable"
+                            ),
                         }
-                        None => eprintln!("{family}/{n} {mode:?} {backend}: not analyzable"),
                     }
                 }
             }
@@ -141,15 +170,17 @@ fn main() {
         }
         let _ = write!(
             json,
-            "{{\"family\":\"{}\",\"n\":{},\"mode\":\"{}\",\"backend\":\"{}\",\"analysis_ms\":{:.3},\"lp_variables\":{},\"lp_constraints\":{},\"lp_solves\":{},\"mean_upper\":{:.6}}}",
+            "{{\"family\":\"{}\",\"n\":{},\"mode\":\"{}\",\"backend\":\"{}\",\"pricing\":\"{}\",\"analysis_ms\":{:.3},\"lp_variables\":{},\"lp_constraints\":{},\"lp_solves\":{},\"lp_iterations\":{},\"mean_upper\":{:.6}}}",
             r.family,
             r.n,
             r.mode,
             r.backend,
+            r.pricing,
             r.analysis_ms,
             r.lp_variables,
             r.lp_constraints,
             r.lp_solves,
+            r.lp_iterations,
             r.mean_upper
         );
     }

@@ -18,7 +18,7 @@ use std::process::ExitCode;
 
 use central_moment_analysis::suite::{self, Benchmark};
 use central_moment_analysis::{
-    Analysis, AnalysisReport, CmaError, LpBackend, SolveMode, SparseBackend, Var,
+    Analysis, AnalysisReport, CmaError, LpBackend, PricingRule, SolveMode, SparseBackend, Var,
 };
 
 const USAGE: &str = "\
@@ -37,6 +37,8 @@ ANALYSIS OPTIONS:
     --poly-degree D      base polynomial degree of templates (default 1)
     --mode MODE          global | compositional (default global)
     --backend B          dense | sparse LP solver (default dense)
+    --pricing P          dantzig | devex | partial simplex pricing (default devex)
+    --no-presolve        skip the LP presolve pass (row/column reductions)
     --threads N          solve independent compositional groups on N threads
     --valuation K=V,…    initial-state valuation, e.g. d=10,x=0
     --tail D1,D2,…       tail-bound thresholds (default 2x/4x/8x mean bound)
@@ -103,6 +105,8 @@ struct AnalyzeOpts {
     poly_degree: Option<u32>,
     mode: Option<SolveMode>,
     backend: BackendChoice,
+    pricing: Option<PricingRule>,
+    no_presolve: bool,
     threads: Option<usize>,
     valuation: Option<Vec<(Var, f64)>>,
     tail: Option<Vec<f64>>,
@@ -169,6 +173,11 @@ fn parse_opts(args: &[String]) -> Result<AnalyzeOpts, CmaError> {
                     }
                 };
             }
+            "--pricing" => {
+                let v = it.next().ok_or_else(|| missing("--pricing"))?;
+                opts.pricing = Some(v.parse().map_err(CmaError::Usage)?);
+            }
+            "--no-presolve" => opts.no_presolve = true,
             "--threads" => {
                 let v = it.next().ok_or_else(|| missing("--threads"))?;
                 opts.threads = Some(parse_num(v, "--threads")?);
@@ -239,11 +248,11 @@ fn read_source(path: &str) -> Result<String, CmaError> {
     std::fs::read_to_string(path).map_err(|e| CmaError::io(path, e))
 }
 
-fn configured_analysis(source: &str, path: &str, opts: &AnalyzeOpts) -> Result<Analysis, CmaError> {
-    let mut analysis = Analysis::parse(source)
-        .map_err(|e| e.with_context(format!("while parsing `{path}`")))?
-        .label(opts.label.clone().unwrap_or_else(|| path.to_string()))
-        .soundness(!opts.no_soundness);
+/// Applies every analysis knob of `opts` shared by `analyze`/`tail` and
+/// `suite run` (labels are call-site specific).  One place to wire a new
+/// flag, so the two paths cannot drift.
+fn apply_analysis_opts<B: LpBackend>(mut analysis: Analysis<B>, opts: &AnalyzeOpts) -> Analysis<B> {
+    analysis = analysis.soundness(!opts.no_soundness);
     if let Some(degree) = opts.degree {
         analysis = analysis.degree(degree);
     }
@@ -252,6 +261,12 @@ fn configured_analysis(source: &str, path: &str, opts: &AnalyzeOpts) -> Result<A
     }
     if let Some(mode) = opts.mode {
         analysis = analysis.mode(mode);
+    }
+    if let Some(pricing) = opts.pricing {
+        analysis = analysis.pricing(pricing);
+    }
+    if opts.no_presolve {
+        analysis = analysis.presolve(false);
     }
     if let Some(threads) = opts.threads {
         analysis = analysis.threads(threads);
@@ -262,7 +277,14 @@ fn configured_analysis(source: &str, path: &str, opts: &AnalyzeOpts) -> Result<A
     if let Some(tail) = &opts.tail {
         analysis = analysis.tail_at(tail.iter().copied());
     }
-    Ok(analysis)
+    analysis
+}
+
+fn configured_analysis(source: &str, path: &str, opts: &AnalyzeOpts) -> Result<Analysis, CmaError> {
+    let analysis = Analysis::parse(source)
+        .map_err(|e| e.with_context(format!("while parsing `{path}`")))?
+        .label(opts.label.clone().unwrap_or_else(|| path.to_string()));
+    Ok(apply_analysis_opts(analysis, opts))
 }
 
 /// Runs a configured pipeline with the `--backend` the user picked.
@@ -458,27 +480,9 @@ fn cmd_suite(args: &[String]) -> Result<(), CmaError> {
             let mut json_rows = Vec::new();
             let mut failures = 0usize;
             for b in &selected {
-                let mut analysis = Analysis::benchmark(b).soundness(!opts.no_soundness);
-                if let Some(degree) = opts.degree {
-                    analysis = analysis.degree(degree);
-                }
-                if let Some(d) = opts.poly_degree {
-                    analysis = analysis.poly_degree(d);
-                }
-                if let Some(mode) = opts.mode {
-                    analysis = analysis.mode(mode);
-                }
-                if let Some(threads) = opts.threads {
-                    analysis = analysis.threads(threads);
-                }
-                if let Some(valuation) = &opts.valuation {
-                    analysis = analysis.valuation(valuation.clone());
-                }
+                let mut analysis = apply_analysis_opts(Analysis::benchmark(b), &opts);
                 if let Some(label) = &opts.label {
                     analysis = analysis.label(label.clone());
-                }
-                if let Some(tail) = &opts.tail {
-                    analysis = analysis.tail_at(tail.iter().copied());
                 }
                 match run_with_backend(analysis, opts.backend) {
                     Ok(report) => {

@@ -6,7 +6,10 @@ use std::time::{Duration, Instant};
 
 use cma_appl::Program;
 use cma_logic::Context;
-use cma_lp::{LpBackend, LpSession, LpSolution, LpStatus, SimplexBackend};
+use cma_lp::{
+    LpBackend, LpSession, LpSolution, LpStatus, PricingRule, SimplexBackend, SolveStats,
+    SolverTuning,
+};
 use cma_semiring::poly::{Polynomial, Var};
 use cma_semiring::Interval;
 
@@ -50,6 +53,11 @@ pub struct AnalysisOptions {
     /// concurrently (1 = sequential; only [`SolveMode::Compositional`] has
     /// independent groups to parallelize).
     pub threads: usize,
+    /// Pricing rule the LP backends use to choose entering columns (devex by
+    /// default; see `cma_lp::PricingRule`).
+    pub pricing: PricingRule,
+    /// Whether the LP presolve pass runs at session open (on by default).
+    pub presolve: bool,
 }
 
 impl AnalysisOptions {
@@ -63,6 +71,8 @@ impl AnalysisOptions {
             valuation: Vec::new(),
             template_vars: None,
             threads: 1,
+            pricing: PricingRule::default(),
+            presolve: true,
         }
     }
 
@@ -94,6 +104,26 @@ impl AnalysisOptions {
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
         self
+    }
+
+    /// Sets the LP pricing rule.
+    pub fn with_pricing(mut self, pricing: PricingRule) -> Self {
+        self.pricing = pricing;
+        self
+    }
+
+    /// Enables or disables the LP presolve pass.
+    pub fn with_presolve(mut self, presolve: bool) -> Self {
+        self.presolve = presolve;
+        self
+    }
+
+    /// The solver tuning these options imply.
+    pub fn solver_tuning(&self) -> SolverTuning {
+        SolverTuning {
+            pricing: self.pricing,
+            presolve: self.presolve,
+        }
     }
 
     fn valuation_fn(&self) -> impl Fn(&Var) -> f64 + '_ {
@@ -171,7 +201,7 @@ impl MomentBound {
     }
 }
 
-/// Per-group size statistics of one solved linear program.
+/// Per-group size and solver-effort statistics of one solved linear program.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct GroupLpStats {
     /// Display name of the group (`"global"`, `"main"`, or the functions of
@@ -184,6 +214,14 @@ pub struct GroupLpStats {
     pub variables: usize,
     /// LP constraint rows of the group's system.
     pub constraints: usize,
+    /// Simplex iterations of the group's solve (degeneracy shows up here).
+    pub iterations: usize,
+    /// Basis refactorizations of the group's solve.
+    pub refactorizations: usize,
+    /// Constraint rows removed by LP presolve before the solve.
+    pub presolve_rows: usize,
+    /// LP columns removed by presolve (fixed or unreferenced).
+    pub presolve_cols: usize,
 }
 
 /// The outcome of a successful analysis.
@@ -366,7 +404,10 @@ impl AnalysisSession<'_> {
             .store()
             .subproblem(vars_before, rows_before, objective_mark);
         let solution = match sub {
-            Some(sub) => self.backend.open(&sub).minimize(sub.objective()),
+            Some(sub) => self
+                .backend
+                .open_with(&sub, &options.solver_tuning())
+                .minimize(sub.objective()),
             None => {
                 self.builder.store_mut().flush(self.session.as_mut());
                 let objective = self.builder.store().aggregated_objective(objective_mark);
@@ -423,17 +464,18 @@ pub fn analyze_session<'a>(
                 .iter()
                 .map(|(builder, _, _)| builder.store().to_problem())
                 .collect();
-            let solutions = backend.solve_batch(&problems, options.threads);
+            let solutions =
+                backend.solve_batch_with(&problems, options.threads, &options.solver_tuning());
             for ((builder, build, group), solution) in builds.into_iter().zip(solutions) {
                 lp_variables += builder.num_vars();
                 lp_constraints += builder.num_constraints();
                 lp_solves += 1;
-                group_stats.push(GroupLpStats {
-                    name: group.join("+"),
-                    functions: group.clone(),
-                    variables: builder.num_vars(),
-                    constraints: builder.num_constraints(),
-                });
+                group_stats.push(group_lp_stats(
+                    group.join("+"),
+                    group.clone(),
+                    &builder,
+                    solution.stats,
+                ));
                 let outcome = extract_outcome(build, &solution, &group, false)?;
                 resolved.extend(outcome.specs);
             }
@@ -462,15 +504,17 @@ pub fn analyze_session<'a>(
     lp_variables += builder.num_vars();
     lp_constraints += builder.num_constraints();
     lp_solves += 1;
-    group_stats.push(GroupLpStats {
-        name: name.to_string(),
-        functions: final_group.clone(),
-        variables: builder.num_vars(),
-        constraints: builder.num_constraints(),
-    });
     let objective = builder.store().aggregated_objective(0);
-    let mut session = builder.store_mut().open_session(backend);
+    let mut session = builder
+        .store_mut()
+        .open_session_with(backend, &options.solver_tuning());
     let solution = session.minimize(&objective);
+    group_stats.push(group_lp_stats(
+        name.to_string(),
+        final_group.clone(),
+        &builder,
+        solution.stats,
+    ));
     let outcome = extract_outcome(build, &solution, &final_group, true)?;
     resolved.extend(outcome.specs);
 
@@ -502,6 +546,26 @@ pub fn analyze_session<'a>(
             extension_constraints: 0,
         },
     ))
+}
+
+/// Assembles one group's LP stats from its builder sizes and the solver
+/// counters of its solution.
+fn group_lp_stats(
+    name: String,
+    functions: Vec<String>,
+    builder: &ConstraintBuilder,
+    stats: SolveStats,
+) -> GroupLpStats {
+    GroupLpStats {
+        name,
+        functions,
+        variables: builder.num_vars(),
+        constraints: builder.num_constraints(),
+        iterations: stats.iterations,
+        refactorizations: stats.refactorizations,
+        presolve_rows: stats.presolve_rows,
+        presolve_cols: stats.presolve_cols,
+    }
 }
 
 /// Dependency levels of the call-graph SCCs: level 0 groups call nothing

@@ -13,7 +13,7 @@
 //! `LpSession::add_var` continue that space — so the store can keep
 //! allocating variables locally and replay them into the session in order.
 
-use cma_lp::{Cmp, LpBackend, LpProblem, LpSession, LpVarId};
+use cma_lp::{Cmp, LpBackend, LpProblem, LpSession, LpVarId, SolverTuning};
 
 /// A sparse constraint system under construction, with incremental flushing
 /// into an open solver session.
@@ -89,7 +89,17 @@ impl ConstraintStore {
     /// Opens a backend session over the current system and marks everything
     /// built so far as flushed.
     pub fn open_session<'a>(&mut self, backend: &'a dyn LpBackend) -> Box<dyn LpSession + 'a> {
-        let session = backend.open(&self.problem);
+        self.open_session_with(backend, &SolverTuning::default())
+    }
+
+    /// [`open_session`](Self::open_session) under explicit solver tuning
+    /// (pricing rule, presolve).
+    pub fn open_session_with<'a>(
+        &mut self,
+        backend: &'a dyn LpBackend,
+        tuning: &SolverTuning,
+    ) -> Box<dyn LpSession + 'a> {
+        let session = backend.open_with(&self.problem, tuning);
         self.flushed_vars = self.problem.num_vars();
         self.flushed_rows = self.problem.num_constraints();
         session

@@ -27,6 +27,11 @@
 //!   [`solve_batch`](LpBackend::solve_batch) are provided methods layered on
 //!   top of `open`.
 //!
+//! Every entry point has a `_with` twin taking [`SolverTuning`] (pricing
+//! rule, presolve) — the built-in backends honor it, running the presolve
+//! pass at open and pricing with the requested rule; [`TunedBackend`] pins a
+//! tuning onto a backend value for callers generic over [`LpBackend`].
+//!
 //! Variable ids are shared between a session and the [`LpProblem`] it was
 //! opened on: ids created through [`LpSession::add_var`] continue the same id
 //! space, so callers can keep building one model and flush increments into
@@ -73,6 +78,8 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+use crate::presolve::presolve;
+use crate::pricing::SolverTuning;
 use crate::revised::RevisedState;
 use crate::simplex::{Cmp, LpProblem, LpSolution, LpVarId};
 
@@ -121,10 +128,30 @@ pub trait LpBackend: Sync {
         })
     }
 
+    /// Opens a session under explicit [`SolverTuning`] (pricing rule,
+    /// presolve).  The default ignores the tuning and defers to
+    /// [`open`](Self::open), so third-party backends keep compiling; the
+    /// built-in backends honor it.
+    fn open_with<'a>(
+        &'a self,
+        problem: &LpProblem,
+        tuning: &SolverTuning,
+    ) -> Box<dyn LpSession + 'a> {
+        let _ = tuning;
+        self.open(problem)
+    }
+
     /// Solves `minimize c·x subject to constraints` for the given problem in
     /// one shot (provided via [`open`](Self::open) + one `minimize`).
     fn solve(&self, problem: &LpProblem) -> LpSolution {
         self.open(problem).minimize(problem.objective())
+    }
+
+    /// One-shot solve under explicit tuning (via
+    /// [`open_with`](Self::open_with) + one `minimize`).
+    fn solve_with(&self, problem: &LpProblem, tuning: &SolverTuning) -> LpSolution {
+        self.open_with(problem, tuning)
+            .minimize(problem.objective())
     }
 
     /// Solves independent problems concurrently on up to `threads` worker
@@ -134,8 +161,21 @@ pub trait LpBackend: Sync {
     /// thread pool; `threads <= 1` (or a single problem) degrades to the
     /// sequential path.
     fn solve_batch(&self, problems: &[LpProblem], threads: usize) -> Vec<LpSolution> {
+        self.solve_batch_with(problems, threads, &SolverTuning::default())
+    }
+
+    /// [`solve_batch`](Self::solve_batch) under explicit tuning.
+    fn solve_batch_with(
+        &self,
+        problems: &[LpProblem],
+        threads: usize,
+        tuning: &SolverTuning,
+    ) -> Vec<LpSolution> {
         if threads <= 1 || problems.len() <= 1 {
-            return problems.iter().map(|p| self.solve(p)).collect();
+            return problems
+                .iter()
+                .map(|p| self.solve_with(p, tuning))
+                .collect();
         }
         let workers = threads.min(problems.len());
         let next = AtomicUsize::new(0);
@@ -148,7 +188,7 @@ pub trait LpBackend: Sync {
                     if i >= problems.len() {
                         break;
                     }
-                    let solution = self.solve(&problems[i]);
+                    let solution = self.solve_with(&problems[i], tuning);
                     *slots[i].lock().expect("batch slot poisoned") = Some(solution);
                 });
             }
@@ -161,6 +201,21 @@ pub trait LpBackend: Sync {
                     .expect("worker filled every claimed slot")
             })
             .collect()
+    }
+}
+
+/// Applies presolve (when enabled) around an inner-session constructor.
+fn open_maybe_presolved<'a>(
+    problem: &LpProblem,
+    tuning: &SolverTuning,
+    open_inner: impl FnOnce(&LpProblem) -> Box<dyn LpSession + 'a>,
+) -> Box<dyn LpSession + 'a> {
+    if tuning.presolve {
+        let pre = presolve(problem);
+        let inner = open_inner(pre.reduced());
+        Box::new(pre.into_session(inner))
+    } else {
+        open_inner(problem)
     }
 }
 
@@ -209,14 +264,21 @@ impl LpBackend for SimplexBackend {
     }
 
     fn open<'a>(&'a self, problem: &LpProblem) -> Box<dyn LpSession + 'a> {
-        Box::new(ResolveSession {
-            problem: problem.clone(),
-            solve: Box::new(|p| p.solve()),
-        })
+        self.open_with(problem, &SolverTuning::default())
     }
 
-    fn solve(&self, problem: &LpProblem) -> LpSolution {
-        problem.solve()
+    fn open_with<'a>(
+        &'a self,
+        problem: &LpProblem,
+        tuning: &SolverTuning,
+    ) -> Box<dyn LpSession + 'a> {
+        let pricing = tuning.pricing;
+        open_maybe_presolved(problem, tuning, |reduced| {
+            Box::new(ResolveSession {
+                problem: reduced.clone(),
+                solve: Box::new(move |p| p.solve_with(pricing)),
+            })
+        })
     }
 }
 
@@ -235,7 +297,82 @@ impl LpBackend for SparseBackend {
     }
 
     fn open<'a>(&'a self, problem: &LpProblem) -> Box<dyn LpSession + 'a> {
-        Box::new(RevisedState::open(problem))
+        self.open_with(problem, &SolverTuning::default())
+    }
+
+    fn open_with<'a>(
+        &'a self,
+        problem: &LpProblem,
+        tuning: &SolverTuning,
+    ) -> Box<dyn LpSession + 'a> {
+        let pricing = tuning.pricing;
+        open_maybe_presolved(problem, tuning, |reduced| {
+            Box::new(RevisedState::open_with(reduced, pricing))
+        })
+    }
+}
+
+/// A backend bound to explicit [`SolverTuning`]: every session it opens —
+/// through `open`, `open_with`, `solve`, or a batch — uses *its* tuning,
+/// regardless of what the caller passes.  This is how a caller-side pricing
+/// choice (e.g. `cma --pricing devex`) rides through code generic over
+/// [`LpBackend`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TunedBackend<B> {
+    backend: B,
+    tuning: SolverTuning,
+}
+
+impl<B: LpBackend> TunedBackend<B> {
+    /// Binds `backend` to `tuning`.
+    pub fn new(backend: B, tuning: SolverTuning) -> Self {
+        TunedBackend { backend, tuning }
+    }
+
+    /// The bound tuning.
+    pub fn tuning(&self) -> SolverTuning {
+        self.tuning
+    }
+}
+
+impl<B: LpBackend> LpBackend for TunedBackend<B> {
+    fn name(&self) -> &str {
+        self.backend.name()
+    }
+
+    fn open<'a>(&'a self, problem: &LpProblem) -> Box<dyn LpSession + 'a> {
+        self.backend.open_with(problem, &self.tuning)
+    }
+
+    fn open_with<'a>(
+        &'a self,
+        problem: &LpProblem,
+        _tuning: &SolverTuning,
+    ) -> Box<dyn LpSession + 'a> {
+        self.backend.open_with(problem, &self.tuning)
+    }
+
+    fn solve(&self, problem: &LpProblem) -> LpSolution {
+        self.backend.solve_with(problem, &self.tuning)
+    }
+
+    fn solve_with(&self, problem: &LpProblem, _tuning: &SolverTuning) -> LpSolution {
+        self.backend.solve_with(problem, &self.tuning)
+    }
+
+    fn solve_batch(&self, problems: &[LpProblem], threads: usize) -> Vec<LpSolution> {
+        self.backend
+            .solve_batch_with(problems, threads, &self.tuning)
+    }
+
+    fn solve_batch_with(
+        &self,
+        problems: &[LpProblem],
+        threads: usize,
+        _tuning: &SolverTuning,
+    ) -> Vec<LpSolution> {
+        self.backend
+            .solve_batch_with(problems, threads, &self.tuning)
     }
 }
 
@@ -251,12 +388,33 @@ impl<B: LpBackend + ?Sized> LpBackend for &B {
         (**self).open(problem)
     }
 
+    fn open_with<'a>(
+        &'a self,
+        problem: &LpProblem,
+        tuning: &SolverTuning,
+    ) -> Box<dyn LpSession + 'a> {
+        (**self).open_with(problem, tuning)
+    }
+
     fn solve(&self, problem: &LpProblem) -> LpSolution {
         (**self).solve(problem)
     }
 
+    fn solve_with(&self, problem: &LpProblem, tuning: &SolverTuning) -> LpSolution {
+        (**self).solve_with(problem, tuning)
+    }
+
     fn solve_batch(&self, problems: &[LpProblem], threads: usize) -> Vec<LpSolution> {
         (**self).solve_batch(problems, threads)
+    }
+
+    fn solve_batch_with(
+        &self,
+        problems: &[LpProblem],
+        threads: usize,
+        tuning: &SolverTuning,
+    ) -> Vec<LpSolution> {
+        (**self).solve_batch_with(problems, threads, tuning)
     }
 }
 

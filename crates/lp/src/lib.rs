@@ -2,9 +2,8 @@
 //!
 //! The template-based inference of the central-moment analysis reduces bound
 //! derivation to linear programming (§3.4 of the paper).  The paper's artifact
-//! used Gurobi; this crate provides the substitute: a dense **two-phase primal
-//! simplex** over `f64` with Dantzig pricing and a Bland's-rule fallback that
-//! guarantees termination.
+//! used Gurobi; this crate provides the substitute: two-phase primal simplex
+//! solvers over `f64` with a pluggable pricing core.
 //!
 //! Solvers are pluggable and session-based: the [`LpBackend`] trait (see
 //! [`backend`] and `DESIGN.md` for the contract) decouples problem
@@ -14,6 +13,14 @@
 //! [`SimplexBackend`], the dense reference, and [`SparseBackend`], a revised
 //! simplex over the CSR constraint matrix ([`SparseMatrix`]) whose sessions
 //! keep the basis factorization warm between solves.
+//!
+//! The pivoting core is shared machinery ([`pricing`], [`SolverTuning`]):
+//! Dantzig, **devex** (the default), and sectioned/parallel **partial**
+//! pricing behind one [`PricingRule`] knob, a presolve pass that shrinks
+//! each system before it is solved, the Harris two-pass ratio test with a
+//! bounded anti-degeneracy perturbation, and Bland's rule demoted to a
+//! size-scaled last resort ([`bland_fallback_threshold`]).  Every solve
+//! reports its effort in [`SolveStats`].
 //!
 //! The problem format is deliberately small: named variables that are either
 //! non-negative or free (free variables are split internally), linear
@@ -39,10 +46,13 @@
 //! ```
 
 pub mod backend;
+mod presolve;
+pub mod pricing;
 mod revised;
 pub mod simplex;
 pub mod sparse;
 
-pub use backend::{LpBackend, LpSession, SimplexBackend, SparseBackend};
-pub use simplex::{Cmp, LpProblem, LpSolution, LpStatus, LpVarId};
+pub use backend::{LpBackend, LpSession, SimplexBackend, SparseBackend, TunedBackend};
+pub use pricing::{bland_fallback_threshold, PricingRule, SolverTuning};
+pub use simplex::{Cmp, LpProblem, LpSolution, LpStatus, LpVarId, SolveStats};
 pub use sparse::SparseMatrix;

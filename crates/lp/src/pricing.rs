@@ -1,0 +1,604 @@
+//! Pluggable pricing rules for the simplex solvers.
+//!
+//! Pricing — choosing the *entering column* each iteration — is where the
+//! simplex method wins or loses on degenerate instances.  The long-chain
+//! global-mode LPs of the central-moment analysis stall both backends under
+//! pure Dantzig pricing (the most negative reduced cost repeatedly selects
+//! columns whose pivots make no progress), so the pivoting core is factored
+//! behind the [`Pricer`] abstraction with three implementations:
+//!
+//! * [`DantzigPricer`] — the classic "most negative reduced cost" rule, the
+//!   pre-existing behavior of both solvers and still the cheapest per
+//!   iteration;
+//! * [`DevexPricer`] — approximate steepest edge (Forrest–Goldfarb devex):
+//!   columns are scored by `rc²/w` against reference-framework weights that
+//!   are updated from the pivot row and reset when they overflow.  Far fewer
+//!   iterations on degenerate instances for one extra `O(nnz)` sweep per
+//!   pivot;
+//! * [`PartialPricer`] — sectioned (partial) pricing: candidate columns are
+//!   scanned one chunk at a time through a rotating cursor, and — for very
+//!   wide systems — the chunks of a round are priced concurrently on the
+//!   rayon shim's scoped threads.  Cheapest per iteration on wide LPs.
+//!
+//! The rule is selected per solve through [`SolverTuning`] (see
+//! [`LpBackend::open_with`](crate::LpBackend::open_with)); both solvers keep
+//! Bland's rule as the termination-guaranteeing *last resort*, entered only
+//! after [`bland_fallback_threshold`] pivots (a named, size-scaled bound —
+//! previously two diverging magic formulas).
+
+use std::fmt;
+use std::str::FromStr;
+
+/// Reduced costs below `-EPS` qualify a column for entering the basis (the
+/// same tolerance the solvers use).
+const EPS: f64 = 1e-9;
+
+/// Devex weights above this trigger a reference-framework reset (all weights
+/// back to 1): the approximation has drifted too far from the reference frame
+/// to stay meaningful.
+const DEVEX_RESET: f64 = 1e7;
+
+/// Baseline number of pivots under the configured pricer before the solver
+/// falls back to Bland's rule.
+pub const BLAND_FALLBACK_BASE: usize = 2_000;
+
+/// Additional Bland-fallback pivots granted per row/column of the instance:
+/// bigger systems legitimately pivot more, so the fallback — whose
+/// termination guarantee costs an order of magnitude in iteration count —
+/// must not engage on size alone.
+pub const BLAND_FALLBACK_PER_DIM: usize = 4;
+
+/// Number of pivots tolerated under the configured pricing rule before the
+/// solver switches to Bland's rule as the cycling backstop of last resort.
+///
+/// Scales with problem size (`rows + cols` in standard form): the old
+/// behavior — two diverging magic formulas that both collapsed to a flat
+/// `2_000` — throttled large instances that were still making progress.
+/// Anti-degeneracy now rests on the Harris ratio test and the bounded
+/// right-hand-side perturbation; this threshold only guards genuine cycling.
+pub fn bland_fallback_threshold(rows: usize, cols: usize) -> usize {
+    BLAND_FALLBACK_BASE + BLAND_FALLBACK_PER_DIM * (rows + cols)
+}
+
+/// Relaxation of the feasibility tolerance used by the first pass of the
+/// Harris ratio test: rows whose exact ratio lies within this slack of the
+/// relaxed minimum are eligible, and the numerically largest pivot among
+/// them wins.
+pub(crate) const HARRIS_RELAX: f64 = 1e-7;
+
+/// Consecutive degenerate pivots (step length ≈ 0) tolerated before the
+/// solver engages the bounded right-hand-side perturbation.
+pub(crate) const DEGEN_PIVOT_STREAK: usize = 64;
+
+/// The bounded anti-degeneracy perturbation applied to a zero basic value:
+/// a deterministic, row-unique nudge in `[PERTURB_EPS, 2·PERTURB_EPS)`.
+///
+/// Perturbing the *basic values* (the primal analogue of the classic cost
+/// perturbation, which fights dual degeneracy) makes the tied ratio tests
+/// that sustain a cycle pick distinct rows and strictly positive steps, so
+/// no basis can repeat while the perturbation is live.  It is bounded well
+/// below the feasibility tolerance, and it washes out at the next basis
+/// refactorization (which recomputes the basic values from the pristine
+/// right-hand sides) — solvers force one before extracting a solution.
+/// Cost perturbation was rejected here: any cost noise above the `1e-9`
+/// optimality tolerance masks barely-improving columns and stalls
+/// convergence instead of helping it.
+pub(crate) fn degeneracy_shift(row: usize, round: usize) -> f64 {
+    // Cheap deterministic hash of the row index → a unique multiplier in
+    // [1, 2), scaled up with each engagement round.  The round factor is
+    // capped so the shift stays *bounded* — ≤ 2·PERTURB_EPS·PERTURB_MAX_ROUND
+    // = 1.28e-7, safely under the 1e-6 feasibility tolerance — no matter how
+    // often a pathological solve re-engages (re-engagements still act on
+    // fresh basis states, so the cap does not weaken the tie-breaking).
+    let h = (row.wrapping_mul(2_654_435_761) >> 8) % 1024;
+    PERTURB_EPS * round.min(PERTURB_MAX_ROUND) as f64 * (1.0 + h as f64 / 1024.0)
+}
+
+/// Base magnitude of [`degeneracy_shift`]: far below the `1e-6` feasibility
+/// tolerance, far above f64 noise at the problem scales the analysis emits.
+pub(crate) const PERTURB_EPS: f64 = 1e-9;
+
+/// Cap on the [`degeneracy_shift`] round multiplier (keeps the total shift
+/// under the feasibility tolerance on solves that re-engage many times).
+pub(crate) const PERTURB_MAX_ROUND: usize = 64;
+
+/// The pricing rule a solver uses to choose entering columns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PricingRule {
+    /// Most negative reduced cost (the classic rule; cheapest per iteration,
+    /// degenerates on long-chain global LPs).
+    Dantzig,
+    /// Approximate steepest edge with reference-framework resets (the
+    /// default: far fewer iterations on degenerate instances).
+    #[default]
+    Devex,
+    /// Sectioned pricing through a rotating cursor; chunks of very wide
+    /// systems are priced in parallel on the rayon shim.
+    Partial,
+}
+
+impl PricingRule {
+    /// The rule's canonical CLI/report name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PricingRule::Dantzig => "dantzig",
+            PricingRule::Devex => "devex",
+            PricingRule::Partial => "partial",
+        }
+    }
+
+    /// All rules, for matrix tests and sweeps.
+    pub const ALL: [PricingRule; 3] = [
+        PricingRule::Dantzig,
+        PricingRule::Devex,
+        PricingRule::Partial,
+    ];
+
+    /// Instantiates the pricer for a solve over `n_cols` standard-form
+    /// columns.
+    pub(crate) fn pricer(self, n_cols: usize) -> Box<dyn Pricer> {
+        match self {
+            PricingRule::Dantzig => Box::new(DantzigPricer),
+            PricingRule::Devex => Box::new(DevexPricer::new(n_cols)),
+            PricingRule::Partial => Box::new(PartialPricer::sized_for(n_cols)),
+        }
+    }
+}
+
+impl fmt::Display for PricingRule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for PricingRule {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "dantzig" => Ok(PricingRule::Dantzig),
+            "devex" => Ok(PricingRule::Devex),
+            "partial" => Ok(PricingRule::Partial),
+            other => Err(format!(
+                "unknown pricing rule `{other}` (expected dantzig, devex, or partial)"
+            )),
+        }
+    }
+}
+
+/// Per-solve tuning knobs threaded from the analysis down to the solvers
+/// (see [`LpBackend::open_with`](crate::LpBackend::open_with)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SolverTuning {
+    /// The pricing rule used to choose entering columns.
+    pub pricing: PricingRule,
+    /// Whether the presolve pass runs at session open (drop empty/fixed
+    /// columns, substitute singleton rows, remove duplicate rows).
+    pub presolve: bool,
+}
+
+impl Default for SolverTuning {
+    fn default() -> Self {
+        SolverTuning {
+            pricing: PricingRule::default(),
+            presolve: true,
+        }
+    }
+}
+
+impl SolverTuning {
+    /// Tuning with the given pricing rule and presolve enabled.
+    pub fn with_pricing(pricing: PricingRule) -> Self {
+        SolverTuning {
+            pricing,
+            ..SolverTuning::default()
+        }
+    }
+}
+
+/// Everything a pricer may inspect when observing a pivot: the pre-pivot
+/// pivot-row entries `alpha(j) = (B⁻¹A)_pj` (devex weight updates need them)
+/// plus which columns entered and left.
+pub(crate) struct PivotView<'a> {
+    /// The column entering the basis.
+    pub entering: usize,
+    /// The column leaving the basis.
+    pub leaving: usize,
+    /// The pivot element `alpha(entering)`.
+    pub alpha_q: f64,
+    /// Number of standard-form columns.
+    pub n_cols: usize,
+    /// Whether a column is a pricing candidate (nonbasic and not banned).
+    pub candidate: &'a (dyn Fn(usize) -> bool + Sync),
+    /// Pre-pivot pivot-row entry of a column.
+    pub alpha: &'a (dyn Fn(usize) -> f64 + Sync),
+}
+
+/// A pricing rule instance, stateful across the iterations of one solve.
+///
+/// `select` picks the entering column among candidates whose reduced cost
+/// prices below `-EPS`; `observe_pivot` lets weight-based rules update their
+/// state from the pivot row.  Implementations must be deterministic: the
+/// same sequence of views yields the same selections (a backend contract
+/// obligation).
+pub(crate) trait Pricer {
+    /// Chooses the entering column, or `None` when no candidate improves.
+    fn select(
+        &mut self,
+        n_cols: usize,
+        candidate: &(dyn Fn(usize) -> bool + Sync),
+        reduced_cost: &(dyn Fn(usize) -> f64 + Sync),
+    ) -> Option<usize>;
+
+    /// Observes the pivot performed on the previously selected column.
+    fn observe_pivot(&mut self, view: &PivotView<'_>) {
+        let _ = view;
+    }
+}
+
+/// Most negative reduced cost.
+pub(crate) struct DantzigPricer;
+
+impl Pricer for DantzigPricer {
+    fn select(
+        &mut self,
+        n_cols: usize,
+        candidate: &(dyn Fn(usize) -> bool + Sync),
+        reduced_cost: &(dyn Fn(usize) -> f64 + Sync),
+    ) -> Option<usize> {
+        let mut best = None;
+        let mut best_rc = -EPS;
+        for j in 0..n_cols {
+            if !candidate(j) {
+                continue;
+            }
+            let rc = reduced_cost(j);
+            if rc < best_rc {
+                best_rc = rc;
+                best = Some(j);
+            }
+        }
+        best
+    }
+}
+
+/// Approximate steepest edge (devex) with reference-framework resets.
+pub(crate) struct DevexPricer {
+    weights: Vec<f64>,
+}
+
+impl DevexPricer {
+    pub(crate) fn new(n_cols: usize) -> Self {
+        DevexPricer {
+            weights: vec![1.0; n_cols],
+        }
+    }
+
+    fn ensure(&mut self, n_cols: usize) {
+        if self.weights.len() < n_cols {
+            self.weights.resize(n_cols, 1.0);
+        }
+    }
+}
+
+impl Pricer for DevexPricer {
+    fn select(
+        &mut self,
+        n_cols: usize,
+        candidate: &(dyn Fn(usize) -> bool + Sync),
+        reduced_cost: &(dyn Fn(usize) -> f64 + Sync),
+    ) -> Option<usize> {
+        self.ensure(n_cols);
+        let mut best = None;
+        let mut best_score = 0.0;
+        for j in 0..n_cols {
+            if !candidate(j) {
+                continue;
+            }
+            let rc = reduced_cost(j);
+            if rc < -EPS {
+                let score = rc * rc / self.weights[j];
+                if score > best_score {
+                    best_score = score;
+                    best = Some(j);
+                }
+            }
+        }
+        best
+    }
+
+    fn observe_pivot(&mut self, view: &PivotView<'_>) {
+        self.ensure(view.n_cols);
+        let aq2 = view.alpha_q * view.alpha_q;
+        if aq2 < 1e-20 {
+            return;
+        }
+        // Reference weight carried by the entering column, propagated to the
+        // rest of the framework through the pivot row.
+        let ratio = (self.weights[view.entering] / aq2).max(1.0 / aq2);
+        let mut max_weight: f64 = 1.0;
+        for j in 0..view.n_cols {
+            if j == view.entering || !(view.candidate)(j) {
+                continue;
+            }
+            let a = (view.alpha)(j);
+            if a != 0.0 {
+                let w = a * a * ratio;
+                if w > self.weights[j] {
+                    self.weights[j] = w;
+                }
+            }
+            max_weight = max_weight.max(self.weights[j]);
+        }
+        // The leaving column re-enters the nonbasic pool with the reference
+        // weight of the pivot.
+        self.weights[view.leaving] = ratio.max(1.0);
+        if max_weight > DEVEX_RESET {
+            // Reference-framework reset: the approximation drifted too far.
+            for w in &mut self.weights {
+                *w = 1.0;
+            }
+        }
+    }
+}
+
+/// Sectioned (partial) pricing with an optional parallel scan for very wide
+/// systems.
+pub(crate) struct PartialPricer {
+    /// Section (chunk) size in columns.
+    section: usize,
+    /// Ring cursor: the section where the last entering column was found
+    /// (scanning resumes there).
+    cursor: usize,
+    /// Column count at or above which the sections of a round are priced
+    /// concurrently.
+    parallel_min: usize,
+    /// Sections priced concurrently per round when the parallel path is on.
+    round: usize,
+}
+
+/// Below this width a parallel scan cannot amortize thread spawns (the rayon
+/// shim spawns OS threads per scope): sequential sectioned scanning wins.
+const PARTIAL_PARALLEL_MIN_COLS: usize = 16_384;
+
+impl PartialPricer {
+    /// A pricer with section size adapted to the instance width.
+    pub(crate) fn sized_for(n_cols: usize) -> Self {
+        PartialPricer::with_params(
+            (n_cols / 8).clamp(64, 1024),
+            PARTIAL_PARALLEL_MIN_COLS,
+            rayon::current_num_threads().clamp(2, 4),
+        )
+    }
+
+    /// Explicit parameters (tests use this to force the parallel path).
+    pub(crate) fn with_params(section: usize, parallel_min: usize, round: usize) -> Self {
+        PartialPricer {
+            section: section.max(1),
+            cursor: 0,
+            parallel_min,
+            round: round.max(1),
+        }
+    }
+
+    fn best_in(
+        lo: usize,
+        hi: usize,
+        candidate: &(dyn Fn(usize) -> bool + Sync),
+        reduced_cost: &(dyn Fn(usize) -> f64 + Sync),
+    ) -> Option<(usize, f64)> {
+        let mut best = None;
+        let mut best_rc = -EPS;
+        for j in lo..hi {
+            if !candidate(j) {
+                continue;
+            }
+            let rc = reduced_cost(j);
+            if rc < best_rc {
+                best_rc = rc;
+                best = Some((j, rc));
+            }
+        }
+        best
+    }
+}
+
+impl Pricer for PartialPricer {
+    fn select(
+        &mut self,
+        n_cols: usize,
+        candidate: &(dyn Fn(usize) -> bool + Sync),
+        reduced_cost: &(dyn Fn(usize) -> f64 + Sync),
+    ) -> Option<usize> {
+        if n_cols == 0 {
+            return None;
+        }
+        let sections = n_cols.div_ceil(self.section);
+        if self.cursor >= sections {
+            self.cursor = 0;
+        }
+        let parallel = n_cols >= self.parallel_min && self.round > 1;
+        let stride = if parallel { self.round } else { 1 };
+        let mut scanned = 0usize;
+        while scanned < sections {
+            let in_round = stride.min(sections - scanned);
+            let found = if in_round == 1 {
+                let s = (self.cursor + scanned) % sections;
+                let lo = s * self.section;
+                Self::best_in(lo, (lo + self.section).min(n_cols), candidate, reduced_cost)
+                    .map(|(j, _)| (s, j))
+            } else {
+                // Price the round's sections concurrently; the winner is the
+                // first section *in ring order* with a candidate, so the
+                // outcome does not depend on thread timing.
+                let mut slots: Vec<Option<(usize, f64)>> = vec![None; in_round];
+                rayon::scope(|scope| {
+                    for (k, slot) in slots.iter_mut().enumerate() {
+                        let s = (self.cursor + scanned + k) % sections;
+                        let lo = s * self.section;
+                        let hi = (lo + self.section).min(n_cols);
+                        scope.spawn(move || {
+                            *slot = Self::best_in(lo, hi, candidate, reduced_cost);
+                        });
+                    }
+                });
+                slots.iter().enumerate().find_map(|(k, slot)| {
+                    slot.map(|(j, _)| ((self.cursor + scanned + k) % sections, j))
+                })
+            };
+            if let Some((s, j)) = found {
+                self.cursor = s;
+                return Some(j);
+            }
+            scanned += in_round;
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all(_: usize) -> bool {
+        true
+    }
+
+    #[test]
+    fn bland_threshold_scales_with_problem_size() {
+        assert_eq!(bland_fallback_threshold(0, 0), BLAND_FALLBACK_BASE);
+        assert_eq!(
+            bland_fallback_threshold(100, 400),
+            BLAND_FALLBACK_BASE + 500 * BLAND_FALLBACK_PER_DIM
+        );
+        // Monotone in both dimensions — bigger instances get more headroom
+        // before the slow Bland backstop engages.
+        assert!(bland_fallback_threshold(10, 10) < bland_fallback_threshold(10, 1000));
+        assert!(bland_fallback_threshold(10, 10) < bland_fallback_threshold(1000, 10));
+    }
+
+    #[test]
+    fn degeneracy_shift_stays_bounded_and_row_unique() {
+        let bound = 2.0 * PERTURB_EPS * PERTURB_MAX_ROUND as f64;
+        assert!(
+            bound < 1e-6,
+            "shift bound must stay under the feasibility tolerance"
+        );
+        for round in [1, PERTURB_MAX_ROUND, 10_000] {
+            for row in 0..100 {
+                let shift = degeneracy_shift(row, round);
+                assert!(
+                    shift > 0.0 && shift <= bound,
+                    "round {round} row {row}: {shift}"
+                );
+            }
+        }
+        // Distinct rows get distinct nudges (the tie-breaking property)…
+        assert_ne!(degeneracy_shift(0, 1), degeneracy_shift(1, 1));
+        // …and runaway rounds saturate at the cap instead of growing.
+        assert_eq!(
+            degeneracy_shift(3, 10_000),
+            degeneracy_shift(3, PERTURB_MAX_ROUND)
+        );
+    }
+
+    #[test]
+    fn rule_names_round_trip() {
+        for rule in PricingRule::ALL {
+            assert_eq!(rule.name().parse::<PricingRule>().unwrap(), rule);
+            assert_eq!(rule.to_string(), rule.name());
+        }
+        assert!("steepest-edge".parse::<PricingRule>().is_err());
+        assert_eq!(PricingRule::default(), PricingRule::Devex);
+        assert!(SolverTuning::default().presolve);
+        assert_eq!(
+            SolverTuning::with_pricing(PricingRule::Partial).pricing,
+            PricingRule::Partial
+        );
+    }
+
+    #[test]
+    fn dantzig_picks_most_negative() {
+        let rc = [0.5, -1.0, -3.0, -2.0];
+        let sel = DantzigPricer.select(4, &all, &|j| rc[j]);
+        assert_eq!(sel, Some(2));
+        // Candidates can be masked out.
+        let sel = DantzigPricer.select(4, &|j| j != 2, &|j| rc[j]);
+        assert_eq!(sel, Some(3));
+        // Nothing prices below the tolerance.
+        assert_eq!(DantzigPricer.select(4, &all, &|_| 0.0), None);
+    }
+
+    #[test]
+    fn devex_prefers_low_weight_columns_and_resets() {
+        let mut devex = DevexPricer::new(3);
+        // Equal weights: degenerate to Dantzig (by squared cost).
+        assert_eq!(devex.select(3, &all, &|j| [-1.0, -2.0, -1.5][j]), Some(1));
+        // A pivot whose row loads column 1 heavily raises its weight…
+        devex.observe_pivot(&PivotView {
+            entering: 1,
+            leaving: 0,
+            alpha_q: 0.5,
+            n_cols: 3,
+            candidate: &all,
+            alpha: &|j| [0.0, 0.5, 40.0][j],
+        });
+        // …so column 2 (weight exploded) loses to column 1's replacement
+        // score even at a slightly larger reduced cost.
+        assert_eq!(devex.select(3, &all, &|j| [-1.0, -0.1, -1.5][j]), Some(0));
+        // Overflowing weights reset the reference framework.
+        devex.observe_pivot(&PivotView {
+            entering: 0,
+            leaving: 1,
+            alpha_q: 1e-5,
+            n_cols: 3,
+            candidate: &all,
+            alpha: &|_| 1e3,
+        });
+        assert!(
+            devex.weights.iter().all(|&w| w == 1.0),
+            "{:?}",
+            devex.weights
+        );
+    }
+
+    #[test]
+    fn partial_rotates_sections_and_matches_sequential_in_parallel_mode() {
+        // 1024 columns, improving candidates sprinkled around; the parallel
+        // path (forced by parallel_min = 0) must pick exactly what the
+        // sequential path picks — the ring-order-first section's best.
+        let rc = |j: usize| {
+            if j % 257 == 5 {
+                -((j % 7) as f64) - 1.0
+            } else {
+                1.0
+            }
+        };
+        let mut seq = PartialPricer::with_params(128, usize::MAX, 1);
+        let mut par = PartialPricer::with_params(128, 0, 3);
+        for _ in 0..10 {
+            let a = seq.select(1024, &all, &rc);
+            let b = par.select(1024, &all, &rc);
+            assert_eq!(a, b);
+            assert!(a.is_some());
+        }
+        // No candidates at all: both report None.
+        assert_eq!(seq.select(1024, &all, &|_| 1.0), None);
+        assert_eq!(par.select(1024, &all, &|_| 1.0), None);
+    }
+
+    #[test]
+    fn partial_cursor_resumes_where_it_found_work() {
+        let mut p = PartialPricer::with_params(4, usize::MAX, 1);
+        // Only column 9 improves → found in section 2; cursor parks there.
+        assert_eq!(
+            p.select(16, &all, &|j| if j == 9 { -1.0 } else { 1.0 }),
+            Some(9)
+        );
+        assert_eq!(p.cursor, 2);
+        // Next call starts scanning at section 2 and finds column 11 first
+        // even though column 1 also improves now.
+        let rc = |j: usize| if j == 11 || j == 1 { -1.0 } else { 1.0 };
+        assert_eq!(p.select(16, &all, &rc), Some(11));
+    }
+}

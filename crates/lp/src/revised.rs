@@ -26,10 +26,13 @@
 //! * **incremental columns** — a new variable enters nonbasic at zero and
 //!   disturbs nothing.
 //!
-//! Numerical discipline mirrors the dense solver: Dantzig pricing with a
-//! Bland's-rule fallback against cycling, periodic refactorization of `B⁻¹`
-//! from the pristine columns, and fresh-refactorized confirmation before
-//! optimality or unboundedness is declared.
+//! Numerical discipline mirrors the dense solver: a pluggable pricing rule
+//! (devex by default — see [`pricing`](crate::pricing)), the Harris two-pass
+//! ratio test with a bounded right-hand-side perturbation against degenerate
+//! cycling (Bland's rule survives only as the size-scaled last resort),
+//! periodic refactorization of `B⁻¹` from the pristine columns, and
+//! fresh-refactorized confirmation before optimality or unboundedness is
+//! declared.
 
 // Simplex kernels index several parallel vectors (directions, basic values,
 // inverse rows) at once; indexed loops are the clearest form here, as in the
@@ -39,7 +42,8 @@
 use std::collections::BTreeMap;
 
 use crate::backend::LpSession;
-use crate::simplex::{Cmp, LpProblem, LpSolution, LpStatus, LpVarId};
+use crate::pricing::{bland_fallback_threshold, PivotView, PricingRule};
+use crate::simplex::{Cmp, LpProblem, LpSolution, LpStatus, LpVarId, SolveStats};
 
 const EPS: f64 = 1e-9;
 /// Minimum magnitude accepted for a pivot element.
@@ -91,11 +95,19 @@ pub(crate) struct RevisedState {
     /// (by [`rebuild`](Self::rebuild) or a successful refactorization).
     /// Gates the O(m³) refreshes: a pristine inverse needs none.
     stale_pivots: usize,
+    /// Pricing rule used to choose entering columns.
+    pricing: PricingRule,
+    /// Per-`minimize` solver counters (reset at each `minimize`).
+    stats: SolveStats,
+    /// Whether `xb` currently carries an anti-degeneracy shift (washed out by
+    /// the next refactorization; must be washed before values are extracted).
+    xb_shifted: bool,
 }
 
 impl RevisedState {
-    /// Opens a session over the problem's variables and constraint rows.
-    pub(crate) fn open(problem: &LpProblem) -> RevisedState {
+    /// Opens a session over the problem's variables and constraint rows,
+    /// pricing with the given rule.
+    pub(crate) fn open_with(problem: &LpProblem, pricing: PricingRule) -> RevisedState {
         let mut state = RevisedState {
             var_cols: Vec::new(),
             cols: Vec::new(),
@@ -110,6 +122,9 @@ impl RevisedState {
             needs_phase1: false,
             pivots: 0,
             stale_pivots: 0,
+            pricing,
+            stats: SolveStats::default(),
+            xb_shifted: false,
         };
         for v in 0..problem.num_vars() {
             state.push_var(problem.is_free(LpVarId::from_index(v)));
@@ -354,6 +369,20 @@ impl RevisedState {
         self.stale_pivots = self.stale_pivots.saturating_add(1);
     }
 
+    /// Nudges every (near-)zero basic value by a tiny, row-unique amount —
+    /// the bounded right-hand-side perturbation that breaks degenerate pivot
+    /// cycles (see [`degeneracy_shift`](crate::pricing::degeneracy_shift)).
+    /// The shift is temporary: any refactorization recomputes `xb` from the
+    /// pristine right-hand sides.
+    fn shift_degenerate_basics(&mut self, round: usize) {
+        for (i, x) in self.xb.iter_mut().enumerate() {
+            if x.abs() <= FEAS_EPS {
+                *x += crate::pricing::degeneracy_shift(i, round);
+            }
+        }
+        self.xb_shifted = true;
+    }
+
     /// Recomputes `B⁻¹` (Gauss-Jordan with partial pivoting on the pristine
     /// basis columns) and `x_B = B⁻¹ b`; returns `false` on a numerically
     /// singular basis, leaving the state untouched.
@@ -423,6 +452,8 @@ impl RevisedState {
             .map(|row| row.iter().zip(&self.b).map(|(x, b)| x * b).sum())
             .collect();
         self.stale_pivots = 0;
+        self.stats.refactorizations += 1;
+        self.xb_shifted = false;
         true
     }
 
@@ -462,42 +493,56 @@ impl RevisedState {
         ban_artificials: bool,
         max_iters: usize,
     ) -> Result<(), LpStatus> {
-        let bland_threshold = (max_iters / 2).min(2_000);
+        let bland_after = bland_fallback_threshold(self.basis.len(), self.cols.len());
         // How many pivots of drift the inverse may accumulate before it is
         // recomputed from the pristine columns (an O(m³) Gauss-Jordan) —
         // both periodically and before declaring optimality.
         let refresh_period = 100;
+        let mut pricer = self.pricing.pricer(self.cols.len());
+        let mut degen_streak = 0usize;
+        let mut shift_rounds = 0usize;
         // Dual prices are maintained incrementally (an O(m) update per
         // pivot) and recomputed from scratch at refresh points and before
         // any optimality/unboundedness verdict.
         let mut y = self.dual_prices(col_costs);
+        // Chooses the entering column: the configured pricer, or — in the
+        // last-resort regime — Bland's first improving column.
+        let pick = |state: &RevisedState,
+                    pricer: &mut dyn crate::pricing::Pricer,
+                    costs: &[f64],
+                    y: &[f64],
+                    bland: bool|
+         -> Option<usize> {
+            let candidate = |j: usize| {
+                !(state.is_basic[j] || ban_artificials && state.kind[j] == ColKind::Artificial)
+            };
+            if bland {
+                (0..state.cols.len())
+                    .find(|&j| candidate(j) && state.reduced_cost(j, costs, y) < -EPS)
+            } else {
+                pricer.select(state.cols.len(), &candidate, &|j| {
+                    state.reduced_cost(j, costs, y)
+                })
+            }
+        };
         for iter in 0..max_iters {
+            self.stats.iterations += 1;
             if self.stale_pivots >= refresh_period {
+                // Also washes out any live anti-degeneracy shift: the basic
+                // values are recomputed from the pristine right-hand sides.
                 self.refactorize();
                 y = self.dual_prices(col_costs);
             }
-            let pick = |state: &RevisedState, y: &[f64]| {
-                let mut best: Option<usize> = None;
-                let mut best_val = -EPS;
-                for j in 0..state.cols.len() {
-                    if state.is_basic[j]
-                        || (ban_artificials && state.kind[j] == ColKind::Artificial)
-                    {
-                        continue;
-                    }
-                    let rc = state.reduced_cost(j, col_costs, y);
-                    if rc < best_val {
-                        best_val = rc;
-                        best = Some(j);
-                        if iter >= bland_threshold {
-                            // Bland: the first improving column wins.
-                            break;
-                        }
-                    }
-                }
-                best
-            };
-            let mut entering = pick(self, &y);
+            let bland = iter >= bland_after;
+            if !bland && degen_streak >= crate::pricing::DEGEN_PIVOT_STREAK {
+                // A cycle-length streak of zero-length steps: engage the
+                // bounded right-hand-side perturbation so the tied ratio
+                // tests pick distinct rows and strictly positive steps.
+                shift_rounds += 1;
+                self.shift_degenerate_basics(shift_rounds);
+                degen_streak = 0;
+            }
+            let mut entering = pick(self, pricer.as_mut(), col_costs, &y, bland);
             if entering.is_none() {
                 // Recompute the incrementally maintained duals before
                 // trusting the verdict, and — when a full period of drift
@@ -508,7 +553,7 @@ impl RevisedState {
                     self.refactorize();
                 }
                 y = self.dual_prices(col_costs);
-                entering = pick(self, &y);
+                entering = pick(self, pricer.as_mut(), col_costs, &y, bland);
                 if entering.is_none() {
                     return Ok(());
                 }
@@ -516,26 +561,59 @@ impl RevisedState {
             let entering = entering.expect("checked above");
 
             let mut d = self.direction(entering);
-            let leaving = self.ratio_test(&d);
+            let leaving = if bland {
+                self.ratio_test(&d, ban_artificials)
+            } else {
+                self.harris_ratio_test(&d, ban_artificials)
+            };
             let Some(p) = leaving else {
                 // Apparent unboundedness: refactorize and re-confirm before
-                // reporting, so drift cannot cause a false positive.
+                // reporting, so drift (or a live shift) cannot cause a false
+                // positive.
                 self.refactorize();
                 y = self.dual_prices(col_costs);
                 if self.reduced_cost(entering, col_costs, &y) > -UNBOUNDED_EPS {
                     continue;
                 }
                 d = self.direction(entering);
-                if d.iter().any(|&di| di > PIVOT_EPS) {
+                if d.iter()
+                    .enumerate()
+                    .any(|(i, &di)| self.blocking_rate(i, di, ban_artificials) > PIVOT_EPS)
+                {
                     continue;
                 }
                 return Err(LpStatus::Unbounded);
             };
+            let theta = self.xb[p] / d[p];
+            if theta.abs() <= FEAS_EPS {
+                degen_streak += 1;
+            } else {
+                degen_streak = 0;
+            }
             // Classic dual-price update: Δy = (r_q / d_p) · (B⁻¹)ₚ, which in
             // terms of the *post-pivot* row (B'⁻¹)ₚ = (B⁻¹)ₚ / d_p is simply
             // Δy = r_q · (B'⁻¹)ₚ — it zeroes the entering column's reduced
             // cost (r'_q = r_q − (r_q/d_p)·d_p = 0).
             let rc_entering = self.reduced_cost(entering, col_costs, &y);
+            {
+                // Devex weight update from the pre-pivot pivot row
+                // ρ = (B⁻¹)ₚ: α_j = ρ·A_j, one sparse dot per candidate.
+                let rho = &self.binv[p];
+                let cols = &self.cols;
+                let is_basic = &self.is_basic;
+                let kind = &self.kind;
+                let candidate =
+                    |j: usize| !(is_basic[j] || ban_artificials && kind[j] == ColKind::Artificial);
+                let alpha = |j: usize| cols[j].iter().map(|&(r, a)| rho[r] * a).sum::<f64>();
+                pricer.observe_pivot(&PivotView {
+                    entering,
+                    leaving: self.basis[p],
+                    alpha_q: d[p],
+                    n_cols: cols.len(),
+                    candidate: &candidate,
+                    alpha: &alpha,
+                });
+            }
             self.pivot(p, entering, &d);
             if rc_entering.abs() > EPS {
                 for (yr, br) in y.iter_mut().zip(&self.binv[p]) {
@@ -546,17 +624,93 @@ impl RevisedState {
         Err(LpStatus::IterationLimit)
     }
 
-    fn ratio_test(&self, d: &[f64]) -> Option<usize> {
+    /// The rate at which row `i`'s basic value approaches its blocking bound
+    /// as the entering variable grows, or 0 when the row does not block.
+    ///
+    /// Ordinary rows block when `d_i > 0` (the basic value falls toward 0).
+    /// A row whose basic variable is a *zero-valued artificial* also blocks
+    /// when `d_i < 0`: the artificial would re-grow above zero, silently
+    /// abandoning the (equality) row it stands for — it must leave the basis
+    /// in a degenerate pivot instead.
+    /// `guard_artificials` is set in phase 2 only: there a leaving artificial
+    /// can never re-enter (artificials are banned from pricing), so each
+    /// guard pivot permanently retires one.  In phase 1 artificials are
+    /// ordinary objective variables and the guard would two-cycle them.
+    fn blocking_rate(&self, i: usize, di: f64, guard_artificials: bool) -> f64 {
+        if di > PIVOT_EPS {
+            di
+        } else if guard_artificials
+            && di < -PIVOT_EPS
+            && self.kind[self.basis[i]] == ColKind::Artificial
+            && self.xb[i] <= FEAS_EPS
+        {
+            -di
+        } else {
+            0.0
+        }
+    }
+
+    /// Distance of row `i`'s basic value to the bound it blocks at
+    /// (companion of [`blocking_rate`](Self::blocking_rate)).
+    fn blocking_value(&self, i: usize, di: f64) -> f64 {
+        if di > PIVOT_EPS {
+            self.xb[i]
+        } else {
+            -self.xb[i]
+        }
+    }
+
+    /// The classic exact ratio test with smallest-basis-index tie-breaking —
+    /// the form Bland's anti-cycling guarantee requires, used only in the
+    /// last-resort Bland regime.
+    fn ratio_test(&self, d: &[f64], guard_artificials: bool) -> Option<usize> {
         let mut leaving: Option<usize> = None;
         let mut best_ratio = f64::INFINITY;
         for (i, &di) in d.iter().enumerate() {
-            if di > PIVOT_EPS {
-                let ratio = self.xb[i] / di;
+            let rate = self.blocking_rate(i, di, guard_artificials);
+            if rate > PIVOT_EPS {
+                let ratio = self.blocking_value(i, di) / rate;
                 if ratio < best_ratio - EPS
                     || (ratio < best_ratio + EPS
                         && leaving.is_some_and(|l| self.basis[i] < self.basis[l]))
                 {
                     best_ratio = ratio;
+                    leaving = Some(i);
+                }
+            }
+        }
+        leaving
+    }
+
+    /// Two-pass Harris ratio test (see the dense solver's twin): pass 1
+    /// relaxes the feasibility tolerance to find the loosest admissible step,
+    /// pass 2 picks the numerically largest pivot among rows whose exact
+    /// ratio stays within it — degenerate corners get stable pivots instead
+    /// of tiny cycling ones.
+    fn harris_ratio_test(&self, d: &[f64], guard_artificials: bool) -> Option<usize> {
+        let mut theta_relaxed = f64::INFINITY;
+        for (i, &di) in d.iter().enumerate() {
+            let rate = self.blocking_rate(i, di, guard_artificials);
+            if rate > PIVOT_EPS {
+                let relaxed = (self.blocking_value(i, di) + crate::pricing::HARRIS_RELAX) / rate;
+                if relaxed < theta_relaxed {
+                    theta_relaxed = relaxed;
+                }
+            }
+        }
+        if !theta_relaxed.is_finite() {
+            return None;
+        }
+        let mut leaving: Option<usize> = None;
+        let mut best_pivot = 0.0;
+        for (i, &di) in d.iter().enumerate() {
+            let rate = self.blocking_rate(i, di, guard_artificials);
+            if rate > PIVOT_EPS && self.blocking_value(i, di) / rate <= theta_relaxed {
+                let better = rate > best_pivot
+                    || (rate == best_pivot
+                        && leaving.is_some_and(|l| self.basis[i] < self.basis[l]));
+                if better {
+                    best_pivot = rate;
                     leaving = Some(i);
                 }
             }
@@ -579,6 +733,10 @@ impl RevisedState {
             return Ok(true);
         }
         self.iterate(&costs, false, max_iters)?;
+        if self.xb_shifted {
+            // Wash the anti-degeneracy shift out before judging feasibility.
+            self.refactorize();
+        }
         let artificial_sum: f64 = self
             .basis
             .iter()
@@ -639,11 +797,12 @@ impl RevisedState {
             .map(|&(pos, neg)| col_values[pos] - neg.map(|n| col_values[n]).unwrap_or(0.0))
             .collect();
         let objective_value = objective.iter().map(|&(v, c)| c * values[v.index()]).sum();
-        LpSolution::new(status, objective_value, values)
+        LpSolution::new(status, objective_value, values).with_stats(self.stats)
     }
 
     fn infeasible(&self) -> LpSolution {
         LpSolution::new(LpStatus::Infeasible, 0.0, vec![0.0; self.var_cols.len()])
+            .with_stats(self.stats)
     }
 }
 
@@ -660,6 +819,7 @@ impl LpSession for RevisedState {
     fn minimize(&mut self, objective: &[(LpVarId, f64)]) -> LpSolution {
         let m = self.b.len();
         let max_iters = 20_000 + 50 * (self.cols.len() + m);
+        self.stats = SolveStats::default();
         if !self.warm {
             self.rebuild();
         }
@@ -679,7 +839,8 @@ impl LpSession for RevisedState {
                         LpStatus::IterationLimit,
                         0.0,
                         vec![0.0; self.var_cols.len()],
-                    );
+                    )
+                    .with_stats(self.stats);
                 }
             }
         }
@@ -688,6 +849,10 @@ impl LpSession for RevisedState {
             Ok(()) => LpStatus::Optimal,
             Err(s) => s,
         };
+        if self.xb_shifted {
+            // Wash the anti-degeneracy shift out before extracting values.
+            self.refactorize();
+        }
         self.warm = status == LpStatus::Optimal;
         self.extract(objective, status)
     }

@@ -12,7 +12,36 @@
 
 use std::fmt;
 
+use crate::pricing::{bland_fallback_threshold, PivotView, PricingRule};
 use crate::sparse::SparseMatrix;
+
+/// Per-solve solver effort and presolve-reduction counters, carried on every
+/// [`LpSolution`] so degeneracy regressions are observable without a
+/// profiler (they surface in `AnalysisReport`'s per-group LP stats).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolveStats {
+    /// Simplex iterations across all phases of the solve.
+    pub iterations: usize,
+    /// Basis refactorizations (tableau rebuilds for the dense solver,
+    /// `B⁻¹` recomputations for the revised solver).
+    pub refactorizations: usize,
+    /// Constraint rows removed by presolve before the solve.
+    pub presolve_rows: usize,
+    /// Columns removed by presolve (fixed by singleton rows or empty).
+    pub presolve_cols: usize,
+}
+
+impl SolveStats {
+    /// Component-wise sum (used to aggregate phase and group stats).
+    pub fn merge(&self, other: &SolveStats) -> SolveStats {
+        SolveStats {
+            iterations: self.iterations + other.iterations,
+            refactorizations: self.refactorizations + other.refactorizations,
+            presolve_rows: self.presolve_rows + other.presolve_rows,
+            presolve_cols: self.presolve_cols + other.presolve_cols,
+        }
+    }
+}
 
 /// Identifier of a variable in an [`LpProblem`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -79,6 +108,9 @@ pub struct LpSolution {
     pub status: LpStatus,
     /// Objective value at the solution.
     pub objective: f64,
+    /// Solver-effort and presolve counters of the solve that produced this
+    /// solution.
+    pub stats: SolveStats,
     values: Vec<f64>,
 }
 
@@ -88,8 +120,15 @@ impl LpSolution {
         LpSolution {
             status,
             objective,
+            stats: SolveStats::default(),
             values,
         }
+    }
+
+    /// Attaches solve statistics.
+    pub(crate) fn with_stats(mut self, stats: SolveStats) -> Self {
+        self.stats = stats;
+        self
     }
 
     /// The value of a variable in the solution (0 unless the status is
@@ -210,9 +249,16 @@ impl LpProblem {
         &self.objective
     }
 
-    /// Solves the problem with the two-phase simplex method.
+    /// Solves the problem with the two-phase simplex method (default
+    /// pricing).
     pub fn solve(&self) -> LpSolution {
-        Tableau::build(self).solve(self)
+        self.solve_with(PricingRule::default())
+    }
+
+    /// Solves the problem with the two-phase simplex method under the given
+    /// pricing rule.
+    pub fn solve_with(&self, pricing: PricingRule) -> LpSolution {
+        Tableau::build(self).solve(self, pricing)
     }
 }
 
@@ -233,6 +279,12 @@ struct Tableau {
     var_cols: Vec<(usize, Option<usize>)>,
     /// Columns of artificial variables.
     artificials: Vec<usize>,
+    /// Per-column artificial flag (ratio tests consult it per row).
+    is_artificial: Vec<bool>,
+    /// Whether the RHS column currently carries an anti-degeneracy shift
+    /// (washed out by the next refactorization; must be washed before
+    /// feasibility checks or value extraction).
+    rhs_shifted: bool,
 }
 
 impl Tableau {
@@ -326,6 +378,10 @@ impl Tableau {
             a[i].push(rhs[i]);
         }
 
+        let mut is_artificial = vec![false; n_cols];
+        for &art in &artificials {
+            is_artificial[art] = true;
+        }
         Tableau {
             original: a.clone(),
             a,
@@ -334,7 +390,24 @@ impl Tableau {
             n_cols,
             var_cols,
             artificials,
+            is_artificial,
+            rhs_shifted: false,
         }
+    }
+
+    /// Nudges every (near-)zero basic value by a tiny, row-unique amount —
+    /// the bounded right-hand-side perturbation that breaks degenerate pivot
+    /// cycles (see [`degeneracy_shift`](crate::pricing::degeneracy_shift)).
+    /// Temporary: any refactorization rebuilds the RHS from the pristine
+    /// matrix.
+    fn shift_degenerate_basics(&mut self, round: usize) {
+        let n_cols = self.n_cols;
+        for (i, row) in self.a.iter_mut().enumerate() {
+            if row[n_cols].abs() <= FEAS_EPS {
+                row[n_cols] += crate::pricing::degeneracy_shift(i, round);
+            }
+        }
+        self.rhs_shifted = true;
     }
 
     fn rhs(&self, row: usize) -> f64 {
@@ -348,98 +421,219 @@ impl Tableau {
     /// scratch periodically — and whenever optimality is about to be declared
     /// — so that floating-point drift cannot cause premature termination or
     /// spurious unboundedness on larger instances.
+    ///
+    /// Degeneracy defenses, in escalation order: the configured [`Pricer`]
+    /// chooses entering columns, the Harris two-pass ratio test chooses
+    /// numerically stable leaving rows, a streak of zero-length steps engages
+    /// bounded cost perturbation, and only genuine cycling past
+    /// [`bland_fallback_threshold`] demotes the solve to Bland's rule.
+    ///
+    /// [`Pricer`]: crate::pricing::Pricer
     fn iterate(
         &mut self,
         col_costs: &[f64],
         banned: &[usize],
         max_iters: usize,
+        pricing: PricingRule,
+        stats: &mut SolveStats,
     ) -> Result<(), LpStatus> {
         let m = self.a.len();
         let n_cols = self.n_cols;
-        // Switch to Bland's rule early enough that degenerate instances cannot
-        // stall for long under Dantzig pricing.
-        let bland_threshold = (max_iters / 2).min(2_000);
+        let bland_after = bland_fallback_threshold(m, n_cols);
         let refresh_period = 100;
-        let mut cost = self.reduced_costs(col_costs);
+        let mut pricer = pricing.pricer(n_cols);
+        let mut is_banned = vec![false; n_cols];
         for &b in banned {
-            cost[b] = f64::INFINITY;
+            is_banned[b] = true;
         }
+        let mut degen_streak = 0usize;
+        let mut shift_rounds = 0usize;
+        let mut cost = self.reduced_costs(col_costs);
+
         for iter in 0..max_iters {
+            stats.iterations += 1;
             if iter > 0 && iter % refresh_period == 0 {
+                // Also washes out any live anti-degeneracy shift: the RHS is
+                // rebuilt from the pristine matrix.
                 self.refactorize();
+                stats.refactorizations += 1;
                 cost = self.reduced_costs(col_costs);
-                for &b in banned {
-                    cost[b] = f64::INFINITY;
-                }
             }
-            // Pricing: Dantzig first, Bland once degeneracy is suspected.
-            let pick = move |cost: &[f64]| {
-                if iter < bland_threshold {
-                    let mut best = None;
-                    let mut best_val = -EPS;
-                    for (j, &c) in cost.iter().enumerate().take(n_cols) {
-                        if c < best_val {
-                            best_val = c;
-                            best = Some(j);
-                        }
-                    }
-                    best
+            let bland = iter >= bland_after;
+            if !bland && degen_streak >= crate::pricing::DEGEN_PIVOT_STREAK {
+                // A cycle-length streak of zero-length steps: engage the
+                // bounded right-hand-side perturbation so the tied ratio
+                // tests pick distinct rows and strictly positive steps.
+                shift_rounds += 1;
+                self.shift_degenerate_basics(shift_rounds);
+                degen_streak = 0;
+            }
+            let candidate = |j: usize| !is_banned[j];
+            let pick = |pricer: &mut dyn crate::pricing::Pricer, cost: &[f64]| -> Option<usize> {
+                if bland {
+                    (0..n_cols).find(|&j| !is_banned[j] && cost[j] < -EPS)
                 } else {
-                    (0..n_cols).find(|&j| cost[j] < -EPS)
+                    pricer.select(n_cols, &candidate, &|j| cost[j])
                 }
             };
-            let mut entering = pick(&cost);
+            let mut entering = pick(pricer.as_mut(), &cost);
             if entering.is_none() {
                 // Confirm optimality against freshly computed reduced costs.
                 cost = self.reduced_costs(col_costs);
-                for &b in banned {
-                    cost[b] = f64::INFINITY;
-                }
-                entering = pick(&cost);
+                entering = pick(pricer.as_mut(), &cost);
                 if entering.is_none() {
                     return Ok(());
                 }
             }
             let entering = entering.expect("checked above");
 
-            // Ratio test.
-            let mut leaving: Option<usize> = None;
-            let mut best_ratio = f64::INFINITY;
-            for i in 0..m {
-                let aij = self.a[i][entering];
-                if aij > PIVOT_EPS {
-                    let ratio = self.rhs(i) / aij;
-                    if ratio < best_ratio - EPS
-                        || (ratio < best_ratio + EPS
-                            && leaving.is_some_and(|l| self.basis[i] < self.basis[l]))
-                    {
-                        best_ratio = ratio;
-                        leaving = Some(i);
-                    }
-                }
-            }
+            // The artificial guard engages only in phase 2, where artificials
+            // are banned from re-entering.
+            let guard = !banned.is_empty();
+            let leaving = if bland {
+                self.bland_ratio_test(entering, guard)
+            } else {
+                self.harris_ratio_test(entering, guard)
+            };
             let Some(leaving) = leaving else {
-                // Apparent unboundedness: refactorize and recompute the
-                // reduced costs before reporting, so drift in the tableau or
-                // cost row cannot cause a false positive.
+                // Apparent unboundedness: refactorize (washing any live
+                // shift) and recompute the reduced costs before reporting,
+                // so drift cannot cause a false positive.
                 self.refactorize();
+                stats.refactorizations += 1;
                 cost = self.reduced_costs(col_costs);
-                for &b in banned {
-                    cost[b] = f64::INFINITY;
-                }
                 if cost[entering] > -UNBOUNDED_EPS {
                     continue;
                 }
-                let has_pivot = (0..m).any(|i| self.a[i][entering] > PIVOT_EPS);
+                let has_pivot = (0..m).any(|i| {
+                    self.blocking_rate(i, self.a[i][entering], !banned.is_empty()) > PIVOT_EPS
+                });
                 if has_pivot {
                     continue;
                 }
                 return Err(LpStatus::Unbounded);
             };
 
+            let theta = self.rhs(leaving) / self.a[leaving][entering];
+            if theta.abs() <= FEAS_EPS {
+                degen_streak += 1;
+            } else {
+                degen_streak = 0;
+            }
+            pricer.observe_pivot(&PivotView {
+                entering,
+                leaving: self.basis[leaving],
+                alpha_q: self.a[leaving][entering],
+                n_cols,
+                candidate: &candidate,
+                alpha: &|j| self.a[leaving][j],
+            });
             self.pivot(leaving, entering, &mut cost);
         }
         Err(LpStatus::IterationLimit)
+    }
+
+    /// The rate at which row `i`'s basic value approaches its blocking bound
+    /// as the entering variable grows, or 0 when the row does not block.
+    ///
+    /// Ordinary rows block when the entering coefficient is positive (the
+    /// basic value falls toward 0).  A row whose basic variable is a
+    /// *zero-valued artificial* also blocks on a negative coefficient: the
+    /// artificial would re-grow above zero, silently abandoning the row it
+    /// stands for — it must leave the basis in a degenerate pivot instead.
+    /// `guard_artificials` is set in phase 2 only: there a leaving artificial
+    /// can never re-enter (artificials are banned from pricing), so each
+    /// guard pivot permanently retires one.  In phase 1 artificials are
+    /// ordinary objective variables and the guard would two-cycle them.
+    fn blocking_rate(&self, i: usize, aij: f64, guard_artificials: bool) -> f64 {
+        if aij > PIVOT_EPS {
+            aij
+        } else if guard_artificials
+            && aij < -PIVOT_EPS
+            && self.is_artificial[self.basis[i]]
+            && self.rhs(i) <= FEAS_EPS
+        {
+            -aij
+        } else {
+            0.0
+        }
+    }
+
+    /// Distance of row `i`'s basic value to the bound it blocks at
+    /// (companion of [`blocking_rate`](Self::blocking_rate)).
+    fn blocking_value(&self, i: usize, aij: f64) -> f64 {
+        if aij > PIVOT_EPS {
+            self.rhs(i)
+        } else {
+            -self.rhs(i)
+        }
+    }
+
+    /// Two-pass Harris ratio test: pass 1 computes the minimum ratio under a
+    /// feasibility tolerance relaxed by [`HARRIS_RELAX`], pass 2 picks the
+    /// numerically largest pivot among the rows whose exact ratio stays
+    /// within that relaxed bound.  On degenerate corners (many rows tied at
+    /// ratio 0) this selects a stable pivot instead of cycling through tiny
+    /// ones.
+    ///
+    /// [`HARRIS_RELAX`]: crate::pricing::HARRIS_RELAX
+    fn harris_ratio_test(&self, entering: usize, guard_artificials: bool) -> Option<usize> {
+        let m = self.a.len();
+        let mut theta_relaxed = f64::INFINITY;
+        for i in 0..m {
+            let rate = self.blocking_rate(i, self.a[i][entering], guard_artificials);
+            if rate > PIVOT_EPS {
+                let relaxed = (self.blocking_value(i, self.a[i][entering])
+                    + crate::pricing::HARRIS_RELAX)
+                    / rate;
+                if relaxed < theta_relaxed {
+                    theta_relaxed = relaxed;
+                }
+            }
+        }
+        if !theta_relaxed.is_finite() {
+            return None;
+        }
+        let mut leaving: Option<usize> = None;
+        let mut best_pivot = 0.0;
+        for i in 0..m {
+            let aij = self.a[i][entering];
+            let rate = self.blocking_rate(i, aij, guard_artificials);
+            if rate > PIVOT_EPS && self.blocking_value(i, aij) / rate <= theta_relaxed {
+                let better = rate > best_pivot
+                    || (rate == best_pivot
+                        && leaving.is_some_and(|l| self.basis[i] < self.basis[l]));
+                if better {
+                    best_pivot = rate;
+                    leaving = Some(i);
+                }
+            }
+        }
+        leaving
+    }
+
+    /// The classic exact ratio test with smallest-basis-index tie-breaking —
+    /// the form Bland's anti-cycling guarantee requires, used only in the
+    /// last-resort Bland regime.
+    fn bland_ratio_test(&self, entering: usize, guard_artificials: bool) -> Option<usize> {
+        let m = self.a.len();
+        let mut leaving: Option<usize> = None;
+        let mut best_ratio = f64::INFINITY;
+        for i in 0..m {
+            let aij = self.a[i][entering];
+            let rate = self.blocking_rate(i, aij, guard_artificials);
+            if rate > PIVOT_EPS {
+                let ratio = self.blocking_value(i, aij) / rate;
+                if ratio < best_ratio - EPS
+                    || (ratio < best_ratio + EPS
+                        && leaving.is_some_and(|l| self.basis[i] < self.basis[l]))
+                {
+                    best_ratio = ratio;
+                    leaving = Some(i);
+                }
+            }
+        }
+        leaving
     }
 
     fn pivot(&mut self, row: usize, col: usize, cost: &mut [f64]) {
@@ -527,16 +721,17 @@ impl Tableau {
             }
         }
         self.a = row_for_position.iter().map(|&r| work[r].clone()).collect();
+        self.rhs_shifted = false;
         true
     }
 
-    fn solve(mut self, problem: &LpProblem) -> LpSolution {
+    fn solve(mut self, problem: &LpProblem, pricing: PricingRule) -> LpSolution {
         let m = self.a.len();
         let max_iters = 20_000 + 50 * (self.n_cols + m);
-        let infeasible = LpSolution {
-            status: LpStatus::Infeasible,
-            objective: 0.0,
-            values: vec![0.0; problem.names.len()],
+        let mut stats = SolveStats::default();
+        let infeasible = |stats: SolveStats| {
+            LpSolution::new(LpStatus::Infeasible, 0.0, vec![0.0; problem.names.len()])
+                .with_stats(stats)
         };
 
         // Phase 1: minimize the sum of artificial variables.
@@ -545,7 +740,7 @@ impl Tableau {
             for &art in &self.artificials {
                 phase1_costs[art] = 1.0;
             }
-            match self.iterate(&phase1_costs, &[], max_iters) {
+            match self.iterate(&phase1_costs, &[], max_iters, pricing, &mut stats) {
                 Ok(()) => {}
                 Err(status) => {
                     if std::env::var_os("CMA_LP_DEBUG").is_some() {
@@ -554,8 +749,14 @@ impl Tableau {
                             m, self.n_cols
                         );
                     }
-                    return infeasible;
+                    return infeasible(stats);
                 }
+            }
+            if self.rhs_shifted {
+                // Wash the anti-degeneracy shift out before judging
+                // feasibility.
+                self.refactorize();
+                stats.refactorizations += 1;
             }
             // Feasible iff all artificials are (numerically) zero.
             let artificial_sum: f64 = (0..m)
@@ -570,7 +771,7 @@ impl Tableau {
                         m, self.n_cols
                     );
                 }
-                return infeasible;
+                return infeasible(stats);
             }
             // Drive remaining artificial variables out of the basis when possible.
             for i in 0..m {
@@ -597,10 +798,15 @@ impl Tableau {
             col_costs[art] = 0.0;
         }
         let banned = self.artificials.clone();
-        let status = match self.iterate(&col_costs, &banned, max_iters) {
+        let status = match self.iterate(&col_costs, &banned, max_iters, pricing, &mut stats) {
             Ok(()) => LpStatus::Optimal,
             Err(s) => s,
         };
+        if self.rhs_shifted {
+            // Wash the anti-degeneracy shift out before extracting values.
+            self.refactorize();
+            stats.refactorizations += 1;
+        }
 
         // Extract the solution.
         let mut col_values = vec![0.0; self.n_cols];
@@ -618,11 +824,7 @@ impl Tableau {
             .iter()
             .map(|&(v, c)| c * values[v.0])
             .sum();
-        LpSolution {
-            status,
-            objective,
-            values,
-        }
+        LpSolution::new(status, objective, values).with_stats(stats)
     }
 }
 
@@ -811,6 +1013,44 @@ mod tests {
                 assert!(sol.value(v) >= -1e-9);
             }
         }
+    }
+
+    #[test]
+    fn solve_stats_count_iterations_under_every_pricing_rule() {
+        // min x + y s.t. x + 2y >= 4, 3x + y >= 6 — needs phase 1 + pivots.
+        let mut lp = LpProblem::new();
+        let x = lp.add_var("x", false);
+        let y = lp.add_var("y", false);
+        lp.add_constraint(vec![(x, 1.0), (y, 2.0)], Cmp::Ge, 4.0);
+        lp.add_constraint(vec![(x, 3.0), (y, 1.0)], Cmp::Ge, 6.0);
+        lp.set_objective(vec![(x, 1.0), (y, 1.0)]);
+        let mut objectives = Vec::new();
+        for rule in PricingRule::ALL {
+            let sol = lp.solve_with(rule);
+            assert!(sol.is_optimal(), "{rule}: {:?}", sol.status);
+            assert!(sol.stats.iterations > 0, "{rule} reported no iterations");
+            // The raw dense solve has no presolve stage.
+            assert_eq!(sol.stats.presolve_rows, 0);
+            objectives.push(sol.objective);
+        }
+        for pair in objectives.windows(2) {
+            assert!(
+                (pair[0] - pair[1]).abs() < 1e-9,
+                "pricing changed the optimum"
+            );
+        }
+        let merged = SolveStats {
+            iterations: 2,
+            refactorizations: 1,
+            presolve_rows: 3,
+            presolve_cols: 4,
+        }
+        .merge(&SolveStats {
+            iterations: 5,
+            ..SolveStats::default()
+        });
+        assert_eq!(merged.iterations, 7);
+        assert_eq!(merged.presolve_cols, 4);
     }
 
     #[test]

@@ -7,7 +7,10 @@
 //! The suite covers both the one-shot `solve` path and the session
 //! obligations (re-minimize determinism, incremental rows and columns).
 
-use cma_lp::{Cmp, LpBackend, LpProblem, LpStatus, SimplexBackend, SparseBackend};
+use cma_lp::{
+    Cmp, LpBackend, LpProblem, LpStatus, PricingRule, SimplexBackend, SolverTuning, SparseBackend,
+    TunedBackend,
+};
 
 const TOL: f64 = 1e-6;
 
@@ -294,6 +297,20 @@ fn simplex_backend_conforms() {
 #[test]
 fn sparse_backend_conforms() {
     conformance(&SparseBackend);
+}
+
+/// The pricing-rule matrix: dense/sparse × dantzig/devex/partial — with and
+/// without presolve — must all satisfy every session obligation.  Pricing
+/// changes the pivot *path*, never the contract.
+#[test]
+fn pricing_matrix_conforms() {
+    for pricing in PricingRule::ALL {
+        for presolve in [true, false] {
+            let tuning = SolverTuning { pricing, presolve };
+            conformance(&TunedBackend::new(SimplexBackend, tuning));
+            conformance(&TunedBackend::new(SparseBackend, tuning));
+        }
+    }
 }
 
 #[test]

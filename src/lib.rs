@@ -56,5 +56,8 @@ pub use cma_appl::{parse_program, Program, Var};
 pub use cma_inference::{
     AnalysisOptions, CentralMoments, GroupLpStats, SolveMode, SoundnessReport, TailBound,
 };
-pub use cma_lp::{LpBackend, LpSession, SimplexBackend, SparseBackend};
+pub use cma_lp::{
+    LpBackend, LpSession, PricingRule, SimplexBackend, SolveStats, SolverTuning, SparseBackend,
+    TunedBackend,
+};
 pub use cma_semiring::Interval;

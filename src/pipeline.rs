@@ -148,6 +148,19 @@ impl<B: LpBackend> Analysis<B> {
         self
     }
 
+    /// Sets the LP pricing rule (devex by default; dantzig restores the
+    /// pre-devex behavior, partial prices wide systems in sections).
+    pub fn pricing(mut self, pricing: cma_lp::PricingRule) -> Self {
+        self.options.pricing = pricing;
+        self
+    }
+
+    /// Enables or disables the LP presolve pass (enabled by default).
+    pub fn presolve(mut self, presolve: bool) -> Self {
+        self.options.presolve = presolve;
+        self
+    }
+
     /// Labels the report (shown by the CLI and in `to_json`).
     pub fn label(mut self, label: impl Into<String>) -> Self {
         self.label = Some(label.into());
@@ -240,17 +253,18 @@ impl<B: LpBackend> Analysis<B> {
         };
         drop(engine_session);
 
-        let lp = LpStats {
-            variables: result.lp_variables,
-            constraints: result.lp_constraints,
-            solves: result.lp_solves,
-            groups: result.groups.clone(),
-        };
+        let lp = LpStats::from_groups(
+            result.lp_variables,
+            result.lp_constraints,
+            result.lp_solves,
+            result.groups.clone(),
+        );
         Ok(AnalysisReport {
             label: self.label.clone(),
             degree: self.options.degree,
             mode: self.options.mode,
             backend: self.backend.name().to_string(),
+            pricing: self.options.pricing.name().to_string(),
             parallelism: self.options.threads,
             valuation: self.options.valuation.clone(),
             result,

@@ -33,7 +33,8 @@ pub struct PhaseTimings {
     pub total: Duration,
 }
 
-/// Size statistics of the linear programs handed to the backend.
+/// Size and solver-effort statistics of the linear programs handed to the
+/// backend.
 #[derive(Debug, Clone, Default)]
 pub struct LpStats {
     /// Total LP variables generated.
@@ -44,8 +45,38 @@ pub struct LpStats {
     /// none — it extends the main group's session, see
     /// [`SoundnessReport::reused_constraint_store`]).
     pub solves: usize,
-    /// Per-group sizes, in solve order.
+    /// Total simplex iterations across all group solves (the degeneracy
+    /// observable: iteration blow-up at fixed size is a pricing regression).
+    pub iterations: usize,
+    /// Total basis refactorizations across all group solves.
+    pub refactorizations: usize,
+    /// Total constraint rows removed by LP presolve.
+    pub presolve_rows: usize,
+    /// Total LP columns removed by presolve (fixed or unreferenced).
+    pub presolve_cols: usize,
+    /// Per-group sizes and solver counters, in solve order.
     pub groups: Vec<GroupLpStats>,
+}
+
+impl LpStats {
+    /// Assembles the totals from per-group stats and the engine-wide counts.
+    pub(crate) fn from_groups(
+        variables: usize,
+        constraints: usize,
+        solves: usize,
+        groups: Vec<GroupLpStats>,
+    ) -> LpStats {
+        LpStats {
+            variables,
+            constraints,
+            solves,
+            iterations: groups.iter().map(|g| g.iterations).sum(),
+            refactorizations: groups.iter().map(|g| g.refactorizations).sum(),
+            presolve_rows: groups.iter().map(|g| g.presolve_rows).sum(),
+            presolve_cols: groups.iter().map(|g| g.presolve_cols).sum(),
+            groups,
+        }
+    }
 }
 
 /// The complete, self-describing outcome of one pipeline run.
@@ -59,6 +90,8 @@ pub struct AnalysisReport {
     pub mode: SolveMode,
     /// Name of the LP backend that solved the programs.
     pub backend: String,
+    /// Pricing rule the backend solved with (`dantzig`, `devex`, `partial`).
+    pub pricing: String,
     /// Worker threads used for independent group solves (1 = sequential).
     pub parallelism: usize,
     /// The initial-state valuation at which intervals below are evaluated.
@@ -120,6 +153,7 @@ impl AnalysisReport {
         };
         push_field(&mut out, "mode", &json_string(mode));
         push_field(&mut out, "backend", &json_string(&self.backend));
+        push_field(&mut out, "pricing", &json_string(&self.pricing));
         push_field(&mut out, "parallelism", &self.parallelism.to_string());
 
         let valuation = self
@@ -211,17 +245,27 @@ impl AnalysisReport {
             .iter()
             .map(|g| {
                 format!(
-                    "{{\"name\":{},\"variables\":{},\"constraints\":{}}}",
+                    "{{\"name\":{},\"variables\":{},\"constraints\":{},\"iterations\":{},\"refactorizations\":{},\"presolve_rows\":{},\"presolve_cols\":{}}}",
                     json_string(&g.name),
                     g.variables,
-                    g.constraints
+                    g.constraints,
+                    g.iterations,
+                    g.refactorizations,
+                    g.presolve_rows,
+                    g.presolve_cols,
                 )
             })
             .collect::<Vec<_>>()
             .join(",");
         let lp = format!(
-            "{{\"variables\":{},\"constraints\":{},\"solves\":{},\"groups\":[{groups}]}}",
-            self.lp.variables, self.lp.constraints, self.lp.solves
+            "{{\"variables\":{},\"constraints\":{},\"solves\":{},\"iterations\":{},\"refactorizations\":{},\"presolve_rows\":{},\"presolve_cols\":{},\"groups\":[{groups}]}}",
+            self.lp.variables,
+            self.lp.constraints,
+            self.lp.solves,
+            self.lp.iterations,
+            self.lp.refactorizations,
+            self.lp.presolve_rows,
+            self.lp.presolve_cols,
         );
         push_field(&mut out, "lp", &lp);
 
@@ -293,8 +337,8 @@ impl fmt::Display for AnalysisReport {
         };
         write!(
             f,
-            "analysis: degree {} · {mode} mode · backend {}",
-            self.degree, self.backend
+            "analysis: degree {} · {mode} mode · backend {} · {} pricing",
+            self.degree, self.backend, self.pricing
         )?;
         if self.parallelism > 1 {
             write!(f, " · {} threads", self.parallelism)?;
@@ -374,6 +418,18 @@ impl fmt::Display for AnalysisReport {
         )?;
         if self.lp.groups.len() > 1 {
             write!(f, " across {} groups", self.lp.groups.len())?;
+        }
+        write!(
+            f,
+            " · {} iterations, {} refactorizations",
+            self.lp.iterations, self.lp.refactorizations
+        )?;
+        if self.lp.presolve_rows > 0 || self.lp.presolve_cols > 0 {
+            write!(
+                f,
+                " · presolve −{} rows −{} cols",
+                self.lp.presolve_rows, self.lp.presolve_cols
+            )?;
         }
         writeln!(
             f,
