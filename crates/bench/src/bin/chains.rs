@@ -13,6 +13,7 @@
 //! cargo run -p cma-bench --release --bin chains -- \
 //!     [--out BENCH_chains.json] [--max-n 10] [--step 3] [--threads N]
 //!     [--global-cap 8] [--pricing devex|dantzig|partial|all]
+//!     [--factor dense|lu|all]
 //! ```
 //!
 //! Compositional mode (the regime Fig. 10 actually evaluates — one LP per
@@ -27,7 +28,9 @@
 use std::fmt::Write as _;
 use std::io::Write as _;
 
-use central_moment_analysis::{Analysis, PricingRule, SimplexBackend, SolveMode, SparseBackend};
+use central_moment_analysis::{
+    Analysis, FactorKind, PricingRule, SimplexBackend, SolveMode, SparseBackend,
+};
 use cma_suite::{synthetic, Benchmark};
 
 struct Row {
@@ -36,14 +39,18 @@ struct Row {
     mode: &'static str,
     backend: &'static str,
     pricing: &'static str,
+    factor: &'static str,
     analysis_ms: f64,
     lp_variables: usize,
     lp_constraints: usize,
     lp_solves: usize,
     lp_iterations: usize,
+    lp_etas: usize,
+    lp_dual_pivots: usize,
     mean_upper: f64,
 }
 
+#[allow(clippy::too_many_arguments)]
 fn measure(
     benchmark: &Benchmark,
     family: &'static str,
@@ -51,6 +58,7 @@ fn measure(
     mode: SolveMode,
     backend: &'static str,
     pricing: PricingRule,
+    factor: FactorKind,
     threads: usize,
 ) -> Option<Row> {
     let analysis = Analysis::benchmark(benchmark)
@@ -58,6 +66,7 @@ fn measure(
         .mode(mode)
         .threads(threads)
         .pricing(pricing)
+        .factor(factor)
         .soundness(false);
     let report = match backend {
         "dense" => analysis.backend(SimplexBackend).run(),
@@ -73,11 +82,14 @@ fn measure(
         },
         backend,
         pricing: pricing.name(),
+        factor: factor.name(),
         analysis_ms: report.result.elapsed.as_secs_f64() * 1e3,
         lp_variables: report.lp.variables,
         lp_constraints: report.lp.constraints,
         lp_solves: report.lp.solves,
         lp_iterations: report.lp.iterations,
+        lp_etas: report.lp.etas,
+        lp_dual_pivots: report.lp.dual_pivots,
         mean_upper: report.mean().hi(),
     })
 }
@@ -90,6 +102,7 @@ fn main() {
     let mut threads = 1usize;
     let mut global_cap = 8usize;
     let mut pricing_arg = "devex".to_string();
+    let mut factor_arg = "all".to_string();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut value = |flag: &str| {
@@ -109,10 +122,11 @@ fn main() {
                 global_cap = value("--global-cap").parse().expect("numeric --global-cap")
             }
             "--pricing" => pricing_arg = value("--pricing"),
+            "--factor" => factor_arg = value("--factor"),
             other => {
                 eprintln!(
                     "unknown option `{other}` \
-                     (expected --out/--max-n/--step/--threads/--global-cap/--pricing)"
+                     (expected --out/--max-n/--step/--threads/--global-cap/--pricing/--factor)"
                 );
                 std::process::exit(2);
             }
@@ -122,6 +136,14 @@ fn main() {
         PricingRule::ALL.to_vec()
     } else {
         vec![pricing_arg.parse().unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        })]
+    };
+    let factors: Vec<FactorKind> = if factor_arg == "all" {
+        FactorKind::ALL.to_vec()
+    } else {
+        vec![factor_arg.parse().unwrap_or_else(|e| {
             eprintln!("{e}");
             std::process::exit(2);
         })]
@@ -137,24 +159,28 @@ fn main() {
             }
             for backend in ["dense", "sparse"] {
                 for &pricing in &pricings {
-                    for (family, b) in [("coupon-chain", &coupon), ("walk-chain", &walk)] {
-                        match measure(b, family, n, mode, backend, pricing, threads) {
-                            Some(row) => {
-                                eprintln!(
-                                    "{family}/{n} {} {backend} {}: {:.1} ms ({} vars, {} rows, {} solves, {} iters)",
-                                    row.mode,
-                                    row.pricing,
-                                    row.analysis_ms,
-                                    row.lp_variables,
-                                    row.lp_constraints,
-                                    row.lp_solves,
-                                    row.lp_iterations
-                                );
-                                rows.push(row);
+                    for &factor in &factors {
+                        for (family, b) in [("coupon-chain", &coupon), ("walk-chain", &walk)] {
+                            match measure(b, family, n, mode, backend, pricing, factor, threads) {
+                                Some(row) => {
+                                    eprintln!(
+                                        "{family}/{n} {} {backend} {}/{}: {:.1} ms ({} vars, {} rows, {} solves, {} iters, {} etas)",
+                                        row.mode,
+                                        row.pricing,
+                                        row.factor,
+                                        row.analysis_ms,
+                                        row.lp_variables,
+                                        row.lp_constraints,
+                                        row.lp_solves,
+                                        row.lp_iterations,
+                                        row.lp_etas
+                                    );
+                                    rows.push(row);
+                                }
+                                None => eprintln!(
+                                    "{family}/{n} {mode:?} {backend} {pricing} {factor}: not analyzable"
+                                ),
                             }
-                            None => eprintln!(
-                                "{family}/{n} {mode:?} {backend} {pricing}: not analyzable"
-                            ),
                         }
                     }
                 }
@@ -170,17 +196,20 @@ fn main() {
         }
         let _ = write!(
             json,
-            "{{\"family\":\"{}\",\"n\":{},\"mode\":\"{}\",\"backend\":\"{}\",\"pricing\":\"{}\",\"analysis_ms\":{:.3},\"lp_variables\":{},\"lp_constraints\":{},\"lp_solves\":{},\"lp_iterations\":{},\"mean_upper\":{:.6}}}",
+            "{{\"family\":\"{}\",\"n\":{},\"mode\":\"{}\",\"backend\":\"{}\",\"pricing\":\"{}\",\"factor\":\"{}\",\"analysis_ms\":{:.3},\"lp_variables\":{},\"lp_constraints\":{},\"lp_solves\":{},\"lp_iterations\":{},\"lp_etas\":{},\"lp_dual_pivots\":{},\"mean_upper\":{:.6}}}",
             r.family,
             r.n,
             r.mode,
             r.backend,
             r.pricing,
+            r.factor,
             r.analysis_ms,
             r.lp_variables,
             r.lp_constraints,
             r.lp_solves,
             r.lp_iterations,
+            r.lp_etas,
+            r.lp_dual_pivots,
             r.mean_upper
         );
     }

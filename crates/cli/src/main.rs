@@ -18,7 +18,8 @@ use std::process::ExitCode;
 
 use central_moment_analysis::suite::{self, Benchmark};
 use central_moment_analysis::{
-    Analysis, AnalysisReport, CmaError, LpBackend, PricingRule, SolveMode, SparseBackend, Var,
+    Analysis, AnalysisReport, CmaError, FactorKind, LpBackend, PricingRule, SolveMode,
+    SparseBackend, Var,
 };
 
 const USAGE: &str = "\
@@ -38,6 +39,7 @@ ANALYSIS OPTIONS:
     --mode MODE          global | compositional (default global)
     --backend B          dense | sparse LP solver (default dense)
     --pricing P          dantzig | devex | partial simplex pricing (default devex)
+    --factor F           dense | lu basis factorization (default dense)
     --no-presolve        skip the LP presolve pass (row/column reductions)
     --threads N          solve independent compositional groups on N threads
     --valuation K=V,…    initial-state valuation, e.g. d=10,x=0
@@ -106,6 +108,7 @@ struct AnalyzeOpts {
     mode: Option<SolveMode>,
     backend: BackendChoice,
     pricing: Option<PricingRule>,
+    factor: Option<FactorKind>,
     no_presolve: bool,
     threads: Option<usize>,
     valuation: Option<Vec<(Var, f64)>>,
@@ -176,6 +179,10 @@ fn parse_opts(args: &[String]) -> Result<AnalyzeOpts, CmaError> {
             "--pricing" => {
                 let v = it.next().ok_or_else(|| missing("--pricing"))?;
                 opts.pricing = Some(v.parse().map_err(CmaError::Usage)?);
+            }
+            "--factor" => {
+                let v = it.next().ok_or_else(|| missing("--factor"))?;
+                opts.factor = Some(v.parse().map_err(CmaError::Usage)?);
             }
             "--no-presolve" => opts.no_presolve = true,
             "--threads" => {
@@ -264,6 +271,9 @@ fn apply_analysis_opts<B: LpBackend>(mut analysis: Analysis<B>, opts: &AnalyzeOp
     }
     if let Some(pricing) = opts.pricing {
         analysis = analysis.pricing(pricing);
+    }
+    if let Some(factor) = opts.factor {
+        analysis = analysis.factor(factor);
     }
     if opts.no_presolve {
         analysis = analysis.presolve(false);

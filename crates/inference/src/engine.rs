@@ -7,8 +7,8 @@ use std::time::{Duration, Instant};
 use cma_appl::Program;
 use cma_logic::Context;
 use cma_lp::{
-    LpBackend, LpSession, LpSolution, LpStatus, PricingRule, SimplexBackend, SolveStats,
-    SolverTuning,
+    FactorKind, LpBackend, LpSession, LpSolution, LpStatus, PricingRule, SolveStats, SolverTuning,
+    WarmStrategy,
 };
 use cma_semiring::poly::{Polynomial, Var};
 use cma_semiring::Interval;
@@ -58,6 +58,16 @@ pub struct AnalysisOptions {
     pub pricing: PricingRule,
     /// Whether the LP presolve pass runs at session open (on by default).
     pub presolve: bool,
+    /// Basis factorization the LP backends solve with (dense `B⁻¹` by
+    /// default, Markowitz LU with eta updates via `lu`; see
+    /// `cma_lp::FactorKind`).
+    pub factor: FactorKind,
+    /// How warm LP sessions re-solve after incremental rows — dual-simplex
+    /// pivots by default, or the legacy phase-1 restart (see
+    /// `cma_lp::WarmStrategy`).  Also selects whether the soundness
+    /// extension rides the live main session (dual) or solves its disjoint
+    /// subsystem standalone (phase1).
+    pub warm_resolve: WarmStrategy,
 }
 
 impl AnalysisOptions {
@@ -73,6 +83,8 @@ impl AnalysisOptions {
             threads: 1,
             pricing: PricingRule::default(),
             presolve: true,
+            factor: FactorKind::default(),
+            warm_resolve: WarmStrategy::default(),
         }
     }
 
@@ -118,11 +130,25 @@ impl AnalysisOptions {
         self
     }
 
+    /// Sets the LP basis factorization.
+    pub fn with_factor(mut self, factor: FactorKind) -> Self {
+        self.factor = factor;
+        self
+    }
+
+    /// Sets the warm re-solve strategy for incremental LP rows.
+    pub fn with_warm_resolve(mut self, warm: WarmStrategy) -> Self {
+        self.warm_resolve = warm;
+        self
+    }
+
     /// The solver tuning these options imply.
     pub fn solver_tuning(&self) -> SolverTuning {
         SolverTuning {
             pricing: self.pricing,
             presolve: self.presolve,
+            factor: self.factor,
+            warm: self.warm_resolve,
         }
     }
 
@@ -222,6 +248,11 @@ pub struct GroupLpStats {
     pub presolve_rows: usize,
     /// LP columns removed by presolve (fixed or unreferenced).
     pub presolve_cols: usize,
+    /// Product-form eta updates appended by the LU factorization (0 under
+    /// the dense inverse).
+    pub etas: usize,
+    /// Dual-simplex pivots spent on warm incremental-row re-solves.
+    pub dual_pivots: usize,
 }
 
 /// The outcome of a successful analysis.
@@ -289,22 +320,6 @@ impl AnalysisResult {
     }
 }
 
-/// Analyzes a program with the default simplex backend.
-///
-/// Legacy entry point: new code should go through the `Analysis` pipeline
-/// facade of the umbrella `central_moment_analysis` crate, or call
-/// [`analyze_with`] to choose the LP backend explicitly.
-#[deprecated(
-    since = "0.2.0",
-    note = "use the `Analysis` pipeline facade (central_moment_analysis::Analysis) or `analyze_with`"
-)]
-pub fn analyze(
-    program: &Program,
-    options: &AnalysisOptions,
-) -> Result<AnalysisResult, AnalysisError> {
-    analyze_with(program, options, &SimplexBackend)
-}
-
 /// Analyzes a program, deriving symbolic interval bounds on the raw moments
 /// `E[C^k]`, `k ≤ m`, of its accumulated cost, solving every generated linear
 /// program with the given [`LpBackend`].
@@ -337,6 +352,7 @@ pub struct AnalysisSession<'a> {
     minimizes: usize,
     extension_variables: usize,
     extension_constraints: usize,
+    extension_stats: SolveStats,
 }
 
 impl AnalysisSession<'_> {
@@ -356,17 +372,28 @@ impl AnalysisSession<'_> {
         self.extension_constraints
     }
 
+    /// Solver-effort counters of the extension minimizes (in particular
+    /// `dual_pivots`: how many dual-simplex pivots the warm re-solves took
+    /// instead of a phase-1 restart).
+    pub fn extension_stats(&self) -> SolveStats {
+        self.extension_stats
+    }
+
     /// Derives `program` (globally, with fresh templates) *into* the existing
     /// constraint store and minimizes the extension's own objective, without
     /// re-deriving or re-solving the main system.
     ///
-    /// The extension's templates are fresh, so its rows are variable-disjoint
-    /// from the main system and the increment solves as a standalone
-    /// subsystem of the shared store ([`ConstraintStore::subproblem`]) — the
-    /// combined system is feasible iff both parts are.  Should an extension
-    /// ever reference main-system variables (a future sharing of templates),
-    /// the increment is instead flushed into the open main session and the
-    /// combined system re-minimized in place.
+    /// Under the default dual warm-resolve strategy — and when the open
+    /// session actually repairs appended rows in place
+    /// ([`LpSession::warm_resolves_in_place`], true for the sparse core) —
+    /// the increment is flushed into the open main session and re-minimized
+    /// **in place**: the session's optimal basis stays dual feasible when
+    /// rows are appended, so the extension solves through dual-simplex
+    /// pivots (visible in [`extension_stats`](Self::extension_stats))
+    /// instead of a phase-1 restart.  Otherwise a variable-disjoint
+    /// extension is extracted and solved as a standalone subsystem of the
+    /// shared store ([`ConstraintStore::subproblem`]); an extension that
+    /// references main-system variables always takes the flush path.
     ///
     /// # Errors
     ///
@@ -399,10 +426,19 @@ impl AnalysisSession<'_> {
             true,
             &BTreeMap::new(),
         )?;
-        let sub = self
-            .builder
-            .store()
-            .subproblem(vars_before, rows_before, objective_mark);
+        let sub = if options.warm_resolve == WarmStrategy::Dual
+            && self.session.warm_resolves_in_place()
+        {
+            // Ride the live session: appended rows keep the optimal basis
+            // dual feasible, so the warm re-solve is a dual step.  Sessions
+            // that would re-solve from scratch (the dense reference) keep
+            // the standalone-subsystem fast path below.
+            None
+        } else {
+            self.builder
+                .store()
+                .subproblem(vars_before, rows_before, objective_mark)
+        };
         let solution = match sub {
             Some(sub) => self
                 .backend
@@ -415,6 +451,7 @@ impl AnalysisSession<'_> {
             }
         };
         self.minimizes += 1;
+        self.extension_stats = self.extension_stats.merge(&solution.stats);
         self.extension_variables += self.builder.num_vars() - vars_before;
         self.extension_constraints += self.builder.num_constraints() - rows_before;
         if solution.is_optimal() {
@@ -544,6 +581,7 @@ pub fn analyze_session<'a>(
             minimizes: 1,
             extension_variables: 0,
             extension_constraints: 0,
+            extension_stats: SolveStats::default(),
         },
     ))
 }
@@ -565,6 +603,8 @@ fn group_lp_stats(
         refactorizations: stats.refactorizations,
         presolve_rows: stats.presolve_rows,
         presolve_cols: stats.presolve_cols,
+        etas: stats.etas,
+        dual_pivots: stats.dual_pivots,
     }
 }
 
@@ -861,6 +901,7 @@ impl TarjanState<'_> {
 mod tests {
     use super::*;
     use cma_appl::build::*;
+    use cma_lp::SimplexBackend;
 
     #[test]
     fn sccs_are_in_callee_first_order() {

@@ -61,8 +61,6 @@ pub mod template;
 pub mod weaken;
 
 pub use central::CentralMoments;
-#[allow(deprecated)]
-pub use engine::analyze;
 pub use engine::{
     analyze_session, analyze_with, AnalysisError, AnalysisOptions, AnalysisResult, AnalysisSession,
     GroupLpStats, MomentBound, SolveMode,

@@ -34,6 +34,11 @@ pub struct SoundnessReport {
     /// LP constraint rows the in-session extension appended (0 for
     /// standalone runs).
     pub extension_constraints: usize,
+    /// Dual-simplex pivots the in-session warm re-solve took (0 for
+    /// standalone runs and the legacy phase-1 strategy): the observable
+    /// that the extension rode the live session instead of restarting
+    /// phase 1.
+    pub extension_dual_pivots: usize,
 }
 
 impl SoundnessReport {
@@ -216,6 +221,7 @@ pub fn soundness_report_with(
         reused_constraint_store: false,
         extension_variables: 0,
         extension_constraints: 0,
+        extension_dual_pivots: 0,
     }
 }
 
@@ -239,6 +245,7 @@ pub fn soundness_report_in_session(
         reused_constraint_store: true,
         extension_variables: session.extension_variables(),
         extension_constraints: session.extension_constraints(),
+        extension_dual_pivots: session.extension_stats().dual_pivots,
     }
 }
 

@@ -2,8 +2,8 @@
 //!
 //! The derivation system reduces bound inference to linear programming but
 //! does not care *how* the program is solved — the paper's artifact used
-//! Gurobi, this reproduction ships a dense simplex and a sparse revised
-//! simplex, and a production deployment might shell out to a parallel
+//! Gurobi, this reproduction ships two configurations of one shared simplex
+//! core, and a production deployment might shell out to a parallel
 //! interior-point solver.  The [`LpBackend`] trait is that seam: everything
 //! above `cma-lp` (the constraint builder, the analysis engine, the
 //! `Analysis` pipeline facade) takes a backend value instead of hard-wiring a
@@ -28,9 +28,9 @@
 //!   top of `open`.
 //!
 //! Every entry point has a `_with` twin taking [`SolverTuning`] (pricing
-//! rule, presolve) — the built-in backends honor it, running the presolve
-//! pass at open and pricing with the requested rule; [`TunedBackend`] pins a
-//! tuning onto a backend value for callers generic over [`LpBackend`].
+//! rule, presolve, basis factorization, warm-resolve strategy) — the
+//! built-in backends honor it; [`TunedBackend`] pins a tuning onto a backend
+//! value for callers generic over [`LpBackend`].
 //!
 //! Variable ids are shared between a session and the [`LpProblem`] it was
 //! opened on: ids created through [`LpSession::add_var`] continue the same id
@@ -62,14 +62,14 @@
 //!
 //! # Implementing a backend
 //!
-//! New backends implement [`LpBackend::open`] and inherit `solve` /
-//! `solve_batch`.  Backends written against the PR 1 one-shot contract that
-//! only override [`solve`](LpBackend::solve) keep compiling: the default
-//! `open` wraps such a backend in a re-solving session.  That path is
-//! **soft-deprecated** — it re-solves from scratch on every `minimize`, so
-//! stateful reuse and incremental rows gain nothing; port to `open` to
-//! benefit.  Implement at least one of `open`/`solve`, or every call recurses
-//! between the two defaults.
+//! New backends implement [`LpBackend::open`] (the one required method
+//! besides [`name`](LpBackend::name)) and inherit `solve` / `solve_batch`.
+//! The PR 1-era escape hatch — a default `open` that wrapped `solve`-only
+//! backends in a re-solving session — is gone: it silently re-solved from
+//! scratch on every `minimize`, so stateful reuse and incremental rows
+//! gained nothing, and its last in-tree caller has been ported.  A backend
+//! whose underlying solver really is one-shot can still implement `open` as
+//! a few lines that keep the growable problem and re-solve per `minimize`.
 //!
 //! Backends must be [`Sync`]: [`solve_batch`](LpBackend::solve_batch) shares
 //! one backend value across worker threads to solve independent problems
@@ -78,9 +78,9 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+use crate::core::SimplexCore;
 use crate::presolve::presolve;
 use crate::pricing::SolverTuning;
-use crate::revised::RevisedState;
 use crate::simplex::{Cmp, LpProblem, LpSolution, LpVarId};
 
 /// An open solver session over one (growable) constraint system.
@@ -105,6 +105,16 @@ pub trait LpSession {
 
     /// Number of constraint rows currently in the session.
     fn num_constraints(&self) -> usize;
+
+    /// Whether this session repairs incrementally added rows *in place*
+    /// (e.g. by dual-simplex pivots from the warm basis) rather than
+    /// re-solving from scratch.  Callers with a choice — like the engine's
+    /// soundness extension, which can alternatively solve a disjoint
+    /// subsystem standalone — use this to decide whether flushing more rows
+    /// into the live session is the cheap path.  Default: `false`.
+    fn warm_resolves_in_place(&self) -> bool {
+        false
+    }
 }
 
 /// A linear-programming solver usable by the analysis.
@@ -117,21 +127,12 @@ pub trait LpBackend: Sync {
     /// Opens a session over the problem's constraint set (the problem's own
     /// objective, if any, is ignored — objectives are passed to
     /// [`LpSession::minimize`]).
-    ///
-    /// The default wraps [`solve`](Self::solve)-only backends in a session
-    /// that re-solves from scratch on every call; stateful backends should
-    /// override it.
-    fn open<'a>(&'a self, problem: &LpProblem) -> Box<dyn LpSession + 'a> {
-        Box::new(ResolveSession {
-            problem: problem.clone(),
-            solve: Box::new(move |p| self.solve(p)),
-        })
-    }
+    fn open<'a>(&'a self, problem: &LpProblem) -> Box<dyn LpSession + 'a>;
 
     /// Opens a session under explicit [`SolverTuning`] (pricing rule,
-    /// presolve).  The default ignores the tuning and defers to
-    /// [`open`](Self::open), so third-party backends keep compiling; the
-    /// built-in backends honor it.
+    /// presolve, factorization, warm-resolve strategy).  The default
+    /// ignores the tuning and defers to [`open`](Self::open), so
+    /// third-party backends keep compiling; the built-in backends honor it.
     fn open_with<'a>(
         &'a self,
         problem: &LpProblem,
@@ -219,15 +220,17 @@ fn open_maybe_presolved<'a>(
     }
 }
 
-/// The fallback session used by the default [`LpBackend::open`]: keeps the
-/// (growable) problem and re-solves it from scratch on every `minimize`.
-/// Correct for any conforming one-shot backend, but gains nothing from reuse.
-struct ResolveSession<'a> {
+/// The dense backend's session: keeps the (growable) problem and runs the
+/// shared simplex core — dense column storage, tuned factorization — from
+/// scratch on every `minimize`.  Deliberately stateless between solves:
+/// that is what makes it the trustworthy reference the stateful
+/// [`SparseBackend`] is pinned against.
+struct ReSolveSession {
     problem: LpProblem,
-    solve: Box<dyn Fn(&LpProblem) -> LpSolution + 'a>,
+    tuning: SolverTuning,
 }
 
-impl LpSession for ResolveSession<'_> {
+impl LpSession for ReSolveSession {
     fn add_var(&mut self, name: &str, free: bool) -> LpVarId {
         self.problem.add_var(name, free)
     }
@@ -238,7 +241,7 @@ impl LpSession for ResolveSession<'_> {
 
     fn minimize(&mut self, objective: &[(LpVarId, f64)]) -> LpSolution {
         self.problem.set_objective(objective.to_vec());
-        (self.solve)(&self.problem)
+        self.problem.solve_dense_with(&self.tuning)
     }
 
     fn num_vars(&self) -> usize {
@@ -252,9 +255,11 @@ impl LpSession for ResolveSession<'_> {
 
 /// The built-in dense two-phase primal simplex (the reference backend).
 ///
-/// Its sessions re-solve the full tableau on every `minimize` — simple and
-/// trustworthy, which is exactly what the reference implementation should be.
-/// The stateful, warm-started alternative is [`SparseBackend`](crate::SparseBackend).
+/// A thin configuration of the shared [`SimplexCore`]: dense column storage,
+/// sessions that re-solve from scratch on every `minimize` — simple and
+/// trustworthy, which is exactly what the reference implementation should
+/// be.  The stateful, warm-started alternative is
+/// [`SparseBackend`](crate::SparseBackend).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SimplexBackend;
 
@@ -272,11 +277,11 @@ impl LpBackend for SimplexBackend {
         problem: &LpProblem,
         tuning: &SolverTuning,
     ) -> Box<dyn LpSession + 'a> {
-        let pricing = tuning.pricing;
-        open_maybe_presolved(problem, tuning, |reduced| {
-            Box::new(ResolveSession {
+        let tuning = *tuning;
+        open_maybe_presolved(problem, &tuning, |reduced| {
+            Box::new(ReSolveSession {
                 problem: reduced.clone(),
-                solve: Box::new(move |p| p.solve_with(pricing)),
+                tuning,
             })
         })
     }
@@ -284,10 +289,12 @@ impl LpBackend for SimplexBackend {
 
 /// The sparse revised simplex over the CSR constraint matrix.
 ///
-/// Sessions keep the basis factorization warm: re-minimizing with a new
-/// objective restarts phase 2 from the previous optimal basis, and
-/// incrementally added rows extend the basis instead of rebuilding it (see
-/// `crates/lp/src/revised.rs`).
+/// The shared [`SimplexCore`] with sparse column storage and live session
+/// state: re-minimizing with a new objective restarts phase 2 from the
+/// previous optimal basis, incrementally added rows extend the basis instead
+/// of rebuilding it, and — under the default dual warm-resolve strategy — a
+/// cutting row is repaired by a handful of dual-simplex pivots rather than a
+/// phase-1 restart (see `crates/lp/src/core.rs`).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SparseBackend;
 
@@ -305,9 +312,8 @@ impl LpBackend for SparseBackend {
         problem: &LpProblem,
         tuning: &SolverTuning,
     ) -> Box<dyn LpSession + 'a> {
-        let pricing = tuning.pricing;
         open_maybe_presolved(problem, tuning, |reduced| {
-            Box::new(RevisedState::open_with(reduced, pricing))
+            Box::new(SimplexCore::open_with(reduced, tuning, false))
         })
     }
 }
@@ -315,8 +321,8 @@ impl LpBackend for SparseBackend {
 /// A backend bound to explicit [`SolverTuning`]: every session it opens —
 /// through `open`, `open_with`, `solve`, or a batch — uses *its* tuning,
 /// regardless of what the caller passes.  This is how a caller-side pricing
-/// choice (e.g. `cma --pricing devex`) rides through code generic over
-/// [`LpBackend`].
+/// or factorization choice (e.g. `cma --factor lu`) rides through code
+/// generic over [`LpBackend`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TunedBackend<B> {
     backend: B,
@@ -456,28 +462,33 @@ mod tests {
         assert!(dynamic.open(&lp).minimize(lp.objective()).is_optimal());
     }
 
-    /// A PR 1-era backend: overrides only `solve`.  The default `open` must
-    /// wrap it in a conforming (re-solving) session.
-    struct LegacyBackend;
+    /// A third-party backend that implements only the required `open`
+    /// (as a re-solving session) must inherit working `solve` and
+    /// `solve_batch` defaults.
+    struct MinimalBackend;
 
-    impl LpBackend for LegacyBackend {
+    impl LpBackend for MinimalBackend {
         fn name(&self) -> &str {
-            "legacy"
+            "minimal"
         }
 
-        fn solve(&self, problem: &LpProblem) -> LpSolution {
-            problem.solve()
+        fn open<'a>(&'a self, problem: &LpProblem) -> Box<dyn LpSession + 'a> {
+            Box::new(ReSolveSession {
+                problem: problem.clone(),
+                tuning: SolverTuning::default(),
+            })
         }
     }
 
     #[test]
-    fn solve_only_backends_get_sessions_through_the_default_open() {
+    fn open_only_backends_inherit_solve_and_sessions() {
         let lp = toy_problem();
-        let mut session = LegacyBackend.open(&lp);
+        assert!((MinimalBackend.solve(&lp).objective - (-7.0)).abs() < 1e-7);
+        let mut session = MinimalBackend.open(&lp);
         let first = session.minimize(lp.objective());
         assert_eq!(first.status, LpStatus::Optimal);
         assert!((first.objective - (-7.0)).abs() < 1e-7);
-        // Incremental row through the fallback session: y <= 1 moves the
+        // Incremental row through the re-solving session: y <= 1 moves the
         // optimum to (3, 1) with objective -5.
         let y = LpVarId::from_index(1);
         session.add_constraint(&[(y, 1.0)], Cmp::Le, 1.0);

@@ -1,48 +1,52 @@
-//! Sparse revised simplex — the stateful engine behind
-//! [`SparseBackend`](crate::SparseBackend) sessions.
+//! The unified simplex core shared by every built-in backend.
 //!
-//! Where the dense reference solver carries a full `m × n` tableau through
-//! every pivot, the revised method keeps only
+//! Until PR 4 the crate carried two parallel implementations of the same
+//! iteration loop — a dense tableau solver and a sparse revised simplex —
+//! and every pivoting feature (Harris ratio test, anti-degeneracy
+//! perturbation, artificial-pivot guard) had to be written twice.
+//! [`SimplexCore`] is the single remaining loop, parameterized along two
+//! axes:
 //!
-//! * the constraint columns in sparse form (one `(row, coeff)` list per
-//!   column, assembled from the problem's CSR rows),
-//! * a dense `m × m` basis inverse `B⁻¹`, and
-//! * the basic values `x_B = B⁻¹ b`.
+//! * the **matrix representation** ([`ColumnStore`]): sparse `(row, coeff)`
+//!   lists (the session backend) or dense column vectors (the reference
+//!   configuration the dense backend solves with);
+//! * the **basis factorization** ([`Factorization`](crate::factor)):
+//!   an explicit dense `B⁻¹` or a Markowitz LU with eta-file updates,
+//!   chosen per solve via [`SolverTuning::factor`](crate::SolverTuning).
 //!
-//! Pricing computes `y = c_Bᵀ B⁻¹` once per iteration and scores each column
-//! by a sparse dot product, so an iteration costs `O(m² + nnz)` instead of
-//! the tableau's `O(m · n)` — the win the Fig. 10 chain programs need, whose
-//! constraint matrices have a few nonzeros per row but thousands of columns.
-//!
-//! Being stateful buys the session operations of the [`LpSession`] contract:
+//! The core is stateful and implements the full [`LpSession`] contract:
 //!
 //! * **re-minimize** — a new objective restarts phase 2 from the previous
-//!   optimal basis (the constraint set is unchanged, so that basis is still
-//!   feasible) and skips phase 1 entirely;
-//! * **incremental rows** — an added row extends the basis in place: the new
-//!   row's slack (or a fresh artificial, when the current point violates the
-//!   row) becomes basic, `B⁻¹` grows by one bordered row, and only the new
-//!   artificials — never the whole system — go through phase 1;
+//!   optimal basis and skips phase 1 entirely;
+//! * **incremental rows** — an appended row extends the basis in place with
+//!   the row's slack (or an artificial for equality rows).  Under the
+//!   default [`WarmStrategy::Dual`], a row the current point violates makes
+//!   its new basic variable *negative* and the next solve restores primal
+//!   feasibility with **dual-simplex pivots** from the still-dual-feasible
+//!   optimal basis — a handful of pivots instead of a phase-1 restart.
+//!   [`WarmStrategy::Phase1`] keeps the legacy artificial-plus-phase-1 path;
 //! * **incremental columns** — a new variable enters nonbasic at zero and
 //!   disturbs nothing.
 //!
-//! Numerical discipline mirrors the dense solver: a pluggable pricing rule
-//! (devex by default — see [`pricing`](crate::pricing)), the Harris two-pass
-//! ratio test with a bounded right-hand-side perturbation against degenerate
-//! cycling (Bland's rule survives only as the size-scaled last resort),
-//! periodic refactorization of `B⁻¹` from the pristine columns, and
-//! fresh-refactorized confirmation before optimality or unboundedness is
-//! declared.
+//! Numerical discipline is unchanged from the pre-seam solvers: pluggable
+//! pricing (devex by default), the Harris two-pass ratio test with a bounded
+//! right-hand-side perturbation against degenerate cycling, Bland's rule as
+//! the size-scaled last resort, periodic refactorization from the pristine
+//! columns, and fresh-refactorized confirmation before optimality or
+//! unboundedness is declared.  The dual-simplex driver gets the same
+//! treatment: stability-first ratio tie-breaking, a Bland-style fallback,
+//! and a hard cap after which the solve falls back to a cold phase-1 start
+//! rather than risk a wrong verdict.
 
-// Simplex kernels index several parallel vectors (directions, basic values,
-// inverse rows) at once; indexed loops are the clearest form here, as in the
-// dense solver.
+// Simplex kernels index several parallel vectors (directions, basic values)
+// at once; indexed loops are the clearest form here.
 #![allow(clippy::needless_range_loop)]
 
 use std::collections::BTreeMap;
 
 use crate::backend::LpSession;
-use crate::pricing::{bland_fallback_threshold, PivotView, PricingRule};
+use crate::factor::{FactorKind, Factorization, WarmStrategy};
+use crate::pricing::{bland_fallback_threshold, PivotView, PricingRule, SolverTuning};
 use crate::simplex::{Cmp, LpProblem, LpSolution, LpStatus, LpVarId, SolveStats};
 
 const EPS: f64 = 1e-9;
@@ -51,6 +55,9 @@ const PIVOT_EPS: f64 = 1e-7;
 /// Tolerance used when confirming unboundedness against fresh reduced costs.
 const UNBOUNDED_EPS: f64 = 1e-6;
 const FEAS_EPS: f64 = 1e-6;
+/// Reduced costs this far below zero disqualify the warm basis from a dual
+/// re-solve (numerics drifted; fall back to a cold start).
+const DUAL_FEAS_EPS: f64 = 1e-6;
 
 /// What a standard-form column stands for.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -59,17 +66,113 @@ enum ColKind {
     Structural,
     /// A slack variable of an inequality row.
     Slack,
-    /// An artificial variable (phase-1 only; banned from phase 2).
+    /// An artificial variable (phase-1 only; banned from phase 2 and from
+    /// entering during dual pivots).
     Artificial,
 }
 
-/// The revised-simplex session state (see the [module docs](self)).
+/// The constraint columns in standard form — the matrix-representation axis
+/// of the core.
+///
+/// `Sparse` stores one `(row, coeff)` list per column (what the session
+/// backend uses); `Dense` stores plain column vectors, the thin
+/// configuration the dense reference backend runs the same core with.
 #[derive(Debug, Clone)]
-pub(crate) struct RevisedState {
+pub(crate) enum ColumnStore {
+    Sparse(Vec<Vec<(usize, f64)>>),
+    Dense(Vec<Vec<f64>>),
+}
+
+impl ColumnStore {
+    /// An empty store of the requested representation.
+    pub(crate) fn new(dense: bool) -> ColumnStore {
+        if dense {
+            ColumnStore::Dense(Vec::new())
+        } else {
+            ColumnStore::Sparse(Vec::new())
+        }
+    }
+
+    /// Number of columns.
+    pub(crate) fn num_cols(&self) -> usize {
+        match self {
+            ColumnStore::Sparse(cols) => cols.len(),
+            ColumnStore::Dense(cols) => cols.len(),
+        }
+    }
+
+    /// Appends an empty column, returning its index.
+    pub(crate) fn push_col(&mut self) -> usize {
+        match self {
+            ColumnStore::Sparse(cols) => {
+                cols.push(Vec::new());
+                cols.len() - 1
+            }
+            ColumnStore::Dense(cols) => {
+                cols.push(Vec::new());
+                cols.len() - 1
+            }
+        }
+    }
+
+    /// Adds `val` to entry (`row`, `j`).
+    pub(crate) fn push_entry(&mut self, j: usize, row: usize, val: f64) {
+        match self {
+            ColumnStore::Sparse(cols) => cols[j].push((row, val)),
+            ColumnStore::Dense(cols) => {
+                let col = &mut cols[j];
+                if col.len() <= row {
+                    col.resize(row + 1, 0.0);
+                }
+                col[row] += val;
+            }
+        }
+    }
+
+    /// Visits the nonzero `(row, value)` entries of column `j`.
+    pub(crate) fn for_each(&self, j: usize, f: &mut dyn FnMut(usize, f64)) {
+        match self {
+            ColumnStore::Sparse(cols) => {
+                for &(r, a) in &cols[j] {
+                    f(r, a);
+                }
+            }
+            ColumnStore::Dense(cols) => {
+                for (r, &a) in cols[j].iter().enumerate() {
+                    if a != 0.0 {
+                        f(r, a);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The dot product of column `j` with a row-indexed vector.
+    fn dot(&self, j: usize, x: &[f64]) -> f64 {
+        match self {
+            ColumnStore::Sparse(cols) => cols[j].iter().map(|&(r, a)| a * x[r]).sum(),
+            ColumnStore::Dense(cols) => cols[j].iter().zip(x).map(|(a, xr)| a * xr).sum(),
+        }
+    }
+}
+
+/// Outcome of the dual-simplex feasibility restoration.
+enum DualOutcome {
+    /// Primal feasibility restored; the basis is optimal for the old costs.
+    Restored,
+    /// A violated row admits no entering column: the system is primal
+    /// infeasible (confirmed by a cold solve before it is reported).
+    Infeasible,
+    /// Iteration cap or numerics — restart cold instead.
+    GaveUp,
+}
+
+/// The unified simplex state (see the [module docs](self)).
+pub(crate) struct SimplexCore {
     /// Problem variable → (positive column, optional negative column).
     var_cols: Vec<(usize, Option<usize>)>,
-    /// Sparse columns of the standard-form matrix: `(row, coeff)` lists.
-    cols: Vec<Vec<(usize, f64)>>,
+    /// Standard-form constraint columns.
+    cols: ColumnStore,
     kind: Vec<ColKind>,
     /// Right-hand sides, sign-normalized at row entry so the initial basic
     /// value of every row is non-negative.
@@ -79,61 +182,91 @@ pub(crate) struct RevisedState {
     init_basis: Vec<usize>,
     basis: Vec<usize>,
     is_basic: Vec<bool>,
-    /// Dense basis inverse; `binv[i][r]` is entry `(i, r)` of `B⁻¹`.
-    binv: Vec<Vec<f64>>,
-    /// Current basic values, aligned with `basis`.
+    /// The pluggable basis factorization.
+    factor: Box<dyn Factorization>,
+    /// The factorization no longer matches `basis` (declined update or row
+    /// extension); rebuilt from pristine columns before the next pivots.
+    factor_stale: bool,
+    /// Current basic values, aligned with `basis`.  May carry *negative*
+    /// entries after warm row extension under the dual strategy.
     xb: Vec<f64>,
-    /// Whether `basis`/`binv`/`xb` describe a feasible point of the current
-    /// rows (true after an `Optimal` minimize; false forces a rebuild).
+    /// Whether `basis`/`factor`/`xb` describe the state left by an
+    /// `Optimal` minimize (false forces a cold rebuild).
     warm: bool,
     /// Whether incrementally added rows introduced artificials that still
-    /// carry positive values (phase 1 over them runs at the next minimize).
+    /// carry positive values (phase 1 over them runs at the next minimize;
+    /// [`WarmStrategy::Phase1`] only).
     needs_phase1: bool,
+    /// Standard-form costs of the last successful minimize — the objective
+    /// the warm basis is dual feasible for, which is what the dual-simplex
+    /// restoration prices with.
+    last_costs: Option<Vec<f64>>,
     /// Lifetime pivot counter (diagnostics only).
     pivots: usize,
-    /// Pivots applied since `binv` was last rebuilt from pristine columns
-    /// (by [`rebuild`](Self::rebuild) or a successful refactorization).
-    /// Gates the O(m³) refreshes: a pristine inverse needs none.
+    /// Pivots applied since the factorization was last rebuilt from pristine
+    /// columns.  Gates the periodic refreshes.
     stale_pivots: usize,
     /// Pricing rule used to choose entering columns.
     pricing: PricingRule,
+    /// Warm re-solve strategy for incrementally added rows.
+    warm_strategy: WarmStrategy,
     /// Per-`minimize` solver counters (reset at each `minimize`).
     stats: SolveStats,
-    /// Whether `xb` currently carries an anti-degeneracy shift (washed out by
-    /// the next refactorization; must be washed before values are extracted).
+    /// Whether `xb` currently carries an anti-degeneracy shift (washed out
+    /// by the next refactorization; must be washed before values are
+    /// extracted).
     xb_shifted: bool,
 }
 
-impl RevisedState {
-    /// Opens a session over the problem's variables and constraint rows,
-    /// pricing with the given rule.
-    pub(crate) fn open_with(problem: &LpProblem, pricing: PricingRule) -> RevisedState {
-        let mut state = RevisedState {
+impl SimplexCore {
+    /// Opens a core over the problem's variables and constraint rows with
+    /// the given representation and tuning (presolve is the backend
+    /// wrapper's business and ignored here).
+    pub(crate) fn open_with(
+        problem: &LpProblem,
+        tuning: &SolverTuning,
+        dense: bool,
+    ) -> SimplexCore {
+        let mut core = SimplexCore {
             var_cols: Vec::new(),
-            cols: Vec::new(),
+            cols: ColumnStore::new(dense),
             kind: Vec::new(),
             b: Vec::new(),
             init_basis: Vec::new(),
             basis: Vec::new(),
             is_basic: Vec::new(),
-            binv: Vec::new(),
+            factor: tuning.factor.instantiate(),
+            factor_stale: false,
             xb: Vec::new(),
             warm: false,
             needs_phase1: false,
+            last_costs: None,
             pivots: 0,
             stale_pivots: 0,
-            pricing,
+            pricing: tuning.pricing,
+            warm_strategy: tuning.warm,
             stats: SolveStats::default(),
             xb_shifted: false,
         };
         for v in 0..problem.num_vars() {
-            state.push_var(problem.is_free(LpVarId::from_index(v)));
+            core.push_var(problem.is_free(LpVarId::from_index(v)));
         }
         for i in 0..problem.num_constraints() {
             let terms: Vec<(LpVarId, f64)> = problem.constraint_terms(i).collect();
-            state.append_row(&terms, problem.cmp(i), problem.rhs(i));
+            core.append_row(&terms, problem.cmp(i), problem.rhs(i));
         }
-        state
+        core
+    }
+
+    /// Solves one problem in place: open + a single `minimize` of the
+    /// problem's own objective.  This is the dense reference path.
+    pub(crate) fn solve_problem(
+        problem: &LpProblem,
+        tuning: &SolverTuning,
+        dense: bool,
+    ) -> LpSolution {
+        let mut core = SimplexCore::open_with(problem, tuning, dense);
+        core.minimize(problem.objective())
     }
 
     fn push_var(&mut self, free: bool) -> LpVarId {
@@ -144,10 +277,10 @@ impl RevisedState {
     }
 
     fn new_col(&mut self, kind: ColKind) -> usize {
-        self.cols.push(Vec::new());
+        let j = self.cols.push_col();
         self.kind.push(kind);
         self.is_basic.push(false);
-        self.cols.len() - 1
+        j
     }
 
     /// Splits free variables and accumulates a constraint row into per-column
@@ -184,13 +317,13 @@ impl RevisedState {
         }
         let row = self.b.len();
         for (&col, &val) in &entries {
-            self.cols[col].push((row, val));
+            self.cols.push_entry(col, row, val);
         }
         let slack = match cmp {
             Cmp::Le | Cmp::Ge => {
                 let coeff = if cmp == Cmp::Le { 1.0 } else { -1.0 };
                 let col = self.new_col(ColKind::Slack);
-                self.cols[col].push((row, coeff));
+                self.cols.push_entry(col, row, coeff);
                 Some((col, coeff))
             }
             Cmp::Eq => None,
@@ -199,7 +332,7 @@ impl RevisedState {
             Some((col, coeff)) if coeff > 0.0 => col,
             _ => {
                 let art = self.new_col(ColKind::Artificial);
-                self.cols[art].push((row, 1.0));
+                self.cols.push_entry(art, row, 1.0);
                 art
             }
         };
@@ -211,10 +344,14 @@ impl RevisedState {
         }
     }
 
-    /// Extends the warm basis with a freshly appended row: picks a basic
-    /// column whose value at the current point is non-negative (the slack
-    /// when the row already holds, otherwise an artificial absorbing the
-    /// violation) and borders `B⁻¹` accordingly.
+    /// Extends the warm basis with a freshly appended row.
+    ///
+    /// Under [`WarmStrategy::Dual`] the new basic variable is the row's own
+    /// slack (or, for equality rows, an artificial whose coefficient sign
+    /// makes its value non-positive); a violated row simply leaves that
+    /// basic *negative*, to be repaired by dual pivots at the next solve.
+    /// Under [`WarmStrategy::Phase1`] a violated row gets an artificial
+    /// absorbing the violation and phase 1 runs at the next solve.
     fn extend_basis(
         &mut self,
         row: usize,
@@ -223,7 +360,6 @@ impl RevisedState {
         init_col: usize,
         rhs: f64,
     ) {
-        let m_old = self.basis.len();
         // Current point, per column: basic values, everything else zero.
         let lhs: f64 = entries
             .iter()
@@ -239,42 +375,62 @@ impl RevisedState {
         let resid = rhs - lhs;
 
         // Choose the entering basic column and its coefficient in this row.
-        let (basic_col, coeff) = match slack {
-            Some((col, sc)) if resid / sc >= -EPS => (col, sc),
-            _ if self.kind[init_col] == ColKind::Artificial && resid >= -EPS => (init_col, 1.0),
-            _ => {
-                // The current point violates the row in the direction no
-                // existing column can absorb: add an artificial of the
-                // matching sign.
-                let sign = if resid >= 0.0 { 1.0 } else { -1.0 };
-                let art = self.new_col(ColKind::Artificial);
-                self.cols[art].push((row, sign));
-                (art, sign)
+        let (basic_col, coeff, value) = match self.warm_strategy {
+            WarmStrategy::Dual => match slack {
+                // Slack rows: the slack is always basic; a violated row
+                // shows as a negative slack value.
+                Some((col, sc)) => (col, sc, resid / sc),
+                // Equality rows: an artificial whose sign keeps the basic
+                // value ≤ 0, so the dual pivots drive it to its bound (0)
+                // and retire it.  `init_col` (coefficient +1) serves when
+                // the residual is non-positive; a violated direction gets a
+                // fresh −1 artificial.
+                None if resid <= EPS => (init_col, 1.0, resid),
+                None => {
+                    let art = self.new_col(ColKind::Artificial);
+                    self.cols.push_entry(art, row, -1.0);
+                    (art, -1.0, -resid)
+                }
+            },
+            WarmStrategy::Phase1 => {
+                let (col, c) = match slack {
+                    Some((col, sc)) if resid / sc >= -EPS => (col, sc),
+                    _ if self.kind[init_col] == ColKind::Artificial && resid >= -EPS => {
+                        (init_col, 1.0)
+                    }
+                    _ => {
+                        // The current point violates the row in the
+                        // direction no existing column can absorb: add an
+                        // artificial of the matching sign.
+                        let sign = if resid >= 0.0 { 1.0 } else { -1.0 };
+                        let art = self.new_col(ColKind::Artificial);
+                        self.cols.push_entry(art, row, sign);
+                        (art, sign)
+                    }
+                };
+                (col, c, (resid / c).max(0.0))
             }
         };
-        let value = (resid / coeff).max(0.0);
-        if self.kind[basic_col] == ColKind::Artificial && value > FEAS_EPS {
+        if self.warm_strategy == WarmStrategy::Phase1
+            && self.kind[basic_col] == ColKind::Artificial
+            && value > FEAS_EPS
+        {
             self.needs_phase1 = true;
         }
 
-        // Border B⁻¹: with M = [[B, 0], [w, c]] the inverse is
-        // [[B⁻¹, 0], [-(w·B⁻¹)/c, 1/c]], where w holds the new row's
-        // coefficients at the old basic columns.
+        // Border the factorization.  `w` holds the new row's coefficients at
+        // the old basic columns, by basis position.
         let w: Vec<f64> = self
             .basis
             .iter()
             .map(|&col| entries.get(&col).copied().unwrap_or(0.0))
             .collect();
-        let mut border = vec![0.0; m_old + 1];
-        for (r, border_r) in border.iter_mut().enumerate().take(m_old) {
-            let wb: f64 = (0..m_old).map(|k| w[k] * self.binv[k][r]).sum();
-            *border_r = -wb / coeff;
+        if self.factor.extend_row(&w, coeff).is_err() {
+            // Declined (LU, or a near-singular border pivot): the basis
+            // bookkeeping still grows and the factorization is rebuilt from
+            // pristine columns before the next solve.
+            self.factor_stale = true;
         }
-        border[m_old] = 1.0 / coeff;
-        for r in self.binv.iter_mut() {
-            r.push(0.0);
-        }
-        self.binv.push(border);
         self.basis.push(basic_col);
         self.is_basic[basic_col] = true;
         self.xb.push(value);
@@ -290,54 +446,46 @@ impl RevisedState {
         for &col in &self.basis {
             self.is_basic[col] = true;
         }
-        self.binv = (0..m)
-            .map(|i| {
-                let mut row = vec![0.0; m];
-                row[i] = 1.0;
-                row
-            })
-            .collect();
+        // The initial basis is one slack/artificial with coefficient +1 per
+        // row: B = I, so a refactorization is exact and cheap.
+        self.factor.refactorize(m, &self.basis, &self.cols);
+        self.factor_stale = false;
         self.xb = self.b.clone();
         self.stale_pivots = 0;
+        self.xb_shifted = false;
         self.needs_phase1 = self.kind.contains(&ColKind::Artificial);
+        self.last_costs = None;
     }
 
-    /// `y = c_Bᵀ B⁻¹`.
+    /// `y = c_Bᵀ B⁻¹` via btran.
     fn dual_prices(&self, col_costs: &[f64]) -> Vec<f64> {
-        let m = self.basis.len();
-        let mut y = vec![0.0; m];
-        for k in 0..m {
-            let cb = col_costs.get(self.basis[k]).copied().unwrap_or(0.0);
-            if cb.abs() > EPS {
-                for (yr, br) in y.iter_mut().zip(&self.binv[k]) {
-                    *yr += cb * br;
-                }
-            }
-        }
-        y
+        let cb: Vec<f64> = self
+            .basis
+            .iter()
+            .map(|&col| col_costs.get(col).copied().unwrap_or(0.0))
+            .collect();
+        self.factor.btran(&cb)
     }
 
     /// Reduced cost of one column under dual prices `y`.
     fn reduced_cost(&self, j: usize, col_costs: &[f64], y: &[f64]) -> f64 {
-        let dot: f64 = self.cols[j].iter().map(|&(r, a)| y[r] * a).sum();
-        col_costs[j] - dot
+        col_costs[j] - self.cols.dot(j, y)
     }
 
-    /// `d = B⁻¹ A_j`.
+    /// `d = B⁻¹ A_j` via the factorization's sparse-rhs ftran.
     fn direction(&self, j: usize) -> Vec<f64> {
-        let m = self.basis.len();
-        let mut d = vec![0.0; m];
-        let entries = &self.cols[j];
-        for (di, row) in d.iter_mut().zip(&self.binv) {
-            let mut acc = 0.0;
-            for &(r, a) in entries {
-                acc += row[r] * a;
-            }
-            *di = acc;
-        }
-        d
+        let mut entries: Vec<(usize, f64)> = Vec::new();
+        self.cols.for_each(j, &mut |r, v| entries.push((r, v)));
+        self.factor.ftran_sparse(&entries)
     }
 
+    /// Row `p` of `B⁻¹` (a copy under the dense inverse, a sparse-rhs btran
+    /// under LU).
+    fn inverse_row(&self, p: usize) -> Vec<f64> {
+        self.factor.inverse_row(p)
+    }
+
+    /// Performs the basis change bookkeeping and the factorization update.
     fn pivot(&mut self, p: usize, entering: usize, d: &[f64]) {
         let m = self.basis.len();
         let theta = self.xb[p] / d[p];
@@ -347,24 +495,18 @@ impl RevisedState {
             }
         }
         self.xb[p] = theta;
-        let dp = d[p];
-        for x in self.binv[p].iter_mut() {
-            *x /= dp;
-        }
-        // One clone of the pivot row sidesteps the split borrow; the O(m)
-        // copy is dominated by the O(m²) update below.
-        let pivot_row = self.binv[p].clone();
-        for i in 0..m {
-            if i != p && d[i].abs() > EPS {
-                let factor = d[i];
-                for (x, pr) in self.binv[i].iter_mut().zip(&pivot_row) {
-                    *x -= factor * pr;
-                }
-            }
-        }
         self.is_basic[self.basis[p]] = false;
         self.is_basic[entering] = true;
         self.basis[p] = entering;
+        if self.factor.update(p, d).is_ok() {
+            if self.factor.kind() == FactorKind::Lu {
+                self.stats.etas += 1;
+            }
+        } else {
+            // Unstable or saturated update: rebuild from pristine columns
+            // before the next pivots.
+            self.factor_stale = true;
+        }
         self.pivots += 1;
         self.stale_pivots = self.stale_pivots.saturating_add(1);
     }
@@ -372,8 +514,8 @@ impl RevisedState {
     /// Nudges every (near-)zero basic value by a tiny, row-unique amount —
     /// the bounded right-hand-side perturbation that breaks degenerate pivot
     /// cycles (see [`degeneracy_shift`](crate::pricing::degeneracy_shift)).
-    /// The shift is temporary: any refactorization recomputes `xb` from the
-    /// pristine right-hand sides.
+    /// Temporary: any refactorization recomputes `xb` from the pristine
+    /// right-hand sides.
     fn shift_degenerate_basics(&mut self, round: usize) {
         for (i, x) in self.xb.iter_mut().enumerate() {
             if x.abs() <= FEAS_EPS {
@@ -383,82 +525,25 @@ impl RevisedState {
         self.xb_shifted = true;
     }
 
-    /// Recomputes `B⁻¹` (Gauss-Jordan with partial pivoting on the pristine
-    /// basis columns) and `x_B = B⁻¹ b`; returns `false` on a numerically
-    /// singular basis, leaving the state untouched.
+    /// Rebuilds the factorization from the pristine basis columns and
+    /// recomputes `x_B = B⁻¹ b`; returns `false` on a numerically singular
+    /// basis, leaving the state untouched.
     fn refactorize(&mut self) -> bool {
         let m = self.basis.len();
-        let stride = 2 * m;
-        // Augmented [B | I], one flat allocation for cache-friendly sweeps.
-        let mut work = vec![0.0; m * stride];
-        for i in 0..m {
-            work[i * stride + m + i] = 1.0;
+        if !self.factor.refactorize(m, &self.basis, &self.cols) {
+            return false;
         }
-        for (k, &col) in self.basis.iter().enumerate() {
-            for &(r, a) in &self.cols[col] {
-                work[r * stride + k] = a;
-            }
-        }
-        for k in 0..m {
-            let pivot_row = (k..m).max_by(|&a, &b| {
-                work[a * stride + k]
-                    .abs()
-                    .partial_cmp(&work[b * stride + k].abs())
-                    .unwrap_or(std::cmp::Ordering::Equal)
-            });
-            let Some(r) = pivot_row else { return m == 0 };
-            if work[r * stride + k].abs() < 1e-11 {
-                return false;
-            }
-            if r != k {
-                for j in 0..stride {
-                    work.swap(k * stride + j, r * stride + j);
-                }
-            }
-            let pivot = work[k * stride + k];
-            for x in &mut work[k * stride..(k + 1) * stride] {
-                *x /= pivot;
-            }
-            for i in 0..m {
-                if i != k {
-                    let factor = work[i * stride + k];
-                    if factor != 0.0 {
-                        let (head, tail) = work.split_at_mut(k.max(i) * stride);
-                        let (row_i, row_k) = if i > k {
-                            (&mut tail[..stride], &head[k * stride..(k + 1) * stride])
-                        } else {
-                            (&mut head[i * stride..(i + 1) * stride][..], &tail[..stride])
-                        };
-                        // Skip the already-eliminated prefix: columns < k of
-                        // row k are zero.
-                        for (x, rk) in row_i[k..].iter_mut().zip(&row_k[k..]) {
-                            *x -= factor * rk;
-                        }
-                    }
-                }
-            }
-        }
-        // B⁻¹ maps basis positions to rows: position k's row of the inverse
-        // is row k of the right half (B X = I solved column-wise).  The
-        // right half is (B⁻¹) laid out so that entry (k, r) = work[k][m + r];
-        // but positions and rows are both indexed 0..m here with B's column k
-        // being basis[k], so binv[k] = work[k][m..].
-        self.binv = (0..m)
-            .map(|k| work[k * stride + m..(k + 1) * stride].to_vec())
-            .collect();
-        self.xb = self
-            .binv
-            .iter()
-            .map(|row| row.iter().zip(&self.b).map(|(x, b)| x * b).sum())
-            .collect();
+        self.xb = self.factor.ftran(&self.b);
         self.stale_pivots = 0;
         self.stats.refactorizations += 1;
         self.xb_shifted = false;
+        self.factor_stale = false;
         true
     }
 
-    /// Runs simplex iterations for the given standard-form column costs.
-    /// `ban_artificials` excludes artificial columns from entering (phase 2).
+    /// Runs primal simplex iterations for the given standard-form column
+    /// costs.  `ban_artificials` excludes artificial columns from entering
+    /// (phase 2).
     fn iterate(
         &mut self,
         col_costs: &[f64],
@@ -475,13 +560,14 @@ impl RevisedState {
         let result = self.iterate_inner(col_costs, ban_artificials, max_iters);
         if let Some(start) = start {
             eprintln!(
-                "[cma-lp revised] phase({}) {:?} in {:.1} ms: {} rows, {} cols, {} pivots",
+                "[cma-lp core] phase({}) {:?} in {:.1} ms: {} rows, {} cols, {} pivots, {} etas",
                 if ban_artificials { 2 } else { 1 },
                 result,
                 start.elapsed().as_secs_f64() * 1e3,
                 self.basis.len(),
-                self.cols.len(),
+                self.cols.num_cols(),
                 self.pivots - before,
+                self.factor.eta_count(),
             );
         }
         result
@@ -493,21 +579,21 @@ impl RevisedState {
         ban_artificials: bool,
         max_iters: usize,
     ) -> Result<(), LpStatus> {
-        let bland_after = bland_fallback_threshold(self.basis.len(), self.cols.len());
-        // How many pivots of drift the inverse may accumulate before it is
-        // recomputed from the pristine columns (an O(m³) Gauss-Jordan) —
-        // both periodically and before declaring optimality.
+        let bland_after = bland_fallback_threshold(self.basis.len(), self.cols.num_cols());
+        // How many pivots of drift the factorization may accumulate before
+        // it is recomputed from the pristine columns — both periodically and
+        // before declaring optimality.
         let refresh_period = 100;
-        let mut pricer = self.pricing.pricer(self.cols.len());
+        let mut pricer = self.pricing.pricer(self.cols.num_cols());
         let mut degen_streak = 0usize;
         let mut shift_rounds = 0usize;
-        // Dual prices are maintained incrementally (an O(m) update per
-        // pivot) and recomputed from scratch at refresh points and before
-        // any optimality/unboundedness verdict.
+        // Dual prices are maintained incrementally (one btran per pivot) and
+        // recomputed from scratch at refresh points and before any
+        // optimality/unboundedness verdict.
         let mut y = self.dual_prices(col_costs);
         // Chooses the entering column: the configured pricer, or — in the
         // last-resort regime — Bland's first improving column.
-        let pick = |state: &RevisedState,
+        let pick = |state: &SimplexCore,
                     pricer: &mut dyn crate::pricing::Pricer,
                     costs: &[f64],
                     y: &[f64],
@@ -517,17 +603,17 @@ impl RevisedState {
                 !(state.is_basic[j] || ban_artificials && state.kind[j] == ColKind::Artificial)
             };
             if bland {
-                (0..state.cols.len())
+                (0..state.cols.num_cols())
                     .find(|&j| candidate(j) && state.reduced_cost(j, costs, y) < -EPS)
             } else {
-                pricer.select(state.cols.len(), &candidate, &|j| {
+                pricer.select(state.cols.num_cols(), &candidate, &|j| {
                     state.reduced_cost(j, costs, y)
                 })
             }
         };
         for iter in 0..max_iters {
             self.stats.iterations += 1;
-            if self.stale_pivots >= refresh_period {
+            if self.factor_stale || self.stale_pivots >= refresh_period {
                 // Also washes out any live anti-degeneracy shift: the basic
                 // values are recomputed from the pristine right-hand sides.
                 self.refactorize();
@@ -546,9 +632,7 @@ impl RevisedState {
             if entering.is_none() {
                 // Recompute the incrementally maintained duals before
                 // trusting the verdict, and — when a full period of drift
-                // has accumulated — refactorize the basis too (below that
-                // the inverse is as fresh as the dense reference solver's
-                // tableau ever is between its periodic refreshes).
+                // has accumulated — refactorize the basis too.
                 if self.stale_pivots >= refresh_period {
                     self.refactorize();
                 }
@@ -590,34 +674,34 @@ impl RevisedState {
             } else {
                 degen_streak = 0;
             }
-            // Classic dual-price update: Δy = (r_q / d_p) · (B⁻¹)ₚ, which in
-            // terms of the *post-pivot* row (B'⁻¹)ₚ = (B⁻¹)ₚ / d_p is simply
-            // Δy = r_q · (B'⁻¹)ₚ — it zeroes the entering column's reduced
-            // cost (r'_q = r_q − (r_q/d_p)·d_p = 0).
             let rc_entering = self.reduced_cost(entering, col_costs, &y);
+            // Pre-pivot pivot row ρ = (B⁻¹)ₚ: feeds the devex weight update
+            // (α_j = ρ·A_j) and the incremental dual-price update.
+            let rho = self.inverse_row(p);
             {
-                // Devex weight update from the pre-pivot pivot row
-                // ρ = (B⁻¹)ₚ: α_j = ρ·A_j, one sparse dot per candidate.
-                let rho = &self.binv[p];
                 let cols = &self.cols;
                 let is_basic = &self.is_basic;
                 let kind = &self.kind;
                 let candidate =
                     |j: usize| !(is_basic[j] || ban_artificials && kind[j] == ColKind::Artificial);
-                let alpha = |j: usize| cols[j].iter().map(|&(r, a)| rho[r] * a).sum::<f64>();
+                let alpha = |j: usize| cols.dot(j, &rho);
                 pricer.observe_pivot(&PivotView {
                     entering,
                     leaving: self.basis[p],
                     alpha_q: d[p],
-                    n_cols: cols.len(),
+                    n_cols: cols.num_cols(),
                     candidate: &candidate,
                     alpha: &alpha,
                 });
             }
+            let dp = d[p];
             self.pivot(p, entering, &d);
+            // Classic dual-price update: Δy = (r_q / d_p) · ρ — it zeroes
+            // the entering column's reduced cost.
             if rc_entering.abs() > EPS {
-                for (yr, br) in y.iter_mut().zip(&self.binv[p]) {
-                    *yr += rc_entering * br;
+                let scale = rc_entering / dp;
+                for (yr, rr) in y.iter_mut().zip(&rho) {
+                    *yr += scale * rr;
                 }
             }
         }
@@ -682,11 +766,10 @@ impl RevisedState {
         leaving
     }
 
-    /// Two-pass Harris ratio test (see the dense solver's twin): pass 1
-    /// relaxes the feasibility tolerance to find the loosest admissible step,
-    /// pass 2 picks the numerically largest pivot among rows whose exact
-    /// ratio stays within it — degenerate corners get stable pivots instead
-    /// of tiny cycling ones.
+    /// Two-pass Harris ratio test: pass 1 relaxes the feasibility tolerance
+    /// to find the loosest admissible step, pass 2 picks the numerically
+    /// largest pivot among rows whose exact ratio stays within it —
+    /// degenerate corners get stable pivots instead of tiny cycling ones.
     fn harris_ratio_test(&self, d: &[f64], guard_artificials: bool) -> Option<usize> {
         let mut theta_relaxed = f64::INFINITY;
         for (i, &di) in d.iter().enumerate() {
@@ -721,7 +804,7 @@ impl RevisedState {
     /// Phase 1 over the artificial columns; returns `false` when the system
     /// is infeasible.
     fn run_phase1(&mut self, max_iters: usize) -> Result<bool, LpStatus> {
-        let mut costs = vec![0.0; self.cols.len()];
+        let mut costs = vec![0.0; self.cols.num_cols()];
         let mut any = false;
         for (j, &k) in self.kind.iter().enumerate() {
             if k == ColKind::Artificial {
@@ -759,23 +842,146 @@ impl RevisedState {
             if self.kind[self.basis[p]] != ColKind::Artificial {
                 continue;
             }
-            let candidate = (0..self.cols.len()).find(|&j| {
+            let rho = self.inverse_row(p);
+            let candidate = (0..self.cols.num_cols()).find(|&j| {
                 if self.is_basic[j] || self.kind[j] == ColKind::Artificial {
                     return false;
                 }
-                let dp: f64 = self.cols[j].iter().map(|&(r, a)| self.binv[p][r] * a).sum();
-                dp.abs() > PIVOT_EPS
+                self.cols.dot(j, &rho).abs() > PIVOT_EPS
             });
             if let Some(j) = candidate {
                 let d = self.direction(j);
                 self.pivot(p, j, &d);
+                if self.factor_stale {
+                    self.refactorize();
+                }
             }
         }
     }
 
+    /// Dual-simplex feasibility restoration (see the [module docs](self)):
+    /// prices with `last_costs` — the objective the warm basis is optimal,
+    /// hence dual feasible, for — and pivots the infeasible basic variables
+    /// out until every basic value is admissible again.
+    ///
+    /// Basic artificials are treated as bounded in `[0, 0]`: a nonzero value
+    /// in either direction makes them leaving candidates, so an equality row
+    /// appended warm is enforced the moment its artificial reaches zero.
+    fn dual_restore(&mut self, max_iters: usize) -> DualOutcome {
+        let Some(costs) = self.last_costs.clone() else {
+            return DualOutcome::GaveUp;
+        };
+        let mut costs = costs;
+        costs.resize(self.cols.num_cols(), 0.0);
+        let n_cols = self.cols.num_cols();
+        let bland_after = bland_fallback_threshold(self.basis.len(), n_cols) / 4;
+        let mut y = self.dual_prices(&costs);
+
+        // The warm basis must actually be dual feasible for the old costs;
+        // drift beyond tolerance sends the solve down the cold path.
+        for j in 0..n_cols {
+            if self.is_basic[j] || self.kind[j] == ColKind::Artificial {
+                continue;
+            }
+            if self.reduced_cost(j, &costs, &y) < -DUAL_FEAS_EPS {
+                return DualOutcome::GaveUp;
+            }
+        }
+
+        for iter in 0..max_iters {
+            // Leaving row: the *last* violated row (highest basis
+            // position).  Ordinary basics violate below 0; basic
+            // artificials violate at any nonzero value (their bounds are
+            // [0, 0]).  Appended rows sit at the end, so the scan finds
+            // single cutting rows in O(1); the exact ordering barely moves
+            // the pivot count on bulk extensions (most-violated and
+            // front-to-back were measured within a few percent).
+            let mut p: Option<usize> = None;
+            for (i, &x) in self.xb.iter().enumerate().rev() {
+                let viol = if self.kind[self.basis[i]] == ColKind::Artificial {
+                    x.abs()
+                } else {
+                    -x
+                };
+                if viol > FEAS_EPS {
+                    p = Some(i);
+                    break;
+                }
+            }
+            let Some(p) = p else {
+                return DualOutcome::Restored;
+            };
+            // Direction the leaving basic must move: up from below its lower
+            // bound, down from above an artificial's upper bound (0).
+            let from_below = self.xb[p] < 0.0;
+            let rho = self.inverse_row(p);
+            let bland = iter >= bland_after;
+            let mut entering: Option<(usize, f64, f64)> = None; // (j, ratio, |alpha|)
+            for j in 0..n_cols {
+                if self.is_basic[j] || self.kind[j] == ColKind::Artificial {
+                    continue;
+                }
+                let alpha = self.cols.dot(j, &rho);
+                let eligible = if from_below {
+                    alpha < -PIVOT_EPS
+                } else {
+                    alpha > PIVOT_EPS
+                };
+                if !eligible {
+                    continue;
+                }
+                if bland {
+                    // Bland regime: first eligible column, cycling-proof.
+                    entering = Some((j, 0.0, alpha.abs()));
+                    break;
+                }
+                let rc = self.reduced_cost(j, &costs, &y).max(0.0);
+                let ratio = rc / alpha.abs();
+                let better = match entering {
+                    None => true,
+                    Some((_, br, ba)) => ratio < br - EPS || (ratio < br + EPS && alpha.abs() > ba),
+                };
+                if better {
+                    entering = Some((j, ratio, alpha.abs()));
+                }
+            }
+            let Some((q, _, _)) = entering else {
+                // No column can repair this row: primal infeasible.  The
+                // caller re-confirms with a cold solve before reporting.
+                return DualOutcome::Infeasible;
+            };
+            let rc_q = self.reduced_cost(q, &costs, &y);
+            let d = self.direction(q);
+            if d[p].abs() < PIVOT_EPS {
+                return DualOutcome::GaveUp;
+            }
+            let dp = d[p];
+            self.pivot(p, q, &d);
+            self.stats.iterations += 1;
+            self.stats.dual_pivots += 1;
+            if self.factor_stale || self.stale_pivots >= 100 {
+                // Refresh point: rebuild the factorization and the dual
+                // prices from scratch, washing out incremental drift.
+                if !self.refactorize() {
+                    return DualOutcome::GaveUp;
+                }
+                y = self.dual_prices(&costs);
+            } else if rc_q.abs() > EPS {
+                // Same O(m) incremental dual-price update as the primal
+                // loop: Δy = (r_q / α_pq)·ρ zeroes the entering column's
+                // reduced cost — no per-pivot btran needed.
+                let scale = rc_q / dp;
+                for (yr, rr) in y.iter_mut().zip(&rho) {
+                    *yr += scale * rr;
+                }
+            }
+        }
+        DualOutcome::GaveUp
+    }
+
     /// Standard-form column costs for a problem-variable objective.
     fn split_costs(&self, objective: &[(LpVarId, f64)]) -> Vec<f64> {
-        let mut costs = vec![0.0; self.cols.len()];
+        let mut costs = vec![0.0; self.cols.num_cols()];
         for &(v, coeff) in objective {
             let (pos, neg) = self.var_cols[v.index()];
             costs[pos] += coeff;
@@ -787,7 +993,7 @@ impl RevisedState {
     }
 
     fn extract(&self, objective: &[(LpVarId, f64)], status: LpStatus) -> LpSolution {
-        let mut col_values = vec![0.0; self.cols.len()];
+        let mut col_values = vec![0.0; self.cols.num_cols()];
         for (k, &col) in self.basis.iter().enumerate() {
             col_values[col] = self.xb[k];
         }
@@ -804,9 +1010,22 @@ impl RevisedState {
         LpSolution::new(LpStatus::Infeasible, 0.0, vec![0.0; self.var_cols.len()])
             .with_stats(self.stats)
     }
+
+    /// Whether any basic value is primal infeasible (negative, or nonzero
+    /// for a basic artificial) — the condition the dual-simplex restoration
+    /// repairs after warm row extension.
+    fn has_infeasible_basics(&self) -> bool {
+        self.basis.iter().zip(&self.xb).any(|(&col, &x)| {
+            if self.kind[col] == ColKind::Artificial {
+                x.abs() > FEAS_EPS
+            } else {
+                x < -FEAS_EPS
+            }
+        })
+    }
 }
 
-impl LpSession for RevisedState {
+impl LpSession for SimplexCore {
     fn add_var(&mut self, _name: &str, free: bool) -> LpVarId {
         // A fresh column enters nonbasic at zero: the warm basis survives.
         self.push_var(free)
@@ -818,8 +1037,24 @@ impl LpSession for RevisedState {
 
     fn minimize(&mut self, objective: &[(LpVarId, f64)]) -> LpSolution {
         let m = self.b.len();
-        let max_iters = 20_000 + 50 * (self.cols.len() + m);
+        let max_iters = 20_000 + 50 * (self.cols.num_cols() + m);
         self.stats = SolveStats::default();
+        if self.warm && self.factor_stale {
+            // Deferred row extensions (LU, or a declined border pivot):
+            // one rebuild absorbs any number of appended rows.
+            if !self.refactorize() {
+                self.warm = false;
+            }
+        }
+        if self.warm && self.warm_strategy == WarmStrategy::Dual && self.has_infeasible_basics() {
+            match self.dual_restore(max_iters) {
+                DualOutcome::Restored => {}
+                // Both the giving-up and the infeasibility verdicts restart
+                // cold: phase 1 is the arbiter of infeasibility, so a dual
+                // dead end can never mis-report a feasible system.
+                DualOutcome::Infeasible | DualOutcome::GaveUp => self.warm = false,
+            }
+        }
         if !self.warm {
             self.rebuild();
         }
@@ -854,6 +1089,7 @@ impl LpSession for RevisedState {
             self.refactorize();
         }
         self.warm = status == LpStatus::Optimal;
+        self.last_costs = self.warm.then_some(costs);
         self.extract(objective, status)
     }
 
@@ -864,15 +1100,35 @@ impl LpSession for RevisedState {
     fn num_constraints(&self) -> usize {
         self.b.len()
     }
+
+    fn warm_resolves_in_place(&self) -> bool {
+        self.warm_strategy == WarmStrategy::Dual
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::backend::{LpBackend, SparseBackend};
+    use crate::factor::FactorKind;
 
     fn assert_close(a: f64, b: f64) {
         assert!((a - b).abs() < 1e-6, "{a} != {b}");
+    }
+
+    /// Every (factor × warm) configuration of the core, for matrix checks.
+    fn configurations() -> Vec<SolverTuning> {
+        let mut tunings = Vec::new();
+        for factor in FactorKind::ALL {
+            for warm in [WarmStrategy::Dual, WarmStrategy::Phase1] {
+                tunings.push(SolverTuning {
+                    factor,
+                    warm,
+                    ..SolverTuning::default()
+                });
+            }
+        }
+        tunings
     }
 
     #[test]
@@ -899,10 +1155,12 @@ mod tests {
         lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Cmp::Eq, 1.0);
         lp.add_constraint(vec![(x, 1.0), (y, -1.0)], Cmp::Eq, 5.0);
         lp.set_objective(vec![(x, 1.0)]);
-        let sol = SparseBackend.solve(&lp);
-        assert!(sol.is_optimal());
-        assert_close(sol.value(x), 3.0);
-        assert_close(sol.value(y), -2.0);
+        for tuning in configurations() {
+            let sol = SparseBackend.solve_with(&lp, &tuning);
+            assert!(sol.is_optimal(), "{tuning:?}");
+            assert_close(sol.value(x), 3.0);
+            assert_close(sol.value(y), -2.0);
+        }
     }
 
     #[test]
@@ -925,25 +1183,35 @@ mod tests {
     }
 
     #[test]
-    fn incremental_rows_tighten_the_optimum() {
-        let mut lp = LpProblem::new();
-        let x = lp.add_var("x", false);
-        let y = lp.add_var("y", false);
-        lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Cmp::Le, 4.0);
-        let mut session = SparseBackend.open(&lp);
-        let first = session.minimize(&[(x, -1.0), (y, -2.0)]);
-        assert_close(first.objective, -8.0); // y = 4
-                                             // A cutting row the current point violates: y <= 1.
-        session.add_constraint(&[(y, 1.0)], Cmp::Le, 1.0);
-        let second = session.minimize(&[(x, -1.0), (y, -2.0)]);
-        assert!(second.is_optimal());
-        assert_close(second.objective, -5.0); // x = 3, y = 1
-                                              // And an equality row forcing x = 2.
-        session.add_constraint(&[(x, 1.0)], Cmp::Eq, 2.0);
-        let third = session.minimize(&[(x, -1.0), (y, -2.0)]);
-        assert!(third.is_optimal());
-        assert_close(third.objective, -4.0);
-        assert_eq!(session.num_constraints(), 3);
+    fn incremental_rows_tighten_the_optimum_under_every_configuration() {
+        for tuning in configurations() {
+            let mut lp = LpProblem::new();
+            let x = lp.add_var("x", false);
+            let y = lp.add_var("y", false);
+            lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Cmp::Le, 4.0);
+            let mut session = SparseBackend.open_with(&lp, &tuning);
+            let first = session.minimize(&[(x, -1.0), (y, -2.0)]);
+            assert_close(first.objective, -8.0); // y = 4
+                                                 // A cutting row the current point violates: y <= 1.
+            session.add_constraint(&[(y, 1.0)], Cmp::Le, 1.0);
+            let second = session.minimize(&[(x, -1.0), (y, -2.0)]);
+            assert!(second.is_optimal(), "{tuning:?}");
+            assert_close(second.objective, -5.0); // x = 3, y = 1
+            if tuning.warm == WarmStrategy::Dual {
+                assert!(
+                    second.stats.dual_pivots > 0,
+                    "dual strategy solved the cut without dual pivots: {tuning:?}"
+                );
+            } else {
+                assert_eq!(second.stats.dual_pivots, 0);
+            }
+            // And an equality row forcing x = 2.
+            session.add_constraint(&[(x, 1.0)], Cmp::Eq, 2.0);
+            let third = session.minimize(&[(x, -1.0), (y, -2.0)]);
+            assert!(third.is_optimal(), "{tuning:?}");
+            assert_close(third.objective, -4.0);
+            assert_eq!(session.num_constraints(), 3);
+        }
     }
 
     #[test]
@@ -1011,9 +1279,11 @@ mod tests {
         );
         lp.add_constraint(vec![(x1, 1.0)], Cmp::Le, 1.0);
         lp.set_objective(vec![(x1, -10.0), (x2, 57.0), (x3, 9.0), (x4, 24.0)]);
-        let sol = SparseBackend.solve(&lp);
-        assert!(sol.is_optimal());
-        assert_close(sol.objective, -1.0);
+        for tuning in configurations() {
+            let sol = SparseBackend.solve_with(&lp, &tuning);
+            assert!(sol.is_optimal(), "{tuning:?}");
+            assert_close(sol.objective, -1.0);
+        }
     }
 
     #[test]
@@ -1028,5 +1298,37 @@ mod tests {
         let sol = SparseBackend.solve(&lp);
         assert!(sol.is_optimal());
         assert_close(sol.objective, 3.0);
+    }
+
+    #[test]
+    fn lu_factor_reports_etas_and_matches_dense_factor() {
+        let mut lp = LpProblem::new();
+        let vars: Vec<_> = (0..6).map(|i| lp.add_var(format!("v{i}"), false)).collect();
+        for (i, pair) in vars.windows(2).enumerate() {
+            lp.add_constraint(
+                vec![(pair[0], 1.0), (pair[1], 2.0)],
+                if i % 2 == 0 { Cmp::Ge } else { Cmp::Le },
+                1.0 + i as f64,
+            );
+        }
+        lp.set_objective(vars.iter().map(|&v| (v, 1.0)).collect());
+        let dense = SparseBackend.solve_with(
+            &lp,
+            &SolverTuning {
+                factor: FactorKind::Dense,
+                ..SolverTuning::default()
+            },
+        );
+        let lu = SparseBackend.solve_with(
+            &lp,
+            &SolverTuning {
+                factor: FactorKind::Lu,
+                ..SolverTuning::default()
+            },
+        );
+        assert_eq!(dense.status, lu.status);
+        assert_close(dense.objective, lu.objective);
+        assert_eq!(dense.stats.etas, 0);
+        assert!(lu.stats.etas > 0, "LU solve recorded no eta updates");
     }
 }

@@ -1,0 +1,734 @@
+//! Basis factorizations behind the simplex core.
+//!
+//! Every revised-simplex iteration needs the basis matrix `B` applied in two
+//! directions — `ftran` solves `B·d = a` (the pivot direction) and `btran`
+//! solves `Bᵀ·y = c_B` (the dual prices) — plus a cheap rank-one `update`
+//! when one basic column is replaced, and a from-scratch `refactorize` that
+//! washes out the drift the updates accumulate.  The [`Factorization`] trait
+//! is that seam: the [`SimplexCore`](crate::core::SimplexCore) iteration loop
+//! is written against it, and the concrete linear algebra is pluggable per
+//! solve through [`SolverTuning::factor`](crate::SolverTuning):
+//!
+//! * [`DenseInverse`] — the explicit dense `B⁻¹` the sparse backend carried
+//!   before the seam existed: `O(m²)` solves, `O(m²)` Gauss-Jordan pivot
+//!   updates, `O(m³)`-flavored refactorization.  Simple, and the reference
+//!   the LU path is pinned against.
+//! * [`LuFactor`] — a sparse LU elimination with **Markowitz ordering**
+//!   (pivots chosen to minimize `(rowcount−1)·(colcount−1)` fill, under a
+//!   threshold guard for stability) and a **product-form eta file** for
+//!   updates: each basis change appends one sparse eta vector instead of
+//!   touching `m²` entries, and the eta file is folded away at the next
+//!   refactorization from pristine columns.  On the analysis's extremely
+//!   sparse bases both solves and updates run in `O(nnz)` rather than
+//!   `O(m²)`.
+//!
+//! Row extension (the warm `add_constraint` path) goes through
+//! [`Factorization::extend_row`]: the dense inverse grows by a bordered
+//! block — guarded against a near-singular border pivot — while the LU
+//! factors decline (`FactorError::NeedsRefactorization`) and the core
+//! refactorizes lazily at the next solve.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::core::ColumnStore;
+
+/// Minimum magnitude accepted for an update or border pivot (matches the
+/// solvers' pivot tolerance).
+const PIVOT_EPS: f64 = 1e-7;
+/// Below this magnitude a candidate LU pivot counts as structurally zero and
+/// the basis as numerically singular.
+const SINGULAR_TOL: f64 = 1e-11;
+/// Threshold-pivoting factor: an LU pivot must be at least this fraction of
+/// the largest entry in its column (the classic Markowitz/threshold
+/// compromise between sparsity and stability).
+const LU_THRESHOLD: f64 = 0.1;
+/// Entries driven below this magnitude by elimination are dropped as exact
+/// cancellations.
+const DROP_TOL: f64 = 1e-13;
+/// Hard cap on the eta file; reaching it forces a refactorization (the
+/// core's periodic refresh normally keeps the file far shorter).
+const ETA_CAP: usize = 512;
+
+/// Which basis factorization a solve uses (see the [module docs](self)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FactorKind {
+    /// Explicit dense `B⁻¹` (the pre-seam behavior; the reference).
+    #[default]
+    Dense,
+    /// Markowitz-ordered sparse LU with product-form eta updates.
+    Lu,
+}
+
+impl FactorKind {
+    /// The kind's canonical CLI/report name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FactorKind::Dense => "dense",
+            FactorKind::Lu => "lu",
+        }
+    }
+
+    /// All kinds, for matrix tests and sweeps.
+    pub const ALL: [FactorKind; 2] = [FactorKind::Dense, FactorKind::Lu];
+
+    /// Instantiates an empty factorization of this kind.
+    pub(crate) fn instantiate(self) -> Box<dyn Factorization> {
+        match self {
+            FactorKind::Dense => Box::new(DenseInverse::default()),
+            FactorKind::Lu => Box::new(LuFactor::default()),
+        }
+    }
+}
+
+impl fmt::Display for FactorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for FactorKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "dense" => Ok(FactorKind::Dense),
+            "lu" => Ok(FactorKind::Lu),
+            other => Err(format!(
+                "unknown factorization `{other}` (expected dense or lu)"
+            )),
+        }
+    }
+}
+
+/// How a warm session re-solves after incremental rows left the basis
+/// primal-infeasible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WarmStrategy {
+    /// Dual-simplex pivots from the (still dual-feasible) optimal basis —
+    /// a handful of pivots instead of a phase-1 restart.
+    #[default]
+    Dual,
+    /// The legacy path: violated rows get artificial columns and the next
+    /// solve runs phase 1 over them.
+    Phase1,
+}
+
+impl WarmStrategy {
+    /// The strategy's canonical name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            WarmStrategy::Dual => "dual",
+            WarmStrategy::Phase1 => "phase1",
+        }
+    }
+}
+
+impl fmt::Display for WarmStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for WarmStrategy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "dual" => Ok(WarmStrategy::Dual),
+            "phase1" => Ok(WarmStrategy::Phase1),
+            other => Err(format!(
+                "unknown warm-resolve strategy `{other}` (expected dual or phase1)"
+            )),
+        }
+    }
+}
+
+/// Why a factorization operation declined; the core reacts by
+/// refactorizing from pristine columns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum FactorError {
+    /// The update/border pivot is too small to apply stably (the
+    /// near-singular border guard lives here).
+    UnstablePivot,
+    /// The representation cannot absorb this change in place (LU row
+    /// extension, eta-file overflow); rebuild at the next solve.
+    NeedsRefactorization,
+}
+
+/// A basis factorization: everything the simplex core needs from `B`.
+///
+/// Vectors indexed "by row" run over constraint rows; vectors indexed "by
+/// position" run over basis positions `0..m` (position `k` holds basic
+/// column `basis[k]`).  Implementations must be deterministic — the same
+/// call sequence yields bitwise-identical results (a backend contract
+/// obligation) — and `Send + Sync` so sessions stay usable from the
+/// parallel batch solver and the parallel partial pricer.
+pub(crate) trait Factorization: Send + Sync {
+    /// The kind this factorization implements.
+    fn kind(&self) -> FactorKind;
+
+    /// Solves `B·x = b`: `b` by row, result by basis position
+    /// (e.g. the pivot direction `d = B⁻¹A_j`, or `x_B = B⁻¹b`).
+    fn ftran(&self, b: &[f64]) -> Vec<f64>;
+
+    /// [`ftran`](Self::ftran) for a sparse right-hand side given as
+    /// `(row, value)` entries — the shape of every pivot direction
+    /// `d = B⁻¹A_j`.  The default scatters and solves densely;
+    /// representations that store the inverse explicitly override it with
+    /// an `O(m·nnz)` product, which is what keeps the dense configuration
+    /// at its pre-seam per-pivot cost.
+    fn ftran_sparse(&self, entries: &[(usize, f64)]) -> Vec<f64> {
+        let mut b = vec![0.0; self.dim()];
+        for &(r, a) in entries {
+            b[r] += a;
+        }
+        self.ftran(&b)
+    }
+
+    /// Solves `Bᵀ·y = c`: `c` by basis position, result by row
+    /// (e.g. dual prices `y = B⁻ᵀc_B`, or row `p` of `B⁻¹` from `e_p`).
+    fn btran(&self, c: &[f64]) -> Vec<f64>;
+
+    /// Current dimension `m`.
+    fn dim(&self) -> usize;
+
+    /// Row `p` of `B⁻¹` (row-indexed) — needed once per pivot for the devex
+    /// weight and dual-price updates.  The default solves `Bᵀy = e_p`;
+    /// representations that store the inverse explicitly override it with a
+    /// copy, which is what keeps the dense configuration at its pre-seam
+    /// per-pivot cost.
+    fn inverse_row(&self, p: usize) -> Vec<f64> {
+        let mut e = vec![0.0; self.dim()];
+        e[p] = 1.0;
+        self.btran(&e)
+    }
+
+    /// Replaces the basic column at position `p`; `d = B⁻¹A_q` is the
+    /// ftran'd entering column.  On `Err` the factorization is unchanged
+    /// and the caller must refactorize before the next solve.
+    fn update(&mut self, p: usize, d: &[f64]) -> Result<(), FactorError>;
+
+    /// Borders the factorization with a new row: `w` holds the row's
+    /// coefficients at the old basic columns (by position) and `c` the
+    /// coefficient of the new row's own basic column.  On `Err` the
+    /// caller grows the basis bookkeeping anyway and refactorizes lazily.
+    fn extend_row(&mut self, w: &[f64], c: f64) -> Result<(), FactorError>;
+
+    /// Rebuilds from the pristine basis columns; returns `false` (leaving
+    /// the previous factorization in place) when the basis is numerically
+    /// singular.
+    fn refactorize(&mut self, m: usize, basis: &[usize], cols: &ColumnStore) -> bool;
+
+    /// Live eta vectors accumulated since the last refactorization
+    /// (0 for representations without an eta file).
+    fn eta_count(&self) -> usize {
+        0
+    }
+}
+
+/// The explicit dense basis inverse (see the [module docs](self)).
+#[derive(Debug, Clone, Default)]
+pub(crate) struct DenseInverse {
+    /// `binv[k][r]` is entry `(k, r)` of `B⁻¹`: row `k` maps basis position
+    /// `k`, column `r` maps constraint row `r`.
+    binv: Vec<Vec<f64>>,
+}
+
+impl Factorization for DenseInverse {
+    fn kind(&self) -> FactorKind {
+        FactorKind::Dense
+    }
+
+    fn dim(&self) -> usize {
+        self.binv.len()
+    }
+
+    fn inverse_row(&self, p: usize) -> Vec<f64> {
+        self.binv[p].clone()
+    }
+
+    fn ftran_sparse(&self, entries: &[(usize, f64)]) -> Vec<f64> {
+        self.binv
+            .iter()
+            .map(|row| entries.iter().map(|&(r, a)| row[r] * a).sum())
+            .collect()
+    }
+
+    fn ftran(&self, b: &[f64]) -> Vec<f64> {
+        self.binv
+            .iter()
+            .map(|row| row.iter().zip(b).map(|(x, bb)| x * bb).sum())
+            .collect()
+    }
+
+    fn btran(&self, c: &[f64]) -> Vec<f64> {
+        let m = self.binv.len();
+        let mut y = vec![0.0; m];
+        for (k, row) in self.binv.iter().enumerate() {
+            let ck = c[k];
+            if ck != 0.0 {
+                for (yr, br) in y.iter_mut().zip(row) {
+                    *yr += ck * br;
+                }
+            }
+        }
+        y
+    }
+
+    fn update(&mut self, p: usize, d: &[f64]) -> Result<(), FactorError> {
+        let dp = d[p];
+        if dp.abs() < PIVOT_EPS {
+            return Err(FactorError::UnstablePivot);
+        }
+        for x in self.binv[p].iter_mut() {
+            *x /= dp;
+        }
+        // One clone of the pivot row sidesteps the split borrow; the O(m)
+        // copy is dominated by the O(m²) update below.
+        let pivot_row = self.binv[p].clone();
+        for (i, row) in self.binv.iter_mut().enumerate() {
+            if i != p && d[i].abs() > 1e-12 {
+                let factor = d[i];
+                for (x, pr) in row.iter_mut().zip(&pivot_row) {
+                    *x -= factor * pr;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn extend_row(&mut self, w: &[f64], c: f64) -> Result<(), FactorError> {
+        // Near-singular border guard: a border pivot this small would
+        // poison B⁻¹ with huge entries; decline and let the core rebuild
+        // from pristine columns instead.
+        if c.abs() < PIVOT_EPS || !c.is_finite() {
+            return Err(FactorError::UnstablePivot);
+        }
+        // With M = [[B, 0], [w, c]] the inverse is
+        // [[B⁻¹, 0], [-(w·B⁻¹)/c, 1/c]].
+        let m = self.binv.len();
+        let wb = self.btran(w);
+        let mut border = Vec::with_capacity(m + 1);
+        border.extend(wb.iter().map(|&x| -x / c));
+        border.push(1.0 / c);
+        for row in self.binv.iter_mut() {
+            row.push(0.0);
+        }
+        self.binv.push(border);
+        Ok(())
+    }
+
+    fn refactorize(&mut self, m: usize, basis: &[usize], cols: &ColumnStore) -> bool {
+        let stride = 2 * m;
+        // Augmented [B | I], one flat allocation for cache-friendly sweeps.
+        let mut work = vec![0.0; m * stride];
+        for i in 0..m {
+            work[i * stride + m + i] = 1.0;
+        }
+        for (k, &col) in basis.iter().enumerate() {
+            cols.for_each(col, &mut |r, a| {
+                work[r * stride + k] = a;
+            });
+        }
+        for k in 0..m {
+            let pivot_row = (k..m).max_by(|&a, &b| {
+                work[a * stride + k]
+                    .abs()
+                    .partial_cmp(&work[b * stride + k].abs())
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+            let Some(r) = pivot_row else { return m == 0 };
+            if work[r * stride + k].abs() < SINGULAR_TOL {
+                return false;
+            }
+            if r != k {
+                for j in 0..stride {
+                    work.swap(k * stride + j, r * stride + j);
+                }
+            }
+            let pivot = work[k * stride + k];
+            for x in &mut work[k * stride..(k + 1) * stride] {
+                *x /= pivot;
+            }
+            for i in 0..m {
+                if i != k {
+                    let factor = work[i * stride + k];
+                    if factor != 0.0 {
+                        let (head, tail) = work.split_at_mut(k.max(i) * stride);
+                        let (row_i, row_k) = if i > k {
+                            (&mut tail[..stride], &head[k * stride..(k + 1) * stride])
+                        } else {
+                            (&mut head[i * stride..(i + 1) * stride][..], &tail[..stride])
+                        };
+                        // Skip the already-eliminated prefix: columns < k of
+                        // row k are zero.
+                        for (x, rk) in row_i[k..].iter_mut().zip(&row_k[k..]) {
+                            *x -= factor * rk;
+                        }
+                    }
+                }
+            }
+        }
+        // B X = I solved column-wise: position k's row of the inverse is row
+        // k of the right half.
+        self.binv = (0..m)
+            .map(|k| work[k * stride + m..(k + 1) * stride].to_vec())
+            .collect();
+        true
+    }
+}
+
+/// One product-form update: the basis change at position `p` recorded as the
+/// sparse column `d = B_old⁻¹ A_q` (entries other than `p` listed
+/// explicitly, the pivot `d_p` kept separate).
+#[derive(Debug, Clone)]
+struct Eta {
+    p: usize,
+    dp: f64,
+    entries: Vec<(usize, f64)>,
+}
+
+/// Markowitz-ordered sparse LU with a product-form eta file (see the
+/// [module docs](self)).
+///
+/// The elimination is stored in "elimination form": step `t` pivots on
+/// constraint row `pivot_row[t]` and basis position `pivot_col[t]`, with the
+/// step's L multipliers (`lower[t]`, by row) and the pivot row's surviving U
+/// entries (`upper[t]`, by basis position, pivot excluded) kept sparse.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct LuFactor {
+    m: usize,
+    pivot_row: Vec<usize>,
+    pivot_col: Vec<usize>,
+    upivot: Vec<f64>,
+    lower: Vec<Vec<(usize, f64)>>,
+    upper: Vec<Vec<(usize, f64)>>,
+    etas: Vec<Eta>,
+}
+
+impl Factorization for LuFactor {
+    fn kind(&self) -> FactorKind {
+        FactorKind::Lu
+    }
+
+    fn dim(&self) -> usize {
+        self.m
+    }
+
+    fn ftran(&self, b: &[f64]) -> Vec<f64> {
+        let m = self.m;
+        let mut v = b.to_vec();
+        // Forward: apply L_t⁻¹ in elimination order.
+        for t in 0..m {
+            let vr = v[self.pivot_row[t]];
+            if vr != 0.0 {
+                for &(i, l) in &self.lower[t] {
+                    v[i] -= l * vr;
+                }
+            }
+        }
+        // Back substitution on U (reverse elimination order).
+        let mut x = vec![0.0; m];
+        for t in (0..m).rev() {
+            let mut s = v[self.pivot_row[t]];
+            for &(j, u) in &self.upper[t] {
+                s -= u * x[j];
+            }
+            x[self.pivot_col[t]] = s / self.upivot[t];
+        }
+        // Product-form etas, oldest first: B⁻¹ = E_K⁻¹···E_1⁻¹ (LU)⁻¹.
+        for eta in &self.etas {
+            let xp = x[eta.p] / eta.dp;
+            x[eta.p] = xp;
+            if xp != 0.0 {
+                for &(i, d) in &eta.entries {
+                    x[i] -= d * xp;
+                }
+            }
+        }
+        x
+    }
+
+    fn btran(&self, c: &[f64]) -> Vec<f64> {
+        let m = self.m;
+        let mut v = c.to_vec();
+        // Transposed etas, newest first.
+        for eta in self.etas.iter().rev() {
+            let mut s = v[eta.p];
+            for &(i, d) in &eta.entries {
+                s -= d * v[i];
+            }
+            v[eta.p] = s / eta.dp;
+        }
+        // Solve Uᵀ w = v (w by row): forward, since column `pivot_col[t]`
+        // carries no U entry after step t.
+        let mut w = vec![0.0; m];
+        for t in 0..m {
+            let wt = v[self.pivot_col[t]] / self.upivot[t];
+            w[self.pivot_row[t]] = wt;
+            if wt != 0.0 {
+                for &(j, u) in &self.upper[t] {
+                    v[j] -= u * wt;
+                }
+            }
+        }
+        // Solve Lᵀ y = w: reverse, rows in `lower[t]` pivot later than t.
+        for t in (0..m).rev() {
+            let mut s = w[self.pivot_row[t]];
+            for &(i, l) in &self.lower[t] {
+                s -= l * w[i];
+            }
+            w[self.pivot_row[t]] = s;
+        }
+        w
+    }
+
+    fn update(&mut self, p: usize, d: &[f64]) -> Result<(), FactorError> {
+        let dp = d[p];
+        if dp.abs() < PIVOT_EPS || !dp.is_finite() {
+            return Err(FactorError::UnstablePivot);
+        }
+        if self.etas.len() >= ETA_CAP {
+            return Err(FactorError::NeedsRefactorization);
+        }
+        let entries: Vec<(usize, f64)> = d
+            .iter()
+            .enumerate()
+            .filter(|&(i, &di)| i != p && di.abs() > DROP_TOL)
+            .map(|(i, &di)| (i, di))
+            .collect();
+        self.etas.push(Eta { p, dp, entries });
+        Ok(())
+    }
+
+    fn extend_row(&mut self, _w: &[f64], _c: f64) -> Result<(), FactorError> {
+        // Growing the LU in place is not worth its complexity: the core
+        // keeps the basic values current itself and refactorizes lazily at
+        // the next solve, amortizing any number of appended rows into one
+        // rebuild.
+        Err(FactorError::NeedsRefactorization)
+    }
+
+    fn refactorize(&mut self, m: usize, basis: &[usize], cols: &ColumnStore) -> bool {
+        use std::collections::{BTreeMap, BTreeSet};
+
+        // Active working matrix, column-major with a row→columns index so
+        // both Markowitz counts are maintainable.  BTree containers keep the
+        // iteration order — and with it the pivot sequence — deterministic.
+        let mut col: Vec<BTreeMap<usize, f64>> = vec![BTreeMap::new(); m];
+        let mut row_cols: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); m];
+        for (k, &c) in basis.iter().enumerate() {
+            cols.for_each(c, &mut |r, a| {
+                if a != 0.0 {
+                    *col[k].entry(r).or_insert(0.0) += a;
+                    row_cols[r].insert(k);
+                }
+            });
+        }
+        let mut col_active = vec![true; m];
+        let mut pivot_row = Vec::with_capacity(m);
+        let mut pivot_col = Vec::with_capacity(m);
+        let mut upivot = Vec::with_capacity(m);
+        let mut lower: Vec<Vec<(usize, f64)>> = Vec::with_capacity(m);
+        let mut upper: Vec<Vec<(usize, f64)>> = Vec::with_capacity(m);
+
+        for _step in 0..m {
+            // Markowitz pivot search: minimize (rowcount−1)·(colcount−1)
+            // among entries above the stability threshold of their column.
+            let mut best: Option<(usize, usize, usize, f64)> = None; // (score, r, k, |v|)
+            for (k, active) in col_active.iter().enumerate() {
+                if !active {
+                    continue;
+                }
+                let cc = col[k].len();
+                let colmax = col[k].values().fold(0.0f64, |acc, v| acc.max(v.abs()));
+                if cc == 0 || colmax < SINGULAR_TOL {
+                    return false; // structurally or numerically singular
+                }
+                for (&r, &v) in &col[k] {
+                    let va = v.abs();
+                    if va < LU_THRESHOLD * colmax || va < SINGULAR_TOL {
+                        continue;
+                    }
+                    let score = (row_cols[r].len() - 1) * (cc - 1);
+                    let better = match best {
+                        None => true,
+                        Some((bs, _, _, bv)) => score < bs || (score == bs && va > bv),
+                    };
+                    if better {
+                        best = Some((score, r, k, va));
+                    }
+                }
+                if matches!(best, Some((0, ..))) {
+                    break; // a fill-free pivot cannot be beaten
+                }
+            }
+            let Some((_, pr, pk, _)) = best else {
+                return false;
+            };
+            let pivot = col[pk][&pr];
+            // Snapshot the pivot row (U) and pivot column (L multipliers).
+            let urow: Vec<(usize, f64)> = row_cols[pr]
+                .iter()
+                .filter(|&&j| j != pk)
+                .map(|&j| (j, col[j][&pr]))
+                .collect();
+            let lcol: Vec<(usize, f64)> = col[pk]
+                .iter()
+                .filter(|&(&i, _)| i != pr)
+                .map(|(&i, &v)| (i, v / pivot))
+                .collect();
+            // Eliminate: col_j ← col_j − (a_rj / pivot-scaled) updates.
+            for &(j, urj) in &urow {
+                for &(i, l) in &lcol {
+                    let e = col[j].entry(i).or_insert(0.0);
+                    *e -= l * urj;
+                    if e.abs() < DROP_TOL {
+                        col[j].remove(&i);
+                        row_cols[i].remove(&j);
+                    } else {
+                        row_cols[i].insert(j);
+                    }
+                }
+                col[j].remove(&pr);
+            }
+            // Deactivate the pivot row and column.
+            for (&i, _) in col[pk].iter() {
+                row_cols[i].remove(&pk);
+            }
+            col[pk].clear();
+            row_cols[pr].clear();
+            col_active[pk] = false;
+            pivot_row.push(pr);
+            pivot_col.push(pk);
+            upivot.push(pivot);
+            lower.push(lcol);
+            upper.push(urow);
+        }
+
+        self.m = m;
+        self.pivot_row = pivot_row;
+        self.pivot_col = pivot_col;
+        self.upivot = upivot;
+        self.lower = lower;
+        self.upper = upper;
+        self.etas.clear();
+        true
+    }
+
+    fn eta_count(&self) -> usize {
+        self.etas.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds a ColumnStore holding the columns of a small matrix given
+    /// column-major.
+    fn store_from(columns: &[&[(usize, f64)]]) -> ColumnStore {
+        let mut cols = ColumnStore::new(false);
+        for entries in columns {
+            let j = cols.push_col();
+            for &(r, v) in *entries {
+                cols.push_entry(j, r, v);
+            }
+        }
+        cols
+    }
+
+    fn assert_vec_close(a: &[f64], b: &[f64]) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!((x - y).abs() < 1e-9, "{a:?} != {b:?}");
+        }
+    }
+
+    /// A 3×3 basis with known inverse, factored both ways: ftran/btran must
+    /// agree between DenseInverse and LuFactor, before and after an update.
+    #[test]
+    fn lu_matches_dense_inverse_on_a_small_basis() {
+        // B = [[2,0,1],[0,1,0],[1,0,1]] (columns listed column-major).
+        let cols = store_from(&[
+            &[(0, 2.0), (2, 1.0)],
+            &[(1, 1.0)],
+            &[(0, 1.0), (2, 1.0)],
+            // A spare column to pivot in: A_3 = (1, 1, 0).
+            &[(0, 1.0), (1, 1.0)],
+        ]);
+        let basis = [0usize, 1, 2];
+        let mut dense = DenseInverse::default();
+        let mut lu = LuFactor::default();
+        assert!(dense.refactorize(3, &basis, &cols));
+        assert!(lu.refactorize(3, &basis, &cols));
+        assert_eq!(lu.eta_count(), 0);
+
+        let b = [3.0, -1.0, 2.0];
+        assert_vec_close(&dense.ftran(&b), &lu.ftran(&b));
+        let c = [1.0, 2.0, -0.5];
+        assert_vec_close(&dense.btran(&c), &lu.btran(&c));
+
+        // Replace basis position 0 by the spare column and compare again.
+        let mut a3 = vec![0.0; 3];
+        cols.for_each(3, &mut |r, v| a3[r] += v);
+        let d_dense = dense.ftran(&a3);
+        let d_lu = lu.ftran(&a3);
+        assert_vec_close(&d_dense, &d_lu);
+        dense.update(0, &d_dense).unwrap();
+        lu.update(0, &d_lu).unwrap();
+        assert_eq!(lu.eta_count(), 1);
+        assert_vec_close(&dense.ftran(&b), &lu.ftran(&b));
+        assert_vec_close(&dense.btran(&c), &lu.btran(&c));
+    }
+
+    #[test]
+    fn singular_bases_are_rejected_by_both() {
+        // Two identical columns: singular.
+        let cols = store_from(&[&[(0, 1.0), (1, 2.0)], &[(0, 1.0), (1, 2.0)]]);
+        let mut dense = DenseInverse::default();
+        let mut lu = LuFactor::default();
+        assert!(!dense.refactorize(2, &[0, 1], &cols));
+        assert!(!lu.refactorize(2, &[0, 1], &cols));
+    }
+
+    #[test]
+    fn dense_border_guard_declines_tiny_pivots() {
+        let cols = store_from(&[&[(0, 1.0)]]);
+        let mut dense = DenseInverse::default();
+        assert!(dense.refactorize(1, &[0], &cols));
+        assert_eq!(
+            dense.extend_row(&[1.0], 1e-12),
+            Err(FactorError::UnstablePivot)
+        );
+        // A healthy border is accepted and grows the dimension.
+        assert!(dense.extend_row(&[1.0], 1.0).is_ok());
+        assert_eq!(dense.ftran(&[1.0, 0.0]).len(), 2);
+    }
+
+    #[test]
+    fn kinds_round_trip_and_lu_declines_row_extension() {
+        for kind in FactorKind::ALL {
+            assert_eq!(kind.name().parse::<FactorKind>().unwrap(), kind);
+            assert_eq!(kind.to_string(), kind.name());
+        }
+        assert!("cholesky".parse::<FactorKind>().is_err());
+        assert_eq!(FactorKind::default(), FactorKind::Dense);
+        assert_eq!("dual".parse::<WarmStrategy>().unwrap(), WarmStrategy::Dual);
+        assert_eq!(
+            "phase1".parse::<WarmStrategy>().unwrap(),
+            WarmStrategy::Phase1
+        );
+        assert!("warm".parse::<WarmStrategy>().is_err());
+        assert_eq!(WarmStrategy::default().to_string(), "dual");
+
+        let mut lu = LuFactor::default();
+        let cols = store_from(&[&[(0, 1.0)]]);
+        assert!(lu.refactorize(1, &[0], &cols));
+        assert_eq!(
+            lu.extend_row(&[0.0], 1.0),
+            Err(FactorError::NeedsRefactorization)
+        );
+    }
+}

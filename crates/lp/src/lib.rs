@@ -9,18 +9,22 @@
 //! [`backend`] and `DESIGN.md` for the contract) decouples problem
 //! construction from solving, and [`LpBackend::open`] yields an [`LpSession`]
 //! that supports repeated `minimize` calls, incremental row/column addition,
-//! and batch solving of independent problems.  Two implementations ship:
-//! [`SimplexBackend`], the dense reference, and [`SparseBackend`], a revised
-//! simplex over the CSR constraint matrix ([`SparseMatrix`]) whose sessions
-//! keep the basis factorization warm between solves.
+//! and batch solving of independent problems.  Both shipped backends —
+//! [`SimplexBackend`], the dense reference, and [`SparseBackend`], whose
+//! sessions keep their state warm between solves — are configurations of
+//! **one shared simplex core** (`core`), parameterized by matrix
+//! representation and by basis factorization ([`factor`]: explicit dense
+//! `B⁻¹`, or Markowitz LU with eta-file updates via [`FactorKind::Lu`]).
 //!
 //! The pivoting core is shared machinery ([`pricing`], [`SolverTuning`]):
 //! Dantzig, **devex** (the default), and sectioned/parallel **partial**
 //! pricing behind one [`PricingRule`] knob, a presolve pass that shrinks
 //! each system before it is solved, the Harris two-pass ratio test with a
-//! bounded anti-degeneracy perturbation, and Bland's rule demoted to a
-//! size-scaled last resort ([`bland_fallback_threshold`]).  Every solve
-//! reports its effort in [`SolveStats`].
+//! bounded anti-degeneracy perturbation, Bland's rule demoted to a
+//! size-scaled last resort ([`bland_fallback_threshold`]), and a
+//! **dual-simplex warm re-solve** ([`WarmStrategy`]) that repairs a session
+//! after incremental rows with a handful of dual pivots instead of a
+//! phase-1 restart.  Every solve reports its effort in [`SolveStats`].
 //!
 //! The problem format is deliberately small: named variables that are either
 //! non-negative or free (free variables are split internally), linear
@@ -46,13 +50,15 @@
 //! ```
 
 pub mod backend;
+mod core;
+pub mod factor;
 mod presolve;
 pub mod pricing;
-mod revised;
 pub mod simplex;
 pub mod sparse;
 
 pub use backend::{LpBackend, LpSession, SimplexBackend, SparseBackend, TunedBackend};
+pub use factor::{FactorKind, WarmStrategy};
 pub use pricing::{bland_fallback_threshold, PricingRule, SolverTuning};
 pub use simplex::{Cmp, LpProblem, LpSolution, LpStatus, LpVarId, SolveStats};
 pub use sparse::SparseMatrix;

@@ -468,6 +468,10 @@ impl LpSession for PresolvedSession<'_> {
     fn num_constraints(&self) -> usize {
         self.num_rows
     }
+
+    fn warm_resolves_in_place(&self) -> bool {
+        self.inner.warm_resolves_in_place()
+    }
 }
 
 #[cfg(test)]

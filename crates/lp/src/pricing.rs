@@ -175,6 +175,13 @@ pub struct SolverTuning {
     /// Whether the presolve pass runs at session open (drop empty/fixed
     /// columns, substitute singleton rows, remove duplicate rows).
     pub presolve: bool,
+    /// The basis factorization the simplex core solves with (dense `B⁻¹`
+    /// or Markowitz LU with eta updates; see [`FactorKind`]).
+    pub factor: crate::factor::FactorKind,
+    /// How warm sessions re-solve after incremental rows (dual-simplex
+    /// pivots by default, or the legacy phase-1 restart; see
+    /// [`WarmStrategy`]).
+    pub warm: crate::factor::WarmStrategy,
 }
 
 impl Default for SolverTuning {
@@ -182,15 +189,25 @@ impl Default for SolverTuning {
         SolverTuning {
             pricing: PricingRule::default(),
             presolve: true,
+            factor: crate::factor::FactorKind::default(),
+            warm: crate::factor::WarmStrategy::default(),
         }
     }
 }
 
 impl SolverTuning {
-    /// Tuning with the given pricing rule and presolve enabled.
+    /// Tuning with the given pricing rule and everything else at defaults.
     pub fn with_pricing(pricing: PricingRule) -> Self {
         SolverTuning {
             pricing,
+            ..SolverTuning::default()
+        }
+    }
+
+    /// Tuning with the given factorization and everything else at defaults.
+    pub fn with_factor(factor: crate::factor::FactorKind) -> Self {
+        SolverTuning {
+            factor,
             ..SolverTuning::default()
         }
     }

@@ -1,18 +1,19 @@
-//! Dense two-phase primal simplex.
+//! The LP problem model and the dense reference solve.
 //!
-//! The implementation keeps the full tableau in memory.  Problem sizes arising
-//! from the central-moment analysis are modest (hundreds of variables and
-//! constraints per strongly-connected component of the call graph), so a dense
-//! tableau is both simple and fast enough, and it keeps the solver free of
-//! external dependencies.
-
-// Dense tableau kernels index several parallel rows/columns at once; indexed
-// loops are the clearest form here.
-#![allow(clippy::needless_range_loop)]
+//! This module owns the crate's vocabulary — [`LpProblem`], [`LpSolution`],
+//! [`LpStatus`], [`SolveStats`] — and the one-shot reference entry point
+//! [`LpProblem::solve`].  The iteration machinery itself lives in the shared
+//! [`SimplexCore`](crate::core::SimplexCore): the dense path is simply the
+//! core configured with dense column storage and the explicit dense basis
+//! inverse, so the reference solver and the sparse session backend can never
+//! drift apart feature-by-feature again (they used to be two parallel
+//! 1000-line implementations of the same loop).
 
 use std::fmt;
 
-use crate::pricing::{bland_fallback_threshold, PivotView, PricingRule};
+use crate::core::SimplexCore;
+use crate::factor::{FactorKind, WarmStrategy};
+use crate::pricing::{PricingRule, SolverTuning};
 use crate::sparse::SparseMatrix;
 
 /// Per-solve solver effort and presolve-reduction counters, carried on every
@@ -20,15 +21,22 @@ use crate::sparse::SparseMatrix;
 /// profiler (they surface in `AnalysisReport`'s per-group LP stats).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SolveStats {
-    /// Simplex iterations across all phases of the solve.
+    /// Simplex iterations across all phases of the solve (dual-simplex
+    /// restoration pivots included).
     pub iterations: usize,
-    /// Basis refactorizations (tableau rebuilds for the dense solver,
-    /// `B⁻¹` recomputations for the revised solver).
+    /// Basis refactorizations (rebuilds of the factorization from the
+    /// pristine columns).
     pub refactorizations: usize,
     /// Constraint rows removed by presolve before the solve.
     pub presolve_rows: usize,
     /// Columns removed by presolve (fixed by singleton rows or empty).
     pub presolve_cols: usize,
+    /// Product-form eta updates appended by the LU factorization (0 under
+    /// the dense inverse).
+    pub etas: usize,
+    /// Dual-simplex pivots spent restoring primal feasibility after warm
+    /// incremental rows (0 for cold solves and the phase-1 strategy).
+    pub dual_pivots: usize,
 }
 
 impl SolveStats {
@@ -39,6 +47,8 @@ impl SolveStats {
             refactorizations: self.refactorizations + other.refactorizations,
             presolve_rows: self.presolve_rows + other.presolve_rows,
             presolve_cols: self.presolve_cols + other.presolve_cols,
+            etas: self.etas + other.etas,
+            dual_pivots: self.dual_pivots + other.dual_pivots,
         }
     }
 }
@@ -153,7 +163,8 @@ impl LpSolution {
 ///
 /// Constraint rows are stored sparsely (CSR, see [`SparseMatrix`]): the
 /// builder emits rows with a handful of nonzeros each, and both the dense
-/// reference simplex and the revised sparse simplex consume them directly.
+/// reference configuration and the sparse session backend of the shared
+/// simplex core consume them directly.
 #[derive(Debug, Clone, Default)]
 pub struct LpProblem {
     names: Vec<String>,
@@ -163,14 +174,6 @@ pub struct LpProblem {
     rhs: Vec<f64>,
     objective: Vec<(LpVarId, f64)>,
 }
-
-const EPS: f64 = 1e-9;
-/// Minimum magnitude accepted for a pivot element (larger than `EPS` so that
-/// drift-polluted near-zero entries are never chosen as pivots).
-const PIVOT_EPS: f64 = 1e-7;
-/// Tolerance used when confirming unboundedness against fresh reduced costs.
-const UNBOUNDED_EPS: f64 = 1e-6;
-const FEAS_EPS: f64 = 1e-6;
 
 impl LpProblem {
     /// Creates an empty problem.
@@ -256,575 +259,23 @@ impl LpProblem {
     }
 
     /// Solves the problem with the two-phase simplex method under the given
-    /// pricing rule.
+    /// pricing rule — the raw reference path: dense columns, the explicit
+    /// dense basis inverse, no presolve.
     pub fn solve_with(&self, pricing: PricingRule) -> LpSolution {
-        Tableau::build(self).solve(self, pricing)
-    }
-}
-
-/// Internal dense simplex tableau in standard form.
-struct Tableau {
-    /// `rows × cols` coefficient matrix; the last column is the RHS.
-    a: Vec<Vec<f64>>,
-    /// Pristine copy of the initial matrix (including the RHS column), used to
-    /// periodically refactorize the tableau and wash out floating-point drift.
-    original: Vec<Vec<f64>>,
-    /// Indices of the basic variable of each row.
-    basis: Vec<usize>,
-    /// Total number of structural (split) variables, before slacks/artificials.
-    n_struct: usize,
-    /// Total number of columns excluding the RHS.
-    n_cols: usize,
-    /// Map from problem variable to (positive column, optional negative column).
-    var_cols: Vec<(usize, Option<usize>)>,
-    /// Columns of artificial variables.
-    artificials: Vec<usize>,
-    /// Per-column artificial flag (ratio tests consult it per row).
-    is_artificial: Vec<bool>,
-    /// Whether the RHS column currently carries an anti-degeneracy shift
-    /// (washed out by the next refactorization; must be washed before
-    /// feasibility checks or value extraction).
-    rhs_shifted: bool,
-}
-
-impl Tableau {
-    fn build(problem: &LpProblem) -> Tableau {
-        // Assign columns: non-negative vars get one column, free vars two.
-        let mut var_cols = Vec::with_capacity(problem.names.len());
-        let mut next = 0usize;
-        for &is_free in &problem.free {
-            if is_free {
-                var_cols.push((next, Some(next + 1)));
-                next += 2;
-            } else {
-                var_cols.push((next, None));
-                next += 1;
-            }
-        }
-        let n_struct = next;
-        let m = problem.num_constraints();
-
-        // Count slack columns.
-        let n_slack = problem.cmps.iter().filter(|&&c| c != Cmp::Eq).count();
-        let mut n_cols = n_struct + n_slack;
-
-        // Rows (RHS appended later); artificials added as needed.
-        let mut a = vec![vec![0.0; n_cols]; m];
-        let mut rhs = vec![0.0; m];
-        let mut slack_col = n_struct;
-        let mut slack_of_row: Vec<Option<(usize, f64)>> = vec![None; m];
-
-        for i in 0..m {
-            for (v, coeff) in problem.rows.row(i) {
-                let (pos, neg) = var_cols[v];
-                a[i][pos] += coeff;
-                if let Some(neg) = neg {
-                    a[i][neg] -= coeff;
-                }
-            }
-            rhs[i] = problem.rhs[i];
-            match problem.cmps[i] {
-                Cmp::Le => {
-                    a[i][slack_col] = 1.0;
-                    slack_of_row[i] = Some((slack_col, 1.0));
-                    slack_col += 1;
-                }
-                Cmp::Ge => {
-                    a[i][slack_col] = -1.0;
-                    slack_of_row[i] = Some((slack_col, -1.0));
-                    slack_col += 1;
-                }
-                Cmp::Eq => {}
-            }
-        }
-
-        // Normalize rows so the RHS is non-negative.
-        for i in 0..m {
-            if rhs[i] < 0.0 {
-                for x in a[i].iter_mut() {
-                    *x = -*x;
-                }
-                rhs[i] = -rhs[i];
-                if let Some((col, sign)) = slack_of_row[i] {
-                    slack_of_row[i] = Some((col, -sign));
-                }
-            }
-        }
-
-        // Choose an initial basis: the slack column when it enters with +1,
-        // otherwise a fresh artificial variable.
-        let mut basis = vec![usize::MAX; m];
-        let mut artificials = Vec::new();
-        for i in 0..m {
-            if let Some((col, sign)) = slack_of_row[i] {
-                if sign > 0.0 {
-                    basis[i] = col;
-                    continue;
-                }
-            }
-            // Need an artificial column for this row.
-            let art = n_cols;
-            n_cols += 1;
-            for row in a.iter_mut() {
-                row.push(0.0);
-            }
-            a[i][art] = 1.0;
-            basis[i] = art;
-            artificials.push(art);
-        }
-
-        // Append the RHS as the last column.
-        for i in 0..m {
-            a[i].push(rhs[i]);
-        }
-
-        let mut is_artificial = vec![false; n_cols];
-        for &art in &artificials {
-            is_artificial[art] = true;
-        }
-        Tableau {
-            original: a.clone(),
-            a,
-            basis,
-            n_struct,
-            n_cols,
-            var_cols,
-            artificials,
-            is_artificial,
-            rhs_shifted: false,
-        }
-    }
-
-    /// Nudges every (near-)zero basic value by a tiny, row-unique amount —
-    /// the bounded right-hand-side perturbation that breaks degenerate pivot
-    /// cycles (see [`degeneracy_shift`](crate::pricing::degeneracy_shift)).
-    /// Temporary: any refactorization rebuilds the RHS from the pristine
-    /// matrix.
-    fn shift_degenerate_basics(&mut self, round: usize) {
-        let n_cols = self.n_cols;
-        for (i, row) in self.a.iter_mut().enumerate() {
-            if row[n_cols].abs() <= FEAS_EPS {
-                row[n_cols] += crate::pricing::degeneracy_shift(i, round);
-            }
-        }
-        self.rhs_shifted = true;
-    }
-
-    fn rhs(&self, row: usize) -> f64 {
-        self.a[row][self.n_cols]
-    }
-
-    /// Runs the simplex iterations on the current tableau for the given
-    /// column costs, returning `Ok(())` on optimality.
-    ///
-    /// The reduced-cost row is updated incrementally but recomputed from
-    /// scratch periodically — and whenever optimality is about to be declared
-    /// — so that floating-point drift cannot cause premature termination or
-    /// spurious unboundedness on larger instances.
-    ///
-    /// Degeneracy defenses, in escalation order: the configured [`Pricer`]
-    /// chooses entering columns, the Harris two-pass ratio test chooses
-    /// numerically stable leaving rows, a streak of zero-length steps engages
-    /// bounded cost perturbation, and only genuine cycling past
-    /// [`bland_fallback_threshold`] demotes the solve to Bland's rule.
-    ///
-    /// [`Pricer`]: crate::pricing::Pricer
-    fn iterate(
-        &mut self,
-        col_costs: &[f64],
-        banned: &[usize],
-        max_iters: usize,
-        pricing: PricingRule,
-        stats: &mut SolveStats,
-    ) -> Result<(), LpStatus> {
-        let m = self.a.len();
-        let n_cols = self.n_cols;
-        let bland_after = bland_fallback_threshold(m, n_cols);
-        let refresh_period = 100;
-        let mut pricer = pricing.pricer(n_cols);
-        let mut is_banned = vec![false; n_cols];
-        for &b in banned {
-            is_banned[b] = true;
-        }
-        let mut degen_streak = 0usize;
-        let mut shift_rounds = 0usize;
-        let mut cost = self.reduced_costs(col_costs);
-
-        for iter in 0..max_iters {
-            stats.iterations += 1;
-            if iter > 0 && iter % refresh_period == 0 {
-                // Also washes out any live anti-degeneracy shift: the RHS is
-                // rebuilt from the pristine matrix.
-                self.refactorize();
-                stats.refactorizations += 1;
-                cost = self.reduced_costs(col_costs);
-            }
-            let bland = iter >= bland_after;
-            if !bland && degen_streak >= crate::pricing::DEGEN_PIVOT_STREAK {
-                // A cycle-length streak of zero-length steps: engage the
-                // bounded right-hand-side perturbation so the tied ratio
-                // tests pick distinct rows and strictly positive steps.
-                shift_rounds += 1;
-                self.shift_degenerate_basics(shift_rounds);
-                degen_streak = 0;
-            }
-            let candidate = |j: usize| !is_banned[j];
-            let pick = |pricer: &mut dyn crate::pricing::Pricer, cost: &[f64]| -> Option<usize> {
-                if bland {
-                    (0..n_cols).find(|&j| !is_banned[j] && cost[j] < -EPS)
-                } else {
-                    pricer.select(n_cols, &candidate, &|j| cost[j])
-                }
-            };
-            let mut entering = pick(pricer.as_mut(), &cost);
-            if entering.is_none() {
-                // Confirm optimality against freshly computed reduced costs.
-                cost = self.reduced_costs(col_costs);
-                entering = pick(pricer.as_mut(), &cost);
-                if entering.is_none() {
-                    return Ok(());
-                }
-            }
-            let entering = entering.expect("checked above");
-
-            // The artificial guard engages only in phase 2, where artificials
-            // are banned from re-entering.
-            let guard = !banned.is_empty();
-            let leaving = if bland {
-                self.bland_ratio_test(entering, guard)
-            } else {
-                self.harris_ratio_test(entering, guard)
-            };
-            let Some(leaving) = leaving else {
-                // Apparent unboundedness: refactorize (washing any live
-                // shift) and recompute the reduced costs before reporting,
-                // so drift cannot cause a false positive.
-                self.refactorize();
-                stats.refactorizations += 1;
-                cost = self.reduced_costs(col_costs);
-                if cost[entering] > -UNBOUNDED_EPS {
-                    continue;
-                }
-                let has_pivot = (0..m).any(|i| {
-                    self.blocking_rate(i, self.a[i][entering], !banned.is_empty()) > PIVOT_EPS
-                });
-                if has_pivot {
-                    continue;
-                }
-                return Err(LpStatus::Unbounded);
-            };
-
-            let theta = self.rhs(leaving) / self.a[leaving][entering];
-            if theta.abs() <= FEAS_EPS {
-                degen_streak += 1;
-            } else {
-                degen_streak = 0;
-            }
-            pricer.observe_pivot(&PivotView {
-                entering,
-                leaving: self.basis[leaving],
-                alpha_q: self.a[leaving][entering],
-                n_cols,
-                candidate: &candidate,
-                alpha: &|j| self.a[leaving][j],
-            });
-            self.pivot(leaving, entering, &mut cost);
-        }
-        Err(LpStatus::IterationLimit)
-    }
-
-    /// The rate at which row `i`'s basic value approaches its blocking bound
-    /// as the entering variable grows, or 0 when the row does not block.
-    ///
-    /// Ordinary rows block when the entering coefficient is positive (the
-    /// basic value falls toward 0).  A row whose basic variable is a
-    /// *zero-valued artificial* also blocks on a negative coefficient: the
-    /// artificial would re-grow above zero, silently abandoning the row it
-    /// stands for — it must leave the basis in a degenerate pivot instead.
-    /// `guard_artificials` is set in phase 2 only: there a leaving artificial
-    /// can never re-enter (artificials are banned from pricing), so each
-    /// guard pivot permanently retires one.  In phase 1 artificials are
-    /// ordinary objective variables and the guard would two-cycle them.
-    fn blocking_rate(&self, i: usize, aij: f64, guard_artificials: bool) -> f64 {
-        if aij > PIVOT_EPS {
-            aij
-        } else if guard_artificials
-            && aij < -PIVOT_EPS
-            && self.is_artificial[self.basis[i]]
-            && self.rhs(i) <= FEAS_EPS
-        {
-            -aij
-        } else {
-            0.0
-        }
-    }
-
-    /// Distance of row `i`'s basic value to the bound it blocks at
-    /// (companion of [`blocking_rate`](Self::blocking_rate)).
-    fn blocking_value(&self, i: usize, aij: f64) -> f64 {
-        if aij > PIVOT_EPS {
-            self.rhs(i)
-        } else {
-            -self.rhs(i)
-        }
-    }
-
-    /// Two-pass Harris ratio test: pass 1 computes the minimum ratio under a
-    /// feasibility tolerance relaxed by [`HARRIS_RELAX`], pass 2 picks the
-    /// numerically largest pivot among the rows whose exact ratio stays
-    /// within that relaxed bound.  On degenerate corners (many rows tied at
-    /// ratio 0) this selects a stable pivot instead of cycling through tiny
-    /// ones.
-    ///
-    /// [`HARRIS_RELAX`]: crate::pricing::HARRIS_RELAX
-    fn harris_ratio_test(&self, entering: usize, guard_artificials: bool) -> Option<usize> {
-        let m = self.a.len();
-        let mut theta_relaxed = f64::INFINITY;
-        for i in 0..m {
-            let rate = self.blocking_rate(i, self.a[i][entering], guard_artificials);
-            if rate > PIVOT_EPS {
-                let relaxed = (self.blocking_value(i, self.a[i][entering])
-                    + crate::pricing::HARRIS_RELAX)
-                    / rate;
-                if relaxed < theta_relaxed {
-                    theta_relaxed = relaxed;
-                }
-            }
-        }
-        if !theta_relaxed.is_finite() {
-            return None;
-        }
-        let mut leaving: Option<usize> = None;
-        let mut best_pivot = 0.0;
-        for i in 0..m {
-            let aij = self.a[i][entering];
-            let rate = self.blocking_rate(i, aij, guard_artificials);
-            if rate > PIVOT_EPS && self.blocking_value(i, aij) / rate <= theta_relaxed {
-                let better = rate > best_pivot
-                    || (rate == best_pivot
-                        && leaving.is_some_and(|l| self.basis[i] < self.basis[l]));
-                if better {
-                    best_pivot = rate;
-                    leaving = Some(i);
-                }
-            }
-        }
-        leaving
-    }
-
-    /// The classic exact ratio test with smallest-basis-index tie-breaking —
-    /// the form Bland's anti-cycling guarantee requires, used only in the
-    /// last-resort Bland regime.
-    fn bland_ratio_test(&self, entering: usize, guard_artificials: bool) -> Option<usize> {
-        let m = self.a.len();
-        let mut leaving: Option<usize> = None;
-        let mut best_ratio = f64::INFINITY;
-        for i in 0..m {
-            let aij = self.a[i][entering];
-            let rate = self.blocking_rate(i, aij, guard_artificials);
-            if rate > PIVOT_EPS {
-                let ratio = self.blocking_value(i, aij) / rate;
-                if ratio < best_ratio - EPS
-                    || (ratio < best_ratio + EPS
-                        && leaving.is_some_and(|l| self.basis[i] < self.basis[l]))
-                {
-                    best_ratio = ratio;
-                    leaving = Some(i);
-                }
-            }
-        }
-        leaving
-    }
-
-    fn pivot(&mut self, row: usize, col: usize, cost: &mut [f64]) {
-        let m = self.a.len();
-        let pivot_val = self.a[row][col];
-        for x in self.a[row].iter_mut() {
-            *x /= pivot_val;
-        }
-        for i in 0..m {
-            if i != row {
-                let factor = self.a[i][col];
-                if factor.abs() > EPS {
-                    for j in 0..=self.n_cols {
-                        self.a[i][j] -= factor * self.a[row][j];
-                    }
-                }
-            }
-        }
-        let factor = cost[col];
-        if factor.abs() > EPS {
-            for j in 0..self.n_cols {
-                cost[j] -= factor * self.a[row][j];
-            }
-            // The objective constant lives beyond the visible columns; callers
-            // recompute the objective from the solution, so it is not tracked.
-        }
-        self.basis[row] = col;
-    }
-
-    /// Reduced-cost row for a given column cost vector under the current basis.
-    fn reduced_costs(&self, col_costs: &[f64]) -> Vec<f64> {
-        let m = self.a.len();
-        let mut reduced = col_costs.to_vec();
-        reduced.resize(self.n_cols, 0.0);
-        for i in 0..m {
-            let cb = col_costs.get(self.basis[i]).copied().unwrap_or(0.0);
-            if cb.abs() > EPS {
-                for j in 0..self.n_cols {
-                    reduced[j] -= cb * self.a[i][j];
-                }
-            }
-        }
-        reduced
-    }
-
-    /// Rebuilds the tableau `B⁻¹[A | b]` from the pristine matrix and the
-    /// current basis (Gauss-Jordan with partial pivoting), eliminating the
-    /// floating-point drift that accumulates over many pivots.
-    ///
-    /// Returns `false` (leaving the tableau untouched) if the basis matrix is
-    /// numerically singular.
-    fn refactorize(&mut self) -> bool {
-        let m = self.a.len();
-        let n = self.n_cols;
-        let mut work = self.original.clone();
-        let mut row_for_position: Vec<usize> = vec![usize::MAX; m];
-        let mut used = vec![false; m];
-        for i in 0..m {
-            let col = self.basis[i];
-            let pivot_row = (0..m).filter(|&r| !used[r]).max_by(|&a, &b| {
-                work[a][col]
-                    .abs()
-                    .partial_cmp(&work[b][col].abs())
-                    .unwrap_or(std::cmp::Ordering::Equal)
-            });
-            let Some(r) = pivot_row else { return false };
-            let pivot = work[r][col];
-            if pivot.abs() < 1e-11 {
-                return false;
-            }
-            used[r] = true;
-            row_for_position[i] = r;
-            for j in 0..=n {
-                work[r][j] /= pivot;
-            }
-            for rr in 0..m {
-                if rr != r {
-                    let factor = work[rr][col];
-                    if factor != 0.0 {
-                        for j in 0..=n {
-                            work[rr][j] -= factor * work[r][j];
-                        }
-                    }
-                }
-            }
-        }
-        self.a = row_for_position.iter().map(|&r| work[r].clone()).collect();
-        self.rhs_shifted = false;
-        true
-    }
-
-    fn solve(mut self, problem: &LpProblem, pricing: PricingRule) -> LpSolution {
-        let m = self.a.len();
-        let max_iters = 20_000 + 50 * (self.n_cols + m);
-        let mut stats = SolveStats::default();
-        let infeasible = |stats: SolveStats| {
-            LpSolution::new(LpStatus::Infeasible, 0.0, vec![0.0; problem.names.len()])
-                .with_stats(stats)
+        let tuning = SolverTuning {
+            pricing,
+            presolve: false,
+            factor: FactorKind::Dense,
+            warm: WarmStrategy::Dual,
         };
+        SimplexCore::solve_problem(self, &tuning, true)
+    }
 
-        // Phase 1: minimize the sum of artificial variables.
-        if !self.artificials.is_empty() {
-            let mut phase1_costs = vec![0.0; self.n_cols];
-            for &art in &self.artificials {
-                phase1_costs[art] = 1.0;
-            }
-            match self.iterate(&phase1_costs, &[], max_iters, pricing, &mut stats) {
-                Ok(()) => {}
-                Err(status) => {
-                    if std::env::var_os("CMA_LP_DEBUG").is_some() {
-                        eprintln!(
-                            "[cma-lp] phase-1 aborted with {status}: {} rows, {} cols",
-                            m, self.n_cols
-                        );
-                    }
-                    return infeasible(stats);
-                }
-            }
-            if self.rhs_shifted {
-                // Wash the anti-degeneracy shift out before judging
-                // feasibility.
-                self.refactorize();
-                stats.refactorizations += 1;
-            }
-            // Feasible iff all artificials are (numerically) zero.
-            let artificial_sum: f64 = (0..m)
-                .filter(|&i| self.artificials.contains(&self.basis[i]))
-                .map(|i| self.rhs(i))
-                .sum();
-            if artificial_sum > FEAS_EPS {
-                if std::env::var_os("CMA_LP_DEBUG").is_some() {
-                    eprintln!(
-                        "[cma-lp] phase-1 infeasible: artificial sum {artificial_sum:.3e}, \
-                         {} rows, {} cols",
-                        m, self.n_cols
-                    );
-                }
-                return infeasible(stats);
-            }
-            // Drive remaining artificial variables out of the basis when possible.
-            for i in 0..m {
-                if self.artificials.contains(&self.basis[i]) {
-                    if let Some(col) = (0..self.n_struct).find(|&j| self.a[i][j].abs() > 1e-7) {
-                        let mut dummy = vec![0.0; self.n_cols];
-                        self.pivot(i, col, &mut dummy);
-                    }
-                }
-            }
-        }
-
-        // Phase 2: the real objective (on split columns).
-        let mut col_costs = vec![0.0; self.n_cols];
-        for &(v, coeff) in &problem.objective {
-            let (pos, neg) = self.var_cols[v.0];
-            col_costs[pos] += coeff;
-            if let Some(neg) = neg {
-                col_costs[neg] -= coeff;
-            }
-        }
-        // Forbid artificial columns from re-entering the basis.
-        for &art in &self.artificials {
-            col_costs[art] = 0.0;
-        }
-        let banned = self.artificials.clone();
-        let status = match self.iterate(&col_costs, &banned, max_iters, pricing, &mut stats) {
-            Ok(()) => LpStatus::Optimal,
-            Err(s) => s,
-        };
-        if self.rhs_shifted {
-            // Wash the anti-degeneracy shift out before extracting values.
-            self.refactorize();
-            stats.refactorizations += 1;
-        }
-
-        // Extract the solution.
-        let mut col_values = vec![0.0; self.n_cols];
-        for i in 0..m {
-            if self.basis[i] < self.n_cols {
-                col_values[self.basis[i]] = self.rhs(i);
-            }
-        }
-        let mut values = vec![0.0; problem.names.len()];
-        for (v, &(pos, neg)) in self.var_cols.iter().enumerate() {
-            values[v] = col_values[pos] - neg.map(|n| col_values[n]).unwrap_or(0.0);
-        }
-        let objective = problem
-            .objective
-            .iter()
-            .map(|&(v, c)| c * values[v.0])
-            .sum();
-        LpSolution::new(status, objective, values).with_stats(stats)
+    /// Solves the problem through the shared core with dense column storage
+    /// under explicit tuning (what the dense backend's sessions run per
+    /// `minimize`; presolve is the backend wrapper's business).
+    pub(crate) fn solve_dense_with(&self, tuning: &SolverTuning) -> LpSolution {
+        SimplexCore::solve_problem(self, tuning, true)
     }
 }
 
@@ -1029,8 +480,11 @@ mod tests {
             let sol = lp.solve_with(rule);
             assert!(sol.is_optimal(), "{rule}: {:?}", sol.status);
             assert!(sol.stats.iterations > 0, "{rule} reported no iterations");
-            // The raw dense solve has no presolve stage.
+            // The raw dense solve has no presolve stage, no LU etas, and no
+            // warm rows to restore dually.
             assert_eq!(sol.stats.presolve_rows, 0);
+            assert_eq!(sol.stats.etas, 0);
+            assert_eq!(sol.stats.dual_pivots, 0);
             objectives.push(sol.objective);
         }
         for pair in objectives.windows(2) {
@@ -1044,13 +498,18 @@ mod tests {
             refactorizations: 1,
             presolve_rows: 3,
             presolve_cols: 4,
+            etas: 5,
+            dual_pivots: 6,
         }
         .merge(&SolveStats {
             iterations: 5,
+            dual_pivots: 1,
             ..SolveStats::default()
         });
         assert_eq!(merged.iterations, 7);
         assert_eq!(merged.presolve_cols, 4);
+        assert_eq!(merged.etas, 5);
+        assert_eq!(merged.dual_pivots, 7);
     }
 
     #[test]

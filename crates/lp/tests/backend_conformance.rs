@@ -8,8 +8,8 @@
 //! obligations (re-minimize determinism, incremental rows and columns).
 
 use cma_lp::{
-    Cmp, LpBackend, LpProblem, LpStatus, PricingRule, SimplexBackend, SolverTuning, SparseBackend,
-    TunedBackend,
+    Cmp, FactorKind, LpBackend, LpProblem, LpStatus, PricingRule, SimplexBackend, SolverTuning,
+    SparseBackend, TunedBackend, WarmStrategy,
 };
 
 const TOL: f64 = 1e-6;
@@ -299,17 +299,40 @@ fn sparse_backend_conforms() {
     conformance(&SparseBackend);
 }
 
-/// The pricing-rule matrix: dense/sparse × dantzig/devex/partial — with and
-/// without presolve — must all satisfy every session obligation.  Pricing
-/// changes the pivot *path*, never the contract.
+/// The tuning matrix: dense/sparse × dantzig/devex/partial × presolve
+/// on/off × dense-inverse/LU factorization — must all satisfy every session
+/// obligation.  Pricing and factorization change the pivot *path* and the
+/// linear algebra, never the contract.
 #[test]
-fn pricing_matrix_conforms() {
+fn pricing_presolve_factor_matrix_conforms() {
     for pricing in PricingRule::ALL {
         for presolve in [true, false] {
-            let tuning = SolverTuning { pricing, presolve };
-            conformance(&TunedBackend::new(SimplexBackend, tuning));
-            conformance(&TunedBackend::new(SparseBackend, tuning));
+            for factor in FactorKind::ALL {
+                let tuning = SolverTuning {
+                    pricing,
+                    presolve,
+                    factor,
+                    ..SolverTuning::default()
+                };
+                conformance(&TunedBackend::new(SimplexBackend, tuning));
+                conformance(&TunedBackend::new(SparseBackend, tuning));
+            }
         }
+    }
+}
+
+/// The legacy phase-1 warm-resolve strategy keeps satisfying the session
+/// obligations (the dual strategy is the default and covered by the matrix
+/// above).
+#[test]
+fn phase1_warm_strategy_conforms() {
+    for factor in FactorKind::ALL {
+        let tuning = SolverTuning {
+            warm: WarmStrategy::Phase1,
+            factor,
+            ..SolverTuning::default()
+        };
+        conformance(&TunedBackend::new(SparseBackend, tuning));
     }
 }
 

@@ -1,0 +1,205 @@
+//! Property tests pinning the basis-factorization seam to the reference.
+//!
+//! * **factor agreement** — on random LPs, solving with the Markowitz-LU
+//!   factorization must agree with the dense-inverse factorization (and
+//!   with the raw dense reference solve) on status and optimal objective,
+//!   across the pricing × presolve matrix and both backends.  The
+//!   factorization changes the linear algebra, never the answer.
+//! * **dual-vs-primal warm resolve** — a session that receives rows
+//!   incrementally under the dual-simplex strategy must agree with the same
+//!   session under the legacy phase-1 strategy and with a from-scratch
+//!   solve of the assembled problem, for every factorization.
+
+use cma_lp::{
+    Cmp, FactorKind, LpBackend, LpProblem, LpStatus, LpVarId, PricingRule, SimplexBackend,
+    SolverTuning, SparseBackend, TunedBackend, WarmStrategy,
+};
+use proptest::prelude::*;
+
+const TOL: f64 = 1e-5;
+
+/// Deterministically decodes a generated seed vector into an LP (same shape
+/// as `dense_sparse_agreement`): a mix of free/non-negative variables,
+/// Le/Ge/Eq rows with small half-integer coefficients, and a signed
+/// objective.  Infeasible and unbounded instances are generated on purpose.
+fn decode(seed: &[(f64, f64, f64)], vars: usize) -> (LpProblem, Vec<LpVarId>) {
+    let mut lp = LpProblem::new();
+    let ids: Vec<LpVarId> = (0..vars)
+        .map(|i| lp.add_var(format!("v{i}"), i % 3 == 0))
+        .collect();
+    for (i, &(a, b, c)) in seed.iter().enumerate() {
+        let terms: Vec<(LpVarId, f64)> = ids
+            .iter()
+            .enumerate()
+            .map(|(j, &v)| (v, ((a * (j as f64 + 1.0) + b).sin() * 4.0).round() / 2.0))
+            .filter(|&(_, coeff)| coeff != 0.0)
+            .collect();
+        let cmp = match i % 3 {
+            0 => Cmp::Le,
+            1 => Cmp::Ge,
+            _ => Cmp::Eq,
+        };
+        if terms.is_empty() {
+            continue;
+        }
+        lp.add_constraint(terms, cmp, (c * 10.0).round() / 2.0);
+    }
+    lp.set_objective(
+        ids.iter()
+            .enumerate()
+            .map(|(j, &v)| (v, if j % 2 == 0 { 1.0 } else { 0.5 }))
+            .collect(),
+    );
+    (lp, ids)
+}
+
+fn statuses_agree(a: &cma_lp::LpSolution, b: &cma_lp::LpSolution) -> bool {
+    a.status == b.status
+        || a.status == LpStatus::IterationLimit
+        || b.status == LpStatus::IterationLimit
+}
+
+proptest! {
+    #[test]
+    fn lu_factorization_agrees_with_dense_inverse(
+        seed in proptest::collection::vec((-1.0f64..1.0, -1.0f64..1.0, -1.0f64..1.0), 1..9),
+        vars in 1usize..6,
+    ) {
+        let (lp, _ids) = decode(&seed, vars);
+        let reference = lp.solve();
+        for pricing in PricingRule::ALL {
+            for presolve in [true, false] {
+                for backend in [&SimplexBackend as &dyn LpBackend, &SparseBackend] {
+                    let solve = |factor: FactorKind| {
+                        let tuning = SolverTuning { pricing, presolve, factor,
+                            ..SolverTuning::default() };
+                        TunedBackend::new(backend, tuning).solve(&lp)
+                    };
+                    let dense = solve(FactorKind::Dense);
+                    let lu = solve(FactorKind::Lu);
+                    prop_assert!(
+                        statuses_agree(&dense, &lu) && statuses_agree(&reference, &lu),
+                        "status mismatch: reference {:?}, dense-factor {:?}, lu {:?} \
+                         ({}/{pricing}/presolve={presolve})",
+                        reference.status,
+                        dense.status,
+                        lu.status,
+                        backend.name(),
+                    );
+                    if dense.status == LpStatus::Optimal && lu.status == LpStatus::Optimal {
+                        prop_assert!(
+                            (dense.objective - lu.objective).abs()
+                                <= TOL * (1.0 + dense.objective.abs()),
+                            "objective mismatch: dense-factor {} vs lu {} \
+                             ({}/{pricing}/presolve={presolve})",
+                            dense.objective,
+                            lu.objective,
+                            backend.name(),
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dual_and_phase1_warm_resolves_agree_on_incremental_rows(
+        seed in proptest::collection::vec((-1.0f64..1.0, -1.0f64..1.0, -1.0f64..1.0), 2..8),
+        vars in 1usize..5,
+        split in 1usize..4,
+    ) {
+        // Open a session on a prefix of the rows, feed the rest
+        // incrementally under both warm-resolve strategies and both
+        // factorizations, and compare against a dense from-scratch solve of
+        // the full system.
+        let (full, ids) = decode(&seed, vars);
+        let split = split.min(full.num_constraints());
+        let mut prefix = LpProblem::new();
+        for &v in &ids {
+            prefix.add_var(full.var_name(v), full.is_free(v));
+        }
+        for i in 0..split {
+            let terms: Vec<(LpVarId, f64)> = full.constraint_terms(i).collect();
+            prefix.add_constraint(terms, full.cmp(i), full.rhs(i));
+        }
+        let reference = SimplexBackend.solve(&full);
+        for factor in FactorKind::ALL {
+            for warm in [WarmStrategy::Dual, WarmStrategy::Phase1] {
+                let tuning = SolverTuning { factor, warm, ..SolverTuning::default() };
+                let mut session = SparseBackend.open_with(&prefix, &tuning);
+                session.minimize(full.objective());
+                for i in split..full.num_constraints() {
+                    let terms: Vec<(LpVarId, f64)> = full.constraint_terms(i).collect();
+                    session.add_constraint(&terms, full.cmp(i), full.rhs(i));
+                }
+                let incremental = session.minimize(full.objective());
+                prop_assert!(
+                    statuses_agree(&reference, &incremental),
+                    "status mismatch after incremental rows ({factor}/{warm}): \
+                     scratch {:?} vs warm {:?}",
+                    reference.status,
+                    incremental.status
+                );
+                if reference.status == LpStatus::Optimal
+                    && incremental.status == LpStatus::Optimal
+                {
+                    prop_assert!(
+                        (reference.objective - incremental.objective).abs()
+                            <= TOL * (1.0 + reference.objective.abs()),
+                        "objective mismatch after incremental rows ({factor}/{warm}): \
+                         scratch {} vs warm {}",
+                        reference.objective,
+                        incremental.objective
+                    );
+                }
+                if warm == WarmStrategy::Phase1 {
+                    prop_assert_eq!(incremental.stats.dual_pivots, 0);
+                }
+            }
+        }
+    }
+}
+
+/// The headline scenario of the dual warm re-solve: a cutting row on an
+/// optimal session is repaired by dual pivots — reported in `SolveStats` —
+/// with no phase-1 restart, and both strategies land on the same optimum.
+#[test]
+fn cutting_row_resolves_via_dual_pivots() {
+    for factor in FactorKind::ALL {
+        let mut lp = LpProblem::new();
+        let x = lp.add_var("x", false);
+        let y = lp.add_var("y", false);
+        lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Cmp::Le, 4.0);
+        lp.add_constraint(vec![(y, 1.0)], Cmp::Le, 3.0);
+        let objective = [(x, -1.0), (y, -2.0)];
+
+        let dual_tuning = SolverTuning {
+            factor,
+            warm: WarmStrategy::Dual,
+            ..SolverTuning::default()
+        };
+        let mut session = SparseBackend.open_with(&lp, &dual_tuning);
+        assert!(session.minimize(&objective).is_optimal());
+        session.add_constraint(&[(y, 1.0)], Cmp::Le, 1.0); // cuts the optimum
+        let dual = session.minimize(&objective);
+        assert!(dual.is_optimal());
+        assert!((dual.objective - (-5.0)).abs() < TOL);
+        assert!(
+            dual.stats.dual_pivots > 0,
+            "{factor}: cutting row resolved without dual pivots"
+        );
+
+        let phase1_tuning = SolverTuning {
+            factor,
+            warm: WarmStrategy::Phase1,
+            ..SolverTuning::default()
+        };
+        let mut legacy = SparseBackend.open_with(&lp, &phase1_tuning);
+        assert!(legacy.minimize(&objective).is_optimal());
+        legacy.add_constraint(&[(y, 1.0)], Cmp::Le, 1.0);
+        let restart = legacy.minimize(&objective);
+        assert!(restart.is_optimal());
+        assert!((restart.objective - dual.objective).abs() < TOL);
+        assert_eq!(restart.stats.dual_pivots, 0);
+    }
+}

@@ -57,7 +57,7 @@ pub use cma_inference::{
     AnalysisOptions, CentralMoments, GroupLpStats, SolveMode, SoundnessReport, TailBound,
 };
 pub use cma_lp::{
-    LpBackend, LpSession, PricingRule, SimplexBackend, SolveStats, SolverTuning, SparseBackend,
-    TunedBackend,
+    FactorKind, LpBackend, LpSession, PricingRule, SimplexBackend, SolveStats, SolverTuning,
+    SparseBackend, TunedBackend, WarmStrategy,
 };
 pub use cma_semiring::Interval;

@@ -161,6 +161,20 @@ impl<B: LpBackend> Analysis<B> {
         self
     }
 
+    /// Sets the LP basis factorization (dense `B⁻¹` by default; `lu` solves
+    /// with a Markowitz LU plus eta-file updates).
+    pub fn factor(mut self, factor: cma_lp::FactorKind) -> Self {
+        self.options.factor = factor;
+        self
+    }
+
+    /// Sets the warm re-solve strategy for incremental LP rows (dual-simplex
+    /// pivots by default; `phase1` restores the legacy restart).
+    pub fn warm_resolve(mut self, warm: cma_lp::WarmStrategy) -> Self {
+        self.options.warm_resolve = warm;
+        self
+    }
+
     /// Labels the report (shown by the CLI and in `to_json`).
     pub fn label(mut self, label: impl Into<String>) -> Self {
         self.label = Some(label.into());
@@ -265,6 +279,7 @@ impl<B: LpBackend> Analysis<B> {
             mode: self.options.mode,
             backend: self.backend.name().to_string(),
             pricing: self.options.pricing.name().to_string(),
+            factor: self.options.factor.name().to_string(),
             parallelism: self.options.threads,
             valuation: self.options.valuation.clone(),
             result,
@@ -353,19 +368,57 @@ mod tests {
         assert!(report.tail[1].probability <= report.tail[0].probability);
     }
 
-    /// A PR 1-style backend that overrides only `solve` (counting calls) —
-    /// both the pluggable seam and the solve-only back-compat path exercised
-    /// end to end.  Backends must now be `Sync`, hence the atomic.
+    /// A third-party backend wrapping the dense reference in sessions that
+    /// count their `minimize` calls — the pluggable seam exercised end to
+    /// end, including the required-`open` contract.  Backends must be
+    /// `Sync`, hence the atomic.
     struct CountingBackend(std::sync::atomic::AtomicUsize);
+
+    struct CountingSession<'a> {
+        inner: Box<dyn cma_lp::LpSession + 'a>,
+        minimizes: &'a std::sync::atomic::AtomicUsize,
+    }
+
+    impl cma_lp::LpSession for CountingSession<'_> {
+        fn add_var(&mut self, name: &str, free: bool) -> cma_lp::LpVarId {
+            self.inner.add_var(name, free)
+        }
+
+        fn add_constraint(&mut self, terms: &[(cma_lp::LpVarId, f64)], cmp: cma_lp::Cmp, rhs: f64) {
+            self.inner.add_constraint(terms, cmp, rhs);
+        }
+
+        fn minimize(&mut self, objective: &[(cma_lp::LpVarId, f64)]) -> LpSolution {
+            self.minimizes
+                .fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            self.inner.minimize(objective)
+        }
+
+        fn num_vars(&self) -> usize {
+            self.inner.num_vars()
+        }
+
+        fn num_constraints(&self) -> usize {
+            self.inner.num_constraints()
+        }
+
+        // Wrapper sessions must forward the capability, or they silently
+        // disable the dual-flush path for their inner session.
+        fn warm_resolves_in_place(&self) -> bool {
+            self.inner.warm_resolves_in_place()
+        }
+    }
 
     impl LpBackend for CountingBackend {
         fn name(&self) -> &str {
             "counting-simplex"
         }
 
-        fn solve(&self, problem: &LpProblem) -> LpSolution {
-            self.0.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
-            SimplexBackend.solve(problem)
+        fn open<'a>(&'a self, problem: &LpProblem) -> Box<dyn cma_lp::LpSession + 'a> {
+            Box::new(CountingSession {
+                inner: SimplexBackend.open(problem),
+                minimizes: &self.0,
+            })
         }
     }
 
@@ -377,8 +430,10 @@ mod tests {
             .run()
             .unwrap();
         assert_eq!(report.backend, "counting-simplex");
-        // Inference minimized once; the soundness extension re-minimizes the
-        // extended session, so the solve-only backend is hit at least twice.
+        // Inference minimized once; the soundness extension re-minimizes —
+        // in place when the inner session warm-resolves, or through a
+        // standalone subproblem session (this dense wrapper's case) — so a
+        // counted `minimize` happens at least twice either way.
         assert!(report.soundness.is_some());
         assert_eq!(report.lp.solves, 1);
         let uses = backend.0.load(std::sync::atomic::Ordering::SeqCst);

@@ -54,6 +54,11 @@ pub struct LpStats {
     pub presolve_rows: usize,
     /// Total LP columns removed by presolve (fixed or unreferenced).
     pub presolve_cols: usize,
+    /// Total product-form eta updates appended by the LU factorization
+    /// (0 under the dense inverse).
+    pub etas: usize,
+    /// Total dual-simplex pivots spent on warm incremental-row re-solves.
+    pub dual_pivots: usize,
     /// Per-group sizes and solver counters, in solve order.
     pub groups: Vec<GroupLpStats>,
 }
@@ -74,6 +79,8 @@ impl LpStats {
             refactorizations: groups.iter().map(|g| g.refactorizations).sum(),
             presolve_rows: groups.iter().map(|g| g.presolve_rows).sum(),
             presolve_cols: groups.iter().map(|g| g.presolve_cols).sum(),
+            etas: groups.iter().map(|g| g.etas).sum(),
+            dual_pivots: groups.iter().map(|g| g.dual_pivots).sum(),
             groups,
         }
     }
@@ -92,6 +99,8 @@ pub struct AnalysisReport {
     pub backend: String,
     /// Pricing rule the backend solved with (`dantzig`, `devex`, `partial`).
     pub pricing: String,
+    /// Basis factorization the backend solved with (`dense`, `lu`).
+    pub factor: String,
     /// Worker threads used for independent group solves (1 = sequential).
     pub parallelism: usize,
     /// The initial-state valuation at which intervals below are evaluated.
@@ -154,6 +163,7 @@ impl AnalysisReport {
         push_field(&mut out, "mode", &json_string(mode));
         push_field(&mut out, "backend", &json_string(&self.backend));
         push_field(&mut out, "pricing", &json_string(&self.pricing));
+        push_field(&mut out, "factor", &json_string(&self.factor));
         push_field(&mut out, "parallelism", &self.parallelism.to_string());
 
         let valuation = self
@@ -224,7 +234,7 @@ impl AnalysisReport {
                     .collect::<Vec<_>>()
                     .join(",");
                 format!(
-                    "{{\"bounded_updates\":{},\"violations\":[{violations}],\"termination_moment\":{},\"is_sound\":{},\"reused_constraint_store\":{},\"extension_variables\":{},\"extension_constraints\":{}}}",
+                    "{{\"bounded_updates\":{},\"violations\":[{violations}],\"termination_moment\":{},\"is_sound\":{},\"reused_constraint_store\":{},\"extension_variables\":{},\"extension_constraints\":{},\"extension_dual_pivots\":{}}}",
                     s.bounded_updates,
                     s.termination_moment
                         .map(|k| k.to_string())
@@ -233,6 +243,7 @@ impl AnalysisReport {
                     s.reused_constraint_store,
                     s.extension_variables,
                     s.extension_constraints,
+                    s.extension_dual_pivots,
                 )
             }
             None => "null".to_string(),
@@ -245,7 +256,7 @@ impl AnalysisReport {
             .iter()
             .map(|g| {
                 format!(
-                    "{{\"name\":{},\"variables\":{},\"constraints\":{},\"iterations\":{},\"refactorizations\":{},\"presolve_rows\":{},\"presolve_cols\":{}}}",
+                    "{{\"name\":{},\"variables\":{},\"constraints\":{},\"iterations\":{},\"refactorizations\":{},\"presolve_rows\":{},\"presolve_cols\":{},\"etas\":{},\"dual_pivots\":{}}}",
                     json_string(&g.name),
                     g.variables,
                     g.constraints,
@@ -253,12 +264,14 @@ impl AnalysisReport {
                     g.refactorizations,
                     g.presolve_rows,
                     g.presolve_cols,
+                    g.etas,
+                    g.dual_pivots,
                 )
             })
             .collect::<Vec<_>>()
             .join(",");
         let lp = format!(
-            "{{\"variables\":{},\"constraints\":{},\"solves\":{},\"iterations\":{},\"refactorizations\":{},\"presolve_rows\":{},\"presolve_cols\":{},\"groups\":[{groups}]}}",
+            "{{\"variables\":{},\"constraints\":{},\"solves\":{},\"iterations\":{},\"refactorizations\":{},\"presolve_rows\":{},\"presolve_cols\":{},\"etas\":{},\"dual_pivots\":{},\"groups\":[{groups}]}}",
             self.lp.variables,
             self.lp.constraints,
             self.lp.solves,
@@ -266,6 +279,8 @@ impl AnalysisReport {
             self.lp.refactorizations,
             self.lp.presolve_rows,
             self.lp.presolve_cols,
+            self.lp.etas,
+            self.lp.dual_pivots,
         );
         push_field(&mut out, "lp", &lp);
 
@@ -337,8 +352,8 @@ impl fmt::Display for AnalysisReport {
         };
         write!(
             f,
-            "analysis: degree {} · {mode} mode · backend {} · {} pricing",
-            self.degree, self.backend, self.pricing
+            "analysis: degree {} · {mode} mode · backend {} · {} pricing · {} factorization",
+            self.degree, self.backend, self.pricing, self.factor
         )?;
         if self.parallelism > 1 {
             write!(f, " · {} threads", self.parallelism)?;
@@ -402,11 +417,15 @@ impl fmt::Display for AnalysisReport {
                 writeln!(f, "  unbounded update: {v}")?;
             }
             if s.reused_constraint_store && s.extension_constraints > 0 {
-                writeln!(
+                write!(
                     f,
-                    "  (side conditions layered onto the main LP session: +{} rows, +{} vars)",
+                    "  (side conditions layered onto the main LP session: +{} rows, +{} vars",
                     s.extension_constraints, s.extension_variables
                 )?;
+                if s.extension_dual_pivots > 0 {
+                    write!(f, ", {} dual pivots", s.extension_dual_pivots)?;
+                }
+                writeln!(f, ")")?;
             }
         }
 
@@ -424,6 +443,13 @@ impl fmt::Display for AnalysisReport {
             " · {} iterations, {} refactorizations",
             self.lp.iterations, self.lp.refactorizations
         )?;
+        if self.lp.etas > 0 || self.lp.dual_pivots > 0 {
+            write!(
+                f,
+                " · {} etas, {} dual pivots",
+                self.lp.etas, self.lp.dual_pivots
+            )?;
+        }
         if self.lp.presolve_rows > 0 || self.lp.presolve_cols > 0 {
             write!(
                 f,

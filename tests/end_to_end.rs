@@ -190,20 +190,21 @@ fn soundness_checks_run_on_suite_programs() {
 }
 
 #[test]
-fn legacy_analyze_shim_agrees_with_the_facade() {
-    // The deprecated entry point must keep producing the same bounds as the
-    // pipeline so downstream users can migrate incrementally.
-    #[allow(deprecated)]
-    fn legacy(b: &Benchmark) -> central_moment_analysis::Interval {
-        use central_moment_analysis::inference::{analyze, AnalysisOptions};
+fn engine_entry_point_agrees_with_the_facade() {
+    // The engine-level `analyze_with` (which replaced the retired
+    // `analyze()` shim) must produce the same bounds as the pipeline, so
+    // low-level callers and facade users never diverge.
+    fn direct(b: &Benchmark) -> central_moment_analysis::Interval {
+        use central_moment_analysis::inference::{analyze_with, AnalysisOptions};
+        use central_moment_analysis::SimplexBackend;
         let options = AnalysisOptions::degree(2).with_valuation(b.valuation.clone());
-        analyze(&b.program, &options)
+        analyze_with(&b.program, &options, &SimplexBackend)
             .unwrap()
             .raw_moment_at(1, &b.valuation)
     }
     let b = suite::running::rdwalk();
     let report = Analysis::benchmark(&b).soundness(false).run().unwrap();
-    let old = legacy(&b);
+    let old = direct(&b);
     let new = report.raw_moment(1);
     assert!((old.hi() - new.hi()).abs() < 1e-9);
     assert!((old.lo() - new.lo()).abs() < 1e-9);
