@@ -13,8 +13,12 @@
 //! cargo run -p cma-bench --release --bin chains -- \
 //!     [--out BENCH_chains.json] [--max-n 10] [--step 3] [--threads N]
 //!     [--global-cap 8] [--pricing devex|dantzig|partial|all]
-//!     [--factor dense|lu|all]
+//!     [--factor dense|lu|all] [--escalate]
 //! ```
+//!
+//! `--escalate` additionally measures every global-mode configuration via an
+//! in-session degree 1 → 2 escalation (`Analysis::escalate_from`), with
+//! plan-reuse and escalation-pivot columns in the JSON rows.
 //!
 //! Compositional mode (the regime Fig. 10 actually evaluates — one LP per
 //! SCC) is measured across the whole sweep.  Global mode — one monolithic LP
@@ -25,11 +29,10 @@
 //! length, and the cap now only bounds the dense reference solver's
 //! tableau-sized solve times, not a degeneracy blow-up.
 
-use std::fmt::Write as _;
 use std::io::Write as _;
 
 use central_moment_analysis::{
-    Analysis, FactorKind, PricingRule, SimplexBackend, SolveMode, SparseBackend,
+    json, Analysis, FactorKind, PricingRule, SimplexBackend, SolveMode, SparseBackend,
 };
 use cma_suite::{synthetic, Benchmark};
 
@@ -40,6 +43,9 @@ struct Row {
     backend: &'static str,
     pricing: &'static str,
     factor: &'static str,
+    /// Whether the degree-2 result was reached by in-session escalation
+    /// from a degree-1 session (`--escalate`) instead of a direct solve.
+    escalated: bool,
     analysis_ms: f64,
     lp_variables: usize,
     lp_constraints: usize,
@@ -47,6 +53,10 @@ struct Row {
     lp_iterations: usize,
     lp_etas: usize,
     lp_dual_pivots: usize,
+    /// Template columns the escalation replayed from the derivation plan.
+    plan_reused_columns: usize,
+    /// Dual-simplex pivots the escalated warm re-solve spent.
+    escalation_dual_pivots: usize,
     mean_upper: f64,
 }
 
@@ -60,19 +70,24 @@ fn measure(
     pricing: PricingRule,
     factor: FactorKind,
     threads: usize,
+    escalate: bool,
 ) -> Option<Row> {
-    let analysis = Analysis::benchmark(benchmark)
+    let mut analysis = Analysis::benchmark(benchmark)
         .degree(2)
         .mode(mode)
         .threads(threads)
         .pricing(pricing)
         .factor(factor)
         .soundness(false);
+    if escalate {
+        analysis = analysis.escalate_from(1);
+    }
     let report = match backend {
         "dense" => analysis.backend(SimplexBackend).run(),
         _ => analysis.backend(SparseBackend).run(),
     }
     .ok()?;
+    let escalation = report.escalation;
     Some(Row {
         family,
         n,
@@ -83,13 +98,19 @@ fn measure(
         backend,
         pricing: pricing.name(),
         factor: factor.name(),
-        analysis_ms: report.result.elapsed.as_secs_f64() * 1e3,
+        escalated: escalate,
+        // The full derive+solve time: for escalated runs `result.elapsed`
+        // covers only the escalation step, while the analysis phase timing
+        // includes the mandatory lower-degree base solve as well.
+        analysis_ms: report.timings.analysis.as_secs_f64() * 1e3,
         lp_variables: report.lp.variables,
         lp_constraints: report.lp.constraints,
         lp_solves: report.lp.solves,
         lp_iterations: report.lp.iterations,
         lp_etas: report.lp.etas,
         lp_dual_pivots: report.lp.dual_pivots,
+        plan_reused_columns: escalation.map_or(0, |e| e.reused_columns),
+        escalation_dual_pivots: escalation.map_or(0, |e| e.dual_pivots),
         mean_upper: report.mean().hi(),
     })
 }
@@ -103,6 +124,7 @@ fn main() {
     let mut global_cap = 8usize;
     let mut pricing_arg = "devex".to_string();
     let mut factor_arg = "all".to_string();
+    let mut escalate = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut value = |flag: &str| {
@@ -123,10 +145,11 @@ fn main() {
             }
             "--pricing" => pricing_arg = value("--pricing"),
             "--factor" => factor_arg = value("--factor"),
+            "--escalate" => escalate = true,
             other => {
                 eprintln!(
-                    "unknown option `{other}` \
-                     (expected --out/--max-n/--step/--threads/--global-cap/--pricing/--factor)"
+                    "unknown option `{other}` (expected --out/--max-n/--step/\
+                     --threads/--global-cap/--pricing/--factor/--escalate)"
                 );
                 std::process::exit(2);
             }
@@ -161,25 +184,39 @@ fn main() {
                 for &pricing in &pricings {
                     for &factor in &factors {
                         for (family, b) in [("coupon-chain", &coupon), ("walk-chain", &walk)] {
-                            match measure(b, family, n, mode, backend, pricing, factor, threads) {
+                            // With --escalate, global-mode configurations are
+                            // additionally measured via a degree 1 -> 2
+                            // in-session escalation (compositional sessions
+                            // would restart cold, so the sweep skips them).
+                            let mut variants = vec![false];
+                            if escalate && mode == SolveMode::Global {
+                                variants.push(true);
+                            }
+                            for escalated in variants {
+                                match measure(
+                                b, family, n, mode, backend, pricing, factor, threads, escalated,
+                            ) {
                                 Some(row) => {
                                     eprintln!(
-                                        "{family}/{n} {} {backend} {}/{}: {:.1} ms ({} vars, {} rows, {} solves, {} iters, {} etas)",
+                                        "{family}/{n} {} {backend} {}/{}{}: {:.1} ms ({} vars, {} rows, {} solves, {} iters, {} etas, {} plan cols reused)",
                                         row.mode,
                                         row.pricing,
                                         row.factor,
+                                        if row.escalated { " escalate" } else { "" },
                                         row.analysis_ms,
                                         row.lp_variables,
                                         row.lp_constraints,
                                         row.lp_solves,
                                         row.lp_iterations,
-                                        row.lp_etas
+                                        row.lp_etas,
+                                        row.plan_reused_columns
                                     );
                                     rows.push(row);
                                 }
                                 None => eprintln!(
                                     "{family}/{n} {mode:?} {backend} {pricing} {factor}: not analyzable"
                                 ),
+                            }
                             }
                         }
                     }
@@ -188,32 +225,42 @@ fn main() {
         }
     }
 
-    let mut json = String::from("{\"experiment\":\"fig10-chains\",\"threads\":");
-    let _ = write!(json, "{threads},\"rows\":[");
-    for (i, r) in rows.iter().enumerate() {
-        if i > 0 {
-            json.push(',');
-        }
-        let _ = write!(
-            json,
-            "{{\"family\":\"{}\",\"n\":{},\"mode\":\"{}\",\"backend\":\"{}\",\"pricing\":\"{}\",\"factor\":\"{}\",\"analysis_ms\":{:.3},\"lp_variables\":{},\"lp_constraints\":{},\"lp_solves\":{},\"lp_iterations\":{},\"lp_etas\":{},\"lp_dual_pivots\":{},\"mean_upper\":{:.6}}}",
-            r.family,
-            r.n,
-            r.mode,
-            r.backend,
-            r.pricing,
-            r.factor,
-            r.analysis_ms,
-            r.lp_variables,
-            r.lp_constraints,
-            r.lp_solves,
-            r.lp_iterations,
-            r.lp_etas,
-            r.lp_dual_pivots,
-            r.mean_upper
-        );
-    }
-    json.push_str("]}");
+    // Rows go through the shared report JSON writer so this encoder cannot
+    // drift from the CLI's.
+    let json = json::object([
+        ("experiment", json::string("fig10-chains")),
+        ("threads", threads.to_string()),
+        (
+            "rows",
+            json::array(rows.iter().map(|r| {
+                json::object([
+                    ("family", json::string(r.family)),
+                    ("n", r.n.to_string()),
+                    ("mode", json::string(r.mode)),
+                    ("backend", json::string(r.backend)),
+                    ("pricing", json::string(r.pricing)),
+                    ("factor", json::string(r.factor)),
+                    ("escalated", r.escalated.to_string()),
+                    (
+                        "analysis_ms",
+                        json::num((r.analysis_ms * 1e3).round() / 1e3),
+                    ),
+                    ("lp_variables", r.lp_variables.to_string()),
+                    ("lp_constraints", r.lp_constraints.to_string()),
+                    ("lp_solves", r.lp_solves.to_string()),
+                    ("lp_iterations", r.lp_iterations.to_string()),
+                    ("lp_etas", r.lp_etas.to_string()),
+                    ("lp_dual_pivots", r.lp_dual_pivots.to_string()),
+                    ("plan_reused_columns", r.plan_reused_columns.to_string()),
+                    (
+                        "escalation_dual_pivots",
+                        r.escalation_dual_pivots.to_string(),
+                    ),
+                    ("mean_upper", json::num((r.mean_upper * 1e6).round() / 1e6)),
+                ])
+            })),
+        ),
+    ]);
 
     let mut file = std::fs::File::create(&out_path).expect("create output file");
     file.write_all(json.as_bytes()).expect("write output");
@@ -224,7 +271,9 @@ fn main() {
     let speedup = |family: &str, mode: &str| -> Option<f64> {
         let total = |backend: &str| -> f64 {
             rows.iter()
-                .filter(|r| r.family == family && r.mode == mode && r.backend == backend)
+                .filter(|r| {
+                    r.family == family && r.mode == mode && r.backend == backend && !r.escalated
+                })
                 .map(|r| r.analysis_ms)
                 .sum()
         };

@@ -18,7 +18,7 @@ use std::process::ExitCode;
 
 use central_moment_analysis::suite::{self, Benchmark};
 use central_moment_analysis::{
-    Analysis, AnalysisReport, CmaError, FactorKind, LpBackend, PricingRule, SolveMode,
+    json, Analysis, AnalysisReport, CmaError, FactorKind, LpBackend, PricingRule, SolveMode,
     SparseBackend, Var,
 };
 
@@ -36,6 +36,10 @@ USAGE:
 ANALYSIS OPTIONS:
     --degree N           target moment degree m (default 2)
     --poly-degree D      base polynomial degree of templates (default 1)
+    --max-poly-degree D  on an infeasible LP, retry with base degrees up to D
+                         (reusing the derivation plan between retries)
+    --escalate M         solve at degree M first, then escalate the live LP
+                         session to --degree (warm dual re-solve, no re-derive)
     --mode MODE          global | compositional (default global)
     --backend B          dense | sparse LP solver (default dense)
     --pricing P          dantzig | devex | partial simplex pricing (default devex)
@@ -80,6 +84,25 @@ fn main() -> ExitCode {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("cma: {e}");
+            if let Some((_, poly_degree)) = e.infeasible_at() {
+                // If automatic escalation already ran, the budget was
+                // exhausted — suggesting the same flag again would loop.
+                let retried = std::env::args().any(|a| a == "--max-poly-degree");
+                if retried {
+                    eprintln!(
+                        "hint: templates stayed infeasible up to the --max-poly-degree \
+                         limit (last tried degree {poly_degree}); raise the limit only \
+                         if a polynomial bound of higher degree plausibly exists"
+                    );
+                } else {
+                    eprintln!(
+                        "hint: the degree-{poly_degree} templates cannot express a bound \
+                         for this program; retry with `--max-poly-degree {}` to let the \
+                         analysis escalate the template degree automatically",
+                        poly_degree + 1
+                    );
+                }
+            }
             if e.is_usage() {
                 eprintln!("run `cma --help` for usage");
                 ExitCode::from(2)
@@ -105,6 +128,8 @@ enum BackendChoice {
 struct AnalyzeOpts {
     degree: Option<usize>,
     poly_degree: Option<u32>,
+    max_poly_degree: Option<u32>,
+    escalate: Option<usize>,
     mode: Option<SolveMode>,
     backend: BackendChoice,
     pricing: Option<PricingRule>,
@@ -139,6 +164,14 @@ fn parse_opts(args: &[String]) -> Result<AnalyzeOpts, CmaError> {
             "--poly-degree" => {
                 let v = it.next().ok_or_else(|| missing("--poly-degree"))?;
                 opts.poly_degree = Some(parse_num(v, "--poly-degree")?);
+            }
+            "--max-poly-degree" => {
+                let v = it.next().ok_or_else(|| missing("--max-poly-degree"))?;
+                opts.max_poly_degree = Some(parse_num(v, "--max-poly-degree")?);
+            }
+            "--escalate" => {
+                let v = it.next().ok_or_else(|| missing("--escalate"))?;
+                opts.escalate = Some(parse_num(v, "--escalate")?);
             }
             "--trials" => {
                 let v = it.next().ok_or_else(|| missing("--trials"))?;
@@ -266,6 +299,12 @@ fn apply_analysis_opts<B: LpBackend>(mut analysis: Analysis<B>, opts: &AnalyzeOp
     if let Some(d) = opts.poly_degree {
         analysis = analysis.poly_degree(d);
     }
+    if let Some(d) = opts.max_poly_degree {
+        analysis = analysis.max_poly_degree(d);
+    }
+    if let Some(from) = opts.escalate {
+        analysis = analysis.escalate_from(from);
+    }
     if let Some(mode) = opts.mode {
         analysis = analysis.mode(mode);
     }
@@ -363,22 +402,24 @@ fn cmd_simulate(args: &[String]) -> Result<(), CmaError> {
     }
     let stats = simulate(&program, &config);
     if opts.json {
-        let raw = (1..=4)
-            .map(|k| json_num(stats.raw_moment(k)))
-            .collect::<Vec<_>>()
-            .join(",");
         println!(
-            "{{\"label\":\"{}\",\"trials\":{},\"seed\":{},\"cutoff_trials\":{},\"mean\":{},\"variance\":{},\"skewness\":{},\"kurtosis\":{},\"raw_moments\":[{raw}],\"min\":{},\"max\":{}}}",
-            json_escape(path),
-            stats.len(),
-            config.seed,
-            stats.cutoff_trials(),
-            json_num(stats.mean()),
-            json_num(stats.variance()),
-            json_num(stats.skewness()),
-            json_num(stats.kurtosis()),
-            json_num(stats.min()),
-            json_num(stats.max()),
+            "{}",
+            json::object([
+                ("label", json::string(path)),
+                ("trials", stats.len().to_string()),
+                ("seed", config.seed.to_string()),
+                ("cutoff_trials", stats.cutoff_trials().to_string()),
+                ("mean", json::num(stats.mean())),
+                ("variance", json::num(stats.variance())),
+                ("skewness", json::num(stats.skewness())),
+                ("kurtosis", json::num(stats.kurtosis())),
+                (
+                    "raw_moments",
+                    json::array((1..=4).map(|k| json::num(stats.raw_moment(k)))),
+                ),
+                ("min", json::num(stats.min())),
+                ("max", json::num(stats.max())),
+            ])
         );
     } else {
         println!(
@@ -425,20 +466,6 @@ fn resolve_benchmark(name: &str) -> Result<Benchmark, CmaError> {
     }
 }
 
-fn json_escape(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('"', "\\\"")
-}
-
-/// Finite floats render as decimals; non-finite values (which JSON cannot
-/// represent) become `null` — mirrors the report encoder.
-fn json_num(v: f64) -> String {
-    if v.is_finite() {
-        format!("{v}")
-    } else {
-        "null".to_string()
-    }
-}
-
 fn cmd_suite(args: &[String]) -> Result<(), CmaError> {
     let Some(action) = args.first() else {
         return Err(CmaError::Usage(
@@ -450,20 +477,17 @@ fn cmd_suite(args: &[String]) -> Result<(), CmaError> {
             let opts = parse_opts(&args[1..])?;
             let benchmarks = suite::all_benchmarks();
             if opts.json {
-                let rows = benchmarks
-                    .iter()
-                    .map(|b| {
-                        format!(
-                            "{{\"name\":\"{}\",\"suite\":\"{}\",\"degree\":{},\"description\":\"{}\"}}",
-                            json_escape(&b.qualified_name()),
-                            json_escape(&b.suite),
-                            b.degree,
-                            json_escape(&b.description)
-                        )
-                    })
-                    .collect::<Vec<_>>()
-                    .join(",");
-                println!("[{rows}]");
+                // Rows go through the shared report JSON writer, so the
+                // encoders of `suite list` and `analyze --json` cannot drift.
+                let rows = benchmarks.iter().map(|b| {
+                    json::object([
+                        ("name", json::string(&b.qualified_name())),
+                        ("suite", json::string(&b.suite)),
+                        ("degree", b.degree.to_string()),
+                        ("description", json::string(&b.description)),
+                    ])
+                });
+                println!("{}", json::array(rows));
             } else {
                 println!("{} benchmarks:", benchmarks.len());
                 for b in &benchmarks {
@@ -506,11 +530,10 @@ fn cmd_suite(args: &[String]) -> Result<(), CmaError> {
                     Err(e) => {
                         failures += 1;
                         if opts.json {
-                            json_rows.push(format!(
-                                "{{\"label\":\"{}\",\"error\":\"{}\"}}",
-                                json_escape(&b.qualified_name()),
-                                json_escape(&e.to_string())
-                            ));
+                            json_rows.push(json::object([
+                                ("label", json::string(&b.qualified_name())),
+                                ("error", json::string(&e.to_string())),
+                            ]));
                         } else {
                             println!("{}: {e}", b.qualified_name());
                             println!();
@@ -519,7 +542,7 @@ fn cmd_suite(args: &[String]) -> Result<(), CmaError> {
                 }
             }
             if opts.json {
-                println!("[{}]", json_rows.join(","));
+                println!("{}", json::array(json_rows));
             } else if failures > 0 {
                 println!("({failures} benchmark(s) not analyzable at the requested degree)");
             }

@@ -251,6 +251,80 @@ fn sparse_backend_and_threads_flags_are_honored() {
     assert_eq!(bad.status.code(), Some(2));
 }
 
+fn triangle() -> String {
+    repo_root()
+        .join("examples/triangle.appl")
+        .display()
+        .to_string()
+}
+
+#[test]
+fn escalate_flag_reaches_the_target_degree_in_session() {
+    let output = run(&[
+        "analyze",
+        &fig2(),
+        "--degree",
+        "2",
+        "--escalate",
+        "1",
+        "--backend",
+        "sparse",
+        "--valuation",
+        "d=10,x=0",
+        "--no-soundness",
+        "--json",
+    ]);
+    let json = stdout(&output);
+    assert!(
+        json.contains("\"escalation\":{\"from_degree\":1,\"to_degree\":2"),
+        "{json}"
+    );
+    assert!(json.contains("\"cold_restarts\":0"), "{json}");
+    // The escalated session still derives the Fig. 1(b) bound 2d + 4 = 24.
+    let upper: f64 = json
+        .split("\"k\":1,\"lower\":")
+        .nth(1)
+        .and_then(|rest| rest.split("\"upper\":").nth(1))
+        .and_then(|rest| rest.split(',').next())
+        .and_then(|v| v.parse().ok())
+        .expect("mean upper bound present");
+    assert!((upper - 24.0).abs() < 1e-3, "mean upper {upper}");
+
+    // A start at or above the target degree is a usage error.
+    let bad = run(&["analyze", &fig2(), "--degree", "2", "--escalate", "2"]);
+    assert_eq!(bad.status.code(), Some(2));
+}
+
+#[test]
+fn infeasible_analyses_hint_at_max_poly_degree_and_the_retry_succeeds() {
+    let failing = run(&[
+        "analyze",
+        &triangle(),
+        "--degree",
+        "1",
+        "--valuation",
+        "n=4",
+    ]);
+    assert_eq!(failing.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&failing.stderr);
+    assert!(stderr.contains("infeasible"), "{stderr}");
+    assert!(stderr.contains("--max-poly-degree 2"), "{stderr}");
+
+    let retried = stdout(&run(&[
+        "analyze",
+        &triangle(),
+        "--degree",
+        "1",
+        "--valuation",
+        "n=4",
+        "--max-poly-degree",
+        "2",
+        "--json",
+    ]));
+    assert!(retried.contains("\"poly_retries\":1"), "{retried}");
+    assert!(retried.contains("\"poly_degree\":2"), "{retried}");
+}
+
 #[test]
 fn usage_errors_exit_with_code_2() {
     let bad_sub = run(&["frobnicate"]);

@@ -11,20 +11,31 @@
 use cma_lp::{Cmp, LpBackend, LpSolution, LpVarId, SimplexBackend};
 use cma_semiring::poly::{Monomial, Var};
 
+use crate::plan::DerivationPlan;
 use crate::store::ConstraintStore;
 use crate::template::{LinCoef, SymInterval, SymMoment, TemplatePoly};
 
 /// Builder that accumulates LP variables, constraints, and the objective.
+///
+/// The builder also carries the run's [`DerivationPlan`]: the walk records
+/// template slots and constraint recipes into it (or replays against it,
+/// depending on the plan's mode) through [`planned_moment`]
+/// (Self::planned_moment) and the gate consulted by
+/// [`require_contains`](crate::weaken::require_contains).
 #[derive(Debug, Default)]
 pub struct ConstraintBuilder {
     store: ConstraintStore,
     fresh_counter: usize,
+    plan: DerivationPlan,
 }
 
 impl ConstraintBuilder {
-    /// Creates an empty builder.
+    /// Creates an empty builder (with an empty recording plan).
     pub fn new() -> Self {
-        ConstraintBuilder::default()
+        ConstraintBuilder {
+            plan: DerivationPlan::new(),
+            ..ConstraintBuilder::default()
+        }
     }
 
     /// Number of LP variables created so far.
@@ -46,6 +57,27 @@ impl ConstraintBuilder {
     /// sessions and flushes increments through it).
     pub fn store_mut(&mut self) -> &mut ConstraintStore {
         &mut self.store
+    }
+
+    /// The derivation plan this builder records into / replays against.
+    pub fn plan(&self) -> &DerivationPlan {
+        &self.plan
+    }
+
+    /// Mutable access to the plan (the engine switches modes around walks).
+    pub fn plan_mut(&mut self) -> &mut DerivationPlan {
+        &mut self.plan
+    }
+
+    /// Moves the plan out (for transplanting into a fresh builder on a
+    /// poly-degree re-instantiation), leaving an empty recording plan.
+    pub fn take_plan(&mut self) -> DerivationPlan {
+        std::mem::take(&mut self.plan)
+    }
+
+    /// Installs a plan (typically one taken from a previous builder).
+    pub fn install_plan(&mut self, plan: DerivationPlan) {
+        self.plan = plan;
     }
 
     fn fresh_name(&mut self, prefix: &str) -> String {
@@ -99,12 +131,63 @@ impl ConstraintBuilder {
                 if k < restriction {
                     SymInterval::zero()
                 } else {
-                    let deg = (k as u32 * poly_degree).max(if k == 0 { 0 } else { 1 });
-                    self.fresh_interval(&format!("{prefix}.m{k}"), vars, deg)
+                    self.fresh_interval(
+                        &format!("{prefix}.m{k}"),
+                        vars,
+                        component_degree(k, poly_degree),
+                    )
                 }
             })
             .collect();
         SymMoment::from_components(components)
+    }
+
+    /// A plan-aware [`fresh_moment`](Self::fresh_moment): the template slot
+    /// `key` is resolved against the builder's [`DerivationPlan`], so
+    /// components an earlier instantiation already minted are *reused* (their
+    /// LP columns come back verbatim) and only genuinely new components
+    /// allocate fresh coefficients.  In recording mode this behaves exactly
+    /// like `fresh_moment` plus bookkeeping.
+    pub fn planned_moment(
+        &mut self,
+        key: &str,
+        prefix: &str,
+        vars: &[Var],
+        m: usize,
+        poly_degree: u32,
+        restriction: usize,
+    ) -> SymMoment {
+        let mut plan = self.take_plan();
+        let (mut served, record) = plan.slot_components(key, restriction, m);
+        let components = (0..=m)
+            .map(|k| {
+                if let Some(interval) = served[k].take() {
+                    return interval;
+                }
+                let interval = if k < restriction {
+                    SymInterval::zero()
+                } else {
+                    self.fresh_interval(
+                        &format!("{prefix}.m{k}"),
+                        vars,
+                        component_degree(k, poly_degree),
+                    )
+                };
+                if record {
+                    plan.record_component(key, k, &interval);
+                }
+                interval
+            })
+            .collect();
+        self.install_plan(plan);
+        SymMoment::from_components(components)
+    }
+
+    /// Gate for the constraint recipe `key` about to instantiate components
+    /// `0..=m`: the first component whose rows must actually be emitted (see
+    /// [`DerivationPlan::recipe_gate`]).
+    pub fn recipe_gate(&mut self, key: &str, m: usize) -> usize {
+        self.plan.recipe_gate(key, m)
     }
 
     /// Emits the constraint `coef = 0`.
@@ -162,6 +245,11 @@ impl ConstraintBuilder {
     pub fn solve_with(&mut self, backend: &dyn LpBackend) -> LpSolution {
         backend.solve(&self.store.to_problem())
     }
+}
+
+/// Template degree of the `k`-th moment component under base degree `d`.
+fn component_degree(k: usize, poly_degree: u32) -> u32 {
+    (k as u32 * poly_degree).max(if k == 0 { 0 } else { 1 })
 }
 
 #[cfg(test)]

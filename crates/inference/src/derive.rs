@@ -50,9 +50,49 @@ pub struct DeriveCtx<'a> {
     pub template_vars: Vec<Var>,
     /// Restriction level `h` of the current derivation.
     pub level: usize,
+    /// Stable key prefix of this derivation unit (one function body at one
+    /// restriction level, or `main`) in the builder's
+    /// [`DerivationPlan`](crate::plan::DerivationPlan).  Walks of the same
+    /// unit produce the same site keys, which is what lets a plan replay
+    /// reuse the unit's template slots and constraint recipes.
+    pub unit: String,
+    /// Per-unit counter minting stable site keys along the walk (joins,
+    /// loop invariants, call containments).  Reset per unit; the statement
+    /// walk is deterministic, so re-walks reproduce the same keys.
+    pub site: std::cell::Cell<usize>,
 }
 
 impl<'a> DeriveCtx<'a> {
+    /// A derivation context for one unit (function body at a level, or main).
+    #[allow(clippy::too_many_arguments)]
+    pub fn for_unit(
+        program: &'a Program,
+        specs: &'a SpecTable,
+        degree: usize,
+        poly_degree: u32,
+        template_vars: Vec<Var>,
+        level: usize,
+        unit: impl Into<String>,
+    ) -> Self {
+        DeriveCtx {
+            program,
+            specs,
+            degree,
+            poly_degree,
+            template_vars,
+            level,
+            unit: unit.into(),
+            site: std::cell::Cell::new(0),
+        }
+    }
+
+    /// The next stable site key of this unit's walk.
+    fn next_site(&self, kind: &str) -> String {
+        let n = self.site.get();
+        self.site.set(n + 1);
+        format!("{}.s{n}.{kind}", self.unit)
+    }
+
     fn spec_pair(&self, name: &str) -> Result<(SymMoment, SymMoment), DeriveError> {
         let h = self.level;
         let base = self
@@ -98,6 +138,7 @@ pub fn transform(
             // Q-Call-Poly / Q-Call-Mono: the pre-annotation is the (framed)
             // specification's pre; the specification's post must cover the
             // annotation required by the continuation after the call.
+            let site = dctx.next_site(&format!("call.{name}"));
             let (pre, spec_post) = dctx.spec_pair(name)?;
             let ctx_after = ctx.after_stmt(stmt, dctx.program);
             require_contains(
@@ -106,18 +147,20 @@ pub fn transform(
                 &spec_post,
                 &post,
                 dctx.poly_degree,
-                &format!("call.{name}.h{}", dctx.level),
+                &site,
             );
             Ok(pre)
         }
         Stmt::If(cond, s1, s2) => {
             // Q-Cond + Q-Weaken: analyze both branches, then take a fresh
             // annotation containing both branch pre-annotations.
+            let site = dctx.next_site("if");
             let ctx_then = ctx.and(cond);
             let ctx_else = ctx.and(&cond.negate());
             let pre_then = transform(builder, dctx, s1, &ctx_then, post.clone())?;
             let pre_else = transform(builder, dctx, s2, &ctx_else, post)?;
-            let joined = builder.fresh_moment(
+            let joined = builder.planned_moment(
+                &site,
                 "if",
                 &dctx.template_vars,
                 dctx.degree,
@@ -130,7 +173,7 @@ pub fn transform(
                 &joined,
                 &pre_then,
                 dctx.poly_degree,
-                &format!("if.then.h{}", dctx.level),
+                &format!("{site}.then"),
             );
             require_contains(
                 builder,
@@ -138,7 +181,7 @@ pub fn transform(
                 &joined,
                 &pre_else,
                 dctx.poly_degree,
-                &format!("if.else.h{}", dctx.level),
+                &format!("{site}.else"),
             );
             Ok(joined)
         }
@@ -155,14 +198,20 @@ pub fn transform(
             // Q-Loop: a fresh invariant annotation that (i) is preserved by
             // the body under the guard and (ii) covers the continuation when
             // the guard fails.
-            let invariant = builder.fresh_moment(
+            let site = dctx.next_site("loop");
+            let invariant = builder.planned_moment(
+                &site,
                 "loop",
                 &dctx.template_vars,
                 dctx.degree,
                 dctx.poly_degree,
                 dctx.level,
             );
-            let head_ctx = ctx.loop_head_invariant(cond, body, dctx.program);
+            // The loop-head fixpoint depends only on the program and the
+            // incoming context, so plan replays serve it from cache.
+            let head_ctx = builder
+                .plan_mut()
+                .loop_head(&site, || ctx.loop_head_invariant(cond, body, dctx.program));
             let body_ctx = head_ctx.and(cond);
             let exit_ctx = head_ctx.and(&cond.negate());
             let body_pre = transform(builder, dctx, body, &body_ctx, invariant.clone())?;
@@ -172,7 +221,7 @@ pub fn transform(
                 &invariant,
                 &body_pre,
                 dctx.poly_degree,
-                "loop.body",
+                &format!("{site}.body"),
             );
             require_contains(
                 builder,
@@ -180,7 +229,7 @@ pub fn transform(
                 &invariant,
                 &post,
                 dctx.poly_degree,
-                "loop.exit",
+                &format!("{site}.exit"),
             );
             Ok(invariant)
         }
@@ -208,14 +257,7 @@ mod tests {
     use cma_semiring::poly::{Monomial, Polynomial};
 
     fn dctx<'a>(program: &'a Program, specs: &'a SpecTable, m: usize) -> DeriveCtx<'a> {
-        DeriveCtx {
-            program,
-            specs,
-            degree: m,
-            poly_degree: 1,
-            template_vars: program.vars(),
-            level: 0,
-        }
+        DeriveCtx::for_unit(program, specs, m, 1, program.vars(), 0, "test")
     }
 
     fn empty_program() -> Program {
@@ -323,14 +365,7 @@ mod tests {
         let program = empty_program();
         let specs = SpecTable::new();
         let mut b = ConstraintBuilder::new();
-        let d = DeriveCtx {
-            program: &program,
-            specs: &specs,
-            degree: 1,
-            poly_degree: 1,
-            template_vars: vec![Var::new("x")],
-            level: 0,
-        };
+        let d = DeriveCtx::for_unit(&program, &specs, 1, 1, vec![Var::new("x")], 0, "test");
         let stmt = if_then_else(le(v("x"), cst(0.0)), tick(1.0), tick(5.0));
         let pre = transform(&mut b, &d, &stmt, &Context::top(), SymMoment::one(1)).unwrap();
         // Minimize the width of the first component at x = 0 and x = 3.
@@ -357,14 +392,7 @@ mod tests {
         let specs = SpecTable::new();
         let mut b = ConstraintBuilder::new();
         let n = Var::new("n");
-        let d = DeriveCtx {
-            program: &program,
-            specs: &specs,
-            degree: 1,
-            poly_degree: 1,
-            template_vars: vec![n.clone()],
-            level: 0,
-        };
+        let d = DeriveCtx::for_unit(&program, &specs, 1, 1, vec![n.clone()], 0, "test");
         let stmt = while_loop(
             le(cst(1.0), v("n")),
             seq([tick(1.0), assign("n", sub(v("n"), cst(1.0)))]),

@@ -16,6 +16,7 @@ use cma_semiring::Interval;
 use crate::builder::ConstraintBuilder;
 use crate::central::CentralMoments;
 use crate::derive::{transform, DeriveCtx, DeriveError};
+use crate::plan::{DerivationPlan, PlanMode, PlanStats};
 use crate::spec::{ResolvedSpec, SpecEntry, SpecTable};
 use crate::template::SymMoment;
 use crate::weaken::require_contains;
@@ -68,6 +69,12 @@ pub struct AnalysisOptions {
     /// extension rides the live main session (dual) or solves its disjoint
     /// subsystem standalone (phase1).
     pub warm_resolve: WarmStrategy,
+    /// Upper limit for automatic base-polynomial-degree escalation: when the
+    /// generated LP is *infeasible* at `poly_degree` (templates too weak to
+    /// express a bound), the analysis retries `d → d+1` up to this limit,
+    /// re-instantiating the recorded derivation plan instead of re-walking
+    /// the program cold.  `None` (the default) disables retries.
+    pub max_poly_degree: Option<u32>,
 }
 
 impl AnalysisOptions {
@@ -85,6 +92,7 @@ impl AnalysisOptions {
             presolve: true,
             factor: FactorKind::default(),
             warm_resolve: WarmStrategy::default(),
+            max_poly_degree: None,
         }
     }
 
@@ -142,6 +150,13 @@ impl AnalysisOptions {
         self
     }
 
+    /// Enables automatic poly-degree escalation on infeasibility, retrying
+    /// `d → d+1` up to `max` while reusing the recorded derivation plan.
+    pub fn with_max_poly_degree(mut self, max: u32) -> Self {
+        self.max_poly_degree = Some(max);
+        self
+    }
+
     /// The solver tuning these options imply.
     pub fn solver_tuning(&self) -> SolverTuning {
         SolverTuning {
@@ -179,18 +194,84 @@ pub enum AnalysisError {
         status: LpStatus,
         /// Functions whose constraints were being solved.
         group: Vec<String>,
+        /// Target moment degree `m` of the failed system.
+        degree: usize,
+        /// Base polynomial degree `d` of the failed templates (an
+        /// *infeasible* status at this degree usually means the templates
+        /// are too weak — retrying at `d+1` via
+        /// [`AnalysisOptions::max_poly_degree`] often succeeds).
+        poly_degree: u32,
     },
     /// Constraint generation failed.
     Derivation(DeriveError),
+    /// [`AnalysisSession::escalate_degree`] called with a target that does
+    /// not exceed the session's current degree.
+    InvalidEscalation {
+        /// The session's current moment degree.
+        from: usize,
+        /// The requested target degree.
+        to: usize,
+    },
+    /// [`AnalysisSession::escalate_degree`] called after an extension (the
+    /// soundness instrumentation) was already layered onto the session: the
+    /// extension's rows and objective terms would skew the escalated
+    /// optimum.  Escalate first, then extend.
+    EscalationAfterExtension,
+    /// A previous failed escalation or extension left rows without an
+    /// optimum in the live solver session (appended rows cannot be
+    /// retracted); no further in-session operation is possible — start a
+    /// fresh [`analyze_session`].
+    SessionPoisoned,
+}
+
+impl AnalysisError {
+    /// Whether the root cause is an *infeasible* LP — the signal that the
+    /// templates at the current poly degree cannot express a bound and a
+    /// `d → d+1` retry may help.  Returns the failing `(degree, poly_degree)`.
+    pub fn infeasible_at(&self) -> Option<(usize, u32)> {
+        match self {
+            AnalysisError::LpFailed {
+                status: LpStatus::Infeasible,
+                degree,
+                poly_degree,
+                ..
+            } => Some((*degree, *poly_degree)),
+            _ => None,
+        }
+    }
 }
 
 impl std::fmt::Display for AnalysisError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            AnalysisError::LpFailed { status, group } => {
-                write!(f, "linear program {status} while solving {group:?}")
+            AnalysisError::LpFailed {
+                status,
+                group,
+                degree,
+                poly_degree,
+            } => {
+                write!(
+                    f,
+                    "linear program {status} while solving {group:?} \
+                     (moment degree {degree}, poly degree {poly_degree})"
+                )
             }
             AnalysisError::Derivation(e) => write!(f, "derivation failed: {e}"),
+            AnalysisError::InvalidEscalation { from, to } => write!(
+                f,
+                "cannot escalate the session from degree {from} to {to} \
+                 (the target must be strictly larger)"
+            ),
+            AnalysisError::EscalationAfterExtension => write!(
+                f,
+                "cannot escalate a session that already carries an extension \
+                 (run escalate_degree before the soundness phase)"
+            ),
+            AnalysisError::SessionPoisoned => write!(
+                f,
+                "the session's live LP was left without an optimum by a \
+                 failed escalation or extension; start a fresh analysis"
+            ),
         }
     }
 }
@@ -270,10 +351,49 @@ pub struct AnalysisResult {
     /// Number of linear programs handed to the backend (1 in global mode, one
     /// per call-graph SCC plus one for `main` in compositional mode).
     pub lp_solves: usize,
-    /// Size statistics of every solved group, in solve order.
+    /// Size statistics of every solved group, in solve order (degree
+    /// escalations append a pseudo-group carrying the increment's sizes).
     pub groups: Vec<GroupLpStats>,
+    /// Base polynomial degree the successful instantiation used (larger than
+    /// the requested degree when automatic poly-degree escalation retried).
+    pub poly_degree: u32,
+    /// Automatic `d → d+1` retries spent before the system became feasible.
+    pub poly_retries: usize,
+    /// Derivation-plan reuse counters (slots/columns/recipes reused vs
+    /// created across instantiations, including poly-degree retries).
+    pub plan: PlanStats,
+    /// Statistics of the in-session degree escalation that produced this
+    /// result (`None` for from-scratch analyses).
+    pub escalation: Option<EscalationStats>,
     /// Wall-clock time spent in the analysis.
     pub elapsed: Duration,
+}
+
+/// Observable effort of one [`AnalysisSession::escalate_degree`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EscalationStats {
+    /// Moment degree the session was at before the escalation.
+    pub from_degree: usize,
+    /// Target moment degree after the escalation.
+    pub to_degree: usize,
+    /// LP columns appended for the new moment components.
+    pub appended_variables: usize,
+    /// LP constraint rows appended for the new moment components.
+    pub appended_constraints: usize,
+    /// Template slots replayed from the derivation plan.
+    pub reused_slots: usize,
+    /// Existing LP template columns the new components ride on.
+    pub reused_columns: usize,
+    /// Dual-simplex pivots the warm re-solve spent repairing the appended
+    /// rows (0 when the open session re-solves from scratch).
+    pub dual_pivots: usize,
+    /// Simplex iterations of the escalated re-minimize.
+    pub iterations: usize,
+    /// From-scratch restarts the escalation had to fall back to (0 on the
+    /// happy path: compositional sessions and poly-degree bumps restart).
+    pub cold_restarts: usize,
+    /// Automatic poly-degree retries spent during the escalation.
+    pub poly_retries: usize,
 }
 
 impl AnalysisResult {
@@ -349,17 +469,34 @@ pub struct AnalysisSession<'a> {
     session: Box<dyn LpSession + 'a>,
     backend: &'a dyn LpBackend,
     options: AnalysisOptions,
+    program: &'a Program,
+    groups: Vec<GroupLpStats>,
+    lp_solves: usize,
+    poly_retries: usize,
+    poisoned: bool,
     minimizes: usize,
     extension_variables: usize,
     extension_constraints: usize,
+    extension_shared_columns: usize,
     extension_stats: SolveStats,
 }
 
-impl AnalysisSession<'_> {
+impl<'a> AnalysisSession<'a> {
     /// Total `minimize` calls issued on the main session so far (1 after the
-    /// main solve; +1 per soundness extension).
+    /// main solve; +1 per soundness extension or degree escalation).
     pub fn minimizes(&self) -> usize {
         self.minimizes
+    }
+
+    /// The options the session currently runs under (degree reflects the
+    /// latest successful escalation, poly degree the latest retry).
+    pub fn options(&self) -> &AnalysisOptions {
+        &self.options
+    }
+
+    /// The LP backend the session solves with.
+    pub fn backend(&self) -> &'a dyn LpBackend {
+        self.backend
     }
 
     /// LP variables appended by extensions (0 until an extension runs).
@@ -372,6 +509,13 @@ impl AnalysisSession<'_> {
         self.extension_constraints
     }
 
+    /// LP template columns extensions *shared* with the main derivation
+    /// instead of minting their own (nonzero only when an extension rode the
+    /// plan in shadow mode — see [`extend_and_minimize`](Self::extend_and_minimize)).
+    pub fn extension_shared_columns(&self) -> usize {
+        self.extension_shared_columns
+    }
+
     /// Solver-effort counters of the extension minimizes (in particular
     /// `dual_pivots`: how many dual-simplex pivots the warm re-solves took
     /// instead of a phase-1 restart).
@@ -379,9 +523,9 @@ impl AnalysisSession<'_> {
         self.extension_stats
     }
 
-    /// Derives `program` (globally, with fresh templates) *into* the existing
-    /// constraint store and minimizes the extension's own objective, without
-    /// re-deriving or re-solving the main system.
+    /// Derives `program` (globally, with all-fresh templates) *into* the
+    /// existing constraint store and minimizes the extension's own
+    /// objective, without re-deriving or re-solving the main system.
     ///
     /// Under the default dual warm-resolve strategy — and when the open
     /// session actually repairs appended rows in place
@@ -395,6 +539,10 @@ impl AnalysisSession<'_> {
     /// shared store ([`ConstraintStore::subproblem`]); an extension that
     /// references main-system variables always takes the flush path.
     ///
+    /// For extension programs that are *skeleton-preserving rewrites* of the
+    /// analyzed program, see
+    /// [`extend_and_minimize_shared`](Self::extend_and_minimize_shared).
+    ///
     /// # Errors
     ///
     /// [`AnalysisError::LpFailed`] when the extended system has no optimum,
@@ -404,6 +552,51 @@ impl AnalysisSession<'_> {
         program: &Program,
         degree: usize,
     ) -> Result<(), AnalysisError> {
+        self.extend_with(program, degree, false)
+    }
+
+    /// [`extend_and_minimize`](Self::extend_and_minimize) for an extension
+    /// program that is a **skeleton-preserving rewrite** of the analyzed
+    /// program — same functions, same control structure, only statement
+    /// costs changed (the Thm 4.4 step-counting instrumentation is the
+    /// in-tree example).  When the extension rides the live session (global
+    /// mode, dual warm re-solves, in-place row repair), the derivation then
+    /// runs as a *plan transformer* in shadow mode: the main derivation's
+    /// component-0 template columns (the probability-mass component, which
+    /// cost rewriting cannot change) are shared outright and their
+    /// constraint rows skipped, so the extension appends strictly fewer
+    /// rows and columns than a disjoint derivation
+    /// ([`extension_shared_columns`](Self::extension_shared_columns) counts
+    /// the sharing).  Sessions that cannot ride warm fall back to the
+    /// all-fresh disjoint derivation automatically.
+    ///
+    /// **The skeleton requirement is the caller's obligation**: sharing
+    /// component-0 columns of a structurally *different* program would
+    /// silently constrain the wrong templates.  Callers with arbitrary
+    /// extension programs must use
+    /// [`extend_and_minimize`](Self::extend_and_minimize) instead.
+    ///
+    /// # Errors
+    ///
+    /// [`AnalysisError::LpFailed`] when the extended system has no optimum,
+    /// [`AnalysisError::Derivation`] when constraint generation fails.
+    pub fn extend_and_minimize_shared(
+        &mut self,
+        program: &Program,
+        degree: usize,
+    ) -> Result<(), AnalysisError> {
+        self.extend_with(program, degree, true)
+    }
+
+    fn extend_with(
+        &mut self,
+        program: &Program,
+        degree: usize,
+        share: bool,
+    ) -> Result<(), AnalysisError> {
+        if self.poisoned {
+            return Err(AnalysisError::SessionPoisoned);
+        }
         let mut options = self.options.clone();
         options.degree = degree;
         // Extensions always derive globally: all fresh templates in one
@@ -417,18 +610,43 @@ impl AnalysisSession<'_> {
         let rows_before = self.builder.num_constraints();
         let objective_mark = self.builder.store().objective_len();
 
+        let flush_in_place =
+            options.warm_resolve == WarmStrategy::Dual && self.session.warm_resolves_in_place();
+        // Template sharing additionally needs the main plan to cover the
+        // whole program (global mode) *and* the appended rows to land in the
+        // live session (otherwise the disjoint subproblem fast path below
+        // would be lost).
+        let share_plan = share && flush_in_place && self.options.mode == SolveMode::Global;
+        let plan_before = self.builder.plan().stats();
+        self.builder.plan_mut().set_mode(if share_plan {
+            PlanMode::Shadow
+        } else {
+            PlanMode::Detached
+        });
         let group: Vec<String> = program.functions().map(|f| f.name().to_string()).collect();
-        build_group(
+        let built = build_group(
             &mut self.builder,
             program,
             &options,
             &group,
             true,
             &BTreeMap::new(),
-        )?;
-        let sub = if options.warm_resolve == WarmStrategy::Dual
-            && self.session.warm_resolves_in_place()
-        {
+        );
+        self.builder.plan_mut().set_mode(PlanMode::Record);
+        if let Err(e) = built {
+            // Part of the extension may already sit in the store; a later
+            // flush would silently inject the half-derived rows into the
+            // live session.
+            self.poisoned = true;
+            return Err(e);
+        }
+        self.extension_shared_columns += self
+            .builder
+            .plan()
+            .stats()
+            .since(&plan_before)
+            .columns_reused;
+        let sub = if flush_in_place {
             // Ride the live session: appended rows keep the optimal basis
             // dual feasible, so the warm re-solve is a dual step.  Sessions
             // that would re-solve from scratch (the dense reference) keep
@@ -439,6 +657,7 @@ impl AnalysisSession<'_> {
                 .store()
                 .subproblem(vars_before, rows_before, objective_mark)
         };
+        let flushed = sub.is_none();
         let solution = match sub {
             Some(sub) => self
                 .backend
@@ -457,11 +676,224 @@ impl AnalysisSession<'_> {
         if solution.is_optimal() {
             Ok(())
         } else {
+            if flushed {
+                // The failed extension's rows are irreversibly part of the
+                // live session; further in-session work would ride a system
+                // without an optimum.
+                self.poisoned = true;
+            }
             Err(AnalysisError::LpFailed {
                 status: solution.status,
                 group: vec!["<extension>".to_string()],
+                degree: options.degree,
+                poly_degree: options.poly_degree,
             })
         }
+    }
+
+    /// Escalates the session to moment degree `target` **in place**: the
+    /// recorded [`DerivationPlan`] replays in extend mode, so the existing
+    /// template columns back the components `≤ m` verbatim and only the new
+    /// components `m+1..=target` mint columns and emit rows, which are
+    /// flushed into the live solver session and re-minimized warm (dual
+    /// pivots from the still-dual-feasible basis — no cold re-derive, no
+    /// phase-1 restart on the happy path).
+    ///
+    /// The escalated system is *identical* (modulo column/row order) to a
+    /// from-scratch degree-`target` derivation: component-`k` rows are
+    /// degree-invariant because frames are `(h+1)`-restricted (zero on
+    /// components `≤ m`), so the old rows are exactly the component-`≤m`
+    /// slice of the new system.  Bounds therefore match a cold degree-
+    /// `target` analysis within solver tolerance.
+    ///
+    /// Compositional sessions freeze resolved callee specifications per
+    /// degree and cannot extend them in place: they fall back to a cold
+    /// re-analysis (reported via [`EscalationStats::cold_restarts`]).  An
+    /// infeasible escalated system retries `d → d+1` when
+    /// [`AnalysisOptions::max_poly_degree`] allows, re-instantiating the
+    /// plan into a fresh session.
+    ///
+    /// # Errors
+    ///
+    /// [`AnalysisError::InvalidEscalation`] when `target` does not exceed
+    /// the current degree, [`AnalysisError::LpFailed`] when the escalated
+    /// system has no optimum (after any permitted poly-degree retries).
+    pub fn escalate_degree(&mut self, target: usize) -> Result<AnalysisResult, AnalysisError> {
+        let from_degree = self.options.degree;
+        if target <= from_degree {
+            return Err(AnalysisError::InvalidEscalation {
+                from: from_degree,
+                to: target,
+            });
+        }
+        if self.poisoned {
+            return Err(AnalysisError::SessionPoisoned);
+        }
+        // An already-layered extension (soundness rows + objective terms)
+        // would be folded into the escalated optimum; the documented order —
+        // escalate first, then extend — is enforced, not just advised.
+        if self.extension_constraints > 0 || self.extension_variables > 0 {
+            return Err(AnalysisError::EscalationAfterExtension);
+        }
+        let mut options = self.options.clone();
+        options.degree = target;
+
+        if self.options.mode == SolveMode::Compositional {
+            // Resolved callee specs have no components above `from_degree`;
+            // re-run the compositional pipeline cold at the target degree.
+            return self.escalate_cold(options, from_degree, 0);
+        }
+
+        let start = Instant::now();
+        let vars_before = self.builder.num_vars();
+        let rows_before = self.builder.num_constraints();
+        let plan_before = self.builder.plan().stats();
+        let final_group: Vec<String> = self
+            .program
+            .functions()
+            .map(|f| f.name().to_string())
+            .collect();
+        self.builder.plan_mut().set_mode(PlanMode::Extend);
+        let built = build_group(
+            &mut self.builder,
+            self.program,
+            &options,
+            &final_group,
+            true,
+            &BTreeMap::new(),
+        );
+        self.builder.plan_mut().set_mode(PlanMode::Record);
+        let build = match built {
+            Ok(build) => build,
+            Err(e) => {
+                // The plan advanced mid-walk; further replays would skip
+                // rows that were never instantiated.
+                self.poisoned = true;
+                return Err(e);
+            }
+        };
+
+        self.builder.store_mut().flush(self.session.as_mut());
+        let objective = self.builder.store().aggregated_objective(0);
+        let solution = self.session.minimize(&objective);
+        self.minimizes += 1;
+
+        if !solution.is_optimal() {
+            let max_d = options.max_poly_degree.unwrap_or(options.poly_degree);
+            if solution.status == LpStatus::Infeasible && options.poly_degree < max_d {
+                // Templates too weak at this poly degree: bump `d` and
+                // re-instantiate the plan into a fresh store and session.
+                options.poly_degree += 1;
+                return self.escalate_cold(options, from_degree, 1);
+            }
+            // The escalated rows are irreversibly part of the live session
+            // and the system has no optimum: the session cannot be ridden
+            // any further.
+            self.poisoned = true;
+            return Err(AnalysisError::LpFailed {
+                status: solution.status,
+                group: final_group,
+                degree: target,
+                poly_degree: options.poly_degree,
+            });
+        }
+
+        let plan_delta = self.builder.plan().stats().since(&plan_before);
+        let appended_variables = self.builder.num_vars() - vars_before;
+        let appended_constraints = self.builder.num_constraints() - rows_before;
+        let escalation = EscalationStats {
+            from_degree,
+            to_degree: target,
+            appended_variables,
+            appended_constraints,
+            reused_slots: plan_delta.slots_reused,
+            reused_columns: plan_delta.columns_reused,
+            dual_pivots: solution.stats.dual_pivots,
+            iterations: solution.stats.iterations,
+            cold_restarts: 0,
+            poly_retries: 0,
+        };
+        self.groups.push(GroupLpStats {
+            name: format!("escalate({from_degree}->{target})"),
+            functions: final_group.clone(),
+            variables: appended_variables,
+            constraints: appended_constraints,
+            iterations: solution.stats.iterations,
+            refactorizations: solution.stats.refactorizations,
+            presolve_rows: solution.stats.presolve_rows,
+            presolve_cols: solution.stats.presolve_cols,
+            etas: solution.stats.etas,
+            dual_pivots: solution.stats.dual_pivots,
+        });
+
+        let outcome = extract_outcome(build, &solution, &final_group, true, &options)?;
+        let main_bounds = outcome
+            .main_bounds
+            .expect("main bounds computed by the escalated group");
+        let bounds = main_bounds
+            .into_iter()
+            .map(|(lower, upper)| MomentBound { lower, upper })
+            .collect();
+        self.options.degree = target;
+        Ok(AnalysisResult {
+            bounds,
+            specs: outcome.specs,
+            lp_variables: self.builder.num_vars(),
+            lp_constraints: self.builder.num_constraints(),
+            lp_solves: self.lp_solves,
+            groups: self.groups.clone(),
+            poly_degree: options.poly_degree,
+            // Cumulative across the session: the lower-degree analysis may
+            // already have spent automatic retries landing on this `d`.
+            poly_retries: self.poly_retries,
+            plan: self.builder.plan().stats(),
+            escalation: Some(escalation),
+            elapsed: start.elapsed(),
+        })
+    }
+
+    /// Cold escalation path: re-analyzes at the target degree (and poly
+    /// degree) in a fresh session — seeded with the recorded plan so the
+    /// skeleton still replays — and swaps the fresh session into `self`.
+    fn escalate_cold(
+        &mut self,
+        options: AnalysisOptions,
+        from_degree: usize,
+        extra_poly_retries: usize,
+    ) -> Result<AnalysisResult, AnalysisError> {
+        let prior_retries = self.poly_retries;
+        let mut plans = BTreeMap::new();
+        plans.insert(FINAL_PLAN_KEY.to_string(), self.builder.take_plan());
+        let (mut result, fresh) =
+            match analyze_session_seeded(self.program, &options, self.backend, plans) {
+                Ok(ok) => ok,
+                Err(e) => {
+                    // The plan was consumed by the failed re-analysis; a
+                    // later in-place replay against the emptied plan would
+                    // re-emit the whole system into the old store.
+                    self.poisoned = true;
+                    return Err(e);
+                }
+            };
+        // Retries spent *during* this escalation vs the session's cumulative
+        // total (which includes the original lower-degree analysis's).
+        let during = result.poly_retries + extra_poly_retries;
+        result.poly_retries = prior_retries + during;
+        result.escalation = Some(EscalationStats {
+            from_degree,
+            to_degree: options.degree,
+            reused_slots: result.plan.slots_reused,
+            reused_columns: 0,
+            appended_variables: 0,
+            appended_constraints: 0,
+            dual_pivots: 0,
+            iterations: 0,
+            cold_restarts: 1,
+            poly_retries: during,
+        });
+        *self = fresh;
+        self.poly_retries = result.poly_retries;
+        Ok(result)
     }
 }
 
@@ -474,9 +906,72 @@ impl AnalysisSession<'_> {
 /// Returns [`AnalysisError`] when constraint generation fails or the LP has no
 /// solution under the chosen template degrees.
 pub fn analyze_session<'a>(
-    program: &Program,
+    program: &'a Program,
     options: &AnalysisOptions,
     backend: &'a dyn LpBackend,
+) -> Result<(AnalysisResult, AnalysisSession<'a>), AnalysisError> {
+    analyze_session_seeded(program, options, backend, BTreeMap::new())
+}
+
+/// Plan key of the final (session-holding) group in the retry plan store.
+const FINAL_PLAN_KEY: &str = "<final>";
+
+/// [`analyze_session`] seeded with recorded derivation plans (keyed by group
+/// display name, [`FINAL_PLAN_KEY`] for the final group), the engine of both
+/// the automatic poly-degree retry loop and cold degree escalations: each
+/// attempt re-instantiates the surviving plans in refresh mode instead of
+/// recording the skeleton from scratch.
+fn analyze_session_seeded<'a>(
+    program: &'a Program,
+    options: &AnalysisOptions,
+    backend: &'a dyn LpBackend,
+    mut plans: BTreeMap<String, DerivationPlan>,
+) -> Result<(AnalysisResult, AnalysisSession<'a>), AnalysisError> {
+    let start = Instant::now();
+    let base_d = options.poly_degree;
+    let max_d = options.max_poly_degree.unwrap_or(base_d).max(base_d);
+    let mut poly_retries = 0usize;
+    loop {
+        let mut attempt = options.clone();
+        attempt.poly_degree = base_d + poly_retries as u32;
+        match analyze_attempt(program, &attempt, backend, &mut plans) {
+            Ok((mut result, mut session)) => {
+                result.elapsed = start.elapsed();
+                result.poly_retries = poly_retries;
+                session.poly_retries = poly_retries;
+                return Ok((result, session));
+            }
+            Err(e) if e.infeasible_at().is_some() && base_d + (poly_retries as u32) < max_d => {
+                // Templates too weak: escalate the base polynomial degree
+                // and re-instantiate the recorded plans.
+                poly_retries += 1;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Installs a saved plan (in refresh mode) into a fresh builder, if one is
+/// recorded under `key`.
+fn install_saved_plan(
+    builder: &mut ConstraintBuilder,
+    plans: &mut BTreeMap<String, DerivationPlan>,
+    key: &str,
+) {
+    if let Some(mut plan) = plans.remove(key) {
+        plan.set_mode(PlanMode::Refresh);
+        builder.install_plan(plan);
+    }
+}
+
+/// One full derivation + solve pass at fixed options.  Plans of every built
+/// group are stashed back into `plans` before any LP failure is reported, so
+/// the retry loop can re-instantiate them.
+fn analyze_attempt<'a>(
+    program: &'a Program,
+    options: &AnalysisOptions,
+    backend: &'a dyn LpBackend,
+    plans: &mut BTreeMap<String, DerivationPlan>,
 ) -> Result<(AnalysisResult, AnalysisSession<'a>), AnalysisError> {
     let start = Instant::now();
     let mut resolved: BTreeMap<(String, usize), ResolvedSpec> = BTreeMap::new();
@@ -484,6 +979,7 @@ pub fn analyze_session<'a>(
     let mut lp_constraints = 0usize;
     let mut lp_solves = 0usize;
     let mut group_stats: Vec<GroupLpStats> = Vec::new();
+    let mut plan_stats = PlanStats::default();
 
     // Solve every non-final group (compositional mode only); groups at the
     // same dependency level are independent and go through `solve_batch`.
@@ -493,8 +989,10 @@ pub fn analyze_session<'a>(
             let mut builds = Vec::with_capacity(level.len());
             for &g in &level {
                 let mut builder = ConstraintBuilder::new();
+                install_saved_plan(&mut builder, plans, &groups[g].join("+"));
                 let build =
                     build_group(&mut builder, program, options, &groups[g], false, &resolved)?;
+                builder.plan_mut().set_mode(PlanMode::Record);
                 builds.push((builder, build, groups[g].clone()));
             }
             let problems: Vec<cma_lp::LpProblem> = builds
@@ -503,7 +1001,8 @@ pub fn analyze_session<'a>(
                 .collect();
             let solutions =
                 backend.solve_batch_with(&problems, options.threads, &options.solver_tuning());
-            for ((builder, build, group), solution) in builds.into_iter().zip(solutions) {
+            let mut failure = None;
+            for ((mut builder, build, group), solution) in builds.into_iter().zip(solutions) {
                 lp_variables += builder.num_vars();
                 lp_constraints += builder.num_constraints();
                 lp_solves += 1;
@@ -513,8 +1012,18 @@ pub fn analyze_session<'a>(
                     &builder,
                     solution.stats,
                 ));
-                let outcome = extract_outcome(build, &solution, &group, false)?;
-                resolved.extend(outcome.specs);
+                // Stash the plan before the outcome can fail the attempt.
+                plan_stats = plan_stats.merge(&builder.plan().stats());
+                plans.insert(group.join("+"), builder.take_plan());
+                if failure.is_none() {
+                    match extract_outcome(build, &solution, &group, false, options) {
+                        Ok(outcome) => resolved.extend(outcome.specs),
+                        Err(e) => failure = Some(e),
+                    }
+                }
+            }
+            if let Some(e) = failure {
+                return Err(e);
             }
         }
     }
@@ -530,6 +1039,7 @@ pub fn analyze_session<'a>(
         SolveMode::Compositional => (Vec::new(), "main"),
     };
     let mut builder = ConstraintBuilder::new();
+    install_saved_plan(&mut builder, plans, FINAL_PLAN_KEY);
     let build = build_group(
         &mut builder,
         program,
@@ -538,6 +1048,7 @@ pub fn analyze_session<'a>(
         true,
         &resolved,
     )?;
+    builder.plan_mut().set_mode(PlanMode::Record);
     lp_variables += builder.num_vars();
     lp_constraints += builder.num_constraints();
     lp_solves += 1;
@@ -552,7 +1063,10 @@ pub fn analyze_session<'a>(
         &builder,
         solution.stats,
     ));
-    let outcome = extract_outcome(build, &solution, &final_group, true)?;
+    if !solution.is_optimal() {
+        plans.insert(FINAL_PLAN_KEY.to_string(), builder.take_plan());
+    }
+    let outcome = extract_outcome(build, &solution, &final_group, true, options)?;
     resolved.extend(outcome.specs);
 
     let main_bounds = outcome
@@ -568,7 +1082,11 @@ pub fn analyze_session<'a>(
         lp_variables,
         lp_constraints,
         lp_solves,
-        groups: group_stats,
+        groups: group_stats.clone(),
+        poly_degree: options.poly_degree,
+        poly_retries: 0,
+        plan: plan_stats.merge(&builder.plan().stats()),
+        escalation: None,
         elapsed: start.elapsed(),
     };
     Ok((
@@ -578,9 +1096,15 @@ pub fn analyze_session<'a>(
             session,
             backend,
             options: options.clone(),
+            program,
+            groups: group_stats,
+            lp_solves,
+            poly_retries: 0,
+            poisoned: false,
             minimizes: 1,
             extension_variables: 0,
             extension_constraints: 0,
+            extension_shared_columns: 0,
             extension_stats: SolveStats::default(),
         },
     ))
@@ -685,12 +1209,28 @@ fn build_group(
     for ((name, level), spec) in resolved {
         specs.insert(name, *level, spec.to_entry());
     }
-    // Fresh templates for the functions of this group.
+    // Fresh templates for the functions of this group (plan slots, so a
+    // replay — degree escalation, poly-degree refresh, the shadow soundness
+    // derivation — reuses the recorded columns instead of minting).
     for name in group {
         for level in 0..=m {
             let entry = SpecEntry {
-                pre: builder.fresh_moment(&format!("{name}.pre{level}"), &vars, m, d, level),
-                post: builder.fresh_moment(&format!("{name}.post{level}"), &vars, m, d, level),
+                pre: builder.planned_moment(
+                    &format!("spec.{name}.{level}.pre"),
+                    &format!("{name}.pre{level}"),
+                    &vars,
+                    m,
+                    d,
+                    level,
+                ),
+                post: builder.planned_moment(
+                    &format!("spec.{name}.{level}.post"),
+                    &format!("{name}.post{level}"),
+                    &vars,
+                    m,
+                    d,
+                    level,
+                ),
             };
             specs.insert(name, level, entry);
         }
@@ -728,14 +1268,15 @@ fn build_group(
         let ctx = Context::from_conditions(function.precondition());
         for level in 0..=m {
             let entry = specs.get(name, level).expect("just inserted").clone();
-            let dctx = DeriveCtx {
+            let dctx = DeriveCtx::for_unit(
                 program,
-                specs: &specs,
-                degree: m,
-                poly_degree: d,
-                template_vars: vars.clone(),
+                &specs,
+                m,
+                d,
+                vars.clone(),
                 level,
-            };
+                format!("{name}.h{level}"),
+            );
             let derived_pre = transform(builder, &dctx, function.body(), &ctx, entry.post.clone())?;
             require_contains(
                 builder,
@@ -745,9 +1286,11 @@ fn build_group(
                 d,
                 &format!("spec.{name}.{level}"),
             );
-            // Reward tight specifications (lower weight for deeper levels).
+            // Reward tight specifications (lower weight for deeper levels);
+            // plan replays add terms only for components not yet rewarded.
             let weight = 0.1 / (1.0 + level as f64);
-            for k in 0..=m {
+            let from = builder.recipe_gate(&format!("obj.{name}.{level}"), m);
+            for k in from..=m {
                 builder.add_objective(&entry.pre.component(k).hi.eval_vars(&valuation), weight);
                 builder.add_objective(&entry.pre.component(k).lo.eval_vars(&valuation), -weight);
             }
@@ -757,16 +1300,10 @@ fn build_group(
     // Analyze `main` with the identity post-annotation.
     let main_pre = if include_main {
         let ctx = Context::from_conditions(program.precondition());
-        let dctx = DeriveCtx {
-            program,
-            specs: &specs,
-            degree: m,
-            poly_degree: d,
-            template_vars: vars.clone(),
-            level: 0,
-        };
+        let dctx = DeriveCtx::for_unit(program, &specs, m, d, vars.clone(), 0, "main");
         let pre = transform(builder, &dctx, program.main(), &ctx, SymMoment::one(m))?;
-        for k in 0..=m {
+        let from = builder.recipe_gate("obj.main", m);
+        for k in from..=m {
             builder.add_objective(&pre.component(k).hi.eval_vars(&valuation), 1.0);
             builder.add_objective(&pre.component(k).lo.eval_vars(&valuation), -1.0);
         }
@@ -785,6 +1322,7 @@ fn extract_outcome(
     solution: &LpSolution,
     group: &[String],
     include_main: bool,
+    options: &AnalysisOptions,
 ) -> Result<GroupOutcome, AnalysisError> {
     if !solution.is_optimal() {
         return Err(AnalysisError::LpFailed {
@@ -794,6 +1332,8 @@ fn extract_outcome(
             } else {
                 group.to_vec()
             },
+            degree: options.degree,
+            poly_degree: options.poly_degree,
         });
     }
 

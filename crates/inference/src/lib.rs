@@ -18,7 +18,10 @@
 //!   rules (Q-Tick, Q-Sample, Q-Assign, Q-Seq, Q-Cond, Q-Prob, Q-Loop,
 //!   Q-Call-Poly, Q-Call-Mono);
 //! * [`engine`] — the analysis driver (call-graph SCCs, objectives, solving,
-//!   bound extraction);
+//!   bound extraction, in-session degree escalation, poly-degree retries);
+//! * [`plan`] — derivation plans: the degree-independent skeleton of a
+//!   derivation (template slots, constraint recipes, loop-head contexts),
+//!   recorded once and re-instantiated per `(m, d)`;
 //! * [`central`] — central moments, variance, skewness and kurtosis derived
 //!   from raw-moment interval bounds;
 //! * [`tail`] — Markov / Cantelli / Chebyshev tail bounds (§5);
@@ -53,6 +56,7 @@ pub mod builder;
 pub mod central;
 pub mod derive;
 pub mod engine;
+pub mod plan;
 pub mod soundness;
 pub mod spec;
 pub mod store;
@@ -63,8 +67,9 @@ pub mod weaken;
 pub use central::CentralMoments;
 pub use engine::{
     analyze_session, analyze_with, AnalysisError, AnalysisOptions, AnalysisResult, AnalysisSession,
-    GroupLpStats, MomentBound, SolveMode,
+    EscalationStats, GroupLpStats, MomentBound, SolveMode,
 };
+pub use plan::{DerivationPlan, PlanMode, PlanStats};
 pub use soundness::{
     check_bounded_update, check_termination_moment, check_termination_moment_in_session,
     check_termination_moment_with, soundness_report, soundness_report_in_session,

@@ -1,0 +1,508 @@
+//! Derivation plans: the degree-independent skeleton of one constraint
+//! derivation, recorded once and re-instantiated per `(m, d)`.
+//!
+//! The paper derives bounds on *all* moments up to degree `m` simultaneously:
+//! the degree-`k` component of every annotation rides on the components below
+//! it, and the constraint system is emitted per component (the weakening rule
+//! compares component `k` of two annotations, never mixes components).  That
+//! makes the derivation *sliceable by component*: the rows of component `k`
+//! are identical at every target degree `m ≥ k`, provided the same template
+//! columns back the components below.
+//!
+//! A [`DerivationPlan`] exploits this.  One walk of the program records the
+//! degree-independent skeleton:
+//!
+//! * **template slots** — every program point that allocates a fresh moment
+//!   annotation (function pre/post specifications, conditional joins, loop
+//!   invariants), keyed by a stable path through the walk, together with the
+//!   LP columns minted per component;
+//! * **constraint recipes** — every containment `Γ ⊨ Q ⊒ Q'` the walk
+//!   discharges, keyed the same way, together with how many components have
+//!   been instantiated into the store so far;
+//! * **loop-head contexts** — the fixpoint invariant contexts of `while`
+//!   loops, which depend only on the program, cached so re-instantiations
+//!   never recompute them.
+//!
+//! Re-walking the program against the recorded plan then *reuses* instead of
+//! re-deriving, under one of four modes:
+//!
+//! * [`PlanMode::Record`] — the first instantiation: mint every column, emit
+//!   every row, record the skeleton (the default; plan-unaware callers see
+//!   exactly the old behavior).
+//! * [`PlanMode::Extend`] — in-session degree escalation `m → m'`: recorded
+//!   slots contribute their existing component columns and only components
+//!   `m+1..=m'` are minted; recorded recipes emit rows only for the new
+//!   components (the old rows are already in the live solver session and are
+//!   *exactly* the component-`≤m` slice of the degree-`m'` system).
+//! * [`PlanMode::Refresh`] — re-instantiation at a new base polynomial
+//!   degree `d`: template supports change, so every column is minted fresh
+//!   and every row emitted into a fresh store, but the skeleton (slot keys,
+//!   loop-head contexts) is reused.
+//! * [`PlanMode::Shadow`] — the soundness transformer: a *different* program
+//!   with the *same* control skeleton (the Thm 4.4 step-counting
+//!   instrumentation) derives against the plan, sharing the component-0
+//!   columns of recorded slots (component 0 is the probability-mass
+//!   component, untouched by `tick`, so its constraint system is identical
+//!   in both derivations) and skipping the component-0 rows entirely.
+//!   Nothing is recorded back, so the main plan stays replayable.
+//! * [`PlanMode::Detached`] — a derivation that shares the builder but must
+//!   not touch the plan at all (the disjoint-by-construction soundness
+//!   extension used when the open session cannot warm re-solve in place).
+//!
+//! The plan lives inside the
+//! [`ConstraintBuilder`](crate::builder::ConstraintBuilder); the engine
+//! switches modes around the walks it replays (see
+//! [`AnalysisSession::escalate_degree`](crate::engine::AnalysisSession::escalate_degree)
+//! and the automatic poly-degree retry in
+//! [`analyze_session`](crate::engine::analyze_session)).
+
+use std::collections::BTreeMap;
+
+use cma_logic::Context;
+
+use crate::template::SymInterval;
+
+/// How a walk instantiates against the recorded plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PlanMode {
+    /// First walk: mint every column, emit every row, record the skeleton.
+    #[default]
+    Record,
+    /// Degree escalation: reuse recorded component columns, mint and emit
+    /// only components above what each slot/recipe already instantiated.
+    Extend,
+    /// Poly-degree re-instantiation: reuse the skeleton (keys, loop-head
+    /// contexts) but mint all columns fresh and emit all rows.
+    Refresh,
+    /// Instrumented shadow derivation: share component-0 columns of recorded
+    /// slots, skip component-0 rows of recorded recipes, record nothing.
+    Shadow,
+    /// Plan-oblivious derivation: mint and emit everything, record nothing
+    /// (loop-head contexts may still be read).
+    Detached,
+}
+
+/// One recorded template allocation point: the interval templates minted per
+/// moment component so far.
+#[derive(Debug, Clone)]
+pub struct TemplateSlot {
+    /// Restriction level `h` of the slot (components `< h` are zero).
+    pub restriction: usize,
+    /// Component templates instantiated so far (index = component `k`).
+    pub components: Vec<SymInterval>,
+}
+
+/// Reuse counters of one plan across its instantiations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PlanStats {
+    /// Template slots recorded by first instantiations.
+    pub slots_created: usize,
+    /// Template slots found in the plan and replayed.
+    pub slots_reused: usize,
+    /// LP template columns minted across all instantiations.
+    pub columns_created: usize,
+    /// LP template columns contributed by the plan instead of being minted
+    /// (degree escalation) or shared across derivations (shadow mode).
+    pub columns_reused: usize,
+    /// Constraint recipes recorded by first instantiations.
+    pub recipes_recorded: usize,
+    /// Constraint recipes replayed against the plan.
+    pub recipes_replayed: usize,
+    /// Component instances whose rows were *skipped* because an earlier
+    /// instantiation already emitted them into the store.
+    pub components_skipped: usize,
+    /// Loop-head invariant contexts served from the plan cache.
+    pub loop_heads_reused: usize,
+}
+
+impl PlanStats {
+    /// Component-wise sum (for totaling the plans of several groups).
+    pub fn merge(&self, other: &PlanStats) -> PlanStats {
+        PlanStats {
+            slots_created: self.slots_created + other.slots_created,
+            slots_reused: self.slots_reused + other.slots_reused,
+            columns_created: self.columns_created + other.columns_created,
+            columns_reused: self.columns_reused + other.columns_reused,
+            recipes_recorded: self.recipes_recorded + other.recipes_recorded,
+            recipes_replayed: self.recipes_replayed + other.recipes_replayed,
+            components_skipped: self.components_skipped + other.components_skipped,
+            loop_heads_reused: self.loop_heads_reused + other.loop_heads_reused,
+        }
+    }
+
+    /// Component-wise difference (`self` minus an earlier snapshot), for
+    /// reporting what one instantiation contributed.
+    pub fn since(&self, earlier: &PlanStats) -> PlanStats {
+        PlanStats {
+            slots_created: self.slots_created - earlier.slots_created,
+            slots_reused: self.slots_reused - earlier.slots_reused,
+            columns_created: self.columns_created - earlier.columns_created,
+            columns_reused: self.columns_reused - earlier.columns_reused,
+            recipes_recorded: self.recipes_recorded - earlier.recipes_recorded,
+            recipes_replayed: self.recipes_replayed - earlier.recipes_replayed,
+            components_skipped: self.components_skipped - earlier.components_skipped,
+            loop_heads_reused: self.loop_heads_reused - earlier.loop_heads_reused,
+        }
+    }
+}
+
+/// The recorded skeleton of one derivation plus its instantiation state.
+#[derive(Debug, Clone)]
+pub struct DerivationPlan {
+    mode: PlanMode,
+    /// Components of recorded slots shared with a [`PlanMode::Shadow`] walk
+    /// (component 0, the probability-mass component).
+    shared_components: usize,
+    slots: BTreeMap<String, TemplateSlot>,
+    /// Recipe key → number of components already instantiated into the store.
+    recipes: BTreeMap<String, usize>,
+    loop_heads: BTreeMap<String, Context>,
+    stats: PlanStats,
+}
+
+/// Number of LP columns an interval template owns (one per monomial per end).
+fn interval_columns(interval: &SymInterval) -> usize {
+    interval.lo.terms().count() + interval.hi.terms().count()
+}
+
+impl Default for DerivationPlan {
+    fn default() -> Self {
+        DerivationPlan::new()
+    }
+}
+
+impl DerivationPlan {
+    /// An empty plan in [`PlanMode::Record`].
+    pub fn new() -> Self {
+        DerivationPlan {
+            mode: PlanMode::Record,
+            // Component 0 is the probability-mass component shadow walks
+            // share (deliberately part of every construction path so a
+            // `Default`-built plan behaves identically).
+            shared_components: 1,
+            slots: BTreeMap::new(),
+            recipes: BTreeMap::new(),
+            loop_heads: BTreeMap::new(),
+            stats: PlanStats::default(),
+        }
+    }
+
+    /// The current instantiation mode.
+    pub fn mode(&self) -> PlanMode {
+        self.mode
+    }
+
+    /// Switches the instantiation mode for the next walk.
+    pub fn set_mode(&mut self, mode: PlanMode) {
+        self.mode = mode;
+    }
+
+    /// Reuse counters accumulated so far.
+    pub fn stats(&self) -> PlanStats {
+        self.stats
+    }
+
+    /// Number of template slots recorded.
+    pub fn num_slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Resolves the moment annotation of the slot `key` for a walk at target
+    /// degree `m`: components served by the plan come back as `Some(_)` (to
+    /// be cloned by the caller), components the caller must mint come back as
+    /// `None`.  `record` says whether the caller should report the minted
+    /// components back via [`record_component`](Self::record_component).
+    ///
+    /// The exact split depends on the [mode](Self::mode): `Record`/`Detached`
+    /// mint everything, `Extend` serves every recorded component, `Refresh`
+    /// re-mints everything (dropping the recorded columns), `Shadow` serves
+    /// only the shared components.
+    pub fn slot_components(
+        &mut self,
+        key: &str,
+        restriction: usize,
+        m: usize,
+    ) -> (Vec<Option<SymInterval>>, bool) {
+        let mode = self.mode;
+        match mode {
+            PlanMode::Record => {
+                self.stats.slots_created += 1;
+                self.slots.insert(
+                    key.to_string(),
+                    TemplateSlot {
+                        restriction,
+                        components: Vec::new(),
+                    },
+                );
+                (vec![None; m + 1], true)
+            }
+            PlanMode::Detached => (vec![None; m + 1], false),
+            PlanMode::Refresh => {
+                let replaced = self.slots.remove(key).is_some();
+                if replaced {
+                    self.stats.slots_reused += 1;
+                } else {
+                    self.stats.slots_created += 1;
+                }
+                self.slots.insert(
+                    key.to_string(),
+                    TemplateSlot {
+                        restriction,
+                        components: Vec::new(),
+                    },
+                );
+                (vec![None; m + 1], true)
+            }
+            PlanMode::Extend => match self.slots.get(key) {
+                Some(slot) => {
+                    debug_assert_eq!(
+                        slot.restriction, restriction,
+                        "slot `{key}` replayed at a different restriction level"
+                    );
+                    self.stats.slots_reused += 1;
+                    let mut components = Vec::with_capacity(m + 1);
+                    for k in 0..=m {
+                        match slot.components.get(k) {
+                            Some(interval) => {
+                                self.stats.columns_reused += interval_columns(interval);
+                                components.push(Some(interval.clone()));
+                            }
+                            None => components.push(None),
+                        }
+                    }
+                    (components, true)
+                }
+                None => {
+                    self.stats.slots_created += 1;
+                    self.slots.insert(
+                        key.to_string(),
+                        TemplateSlot {
+                            restriction,
+                            components: Vec::new(),
+                        },
+                    );
+                    (vec![None; m + 1], true)
+                }
+            },
+            PlanMode::Shadow => match self.slots.get(key) {
+                Some(slot) => {
+                    let shared = self.shared_components;
+                    let mut components = Vec::with_capacity(m + 1);
+                    for k in 0..=m {
+                        match slot.components.get(k) {
+                            Some(interval) if k < shared => {
+                                self.stats.columns_reused += interval_columns(interval);
+                                components.push(Some(interval.clone()));
+                            }
+                            _ => components.push(None),
+                        }
+                    }
+                    (components, false)
+                }
+                None => (vec![None; m + 1], false),
+            },
+        }
+    }
+
+    /// Records a component the caller just minted for the slot `key`
+    /// (only meaningful after [`slot_components`](Self::slot_components)
+    /// returned `record = true`; components must be reported in order).
+    pub fn record_component(&mut self, key: &str, k: usize, interval: &SymInterval) {
+        self.stats.columns_created += interval_columns(interval);
+        if let Some(slot) = self.slots.get_mut(key) {
+            debug_assert_eq!(
+                slot.components.len(),
+                k,
+                "slot `{key}` recorded out of order"
+            );
+            slot.components.push(interval.clone());
+        }
+    }
+
+    /// Gate for the constraint recipe `key` about to instantiate components
+    /// `0..=m`: returns the first component whose rows must actually be
+    /// emitted (components below it are already in the store, or shared).
+    pub fn recipe_gate(&mut self, key: &str, m: usize) -> usize {
+        match self.mode {
+            PlanMode::Record => {
+                self.stats.recipes_recorded += 1;
+                self.recipes.insert(key.to_string(), m + 1);
+                0
+            }
+            PlanMode::Detached => 0,
+            PlanMode::Refresh => {
+                if self.recipes.insert(key.to_string(), m + 1).is_some() {
+                    self.stats.recipes_replayed += 1;
+                } else {
+                    self.stats.recipes_recorded += 1;
+                }
+                0
+            }
+            PlanMode::Extend => match self.recipes.insert(key.to_string(), m + 1) {
+                Some(prev) => {
+                    self.stats.recipes_replayed += 1;
+                    self.stats.components_skipped += prev.min(m + 1);
+                    prev
+                }
+                None => {
+                    self.stats.recipes_recorded += 1;
+                    0
+                }
+            },
+            PlanMode::Shadow => {
+                if self.recipes.contains_key(key) {
+                    self.stats.recipes_replayed += 1;
+                    let shared = self.shared_components.min(m + 1);
+                    self.stats.components_skipped += shared;
+                    shared
+                } else {
+                    0
+                }
+            }
+        }
+    }
+
+    /// The cached loop-head invariant context for the loop at `key`, or
+    /// `compute()`.
+    ///
+    /// Loop-head invariants depend only on the program and the incoming
+    /// context — both identical across re-instantiations of one plan — so
+    /// the fixpoint is computed once per loop, not once per `(m, d)`.
+    /// Shadow walks may read the cache too (their caller attests the
+    /// extension program preserves the recorded control skeleton), but a
+    /// *detached* walk derives an arbitrary program whose sites merely
+    /// happen to share key shapes: it must never be served another
+    /// program's invariant, so it always computes (and records nothing).
+    pub fn loop_head(&mut self, key: &str, compute: impl FnOnce() -> Context) -> Context {
+        if self.mode != PlanMode::Detached {
+            if let Some(ctx) = self.loop_heads.get(key) {
+                self.stats.loop_heads_reused += 1;
+                return ctx.clone();
+            }
+        }
+        let ctx = compute();
+        if !matches!(self.mode, PlanMode::Shadow | PlanMode::Detached) {
+            self.loop_heads.insert(key.to_string(), ctx.clone());
+        }
+        ctx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::template::TemplatePoly;
+
+    fn unit_interval() -> SymInterval {
+        SymInterval {
+            lo: TemplatePoly::constant(1.0),
+            hi: TemplatePoly::constant(1.0),
+        }
+    }
+
+    #[test]
+    fn record_then_extend_serves_old_components() {
+        let mut plan = DerivationPlan::new();
+        let (components, record) = plan.slot_components("s", 0, 2);
+        assert!(record);
+        assert!(components.iter().all(Option::is_none));
+        for k in 0..=2 {
+            plan.record_component("s", k, &unit_interval());
+        }
+        assert_eq!(plan.recipe_gate("r", 2), 0);
+
+        plan.set_mode(PlanMode::Extend);
+        let (components, record) = plan.slot_components("s", 0, 4);
+        assert!(record);
+        assert!(components[0].is_some() && components[2].is_some());
+        assert!(components[3].is_none() && components[4].is_none());
+        plan.record_component("s", 3, &unit_interval());
+        plan.record_component("s", 4, &unit_interval());
+        // The recipe resumes at the first new component.
+        assert_eq!(plan.recipe_gate("r", 4), 3);
+        // Unknown keys (new restriction levels) instantiate in full.
+        assert_eq!(plan.recipe_gate("r-new", 4), 0);
+        let (fresh, _) = plan.slot_components("s-new", 3, 4);
+        assert!(fresh.iter().all(Option::is_none));
+        assert!(plan.stats().slots_reused >= 1);
+        assert!(plan.stats().columns_reused > 0);
+        assert_eq!(plan.stats().components_skipped, 3);
+    }
+
+    #[test]
+    fn shadow_shares_component_zero_and_records_nothing() {
+        let mut plan = DerivationPlan::new();
+        plan.slot_components("s", 0, 2);
+        for k in 0..=2 {
+            plan.record_component("s", k, &unit_interval());
+        }
+        plan.recipe_gate("r", 2);
+        let slots_before = plan.num_slots();
+
+        plan.set_mode(PlanMode::Shadow);
+        let (components, record) = plan.slot_components("s", 0, 2);
+        assert!(!record);
+        assert!(components[0].is_some(), "component 0 is shared");
+        assert!(components[1].is_none() && components[2].is_none());
+        assert_eq!(plan.recipe_gate("r", 2), 1, "component 0 rows are skipped");
+        // Unknown keys fall back to a fully fresh derivation.
+        let (fresh, record) = plan.slot_components("other", 0, 2);
+        assert!(!record && fresh.iter().all(Option::is_none));
+        assert_eq!(plan.recipe_gate("other-r", 2), 0);
+        assert_eq!(plan.num_slots(), slots_before, "shadow records nothing");
+    }
+
+    #[test]
+    fn refresh_reuses_the_skeleton_but_mints_fresh_columns() {
+        let mut plan = DerivationPlan::new();
+        plan.slot_components("s", 1, 2);
+        for k in 0..=2 {
+            plan.record_component("s", k, &unit_interval());
+        }
+        plan.recipe_gate("r", 2);
+
+        plan.set_mode(PlanMode::Refresh);
+        let (components, record) = plan.slot_components("s", 1, 2);
+        assert!(record);
+        assert!(components.iter().all(Option::is_none), "columns re-minted");
+        assert_eq!(plan.recipe_gate("r", 2), 0, "rows re-emitted");
+        assert_eq!(plan.stats().slots_reused, 1);
+        assert_eq!(plan.stats().recipes_replayed, 1);
+    }
+
+    #[test]
+    fn loop_head_cache_serves_repeat_lookups() {
+        let mut plan = DerivationPlan::new();
+        let mut computed = 0;
+        let ctx = plan.loop_head("w", || {
+            computed += 1;
+            Context::top()
+        });
+        assert_eq!(ctx, Context::top());
+        plan.set_mode(PlanMode::Refresh);
+        let again = plan.loop_head("w", || {
+            computed += 1;
+            Context::top()
+        });
+        assert_eq!(again, Context::top());
+        assert_eq!(computed, 1);
+        assert_eq!(plan.stats().loop_heads_reused, 1);
+    }
+
+    #[test]
+    fn detached_walks_never_read_the_loop_head_cache() {
+        // A detached walk derives an *arbitrary* program whose site keys may
+        // collide with the recorded ones; serving it the analyzed program's
+        // invariant would emit constraints under a wrong logical context.
+        let mut plan = DerivationPlan::new();
+        plan.loop_head("w", Context::top);
+        plan.set_mode(PlanMode::Detached);
+        let mut computed = 0;
+        plan.loop_head("w", || {
+            computed += 1;
+            Context::top()
+        });
+        assert_eq!(computed, 1, "detached lookups must recompute");
+        assert_eq!(plan.stats().loop_heads_reused, 0);
+    }
+}

@@ -61,6 +61,12 @@ pub fn require_poly_geq(
 /// under the logical context `ctx`:
 /// for every component `k`, `outer.lo_k ≤ inner.lo_k` and
 /// `inner.hi_k ≤ outer.hi_k` wherever `ctx` holds.
+///
+/// `tag` doubles as this containment's *recipe key* in the builder's
+/// [`DerivationPlan`](crate::plan::DerivationPlan), so it must be unique and
+/// stable across walks of the same program: when the plan replays (degree
+/// escalation, the shadow soundness derivation), components whose rows are
+/// already in the store are skipped instead of re-emitted.
 pub fn require_contains(
     builder: &mut ConstraintBuilder,
     ctx: &Context,
@@ -70,7 +76,8 @@ pub fn require_contains(
     tag: &str,
 ) {
     assert_eq!(outer.degree(), inner.degree(), "degree mismatch in ⊒");
-    for k in 0..=outer.degree() {
+    let emit_from = builder.recipe_gate(tag, outer.degree());
+    for k in emit_from..=outer.degree() {
         let degree = (k as u32 * poly_degree).max(1);
         let products = ctx.certificate_products(degree);
         // Upper ends: outer.hi ≥ inner.hi.

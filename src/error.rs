@@ -129,6 +129,17 @@ impl CmaError {
             _ => false,
         }
     }
+
+    /// When the root cause is an *infeasible* LP, the `(degree, poly_degree)`
+    /// it failed at — the signal that the templates are too weak and a
+    /// `--max-poly-degree` retry may succeed.
+    pub fn infeasible_at(&self) -> Option<(usize, u32)> {
+        match self {
+            CmaError::Analysis(e) => e.infeasible_at(),
+            CmaError::Context { source, .. } => source.infeasible_at(),
+            _ => None,
+        }
+    }
 }
 
 /// Adds [`context`](ResultExt::context) to any `Result` convertible into

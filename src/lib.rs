@@ -48,13 +48,14 @@ mod report;
 
 pub use error::{CmaError, ResultExt};
 pub use pipeline::Analysis;
-pub use report::{AnalysisReport, LpStats, PhaseTimings};
+pub use report::{json, AnalysisReport, LpStats, PhaseTimings};
 
 // The vocabulary of the pipeline, re-exported flat so `use
 // central_moment_analysis::{Analysis, SolveMode, Var}` just works.
 pub use cma_appl::{parse_program, Program, Var};
 pub use cma_inference::{
-    AnalysisOptions, CentralMoments, GroupLpStats, SolveMode, SoundnessReport, TailBound,
+    AnalysisOptions, CentralMoments, EscalationStats, GroupLpStats, PlanStats, SolveMode,
+    SoundnessReport, TailBound,
 };
 pub use cma_lp::{
     FactorKind, LpBackend, LpSession, PricingRule, SimplexBackend, SolveStats, SolverTuning,

@@ -55,6 +55,7 @@ pub struct Analysis<B: LpBackend = SimplexBackend> {
     backend: B,
     tail_thresholds: Option<Vec<f64>>,
     check_soundness: bool,
+    escalate_from: Option<usize>,
     parse_elapsed: Option<Duration>,
 }
 
@@ -69,6 +70,7 @@ impl Analysis<SimplexBackend> {
             backend: SimplexBackend,
             tail_thresholds: None,
             check_soundness: true,
+            escalate_from: None,
             parse_elapsed: None,
         }
     }
@@ -112,6 +114,24 @@ impl<B: LpBackend> Analysis<B> {
     /// Sets the base polynomial degree of the templates.
     pub fn poly_degree(mut self, d: u32) -> Self {
         self.options.poly_degree = d;
+        self
+    }
+
+    /// Enables automatic poly-degree escalation: when the LP is infeasible
+    /// (templates too weak), retry `d → d+1` up to `max`, re-instantiating
+    /// the recorded derivation plan instead of re-walking the program.
+    pub fn max_poly_degree(mut self, max: u32) -> Self {
+        self.options.max_poly_degree = Some(max);
+        self
+    }
+
+    /// Reaches the target degree by **in-session escalation**: the analysis
+    /// first solves at degree `from`, then escalates the live warm session
+    /// degree by appending only the new moment components (see
+    /// [`AnalysisSession::escalate_degree`](cma_inference::AnalysisSession::escalate_degree)).
+    /// The report's `escalation` section carries the reuse statistics.
+    pub fn escalate_from(mut self, from: usize) -> Self {
+        self.escalate_from = Some(from);
         self
     }
 
@@ -205,6 +225,7 @@ impl<B: LpBackend> Analysis<B> {
             backend,
             tail_thresholds: self.tail_thresholds,
             check_soundness: self.check_soundness,
+            escalate_from: self.escalate_from,
             parse_elapsed: self.parse_elapsed,
         }
     }
@@ -234,11 +255,31 @@ impl<B: LpBackend> Analysis<B> {
                 "analysis degree must be at least 1 (use 2 for variance bounds)".into(),
             ));
         }
+        if let Some(from) = self.escalate_from {
+            if from == 0 || from >= self.options.degree {
+                return Err(CmaError::Usage(format!(
+                    "escalation must start at a degree in 1..{} (got {from})",
+                    self.options.degree
+                )));
+            }
+        }
         let total_start = Instant::now();
 
         let analysis_start = Instant::now();
-        let (result, mut engine_session) =
-            analyze_session(&self.program, &self.options, &self.backend)?;
+        // With escalation enabled, solve at the starting degree first, then
+        // escalate the live session to the target — the warm basis absorbs
+        // the new moment components instead of a cold re-derive.
+        let (result, mut engine_session) = match self.escalate_from {
+            Some(from) => {
+                let mut start_options = self.options.clone();
+                start_options.degree = from;
+                let (_low, mut session) =
+                    analyze_session(&self.program, &start_options, &self.backend)?;
+                let result = session.escalate_degree(self.options.degree)?;
+                (result, session)
+            }
+            None => analyze_session(&self.program, &self.options, &self.backend)?,
+        };
         let analysis_elapsed = analysis_start.elapsed();
 
         let tail_start = Instant::now();
@@ -281,6 +322,10 @@ impl<B: LpBackend> Analysis<B> {
             pricing: self.options.pricing.name().to_string(),
             factor: self.options.factor.name().to_string(),
             parallelism: self.options.threads,
+            poly_degree: result.poly_degree,
+            poly_retries: result.poly_retries,
+            escalation: result.escalation,
+            plan: result.plan,
             valuation: self.options.valuation.clone(),
             result,
             raw_intervals,
@@ -525,6 +570,90 @@ mod tests {
         assert!(report.lp.solves > 1, "got {} solves", report.lp.solves);
     }
 
+    /// The canonical triangular-loop fixture (quadratic cost, infeasible at
+    /// poly degree 1) — shared with the CLI tests and the inference-level
+    /// escalation tests, which parse the same file.
+    const TRIANGLE: &str = include_str!("../examples/triangle.appl");
+
+    #[test]
+    fn escalated_pipeline_matches_the_direct_run_and_reports_reuse() {
+        let direct = Analysis::benchmark(&running::rdwalk())
+            .backend(cma_lp::SparseBackend)
+            .soundness(false)
+            .run()
+            .unwrap();
+        let escalated = Analysis::benchmark(&running::rdwalk())
+            .backend(cma_lp::SparseBackend)
+            .escalate_from(1)
+            .soundness(false)
+            .run()
+            .unwrap();
+        assert!((escalated.mean().hi() - direct.mean().hi()).abs() < 1e-3);
+        assert!(
+            (escalated.variance_upper().unwrap() - direct.variance_upper().unwrap()).abs() < 1e-1
+        );
+        let stats = escalated.escalation.expect("escalation stats in report");
+        assert_eq!((stats.from_degree, stats.to_degree), (1, 2));
+        assert_eq!(stats.cold_restarts, 0);
+        assert!(stats.reused_columns > 0);
+        assert!(stats.dual_pivots > 0, "warm dual re-solve expected");
+        // Still one LP solve: the escalation re-minimized the live session.
+        assert_eq!(escalated.lp.solves, 1);
+        assert!(escalated.plan.slots_reused > 0);
+    }
+
+    #[test]
+    fn escalated_run_keeps_soundness_and_json_fields_consistent() {
+        let report =
+            Analysis::parse("func main() begin if prob(0.5) then tick(2) else tick(4) fi end")
+                .unwrap()
+                .backend(cma_lp::SparseBackend)
+                .escalate_from(1)
+                .run()
+                .unwrap();
+        assert_eq!(report.is_sound(), Some(true));
+        let json = report.to_json();
+        assert!(
+            json.contains("\"escalation\":{\"from_degree\":1,\"to_degree\":2"),
+            "{json}"
+        );
+        assert!(json.contains("\"plan\":{\"slots_created\":"), "{json}");
+        assert!(json.contains("\"shared_templates\":"), "{json}");
+        assert!(json.contains("\"poly_degree\":1"), "{json}");
+    }
+
+    #[test]
+    fn invalid_escalation_start_is_a_usage_error() {
+        for from in [0usize, 2, 3] {
+            let err = Analysis::benchmark(&running::rdwalk())
+                .escalate_from(from)
+                .soundness(false)
+                .run()
+                .unwrap_err();
+            assert!(matches!(err, CmaError::Usage(_)), "from={from}: {err}");
+        }
+    }
+
+    #[test]
+    fn max_poly_degree_retries_infeasible_templates() {
+        let failing = Analysis::parse(TRIANGLE)
+            .unwrap()
+            .degree(1)
+            .soundness(false);
+        let err = failing.clone().run().unwrap_err();
+        assert_eq!(err.infeasible_at(), Some((1, 1)), "{err}");
+
+        let report = failing.max_poly_degree(2).at("n", 4.0).run().unwrap();
+        assert_eq!(report.poly_retries, 1);
+        assert_eq!(report.poly_degree, 2);
+        // Triangular cost n(n+1)/2 = 10 at n = 4, bracketed by the bounds.
+        assert!(report.mean().hi() >= 10.0 - 1e-5);
+        assert!(report.mean().lo() <= 10.0 + 1e-5);
+        let json = report.to_json();
+        assert!(json.contains("\"poly_degree\":2"), "{json}");
+        assert!(json.contains("\"poly_retries\":1"), "{json}");
+    }
+
     #[test]
     fn json_report_is_well_formed_and_complete() {
         let report = Analysis::benchmark(&running::rdwalk())
@@ -538,14 +667,19 @@ mod tests {
             "\"mode\":\"global\"",
             "\"backend\":\"dense-simplex\"",
             "\"parallelism\":1",
+            "\"poly_degree\":1",
+            "\"poly_retries\":0",
             "\"raw_moments\":[",
             "\"central_moments\":",
             "\"tail_bounds\":[{\"threshold\":40",
             "\"soundness\":{",
             "\"reused_constraint_store\":true",
             "\"extension_constraints\":",
+            "\"shared_templates\":",
             "\"lp\":{",
             "\"groups\":[{\"name\":\"global\"",
+            "\"plan\":{\"slots_created\":",
+            "\"escalation\":null",
             "\"timings\":{",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");

@@ -13,10 +13,66 @@ use std::fmt;
 use std::time::Duration;
 
 use cma_inference::{
-    AnalysisResult, CentralMoments, GroupLpStats, SolveMode, SoundnessReport, TailBound,
+    AnalysisResult, CentralMoments, EscalationStats, GroupLpStats, PlanStats, SolveMode,
+    SoundnessReport, TailBound,
 };
 use cma_semiring::poly::Var;
 use cma_semiring::Interval;
+
+/// Minimal JSON building blocks shared by every `--json` emitter (this
+/// report, the CLI's `suite list`/`suite run` rows, the simulator output).
+/// The grammar is tiny and the build environment is dependency-free by
+/// design, so the encoder is hand-rolled — but hand-rolled *once*, here.
+pub mod json {
+    /// JSON string literal with escaping for everything Appl text can carry.
+    pub fn string(s: &str) -> String {
+        let mut out = String::with_capacity(s.len() + 2);
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+        out
+    }
+
+    /// Finite floats render as shortest-round-trip decimals; infinities and
+    /// NaN (which JSON cannot represent) become `null`.
+    pub fn num(v: f64) -> String {
+        if v.is_finite() {
+            format!("{v}")
+        } else {
+            "null".to_string()
+        }
+    }
+
+    /// [`num`] lifted over `Option` (`None` → `null`).
+    pub fn opt_num(v: Option<f64>) -> String {
+        v.map(num).unwrap_or_else(|| "null".to_string())
+    }
+
+    /// A JSON object from `(key, already-encoded value)` pairs.
+    pub fn object<'a>(fields: impl IntoIterator<Item = (&'a str, String)>) -> String {
+        let body = fields
+            .into_iter()
+            .map(|(k, v)| format!("{}:{v}", string(k)))
+            .collect::<Vec<_>>()
+            .join(",");
+        format!("{{{body}}}")
+    }
+
+    /// A JSON array from already-encoded values.
+    pub fn array(items: impl IntoIterator<Item = String>) -> String {
+        format!("[{}]", items.into_iter().collect::<Vec<_>>().join(","))
+    }
+}
 
 /// Wall-clock time spent in each phase of the pipeline.
 #[derive(Debug, Clone, Default)]
@@ -103,6 +159,18 @@ pub struct AnalysisReport {
     pub factor: String,
     /// Worker threads used for independent group solves (1 = sequential).
     pub parallelism: usize,
+    /// Base polynomial degree the successful instantiation solved with
+    /// (larger than requested when automatic poly-degree escalation kicked
+    /// in — see [`poly_retries`](Self::poly_retries)).
+    pub poly_degree: u32,
+    /// Automatic `d → d+1` template retries spent before feasibility.
+    pub poly_retries: usize,
+    /// In-session degree escalation statistics (present when the analysis
+    /// reached its target degree by escalating a lower-degree session).
+    pub escalation: Option<EscalationStats>,
+    /// Derivation-plan reuse counters (slots/columns/recipes reused vs
+    /// created across instantiations and extensions).
+    pub plan: PlanStats,
     /// The initial-state valuation at which intervals below are evaluated.
     pub valuation: Vec<(Var, f64)>,
     /// The raw engine result (symbolic bounds, resolved specs, elapsed time).
@@ -152,7 +220,7 @@ impl AnalysisReport {
         let mut out = String::with_capacity(1024);
         out.push('{');
         match &self.label {
-            Some(label) => push_field(&mut out, "label", &json_string(label)),
+            Some(label) => push_field(&mut out, "label", &json::string(label)),
             None => push_field(&mut out, "label", "null"),
         }
         push_field(&mut out, "degree", &self.degree.to_string());
@@ -160,16 +228,18 @@ impl AnalysisReport {
             SolveMode::Global => "global",
             SolveMode::Compositional => "compositional",
         };
-        push_field(&mut out, "mode", &json_string(mode));
-        push_field(&mut out, "backend", &json_string(&self.backend));
-        push_field(&mut out, "pricing", &json_string(&self.pricing));
-        push_field(&mut out, "factor", &json_string(&self.factor));
+        push_field(&mut out, "mode", &json::string(mode));
+        push_field(&mut out, "backend", &json::string(&self.backend));
+        push_field(&mut out, "pricing", &json::string(&self.pricing));
+        push_field(&mut out, "factor", &json::string(&self.factor));
         push_field(&mut out, "parallelism", &self.parallelism.to_string());
+        push_field(&mut out, "poly_degree", &self.poly_degree.to_string());
+        push_field(&mut out, "poly_retries", &self.poly_retries.to_string());
 
         let valuation = self
             .valuation
             .iter()
-            .map(|(v, x)| format!("{}:{}", json_string(v.name()), json_f64(*x)))
+            .map(|(v, x)| format!("{}:{}", json::string(v.name()), json::num(*x)))
             .collect::<Vec<_>>()
             .join(",");
         push_field(&mut out, "valuation", &format!("{{{valuation}}}"));
@@ -181,10 +251,10 @@ impl AnalysisReport {
             .map(|(k, i)| {
                 format!(
                     "{{\"k\":{k},\"lower\":{},\"upper\":{},\"symbolic_lower\":{},\"symbolic_upper\":{}}}",
-                    json_f64(i.lo()),
-                    json_f64(i.hi()),
-                    json_string(&self.result.bounds[k].lower.to_string()),
-                    json_string(&self.result.bounds[k].upper.to_string()),
+                    json::num(i.lo()),
+                    json::num(i.hi()),
+                    json::string(&self.result.bounds[k].lower.to_string()),
+                    json::string(&self.result.bounds[k].upper.to_string()),
                 )
             })
             .collect::<Vec<_>>()
@@ -196,18 +266,18 @@ impl AnalysisReport {
                 let i = self.central.central(k);
                 format!(
                     "{{\"k\":{k},\"lower\":{},\"upper\":{}}}",
-                    json_f64(i.lo()),
-                    json_f64(i.hi())
+                    json::num(i.lo()),
+                    json::num(i.hi())
                 )
             })
             .collect::<Vec<_>>()
             .join(",");
         let central = format!(
             "{{\"moments\":[{central_list}],\"variance_lower\":{},\"variance_upper\":{},\"skewness_upper\":{},\"kurtosis_upper\":{}}}",
-            json_opt_f64(self.variance_lower()),
-            json_opt_f64(self.variance_upper()),
-            json_opt_f64(self.central.skewness_upper()),
-            json_opt_f64(self.central.kurtosis_upper()),
+            json::opt_num(self.variance_lower()),
+            json::opt_num(self.variance_upper()),
+            json::opt_num(self.central.skewness_upper()),
+            json::opt_num(self.central.kurtosis_upper()),
         );
         push_field(&mut out, "central_moments", &central);
 
@@ -217,8 +287,8 @@ impl AnalysisReport {
             .map(|t| {
                 format!(
                     "{{\"threshold\":{},\"probability\":{}}}",
-                    json_f64(t.threshold),
-                    json_f64(t.probability)
+                    json::num(t.threshold),
+                    json::num(t.probability)
                 )
             })
             .collect::<Vec<_>>()
@@ -230,11 +300,11 @@ impl AnalysisReport {
                 let violations = s
                     .violations
                     .iter()
-                    .map(|v| json_string(v))
+                    .map(|v| json::string(v))
                     .collect::<Vec<_>>()
                     .join(",");
                 format!(
-                    "{{\"bounded_updates\":{},\"violations\":[{violations}],\"termination_moment\":{},\"is_sound\":{},\"reused_constraint_store\":{},\"extension_variables\":{},\"extension_constraints\":{},\"extension_dual_pivots\":{}}}",
+                    "{{\"bounded_updates\":{},\"violations\":[{violations}],\"termination_moment\":{},\"is_sound\":{},\"reused_constraint_store\":{},\"extension_variables\":{},\"extension_constraints\":{},\"extension_dual_pivots\":{},\"shared_templates\":{},\"shared_template_columns\":{}}}",
                     s.bounded_updates,
                     s.termination_moment
                         .map(|k| k.to_string())
@@ -244,6 +314,8 @@ impl AnalysisReport {
                     s.extension_variables,
                     s.extension_constraints,
                     s.extension_dual_pivots,
+                    s.shared_templates,
+                    s.shared_template_columns,
                 )
             }
             None => "null".to_string(),
@@ -257,7 +329,7 @@ impl AnalysisReport {
             .map(|g| {
                 format!(
                     "{{\"name\":{},\"variables\":{},\"constraints\":{},\"iterations\":{},\"refactorizations\":{},\"presolve_rows\":{},\"presolve_cols\":{},\"etas\":{},\"dual_pivots\":{}}}",
-                    json_string(&g.name),
+                    json::string(&g.name),
                     g.variables,
                     g.constraints,
                     g.iterations,
@@ -284,15 +356,47 @@ impl AnalysisReport {
         );
         push_field(&mut out, "lp", &lp);
 
+        let plan = json::object([
+            ("slots_created", self.plan.slots_created.to_string()),
+            ("slots_reused", self.plan.slots_reused.to_string()),
+            ("columns_created", self.plan.columns_created.to_string()),
+            ("columns_reused", self.plan.columns_reused.to_string()),
+            ("recipes_recorded", self.plan.recipes_recorded.to_string()),
+            ("recipes_replayed", self.plan.recipes_replayed.to_string()),
+            (
+                "components_skipped",
+                self.plan.components_skipped.to_string(),
+            ),
+            ("loop_heads_reused", self.plan.loop_heads_reused.to_string()),
+        ]);
+        push_field(&mut out, "plan", &plan);
+
+        let escalation = match &self.escalation {
+            Some(e) => json::object([
+                ("from_degree", e.from_degree.to_string()),
+                ("to_degree", e.to_degree.to_string()),
+                ("appended_variables", e.appended_variables.to_string()),
+                ("appended_constraints", e.appended_constraints.to_string()),
+                ("reused_slots", e.reused_slots.to_string()),
+                ("reused_columns", e.reused_columns.to_string()),
+                ("dual_pivots", e.dual_pivots.to_string()),
+                ("iterations", e.iterations.to_string()),
+                ("cold_restarts", e.cold_restarts.to_string()),
+                ("poly_retries", e.poly_retries.to_string()),
+            ]),
+            None => "null".to_string(),
+        };
+        push_field(&mut out, "escalation", &escalation);
+
         // Timings go last so consumers comparing reports can cheaply strip the
         // single volatile section.
         let timings = format!(
             "{{\"parse_ms\":{},\"analysis_ms\":{},\"soundness_ms\":{},\"tail_ms\":{},\"total_ms\":{}}}",
-            json_opt_f64(self.timings.parse.map(|d| d.as_secs_f64() * 1e3)),
-            json_f64(self.timings.analysis.as_secs_f64() * 1e3),
-            json_opt_f64(self.timings.soundness.map(|d| d.as_secs_f64() * 1e3)),
-            json_f64(self.timings.tail.as_secs_f64() * 1e3),
-            json_f64(self.timings.total.as_secs_f64() * 1e3),
+            json::opt_num(self.timings.parse.map(|d| d.as_secs_f64() * 1e3)),
+            json::num(self.timings.analysis.as_secs_f64() * 1e3),
+            json::opt_num(self.timings.soundness.map(|d| d.as_secs_f64() * 1e3)),
+            json::num(self.timings.tail.as_secs_f64() * 1e3),
+            json::num(self.timings.total.as_secs_f64() * 1e3),
         );
         push_last_field(&mut out, "timings", &timings);
         out.push('}');
@@ -301,44 +405,11 @@ impl AnalysisReport {
 }
 
 fn push_field(out: &mut String, key: &str, value: &str) {
-    out.push_str(&format!("{}:{value},", json_string(key)));
+    out.push_str(&format!("{}:{value},", json::string(key)));
 }
 
 fn push_last_field(out: &mut String, key: &str, value: &str) {
-    out.push_str(&format!("{}:{value}", json_string(key)));
-}
-
-/// JSON string literal with escaping for the characters Appl text can contain.
-fn json_string(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
-}
-
-/// Finite floats render as shortest-round-trip decimals; infinities and NaN
-/// (which JSON cannot represent) become `null`.
-fn json_f64(v: f64) -> String {
-    if v.is_finite() {
-        format!("{v}")
-    } else {
-        "null".to_string()
-    }
-}
-
-fn json_opt_f64(v: Option<f64>) -> String {
-    v.map(json_f64).unwrap_or_else(|| "null".to_string())
+    out.push_str(&format!("{}:{value}", json::string(key)));
 }
 
 impl fmt::Display for AnalysisReport {
@@ -358,7 +429,40 @@ impl fmt::Display for AnalysisReport {
         if self.parallelism > 1 {
             write!(f, " · {} threads", self.parallelism)?;
         }
+        if self.poly_degree > 1 || self.poly_retries > 0 {
+            write!(f, " · poly degree {}", self.poly_degree)?;
+            if self.poly_retries > 0 {
+                let plural = if self.poly_retries == 1 {
+                    "retry"
+                } else {
+                    "retries"
+                };
+                write!(f, " (after {} automatic {plural})", self.poly_retries)?;
+            }
+        }
         writeln!(f)?;
+        if let Some(e) = &self.escalation {
+            if e.cold_restarts == 0 {
+                writeln!(
+                    f,
+                    "escalated: degree {} -> {} in session (+{} vars, +{} rows, \
+                     {} reused columns, {} dual pivots)",
+                    e.from_degree,
+                    e.to_degree,
+                    e.appended_variables,
+                    e.appended_constraints,
+                    e.reused_columns,
+                    e.dual_pivots
+                )?;
+            } else {
+                writeln!(
+                    f,
+                    "escalated: degree {} -> {} via cold re-derive \
+                     ({} plan slots replayed)",
+                    e.from_degree, e.to_degree, e.reused_slots
+                )?;
+            }
+        }
         if !self.valuation.is_empty() {
             let at = self
                 .valuation
@@ -424,6 +528,13 @@ impl fmt::Display for AnalysisReport {
                 )?;
                 if s.extension_dual_pivots > 0 {
                     write!(f, ", {} dual pivots", s.extension_dual_pivots)?;
+                }
+                if s.shared_templates {
+                    write!(
+                        f,
+                        ", {} template columns shared with the main derivation",
+                        s.shared_template_columns
+                    )?;
                 }
                 writeln!(f, ")")?;
             }
