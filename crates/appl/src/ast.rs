@@ -18,6 +18,7 @@ use std::fmt;
 use cma_semiring::poly::{Polynomial, Var};
 
 use crate::dist::Dist;
+use crate::span::Span;
 
 /// Arithmetic expressions over program variables.
 #[derive(Debug, Clone, PartialEq)]
@@ -150,9 +151,9 @@ impl Cond {
     }
 }
 
-/// Statements of Appl.
+/// The statement forms of Appl, without position information.
 #[derive(Debug, Clone, PartialEq)]
-pub enum Stmt {
+pub enum StmtKind {
     /// The no-op statement.
     Skip,
     /// `tick(c)`: add the constant `c` to the anonymous cost accumulator.
@@ -173,7 +174,53 @@ pub enum Stmt {
     Seq(Vec<Stmt>),
 }
 
+/// A statement: a [`StmtKind`] plus the source [`Span`] it was parsed from.
+///
+/// Equality ignores spans (two programs are the same program regardless of
+/// the formatting they were parsed from); builder-constructed statements
+/// carry [`Span::DUMMY`].
+#[derive(Debug, Clone)]
+pub struct Stmt {
+    kind: StmtKind,
+    span: Span,
+}
+
+impl PartialEq for Stmt {
+    fn eq(&self, other: &Self) -> bool {
+        self.kind == other.kind
+    }
+}
+
+impl From<StmtKind> for Stmt {
+    fn from(kind: StmtKind) -> Self {
+        Stmt::new(kind)
+    }
+}
+
 impl Stmt {
+    /// A statement with no source position ([`Span::DUMMY`]).
+    pub fn new(kind: StmtKind) -> Self {
+        Stmt {
+            kind,
+            span: Span::DUMMY,
+        }
+    }
+
+    /// The same statement positioned at `span`.
+    pub fn with_span(mut self, span: Span) -> Self {
+        self.span = span;
+        self
+    }
+
+    /// The statement's form.
+    pub fn kind(&self) -> &StmtKind {
+        &self.kind
+    }
+
+    /// The statement's source span ([`Span::DUMMY`] for synthetic nodes).
+    pub fn span(&self) -> Span {
+        self.span
+    }
     /// Variables assigned or sampled anywhere inside the statement.
     pub fn modified_vars(&self) -> BTreeSet<Var> {
         let mut set = BTreeSet::new();
@@ -182,21 +229,21 @@ impl Stmt {
     }
 
     fn collect_modified(&self, set: &mut BTreeSet<Var>) {
-        match self {
-            Stmt::Assign(v, _) | Stmt::Sample(v, _) => {
+        match &self.kind {
+            StmtKind::Assign(v, _) | StmtKind::Sample(v, _) => {
                 set.insert(v.clone());
             }
-            Stmt::If(_, a, b) | Stmt::IfProb(_, a, b) => {
+            StmtKind::If(_, a, b) | StmtKind::IfProb(_, a, b) => {
                 a.collect_modified(set);
                 b.collect_modified(set);
             }
-            Stmt::While(_, s) => s.collect_modified(set),
-            Stmt::Seq(ss) => {
+            StmtKind::While(_, s) => s.collect_modified(set),
+            StmtKind::Seq(ss) => {
                 for s in ss {
                     s.collect_modified(set);
                 }
             }
-            Stmt::Skip | Stmt::Tick(_) | Stmt::Call(_) => {}
+            StmtKind::Skip | StmtKind::Tick(_) | StmtKind::Call(_) => {}
         }
     }
 
@@ -208,33 +255,33 @@ impl Stmt {
     }
 
     fn collect_vars(&self, set: &mut BTreeSet<Var>) {
-        match self {
-            Stmt::Assign(v, e) => {
+        match &self.kind {
+            StmtKind::Assign(v, e) => {
                 set.insert(v.clone());
                 set.extend(e.vars());
             }
-            Stmt::Sample(v, _) => {
+            StmtKind::Sample(v, _) => {
                 set.insert(v.clone());
             }
-            Stmt::If(c, a, b) => {
+            StmtKind::If(c, a, b) => {
                 set.extend(c.vars());
                 a.collect_vars(set);
                 b.collect_vars(set);
             }
-            Stmt::IfProb(_, a, b) => {
+            StmtKind::IfProb(_, a, b) => {
                 a.collect_vars(set);
                 b.collect_vars(set);
             }
-            Stmt::While(c, s) => {
+            StmtKind::While(c, s) => {
                 set.extend(c.vars());
                 s.collect_vars(set);
             }
-            Stmt::Seq(ss) => {
+            StmtKind::Seq(ss) => {
                 for s in ss {
                     s.collect_vars(set);
                 }
             }
-            Stmt::Skip | Stmt::Tick(_) | Stmt::Call(_) => {}
+            StmtKind::Skip | StmtKind::Tick(_) | StmtKind::Call(_) => {}
         }
     }
 
@@ -246,16 +293,16 @@ impl Stmt {
     }
 
     fn collect_calls(&self, set: &mut BTreeSet<String>) {
-        match self {
-            Stmt::Call(f) => {
+        match &self.kind {
+            StmtKind::Call(f) => {
                 set.insert(f.clone());
             }
-            Stmt::If(_, a, b) | Stmt::IfProb(_, a, b) => {
+            StmtKind::If(_, a, b) | StmtKind::IfProb(_, a, b) => {
                 a.collect_calls(set);
                 b.collect_calls(set);
             }
-            Stmt::While(_, s) => s.collect_calls(set),
-            Stmt::Seq(ss) => {
+            StmtKind::While(_, s) => s.collect_calls(set),
+            StmtKind::Seq(ss) => {
                 for s in ss {
                     s.collect_calls(set);
                 }
@@ -267,11 +314,15 @@ impl Stmt {
     /// Number of AST nodes — a proxy for "lines of code" used by the
     /// scalability study.
     pub fn size(&self) -> usize {
-        match self {
-            Stmt::Skip | Stmt::Tick(_) | Stmt::Assign(..) | Stmt::Sample(..) | Stmt::Call(_) => 1,
-            Stmt::If(_, a, b) | Stmt::IfProb(_, a, b) => 1 + a.size() + b.size(),
-            Stmt::While(_, s) => 1 + s.size(),
-            Stmt::Seq(ss) => ss.iter().map(Stmt::size).sum::<usize>().max(1),
+        match &self.kind {
+            StmtKind::Skip
+            | StmtKind::Tick(_)
+            | StmtKind::Assign(..)
+            | StmtKind::Sample(..)
+            | StmtKind::Call(_) => 1,
+            StmtKind::If(_, a, b) | StmtKind::IfProb(_, a, b) => 1 + a.size() + b.size(),
+            StmtKind::While(_, s) => 1 + s.size(),
+            StmtKind::Seq(ss) => ss.iter().map(Stmt::size).sum::<usize>().max(1),
         }
     }
 }
@@ -386,6 +437,25 @@ impl Program {
         Ok(program)
     }
 
+    /// Assembles a program **without** validating call targets,
+    /// probabilities, or distribution parameters (duplicate function names
+    /// keep the first declaration).
+    ///
+    /// Only diagnostics tooling should use this: it lets the static checker
+    /// inspect malformed programs and report every problem with a source
+    /// span.  Unchecked programs must not reach the analysis or simulator.
+    pub fn new_unchecked(functions: Vec<Function>, main: Stmt, precondition: Vec<Cond>) -> Self {
+        let mut map = BTreeMap::new();
+        for f in functions {
+            map.entry(f.name().to_string()).or_insert(f);
+        }
+        Program {
+            functions: map,
+            main,
+            precondition,
+        }
+    }
+
     fn validate(&self) -> Result<(), ProgramError> {
         let mut bodies: Vec<&Stmt> = self.functions.values().map(Function::body).collect();
         bodies.push(&self.main);
@@ -401,21 +471,21 @@ impl Program {
     }
 
     fn validate_stmt(stmt: &Stmt) -> Result<(), ProgramError> {
-        match stmt {
-            Stmt::IfProb(p, a, b) => {
+        match stmt.kind() {
+            StmtKind::IfProb(p, a, b) => {
                 if !(0.0..=1.0).contains(p) {
                     return Err(ProgramError::InvalidProbability(*p));
                 }
                 Self::validate_stmt(a)?;
                 Self::validate_stmt(b)
             }
-            Stmt::Sample(_, d) => d.validate().map_err(ProgramError::InvalidDistribution),
-            Stmt::If(_, a, b) => {
+            StmtKind::Sample(_, d) => d.validate().map_err(ProgramError::InvalidDistribution),
+            StmtKind::If(_, a, b) => {
                 Self::validate_stmt(a)?;
                 Self::validate_stmt(b)
             }
-            Stmt::While(_, s) => Self::validate_stmt(s),
-            Stmt::Seq(ss) => {
+            StmtKind::While(_, s) => Self::validate_stmt(s),
+            StmtKind::Seq(ss) => {
                 for s in ss {
                     Self::validate_stmt(s)?;
                 }

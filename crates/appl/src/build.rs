@@ -22,7 +22,7 @@
 
 use cma_semiring::poly::Var;
 
-use crate::ast::{Cond, Expr, Function, Program, ProgramError, Stmt};
+use crate::ast::{Cond, Expr, Function, Program, ProgramError, Stmt, StmtKind};
 use crate::dist::Dist;
 
 // ---------------------------------------------------------------------------
@@ -128,32 +128,32 @@ pub fn bernoulli(p: f64) -> Dist {
 
 /// The no-op statement.
 pub fn skip() -> Stmt {
-    Stmt::Skip
+    Stmt::new(StmtKind::Skip)
 }
 
 /// The statement `tick(c)`.
 pub fn tick(c: f64) -> Stmt {
-    Stmt::Tick(c)
+    Stmt::new(StmtKind::Tick(c))
 }
 
 /// The assignment `x := e`.
 pub fn assign(x: &str, e: Expr) -> Stmt {
-    Stmt::Assign(Var::new(x), e)
+    Stmt::new(StmtKind::Assign(Var::new(x), e))
 }
 
 /// The sampling statement `x ~ d`.
 pub fn sample(x: &str, d: Dist) -> Stmt {
-    Stmt::Sample(Var::new(x), d)
+    Stmt::new(StmtKind::Sample(Var::new(x), d))
 }
 
 /// The call statement `call f`.
 pub fn call(f: &str) -> Stmt {
-    Stmt::Call(f.to_string())
+    Stmt::new(StmtKind::Call(f.to_string()))
 }
 
 /// The conditional `if c then s1 else s2 fi`.
 pub fn if_then_else(c: Cond, s1: Stmt, s2: Stmt) -> Stmt {
-    Stmt::If(c, Box::new(s1), Box::new(s2))
+    Stmt::new(StmtKind::If(c, Box::new(s1), Box::new(s2)))
 }
 
 /// The one-armed conditional `if c then s fi`.
@@ -163,17 +163,17 @@ pub fn if_then(c: Cond, s: Stmt) -> Stmt {
 
 /// The probabilistic branch `if prob(p) then s1 else s2 fi`.
 pub fn if_prob(p: f64, s1: Stmt, s2: Stmt) -> Stmt {
-    Stmt::IfProb(p, Box::new(s1), Box::new(s2))
+    Stmt::new(StmtKind::IfProb(p, Box::new(s1), Box::new(s2)))
 }
 
 /// The loop `while c do s od`.
 pub fn while_loop(c: Cond, s: Stmt) -> Stmt {
-    Stmt::While(c, Box::new(s))
+    Stmt::new(StmtKind::While(c, Box::new(s)))
 }
 
 /// Sequential composition of statements.
 pub fn seq(stmts: impl IntoIterator<Item = Stmt>) -> Stmt {
-    Stmt::Seq(stmts.into_iter().collect())
+    Stmt::new(StmtKind::Seq(stmts.into_iter().collect()))
 }
 
 // ---------------------------------------------------------------------------
@@ -236,7 +236,7 @@ impl ProgramBuilder {
     pub fn build(self) -> Result<Program, ProgramError> {
         Program::new(
             self.functions,
-            self.main.unwrap_or(Stmt::Skip),
+            self.main.unwrap_or_else(skip),
             self.precondition,
         )
     }
@@ -291,7 +291,7 @@ mod tests {
     #[test]
     fn builder_default_main_is_skip() {
         let p = ProgramBuilder::new().build().unwrap();
-        assert_eq!(p.main(), &Stmt::Skip);
+        assert_eq!(p.main(), &skip());
     }
 
     #[test]

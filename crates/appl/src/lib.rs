@@ -48,10 +48,14 @@
 pub mod ast;
 pub mod build;
 pub mod dist;
+pub mod facts;
 pub mod parse;
 pub mod pretty;
+pub mod span;
 
-pub use ast::{Cond, Expr, Function, Program, ProgramError, Stmt};
+pub use ast::{Cond, Expr, Function, Program, ProgramError, Stmt, StmtKind};
 pub use cma_semiring::poly::Var;
 pub use dist::Dist;
-pub use parse::{parse_program, ParseError};
+pub use facts::{BranchFact, RangeFacts};
+pub use parse::{parse_program, parse_program_unchecked, ParseError};
+pub use span::{LineCol, SourceMap, Span};

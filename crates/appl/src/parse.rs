@@ -22,41 +22,100 @@
 //!           | "bernoulli" "(" num ")" | "discrete" "(" num ":" num {"," num ":" num} ")"
 //! ```
 //!
-//! The function named `main` becomes the program's `main` body.
+//! The function named `main` becomes the program's `main` body.  Every parsed
+//! statement carries its source [`Span`], and errors are reported as
+//! `line:column` with a caret-annotated snippet.
 
 use std::fmt;
 
 use cma_semiring::poly::Var;
 
-use crate::ast::{Cond, Expr, Function, Program, ProgramError, Stmt};
+use crate::ast::{Cond, Expr, Function, Program, ProgramError, Stmt, StmtKind};
 use crate::dist::Dist;
+use crate::span::{SourceMap, Span};
 
 /// Errors produced while parsing an Appl program.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ParseError {
     /// Human-readable description of the problem.
     message: String,
-    /// Byte position in the input where the error was detected.
-    position: usize,
+    /// Source range where the error was detected.
+    span: Span,
+    /// 1-based line of `span.start` (0 when no source is available).
+    line: usize,
+    /// 1-based column of `span.start` (0 when no source is available).
+    col: usize,
+    /// Caret-annotated source snippet, when the source is available.
+    snippet: Option<String>,
 }
 
 impl ParseError {
     fn new(message: impl Into<String>, position: usize) -> Self {
         ParseError {
             message: message.into(),
-            position,
+            span: Span::new(position, position + 1),
+            line: 0,
+            col: 0,
+            snippet: None,
         }
+    }
+
+    fn spanned(message: impl Into<String>, span: Span) -> Self {
+        ParseError {
+            message: message.into(),
+            span,
+            line: 0,
+            col: 0,
+            snippet: None,
+        }
+    }
+
+    /// Resolves the byte span against the source, filling line/column and the
+    /// caret snippet.
+    fn resolved(mut self, map: &SourceMap) -> Self {
+        let at = map.line_col(self.span.start);
+        self.line = at.line;
+        self.col = at.col;
+        self.snippet = Some(map.snippet(self.span));
+        self
     }
 
     /// The error message.
     pub fn message(&self) -> &str {
         &self.message
     }
+
+    /// The source range the error points at.
+    pub fn span(&self) -> Span {
+        self.span
+    }
+
+    /// The 1-based line of the error (0 when unresolved).
+    pub fn line(&self) -> usize {
+        self.line
+    }
+
+    /// The 1-based column of the error (0 when unresolved).
+    pub fn col(&self) -> usize {
+        self.col
+    }
 }
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "parse error at byte {}: {}", self.position, self.message)
+        if self.line > 0 {
+            write!(
+                f,
+                "parse error at {}:{}: {}",
+                self.line, self.col, self.message
+            )?;
+        } else {
+            write!(f, "parse error: {}", self.message)?;
+        }
+        if let Some(snippet) = &self.snippet {
+            write!(f, "\n{snippet}")?;
+        }
+        Ok(())
     }
 }
 
@@ -64,7 +123,7 @@ impl std::error::Error for ParseError {}
 
 impl From<ProgramError> for ParseError {
     fn from(e: ProgramError) -> Self {
-        ParseError::new(e.to_string(), 0)
+        ParseError::spanned(e.to_string(), Span::DUMMY)
     }
 }
 
@@ -94,7 +153,7 @@ impl<'a> Lexer<'a> {
         }
     }
 
-    fn tokenize(mut self) -> Result<Vec<(Token, usize)>, ParseError> {
+    fn tokenize(mut self) -> Result<Vec<(Token, Span)>, ParseError> {
         let mut tokens = Vec::new();
         while self.pos < self.input.len() {
             let c = self.input[self.pos] as char;
@@ -117,7 +176,7 @@ impl<'a> Lexer<'a> {
                     self.pos += 1;
                 }
                 let word = std::str::from_utf8(&self.input[start..self.pos]).unwrap();
-                tokens.push((Token::Ident(word.to_string()), start));
+                tokens.push((Token::Ident(word.to_string()), Span::new(start, self.pos)));
                 continue;
             }
             if c.is_ascii_digit() || (c == '.' && self.peek_digit(1)) {
@@ -137,7 +196,7 @@ impl<'a> Lexer<'a> {
                 let value: f64 = text
                     .parse()
                     .map_err(|_| ParseError::new(format!("invalid number `{text}`"), start))?;
-                tokens.push((Token::Number(value), start));
+                tokens.push((Token::Number(value), Span::new(start, self.pos)));
                 continue;
             }
             let two = if self.pos + 1 < self.input.len() {
@@ -153,7 +212,7 @@ impl<'a> Lexer<'a> {
                 _ => None,
             };
             if let Some(s) = symbol {
-                tokens.push((Token::Symbol(s), start));
+                tokens.push((Token::Symbol(s), Span::new(start, start + 2)));
                 self.pos += 2;
                 continue;
             }
@@ -176,7 +235,7 @@ impl<'a> Lexer<'a> {
                     ));
                 }
             };
-            tokens.push((Token::Symbol(one), start));
+            tokens.push((Token::Symbol(one), Span::new(start, start + 1)));
             self.pos += 1;
         }
         Ok(tokens)
@@ -190,7 +249,7 @@ impl<'a> Lexer<'a> {
 }
 
 struct Parser {
-    tokens: Vec<(Token, usize)>,
+    tokens: Vec<(Token, Span)>,
     pos: usize,
 }
 
@@ -202,8 +261,20 @@ impl Parser {
     fn position(&self) -> usize {
         self.tokens
             .get(self.pos)
-            .map(|(_, p)| *p)
-            .unwrap_or_else(|| self.tokens.last().map(|(_, p)| *p + 1).unwrap_or(0))
+            .map(|(_, s)| s.start)
+            .unwrap_or_else(|| self.tokens.last().map(|(_, s)| s.end).unwrap_or(0))
+    }
+
+    /// End offset of the most recently consumed token.
+    fn prev_end(&self) -> usize {
+        if self.pos == 0 {
+            0
+        } else {
+            self.tokens
+                .get(self.pos - 1)
+                .map(|(_, s)| s.end)
+                .unwrap_or(0)
+        }
     }
 
     fn advance(&mut self) -> Option<Token> {
@@ -269,7 +340,7 @@ impl Parser {
 
     // -- programs ---------------------------------------------------------
 
-    fn parse_program(&mut self) -> Result<Program, ParseError> {
+    fn parse_program(&mut self) -> Result<ProgramParts, ParseError> {
         let mut functions = Vec::new();
         let mut main = None;
         let mut precondition = Vec::new();
@@ -296,11 +367,11 @@ impl Parser {
                 ));
             }
         }
-        Ok(Program::new(
+        Ok(ProgramParts {
             functions,
-            main.unwrap_or(Stmt::Skip),
+            main: main.unwrap_or_else(|| Stmt::new(StmtKind::Skip)),
             precondition,
-        )?)
+        })
     }
 
     fn parse_function(&mut self) -> Result<(String, Vec<Cond>, Stmt), ParseError> {
@@ -322,6 +393,7 @@ impl Parser {
     // -- statements -------------------------------------------------------
 
     fn parse_stmts(&mut self) -> Result<Stmt, ParseError> {
+        let start = self.position();
         let mut stmts = vec![self.parse_stmt()?];
         while matches!(self.peek(), Some(Token::Symbol(";"))) {
             self.pos += 1;
@@ -330,28 +402,36 @@ impl Parser {
         Ok(if stmts.len() == 1 {
             stmts.pop().unwrap()
         } else {
-            Stmt::Seq(stmts)
+            let span = Span::new(start, self.prev_end());
+            Stmt::new(StmtKind::Seq(stmts)).with_span(span)
         })
     }
 
     fn parse_stmt(&mut self) -> Result<Stmt, ParseError> {
+        let start = self.position();
+        let kind = self.parse_stmt_kind()?;
+        let span = Span::new(start, self.prev_end());
+        Ok(Stmt::new(kind).with_span(span))
+    }
+
+    fn parse_stmt_kind(&mut self) -> Result<StmtKind, ParseError> {
         match self.peek() {
             Some(Token::Ident(word)) => match word.as_str() {
                 "skip" => {
                     self.pos += 1;
-                    Ok(Stmt::Skip)
+                    Ok(StmtKind::Skip)
                 }
                 "tick" => {
                     self.pos += 1;
                     self.expect_symbol("(")?;
                     let c = self.expect_number()?;
                     self.expect_symbol(")")?;
-                    Ok(Stmt::Tick(c))
+                    Ok(StmtKind::Tick(c))
                 }
                 "call" => {
                     self.pos += 1;
                     let name = self.expect_ident()?;
-                    Ok(Stmt::Call(name))
+                    Ok(StmtKind::Call(name))
                 }
                 "if" => self.parse_if(),
                 "while" => self.parse_while(),
@@ -361,12 +441,12 @@ impl Parser {
                         Some(Token::Symbol(":=")) => {
                             self.pos += 1;
                             let e = self.parse_expr()?;
-                            Ok(Stmt::Assign(Var::new(&name), e))
+                            Ok(StmtKind::Assign(Var::new(&name), e))
                         }
                         Some(Token::Symbol("~")) => {
                             self.pos += 1;
                             let d = self.parse_dist()?;
-                            Ok(Stmt::Sample(Var::new(&name), d))
+                            Ok(StmtKind::Sample(Var::new(&name), d))
                         }
                         other => Err(ParseError::new(
                             format!("expected `:=` or `~` after `{name}`, found {other:?}"),
@@ -382,7 +462,7 @@ impl Parser {
         }
     }
 
-    fn parse_if(&mut self) -> Result<Stmt, ParseError> {
+    fn parse_if(&mut self) -> Result<StmtKind, ParseError> {
         self.expect_keyword("if")?;
         if self.at_keyword("prob") {
             self.pos += 1;
@@ -395,10 +475,10 @@ impl Parser {
                 self.pos += 1;
                 self.parse_stmts()?
             } else {
-                Stmt::Skip
+                Stmt::new(StmtKind::Skip)
             };
             self.expect_keyword("fi")?;
-            Ok(Stmt::IfProb(p, Box::new(s1), Box::new(s2)))
+            Ok(StmtKind::IfProb(p, Box::new(s1), Box::new(s2)))
         } else {
             let cond = self.parse_cond()?;
             self.expect_keyword("then")?;
@@ -407,20 +487,20 @@ impl Parser {
                 self.pos += 1;
                 self.parse_stmts()?
             } else {
-                Stmt::Skip
+                Stmt::new(StmtKind::Skip)
             };
             self.expect_keyword("fi")?;
-            Ok(Stmt::If(cond, Box::new(s1), Box::new(s2)))
+            Ok(StmtKind::If(cond, Box::new(s1), Box::new(s2)))
         }
     }
 
-    fn parse_while(&mut self) -> Result<Stmt, ParseError> {
+    fn parse_while(&mut self) -> Result<StmtKind, ParseError> {
         self.expect_keyword("while")?;
         let cond = self.parse_cond()?;
         self.expect_keyword("do")?;
         let body = self.parse_stmts()?;
         self.expect_keyword("od")?;
-        Ok(Stmt::While(cond, Box::new(body)))
+        Ok(StmtKind::While(cond, Box::new(body)))
     }
 
     // -- distributions ----------------------------------------------------
@@ -600,12 +680,79 @@ impl Parser {
     }
 }
 
+/// The raw output of a parse, before program-level validation.
+struct ProgramParts {
+    functions: Vec<Function>,
+    main: Stmt,
+    precondition: Vec<Cond>,
+}
+
+impl ProgramParts {
+    /// Spanned validation of statement-local properties: distribution
+    /// parameters, probability annotations, and call targets.  Mirrors
+    /// [`Program::new`]'s checks but points at the offending statement.
+    fn validate_spanned(&self) -> Result<(), ParseError> {
+        let names: std::collections::BTreeSet<&str> =
+            self.functions.iter().map(|f| f.name()).collect();
+        let mut bodies: Vec<&Stmt> = self.functions.iter().map(|f| f.body()).collect();
+        bodies.push(&self.main);
+        for body in bodies {
+            validate_stmt_spanned(body, &names)?;
+        }
+        Ok(())
+    }
+}
+
+fn validate_stmt_spanned(
+    stmt: &Stmt,
+    functions: &std::collections::BTreeSet<&str>,
+) -> Result<(), ParseError> {
+    match stmt.kind() {
+        StmtKind::Sample(_, d) => d.validate().map_err(|msg| {
+            ParseError::spanned(format!("invalid distribution: {msg}"), stmt.span())
+        }),
+        StmtKind::Call(f) => {
+            if functions.contains(f.as_str()) {
+                Ok(())
+            } else {
+                Err(ParseError::spanned(
+                    format!("call to undeclared function `{f}`"),
+                    stmt.span(),
+                ))
+            }
+        }
+        StmtKind::IfProb(p, a, b) => {
+            if !(0.0..=1.0).contains(p) {
+                return Err(ParseError::spanned(
+                    format!("probability {p} is not in [0, 1]"),
+                    stmt.span(),
+                ));
+            }
+            validate_stmt_spanned(a, functions)?;
+            validate_stmt_spanned(b, functions)
+        }
+        StmtKind::If(_, a, b) => {
+            validate_stmt_spanned(a, functions)?;
+            validate_stmt_spanned(b, functions)
+        }
+        StmtKind::While(_, s) => validate_stmt_spanned(s, functions),
+        StmtKind::Seq(ss) => {
+            for s in ss {
+                validate_stmt_spanned(s, functions)?;
+            }
+            Ok(())
+        }
+        StmtKind::Skip | StmtKind::Tick(_) | StmtKind::Assign(..) => Ok(()),
+    }
+}
+
 /// Parses a complete Appl program from its textual representation.
 ///
 /// # Errors
 ///
 /// Returns a [`ParseError`] describing the first syntactic or semantic
-/// (validation) problem encountered.
+/// (validation) problem encountered, with line/column information and a
+/// caret-annotated snippet.
 ///
 /// ```
 /// let source = r#"
@@ -627,6 +774,35 @@ impl Parser {
 /// assert!(program.function("rdwalk").is_some());
 /// ```
 pub fn parse_program(source: &str) -> Result<Program, ParseError> {
+    let map = SourceMap::new(source);
+    let parts = parse_parts(source).map_err(|e| e.resolved(&map))?;
+    parts.validate_spanned().map_err(|e| e.resolved(&map))?;
+    Program::new(parts.functions, parts.main, parts.precondition)
+        .map_err(|e| ParseError::from(e).resolved(&map))
+}
+
+/// Parses a program *without* validating call targets, probabilities, or
+/// distribution parameters.
+///
+/// This is the entry point for diagnostics tooling (`cma check`), which wants
+/// to see the malformed AST so it can report every problem with a source span
+/// instead of stopping at the first validation failure.  Programs obtained
+/// this way must not be fed to the analysis or the simulator.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] for syntactic problems only.
+pub fn parse_program_unchecked(source: &str) -> Result<Program, ParseError> {
+    let map = SourceMap::new(source);
+    let parts = parse_parts(source).map_err(|e| e.resolved(&map))?;
+    Ok(Program::new_unchecked(
+        parts.functions,
+        parts.main,
+        parts.precondition,
+    ))
+}
+
+fn parse_parts(source: &str) -> Result<ProgramParts, ParseError> {
     let tokens = Lexer::new(source).tokenize()?;
     let mut parser = Parser { tokens, pos: 0 };
     parser.parse_program()
@@ -661,8 +837,8 @@ mod tests {
         assert_eq!(p.precondition().len(), 1);
         let f = p.function("rdwalk").unwrap();
         assert_eq!(f.precondition().len(), 1);
-        assert!(matches!(f.body(), Stmt::If(..)));
-        assert!(matches!(p.main(), Stmt::Seq(ss) if ss.len() == 2));
+        assert!(matches!(f.body().kind(), StmtKind::If(..)));
+        assert!(matches!(p.main().kind(), StmtKind::Seq(ss) if ss.len() == 2));
     }
 
     #[test]
@@ -684,7 +860,7 @@ mod tests {
             end
         "#;
         let p = parse_program(src).unwrap();
-        assert!(matches!(p.main(), Stmt::Seq(_)));
+        assert!(matches!(p.main().kind(), StmtKind::Seq(_)));
         let text = p.to_string();
         assert!(text.contains("while"));
         assert!(text.contains("prob(0.25)"));
@@ -723,11 +899,11 @@ mod tests {
             end
         "#;
         let p = parse_program(src).unwrap();
-        match p.main() {
-            Stmt::Seq(ss) => {
-                assert!(matches!(&ss[0], Stmt::Assign(_, Expr::Const(c)) if *c == -3.0));
+        match p.main().kind() {
+            StmtKind::Seq(ss) => {
+                assert!(matches!(ss[0].kind(), StmtKind::Assign(_, Expr::Const(c)) if *c == -3.0));
                 assert!(
-                    matches!(&ss[1], Stmt::Sample(_, Dist::Uniform(a, b)) if *a == -2.5 && *b == -0.5)
+                    matches!(ss[1].kind(), StmtKind::Sample(_, Dist::Uniform(a, b)) if *a == -2.5 && *b == -0.5)
                 );
             }
             other => panic!("unexpected main {other:?}"),
@@ -767,5 +943,62 @@ mod tests {
         let err = parse_program("func main() begin @ end").unwrap_err();
         assert!(err.to_string().contains("parse error"));
         assert!(!err.message().is_empty());
+    }
+
+    #[test]
+    fn parse_errors_carry_line_column_and_snippet() {
+        let err = parse_program("func main() begin\n  x := @\nend").unwrap_err();
+        assert_eq!(err.line(), 2);
+        assert_eq!(err.col(), 8);
+        let rendered = err.to_string();
+        assert!(rendered.contains("parse error at 2:8"), "{rendered}");
+        assert!(rendered.contains("x := @"), "{rendered}");
+        assert!(rendered.contains('^'), "{rendered}");
+    }
+
+    #[test]
+    fn validation_errors_point_at_the_offending_statement() {
+        let err = parse_program("func main() begin\n  t ~ uniform(2, 1)\nend").unwrap_err();
+        assert_eq!(err.line(), 2);
+        assert_eq!(err.col(), 3);
+        assert!(err.message().contains("invalid distribution"));
+        assert!(err.to_string().contains("t ~ uniform(2, 1)"));
+
+        let err = parse_program("func main() begin\n  call ghost\nend").unwrap_err();
+        assert_eq!(err.line(), 2);
+        assert!(err.message().contains("ghost"));
+
+        let err =
+            parse_program("func main() begin\n  if prob(1.5) then tick(1) fi\nend").unwrap_err();
+        assert_eq!(err.line(), 2);
+        assert!(err.message().contains("1.5"));
+    }
+
+    #[test]
+    fn statements_carry_source_spans() {
+        let src = "func main() begin\n  x := 0;\n  tick(1)\nend";
+        let p = parse_program(src).unwrap();
+        match p.main().kind() {
+            StmtKind::Seq(ss) => {
+                let assign_span = ss[0].span();
+                assert_eq!(&src[assign_span.start..assign_span.end], "x := 0");
+                let tick_span = ss[1].span();
+                assert_eq!(&src[tick_span.start..tick_span.end], "tick(1)");
+            }
+            other => panic!("unexpected main {other:?}"),
+        }
+        // The sequence span covers both statements.
+        assert_eq!(
+            &src[p.main().span().start..p.main().span().end],
+            "x := 0;\n  tick(1)"
+        );
+    }
+
+    #[test]
+    fn unchecked_parse_accepts_invalid_programs() {
+        let p = parse_program_unchecked("func main() begin\n  t ~ uniform(2, 1)\nend").unwrap();
+        assert!(matches!(p.main().kind(), StmtKind::Sample(..)));
+        let p = parse_program_unchecked("func main() begin call ghost end").unwrap();
+        assert!(matches!(p.main().kind(), StmtKind::Call(..)));
     }
 }

@@ -6,7 +6,7 @@
 
 use std::fmt;
 
-use crate::ast::{Cond, Expr, Function, Program, Stmt};
+use crate::ast::{Cond, Expr, Function, Program, Stmt, StmtKind};
 
 impl fmt::Display for Expr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -49,32 +49,32 @@ fn indent(f: &mut fmt::Formatter<'_>, level: usize) -> fmt::Result {
 }
 
 fn fmt_stmt(stmt: &Stmt, f: &mut fmt::Formatter<'_>, level: usize) -> fmt::Result {
-    match stmt {
-        Stmt::Skip => {
+    match stmt.kind() {
+        StmtKind::Skip => {
             indent(f, level)?;
             write!(f, "skip")
         }
-        Stmt::Tick(c) => {
+        StmtKind::Tick(c) => {
             indent(f, level)?;
             write!(f, "tick({c})")
         }
-        Stmt::Assign(x, e) => {
+        StmtKind::Assign(x, e) => {
             indent(f, level)?;
             write!(f, "{x} := {e}")
         }
-        Stmt::Sample(x, d) => {
+        StmtKind::Sample(x, d) => {
             indent(f, level)?;
             write!(f, "{x} ~ {d}")
         }
-        Stmt::Call(name) => {
+        StmtKind::Call(name) => {
             indent(f, level)?;
             write!(f, "call {name}")
         }
-        Stmt::If(c, s1, s2) => {
+        StmtKind::If(c, s1, s2) => {
             indent(f, level)?;
             writeln!(f, "if {c} then")?;
             fmt_stmt(s1, f, level + 1)?;
-            if **s2 != Stmt::Skip {
+            if !matches!(s2.kind(), StmtKind::Skip) {
                 writeln!(f)?;
                 indent(f, level)?;
                 writeln!(f, "else")?;
@@ -84,11 +84,11 @@ fn fmt_stmt(stmt: &Stmt, f: &mut fmt::Formatter<'_>, level: usize) -> fmt::Resul
             indent(f, level)?;
             write!(f, "fi")
         }
-        Stmt::IfProb(p, s1, s2) => {
+        StmtKind::IfProb(p, s1, s2) => {
             indent(f, level)?;
             writeln!(f, "if prob({p}) then")?;
             fmt_stmt(s1, f, level + 1)?;
-            if **s2 != Stmt::Skip {
+            if !matches!(s2.kind(), StmtKind::Skip) {
                 writeln!(f)?;
                 indent(f, level)?;
                 writeln!(f, "else")?;
@@ -98,7 +98,7 @@ fn fmt_stmt(stmt: &Stmt, f: &mut fmt::Formatter<'_>, level: usize) -> fmt::Resul
             indent(f, level)?;
             write!(f, "fi")
         }
-        Stmt::While(c, s) => {
+        StmtKind::While(c, s) => {
             indent(f, level)?;
             writeln!(f, "while {c} do")?;
             fmt_stmt(s, f, level + 1)?;
@@ -106,7 +106,7 @@ fn fmt_stmt(stmt: &Stmt, f: &mut fmt::Formatter<'_>, level: usize) -> fmt::Resul
             indent(f, level)?;
             write!(f, "od")
         }
-        Stmt::Seq(stmts) => {
+        StmtKind::Seq(stmts) => {
             if stmts.is_empty() {
                 indent(f, level)?;
                 return write!(f, "skip");

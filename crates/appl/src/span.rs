@@ -1,0 +1,191 @@
+//! Source spans and source-position resolution.
+//!
+//! Every statement parsed from text carries a [`Span`] — a half-open byte
+//! range into the original source — so diagnostics (`cma check`, parse
+//! errors) and downstream consumers ([`crate::facts::RangeFacts`]) can point
+//! back at the program text.  Programs constructed through the builder DSL
+//! use [`Span::DUMMY`]; span-keyed facilities simply do not apply to them.
+
+/// A half-open byte range `[start, end)` into a source string.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Span {
+    /// Byte offset of the first byte covered.
+    pub start: usize,
+    /// Byte offset one past the last byte covered.
+    pub end: usize,
+}
+
+impl Span {
+    /// The span of synthetic nodes (builder DSL, desugaring): `[0, 0)`.
+    pub const DUMMY: Span = Span { start: 0, end: 0 };
+
+    /// A span covering `[start, end)`.
+    pub fn new(start: usize, end: usize) -> Self {
+        Span {
+            start,
+            end: end.max(start),
+        }
+    }
+
+    /// Whether this is the synthetic dummy span.
+    pub fn is_dummy(&self) -> bool {
+        *self == Span::DUMMY
+    }
+
+    /// The smallest span covering both `self` and `other`.  A dummy operand
+    /// yields the other span unchanged.
+    pub fn merge(self, other: Span) -> Span {
+        if self.is_dummy() {
+            other
+        } else if other.is_dummy() {
+            self
+        } else {
+            Span::new(self.start.min(other.start), self.end.max(other.end))
+        }
+    }
+}
+
+/// A 1-based line/column position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LineCol {
+    /// 1-based line number.
+    pub line: usize,
+    /// 1-based column (in bytes from the start of the line).
+    pub col: usize,
+}
+
+impl std::fmt::Display for LineCol {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Resolves byte offsets of one source string to lines and columns and
+/// renders caret-annotated snippets.
+#[derive(Debug, Clone)]
+pub struct SourceMap {
+    source: String,
+    /// Byte offsets at which each line starts (`line_starts[0] == 0`).
+    line_starts: Vec<usize>,
+}
+
+impl SourceMap {
+    /// Indexes `source` for position lookups.
+    pub fn new(source: &str) -> Self {
+        let mut line_starts = vec![0];
+        for (i, b) in source.bytes().enumerate() {
+            if b == b'\n' {
+                line_starts.push(i + 1);
+            }
+        }
+        SourceMap {
+            source: source.to_string(),
+            line_starts,
+        }
+    }
+
+    /// The source text this map indexes.
+    pub fn source(&self) -> &str {
+        &self.source
+    }
+
+    /// The 1-based line/column of a byte offset (clamped to the source).
+    pub fn line_col(&self, offset: usize) -> LineCol {
+        let offset = offset.min(self.source.len());
+        let line_idx = match self.line_starts.binary_search(&offset) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        LineCol {
+            line: line_idx + 1,
+            col: offset - self.line_starts[line_idx] + 1,
+        }
+    }
+
+    /// The text of the 1-based line `line`, without its newline.
+    pub fn line_text(&self, line: usize) -> &str {
+        let idx = line.saturating_sub(1);
+        let start = *self.line_starts.get(idx).unwrap_or(&self.source.len());
+        let end = self
+            .line_starts
+            .get(idx + 1)
+            .map(|s| s - 1)
+            .unwrap_or(self.source.len());
+        self.source.get(start..end.max(start)).unwrap_or("")
+    }
+
+    /// A caret-annotated snippet pointing at `span`, e.g.:
+    ///
+    /// ```text
+    ///   3 | x := uniform(2, 1)
+    ///     |      ^^^^^^^^^^^^^
+    /// ```
+    pub fn snippet(&self, span: Span) -> String {
+        let at = self.line_col(span.start);
+        let text = self.line_text(at.line);
+        let gutter = at.line.to_string();
+        let caret_len = if span.end > span.start {
+            let same_line = self.line_col(span.end.saturating_sub(1)).line == at.line;
+            if same_line {
+                span.end - span.start
+            } else {
+                text.len().saturating_sub(at.col - 1).max(1)
+            }
+        } else {
+            1
+        };
+        let mut out = String::new();
+        out.push_str(&format!("{gutter} | {text}\n"));
+        out.push_str(&format!(
+            "{} | {}{}",
+            " ".repeat(gutter.len()),
+            " ".repeat(at.col - 1),
+            "^".repeat(caret_len.max(1))
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dummy_span_merges_as_identity() {
+        let s = Span::new(3, 9);
+        assert_eq!(Span::DUMMY.merge(s), s);
+        assert_eq!(s.merge(Span::DUMMY), s);
+        assert_eq!(s.merge(Span::new(1, 4)), Span::new(1, 9));
+        assert!(Span::DUMMY.is_dummy());
+        assert!(!s.is_dummy());
+    }
+
+    #[test]
+    fn line_col_resolution() {
+        let map = SourceMap::new("abc\ndef\n\nghi");
+        assert_eq!(map.line_col(0), LineCol { line: 1, col: 1 });
+        assert_eq!(map.line_col(2), LineCol { line: 1, col: 3 });
+        assert_eq!(map.line_col(4), LineCol { line: 2, col: 1 });
+        assert_eq!(map.line_col(8), LineCol { line: 3, col: 1 });
+        assert_eq!(map.line_col(9), LineCol { line: 4, col: 1 });
+        // Past the end clamps to the last position.
+        assert_eq!(map.line_col(1000), LineCol { line: 4, col: 4 });
+        assert_eq!(map.line_col(9).to_string(), "4:1");
+    }
+
+    #[test]
+    fn snippet_renders_caret_under_span() {
+        let map = SourceMap::new("x := 1;\ny := uniform(2, 1)");
+        let snippet = map.snippet(Span::new(13, 26));
+        let lines: Vec<&str> = snippet.lines().collect();
+        assert_eq!(lines[0], "2 | y := uniform(2, 1)");
+        assert_eq!(lines[1], "  |      ^^^^^^^^^^^^^");
+    }
+
+    #[test]
+    fn snippet_of_empty_span_shows_single_caret() {
+        let map = SourceMap::new("abc");
+        let snippet = map.snippet(Span::new(1, 1));
+        assert!(snippet.ends_with(" ^"));
+    }
+}

@@ -1,0 +1,184 @@
+//! Structured diagnostics with stable codes.
+//!
+//! Every lint the checker can raise has a stable `CMAnnn` code so that CI
+//! jobs, golden tests, and editor integrations can match on it without
+//! parsing prose.  A [`Diagnostic`] carries the source [`Span`] of the
+//! offending statement and, once resolved against a [`SourceMap`], a
+//! 1-based line:column plus a caret-annotated snippet.
+
+use std::fmt;
+
+use cma_appl::{LineCol, SourceMap, Span};
+
+/// Stable lint codes.  The numeric part never changes meaning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Code {
+    /// CMA001 — a variable may be read before it is initialized.
+    UseBeforeInit,
+    /// CMA002 — a branch (or loop body) is statically unreachable.
+    RefutedBranch,
+    /// CMA003 — constant distribution/probability parameters are invalid.
+    InvalidDistribution,
+    /// CMA004 — no variable of a loop guard is ever written in the body.
+    StuckLoopGuard,
+    /// CMA005 — a variable is written but never read.
+    UnusedVariable,
+    /// CMA006 — a call to an undefined function, or unconditional recursion.
+    BadCall,
+    /// CMA007 — a negative `tick` under the nonnegative-cost soundness mode.
+    NegativeTick,
+}
+
+impl Code {
+    /// The stable `CMAnnn` string for this code.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Code::UseBeforeInit => "CMA001",
+            Code::RefutedBranch => "CMA002",
+            Code::InvalidDistribution => "CMA003",
+            Code::StuckLoopGuard => "CMA004",
+            Code::UnusedVariable => "CMA005",
+            Code::BadCall => "CMA006",
+            Code::NegativeTick => "CMA007",
+        }
+    }
+}
+
+impl fmt::Display for Code {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// How severe a diagnostic is.  Errors abort analysis/simulation; warnings
+/// are advisory unless promoted by `--deny warnings`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Advisory: the program is well-formed but probably not what was meant.
+    Warning,
+    /// The program cannot be analyzed or simulated meaningfully.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => f.write_str("warning"),
+            Severity::Error => f.write_str("error"),
+        }
+    }
+}
+
+/// One checker finding: code, severity, message, and source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    code: Code,
+    severity: Severity,
+    message: String,
+    span: Span,
+    line_col: Option<LineCol>,
+    snippet: Option<String>,
+}
+
+impl Diagnostic {
+    /// A new, unresolved diagnostic at `span`.
+    pub fn new(code: Code, severity: Severity, message: impl Into<String>, span: Span) -> Self {
+        Diagnostic {
+            code,
+            severity,
+            message: message.into(),
+            span,
+            line_col: None,
+            snippet: None,
+        }
+    }
+
+    /// Fills in line:column and the caret snippet from the source map.
+    /// Diagnostics at dummy spans (builder-constructed programs) stay
+    /// unresolved.
+    pub fn resolve(&mut self, map: &SourceMap) {
+        if !self.span.is_dummy() {
+            self.line_col = Some(map.line_col(self.span.start));
+            self.snippet = Some(map.snippet(self.span));
+        }
+    }
+
+    /// The stable lint code.
+    pub fn code(&self) -> Code {
+        self.code
+    }
+
+    /// The severity.
+    pub fn severity(&self) -> Severity {
+        self.severity
+    }
+
+    /// The human-readable message (no position information).
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+
+    /// The byte span of the offending statement.
+    pub fn span(&self) -> Span {
+        self.span
+    }
+
+    /// 1-based line:column, when resolved against a source map.
+    pub fn line_col(&self) -> Option<LineCol> {
+        self.line_col
+    }
+
+    /// The caret-annotated source snippet, when resolved.
+    pub fn snippet(&self) -> Option<&str> {
+        self.snippet.as_deref()
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]: {}", self.severity, self.code, self.message)?;
+        if let Some(lc) = self.line_col {
+            write!(f, "\n --> {lc}")?;
+        }
+        if let Some(snippet) = &self.snippet {
+            write!(f, "\n{snippet}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_stable() {
+        assert_eq!(Code::UseBeforeInit.as_str(), "CMA001");
+        assert_eq!(Code::RefutedBranch.as_str(), "CMA002");
+        assert_eq!(Code::InvalidDistribution.as_str(), "CMA003");
+        assert_eq!(Code::StuckLoopGuard.as_str(), "CMA004");
+        assert_eq!(Code::UnusedVariable.as_str(), "CMA005");
+        assert_eq!(Code::BadCall.as_str(), "CMA006");
+        assert_eq!(Code::NegativeTick.as_str(), "CMA007");
+    }
+
+    #[test]
+    fn display_with_and_without_resolution() {
+        let mut d = Diagnostic::new(
+            Code::UnusedVariable,
+            Severity::Warning,
+            "variable `w` is written but never read",
+            Span::new(8, 14),
+        );
+        assert_eq!(
+            d.to_string(),
+            "warning[CMA005]: variable `w` is written but never read"
+        );
+        let map = SourceMap::new("w := 1;\nw := 2\n");
+        d.resolve(&map);
+        let text = d.to_string();
+        assert!(text.contains(" --> 2:1"), "{text}");
+        assert!(text.contains("w := 2"), "{text}");
+        assert!(text.contains('^'), "{text}");
+    }
+}

@@ -1,0 +1,288 @@
+//! Definite-initialization analysis (CMA001).
+//!
+//! Appl has no declarations: a variable springs into existence on first
+//! write, and the simulator reads unwritten variables as 0.  That default is
+//! almost never intended, so this pass warns about every variable that *may*
+//! be read before it *must* have been written.
+//!
+//! The analysis is interprocedural: each function gets a summary — the set
+//! of variables it may read before initializing them itself, and the set it
+//! initializes on every path — computed as a fixpoint over the call graph
+//! (recursion makes one round insufficient).  Variables mentioned in a
+//! precondition count as initialized inputs: a precondition is exactly the
+//! caller's promise about the entry state.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use cma_appl::{Cond, Program, Span, Stmt, StmtKind, Var};
+
+use crate::diagnostics::{Code, Diagnostic, Severity};
+use crate::CheckConfig;
+
+/// Per-function summary for the interprocedural fixpoint.
+#[derive(Clone, PartialEq)]
+struct Summary {
+    /// Variables the function may read before initializing them itself
+    /// (beyond its own precondition).
+    reads: BTreeSet<Var>,
+    /// Variables the function initializes on every path.
+    inits: BTreeSet<Var>,
+}
+
+/// A deduplicated first-read event: where `var` was first read while
+/// possibly uninitialized, and through which call (if any).
+struct Event {
+    var: Var,
+    span: Span,
+    via: Option<String>,
+}
+
+/// Accumulates read-before-init events, one per variable per unit.
+#[derive(Default)]
+struct Collector {
+    seen: BTreeSet<Var>,
+    events: Vec<Event>,
+}
+
+impl Collector {
+    fn read(&mut self, var: &Var, init: &BTreeSet<Var>, span: Span, via: Option<&str>) {
+        if !init.contains(var) && self.seen.insert(var.clone()) {
+            self.events.push(Event {
+                var: var.clone(),
+                span,
+                via: via.map(str::to_string),
+            });
+        }
+    }
+}
+
+pub(crate) fn check(program: &Program, config: &CheckConfig, diags: &mut Vec<Diagnostic>) {
+    let summaries = compute_summaries(program);
+
+    // Report on `main` only: reads inside a function surface at the call
+    // site that reaches them, which is where the missing write belongs.
+    let mut init = cond_vars(program.precondition());
+    init.extend(config.assume_init.iter().cloned());
+    let mut col = Collector::default();
+    flow(program.main(), &mut init, &mut col, &summaries);
+
+    for event in col.events {
+        let message = match &event.via {
+            Some(callee) => format!(
+                "call to `{callee}` may read `{}` before it is initialized \
+                 (the simulator reads uninitialized variables as 0)",
+                event.var.name()
+            ),
+            None => format!(
+                "variable `{}` may be read before it is initialized \
+                 (the simulator reads uninitialized variables as 0)",
+                event.var.name()
+            ),
+        };
+        diags.push(Diagnostic::new(
+            Code::UseBeforeInit,
+            Severity::Warning,
+            message,
+            event.span,
+        ));
+    }
+}
+
+fn cond_vars(conds: &[Cond]) -> BTreeSet<Var> {
+    let mut set = BTreeSet::new();
+    for c in conds {
+        set.extend(c.vars());
+    }
+    set
+}
+
+/// Computes function summaries to a fixpoint: `reads` grows from empty
+/// (least fixpoint), `inits` shrinks from all program variables (greatest
+/// fixpoint) — the right directions for recursion.
+fn compute_summaries(program: &Program) -> BTreeMap<String, Summary> {
+    let all_vars: BTreeSet<Var> = program.vars().into_iter().collect();
+    let mut summaries: BTreeMap<String, Summary> = program
+        .functions()
+        .map(|f| {
+            (
+                f.name().to_string(),
+                Summary {
+                    reads: BTreeSet::new(),
+                    inits: all_vars.clone(),
+                },
+            )
+        })
+        .collect();
+
+    // Both lattices are finite and the updates are monotone, so this
+    // terminates; the cap is sheer paranoia.
+    for _ in 0..64 {
+        let mut changed = false;
+        for f in program.functions() {
+            // May-reads, assuming the precondition describes the entry.
+            let mut init = cond_vars(f.precondition());
+            let mut col = Collector::default();
+            flow(f.body(), &mut init, &mut col, &summaries);
+            let reads: BTreeSet<Var> = col.events.into_iter().map(|e| e.var).collect();
+
+            // Must-inits, from a bare entry (precondition vars are the
+            // *caller's* obligation, not something the callee wrote).
+            let mut inits = BTreeSet::new();
+            let mut ignore = Collector::default();
+            flow(f.body(), &mut inits, &mut ignore, &summaries);
+
+            let entry = summaries.get_mut(f.name()).expect("summary seeded above");
+            if entry.reads != reads || entry.inits != inits {
+                entry.reads = reads;
+                entry.inits = inits;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    summaries
+}
+
+/// Forward must-init transfer over one statement. `init` is branch-local;
+/// `col` accumulates events globally for the unit.
+fn flow(
+    stmt: &Stmt,
+    init: &mut BTreeSet<Var>,
+    col: &mut Collector,
+    summaries: &BTreeMap<String, Summary>,
+) {
+    match stmt.kind() {
+        StmtKind::Skip | StmtKind::Tick(_) => {}
+        StmtKind::Assign(x, e) => {
+            for v in e.vars() {
+                col.read(&v, init, stmt.span(), None);
+            }
+            init.insert(x.clone());
+        }
+        StmtKind::Sample(x, _) => {
+            init.insert(x.clone());
+        }
+        StmtKind::Call(f) => {
+            if let Some(summary) = summaries.get(f) {
+                for v in &summary.reads {
+                    col.read(v, init, stmt.span(), Some(f));
+                }
+                init.extend(summary.inits.iter().cloned());
+            }
+        }
+        StmtKind::If(c, a, b) => {
+            for v in c.vars() {
+                col.read(&v, init, stmt.span(), None);
+            }
+            let mut init_a = init.clone();
+            flow(a, &mut init_a, col, summaries);
+            let mut init_b = init.clone();
+            flow(b, &mut init_b, col, summaries);
+            *init = init_a.intersection(&init_b).cloned().collect();
+        }
+        StmtKind::IfProb(_, a, b) => {
+            let mut init_a = init.clone();
+            flow(a, &mut init_a, col, summaries);
+            let mut init_b = init.clone();
+            flow(b, &mut init_b, col, summaries);
+            *init = init_a.intersection(&init_b).cloned().collect();
+        }
+        StmtKind::While(c, body) => {
+            for v in c.vars() {
+                col.read(&v, init, stmt.span(), None);
+            }
+            // The body may run zero times: reads inside are "may", writes
+            // inside do not survive to the continuation.
+            let mut init_body = init.clone();
+            flow(body, &mut init_body, col, summaries);
+        }
+        StmtKind::Seq(ss) => {
+            for s in ss {
+                flow(s, init, col, summaries);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use cma_appl::parse_program_unchecked;
+
+    use super::*;
+
+    fn warnings(source: &str) -> Vec<String> {
+        let program = parse_program_unchecked(source).unwrap();
+        let mut diags = Vec::new();
+        check(&program, &CheckConfig::default(), &mut diags);
+        diags.iter().map(|d| d.message().to_string()).collect()
+    }
+
+    #[test]
+    fn direct_read_before_init_warns_once_per_variable() {
+        let got = warnings("func main() begin\n  y := x + 1;\n  z := x + y\nend\n");
+        assert_eq!(got.len(), 1, "{got:?}");
+        assert!(got[0].contains("`x`"), "{got:?}");
+    }
+
+    #[test]
+    fn precondition_variables_count_as_initialized() {
+        assert!(warnings("pre x >= 0\nfunc main() begin y := x + 1 end\n").is_empty());
+    }
+
+    #[test]
+    fn branch_writes_do_not_definitely_initialize() {
+        let source = "func main() begin\n  if prob(0.5) then x := 1 else skip fi;\n  y := x\nend\n";
+        let got = warnings(source);
+        assert_eq!(got.len(), 1, "{got:?}");
+        assert!(got[0].contains("`x`"), "{got:?}");
+        let both = "func main() begin\n  if prob(0.5) then x := 1 else x := 2 fi;\n  y := x\nend\n";
+        assert!(warnings(both).is_empty());
+    }
+
+    #[test]
+    fn loop_body_writes_do_not_survive_the_loop() {
+        let source = "pre n >= 0\nfunc main() begin\n  while 1 <= n do x := 1; n := n - 1 od;\n  y := x\nend\n";
+        let got = warnings(source);
+        assert_eq!(got.len(), 1, "{got:?}");
+        assert!(got[0].contains("`x`"), "{got:?}");
+    }
+
+    #[test]
+    fn uninitialized_reads_inside_callees_surface_at_the_call_site() {
+        let source = "func f() begin y := x + 1 end\nfunc main() begin call f end\n";
+        let got = warnings(source);
+        assert_eq!(got.len(), 1, "{got:?}");
+        assert!(got[0].contains("`f`") && got[0].contains("`x`"), "{got:?}");
+        // Initializing before the call silences it.
+        let fixed = "func f() begin y := x + 1 end\nfunc main() begin x := 0; call f end\n";
+        assert!(warnings(fixed).is_empty());
+    }
+
+    #[test]
+    fn callee_preconditions_count_as_initialized_inside_the_callee() {
+        let source = "func f()\n  pre x >= 0\nbegin y := x + 1 end\nfunc main() begin call f end\n";
+        assert!(warnings(source).is_empty());
+    }
+
+    #[test]
+    fn recursion_reaches_a_fixpoint() {
+        // rdwalk-shaped recursion: `x` and `d` are covered by preconditions.
+        let source = "pre d > 0\nfunc rdwalk()\n  pre x < d\nbegin\n  if x < d then t ~ uniform(-1, 2); x := x + t; call rdwalk; tick(1) fi\nend\nfunc main() begin x := 0; call rdwalk end\n";
+        assert!(warnings(source).is_empty());
+    }
+
+    #[test]
+    fn assume_init_silences_benchmark_inputs() {
+        let source = "func main() begin y := x + 1 end\n";
+        let program = parse_program_unchecked(source).unwrap();
+        let mut diags = Vec::new();
+        let config = CheckConfig {
+            assume_init: [Var::new("x")].into_iter().collect(),
+            ..CheckConfig::default()
+        };
+        check(&program, &config, &mut diags);
+        assert!(diags.is_empty());
+    }
+}

@@ -1,0 +1,111 @@
+//! Golden tests over the `examples/lints/` fixtures: one deliberately bad
+//! program per diagnostic code, each of which must produce exactly that
+//! diagnostic at the expected line:column.
+
+use std::path::PathBuf;
+
+use cma_check::{check_source, CheckConfig, Code, Severity};
+
+fn fixture(name: &str) -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../examples/lints")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+/// Each fixture yields exactly one diagnostic: the seeded code, at the
+/// seeded position.
+#[test]
+fn each_fixture_reports_its_seeded_code_at_the_right_position() {
+    let expected: [(&str, Code, Severity, (usize, usize)); 7] = [
+        (
+            "cma001_use_before_init.appl",
+            Code::UseBeforeInit,
+            Severity::Warning,
+            (4, 3),
+        ),
+        (
+            "cma002_refuted_branch.appl",
+            Code::RefutedBranch,
+            Severity::Warning,
+            (5, 3),
+        ),
+        (
+            "cma003_invalid_dist.appl",
+            Code::InvalidDistribution,
+            Severity::Error,
+            (3, 3),
+        ),
+        (
+            "cma004_stuck_loop.appl",
+            Code::StuckLoopGuard,
+            Severity::Warning,
+            (6, 3),
+        ),
+        (
+            "cma005_unused_var.appl",
+            Code::UnusedVariable,
+            Severity::Warning,
+            (4, 3),
+        ),
+        (
+            "cma006_undefined_call.appl",
+            Code::BadCall,
+            Severity::Error,
+            (3, 3),
+        ),
+        (
+            "cma007_negative_tick.appl",
+            Code::NegativeTick,
+            Severity::Error,
+            (4, 3),
+        ),
+    ];
+    // CMA007 only fires under the nonnegative-cost mode; enabling it must
+    // not perturb any other fixture's single diagnostic.
+    let config = CheckConfig {
+        nonneg_cost: true,
+        ..CheckConfig::default()
+    };
+    for (name, code, severity, (line, col)) in expected {
+        let report = check_source(&fixture(name), &config).expect("fixtures parse");
+        assert_eq!(
+            report.diagnostics().len(),
+            1,
+            "{name}: expected exactly one diagnostic, got:\n{report}"
+        );
+        let d = &report.diagnostics()[0];
+        assert_eq!(d.code(), code, "{name}");
+        assert_eq!(d.severity(), severity, "{name}");
+        let lc = d.line_col().expect("resolved against the source map");
+        assert_eq!((lc.line, lc.col), (line, col), "{name}");
+        assert!(d.snippet().is_some(), "{name}: caret snippet missing");
+    }
+}
+
+/// Without `nonneg_cost` the negative-tick fixture is clean — the analysis
+/// itself handles nonmonotone costs.
+#[test]
+fn negative_tick_fixture_is_clean_by_default() {
+    let report = check_source(
+        &fixture("cma007_negative_tick.appl"),
+        &CheckConfig::default(),
+    )
+    .unwrap();
+    assert!(report.is_clean(), "{report}");
+}
+
+/// The refuted-branch and stuck-loop fixtures export the facts the
+/// inference engine prunes with.
+#[test]
+fn warning_fixtures_export_range_facts() {
+    let branch = check_source(
+        &fixture("cma002_refuted_branch.appl"),
+        &CheckConfig::default(),
+    )
+    .unwrap();
+    assert_eq!(branch.facts().refuted_count(), 1);
+
+    let unused = check_source(&fixture("cma005_unused_var.appl"), &CheckConfig::default()).unwrap();
+    assert_eq!(unused.facts().dead_template_vars().len(), 1);
+}

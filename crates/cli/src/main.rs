@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! cma analyze  <file.appl> [--degree N] [--mode global|compositional] [--json] …
-//! cma simulate <file.appl> [--trials N] [--seed N] [--json] …
+//! cma check    <file.appl>… [--deny warnings] [--nonneg-cost] [--json]
+//! cma simulate <file.appl> [--trials N] [--seed N] [--strict-init] [--json] …
 //! cma tail     <file.appl> --thresholds d1,d2,… [--json] …
 //! cma suite    list|run [name|all] [--degree N] [--json]
 //! ```
@@ -18,8 +19,8 @@ use std::process::ExitCode;
 
 use central_moment_analysis::suite::{self, Benchmark};
 use central_moment_analysis::{
-    json, Analysis, AnalysisReport, CmaError, FactorKind, LpBackend, PricingRule, SolveMode,
-    SparseBackend, Var,
+    check, json, Analysis, AnalysisReport, CheckConfig, CmaError, FactorKind, LpBackend,
+    PricingRule, SolveMode, SparseBackend, Var,
 };
 
 const USAGE: &str = "\
@@ -27,6 +28,7 @@ cma — central moment analysis for cost accumulators in probabilistic programs
 
 USAGE:
     cma analyze  <file.appl> [OPTIONS]     derive moment/variance/tail bounds
+    cma check    <file.appl>… [OPTIONS]    run the static checks (CMA001–CMA007)
     cma simulate <file.appl> [OPTIONS]     Monte-Carlo estimate of the same moments
     cma tail     <file.appl> --thresholds d1,d2,… [OPTIONS]
                                            tail bounds P[C >= d] at thresholds
@@ -49,12 +51,21 @@ ANALYSIS OPTIONS:
     --valuation K=V,…    initial-state valuation, e.g. d=10,x=0
     --tail D1,D2,…       tail-bound thresholds (default 2x/4x/8x mean bound)
     --no-soundness       skip the Thm 4.4 side-condition checks
+    --no-check           skip the pre-analysis static checks
+    --no-check-pruning   run the checks but do not prune the LP with their facts
+    --nonneg-cost        enable CMA007 in the pre-analysis checks (see below)
     --label NAME         label the report (defaults to the file name)
+
+CHECK OPTIONS:
+    --deny warnings      treat warnings as fatal (exit 1)
+    --nonneg-cost        enable CMA007: every tick must be nonnegative
+    --valuation K=V,…    variables assumed initialized (suppresses CMA001)
 
 SIMULATION OPTIONS:
     --trials N           number of Monte-Carlo trials (default 10000)
     --seed N             RNG seed (default 12648430)
     --max-steps N        per-trial step budget (default 1000000)
+    --strict-init        abort a trial on any read of an uninitialized variable
 
 COMMON OPTIONS:
     --json               emit the full report as JSON on stdout
@@ -74,10 +85,11 @@ fn main() -> ExitCode {
     let result = match args[0].as_str() {
         "analyze" => cmd_analyze(&args[1..], false),
         "tail" => cmd_analyze(&args[1..], true),
+        "check" => cmd_check(&args[1..]),
         "simulate" => cmd_simulate(&args[1..]),
         "suite" => cmd_suite(&args[1..]),
         other => Err(CmaError::Usage(format!(
-            "unknown subcommand `{other}` (expected analyze, simulate, tail, or suite)"
+            "unknown subcommand `{other}` (expected analyze, check, simulate, tail, or suite)"
         ))),
     };
     match result {
@@ -139,6 +151,8 @@ struct AnalyzeOpts {
     valuation: Option<Vec<(Var, f64)>>,
     tail: Option<Vec<f64>>,
     no_soundness: bool,
+    no_check: bool,
+    no_check_pruning: bool,
     label: Option<String>,
     json: bool,
     /// Positional arguments (file name, benchmark name, …).
@@ -147,6 +161,10 @@ struct AnalyzeOpts {
     trials: Option<usize>,
     seed: Option<u64>,
     max_steps: Option<usize>,
+    strict_init: bool,
+    /// `cma check`-only knobs.
+    deny_warnings: bool,
+    nonneg_cost: bool,
 }
 
 fn parse_opts(args: &[String]) -> Result<AnalyzeOpts, CmaError> {
@@ -157,6 +175,19 @@ fn parse_opts(args: &[String]) -> Result<AnalyzeOpts, CmaError> {
         match arg.as_str() {
             "--json" => opts.json = true,
             "--no-soundness" => opts.no_soundness = true,
+            "--no-check" => opts.no_check = true,
+            "--no-check-pruning" => opts.no_check_pruning = true,
+            "--strict-init" => opts.strict_init = true,
+            "--nonneg-cost" => opts.nonneg_cost = true,
+            "--deny" => {
+                let v = it.next().ok_or_else(|| missing("--deny"))?;
+                if v != "warnings" {
+                    return Err(CmaError::Usage(format!(
+                        "invalid value `{v}` for `--deny` (expected warnings)"
+                    )));
+                }
+                opts.deny_warnings = true;
+            }
             "--degree" => {
                 let v = it.next().ok_or_else(|| missing("--degree"))?;
                 opts.degree = Some(parse_num(v, "--degree")?);
@@ -292,7 +323,11 @@ fn read_source(path: &str) -> Result<String, CmaError> {
 /// `suite run` (labels are call-site specific).  One place to wire a new
 /// flag, so the two paths cannot drift.
 fn apply_analysis_opts<B: LpBackend>(mut analysis: Analysis<B>, opts: &AnalyzeOpts) -> Analysis<B> {
-    analysis = analysis.soundness(!opts.no_soundness);
+    analysis = analysis
+        .soundness(!opts.no_soundness)
+        .check(!opts.no_check)
+        .check_pruning(!opts.no_check_pruning)
+        .check_nonneg_cost(opts.nonneg_cost);
     if let Some(degree) = opts.degree {
         analysis = analysis.degree(degree);
     }
@@ -361,7 +396,19 @@ fn cmd_analyze(args: &[String], tail_only: bool) -> Result<(), CmaError> {
     }
     let source = read_source(path)?;
     let report = run_with_backend(configured_analysis(&source, path, &opts)?, opts.backend)
-        .map_err(|e| e.with_context(format!("while analyzing `{path}`")))?;
+        .map_err(|e| {
+            print_check_diagnostics(&e);
+            e.with_context(format!("while analyzing `{path}`"))
+        })?;
+    // Checker warnings surface once, on stderr, so `--json` stdout stays a
+    // single machine-readable object (which carries them too).
+    if !opts.json {
+        if let Some(c) = &report.check {
+            for d in &c.diagnostics {
+                eprintln!("{d}");
+            }
+        }
+    }
     if opts.json {
         println!("{}", report.to_json());
     } else if tail_only {
@@ -375,8 +422,72 @@ fn cmd_analyze(args: &[String], tail_only: bool) -> Result<(), CmaError> {
     Ok(())
 }
 
+/// Prints the individual diagnostics of a failed static check to stderr
+/// (the error itself renders only the one-line summary).
+fn print_check_diagnostics(e: &CmaError) {
+    if let Some(report) = e.check_report() {
+        for d in report.diagnostics() {
+            eprintln!("{d}");
+        }
+    }
+}
+
+/// The checker configuration shared by `cma check` and the automatic checks
+/// of `analyze`/`simulate`: a `--valuation` binding counts as initialized.
+fn check_config(opts: &AnalyzeOpts) -> CheckConfig {
+    CheckConfig {
+        nonneg_cost: opts.nonneg_cost,
+        assume_init: opts
+            .valuation
+            .iter()
+            .flatten()
+            .map(|(v, _)| v.clone())
+            .collect(),
+    }
+}
+
+fn cmd_check(args: &[String]) -> Result<(), CmaError> {
+    let opts = parse_opts(args)?;
+    if opts.positional.is_empty() {
+        return Err(CmaError::Usage(
+            "expected at least one <file.appl> argument".into(),
+        ));
+    }
+    let config = check_config(&opts);
+    let many = opts.positional.len() > 1;
+    let mut failed: Option<CmaError> = None;
+    for path in &opts.positional {
+        let source = read_source(path)?;
+        let report = check::check_source(&source, &config)
+            .map_err(|e| CmaError::from(e).with_context(format!("while parsing `{path}`")))?;
+        if opts.json {
+            // One object per line (label spliced into the report object), so
+            // multi-file runs stream as JSON lines.
+            let body = report.to_json();
+            println!(
+                "{{\"label\":{},{}",
+                json::string(path),
+                body.strip_prefix('{').unwrap_or(&body)
+            );
+        } else {
+            if many {
+                println!("{path}:");
+            }
+            println!("{report}");
+        }
+        let denied = report.has_errors() || (opts.deny_warnings && report.warning_count() > 0);
+        if denied && failed.is_none() {
+            failed = Some(CmaError::Check(Box::new(report)).with_context(format!("in `{path}`")));
+        }
+    }
+    match failed {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
 fn cmd_simulate(args: &[String]) -> Result<(), CmaError> {
-    use central_moment_analysis::sim::{simulate, SimConfig};
+    use central_moment_analysis::sim::{simulate, try_simulate_with, SimConfig};
 
     let opts = parse_opts(args)?;
     let [path] = opts.positional.as_slice() else {
@@ -387,7 +498,24 @@ fn cmd_simulate(args: &[String]) -> Result<(), CmaError> {
     let source = read_source(path)?;
     let program = central_moment_analysis::parse_program(&source)
         .map_err(|e| CmaError::from(e).with_context(format!("while parsing `{path}`")))?;
-    let mut config = SimConfig::default();
+    // Same contract as `analyze`: checker errors abort before any trial runs
+    // (a strict simulation of a use-before-init program would only confirm
+    // what the checker already proved), warnings print once.
+    if !opts.no_check {
+        let report = check::check_source(&source, &check_config(&opts))
+            .map_err(|e| CmaError::from(e).with_context(format!("while parsing `{path}`")))?;
+        for d in report.diagnostics() {
+            eprintln!("{d}");
+        }
+        if report.has_errors() {
+            return Err(CmaError::Check(Box::new(report))
+                .with_context(format!("while simulating `{path}`")));
+        }
+    }
+    let mut config = SimConfig {
+        strict_init: opts.strict_init,
+        ..SimConfig::default()
+    };
     if let Some(trials) = opts.trials {
         config.trials = trials;
     }
@@ -400,7 +528,14 @@ fn cmd_simulate(args: &[String]) -> Result<(), CmaError> {
     if let Some(valuation) = &opts.valuation {
         config.initial = valuation.clone();
     }
-    let stats = simulate(&program, &config);
+    // Strict mode may legitimately abort a trial on an uninitialized read, so
+    // it takes the fallible entry point.
+    let stats = if opts.strict_init {
+        try_simulate_with(&program, &config, |_| {})
+            .map_err(|e| CmaError::from(e).with_context(format!("while simulating `{path}`")))?
+    } else {
+        simulate(&program, &config)
+    };
     if opts.json {
         println!(
             "{}",
@@ -409,6 +544,7 @@ fn cmd_simulate(args: &[String]) -> Result<(), CmaError> {
                 ("trials", stats.len().to_string()),
                 ("seed", config.seed.to_string()),
                 ("cutoff_trials", stats.cutoff_trials().to_string()),
+                ("uninit_reads", stats.uninit_reads().to_string()),
                 ("mean", json::num(stats.mean())),
                 ("variance", json::num(stats.variance())),
                 ("skewness", json::num(stats.skewness())),
@@ -431,6 +567,13 @@ fn cmd_simulate(args: &[String]) -> Result<(), CmaError> {
             println!(
                 "  warning: {} trials hit the step budget",
                 stats.cutoff_trials()
+            );
+        }
+        if stats.uninit_reads() > 0 {
+            println!(
+                "  warning: {} reads of uninitialized variables (evaluated as 0; \
+                 rerun with --strict-init to make them fatal)",
+                stats.uninit_reads()
             );
         }
         println!("  E[C]      = {:.6}", stats.mean());

@@ -325,6 +325,178 @@ fn infeasible_analyses_hint_at_max_poly_degree_and_the_retry_succeeds() {
     assert!(retried.contains("\"poly_degree\":2"), "{retried}");
 }
 
+fn lint_fixture(name: &str) -> String {
+    repo_root()
+        .join("examples/lints")
+        .join(name)
+        .display()
+        .to_string()
+}
+
+#[test]
+fn check_reports_warnings_with_positions_and_exits_zero() {
+    let output = run(&["check", &lint_fixture("cma002_refuted_branch.appl")]);
+    assert_eq!(output.status.code(), Some(0));
+    let text = String::from_utf8_lossy(&output.stdout);
+    assert!(text.contains("warning[CMA002]"), "{text}");
+    assert!(text.contains("--> 5:3"), "{text}");
+    assert!(text.contains("^^^"), "caret snippet missing: {text}");
+
+    // `--deny warnings` turns the same report into a failure.
+    let denied = run(&[
+        "check",
+        &lint_fixture("cma002_refuted_branch.appl"),
+        "--deny",
+        "warnings",
+    ]);
+    assert_eq!(denied.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&denied.stderr);
+    assert!(stderr.contains("static checks failed"), "{stderr}");
+    assert!(stderr.contains("cma002_refuted_branch.appl"), "{stderr}");
+}
+
+#[test]
+fn check_reports_errors_with_exit_one_and_json_carries_the_code() {
+    let output = run(&["check", &lint_fixture("cma003_invalid_dist.appl")]);
+    assert_eq!(output.status.code(), Some(1));
+    let text = String::from_utf8_lossy(&output.stdout);
+    assert!(text.contains("error[CMA003]"), "{text}");
+    assert!(
+        String::from_utf8_lossy(&output.stderr).contains("static checks failed"),
+        "{output:?}"
+    );
+
+    // JSON mode: one object per file, diagnostics carry stable codes and
+    // resolved positions.
+    let json_out = run(&["check", &lint_fixture("cma003_invalid_dist.appl"), "--json"]);
+    let json = String::from_utf8_lossy(&json_out.stdout);
+    assert!(json.contains("\"label\":"), "{json}");
+    assert!(json.contains("\"code\":\"CMA003\""), "{json}");
+    assert!(json.contains("\"line\":3,\"col\":3"), "{json}");
+
+    // CMA007 is opt-in: the negative-tick fixture is clean by default and
+    // an error under `--nonneg-cost`.
+    let lenient = run(&["check", &lint_fixture("cma007_negative_tick.appl")]);
+    assert_eq!(lenient.status.code(), Some(0));
+    let strict = run(&[
+        "check",
+        &lint_fixture("cma007_negative_tick.appl"),
+        "--nonneg-cost",
+    ]);
+    assert_eq!(strict.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&strict.stdout).contains("error[CMA007]"));
+}
+
+#[test]
+fn analyze_auto_check_aborts_on_errors_and_surfaces_warnings() {
+    // A warning-level lint does not stop the analysis; the diagnostics go to
+    // stderr and the report carries the count.
+    let output = run(&[
+        "analyze",
+        &lint_fixture("cma002_refuted_branch.appl"),
+        "--no-soundness",
+        "--json",
+    ]);
+    let json = stdout(&output);
+    assert!(json.contains("\"check\":{\"warnings\":1"), "{json}");
+    assert!(json.contains("\"refuted_branches\":1"), "{json}");
+
+    // A negative tick under --nonneg-cost is an error: the analysis aborts
+    // with the diagnostic rather than deriving bounds over a defective
+    // program.
+    let aborted = run(&[
+        "analyze",
+        &lint_fixture("cma007_negative_tick.appl"),
+        "--nonneg-cost",
+    ]);
+    assert_eq!(aborted.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&aborted.stderr);
+    assert!(stderr.contains("error[CMA007]"), "{stderr}");
+    assert!(stderr.contains("static checks failed"), "{stderr}");
+
+    // `--no-check` restores the legacy behavior.
+    let skipped = run(&[
+        "analyze",
+        &lint_fixture("cma007_negative_tick.appl"),
+        "--nonneg-cost",
+        "--no-check",
+        "--no-soundness",
+    ]);
+    assert_eq!(skipped.status.code(), Some(0));
+}
+
+#[test]
+fn check_pruning_shrinks_the_lp_visibly_in_the_report() {
+    let dir = std::env::temp_dir().join("cma-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let file = dir.join("prunable.appl");
+    std::fs::write(
+        &file,
+        "func main() begin\n  x := 1;\n  waste := 7;\n  \
+         if x < 0 then tick(9) else tick(1) fi;\n  \
+         while x < 0 do tick(5) od\nend\n",
+    )
+    .unwrap();
+    let lp_size = |json: &str| -> (u64, u64) {
+        let field = |key: &str| {
+            json.split(key)
+                .nth(1)
+                .and_then(|rest| rest.split(&[',', '}'][..]).next())
+                .and_then(|v| v.parse().ok())
+                .expect("LP stats present")
+        };
+        (field("\"constraints\":"), field("\"variables\":"))
+    };
+    let base = stdout(&run(&[
+        "analyze",
+        file.to_str().unwrap(),
+        "--no-soundness",
+        "--no-check-pruning",
+        "--json",
+    ]));
+    let pruned = stdout(&run(&[
+        "analyze",
+        file.to_str().unwrap(),
+        "--no-soundness",
+        "--json",
+    ]));
+    assert!(pruned.contains("\"refuted_branches\":1"), "{pruned}");
+    assert!(pruned.contains("\"skipped_loops\":1"), "{pruned}");
+    assert!(pruned.contains("\"dropped_template_vars\":1"), "{pruned}");
+    let (base_rows, base_cols) = lp_size(&base);
+    let (pruned_rows, pruned_cols) = lp_size(&pruned);
+    assert!(
+        pruned_rows < base_rows && pruned_cols < base_cols,
+        "pruning did not shrink the LP: {base_rows}x{base_cols} -> {pruned_rows}x{pruned_cols}"
+    );
+}
+
+#[test]
+fn simulate_counts_uninit_reads_and_strict_init_makes_them_fatal() {
+    let fixture = lint_fixture("cma001_use_before_init.appl");
+    let lenient = run(&["simulate", &fixture, "--trials", "50"]);
+    assert_eq!(lenient.status.code(), Some(0));
+    // The auto-check flags the read on stderr…
+    let stderr = String::from_utf8_lossy(&lenient.stderr);
+    assert!(stderr.contains("warning[CMA001]"), "{stderr}");
+    // …and the simulator reports how often it actually happened.
+    let text = String::from_utf8_lossy(&lenient.stdout);
+    assert!(
+        text.contains("50 reads of uninitialized variables"),
+        "{text}"
+    );
+
+    let json =
+        String::from_utf8_lossy(&run(&["simulate", &fixture, "--trials", "50", "--json"]).stdout)
+            .to_string();
+    assert!(json.contains("\"uninit_reads\":50"), "{json}");
+
+    let strict = run(&["simulate", &fixture, "--trials", "50", "--strict-init"]);
+    assert_eq!(strict.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&strict.stderr);
+    assert!(stderr.contains("read before initialization"), "{stderr}");
+}
+
 #[test]
 fn usage_errors_exit_with_code_2() {
     let bad_sub = run(&["frobnicate"]);
@@ -336,6 +508,12 @@ fn usage_errors_exit_with_code_2() {
 
     let missing_thresholds = run(&["tail", &fig2()]);
     assert_eq!(missing_thresholds.status.code(), Some(2));
+
+    let check_without_files = run(&["check"]);
+    assert_eq!(check_without_files.status.code(), Some(2));
+
+    let bad_deny = run(&["check", &fig2(), "--deny", "everything"]);
+    assert_eq!(bad_deny.status.code(), Some(2));
 
     let unknown_benchmark = run(&["suite", "run", "does-not-exist"]);
     assert_eq!(unknown_benchmark.status.code(), Some(2));

@@ -19,8 +19,8 @@ use crate::template::{LinCoef, SymInterval, SymMoment, TemplatePoly};
 ///
 /// The builder also carries the run's [`DerivationPlan`]: the walk records
 /// template slots and constraint recipes into it (or replays against it,
-/// depending on the plan's mode) through [`planned_moment`]
-/// (Self::planned_moment) and the gate consulted by
+/// depending on the plan's mode) through
+/// [`planned_moment`](Self::planned_moment) and the gate consulted by
 /// [`require_contains`](crate::weaken::require_contains).
 #[derive(Debug, Default)]
 pub struct ConstraintBuilder {

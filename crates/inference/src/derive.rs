@@ -7,8 +7,8 @@
 //! computation, emitting LP constraints along the way (fresh templates at
 //! joins and loop heads, weakening certificates, call-site requirements).
 
-use cma_appl::ast::Stmt;
-use cma_appl::Program;
+use cma_appl::ast::{Stmt, StmtKind};
+use cma_appl::{BranchFact, Program, RangeFacts};
 use cma_logic::Context;
 use cma_semiring::poly::Var;
 
@@ -60,6 +60,14 @@ pub struct DeriveCtx<'a> {
     /// loop invariants, call containments).  Reset per unit; the statement
     /// walk is deterministic, so re-walks reproduce the same keys.
     pub site: std::cell::Cell<usize>,
+    /// Checker-exported range facts (refuted branches, never-entered loops)
+    /// keyed by source span; `None` disables pruning.
+    pub facts: Option<&'a RangeFacts>,
+    /// `if` statements whose refuted side this walk skipped.
+    pub pruned_branches: std::cell::Cell<usize>,
+    /// `while` loops this walk replaced by their continuation because the
+    /// guard is refuted on entry.
+    pub pruned_loops: std::cell::Cell<usize>,
 }
 
 impl<'a> DeriveCtx<'a> {
@@ -83,7 +91,31 @@ impl<'a> DeriveCtx<'a> {
             level,
             unit: unit.into(),
             site: std::cell::Cell::new(0),
+            facts: None,
+            pruned_branches: std::cell::Cell::new(0),
+            pruned_loops: std::cell::Cell::new(0),
         }
+    }
+
+    /// Attaches checker-exported facts: the walk then derives only the live
+    /// side of statically-refuted `if`s and drops never-entered loops.
+    pub fn with_facts(mut self, facts: Option<&'a RangeFacts>) -> Self {
+        self.facts = facts;
+        self
+    }
+
+    fn refuted_at(&self, stmt: &Stmt) -> Option<BranchFact> {
+        self.facts.and_then(|f| f.refuted_at(stmt.span()))
+    }
+
+    /// Advances the site counter past the `n` keys a skipped subtree would
+    /// have consumed.  Keys of the rest of the walk thereby stay aligned
+    /// with *unpruned* walks of the same skeleton — the shadow soundness
+    /// derivation replays the recorded plan by site key against the
+    /// uninstrumented walk, and a shifted sequence would silently share
+    /// template columns across different program points.
+    fn skip_sites(&self, n: usize) {
+        self.site.set(self.site.get() + n);
     }
 
     /// The next stable site key of this unit's walk.
@@ -111,6 +143,19 @@ impl<'a> DeriveCtx<'a> {
     }
 }
 
+/// Number of site keys a full (unpruned) walk of `stmt` consumes: one per
+/// `if` join, loop invariant, and call containment.
+fn site_count(stmt: &Stmt) -> usize {
+    match stmt.kind() {
+        StmtKind::Call(_) => 1,
+        StmtKind::If(_, a, b) => 1 + site_count(a) + site_count(b),
+        StmtKind::IfProb(_, a, b) => site_count(a) + site_count(b),
+        StmtKind::While(_, body) => 1 + site_count(body),
+        StmtKind::Seq(ss) => ss.iter().map(site_count).sum(),
+        _ => 0,
+    }
+}
+
 /// Transforms the post-annotation of `stmt` into a pre-annotation, emitting
 /// constraints into `builder`.
 ///
@@ -125,16 +170,16 @@ pub fn transform(
     ctx: &Context,
     post: SymMoment,
 ) -> Result<SymMoment, DeriveError> {
-    match stmt {
-        Stmt::Skip => Ok(post),
-        Stmt::Tick(c) => Ok(post.prepend_cost(*c)),
-        Stmt::Assign(x, e) => Ok(post.substitute(x, &e.to_polynomial())),
-        Stmt::Sample(x, dist) => {
+    match stmt.kind() {
+        StmtKind::Skip => Ok(post),
+        StmtKind::Tick(c) => Ok(post.prepend_cost(*c)),
+        StmtKind::Assign(x, e) => Ok(post.substitute(x, &e.to_polynomial())),
+        StmtKind::Sample(x, dist) => {
             let max_power = post.max_power(x);
             let moments: Vec<f64> = (0..=max_power).map(|j| dist.raw_moment(j)).collect();
             Ok(post.expect_over(x, &moments))
         }
-        Stmt::Call(name) => {
+        StmtKind::Call(name) => {
             // Q-Call-Poly / Q-Call-Mono: the pre-annotation is the (framed)
             // specification's pre; the specification's post must cover the
             // annotation required by the continuation after the call.
@@ -151,7 +196,25 @@ pub fn transform(
             );
             Ok(pre)
         }
-        Stmt::If(cond, s1, s2) => {
+        StmtKind::If(cond, s1, s2) => {
+            // A branch the checker refuted is never executed: derive only
+            // the live side, under the context the refutation implies, and
+            // skip the join template and both containment rows entirely.
+            match dctx.refuted_at(stmt) {
+                Some(BranchFact::ThenUnreachable) => {
+                    dctx.pruned_branches.set(dctx.pruned_branches.get() + 1);
+                    dctx.skip_sites(1 + site_count(s1));
+                    return transform(builder, dctx, s2, &ctx.and(&cond.negate()), post);
+                }
+                Some(BranchFact::ElseUnreachable) => {
+                    dctx.pruned_branches.set(dctx.pruned_branches.get() + 1);
+                    dctx.skip_sites(1);
+                    let pre = transform(builder, dctx, s1, &ctx.and(cond), post)?;
+                    dctx.skip_sites(site_count(s2));
+                    return Ok(pre);
+                }
+                _ => {}
+            }
             // Q-Cond + Q-Weaken: analyze both branches, then take a fresh
             // annotation containing both branch pre-annotations.
             let site = dctx.next_site("if");
@@ -185,7 +248,7 @@ pub fn transform(
             );
             Ok(joined)
         }
-        Stmt::IfProb(p, s1, s2) => {
+        StmtKind::IfProb(p, s1, s2) => {
             // Q-Prob: the pre-annotation is the probability-weighted ⊕ of the
             // two branch pre-annotations.
             let pre_then = transform(builder, dctx, s1, ctx, post.clone())?;
@@ -194,7 +257,14 @@ pub fn transform(
                 .scale_probability(*p)
                 .combine(&pre_else.scale_probability(1.0 - *p)))
         }
-        Stmt::While(cond, body) => {
+        StmtKind::While(cond, body) => {
+            // A loop whose guard the checker refuted on entry exits
+            // immediately: no invariant template, no body or exit rows.
+            if dctx.refuted_at(stmt) == Some(BranchFact::LoopNeverEntered) {
+                dctx.pruned_loops.set(dctx.pruned_loops.get() + 1);
+                dctx.skip_sites(1 + site_count(body));
+                return Ok(post);
+            }
             // Q-Loop: a fresh invariant annotation that (i) is preserved by
             // the body under the guard and (ii) covers the continuation when
             // the guard fails.
@@ -233,7 +303,7 @@ pub fn transform(
             );
             Ok(invariant)
         }
-        Stmt::Seq(stmts) => {
+        StmtKind::Seq(stmts) => {
             // Contexts flow forward; annotations flow backward.
             let mut contexts = Vec::with_capacity(stmts.len());
             let mut current = ctx.clone();

@@ -2,9 +2,10 @@
 //! objectives, LP solving, and bound extraction.
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use cma_appl::Program;
+use cma_appl::{Program, RangeFacts};
 use cma_logic::Context;
 use cma_lp::{
     FactorKind, LpBackend, LpSession, LpSolution, LpStatus, PricingRule, SolveStats, SolverTuning,
@@ -75,6 +76,14 @@ pub struct AnalysisOptions {
     /// re-instantiating the recorded derivation plan instead of re-walking
     /// the program cold.  `None` (the default) disables retries.
     pub max_poly_degree: Option<u32>,
+    /// Facts exported by the static checker (`cma-check`): statically
+    /// refuted branches are derived one-sided (no join template, no
+    /// containment rows), never-entered loops collapse to their
+    /// continuation, and templates do not range over variables the checker
+    /// proved dead.  The facts must come from a checker run over *this*
+    /// program under the same preconditions; `None` (the default) disables
+    /// pruning.
+    pub range_facts: Option<Arc<RangeFacts>>,
 }
 
 impl AnalysisOptions {
@@ -93,6 +102,7 @@ impl AnalysisOptions {
             factor: FactorKind::default(),
             warm_resolve: WarmStrategy::default(),
             max_poly_degree: None,
+            range_facts: None,
         }
     }
 
@@ -154,6 +164,14 @@ impl AnalysisOptions {
     /// `d → d+1` up to `max` while reusing the recorded derivation plan.
     pub fn with_max_poly_degree(mut self, max: u32) -> Self {
         self.max_poly_degree = Some(max);
+        self
+    }
+
+    /// Attaches checker-exported range facts; the derivation then skips
+    /// refuted branches and never-entered loops and drops dead template
+    /// variables (see [`AnalysisResult::pruning`]).
+    pub fn with_range_facts(mut self, facts: Arc<RangeFacts>) -> Self {
+        self.range_facts = Some(facts);
         self
     }
 
@@ -365,8 +383,39 @@ pub struct AnalysisResult {
     /// Statistics of the in-session degree escalation that produced this
     /// result (`None` for from-scratch analyses).
     pub escalation: Option<EscalationStats>,
+    /// Derivation work skipped thanks to checker-exported range facts
+    /// (all-zero when [`AnalysisOptions::range_facts`] is unset).
+    pub pruning: PruningStats,
     /// Wall-clock time spent in the analysis.
     pub elapsed: Duration,
+}
+
+/// Derivation work skipped thanks to checker-exported range facts
+/// ([`AnalysisOptions::with_range_facts`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PruningStats {
+    /// `if` statements derived one-sided because the checker refuted the
+    /// other branch: no join template, no containment rows.
+    pub refuted_branches: usize,
+    /// `while` loops collapsed to their continuation because the guard is
+    /// refuted on entry: no invariant template, no body or exit rows.
+    pub skipped_loops: usize,
+    /// Program variables the moment templates do not range over because the
+    /// checker proved them write-only.
+    pub dropped_template_vars: usize,
+}
+
+impl PruningStats {
+    /// Whether any pruning happened at all.
+    pub fn any(&self) -> bool {
+        self.refuted_branches > 0 || self.skipped_loops > 0 || self.dropped_template_vars > 0
+    }
+
+    fn absorb(&mut self, other: &PruningStats) {
+        self.refuted_branches += other.refuted_branches;
+        self.skipped_loops += other.skipped_loops;
+        self.dropped_template_vars += other.dropped_template_vars;
+    }
 }
 
 /// Observable effort of one [`AnalysisSession::escalate_degree`] call.
@@ -473,6 +522,7 @@ pub struct AnalysisSession<'a> {
     groups: Vec<GroupLpStats>,
     lp_solves: usize,
     poly_retries: usize,
+    pruning: PruningStats,
     poisoned: bool,
     minimizes: usize,
     extension_variables: usize,
@@ -536,7 +586,7 @@ impl<'a> AnalysisSession<'a> {
     /// pivots (visible in [`extension_stats`](Self::extension_stats))
     /// instead of a phase-1 restart.  Otherwise a variable-disjoint
     /// extension is extracted and solved as a standalone subsystem of the
-    /// shared store ([`ConstraintStore::subproblem`]); an extension that
+    /// shared store ([`crate::ConstraintStore::subproblem`]); an extension that
     /// references main-system variables always takes the flush path.
     ///
     /// For extension programs that are *skeleton-preserving rewrites* of the
@@ -602,6 +652,11 @@ impl<'a> AnalysisSession<'a> {
         // Extensions always derive globally: all fresh templates in one
         // block, no compositional export constraints.
         options.mode = SolveMode::Global;
+        // The facts were proved for the *analyzed* program; an extension is
+        // a different one (the instrumented rewrite carries dummy spans, so
+        // the facts could never fire there anyway).  Dropping them keeps
+        // extension walks manifestly unpruned.
+        options.range_facts = None;
         if options.template_vars.is_none() {
             // Pin the template variables to the extension's own program.
             options.template_vars = Some(program.vars());
@@ -848,6 +903,7 @@ impl<'a> AnalysisSession<'a> {
             poly_retries: self.poly_retries,
             plan: self.builder.plan().stats(),
             escalation: Some(escalation),
+            pruning: self.pruning,
             elapsed: start.elapsed(),
         })
     }
@@ -980,6 +1036,11 @@ fn analyze_attempt<'a>(
     let mut lp_solves = 0usize;
     let mut group_stats: Vec<GroupLpStats> = Vec::new();
     let mut plan_stats = PlanStats::default();
+    let mut pruning = PruningStats::default();
+    if options.template_vars.is_none() && options.range_facts.is_some() {
+        pruning.dropped_template_vars =
+            program.vars().len() - template_vars(program, options).len();
+    }
 
     // Solve every non-final group (compositional mode only); groups at the
     // same dependency level are independent and go through `solve_batch`.
@@ -992,6 +1053,7 @@ fn analyze_attempt<'a>(
                 install_saved_plan(&mut builder, plans, &groups[g].join("+"));
                 let build =
                     build_group(&mut builder, program, options, &groups[g], false, &resolved)?;
+                pruning.absorb(&build.pruning);
                 builder.plan_mut().set_mode(PlanMode::Record);
                 builds.push((builder, build, groups[g].clone()));
             }
@@ -1048,6 +1110,7 @@ fn analyze_attempt<'a>(
         true,
         &resolved,
     )?;
+    pruning.absorb(&build.pruning);
     builder.plan_mut().set_mode(PlanMode::Record);
     lp_variables += builder.num_vars();
     lp_constraints += builder.num_constraints();
@@ -1087,6 +1150,7 @@ fn analyze_attempt<'a>(
         poly_retries: 0,
         plan: plan_stats.merge(&builder.plan().stats()),
         escalation: None,
+        pruning,
         elapsed: start.elapsed(),
     };
     Ok((
@@ -1100,6 +1164,7 @@ fn analyze_attempt<'a>(
             groups: group_stats,
             lp_solves,
             poly_retries: 0,
+            pruning,
             poisoned: false,
             minimizes: 1,
             extension_variables: 0,
@@ -1177,13 +1242,20 @@ struct GroupOutcome {
 struct GroupBuild {
     specs: SpecTable,
     main_pre: Option<SymMoment>,
+    pruning: PruningStats,
 }
 
 fn template_vars(program: &Program, options: &AnalysisOptions) -> Vec<Var> {
-    options
-        .template_vars
-        .clone()
-        .unwrap_or_else(|| program.vars())
+    if let Some(vars) = &options.template_vars {
+        return vars.clone();
+    }
+    let mut vars = program.vars();
+    if let Some(facts) = &options.range_facts {
+        // Write-only variables cannot influence cost or control flow;
+        // templates need not range over them.
+        vars.retain(|v| !facts.dead_template_vars().contains(v));
+    }
+    vars
 }
 
 /// Emits the constraint system of one group into `builder`: fresh templates
@@ -1202,6 +1274,10 @@ fn build_group(
     let d = options.poly_degree;
     let vars = template_vars(program, options);
     let valuation = options.valuation_fn();
+    let facts = options.range_facts.as_deref();
+    // Per-group walk counters; `dropped_template_vars` is a whole-program
+    // property and is filled in once by the caller.
+    let mut pruning = PruningStats::default();
 
     let mut specs = SpecTable::new();
 
@@ -1276,8 +1352,11 @@ fn build_group(
                 vars.clone(),
                 level,
                 format!("{name}.h{level}"),
-            );
+            )
+            .with_facts(facts);
             let derived_pre = transform(builder, &dctx, function.body(), &ctx, entry.post.clone())?;
+            pruning.refuted_branches += dctx.pruned_branches.get();
+            pruning.skipped_loops += dctx.pruned_loops.get();
             require_contains(
                 builder,
                 &ctx,
@@ -1300,8 +1379,11 @@ fn build_group(
     // Analyze `main` with the identity post-annotation.
     let main_pre = if include_main {
         let ctx = Context::from_conditions(program.precondition());
-        let dctx = DeriveCtx::for_unit(program, &specs, m, d, vars.clone(), 0, "main");
+        let dctx =
+            DeriveCtx::for_unit(program, &specs, m, d, vars.clone(), 0, "main").with_facts(facts);
         let pre = transform(builder, &dctx, program.main(), &ctx, SymMoment::one(m))?;
+        pruning.refuted_branches += dctx.pruned_branches.get();
+        pruning.skipped_loops += dctx.pruned_loops.get();
         let from = builder.recipe_gate("obj.main", m);
         for k in from..=m {
             builder.add_objective(&pre.component(k).hi.eval_vars(&valuation), 1.0);
@@ -1312,7 +1394,11 @@ fn build_group(
         None
     };
 
-    Ok(GroupBuild { specs, main_pre })
+    Ok(GroupBuild {
+        specs,
+        main_pre,
+        pruning,
+    })
 }
 
 /// Resolves a group's templates against an LP solution (or reports the LP
@@ -1442,6 +1528,97 @@ mod tests {
     use super::*;
     use cma_appl::build::*;
     use cma_lp::SimplexBackend;
+
+    /// A program with one refuted branch (`x < 0` right after `x := 1`), one
+    /// never-entered loop, and one write-only variable, plus the facts a
+    /// checker run would export for it.  True cost: exactly 1.
+    fn pruned_fixture() -> (Program, cma_appl::RangeFacts) {
+        let source = "func main() begin\n  x := 1;\n  waste := 7;\n  \
+                      if x < 0 then tick(9) else tick(1) fi;\n  \
+                      while x < 0 do tick(5) od\nend\n";
+        let program = cma_appl::parse_program_unchecked(source).unwrap();
+        fn mark(stmt: &cma_appl::Stmt, facts: &mut cma_appl::RangeFacts) {
+            use cma_appl::ast::StmtKind;
+            match stmt.kind() {
+                StmtKind::If(..) => {
+                    facts.insert_refuted(stmt.span(), cma_appl::BranchFact::ThenUnreachable)
+                }
+                StmtKind::While(..) => {
+                    facts.insert_refuted(stmt.span(), cma_appl::BranchFact::LoopNeverEntered)
+                }
+                StmtKind::Seq(ss) => ss.iter().for_each(|s| mark(s, facts)),
+                _ => {}
+            }
+        }
+        let mut facts = cma_appl::RangeFacts::new();
+        mark(program.main(), &mut facts);
+        facts.insert_dead_template_var(Var::new("waste"));
+        (program, facts)
+    }
+
+    #[test]
+    fn range_facts_prune_the_generated_lp() {
+        let (program, facts) = pruned_fixture();
+        let base = analyze_with(&program, &AnalysisOptions::degree(2), &SimplexBackend).unwrap();
+        assert!(!base.pruning.any());
+
+        let options = AnalysisOptions::degree(2).with_range_facts(Arc::new(facts));
+        let pruned = analyze_with(&program, &options, &SimplexBackend).unwrap();
+        assert_eq!(
+            pruned.pruning,
+            PruningStats {
+                refuted_branches: 1,
+                skipped_loops: 1,
+                dropped_template_vars: 1,
+            }
+        );
+        assert!(
+            pruned.lp_constraints < base.lp_constraints,
+            "pruned {} vs base {}",
+            pruned.lp_constraints,
+            base.lp_constraints
+        );
+        assert!(pruned.lp_variables < base.lp_variables);
+
+        // Only `tick(1)` is live: both analyses must bracket cost 1, and the
+        // pruned one is deterministic (no templates left, exact moments).
+        for result in [&base, &pruned] {
+            let e1 = result.raw_moment_at(1, &[(Var::new("x"), 1.0)]);
+            assert!(e1.lo() <= 1.0 + 1e-6 && e1.hi() >= 1.0 - 1e-6, "{e1:?}");
+        }
+        let e1 = pruned.raw_moment_at(1, &[(Var::new("x"), 1.0)]);
+        assert!(e1.width() < 1e-6, "pruned bound not exact: {e1:?}");
+    }
+
+    #[test]
+    fn pruned_session_escalates_and_extends_consistently() {
+        let (program, facts) = pruned_fixture();
+        let facts = Arc::new(facts);
+        let backend = SimplexBackend;
+        let options = AnalysisOptions::degree(1).with_range_facts(facts.clone());
+        let (r1, mut session) = analyze_session(&program, &options, &backend).unwrap();
+        assert_eq!(r1.pruning.refuted_branches, 1);
+
+        // In-place escalation replays the pruned plan with the same facts.
+        let r2 = session.escalate_degree(2).unwrap();
+        assert_eq!(r2.pruning, r1.pruning);
+        let cold_options = AnalysisOptions::degree(2).with_range_facts(facts);
+        let cold = analyze_with(&program, &cold_options, &SimplexBackend).unwrap();
+        for k in 1..=2 {
+            let hot = r2.raw_moment_at(k, &[(Var::new("x"), 1.0)]);
+            let ref_b = cold.raw_moment_at(k, &[(Var::new("x"), 1.0)]);
+            assert!(
+                (hot.hi() - ref_b.hi()).abs() < 1e-6,
+                "k={k}: {hot:?} vs {ref_b:?}"
+            );
+        }
+
+        // The shadow extension walks the *unpruned* skeleton; skipped-site
+        // accounting keeps its keys aligned with the pruned plan, so the
+        // shared replay must not collide and the system stays optimal.
+        session.extend_and_minimize_shared(&program, 2).unwrap();
+        assert!(session.extension_constraints() > 0);
+    }
 
     #[test]
     fn sccs_are_in_callee_first_order() {

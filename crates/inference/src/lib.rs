@@ -14,7 +14,7 @@
 //!   weakening rule `Γ ⊨ Q ⊒ Q'`;
 //! * [`spec`] — moment-polymorphic function specifications (restriction
 //!   levels, frame rule, elimination sequences);
-//! * [`derive`] — the backward transformer implementing the syntax-directed
+//! * [`derive`](mod@derive) — the backward transformer implementing the syntax-directed
 //!   rules (Q-Tick, Q-Sample, Q-Assign, Q-Seq, Q-Cond, Q-Prob, Q-Loop,
 //!   Q-Call-Poly, Q-Call-Mono);
 //! * [`engine`] — the analysis driver (call-graph SCCs, objectives, solving,
@@ -67,7 +67,7 @@ pub mod weaken;
 pub use central::CentralMoments;
 pub use engine::{
     analyze_session, analyze_with, AnalysisError, AnalysisOptions, AnalysisResult, AnalysisSession,
-    EscalationStats, GroupLpStats, MomentBound, SolveMode,
+    EscalationStats, GroupLpStats, MomentBound, PruningStats, SolveMode,
 };
 pub use plan::{DerivationPlan, PlanMode, PlanStats};
 pub use soundness::{

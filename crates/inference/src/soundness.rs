@@ -10,7 +10,7 @@
 //!    assigned variable by an almost-surely bounded amount, so that
 //!    `∥Y_n∥∞ ∈ O((n+1)^{m·d})` (Lemma F.3).
 
-use cma_appl::ast::{Expr, Function, Program, Stmt};
+use cma_appl::ast::{Expr, Function, Program, Stmt, StmtKind};
 use cma_lp::{LpBackend, SimplexBackend};
 use cma_semiring::poly::Var;
 
@@ -84,8 +84,8 @@ fn noise_variables(program: &Program) -> Vec<Var> {
     let mut sampled: Vec<Var> = Vec::new();
     let mut assigned_otherwise: Vec<Var> = Vec::new();
     let mut scan = |stmt: &Stmt| {
-        visit(stmt, &mut |s| match s {
-            Stmt::Sample(x, d) => {
+        visit(stmt, &mut |s| match s.kind() {
+            StmtKind::Sample(x, d) => {
                 let (lo, hi) = d.support();
                 if lo.is_finite() && hi.is_finite() {
                     sampled.push(x.clone());
@@ -93,7 +93,7 @@ fn noise_variables(program: &Program) -> Vec<Var> {
                     assigned_otherwise.push(x.clone());
                 }
             }
-            Stmt::Assign(x, _) => assigned_otherwise.push(x.clone()),
+            StmtKind::Assign(x, _) => assigned_otherwise.push(x.clone()),
             _ => {}
         });
     };
@@ -109,13 +109,13 @@ fn noise_variables(program: &Program) -> Vec<Var> {
 
 fn visit(stmt: &Stmt, f: &mut impl FnMut(&Stmt)) {
     f(stmt);
-    match stmt {
-        Stmt::If(_, a, b) | Stmt::IfProb(_, a, b) => {
+    match stmt.kind() {
+        StmtKind::If(_, a, b) | StmtKind::IfProb(_, a, b) => {
             visit(a, f);
             visit(b, f);
         }
-        Stmt::While(_, s) => visit(s, f),
-        Stmt::Seq(ss) => {
+        StmtKind::While(_, s) => visit(s, f),
+        StmtKind::Seq(ss) => {
             for s in ss {
                 visit(s, f);
             }
@@ -125,11 +125,11 @@ fn visit(stmt: &Stmt, f: &mut impl FnMut(&Stmt)) {
 }
 
 fn collect_violations(stmt: &Stmt, noise_vars: &[Var], out: &mut Vec<String>) {
-    visit(stmt, &mut |s| match s {
-        Stmt::Assign(x, e) if !assignment_is_bounded(x, e, noise_vars) => {
+    visit(stmt, &mut |s| match s.kind() {
+        StmtKind::Assign(x, e) if !assignment_is_bounded(x, e, noise_vars) => {
             out.push(format!("{x} := {e}"));
         }
-        Stmt::Sample(x, d) => {
+        StmtKind::Sample(x, d) => {
             let (lo, hi) = d.support();
             if !(lo.is_finite() && hi.is_finite()) {
                 out.push(format!("{x} ~ {d}"));
@@ -316,29 +316,38 @@ pub fn step_counting_instrumentation(program: &Program) -> Program {
 }
 
 fn instrument(stmt: &Stmt) -> Stmt {
-    match stmt {
-        Stmt::Skip => Stmt::Tick(1.0),
-        Stmt::Tick(_) => Stmt::Tick(1.0),
-        Stmt::Assign(..) | Stmt::Sample(..) | Stmt::Call(_) => {
-            Stmt::Seq(vec![Stmt::Tick(1.0), stmt.clone()])
+    let tick = || Stmt::new(StmtKind::Tick(1.0));
+    let kind = match stmt.kind() {
+        StmtKind::Skip | StmtKind::Tick(_) => StmtKind::Tick(1.0),
+        StmtKind::Assign(..) | StmtKind::Sample(..) | StmtKind::Call(_) => {
+            StmtKind::Seq(vec![tick(), stmt.clone()])
         }
-        Stmt::If(c, a, b) => Stmt::Seq(vec![
-            Stmt::Tick(1.0),
-            Stmt::If(c.clone(), Box::new(instrument(a)), Box::new(instrument(b))),
-        ]),
-        Stmt::IfProb(p, a, b) => Stmt::Seq(vec![
-            Stmt::Tick(1.0),
-            Stmt::IfProb(*p, Box::new(instrument(a)), Box::new(instrument(b))),
-        ]),
-        Stmt::While(c, body) => Stmt::Seq(vec![
-            Stmt::Tick(1.0),
-            Stmt::While(
+        StmtKind::If(c, a, b) => StmtKind::Seq(vec![
+            tick(),
+            Stmt::new(StmtKind::If(
                 c.clone(),
-                Box::new(Stmt::Seq(vec![Stmt::Tick(1.0), instrument(body)])),
-            ),
+                Box::new(instrument(a)),
+                Box::new(instrument(b)),
+            )),
         ]),
-        Stmt::Seq(ss) => Stmt::Seq(ss.iter().map(instrument).collect()),
-    }
+        StmtKind::IfProb(p, a, b) => StmtKind::Seq(vec![
+            tick(),
+            Stmt::new(StmtKind::IfProb(
+                *p,
+                Box::new(instrument(a)),
+                Box::new(instrument(b)),
+            )),
+        ]),
+        StmtKind::While(c, body) => StmtKind::Seq(vec![
+            tick(),
+            Stmt::new(StmtKind::While(
+                c.clone(),
+                Box::new(Stmt::new(StmtKind::Seq(vec![tick(), instrument(body)]))),
+            )),
+        ]),
+        StmtKind::Seq(ss) => StmtKind::Seq(ss.iter().map(instrument).collect()),
+    };
+    Stmt::new(kind)
 }
 
 #[cfg(test)]

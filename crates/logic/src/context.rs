@@ -8,7 +8,7 @@
 
 use std::collections::BTreeSet;
 
-use cma_appl::ast::{Cond, Expr, Stmt};
+use cma_appl::ast::{Cond, Expr, Stmt, StmtKind};
 use cma_appl::dist::Dist;
 use cma_appl::Program;
 use cma_semiring::poly::{Polynomial, Var};
@@ -214,41 +214,41 @@ impl Context {
     /// havocked, guard information is added where sound); calls havoc every
     /// variable the callee may transitively modify.
     pub fn after_stmt(&self, stmt: &Stmt, program: &Program) -> Context {
-        match stmt {
-            Stmt::Skip | Stmt::Tick(_) => self.clone(),
-            Stmt::Assign(x, e) => {
+        match stmt.kind() {
+            StmtKind::Skip | StmtKind::Tick(_) => self.clone(),
+            StmtKind::Assign(x, e) => {
                 let mut ctx = self.clone();
                 ctx.assign(x, e);
                 ctx
             }
-            Stmt::Sample(x, d) => {
+            StmtKind::Sample(x, d) => {
                 let mut ctx = self.clone();
                 ctx.sample(x, d);
                 ctx
             }
-            Stmt::Call(f) => {
+            StmtKind::Call(f) => {
                 let mut ctx = self.clone();
                 ctx.havoc(&transitively_modified(program, f));
                 // The callee's own entry precondition does not constrain the
                 // *post* state, so nothing is added back.
                 ctx
             }
-            Stmt::If(c, s1, s2) => {
+            StmtKind::If(c, s1, s2) => {
                 let then_ctx = self.and(c).after_stmt(s1, program);
                 let else_ctx = self.and(&c.negate()).after_stmt(s2, program);
                 then_ctx.join(&else_ctx)
             }
-            Stmt::IfProb(_, s1, s2) => {
+            StmtKind::IfProb(_, s1, s2) => {
                 let a = self.after_stmt(s1, program);
                 let b = self.after_stmt(s2, program);
                 a.join(&b)
             }
-            Stmt::While(c, body) => {
+            StmtKind::While(c, body) => {
                 // The post-context of a loop is the inferred loop-head
                 // invariant conjoined with the negated guard.
                 self.loop_head_invariant(c, body, program).and(&c.negate())
             }
-            Stmt::Seq(stmts) => {
+            StmtKind::Seq(stmts) => {
                 let mut ctx = self.clone();
                 for s in stmts {
                     ctx = ctx.after_stmt(s, program);
@@ -388,19 +388,19 @@ fn per_iteration_change(
 }
 
 fn collect_sampled(stmt: &Stmt, out: &mut std::collections::BTreeMap<Var, cma_semiring::Interval>) {
-    match stmt {
-        Stmt::Sample(x, d) => {
+    match stmt.kind() {
+        StmtKind::Sample(x, d) => {
             let (lo, hi) = d.support();
             if lo.is_finite() && hi.is_finite() {
                 out.insert(x.clone(), cma_semiring::Interval::new(lo, hi));
             }
         }
-        Stmt::If(_, a, b) | Stmt::IfProb(_, a, b) => {
+        StmtKind::If(_, a, b) | StmtKind::IfProb(_, a, b) => {
             collect_sampled(a, out);
             collect_sampled(b, out);
         }
-        Stmt::While(_, s) => collect_sampled(s, out),
-        Stmt::Seq(ss) => {
+        StmtKind::While(_, s) => collect_sampled(s, out),
+        StmtKind::Seq(ss) => {
             for s in ss {
                 collect_sampled(s, out);
             }
@@ -425,8 +425,8 @@ fn accumulate_changes(
             _ => None,
         };
     };
-    match stmt {
-        Stmt::Assign(x, e) => {
+    match stmt.kind() {
+        StmtKind::Assign(x, e) => {
             // delta = e - x must be a constant plus bounded sampled variables.
             let delta_poly = e
                 .to_polynomial()
@@ -453,32 +453,32 @@ fn accumulate_changes(
             }
             record(x, if bounded { Some(interval) } else { None });
         }
-        Stmt::Sample(x, _) => {
+        StmtKind::Sample(x, _) => {
             // The absolute change of a freshly sampled variable is unbounded in
             // general (it depends on the previous value).
             record(x, None);
         }
-        Stmt::Call(f) => {
+        StmtKind::Call(f) => {
             for v in transitively_modified(program, f) {
                 record(&v, None);
             }
         }
-        Stmt::If(_, a, b) | Stmt::IfProb(_, a, b) => {
+        StmtKind::If(_, a, b) | StmtKind::IfProb(_, a, b) => {
             accumulate_changes(a, program, sampled, out);
             accumulate_changes(b, program, sampled, out);
         }
-        Stmt::While(_, s) => {
+        StmtKind::While(_, s) => {
             // Nested loops can iterate arbitrarily often.
             for v in s.modified_vars() {
                 record(&v, None);
             }
         }
-        Stmt::Seq(ss) => {
+        StmtKind::Seq(ss) => {
             for s in ss {
                 accumulate_changes(s, program, sampled, out);
             }
         }
-        Stmt::Skip | Stmt::Tick(_) => {}
+        StmtKind::Skip | StmtKind::Tick(_) => {}
     }
 }
 

@@ -42,11 +42,11 @@
 //! An implementation must, for every well-formed [`LpProblem`] and for every
 //! state a session can reach through `add_var`/`add_constraint`:
 //!
-//! 1. return [`LpStatus::Optimal`] together with a feasible point attaining
+//! 1. return [`LpStatus::Optimal`](crate::LpStatus::Optimal) together with a feasible point attaining
 //!    the minimum whenever the problem is feasible and bounded (within the
 //!    backend's numeric tolerance);
-//! 2. return [`LpStatus::Infeasible`] when no feasible point exists;
-//! 3. return [`LpStatus::Unbounded`] when the objective is unbounded below on
+//! 2. return [`LpStatus::Infeasible`](crate::LpStatus::Infeasible) when no feasible point exists;
+//! 3. return [`LpStatus::Unbounded`](crate::LpStatus::Unbounded) when the objective is unbounded below on
 //!    a non-empty feasible region;
 //! 4. respect variable domains: non-negative variables must be ≥ 0 in any
 //!    reported solution, free variables may take any sign;
@@ -54,7 +54,7 @@
 //!    re-minimizing the same objective in one session — yields the same
 //!    status and (for `Optimal`) the same objective value;
 //! 6. never panic on solvable input — resource exhaustion is reported as
-//!    [`LpStatus::IterationLimit`].
+//!    [`LpStatus::IterationLimit`](crate::LpStatus::IterationLimit).
 //!
 //! The conformance suite in `tests/backend_conformance.rs` checks these
 //! obligations (including the session-specific ones) and should be run
@@ -255,11 +255,11 @@ impl LpSession for ReSolveSession {
 
 /// The built-in dense two-phase primal simplex (the reference backend).
 ///
-/// A thin configuration of the shared [`SimplexCore`]: dense column storage,
+/// A thin configuration of the shared `SimplexCore`: dense column storage,
 /// sessions that re-solve from scratch on every `minimize` — simple and
 /// trustworthy, which is exactly what the reference implementation should
 /// be.  The stateful, warm-started alternative is
-/// [`SparseBackend`](crate::SparseBackend).
+/// [`SparseBackend`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SimplexBackend;
 
@@ -289,7 +289,7 @@ impl LpBackend for SimplexBackend {
 
 /// The sparse revised simplex over the CSR constraint matrix.
 ///
-/// The shared [`SimplexCore`] with sparse column storage and live session
+/// The shared `SimplexCore` with sparse column storage and live session
 /// state: re-minimizing with a new objective restarts phase 2 from the
 /// previous optimal basis, incrementally added rows extend the basis instead
 /// of rebuilding it, and — under the default dual warm-resolve strategy — a

@@ -4,16 +4,16 @@
 //! directions — `ftran` solves `B·d = a` (the pivot direction) and `btran`
 //! solves `Bᵀ·y = c_B` (the dual prices) — plus a cheap rank-one `update`
 //! when one basic column is replaced, and a from-scratch `refactorize` that
-//! washes out the drift the updates accumulate.  The [`Factorization`] trait
-//! is that seam: the [`SimplexCore`](crate::core::SimplexCore) iteration loop
+//! washes out the drift the updates accumulate.  The `Factorization` trait
+//! is that seam: the `SimplexCore` iteration loop
 //! is written against it, and the concrete linear algebra is pluggable per
 //! solve through [`SolverTuning::factor`](crate::SolverTuning):
 //!
-//! * [`DenseInverse`] — the explicit dense `B⁻¹` the sparse backend carried
+//! * `DenseInverse` — the explicit dense `B⁻¹` the sparse backend carried
 //!   before the seam existed: `O(m²)` solves, `O(m²)` Gauss-Jordan pivot
 //!   updates, `O(m³)`-flavored refactorization.  Simple, and the reference
 //!   the LU path is pinned against.
-//! * [`LuFactor`] — a sparse LU elimination with **Markowitz ordering**
+//! * `LuFactor` — a sparse LU elimination with **Markowitz ordering**
 //!   (pivots chosen to minimize `(rowcount−1)·(colcount−1)` fill, under a
 //!   threshold guard for stability) and a **product-form eta file** for
 //!   updates: each basis change appends one sparse eta vector instead of
@@ -23,7 +23,7 @@
 //!   `O(m²)`.
 //!
 //! Row extension (the warm `add_constraint` path) goes through
-//! [`Factorization::extend_row`]: the dense inverse grows by a bordered
+//! `Factorization::extend_row`: the dense inverse grows by a bordered
 //! block — guarded against a near-singular border pivot — while the LU
 //! factors decline (`FactorError::NeedsRefactorization`) and the core
 //! refactorizes lazily at the next solve.

@@ -5,17 +5,17 @@
 //! global-mode LPs of the central-moment analysis stall both backends under
 //! pure Dantzig pricing (the most negative reduced cost repeatedly selects
 //! columns whose pivots make no progress), so the pivoting core is factored
-//! behind the [`Pricer`] abstraction with three implementations:
+//! behind the `Pricer` abstraction with three implementations:
 //!
-//! * [`DantzigPricer`] — the classic "most negative reduced cost" rule, the
+//! * `DantzigPricer` — the classic "most negative reduced cost" rule, the
 //!   pre-existing behavior of both solvers and still the cheapest per
 //!   iteration;
-//! * [`DevexPricer`] — approximate steepest edge (Forrest–Goldfarb devex):
+//! * `DevexPricer` — approximate steepest edge (Forrest–Goldfarb devex):
 //!   columns are scored by `rc²/w` against reference-framework weights that
 //!   are updated from the pivot row and reset when they overflow.  Far fewer
 //!   iterations on degenerate instances for one extra `O(nnz)` sweep per
 //!   pivot;
-//! * [`PartialPricer`] — sectioned (partial) pricing: candidate columns are
+//! * `PartialPricer` — sectioned (partial) pricing: candidate columns are
 //!   scanned one chunk at a time through a rotating cursor, and — for very
 //!   wide systems — the chunks of a round are priced concurrently on the
 //!   rayon shim's scoped threads.  Cheapest per iteration on wide LPs.
@@ -176,11 +176,11 @@ pub struct SolverTuning {
     /// columns, substitute singleton rows, remove duplicate rows).
     pub presolve: bool,
     /// The basis factorization the simplex core solves with (dense `B⁻¹`
-    /// or Markowitz LU with eta updates; see [`FactorKind`]).
+    /// or Markowitz LU with eta updates; see [`FactorKind`](crate::factor::FactorKind)).
     pub factor: crate::factor::FactorKind,
     /// How warm sessions re-solve after incremental rows (dual-simplex
     /// pivots by default, or the legacy phase-1 restart; see
-    /// [`WarmStrategy`]).
+    /// [`WarmStrategy`](crate::factor::WarmStrategy)).
     pub warm: crate::factor::WarmStrategy,
 }
 

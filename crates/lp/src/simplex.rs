@@ -3,7 +3,7 @@
 //! This module owns the crate's vocabulary — [`LpProblem`], [`LpSolution`],
 //! [`LpStatus`], [`SolveStats`] — and the one-shot reference entry point
 //! [`LpProblem::solve`].  The iteration machinery itself lives in the shared
-//! [`SimplexCore`](crate::core::SimplexCore): the dense path is simply the
+//! `SimplexCore`: the dense path is simply the
 //! core configured with dense column storage and the explicit dense basis
 //! inverse, so the reference solver and the sparse session backend can never
 //! drift apart feature-by-feature again (they used to be two parallel

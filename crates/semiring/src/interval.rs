@@ -47,6 +47,20 @@ impl Interval {
         Interval::new(v, v)
     }
 
+    /// The unbounded interval `[-∞, +∞]` — top of the containment lattice.
+    ///
+    /// Abstract interpretation starts unknown variables here and returns
+    /// here after widening; all arithmetic stays NaN-free on infinite
+    /// bounds (see [`Interval::mul`]).
+    pub fn top() -> Self {
+        Interval::new(f64::NEG_INFINITY, f64::INFINITY)
+    }
+
+    /// Whether the interval is `[-∞, +∞]`.
+    pub fn is_top(&self) -> bool {
+        self.lo == f64::NEG_INFINITY && self.hi == f64::INFINITY
+    }
+
     /// Creates `[lo, hi]` after sorting the end points, so the call never
     /// panics on finite inputs.
     pub fn hull(a: f64, b: f64) -> Self {
@@ -106,13 +120,24 @@ impl Interval {
     }
 
     /// Interval multiplication: the hull of all pairwise end-point products.
+    ///
+    /// `0 · ±∞` is resolved to `0` (the IEEE result would be NaN): the factor
+    /// `0` means the operand is exactly zero, so the product is zero no
+    /// matter how unbounded the other operand is.
     #[allow(clippy::should_implement_trait)]
     pub fn mul(self, other: Interval) -> Interval {
+        fn prod(a: f64, b: f64) -> f64 {
+            if a == 0.0 || b == 0.0 {
+                0.0
+            } else {
+                a * b
+            }
+        }
         let candidates = [
-            self.lo * other.lo,
-            self.lo * other.hi,
-            self.hi * other.lo,
-            self.hi * other.hi,
+            prod(self.lo, other.lo),
+            prod(self.lo, other.hi),
+            prod(self.hi, other.lo),
+            prod(self.hi, other.hi),
         ];
         let mut lo = candidates[0];
         let mut hi = candidates[0];
@@ -155,6 +180,35 @@ impl Interval {
     /// containment lattice).
     pub fn join(self, other: Interval) -> Interval {
         Interval::new(self.lo.min(other.lo), self.hi.max(other.hi))
+    }
+
+    /// Intersection of the two intervals, or `None` when disjoint.
+    pub fn intersect(self, other: Interval) -> Option<Interval> {
+        let lo = self.lo.max(other.lo);
+        let hi = self.hi.min(other.hi);
+        if lo <= hi {
+            Some(Interval::new(lo, hi))
+        } else {
+            None
+        }
+    }
+
+    /// Standard interval widening: a bound that moved since `self` jumps
+    /// straight to infinity.  Guarantees termination of ascending chains at
+    /// loop heads — after finitely many widenings every variable is either
+    /// stable or unbounded on that side.
+    pub fn widen(self, next: Interval) -> Interval {
+        let lo = if next.lo < self.lo {
+            f64::NEG_INFINITY
+        } else {
+            self.lo
+        };
+        let hi = if next.hi > self.hi {
+            f64::INFINITY
+        } else {
+            self.hi
+        };
+        Interval::new(lo, hi)
     }
 }
 
@@ -287,6 +341,36 @@ mod tests {
         assert!(narrow.leq(&wide));
         assert!(!wide.leq(&narrow));
         assert!(narrow.leq(&narrow));
+    }
+
+    #[test]
+    fn top_absorbs_and_mul_stays_nan_free() {
+        let top = Interval::top();
+        assert!(top.is_top());
+        assert!(Interval::new(-1.0, 7.0).subset_of(&top));
+        // 0 · ±∞ must resolve to 0, not NaN.
+        assert_eq!(Interval::point(0.0).mul(top), Interval::point(0.0));
+        assert_eq!(Interval::new(0.0, 1.0).mul(top), top);
+        assert_eq!(top.add(Interval::point(3.0)), top);
+    }
+
+    #[test]
+    fn intersect_and_widen() {
+        let a = Interval::new(0.0, 5.0);
+        let b = Interval::new(3.0, 9.0);
+        assert_eq!(a.intersect(b), Some(Interval::new(3.0, 5.0)));
+        assert_eq!(a.intersect(Interval::new(6.0, 7.0)), None);
+
+        // Stable bounds survive widening; moving bounds jump to infinity.
+        assert_eq!(
+            a.widen(Interval::new(0.0, 6.0)),
+            Interval::new(0.0, f64::INFINITY)
+        );
+        assert_eq!(
+            a.widen(Interval::new(-1.0, 5.0)),
+            Interval::new(f64::NEG_INFINITY, 5.0)
+        );
+        assert_eq!(a.widen(Interval::new(1.0, 4.0)), a);
     }
 
     #[test]

@@ -4,10 +4,17 @@
 //! `⟨λ_.0, S_main, Kstop, 0⟩` of Appendix C), optionally overridden by an
 //! initial valuation, and executes until termination or until the step budget
 //! is exhausted.
+//!
+//! Reads of variables that were never written (and not supplied via
+//! [`SimConfig::initial`]) evaluate to `0.0` per the semantics, but each such
+//! read is counted in [`Trial::uninit_reads`]; with
+//! [`SimConfig::strict_init`] the first one aborts the trial with
+//! [`InterpError::UninitializedRead`] instead.
 
+use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 
-use cma_appl::ast::{Expr, Stmt};
+use cma_appl::ast::{Cond, Expr, Stmt, StmtKind};
 use cma_appl::Program;
 use cma_semiring::poly::Var;
 use rand::rngs::StdRng;
@@ -25,6 +32,9 @@ pub struct SimConfig {
     pub max_steps: usize,
     /// Initial values for program variables (unmentioned variables start at 0).
     pub initial: Vec<(Var, f64)>,
+    /// When set, a read of a variable that was never written aborts the trial
+    /// with [`InterpError::UninitializedRead`] instead of silently reading 0.
+    pub strict_init: bool,
 }
 
 impl Default for SimConfig {
@@ -34,6 +44,7 @@ impl Default for SimConfig {
             seed: 0xC0FFEE,
             max_steps: 1_000_000,
             initial: Vec::new(),
+            strict_init: false,
         }
     }
 }
@@ -47,6 +58,9 @@ pub struct Trial {
     pub steps: usize,
     /// Whether the run terminated within the step budget.
     pub terminated: bool,
+    /// Number of reads of variables that had never been written (each such
+    /// read evaluated to the default 0).
+    pub uninit_reads: usize,
 }
 
 /// Errors that abort a simulation.
@@ -55,12 +69,17 @@ pub enum InterpError {
     /// A call targeted an unknown function (programs validated by
     /// [`cma_appl::Program::new`] cannot trigger this).
     UnknownFunction(String),
+    /// Strict-init mode: a variable was read before it was ever written.
+    UninitializedRead(Var),
 }
 
 impl std::fmt::Display for InterpError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             InterpError::UnknownFunction(name) => write!(f, "unknown function `{name}`"),
+            InterpError::UninitializedRead(v) => {
+                write!(f, "variable `{v}` read before initialization")
+            }
         }
     }
 }
@@ -74,15 +93,48 @@ struct Machine<'a> {
     steps: usize,
     max_steps: usize,
     rng: StdRng,
+    strict: bool,
+    // Interior mutability: `Expr::eval` takes an immutable `&dyn Fn` valuation,
+    // so read-tracking must not borrow the machine mutably.
+    uninit_reads: Cell<usize>,
+    strict_violation: RefCell<Option<Var>>,
 }
 
 impl<'a> Machine<'a> {
     fn lookup(&self, v: &Var) -> f64 {
-        self.state.get(v).copied().unwrap_or(0.0)
+        match self.state.get(v) {
+            Some(value) => *value,
+            None => {
+                self.uninit_reads.set(self.uninit_reads.get() + 1);
+                if self.strict {
+                    let mut violation = self.strict_violation.borrow_mut();
+                    if violation.is_none() {
+                        *violation = Some(v.clone());
+                    }
+                }
+                0.0
+            }
+        }
     }
 
-    fn eval_expr(&self, e: &Expr) -> f64 {
-        e.eval(&|v| self.lookup(v))
+    /// Surfaces a strict-mode violation recorded during an evaluation.
+    fn check_strict(&self) -> Result<(), InterpError> {
+        if let Some(v) = self.strict_violation.borrow_mut().take() {
+            return Err(InterpError::UninitializedRead(v));
+        }
+        Ok(())
+    }
+
+    fn eval_expr(&self, e: &Expr) -> Result<f64, InterpError> {
+        let value = e.eval(&|v| self.lookup(v));
+        self.check_strict()?;
+        Ok(value)
+    }
+
+    fn eval_cond(&self, c: &Cond) -> Result<bool, InterpError> {
+        let value = c.eval(&|v| self.lookup(v));
+        self.check_strict()?;
+        Ok(value)
     }
 
     fn exec(&mut self, stmt: &Stmt) -> Result<bool, InterpError> {
@@ -90,37 +142,37 @@ impl<'a> Machine<'a> {
             return Ok(false);
         }
         self.steps += 1;
-        match stmt {
-            Stmt::Skip => Ok(true),
-            Stmt::Tick(c) => {
+        match stmt.kind() {
+            StmtKind::Skip => Ok(true),
+            StmtKind::Tick(c) => {
                 self.cost += c;
                 Ok(true)
             }
-            Stmt::Assign(x, e) => {
-                let value = self.eval_expr(e);
+            StmtKind::Assign(x, e) => {
+                let value = self.eval_expr(e)?;
                 self.state.insert(x.clone(), value);
                 Ok(true)
             }
-            Stmt::Sample(x, d) => {
+            StmtKind::Sample(x, d) => {
                 let u: f64 = self.rng.gen();
                 self.state.insert(x.clone(), d.sample_with(u));
                 Ok(true)
             }
-            Stmt::Call(f) => {
+            StmtKind::Call(f) => {
                 let func = self
                     .program
                     .function(f)
                     .ok_or_else(|| InterpError::UnknownFunction(f.clone()))?;
                 self.exec(func.body())
             }
-            Stmt::If(c, s1, s2) => {
-                if c.eval(&|v| self.lookup(v)) {
+            StmtKind::If(c, s1, s2) => {
+                if self.eval_cond(c)? {
                     self.exec(s1)
                 } else {
                     self.exec(s2)
                 }
             }
-            Stmt::IfProb(p, s1, s2) => {
+            StmtKind::IfProb(p, s1, s2) => {
                 let u: f64 = self.rng.gen();
                 if u < *p {
                     self.exec(s1)
@@ -128,8 +180,8 @@ impl<'a> Machine<'a> {
                     self.exec(s2)
                 }
             }
-            Stmt::While(c, body) => {
-                while c.eval(&|v| self.lookup(v)) {
+            StmtKind::While(c, body) => {
+                while self.eval_cond(c)? {
                     if self.steps >= self.max_steps {
                         return Ok(false);
                     }
@@ -140,7 +192,7 @@ impl<'a> Machine<'a> {
                 }
                 Ok(true)
             }
-            Stmt::Seq(stmts) => {
+            StmtKind::Seq(stmts) => {
                 for s in stmts {
                     if !self.exec(s)? {
                         return Ok(false);
@@ -157,7 +209,9 @@ impl<'a> Machine<'a> {
 /// # Errors
 ///
 /// Returns [`InterpError::UnknownFunction`] when a call targets an undeclared
-/// function (impossible for validated programs).
+/// function (impossible for validated programs), or
+/// [`InterpError::UninitializedRead`] in strict-init mode when a variable is
+/// read before it was written.
 pub fn run_once(program: &Program, config: &SimConfig, seed: u64) -> Result<Trial, InterpError> {
     let mut machine = Machine {
         program,
@@ -166,12 +220,16 @@ pub fn run_once(program: &Program, config: &SimConfig, seed: u64) -> Result<Tria
         steps: 0,
         max_steps: config.max_steps,
         rng: StdRng::seed_from_u64(seed),
+        strict: config.strict_init,
+        uninit_reads: Cell::new(0),
+        strict_violation: RefCell::new(None),
     };
     let terminated = machine.exec(program.main())?;
     Ok(Trial {
         cost: machine.cost,
         steps: machine.steps,
         terminated,
+        uninit_reads: machine.uninit_reads.get(),
     })
 }
 
@@ -189,6 +247,7 @@ mod tests {
         let trial = run_once(&program, &SimConfig::default(), 1).unwrap();
         assert_eq!(trial.cost, 3.0);
         assert!(trial.terminated);
+        assert_eq!(trial.uninit_reads, 0);
     }
 
     #[test]
@@ -283,5 +342,50 @@ mod tests {
         let a = run_once(&program, &SimConfig::default(), 42).unwrap();
         let b = run_once(&program, &SimConfig::default(), 42).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn uninitialized_reads_are_counted() {
+        // `y := x + 1` reads x before any write; the guard then reads y (now
+        // initialized) — exactly one uninitialized read.
+        let program = ProgramBuilder::new()
+            .main(seq([
+                assign("y", add(v("x"), cst(1.0))),
+                if_then(gt(v("y"), cst(0.0)), tick(1.0)),
+            ]))
+            .build()
+            .unwrap();
+        let trial = run_once(&program, &SimConfig::default(), 7).unwrap();
+        assert_eq!(trial.uninit_reads, 1);
+        assert_eq!(trial.cost, 1.0);
+
+        // Supplying the variable via the initial valuation silences the count.
+        let config = SimConfig {
+            initial: vec![(Var::new("x"), 2.0)],
+            ..Default::default()
+        };
+        assert_eq!(run_once(&program, &config, 7).unwrap().uninit_reads, 0);
+    }
+
+    #[test]
+    fn strict_init_aborts_on_first_uninitialized_read() {
+        let program = ProgramBuilder::new()
+            .main(assign("y", v("x")))
+            .build()
+            .unwrap();
+        let config = SimConfig {
+            strict_init: true,
+            ..Default::default()
+        };
+        let err = run_once(&program, &config, 0).unwrap_err();
+        assert_eq!(err, InterpError::UninitializedRead(Var::new("x")));
+        assert!(err.to_string().contains('x'));
+
+        // Initialized programs run to completion in strict mode.
+        let ok = ProgramBuilder::new()
+            .main(seq([assign("x", cst(1.0)), assign("y", v("x"))]))
+            .build()
+            .unwrap();
+        assert!(run_once(&ok, &config, 0).unwrap().terminated);
     }
 }

@@ -30,4 +30,4 @@ pub mod interp;
 pub mod stats;
 
 pub use interp::{run_once, InterpError, SimConfig, Trial};
-pub use stats::{simulate, simulate_with, CostSamples};
+pub use stats::{simulate, simulate_with, try_simulate_with, CostSamples};

@@ -2,13 +2,14 @@
 
 use cma_appl::Program;
 
-use crate::interp::{run_once, SimConfig, Trial};
+use crate::interp::{run_once, InterpError, SimConfig, Trial};
 
 /// The empirical distribution of the accumulated cost over many trials.
 #[derive(Debug, Clone)]
 pub struct CostSamples {
     costs: Vec<f64>,
     cutoff_trials: usize,
+    uninit_reads: usize,
 }
 
 impl CostSamples {
@@ -17,6 +18,7 @@ impl CostSamples {
         CostSamples {
             costs,
             cutoff_trials: 0,
+            uninit_reads: 0,
         }
     }
 
@@ -28,6 +30,12 @@ impl CostSamples {
     /// Number of trials that hit the step budget before terminating.
     pub fn cutoff_trials(&self) -> usize {
         self.cutoff_trials
+    }
+
+    /// Total number of reads-before-initialization across all trials (each
+    /// such read silently evaluated to 0; see [`Trial::uninit_reads`]).
+    pub fn uninit_reads(&self) -> usize {
+        self.uninit_reads
     }
 
     /// Number of samples.
@@ -144,23 +152,41 @@ pub fn simulate(program: &Program, config: &SimConfig) -> CostSamples {
 pub fn simulate_with(
     program: &Program,
     config: &SimConfig,
-    mut observer: impl FnMut(&Trial),
+    observer: impl FnMut(&Trial),
 ) -> CostSamples {
+    try_simulate_with(program, config, observer)
+        .expect("validated programs cannot fail to interpret")
+}
+
+/// Like [`simulate_with`], but propagates interpreter errors instead of
+/// panicking — required for [`SimConfig::strict_init`], where a trial may
+/// legitimately abort on an uninitialized read.
+///
+/// # Errors
+///
+/// Returns the first [`InterpError`] raised by any trial.
+pub fn try_simulate_with(
+    program: &Program,
+    config: &SimConfig,
+    mut observer: impl FnMut(&Trial),
+) -> Result<CostSamples, InterpError> {
     let mut costs = Vec::with_capacity(config.trials);
     let mut cutoffs = 0usize;
+    let mut uninit = 0usize;
     for i in 0..config.trials {
-        let trial = run_once(program, config, config.seed.wrapping_add(i as u64))
-            .expect("validated programs cannot fail to interpret");
+        let trial = run_once(program, config, config.seed.wrapping_add(i as u64))?;
         if !trial.terminated {
             cutoffs += 1;
         }
+        uninit += trial.uninit_reads;
         observer(&trial);
         costs.push(trial.cost);
     }
-    CostSamples {
+    Ok(CostSamples {
         costs,
         cutoff_trials: cutoffs,
-    }
+        uninit_reads: uninit,
+    })
 }
 
 #[cfg(test)]

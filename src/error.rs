@@ -1,8 +1,9 @@
 //! The unified error hierarchy of the pipeline.
 //!
 //! Every failure mode of the constituent crates — parsing ([`ParseError`]),
-//! program validation ([`ProgramError`]), constraint derivation and LP solving
-//! ([`AnalysisError`]), simulation ([`InterpError`]) — converges into one
+//! program validation ([`ProgramError`]), static checking
+//! ([`cma_check::CheckReport`] with errors), constraint derivation and LP
+//! solving ([`AnalysisError`]), simulation ([`InterpError`]) — converges into one
 //! [`CmaError`] so that callers of the [`Analysis`](crate::Analysis) facade
 //! and the `cma` CLI handle a single error type with `?`.  The
 //! [`ResultExt::context`] adapter attaches human-readable context ("while
@@ -25,6 +26,9 @@ pub enum CmaError {
     Analysis(AnalysisError),
     /// The Monte-Carlo interpreter failed.
     Simulation(InterpError),
+    /// The static checker found error-severity diagnostics (the full report,
+    /// including warnings, rides along for callers that render diagnostics).
+    Check(Box<cma_check::CheckReport>),
     /// A file could not be read or written.
     Io {
         /// The path involved.
@@ -50,6 +54,7 @@ impl fmt::Display for CmaError {
             CmaError::Program(e) => write!(f, "invalid program: {e}"),
             CmaError::Analysis(e) => write!(f, "analysis failed: {e}"),
             CmaError::Simulation(e) => write!(f, "simulation failed: {e}"),
+            CmaError::Check(report) => write!(f, "static checks failed: {}", report.summary()),
             CmaError::Io { path, source } => write!(f, "cannot access `{path}`: {source}"),
             CmaError::Usage(msg) => write!(f, "{msg}"),
             CmaError::Context { context, source } => write!(f, "{context}: {source}"),
@@ -64,6 +69,7 @@ impl std::error::Error for CmaError {
             CmaError::Program(e) => Some(e),
             CmaError::Analysis(e) => Some(e),
             CmaError::Simulation(e) => Some(e),
+            CmaError::Check(_) => None,
             CmaError::Io { source, .. } => Some(source),
             CmaError::Usage(_) => None,
             CmaError::Context { source, .. } => Some(source),
@@ -127,6 +133,17 @@ impl CmaError {
             CmaError::Usage(_) => true,
             CmaError::Context { source, .. } => source.is_usage(),
             _ => false,
+        }
+    }
+
+    /// When the root cause is a failed static check, the checker report with
+    /// the individual diagnostics (the `Display` of the error shows only the
+    /// one-line summary).
+    pub fn check_report(&self) -> Option<&cma_check::CheckReport> {
+        match self {
+            CmaError::Check(report) => Some(report),
+            CmaError::Context { source, .. } => source.check_report(),
+            _ => None,
         }
     }
 

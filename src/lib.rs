@@ -24,6 +24,8 @@
 //!
 //! * [`semiring`] — moment semirings, intervals, polynomials;
 //! * [`appl`] — the Appl probabilistic language (AST, parser, builder DSL);
+//! * [`check`] — the pre-analysis static checker (diagnostics CMA001–CMA007
+//!   and the range facts that prune the derivation);
 //! * [`sim`] — Monte-Carlo operational semantics;
 //! * [`lp`] — the LP solver abstraction ([`LpBackend`]) and the default
 //!   simplex implementation;
@@ -35,6 +37,7 @@
 //! [`LpBackend`] contract, and the [`CmaError`] hierarchy.
 
 pub use cma_appl as appl;
+pub use cma_check as check;
 pub use cma_inference as inference;
 pub use cma_logic as logic;
 pub use cma_lp as lp;
@@ -48,14 +51,15 @@ mod report;
 
 pub use error::{CmaError, ResultExt};
 pub use pipeline::Analysis;
-pub use report::{json, AnalysisReport, LpStats, PhaseTimings};
+pub use report::{json, AnalysisReport, CheckStats, LpStats, PhaseTimings};
 
 // The vocabulary of the pipeline, re-exported flat so `use
 // central_moment_analysis::{Analysis, SolveMode, Var}` just works.
 pub use cma_appl::{parse_program, Program, Var};
+pub use cma_check::{CheckConfig, CheckReport};
 pub use cma_inference::{
-    AnalysisOptions, CentralMoments, EscalationStats, GroupLpStats, PlanStats, SolveMode,
-    SoundnessReport, TailBound,
+    AnalysisOptions, CentralMoments, EscalationStats, GroupLpStats, PlanStats, PruningStats,
+    SolveMode, SoundnessReport, TailBound,
 };
 pub use cma_lp::{
     FactorKind, LpBackend, LpSession, PricingRule, SimplexBackend, SolveStats, SolverTuning,

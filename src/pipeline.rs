@@ -27,9 +27,11 @@
 //! engine with [`Analysis::backend`] and everything downstream — engine,
 //! soundness instrumentation, report statistics — uses it.
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use cma_appl::{parse_program, Program};
+use cma_check::CheckConfig;
 use cma_inference::{
     analyze_session, soundness_report_in_session, tail_curve, AnalysisOptions, CentralMoments,
     SolveMode,
@@ -39,7 +41,7 @@ use cma_semiring::poly::Var;
 use cma_suite::Benchmark;
 
 use crate::error::CmaError;
-use crate::report::{AnalysisReport, LpStats, PhaseTimings};
+use crate::report::{AnalysisReport, CheckStats, LpStats, PhaseTimings};
 
 /// Fluent builder for one end-to-end analysis run.
 ///
@@ -57,6 +59,12 @@ pub struct Analysis<B: LpBackend = SimplexBackend> {
     check_soundness: bool,
     escalate_from: Option<usize>,
     parse_elapsed: Option<Duration>,
+    run_checks: bool,
+    check_pruning: bool,
+    check_nonneg_cost: bool,
+    /// The original source text (kept by [`Analysis::parse`]) so the checker
+    /// can resolve diagnostic spans to line:column and key branch facts.
+    source: Option<String>,
 }
 
 impl Analysis<SimplexBackend> {
@@ -72,6 +80,10 @@ impl Analysis<SimplexBackend> {
             check_soundness: true,
             escalate_from: None,
             parse_elapsed: None,
+            run_checks: true,
+            check_pruning: true,
+            check_nonneg_cost: false,
+            source: None,
         }
     }
 
@@ -86,6 +98,7 @@ impl Analysis<SimplexBackend> {
         let parse_elapsed = start.elapsed();
         let mut analysis = Analysis::of(&program);
         analysis.parse_elapsed = Some(parse_elapsed);
+        analysis.source = Some(source.to_string());
         Ok(analysis)
     }
 
@@ -215,6 +228,31 @@ impl<B: LpBackend> Analysis<B> {
         self
     }
 
+    /// Enables or disables the pre-analysis static checks (enabled by
+    /// default).  When enabled, error-severity diagnostics abort the run
+    /// with [`CmaError::Check`]; warnings ride along in
+    /// [`AnalysisReport::check`].
+    pub fn check(mut self, check: bool) -> Self {
+        self.run_checks = check;
+        self
+    }
+
+    /// Enables or disables LP pruning from the checker's exported range
+    /// facts (enabled by default; a no-op when the checks themselves are
+    /// disabled).  Disabling isolates the checker's effect on LP size.
+    pub fn check_pruning(mut self, prune: bool) -> Self {
+        self.check_pruning = prune;
+        self
+    }
+
+    /// Declares that the program's costs are meant to be nonnegative
+    /// (disabled by default).  The checker then reports any statically
+    /// negative `tick` as an error (CMA007), which aborts the run.
+    pub fn check_nonneg_cost(mut self, nonneg: bool) -> Self {
+        self.check_nonneg_cost = nonneg;
+        self
+    }
+
     /// Swaps the LP backend; all later phases (inference and the soundness
     /// re-analysis) solve with it.
     pub fn backend<B2: LpBackend>(self, backend: B2) -> Analysis<B2> {
@@ -227,6 +265,10 @@ impl<B: LpBackend> Analysis<B> {
             check_soundness: self.check_soundness,
             escalate_from: self.escalate_from,
             parse_elapsed: self.parse_elapsed,
+            run_checks: self.run_checks,
+            check_pruning: self.check_pruning,
+            check_nonneg_cost: self.check_nonneg_cost,
+            source: self.source,
         }
     }
 
@@ -265,20 +307,58 @@ impl<B: LpBackend> Analysis<B> {
         }
         let total_start = Instant::now();
 
+        // The static checks run first: error diagnostics abort (the derived
+        // bounds would be over a defective program), warnings ride along in
+        // the report, and the exported range facts prune statically-refuted
+        // branches and dead template variables from the derivation.
+        let (check_report, check_elapsed) = if self.run_checks {
+            let start = Instant::now();
+            let config = CheckConfig {
+                nonneg_cost: self.check_nonneg_cost,
+                assume_init: self
+                    .options
+                    .valuation
+                    .iter()
+                    .map(|(v, _)| v.clone())
+                    .collect(),
+            };
+            let report = match &self.source {
+                // `Analysis::parse` already parsed this very text.
+                Some(source) => cma_check::check_source(source, &config)
+                    .expect("source parsed by Analysis::parse"),
+                None => cma_check::check_program(&self.program, &config),
+            };
+            if report.has_errors() {
+                return Err(CmaError::Check(Box::new(report)));
+            }
+            (Some(report), Some(start.elapsed()))
+        } else {
+            (None, None)
+        };
+
+        let mut options = self.options.clone();
+        if self.check_pruning {
+            if let Some(report) = &check_report {
+                if !report.facts().is_empty() {
+                    options.range_facts = Some(Arc::new(report.facts().clone()));
+                }
+            }
+        }
+
         let analysis_start = Instant::now();
         // With escalation enabled, solve at the starting degree first, then
         // escalate the live session to the target — the warm basis absorbs
         // the new moment components instead of a cold re-derive.
         let (result, mut engine_session) = match self.escalate_from {
             Some(from) => {
-                let mut start_options = self.options.clone();
+                let mut start_options = options.clone();
                 start_options.degree = from;
                 let (_low, mut session) =
                     analyze_session(&self.program, &start_options, &self.backend)?;
-                let result = session.escalate_degree(self.options.degree)?;
+                let result = session.escalate_degree(options.degree)?;
                 (result, session)
             }
-            None => analyze_session(&self.program, &self.options, &self.backend)?,
+            None => analyze_session(&self.program, &options, &self.backend)?,
         };
         let analysis_elapsed = analysis_start.elapsed();
 
@@ -314,6 +394,11 @@ impl<B: LpBackend> Analysis<B> {
             result.lp_solves,
             result.groups.clone(),
         );
+        let check = check_report.map(|r| CheckStats {
+            diagnostics: r.diagnostics().iter().map(|d| d.to_string()).collect(),
+            warnings: r.warning_count(),
+            pruning: result.pruning,
+        });
         Ok(AnalysisReport {
             label: self.label.clone(),
             degree: self.options.degree,
@@ -332,8 +417,10 @@ impl<B: LpBackend> Analysis<B> {
             central,
             tail,
             soundness,
+            check,
             timings: PhaseTimings {
                 parse: self.parse_elapsed,
+                check: check_elapsed,
                 analysis: analysis_elapsed,
                 soundness: soundness_elapsed,
                 tail: tail_elapsed,
@@ -654,6 +741,95 @@ mod tests {
         assert!(json.contains("\"poly_retries\":1"), "{json}");
     }
 
+    /// A program the checker can prune: one statically-refuted branch, one
+    /// never-entered loop, one dead template variable.
+    const PRUNABLE: &str = "func main() begin\n  x := 1;\n  waste := 7;\n  if x < 0 then tick(9) else tick(1) fi;\n  while x < 0 do tick(5) od\nend\n";
+
+    #[test]
+    fn checker_errors_abort_the_run_with_the_report() {
+        // Malformed distributions and calls never reach the checker through
+        // `Analysis::parse` — the parse-time validator rejects them first,
+        // with a span of its own.
+        let err = Analysis::parse("func main() begin\n  x ~ uniform(2, 1);\n  tick(1)\nend\n")
+            .unwrap_err();
+        assert!(matches!(err, CmaError::Parse(_)), "{err}");
+
+        // The checker's own error path on a *valid* program: a negative tick
+        // under the declared nonnegative-cost mode (CMA007).
+        let src = "func main() begin\n  tick(-2)\nend\n";
+        let err = Analysis::parse(src)
+            .unwrap()
+            .check_nonneg_cost(true)
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, CmaError::Check(_)), "{err}");
+        let report = err.check_report().expect("report rides on the error");
+        assert!(report.has_errors());
+        assert!(err.to_string().contains("static checks failed"), "{err}");
+
+        // Without the mode (or with the checks disabled) the same program
+        // analyzes fine — the engine handles nonmonotone costs.
+        let ran = Analysis::parse(src)
+            .unwrap()
+            .check(false)
+            .soundness(false)
+            .run();
+        assert!(ran.is_ok(), "{:?}", ran.err().map(|e| e.to_string()));
+        assert!(ran.unwrap().check.is_none());
+    }
+
+    #[test]
+    fn checker_warnings_ride_in_the_report() {
+        let report = Analysis::parse(PRUNABLE)
+            .unwrap()
+            .soundness(false)
+            .run()
+            .unwrap();
+        let check = report.check.as_ref().expect("checks ran");
+        // CMA002 (refuted branch), CMA002/CMA004 (dead loop), CMA005 (waste).
+        assert!(check.warnings >= 3, "{:?}", check.diagnostics);
+        assert!(
+            check.diagnostics.iter().any(|d| d.contains("CMA005")),
+            "{:?}",
+            check.diagnostics
+        );
+        let rendered = report.to_string();
+        assert!(rendered.contains("checks: "), "{rendered}");
+    }
+
+    #[test]
+    fn check_pruning_shrinks_the_lp_and_keeps_the_exact_bound() {
+        let base = Analysis::parse(PRUNABLE)
+            .unwrap()
+            .check_pruning(false)
+            .soundness(false)
+            .run()
+            .unwrap();
+        let pruned = Analysis::parse(PRUNABLE)
+            .unwrap()
+            .soundness(false)
+            .run()
+            .unwrap();
+        // Unpruned run still reports the checker outcome, with zero savings.
+        assert!(!base.check.as_ref().unwrap().pruning.any());
+        let stats = pruned.check.as_ref().unwrap().pruning;
+        assert_eq!(stats.refuted_branches, 1);
+        assert_eq!(stats.skipped_loops, 1);
+        assert_eq!(stats.dropped_template_vars, 1);
+        assert!(
+            pruned.lp.constraints < base.lp.constraints,
+            "pruned {} vs {}",
+            pruned.lp.constraints,
+            base.lp.constraints
+        );
+        assert!(pruned.lp.variables < base.lp.variables);
+        // The only live path ticks exactly 1.
+        for report in [&base, &pruned] {
+            assert!((report.mean().lo() - 1.0).abs() < 1e-6, "{}", report.mean());
+            assert!((report.mean().hi() - 1.0).abs() < 1e-6, "{}", report.mean());
+        }
+    }
+
     #[test]
     fn json_report_is_well_formed_and_complete() {
         let report = Analysis::benchmark(&running::rdwalk())
@@ -680,7 +856,10 @@ mod tests {
             "\"groups\":[{\"name\":\"global\"",
             "\"plan\":{\"slots_created\":",
             "\"escalation\":null",
+            "\"check\":{\"warnings\":0",
+            "\"pruning\":{\"refuted_branches\":0",
             "\"timings\":{",
+            "\"check_ms\":",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }

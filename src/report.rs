@@ -13,8 +13,8 @@ use std::fmt;
 use std::time::Duration;
 
 use cma_inference::{
-    AnalysisResult, CentralMoments, EscalationStats, GroupLpStats, PlanStats, SolveMode,
-    SoundnessReport, TailBound,
+    AnalysisResult, CentralMoments, EscalationStats, GroupLpStats, PlanStats, PruningStats,
+    SolveMode, SoundnessReport, TailBound,
 };
 use cma_semiring::poly::Var;
 use cma_semiring::Interval;
@@ -79,6 +79,8 @@ pub mod json {
 pub struct PhaseTimings {
     /// Parsing the source text (absent when the program was given as an AST).
     pub parse: Option<Duration>,
+    /// The pre-analysis static checks (absent when disabled).
+    pub check: Option<Duration>,
     /// Constraint derivation plus LP solving.
     pub analysis: Duration,
     /// The soundness side-condition checks (absent when disabled).
@@ -87,6 +89,21 @@ pub struct PhaseTimings {
     pub tail: Duration,
     /// End-to-end time of `run()`.
     pub total: Duration,
+}
+
+/// Outcome of the pre-analysis static checks: the (warning-severity)
+/// diagnostics the run surfaced and the derivation work the checker's
+/// exported range facts saved.  Error-severity diagnostics never reach a
+/// report — they abort the run with [`CmaError::Check`](crate::CmaError).
+#[derive(Debug, Clone, Default)]
+pub struct CheckStats {
+    /// Rendered diagnostics, in source order.
+    pub diagnostics: Vec<String>,
+    /// Number of warnings raised.
+    pub warnings: usize,
+    /// Branches/loops/template variables the checker's facts pruned from the
+    /// derivation (all zero when pruning was disabled or nothing was refuted).
+    pub pruning: PruningStats,
 }
 
 /// Size and solver-effort statistics of the linear programs handed to the
@@ -183,6 +200,9 @@ pub struct AnalysisReport {
     pub tail: Vec<TailBound>,
     /// Soundness side conditions of Theorem 4.4 (absent when disabled).
     pub soundness: Option<SoundnessReport>,
+    /// Static-check diagnostics and fact-pruning statistics (absent when the
+    /// checks were disabled).
+    pub check: Option<CheckStats>,
     /// Per-phase wall-clock timings.
     pub timings: PhaseTimings,
     /// LP size statistics.
@@ -388,11 +408,32 @@ impl AnalysisReport {
         };
         push_field(&mut out, "escalation", &escalation);
 
+        let check = match &self.check {
+            Some(c) => {
+                let diags = c
+                    .diagnostics
+                    .iter()
+                    .map(|d| json::string(d))
+                    .collect::<Vec<_>>()
+                    .join(",");
+                format!(
+                    "{{\"warnings\":{},\"diagnostics\":[{diags}],\"pruning\":{{\"refuted_branches\":{},\"skipped_loops\":{},\"dropped_template_vars\":{}}}}}",
+                    c.warnings,
+                    c.pruning.refuted_branches,
+                    c.pruning.skipped_loops,
+                    c.pruning.dropped_template_vars,
+                )
+            }
+            None => "null".to_string(),
+        };
+        push_field(&mut out, "check", &check);
+
         // Timings go last so consumers comparing reports can cheaply strip the
         // single volatile section.
         let timings = format!(
-            "{{\"parse_ms\":{},\"analysis_ms\":{},\"soundness_ms\":{},\"tail_ms\":{},\"total_ms\":{}}}",
+            "{{\"parse_ms\":{},\"check_ms\":{},\"analysis_ms\":{},\"soundness_ms\":{},\"tail_ms\":{},\"total_ms\":{}}}",
             json::opt_num(self.timings.parse.map(|d| d.as_secs_f64() * 1e3)),
+            json::opt_num(self.timings.check.map(|d| d.as_secs_f64() * 1e3)),
             json::num(self.timings.analysis.as_secs_f64() * 1e3),
             json::opt_num(self.timings.soundness.map(|d| d.as_secs_f64() * 1e3)),
             json::num(self.timings.tail.as_secs_f64() * 1e3),
@@ -538,6 +579,26 @@ impl fmt::Display for AnalysisReport {
                 }
                 writeln!(f, ")")?;
             }
+        }
+
+        if let Some(c) = &self.check {
+            writeln!(f)?;
+            if c.warnings == 0 {
+                write!(f, "checks: clean")?;
+            } else {
+                let plural = if c.warnings == 1 { "" } else { "s" };
+                write!(f, "checks: {} warning{plural}", c.warnings)?;
+            }
+            let p = &c.pruning;
+            if p.any() {
+                write!(
+                    f,
+                    " · pruned {} refuted branch(es), {} dead loop(s), \
+                     {} dead template var(s)",
+                    p.refuted_branches, p.skipped_loops, p.dropped_template_vars
+                )?;
+            }
+            writeln!(f)?;
         }
 
         writeln!(f)?;

@@ -1,0 +1,53 @@
+//! Every shipped program — the benchmark suite and the `examples/`
+//! directory (minus the deliberately defective `examples/lints/`
+//! fixtures) — must pass the static checks without a single diagnostic.
+//!
+//! This is the `--deny warnings` bar: a new benchmark or example that
+//! trips a lint fails here before it ever reaches a user.
+
+use std::path::PathBuf;
+
+use central_moment_analysis::check::{check_program, check_source};
+use central_moment_analysis::{suite, CheckConfig};
+
+#[test]
+fn every_suite_benchmark_is_check_clean() {
+    let mut dirty = Vec::new();
+    for b in suite::all_benchmarks() {
+        // A benchmark's valuation names the symbolic parameters callers
+        // initialize; the checker must not flag reads of them.
+        let config = CheckConfig {
+            nonneg_cost: false,
+            assume_init: b.valuation.iter().map(|(v, _)| v.clone()).collect(),
+        };
+        let report = check_program(&b.program, &config);
+        if !report.is_clean() {
+            dirty.push(format!("{}:\n{report}", b.qualified_name()));
+        }
+    }
+    assert!(
+        dirty.is_empty(),
+        "{} benchmark(s) tripped the static checks:\n{}",
+        dirty.len(),
+        dirty.join("\n")
+    );
+}
+
+#[test]
+fn every_shipped_example_is_check_clean() {
+    let examples = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("examples");
+    let mut checked = 0;
+    for entry in std::fs::read_dir(&examples).unwrap() {
+        let path = entry.unwrap().path();
+        // `examples/lints/` is the negative corpus — skipped by design.
+        if path.extension().and_then(|e| e.to_str()) != Some("appl") {
+            continue;
+        }
+        let source = std::fs::read_to_string(&path).unwrap();
+        let report = check_source(&source, &CheckConfig::default())
+            .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        assert!(report.is_clean(), "{}:\n{report}", path.display());
+        checked += 1;
+    }
+    assert!(checked >= 2, "expected to sweep the shipped examples");
+}
