@@ -2,7 +2,7 @@
 //! evaluation section.
 //!
 //! The [`experiments`] module contains one function per experiment id (see
-//! `DESIGN.md` §5); the `tables` binary dispatches on a command-line argument
+//! `DESIGN.md` §6); the `tables` binary dispatches on a command-line argument
 //! and prints the corresponding rows/series as plain text / CSV, and the
 //! Criterion benches under `benches/` measure analysis times.
 

@@ -3,111 +3,16 @@
 //! simulation — no read of an uninitialized variable, no draw from an
 //! invalid distribution.
 //!
-//! The generator deliberately produces defective programs too (reads of
-//! never-written variables, reversed uniform bounds); those are exactly the
-//! cases the checker must flag, so they are skipped rather than simulated.
+//! The generator lives in `cma-corpus` (it also drives `cma corpus gen`
+//! campaigns); it deliberately produces defective programs too (reads of
+//! never-written variables, reversed uniform bounds) — those are exactly
+//! the cases the checker must flag, so they are skipped rather than
+//! simulated.
 
 use cma_check::{check_source, CheckConfig};
+use cma_corpus::gen_program;
 use cma_sim::{try_simulate_with, SimConfig};
 use proptest::prelude::*;
-
-/// A tiny deterministic PRNG (splitmix64) so one `u64` seed drives the whole
-/// program shape.
-struct Gen(u64);
-
-impl Gen {
-    fn next(&mut self) -> u64 {
-        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
-        let mut z = self.0;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
-        z ^ (z >> 31)
-    }
-
-    fn pick(&mut self, n: u64) -> u64 {
-        self.next() % n
-    }
-
-    fn var(&mut self) -> &'static str {
-        ["x", "y", "z"][self.pick(3) as usize]
-    }
-}
-
-/// One statement of a random program.  Depth caps nesting; the generator
-/// may read variables that were never written and may emit invalid
-/// distribution parameters — the checker is the gate.
-fn gen_stmt(g: &mut Gen, depth: usize, out: &mut Vec<String>, indent: usize) {
-    let pad = "  ".repeat(indent);
-    match g.pick(if depth == 0 { 5 } else { 7 }) {
-        0 => out.push(format!("{pad}{} := {}", g.var(), g.pick(5))),
-        1 => out.push(format!("{pad}{} := {} + {}", g.var(), g.var(), g.pick(3))),
-        2 => {
-            // Half the time the uniform bounds are reversed (CMA003 bait).
-            let a = g.pick(4) as i64;
-            let b = if g.pick(2) == 0 { a + 2 } else { a - 1 };
-            out.push(format!("{pad}{} ~ uniform({a}, {b})", g.var()));
-        }
-        3 => out.push(format!("{pad}tick({})", g.pick(4) + 1)),
-        4 => out.push(format!("{pad}skip")),
-        5 => {
-            out.push(format!("{pad}if {} < {} then", g.var(), g.pick(4)));
-            gen_stmt(g, depth - 1, out, indent + 1);
-            out.push(format!("{pad}else"));
-            gen_stmt(g, depth - 1, out, indent + 1);
-            out.push(format!("{pad}fi"));
-        }
-        _ => {
-            let v = g.var();
-            out.push(format!("{pad}while {v} < {} do", g.pick(3) + 1));
-            // Always advance the guard variable so the trial terminates
-            // within the step budget (the checker would otherwise just
-            // flag CMA004 and skip the case).
-            out.push(format!("{pad}  {v} := {v} + 1"));
-            out.push(format!("{pad}od"));
-        }
-    }
-}
-
-fn gen_program(seed: u64) -> String {
-    let mut g = Gen(seed);
-    let mut body = Vec::new();
-    // Prelude: most variables start sampled from a wide range, so guards
-    // over them stay statically undecided; a variable the prelude skips is
-    // exactly the CMA001 bait once the epilogue reads it.
-    for v in ["x", "y", "z"] {
-        if g.pick(4) < 3 {
-            body.push(format!("  {v} ~ uniform(-2, 3)"));
-        }
-    }
-    let n = 2 + g.pick(4) as usize;
-    for _ in 0..n {
-        gen_stmt(&mut g, 2, &mut body, 1);
-    }
-    // Epilogue: read every variable, so no write is ever dead (CMA005
-    // cannot fire) and every missing initialization is caught (CMA001
-    // always fires for it).  `sink` is written before it is read.
-    body.push("  sink := x + y".to_string());
-    body.push("  sink := sink + z".to_string());
-    // The grammar separates statements with `;`, but block keywords
-    // (then/else/fi/do/od) are not statements — join lines, then add `;`
-    // only after lines that end a statement and are followed by one.
-    let mut source = String::from("func main() begin\n");
-    for (i, line) in body.iter().enumerate() {
-        source.push_str(line);
-        let ends_stmt = !line.trim_end().ends_with("then")
-            && !line.trim_end().ends_with("else")
-            && !line.trim_end().ends_with("do");
-        let next_opens = body
-            .get(i + 1)
-            .is_some_and(|l| matches!(l.trim(), "else" | "fi" | "od") || l.trim() == "fi");
-        if ends_stmt && i + 1 < body.len() && !next_opens {
-            source.push(';');
-        }
-        source.push('\n');
-    }
-    source.push_str("end\n");
-    source
-}
 
 /// Guards the property below against rotting into a vacuous skip-everything
 /// test: a healthy share of generated programs must parse, check clean, and
@@ -151,8 +56,8 @@ proptest! {
             trials: 25,
             seed,
             max_steps: 10_000,
-            initial: Vec::new(),
             strict_init: true,
+            ..Default::default()
         };
         let stats = try_simulate_with(&program, &config, |_| {})
             .unwrap_or_else(|e| panic!("strict simulation aborted on:\n{source}\n{e}"));

@@ -1,11 +1,13 @@
 //! `cma` — the command line of the central-moment analysis.
 //!
 //! ```text
-//! cma analyze  <file.appl> [--degree N] [--mode global|compositional] [--json] …
+//! cma analyze  <file.appl> [--degree N] [--timeout SECS] [--json] …
 //! cma check    <file.appl>… [--deny warnings] [--nonneg-cost] [--json]
-//! cma simulate <file.appl> [--trials N] [--seed N] [--strict-init] [--json] …
+//! cma simulate <file.appl> [--trials N] [--seed N] [--timeout SECS] [--json] …
 //! cma tail     <file.appl> --thresholds d1,d2,… [--json] …
 //! cma suite    list|run [name|all] [--degree N] [--json]
+//! cma corpus   gen --out DIR [--seed N] [--count K] [--hostile]
+//! cma corpus   run <file|dir>… [--jobs N] [--timeout SECS] [--journal FILE] …
 //! ```
 //!
 //! Every subcommand accepts `--json` for machine-readable output; the human
@@ -34,6 +36,9 @@ USAGE:
                                            tail bounds P[C >= d] at thresholds
     cma suite    list                      list the paper's benchmark programs
     cma suite    run <name|all> [OPTIONS]  analyze benchmark(s) from the suite
+    cma corpus   gen --out DIR [OPTIONS]   write a deterministic generated corpus
+    cma corpus   run <file|dir>… [OPTIONS] analyze a corpus in isolated child
+                                           processes (crash/hang containment)
 
 ANALYSIS OPTIONS:
     --degree N           target moment degree m (default 2)
@@ -48,6 +53,10 @@ ANALYSIS OPTIONS:
     --factor F           dense | lu basis factorization (default dense)
     --no-presolve        skip the LP presolve pass (row/column reductions)
     --threads N          solve independent compositional groups on N threads
+    --timeout SECS       wall-clock budget for the whole analysis; when it runs
+                         out, the degradation ladder retries with cheaper
+                         settings and labels the (still sound) weaker bounds
+    --group-timeout SECS wall-clock budget per LP group solve
     --valuation K=V,…    initial-state valuation, e.g. d=10,x=0
     --tail D1,D2,…       tail-bound thresholds (default 2x/4x/8x mean bound)
     --no-soundness       skip the Thm 4.4 side-condition checks
@@ -66,6 +75,23 @@ SIMULATION OPTIONS:
     --seed N             RNG seed (default 12648430)
     --max-steps N        per-trial step budget (default 1000000)
     --strict-init        abort a trial on any read of an uninitialized variable
+    --timeout SECS       wall-clock budget; completed trials are kept and the
+                         statistics are labeled as truncated
+
+CORPUS OPTIONS:
+    --out DIR            (gen) output directory for the generated programs
+    --seed N             (gen) base seed; program i uses seed N+i (default 1)
+    --count K            (gen) number of generated programs (default 100)
+    --hostile            (gen) also write hostile.appl, a fixture whose
+                         analysis is expensive enough to trip any deadline
+    --jobs N             (run) concurrent child processes (default 4)
+    --timeout SECS       (run) hard per-program deadline; the child process is
+                         killed when it passes (default 10)
+    --retries N          (run) extra attempts for timeouts/crashes (default 1)
+    --journal FILE       (run) NDJSON journal; re-running against an existing
+                         journal resumes, skipping recorded programs
+                         (default corpus.journal.ndjson)
+    --cma PATH           (run) analyzer binary to invoke (default: this binary)
 
 COMMON OPTIONS:
     --json               emit the full report as JSON on stdout
@@ -88,8 +114,9 @@ fn main() -> ExitCode {
         "check" => cmd_check(&args[1..]),
         "simulate" => cmd_simulate(&args[1..]),
         "suite" => cmd_suite(&args[1..]),
+        "corpus" => cmd_corpus(&args[1..]),
         other => Err(CmaError::Usage(format!(
-            "unknown subcommand `{other}` (expected analyze, check, simulate, tail, or suite)"
+            "unknown subcommand `{other}` (expected analyze, check, simulate, tail, suite, or corpus)"
         ))),
     };
     match result {
@@ -155,6 +182,10 @@ struct AnalyzeOpts {
     no_check_pruning: bool,
     label: Option<String>,
     json: bool,
+    /// Wall-clock budgets, in seconds (`analyze`: whole analysis and per LP
+    /// group; `simulate`: the campaign; `corpus run`: hard kill deadline).
+    timeout: Option<f64>,
+    group_timeout: Option<f64>,
     /// Positional arguments (file name, benchmark name, …).
     positional: Vec<String>,
     /// Simulation-only knobs (accepted everywhere, used by `simulate`).
@@ -165,6 +196,14 @@ struct AnalyzeOpts {
     /// `cma check`-only knobs.
     deny_warnings: bool,
     nonneg_cost: bool,
+    /// `cma corpus`-only knobs.
+    out: Option<String>,
+    count: Option<usize>,
+    hostile: bool,
+    jobs: Option<usize>,
+    retries: Option<u32>,
+    journal: Option<String>,
+    cma_binary: Option<String>,
 }
 
 fn parse_opts(args: &[String]) -> Result<AnalyzeOpts, CmaError> {
@@ -265,6 +304,39 @@ fn parse_opts(args: &[String]) -> Result<AnalyzeOpts, CmaError> {
                 let v = it.next().ok_or_else(|| missing("--label"))?;
                 opts.label = Some(v.clone());
             }
+            "--timeout" => {
+                let v = it.next().ok_or_else(|| missing("--timeout"))?;
+                opts.timeout = Some(parse_secs(v, "--timeout")?);
+            }
+            "--group-timeout" => {
+                let v = it.next().ok_or_else(|| missing("--group-timeout"))?;
+                opts.group_timeout = Some(parse_secs(v, "--group-timeout")?);
+            }
+            "--out" => {
+                let v = it.next().ok_or_else(|| missing("--out"))?;
+                opts.out = Some(v.clone());
+            }
+            "--count" => {
+                let v = it.next().ok_or_else(|| missing("--count"))?;
+                opts.count = Some(parse_num(v, "--count")?);
+            }
+            "--hostile" => opts.hostile = true,
+            "--jobs" => {
+                let v = it.next().ok_or_else(|| missing("--jobs"))?;
+                opts.jobs = Some(parse_num(v, "--jobs")?);
+            }
+            "--retries" => {
+                let v = it.next().ok_or_else(|| missing("--retries"))?;
+                opts.retries = Some(parse_num(v, "--retries")?);
+            }
+            "--journal" => {
+                let v = it.next().ok_or_else(|| missing("--journal"))?;
+                opts.journal = Some(v.clone());
+            }
+            "--cma" => {
+                let v = it.next().ok_or_else(|| missing("--cma"))?;
+                opts.cma_binary = Some(v.clone());
+            }
             "-h" | "--help" => {
                 print!("{USAGE}");
                 std::process::exit(0);
@@ -282,6 +354,17 @@ fn parse_num<T: std::str::FromStr>(value: &str, flag: &str) -> Result<T, CmaErro
     value
         .parse()
         .map_err(|_| CmaError::Usage(format!("invalid value `{value}` for `{flag}`")))
+}
+
+/// Parses a positive seconds value (fractions allowed: `0.25`).
+fn parse_secs(value: &str, flag: &str) -> Result<f64, CmaError> {
+    let secs: f64 = parse_num(value, flag)?;
+    if !secs.is_finite() || secs < 0.0 {
+        return Err(CmaError::Usage(format!(
+            "invalid value `{value}` for `{flag}` (expected a nonnegative number of seconds)"
+        )));
+    }
+    Ok(secs)
 }
 
 /// Parses `d=10,x=0.5` into variable bindings.
@@ -355,6 +438,12 @@ fn apply_analysis_opts<B: LpBackend>(mut analysis: Analysis<B>, opts: &AnalyzeOp
     if let Some(threads) = opts.threads {
         analysis = analysis.threads(threads);
     }
+    if let Some(secs) = opts.timeout {
+        analysis = analysis.timeout(std::time::Duration::from_secs_f64(secs));
+    }
+    if let Some(secs) = opts.group_timeout {
+        analysis = analysis.group_timeout(std::time::Duration::from_secs_f64(secs));
+    }
     if let Some(valuation) = &opts.valuation {
         analysis = analysis.valuation(valuation.clone());
     }
@@ -382,6 +471,40 @@ fn run_with_backend<B: LpBackend>(
     }
 }
 
+/// Runs `f` with panic containment: a panic anywhere inside the analysis
+/// becomes a structured [`CmaError::Internal`] carrying the program path,
+/// instead of aborting the process.  One bad program must produce one bad
+/// exit status — never take a batch driver (or the corpus runner's
+/// bookkeeping of *why* a child died) down with it.
+fn contain_panics<T>(path: &str, f: impl FnOnce() -> Result<T, CmaError>) -> Result<T, CmaError> {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)).unwrap_or_else(|payload| {
+        let message = payload
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "analysis panicked".to_string());
+        Err(CmaError::internal(path, message))
+    })
+}
+
+/// Test-only failure injection for the corpus runner's isolation tests:
+/// `CMA_CRASH_ON=needle` aborts (an uncontainable process death) and
+/// `CMA_PANIC_ON=needle` panics (contained by [`contain_panics`]) when the
+/// program path contains the needle.
+fn injected_failure(path: &str) {
+    if let Ok(needle) = std::env::var("CMA_CRASH_ON") {
+        if !needle.is_empty() && path.contains(&needle) {
+            eprintln!("cma: injected crash for `{path}`");
+            std::process::abort();
+        }
+    }
+    if let Ok(needle) = std::env::var("CMA_PANIC_ON") {
+        if !needle.is_empty() && path.contains(&needle) {
+            panic!("injected panic for `{path}`");
+        }
+    }
+}
+
 fn cmd_analyze(args: &[String], tail_only: bool) -> Result<(), CmaError> {
     let opts = parse_opts(args)?;
     let [path] = opts.positional.as_slice() else {
@@ -395,11 +518,14 @@ fn cmd_analyze(args: &[String], tail_only: bool) -> Result<(), CmaError> {
         ));
     }
     let source = read_source(path)?;
-    let report = run_with_backend(configured_analysis(&source, path, &opts)?, opts.backend)
-        .map_err(|e| {
-            print_check_diagnostics(&e);
-            e.with_context(format!("while analyzing `{path}`"))
-        })?;
+    let report = contain_panics(path, || {
+        injected_failure(path);
+        run_with_backend(configured_analysis(&source, path, &opts)?, opts.backend)
+    })
+    .map_err(|e| {
+        print_check_diagnostics(&e);
+        e.with_context(format!("while analyzing `{path}`"))
+    })?;
     // Checker warnings surface once, on stderr, so `--json` stdout stays a
     // single machine-readable object (which carries them too).
     if !opts.json {
@@ -528,14 +654,20 @@ fn cmd_simulate(args: &[String]) -> Result<(), CmaError> {
     if let Some(valuation) = &opts.valuation {
         config.initial = valuation.clone();
     }
+    if let Some(secs) = opts.timeout {
+        config.timeout = Some(std::time::Duration::from_secs_f64(secs));
+    }
     // Strict mode may legitimately abort a trial on an uninitialized read, so
-    // it takes the fallible entry point.
-    let stats = if opts.strict_init {
-        try_simulate_with(&program, &config, |_| {})
-            .map_err(|e| CmaError::from(e).with_context(format!("while simulating `{path}`")))?
-    } else {
-        simulate(&program, &config)
-    };
+    // it takes the fallible entry point.  Panic containment mirrors
+    // `analyze`: one pathological program yields one structured error.
+    let stats = contain_panics(path, || {
+        if opts.strict_init {
+            try_simulate_with(&program, &config, |_| {})
+                .map_err(|e| CmaError::from(e).with_context(format!("while simulating `{path}`")))
+        } else {
+            Ok(simulate(&program, &config))
+        }
+    })?;
     if opts.json {
         println!(
             "{}",
@@ -545,6 +677,7 @@ fn cmd_simulate(args: &[String]) -> Result<(), CmaError> {
                 ("seed", config.seed.to_string()),
                 ("cutoff_trials", stats.cutoff_trials().to_string()),
                 ("uninit_reads", stats.uninit_reads().to_string()),
+                ("timed_out", stats.timed_out().to_string()),
                 ("mean", json::num(stats.mean())),
                 ("variance", json::num(stats.variance())),
                 ("skewness", json::num(stats.skewness())),
@@ -563,6 +696,14 @@ fn cmd_simulate(args: &[String]) -> Result<(), CmaError> {
             stats.len(),
             config.seed
         );
+        if stats.timed_out() {
+            println!(
+                "  warning: wall-clock budget ran out after {} of {} trials \
+                 (statistics cover the completed prefix)",
+                stats.len(),
+                config.trials
+            );
+        }
         if stats.cutoff_trials() > 0 {
             println!(
                 "  warning: {} trials hit the step budget",
@@ -693,6 +834,175 @@ fn cmd_suite(args: &[String]) -> Result<(), CmaError> {
         }
         other => Err(CmaError::Usage(format!(
             "unknown suite action `{other}` (expected list or run)"
+        ))),
+    }
+}
+
+/// Expands `corpus run` positionals: directories contribute their `.appl`
+/// files (sorted, for deterministic journals), plain paths pass through.
+fn collect_corpus(positional: &[String]) -> Result<Vec<std::path::PathBuf>, CmaError> {
+    let mut programs = Vec::new();
+    for arg in positional {
+        let path = std::path::PathBuf::from(arg);
+        if path.is_dir() {
+            let mut files: Vec<_> = std::fs::read_dir(&path)
+                .map_err(|e| CmaError::io(arg, e))?
+                .filter_map(|entry| entry.ok().map(|e| e.path()))
+                .filter(|p| p.extension().is_some_and(|ext| ext == "appl"))
+                .collect();
+            files.sort();
+            programs.extend(files);
+        } else {
+            programs.push(path);
+        }
+    }
+    if programs.is_empty() {
+        return Err(CmaError::Usage(
+            "`cma corpus run` found no programs (expected .appl files or directories)".into(),
+        ));
+    }
+    Ok(programs)
+}
+
+/// Analysis flags forwarded verbatim to every child `cma analyze` process
+/// of a corpus campaign.  (`--timeout` is *not* forwarded: the runner
+/// derives the child's soft budget from the hard per-program deadline.)
+fn corpus_passthrough(opts: &AnalyzeOpts) -> Vec<String> {
+    let mut args = Vec::new();
+    let mut push_val = |flag: &str, value: String| {
+        args.push(flag.to_string());
+        args.push(value);
+    };
+    if let Some(v) = opts.degree {
+        push_val("--degree", v.to_string());
+    }
+    if let Some(v) = opts.poly_degree {
+        push_val("--poly-degree", v.to_string());
+    }
+    if let Some(v) = opts.max_poly_degree {
+        push_val("--max-poly-degree", v.to_string());
+    }
+    if let Some(mode) = opts.mode {
+        push_val(
+            "--mode",
+            match mode {
+                SolveMode::Global => "global".to_string(),
+                SolveMode::Compositional => "compositional".to_string(),
+            },
+        );
+    }
+    if opts.backend == BackendChoice::Sparse {
+        push_val("--backend", "sparse".to_string());
+    }
+    if let Some(v) = opts.group_timeout {
+        push_val("--group-timeout", v.to_string());
+    }
+    if opts.no_presolve {
+        args.push("--no-presolve".to_string());
+    }
+    if opts.no_soundness {
+        args.push("--no-soundness".to_string());
+    }
+    if opts.no_check {
+        args.push("--no-check".to_string());
+    }
+    if opts.nonneg_cost {
+        args.push("--nonneg-cost".to_string());
+    }
+    args
+}
+
+fn cmd_corpus(args: &[String]) -> Result<(), CmaError> {
+    use cma_corpus::{run_campaign, write_corpus, CampaignConfig};
+
+    let Some(action) = args.first() else {
+        return Err(CmaError::Usage(
+            "expected `corpus gen --out DIR` or `corpus run <file|dir>…`".into(),
+        ));
+    };
+    match action.as_str() {
+        "gen" => {
+            let opts = parse_opts(&args[1..])?;
+            let Some(out) = &opts.out else {
+                return Err(CmaError::Usage(
+                    "`cma corpus gen` requires `--out DIR`".into(),
+                ));
+            };
+            let seed = opts.seed.unwrap_or(1);
+            let count = opts.count.unwrap_or(100);
+            let dir = std::path::Path::new(out);
+            let paths =
+                write_corpus(dir, seed, count, opts.hostile).map_err(|e| CmaError::io(out, e))?;
+            if opts.json {
+                println!(
+                    "{}",
+                    json::object([
+                        ("dir", json::string(out)),
+                        ("seed", seed.to_string()),
+                        ("count", paths.len().to_string()),
+                        (
+                            "programs",
+                            json::array(paths.iter().map(|p| json::string(&p.to_string_lossy())),),
+                        ),
+                    ])
+                );
+            } else {
+                println!(
+                    "wrote {} programs to {out} (seeds {seed}..{}{})",
+                    paths.len(),
+                    seed + count as u64,
+                    if opts.hostile {
+                        ", plus hostile.appl"
+                    } else {
+                        ""
+                    }
+                );
+            }
+            Ok(())
+        }
+        "run" => {
+            let opts = parse_opts(&args[1..])?;
+            let programs = collect_corpus(&opts.positional)?;
+            let cma = match &opts.cma_binary {
+                Some(path) => std::path::PathBuf::from(path),
+                None => {
+                    std::env::current_exe().map_err(|e| CmaError::io("current executable", e))?
+                }
+            };
+            let config = CampaignConfig {
+                cma,
+                programs,
+                jobs: opts.jobs.unwrap_or(4),
+                timeout: std::time::Duration::from_secs_f64(opts.timeout.unwrap_or(10.0)),
+                retries: opts.retries.unwrap_or(1),
+                journal: std::path::PathBuf::from(
+                    opts.journal.as_deref().unwrap_or("corpus.journal.ndjson"),
+                ),
+                analyze_args: corpus_passthrough(&opts),
+            };
+            let report = run_campaign(&config)
+                .map_err(|e| CmaError::io(config.journal.display().to_string(), e))?;
+            if opts.json {
+                println!("{}", report.to_json());
+            } else {
+                print!("{report}");
+            }
+            // Timeouts and rejected programs are expected in the wild;
+            // crashes mean containment failed somewhere and must fail CI.
+            if report.crashes() > 0 {
+                return Err(CmaError::Internal {
+                    path: None,
+                    message: format!(
+                        "{} program(s) crashed the analyzer (see the journal at `{}`)",
+                        report.crashes(),
+                        config.journal.display()
+                    ),
+                });
+            }
+            Ok(())
+        }
+        other => Err(CmaError::Usage(format!(
+            "unknown corpus action `{other}` (expected gen or run)"
         ))),
     }
 }

@@ -1,0 +1,219 @@
+//! Deterministic, seed-driven program generation for corpus campaigns.
+//!
+//! One `u64` seed drives the whole program shape, so a corpus is fully
+//! reproducible from `(seed, count)` and a failing program can be named by
+//! its seed alone.  The generator deliberately produces defective programs
+//! too — reads of never-written variables, reversed uniform bounds — because
+//! a corpus campaign must exercise the analyzer's *rejection* paths as well
+//! as its acceptance paths.  (This is the same generator the checker's
+//! property tests use; it lives here so both the test suite and the `cma
+//! corpus gen` subcommand share one definition.)
+
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+
+/// A tiny deterministic PRNG (splitmix64) so one `u64` seed drives the whole
+/// program shape.
+struct Gen(u64);
+
+impl Gen {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    fn pick(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+
+    fn var(&mut self) -> &'static str {
+        ["x", "y", "z"][self.pick(3) as usize]
+    }
+}
+
+/// One statement of a random program.  Depth caps nesting; the generator
+/// may read variables that were never written and may emit invalid
+/// distribution parameters — the checker is the gate.
+fn gen_stmt(g: &mut Gen, depth: usize, out: &mut Vec<String>, indent: usize) {
+    let pad = "  ".repeat(indent);
+    match g.pick(if depth == 0 { 5 } else { 7 }) {
+        0 => out.push(format!("{pad}{} := {}", g.var(), g.pick(5))),
+        1 => out.push(format!("{pad}{} := {} + {}", g.var(), g.var(), g.pick(3))),
+        2 => {
+            // Half the time the uniform bounds are reversed (CMA003 bait).
+            let a = g.pick(4) as i64;
+            let b = if g.pick(2) == 0 { a + 2 } else { a - 1 };
+            out.push(format!("{pad}{} ~ uniform({a}, {b})", g.var()));
+        }
+        3 => out.push(format!("{pad}tick({})", g.pick(4) + 1)),
+        4 => out.push(format!("{pad}skip")),
+        5 => {
+            out.push(format!("{pad}if {} < {} then", g.var(), g.pick(4)));
+            gen_stmt(g, depth - 1, out, indent + 1);
+            out.push(format!("{pad}else"));
+            gen_stmt(g, depth - 1, out, indent + 1);
+            out.push(format!("{pad}fi"));
+        }
+        _ => {
+            let v = g.var();
+            out.push(format!("{pad}while {v} < {} do", g.pick(3) + 1));
+            // Always advance the guard variable so the trial terminates
+            // within the step budget (the checker would otherwise just
+            // flag CMA004 and skip the case).
+            out.push(format!("{pad}  {v} := {v} + 1"));
+            out.push(format!("{pad}od"));
+        }
+    }
+}
+
+/// Generates the source text of one random program from a seed.
+///
+/// Not every seed yields a parseable statement sequence (the `;` placement
+/// around blocks is heuristic); campaign tooling treats a parse failure as
+/// an ordinary per-program failure, not a generator bug.
+pub fn gen_program(seed: u64) -> String {
+    let mut g = Gen(seed);
+    let mut body = Vec::new();
+    // Prelude: most variables start sampled from a wide range, so guards
+    // over them stay statically undecided; a variable the prelude skips is
+    // exactly the CMA001 bait once the epilogue reads it.
+    for v in ["x", "y", "z"] {
+        if g.pick(4) < 3 {
+            body.push(format!("  {v} ~ uniform(-2, 3)"));
+        }
+    }
+    let n = 2 + g.pick(4) as usize;
+    for _ in 0..n {
+        gen_stmt(&mut g, 2, &mut body, 1);
+    }
+    // Epilogue: read every variable, so no write is ever dead (CMA005
+    // cannot fire) and every missing initialization is caught (CMA001
+    // always fires for it).  `sink` is written before it is read.
+    body.push("  sink := x + y".to_string());
+    body.push("  sink := sink + z".to_string());
+    // The grammar separates statements with `;`, but block keywords
+    // (then/else/fi/do/od) are not statements — join lines, then add `;`
+    // only after lines that end a statement and are followed by one.
+    let mut source = String::from("func main() begin\n");
+    for (i, line) in body.iter().enumerate() {
+        source.push_str(line);
+        let ends_stmt = !line.trim_end().ends_with("then")
+            && !line.trim_end().ends_with("else")
+            && !line.trim_end().ends_with("do");
+        let next_opens = body
+            .get(i + 1)
+            .is_some_and(|l| matches!(l.trim(), "else" | "fi" | "od") || l.trim() == "fi");
+        if ends_stmt && i + 1 < body.len() && !next_opens {
+            source.push(';');
+        }
+        source.push('\n');
+    }
+    source.push_str("end\n");
+    source
+}
+
+/// A hand-built program whose analysis is expensive enough to exceed any
+/// tight deadline, yet parses and checks cleanly.  Used by the CI smoke job
+/// to prove that a pathological input *times out* instead of hanging the
+/// campaign.
+///
+/// The cost comes from template size: six mutually-coupled probabilistic
+/// variables inside nested loops force the moment templates (and hence the
+/// LPs) to carry every cross-monomial up to the requested degree, and the
+/// recursive helper doubles the number of derivation groups.  The blow-up
+/// is in the *moment degree*, not the program text — analyze it with
+/// `--degree 4`, where an unbudgeted run takes minutes while a budgeted one
+/// exits at its deadline with a structured budget-exhausted error.
+pub fn hostile_source() -> String {
+    let mut s = String::from("func helper() begin\n");
+    s.push_str("  if prob(0.5) then\n");
+    s.push_str("    a := a + b;\n    tick(1);\n    call helper\n");
+    s.push_str("  else\n");
+    s.push_str("    b := b + c;\n    tick(2)\n");
+    s.push_str("  fi\nend\n");
+    s.push_str("func main() begin\n");
+    for v in ["a", "b", "c", "d", "e", "f"] {
+        s.push_str(&format!("  {v} ~ uniform(0, 2);\n"));
+    }
+    s.push_str("  n := 0;\n");
+    s.push_str("  while n < 8 do\n");
+    s.push_str("    n := n + 1;\n");
+    s.push_str("    if prob(0.3) then\n");
+    s.push_str("      a := a + d;\n      d := d + e;\n      tick(1)\n");
+    s.push_str("    else\n");
+    s.push_str("      b := b + f;\n      e := e + a;\n      tick(3)\n");
+    s.push_str("    fi;\n");
+    s.push_str("    m := 0;\n");
+    s.push_str("    while m < 4 do\n");
+    s.push_str("      m := m + 1;\n");
+    s.push_str("      c := c + a;\n");
+    s.push_str("      f := f + b;\n");
+    s.push_str("      tick(2)\n");
+    s.push_str("    od;\n");
+    s.push_str("    call helper\n");
+    s.push_str("  od;\n");
+    s.push_str("  sink := a + b;\n");
+    s.push_str("  sink := sink + c;\n");
+    s.push_str("  sink := sink + d;\n");
+    s.push_str("  sink := sink + e;\n");
+    s.push_str("  sink := sink + f\n");
+    s.push_str("end\n");
+    s
+}
+
+/// Writes a corpus of `count` generated programs (seeds `seed..seed+count`)
+/// into `dir` as `seed_NNNNN.appl` files, plus `hostile.appl` when
+/// `hostile` is set.  Returns the written paths in deterministic order.
+///
+/// # Errors
+///
+/// Propagates any I/O error from creating the directory or writing a file.
+pub fn write_corpus(
+    dir: &Path,
+    seed: u64,
+    count: usize,
+    hostile: bool,
+) -> io::Result<Vec<PathBuf>> {
+    std::fs::create_dir_all(dir)?;
+    let mut paths = Vec::with_capacity(count + usize::from(hostile));
+    for i in 0..count {
+        let s = seed.wrapping_add(i as u64);
+        let path = dir.join(format!("seed_{s:05}.appl"));
+        let mut file = std::fs::File::create(&path)?;
+        file.write_all(gen_program(s).as_bytes())?;
+        paths.push(path);
+    }
+    if hostile {
+        let path = dir.join("hostile.appl");
+        let mut file = std::fs::File::create(&path)?;
+        file.write_all(hostile_source().as_bytes())?;
+        paths.push(path);
+    }
+    Ok(paths)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_in_the_seed() {
+        assert_eq!(gen_program(42), gen_program(42));
+        assert_ne!(gen_program(42), gen_program(43));
+    }
+
+    #[test]
+    fn corpus_writer_names_files_by_seed() {
+        let dir = std::env::temp_dir().join(format!("cma-corpus-gen-{}", std::process::id()));
+        let paths = write_corpus(&dir, 100, 3, true).unwrap();
+        assert_eq!(paths.len(), 4);
+        assert!(paths[0].ends_with("seed_00100.appl"));
+        assert!(paths[3].ends_with("hostile.appl"));
+        let written = std::fs::read_to_string(&paths[1]).unwrap();
+        assert_eq!(written, gen_program(101));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

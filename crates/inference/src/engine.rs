@@ -8,8 +8,8 @@ use std::time::{Duration, Instant};
 use cma_appl::{Program, RangeFacts};
 use cma_logic::Context;
 use cma_lp::{
-    FactorKind, LpBackend, LpSession, LpSolution, LpStatus, PricingRule, SolveStats, SolverTuning,
-    WarmStrategy,
+    FactorKind, LpBackend, LpSession, LpSolution, LpStatus, PricingRule, SolveBudget, SolveStats,
+    SolverTuning, WarmStrategy,
 };
 use cma_semiring::poly::{Polynomial, Var};
 use cma_semiring::Interval;
@@ -84,6 +84,20 @@ pub struct AnalysisOptions {
     /// program under the same preconditions; `None` (the default) disables
     /// pruning.
     pub range_facts: Option<Arc<RangeFacts>>,
+    /// Wall-clock budget for the **whole analysis**: every LP solve — across
+    /// compositional groups, poly-degree retries, and degradation rungs —
+    /// draws down the one deadline derived from this duration at analysis
+    /// start.  Exhaustion surfaces as
+    /// [`LpStatus::BudgetExhausted`] inside [`AnalysisError::LpFailed`],
+    /// never as infeasibility, so it cannot trigger a poly-degree retry;
+    /// [`analyze_session_resilient`] instead trades precision for an answer.
+    /// `None` (the default) leaves solves unbudgeted.
+    pub timeout: Option<Duration>,
+    /// Wall-clock budget for **each LP group solve**, measured from the
+    /// moment the group's solver session opens and capped by whatever
+    /// remains of [`timeout`](Self::timeout).  `None` (the default) gives
+    /// groups no deadline of their own.
+    pub group_timeout: Option<Duration>,
 }
 
 impl AnalysisOptions {
@@ -103,6 +117,8 @@ impl AnalysisOptions {
             warm_resolve: WarmStrategy::default(),
             max_poly_degree: None,
             range_facts: None,
+            timeout: None,
+            group_timeout: None,
         }
     }
 
@@ -175,14 +191,44 @@ impl AnalysisOptions {
         self
     }
 
-    /// The solver tuning these options imply.
+    /// Bounds the whole analysis by a wall-clock deadline (see
+    /// [`timeout`](Self::timeout)).
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = Some(timeout);
+        self
+    }
+
+    /// Bounds each LP group solve by its own wall-clock deadline (see
+    /// [`group_timeout`](Self::group_timeout)).
+    pub fn with_group_timeout(mut self, timeout: Duration) -> Self {
+        self.group_timeout = Some(timeout);
+        self
+    }
+
+    /// The solver tuning these options imply (unbudgeted; the engine derives
+    /// deadline-carrying tunings from this plus the timeout options).
     pub fn solver_tuning(&self) -> SolverTuning {
         SolverTuning {
             pricing: self.pricing,
             presolve: self.presolve,
             factor: self.factor,
             warm: self.warm_resolve,
+            budget: SolveBudget::UNLIMITED,
         }
+    }
+
+    /// [`solver_tuning`](Self::solver_tuning) carrying the budget of one
+    /// group solve: the earlier of the whole-analysis deadline (if any) and
+    /// a fresh per-group deadline from
+    /// [`group_timeout`](Self::group_timeout).
+    pub(crate) fn group_tuning(&self, overall_deadline: Option<Instant>) -> SolverTuning {
+        let mut tuning = self.solver_tuning();
+        let group_deadline = self.group_timeout.map(|t| Instant::now() + t);
+        tuning.budget.deadline = match (overall_deadline, group_deadline) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        tuning
     }
 
     fn valuation_fn(&self) -> impl Fn(&Var) -> f64 + '_ {
@@ -208,7 +254,7 @@ pub enum AnalysisError {
     /// The generated LP has no solution: the templates (at the given degree)
     /// cannot express a bound, or a weakening certificate does not exist.
     LpFailed {
-        /// Solver status (infeasible, unbounded, iteration limit).
+        /// Solver status (infeasible, unbounded, budget exhausted).
         status: LpStatus,
         /// Functions whose constraints were being solved.
         group: Vec<String>,
@@ -256,6 +302,20 @@ impl AnalysisError {
             } => Some((*degree, *poly_degree)),
             _ => None,
         }
+    }
+
+    /// Whether the root cause is an exhausted [`SolveBudget`] — a statement
+    /// about resources, never about feasibility: retrying with more budget
+    /// (or degrading via [`analyze_session_resilient`]) may succeed, while
+    /// escalating the poly degree will not.
+    pub fn budget_exhausted(&self) -> bool {
+        matches!(
+            self,
+            AnalysisError::LpFailed {
+                status: LpStatus::BudgetExhausted,
+                ..
+            }
+        )
     }
 }
 
@@ -386,6 +446,10 @@ pub struct AnalysisResult {
     /// Derivation work skipped thanks to checker-exported range facts
     /// (all-zero when [`AnalysisOptions::range_facts`] is unset).
     pub pruning: PruningStats,
+    /// Degradation-ladder rungs descended to produce this result (empty for
+    /// a full-precision run; only [`analyze_session_resilient`] ever records
+    /// any).
+    pub degradation: DegradationStats,
     /// Wall-clock time spent in the analysis.
     pub elapsed: Duration,
 }
@@ -415,6 +479,68 @@ impl PruningStats {
         self.refuted_branches += other.refuted_branches;
         self.skipped_loops += other.skipped_loops;
         self.dropped_template_vars += other.dropped_template_vars;
+    }
+}
+
+/// One precision-for-progress rung of the graceful-degradation ladder,
+/// taken by [`analyze_session_resilient`] after an attempt exhausted its
+/// [`SolveBudget`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DegradationStep {
+    /// Global mode was downgraded to compositional: one small LP per
+    /// call-graph SCC instead of one monolithic system.
+    CompositionalMode,
+    /// The target moment degree was lowered — fewer, cheaper moment
+    /// components, so the bounds stop at `to` instead of `from`.
+    ReduceDegree {
+        /// Moment degree before the reduction.
+        from: usize,
+        /// Moment degree after the reduction.
+        to: usize,
+    },
+    /// LP presolve was switched on for the retry (smaller systems).
+    EnablePresolve,
+}
+
+impl std::fmt::Display for DegradationStep {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DegradationStep::CompositionalMode => write!(f, "global->compositional"),
+            DegradationStep::ReduceDegree { from, to } => write!(f, "degree:{from}->{to}"),
+            DegradationStep::EnablePresolve => write!(f, "presolve:on"),
+        }
+    }
+}
+
+/// The degradation rungs an analysis descended before producing its result —
+/// empty for a full-precision run.  A nonempty value labels the bounds as
+/// **degraded**: still sound (every rung re-runs the full analysis under
+/// weaker options, it never edits bounds after the fact), but less precise
+/// than requested.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DegradationStats {
+    /// Ladder rungs taken, in the order they were taken.
+    pub steps: Vec<DegradationStep>,
+}
+
+impl DegradationStats {
+    /// Whether any rung was taken at all.
+    pub fn degraded(&self) -> bool {
+        !self.steps.is_empty()
+    }
+}
+
+impl std::fmt::Display for DegradationStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut first = true;
+        for step in &self.steps {
+            if !first {
+                write!(f, ", ")?;
+            }
+            first = false;
+            write!(f, "{step}")?;
+        }
+        Ok(())
     }
 }
 
@@ -716,7 +842,7 @@ impl<'a> AnalysisSession<'a> {
         let solution = match sub {
             Some(sub) => self
                 .backend
-                .open_with(&sub, &options.solver_tuning())
+                .open_with(&sub, &options.group_tuning(None))
                 .minimize(sub.objective()),
             None => {
                 self.builder.store_mut().flush(self.session.as_mut());
@@ -904,6 +1030,7 @@ impl<'a> AnalysisSession<'a> {
             plan: self.builder.plan().stats(),
             escalation: Some(escalation),
             pruning: self.pruning,
+            degradation: DegradationStats::default(),
             elapsed: start.elapsed(),
         })
     }
@@ -969,6 +1096,82 @@ pub fn analyze_session<'a>(
     analyze_session_seeded(program, options, backend, BTreeMap::new())
 }
 
+/// [`analyze_session`] with a **graceful-degradation ladder**: when an
+/// attempt fails because its [`SolveBudget`] ran out — never on
+/// infeasibility or any other verdict — the analysis retries under
+/// progressively cheaper options, each retry under whatever remains of the
+/// whole-analysis deadline.  The rungs, in order:
+///
+/// 1. global → compositional mode (one small LP per SCC instead of one
+///    monolithic system);
+/// 2. moment degree `m → m−1`, repeated down to degree 1;
+/// 3. LP presolve on (when it was off).
+///
+/// Every rung taken is recorded in [`AnalysisResult::degradation`], so a
+/// degraded bound is always labeled, never silent.  Compositional mode is
+/// the one rung that can *introduce* failures of its own (it rejects
+/// non-tail cross-component calls); if its attempt fails with a non-budget
+/// error, the rung is reverted and the descent continues past it.
+///
+/// # Errors
+///
+/// Returns [`AnalysisError`] when constraint generation fails or the LP has
+/// no solution, and the original budget-exhaustion error when the ladder
+/// runs out of rungs (or of wall clock) without landing an answer.
+pub fn analyze_session_resilient<'a>(
+    program: &'a Program,
+    options: &AnalysisOptions,
+    backend: &'a dyn LpBackend,
+) -> Result<(AnalysisResult, AnalysisSession<'a>), AnalysisError> {
+    let deadline = options.timeout.map(|t| Instant::now() + t);
+    let mut attempt = options.clone();
+    let mut steps: Vec<DegradationStep> = Vec::new();
+    let mut mode_rung_tried = attempt.mode != SolveMode::Global;
+    loop {
+        match analyze_session(program, &attempt, backend) {
+            Ok((mut result, session)) => {
+                result.degradation = DegradationStats { steps };
+                return Ok((result, session));
+            }
+            Err(e) => {
+                if !e.budget_exhausted() {
+                    if steps.last() == Some(&DegradationStep::CompositionalMode) {
+                        // The mode rung itself broke the analysis — revert
+                        // it and keep descending the remaining rungs.
+                        attempt.mode = options.mode;
+                        steps.pop();
+                    } else {
+                        return Err(e);
+                    }
+                }
+                if deadline.is_some_and(|d| Instant::now() >= d) {
+                    return Err(e);
+                }
+                if !mode_rung_tried {
+                    mode_rung_tried = true;
+                    attempt.mode = SolveMode::Compositional;
+                    steps.push(DegradationStep::CompositionalMode);
+                } else if attempt.degree > 1 {
+                    steps.push(DegradationStep::ReduceDegree {
+                        from: attempt.degree,
+                        to: attempt.degree - 1,
+                    });
+                    attempt.degree -= 1;
+                } else if !attempt.presolve {
+                    attempt.presolve = true;
+                    steps.push(DegradationStep::EnablePresolve);
+                } else {
+                    return Err(e);
+                }
+                if let Some(d) = deadline {
+                    // The retry gets what is left of the one deadline.
+                    attempt.timeout = Some(d.duration_since(Instant::now()));
+                }
+            }
+        }
+    }
+}
+
 /// Plan key of the final (session-holding) group in the retry plan store.
 const FINAL_PLAN_KEY: &str = "<final>";
 
@@ -984,13 +1187,17 @@ fn analyze_session_seeded<'a>(
     mut plans: BTreeMap<String, DerivationPlan>,
 ) -> Result<(AnalysisResult, AnalysisSession<'a>), AnalysisError> {
     let start = Instant::now();
+    // One deadline for the whole analysis, shared by every poly-degree
+    // retry: an attempt that exhausts it fails with `BudgetExhausted`,
+    // which `infeasible_at` never matches, so the retry loop stops too.
+    let deadline = options.timeout.map(|t| start + t);
     let base_d = options.poly_degree;
     let max_d = options.max_poly_degree.unwrap_or(base_d).max(base_d);
     let mut poly_retries = 0usize;
     loop {
         let mut attempt = options.clone();
         attempt.poly_degree = base_d + poly_retries as u32;
-        match analyze_attempt(program, &attempt, backend, &mut plans) {
+        match analyze_attempt(program, &attempt, backend, deadline, &mut plans) {
             Ok((mut result, mut session)) => {
                 result.elapsed = start.elapsed();
                 result.poly_retries = poly_retries;
@@ -1027,6 +1234,7 @@ fn analyze_attempt<'a>(
     program: &'a Program,
     options: &AnalysisOptions,
     backend: &'a dyn LpBackend,
+    deadline: Option<Instant>,
     plans: &mut BTreeMap<String, DerivationPlan>,
 ) -> Result<(AnalysisResult, AnalysisSession<'a>), AnalysisError> {
     let start = Instant::now();
@@ -1061,8 +1269,11 @@ fn analyze_attempt<'a>(
                 .iter()
                 .map(|(builder, _, _)| builder.store().to_problem())
                 .collect();
-            let solutions =
-                backend.solve_batch_with(&problems, options.threads, &options.solver_tuning());
+            let solutions = backend.solve_batch_with(
+                &problems,
+                options.threads,
+                &options.group_tuning(deadline),
+            );
             let mut failure = None;
             for ((mut builder, build, group), solution) in builds.into_iter().zip(solutions) {
                 lp_variables += builder.num_vars();
@@ -1118,7 +1329,7 @@ fn analyze_attempt<'a>(
     let objective = builder.store().aggregated_objective(0);
     let mut session = builder
         .store_mut()
-        .open_session_with(backend, &options.solver_tuning());
+        .open_session_with(backend, &options.group_tuning(deadline));
     let solution = session.minimize(&objective);
     group_stats.push(group_lp_stats(
         name.to_string(),
@@ -1151,6 +1362,7 @@ fn analyze_attempt<'a>(
         plan: plan_stats.merge(&builder.plan().stats()),
         escalation: None,
         pruning,
+        degradation: DegradationStats::default(),
         elapsed: start.elapsed(),
     };
     Ok((
@@ -1834,11 +2046,165 @@ mod tests {
             .with_poly_degree(2)
             .with_mode(SolveMode::Compositional)
             .with_valuation(vec![(Var::new("d"), 10.0)])
-            .with_template_vars(vec![Var::new("d")]);
+            .with_template_vars(vec![Var::new("d")])
+            .with_timeout(Duration::from_secs(30))
+            .with_group_timeout(Duration::from_secs(5));
         assert_eq!(o.degree, 4);
         assert_eq!(o.poly_degree, 2);
         assert_eq!(o.mode, SolveMode::Compositional);
         assert_eq!((o.valuation_fn())(&Var::new("d")), 10.0);
         assert_eq!((o.valuation_fn())(&Var::new("zzz")), 1.0);
+        assert_eq!(o.timeout, Some(Duration::from_secs(30)));
+        assert_eq!(o.group_timeout, Some(Duration::from_secs(5)));
+    }
+
+    /// An authentic `BudgetExhausted` solution, produced by a real solve
+    /// under an already-expired deadline (the [`LpSolution`] constructor is
+    /// crate-private to `cma-lp`).
+    fn exhausted_solution() -> LpSolution {
+        use cma_lp::{Cmp, LpProblem};
+        let mut lp = LpProblem::new();
+        let x = lp.add_var("x", false);
+        lp.add_constraint(vec![(x, 1.0)], Cmp::Ge, 1.0);
+        lp.set_objective(vec![(x, 1.0)]);
+        let expired = SolveBudget {
+            deadline: Some(Instant::now() - Duration::from_secs(1)),
+            ..SolveBudget::UNLIMITED
+        };
+        SimplexBackend.solve_with(&lp, &SolverTuning::with_budget(expired))
+    }
+
+    /// A backend whose first `failures` minimizes come back budget-exhausted
+    /// and which then behaves exactly like [`SimplexBackend`] — the
+    /// deterministic stand-in for "the deadline fired mid-campaign".
+    struct FlakyBudget {
+        failures: std::sync::atomic::AtomicUsize,
+    }
+
+    impl FlakyBudget {
+        fn failing(failures: usize) -> Self {
+            FlakyBudget {
+                failures: std::sync::atomic::AtomicUsize::new(failures),
+            }
+        }
+    }
+
+    struct FlakySession<'a> {
+        inner: Box<dyn LpSession + 'a>,
+        failures: &'a std::sync::atomic::AtomicUsize,
+    }
+
+    impl LpSession for FlakySession<'_> {
+        fn add_var(&mut self, name: &str, free: bool) -> cma_lp::LpVarId {
+            self.inner.add_var(name, free)
+        }
+        fn add_constraint(&mut self, terms: &[(cma_lp::LpVarId, f64)], cmp: cma_lp::Cmp, rhs: f64) {
+            self.inner.add_constraint(terms, cmp, rhs)
+        }
+        fn minimize(&mut self, objective: &[(cma_lp::LpVarId, f64)]) -> LpSolution {
+            use std::sync::atomic::Ordering;
+            let drained = self
+                .failures
+                .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+                .is_ok();
+            if drained {
+                exhausted_solution()
+            } else {
+                self.inner.minimize(objective)
+            }
+        }
+        fn num_vars(&self) -> usize {
+            self.inner.num_vars()
+        }
+        fn num_constraints(&self) -> usize {
+            self.inner.num_constraints()
+        }
+    }
+
+    impl LpBackend for FlakyBudget {
+        fn name(&self) -> &str {
+            "flaky-budget"
+        }
+        fn open<'a>(&'a self, problem: &cma_lp::LpProblem) -> Box<dyn LpSession + 'a> {
+            Box::new(FlakySession {
+                inner: SimplexBackend.open(problem),
+                failures: &self.failures,
+            })
+        }
+    }
+
+    fn coin_program() -> Program {
+        cma_appl::parse_program("func main() begin if prob(0.5) then tick(2) else tick(4) fi end")
+            .unwrap()
+    }
+
+    #[test]
+    fn expired_deadline_is_budget_exhaustion_not_infeasibility() {
+        let program = coin_program();
+        let options = AnalysisOptions::degree(2).with_timeout(Duration::ZERO);
+        let err = analyze_with(&program, &options, &SimplexBackend).unwrap_err();
+        assert!(err.budget_exhausted(), "{err:?}");
+        // The one invariant the whole budget design hangs on: exhaustion is
+        // never infeasibility, so it can never trigger a poly-degree retry.
+        assert_eq!(err.infeasible_at(), None);
+    }
+
+    #[test]
+    fn resilient_ladder_degrades_mode_then_degree_and_labels_the_result() {
+        let program = coin_program();
+        // Two exhausted attempts: global fails, compositional fails, the
+        // degree-reduced retry lands.
+        let backend = FlakyBudget::failing(2);
+        let (result, _session) =
+            analyze_session_resilient(&program, &AnalysisOptions::degree(2), &backend).unwrap();
+        assert_eq!(
+            result.degradation.steps,
+            vec![
+                DegradationStep::CompositionalMode,
+                DegradationStep::ReduceDegree { from: 2, to: 1 },
+            ]
+        );
+        assert!(result.degradation.degraded());
+        assert_eq!(result.degree(), 1);
+        // Degraded, not wrong: the first moment still brackets E[C] = 3.
+        let e1 = result.raw_moment_at(1, &[]);
+        assert!(e1.lo() <= 3.0 + 1e-6 && 3.0 - 1e-6 <= e1.hi(), "{e1:?}");
+    }
+
+    #[test]
+    fn resilient_ladder_out_of_rungs_returns_the_exhaustion() {
+        let program = coin_program();
+        let backend = FlakyBudget::failing(usize::MAX);
+        // Presolve is on by default, so the ladder is mode + one degree drop.
+        match analyze_session_resilient(&program, &AnalysisOptions::degree(2), &backend) {
+            Err(err) => assert!(err.budget_exhausted(), "{err:?}"),
+            Ok(_) => panic!("an always-exhausted backend cannot produce a result"),
+        };
+    }
+
+    #[test]
+    fn resilient_without_exhaustion_records_no_degradation() {
+        let program = coin_program();
+        let (result, _session) =
+            analyze_session_resilient(&program, &AnalysisOptions::degree(2), &SimplexBackend)
+                .unwrap();
+        assert!(!result.degradation.degraded());
+        assert_eq!(result.degradation.to_string(), "");
+        assert_eq!(result.degree(), 2);
+    }
+
+    #[test]
+    fn degradation_steps_display_stable_labels() {
+        let stats = DegradationStats {
+            steps: vec![
+                DegradationStep::CompositionalMode,
+                DegradationStep::ReduceDegree { from: 3, to: 2 },
+                DegradationStep::EnablePresolve,
+            ],
+        };
+        assert_eq!(
+            stats.to_string(),
+            "global->compositional, degree:3->2, presolve:on"
+        );
     }
 }

@@ -66,8 +66,9 @@ pub mod weaken;
 
 pub use central::CentralMoments;
 pub use engine::{
-    analyze_session, analyze_with, AnalysisError, AnalysisOptions, AnalysisResult, AnalysisSession,
-    EscalationStats, GroupLpStats, MomentBound, PruningStats, SolveMode,
+    analyze_session, analyze_session_resilient, analyze_with, AnalysisError, AnalysisOptions,
+    AnalysisResult, AnalysisSession, DegradationStats, DegradationStep, EscalationStats,
+    GroupLpStats, MomentBound, PruningStats, SolveMode,
 };
 pub use plan::{DerivationPlan, PlanMode, PlanStats};
 pub use soundness::{

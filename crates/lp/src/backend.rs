@@ -53,8 +53,20 @@
 //! 5. be deterministic: solving the same problem twice — including
 //!    re-minimizing the same objective in one session — yields the same
 //!    status and (for `Optimal`) the same objective value;
-//! 6. never panic on solvable input — resource exhaustion is reported as
-//!    [`LpStatus::IterationLimit`](crate::LpStatus::IterationLimit).
+//! 6. never panic on solvable input — resource exhaustion (a
+//!    [`SolveBudget`](crate::SolveBudget) limb running out, or the solver's
+//!    built-in runaway backstop) is reported as
+//!    [`LpStatus::BudgetExhausted`](crate::LpStatus::BudgetExhausted), which
+//!    is a statement about resources only: callers must never interpret it
+//!    as infeasibility, and a budgeted session must never report
+//!    `Infeasible`/`Unbounded`/`Optimal` where the unbudgeted solve would
+//!    not — running out of budget truncates the search, it never flips a
+//!    verdict;
+//! 7. honor [`SolverTuning::budget`](crate::SolverTuning::budget) across the
+//!    *whole session lifetime*: the spend carries over from one `minimize`
+//!    to the next (warm re-solves and in-session extensions included), so a
+//!    session's total cost is bounded by one budget no matter how many times
+//!    it is re-entered.
 //!
 //! The conformance suite in `tests/backend_conformance.rs` checks these
 //! obligations (including the session-specific ones) and should be run
@@ -228,6 +240,24 @@ fn open_maybe_presolved<'a>(
 struct ReSolveSession {
     problem: LpProblem,
     tuning: SolverTuning,
+    /// Iterations already charged against the session budget by earlier
+    /// re-solves.  The dense session opens a fresh core per `minimize`, so
+    /// the cross-minimize budget carry-over the contract requires (item 7)
+    /// is accounted here: each solve runs under the budget *remainder*.
+    spent_iters: usize,
+    /// Refactorizations already charged against the session budget.
+    spent_refactorizations: usize,
+}
+
+impl ReSolveSession {
+    fn new(problem: LpProblem, tuning: SolverTuning) -> Self {
+        ReSolveSession {
+            problem,
+            tuning,
+            spent_iters: 0,
+            spent_refactorizations: 0,
+        }
+    }
 }
 
 impl LpSession for ReSolveSession {
@@ -241,7 +271,19 @@ impl LpSession for ReSolveSession {
 
     fn minimize(&mut self, objective: &[(LpVarId, f64)]) -> LpSolution {
         self.problem.set_objective(objective.to_vec());
-        self.problem.solve_dense_with(&self.tuning)
+        let mut tuning = self.tuning;
+        tuning.budget.max_iters = tuning
+            .budget
+            .max_iters
+            .map(|cap| cap.saturating_sub(self.spent_iters));
+        tuning.budget.max_refactorizations = tuning
+            .budget
+            .max_refactorizations
+            .map(|cap| cap.saturating_sub(self.spent_refactorizations));
+        let solution = self.problem.solve_dense_with(&tuning);
+        self.spent_iters += solution.stats.iterations;
+        self.spent_refactorizations += solution.stats.refactorizations;
+        solution
     }
 
     fn num_vars(&self) -> usize {
@@ -279,10 +321,7 @@ impl LpBackend for SimplexBackend {
     ) -> Box<dyn LpSession + 'a> {
         let tuning = *tuning;
         open_maybe_presolved(problem, &tuning, |reduced| {
-            Box::new(ReSolveSession {
-                problem: reduced.clone(),
-                tuning,
-            })
+            Box::new(ReSolveSession::new(reduced.clone(), tuning))
         })
     }
 }
@@ -473,10 +512,10 @@ mod tests {
         }
 
         fn open<'a>(&'a self, problem: &LpProblem) -> Box<dyn LpSession + 'a> {
-            Box::new(ReSolveSession {
-                problem: problem.clone(),
-                tuning: SolverTuning::default(),
-            })
+            Box::new(ReSolveSession::new(
+                problem.clone(),
+                SolverTuning::default(),
+            ))
         }
     }
 

@@ -46,7 +46,10 @@ use std::collections::BTreeMap;
 
 use crate::backend::LpSession;
 use crate::factor::{FactorKind, Factorization, WarmStrategy};
-use crate::pricing::{bland_fallback_threshold, PivotView, PricingRule, SolverTuning};
+use crate::pricing::{
+    bland_fallback_threshold, PivotView, PricingRule, SolveBudget, SolverTuning,
+    DEADLINE_CHECK_PERIOD,
+};
 use crate::simplex::{Cmp, LpProblem, LpSolution, LpStatus, LpVarId, SolveStats};
 
 const EPS: f64 = 1e-9;
@@ -163,8 +166,13 @@ enum DualOutcome {
     /// A violated row admits no entering column: the system is primal
     /// infeasible (confirmed by a cold solve before it is reported).
     Infeasible,
-    /// Iteration cap or numerics — restart cold instead.
+    /// Internal iteration cap or numerics — restart cold instead.
     GaveUp,
+    /// The session's [`SolveBudget`] ran out mid-restoration.  Unlike
+    /// `GaveUp`, this must *not* restart cold (that would burn more time the
+    /// caller no longer has) — the minimize reports
+    /// [`LpStatus::BudgetExhausted`] instead.
+    Exhausted,
 }
 
 /// The unified simplex state (see the [module docs](self)).
@@ -216,6 +224,17 @@ pub(crate) struct SimplexCore {
     /// by the next refactorization; must be washed before values are
     /// extracted).
     xb_shifted: bool,
+    /// The session's resource budget ([`SolverTuning::budget`]).  The
+    /// deadline is absolute and the spend counters below are *never* reset,
+    /// so the budget covers the session's whole lifetime — every minimize,
+    /// warm re-solve, and in-session extension draws from the same pool.
+    budget: SolveBudget,
+    /// Lifetime iterations charged against `budget.max_iters` (unlike
+    /// `stats.iterations`, which resets per minimize).
+    budget_iters: usize,
+    /// Lifetime refactorizations charged against
+    /// `budget.max_refactorizations`.
+    budget_refactorizations: usize,
 }
 
 impl SimplexCore {
@@ -247,6 +266,9 @@ impl SimplexCore {
             warm_strategy: tuning.warm,
             stats: SolveStats::default(),
             xb_shifted: false,
+            budget: tuning.budget,
+            budget_iters: 0,
+            budget_refactorizations: 0,
         };
         for v in 0..problem.num_vars() {
             core.push_var(problem.is_free(LpVarId::from_index(v)));
@@ -536,9 +558,26 @@ impl SimplexCore {
         self.xb = self.factor.ftran(&self.b);
         self.stale_pivots = 0;
         self.stats.refactorizations += 1;
+        self.budget_refactorizations += 1;
         self.xb_shifted = false;
         self.factor_stale = false;
         true
+    }
+
+    /// Whether the session's budget has run out, checked cooperatively at
+    /// every pivot (iteration/refactorization caps) and every
+    /// [`DEADLINE_CHECK_PERIOD`]-th pivot of a loop (the wall clock —
+    /// `Instant::now()` per pivot would dominate cheap pivots).
+    fn budget_exhausted(&self, iter_in_loop: usize) -> bool {
+        if self.budget.is_unlimited() {
+            return false;
+        }
+        self.budget.iters_remaining(self.budget_iters) == 0
+            || self
+                .budget
+                .refactorizations_remaining(self.budget_refactorizations)
+                == 0
+            || (iter_in_loop.is_multiple_of(DEADLINE_CHECK_PERIOD) && self.budget.deadline_passed())
     }
 
     /// Runs primal simplex iterations for the given standard-form column
@@ -613,6 +652,10 @@ impl SimplexCore {
         };
         for iter in 0..max_iters {
             self.stats.iterations += 1;
+            self.budget_iters += 1;
+            if self.budget_exhausted(iter) {
+                return Err(LpStatus::BudgetExhausted);
+            }
             if self.factor_stale || self.stale_pivots >= refresh_period {
                 // Also washes out any live anti-degeneracy shift: the basic
                 // values are recomputed from the pristine right-hand sides.
@@ -705,7 +748,9 @@ impl SimplexCore {
                 }
             }
         }
-        Err(LpStatus::IterationLimit)
+        // The built-in runaway backstop tripped: the solver ran out of
+        // resources without a verdict — same contract as an explicit budget.
+        Err(LpStatus::BudgetExhausted)
     }
 
     /// The rate at which row `i`'s basic value approaches its blocking bound
@@ -889,6 +934,9 @@ impl SimplexCore {
         }
 
         for iter in 0..max_iters {
+            if self.budget_exhausted(iter) {
+                return DualOutcome::Exhausted;
+            }
             // Leaving row: the *last* violated row (highest basis
             // position).  Ordinary basics violate below 0; basic
             // artificials violate at any nonzero value (their bounds are
@@ -959,6 +1007,7 @@ impl SimplexCore {
             self.pivot(p, q, &d);
             self.stats.iterations += 1;
             self.stats.dual_pivots += 1;
+            self.budget_iters += 1;
             if self.factor_stale || self.stale_pivots >= 100 {
                 // Refresh point: rebuild the factorization and the dual
                 // prices from scratch, washing out incremental drift.
@@ -1011,6 +1060,17 @@ impl SimplexCore {
             .with_stats(self.stats)
     }
 
+    /// The budget ran out without a verdict: values are meaningless, stats
+    /// record what was spent.
+    fn exhausted(&self) -> LpSolution {
+        LpSolution::new(
+            LpStatus::BudgetExhausted,
+            0.0,
+            vec![0.0; self.var_cols.len()],
+        )
+        .with_stats(self.stats)
+    }
+
     /// Whether any basic value is primal infeasible (negative, or nonzero
     /// for a basic artificial) — the condition the dual-simplex restoration
     /// repairs after warm row extension.
@@ -1037,8 +1097,18 @@ impl LpSession for SimplexCore {
 
     fn minimize(&mut self, objective: &[(LpVarId, f64)]) -> LpSolution {
         let m = self.b.len();
-        let max_iters = 20_000 + 50 * (self.cols.num_cols() + m);
+        // The built-in runaway backstop, tightened to whatever iteration
+        // budget the session has left (the budget spans every minimize of
+        // the session's lifetime, so warm re-solves draw down the same pool).
+        let max_iters = (20_000 + 50 * (self.cols.num_cols() + m))
+            .min(self.budget.iters_remaining(self.budget_iters));
         self.stats = SolveStats::default();
+        if self.budget_exhausted(0) {
+            // The session's budget was already spent by earlier minimizes:
+            // refuse to burn more, and report it as what it is.
+            self.warm = false;
+            return self.exhausted();
+        }
         if self.warm && self.factor_stale {
             // Deferred row extensions (LU, or a declined border pivot):
             // one rebuild absorbs any number of appended rows.
@@ -1053,6 +1123,12 @@ impl LpSession for SimplexCore {
                 // cold: phase 1 is the arbiter of infeasibility, so a dual
                 // dead end can never mis-report a feasible system.
                 DualOutcome::Infeasible | DualOutcome::GaveUp => self.warm = false,
+                // Out of budget: do *not* restart cold — that would spend
+                // time the caller no longer has.
+                DualOutcome::Exhausted => {
+                    self.warm = false;
+                    return self.exhausted();
+                }
             }
         }
         if !self.warm {
@@ -1070,12 +1146,7 @@ impl LpSession for SimplexCore {
                 // either way the solver gave up without a verdict.
                 Err(_) => {
                     self.warm = false;
-                    return LpSolution::new(
-                        LpStatus::IterationLimit,
-                        0.0,
-                        vec![0.0; self.var_cols.len()],
-                    )
-                    .with_stats(self.stats);
+                    return self.exhausted();
                 }
             }
         }

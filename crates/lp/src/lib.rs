@@ -26,6 +26,13 @@
 //! after incremental rows with a handful of dual pivots instead of a
 //! phase-1 restart.  Every solve reports its effort in [`SolveStats`].
 //!
+//! Solves can be **budgeted** ([`SolveBudget`] on [`SolverTuning::budget`]):
+//! a wall-clock deadline, an iteration cap, and a refactorization cap,
+//! checked cooperatively per pivot batch and carried over across every
+//! minimize/warm re-solve of a session.  Running out yields
+//! [`LpStatus::BudgetExhausted`] — a statement about resources that is never
+//! an infeasibility verdict (see the contract in [`backend`]).
+//!
 //! The problem format is deliberately small: named variables that are either
 //! non-negative or free (free variables are split internally), linear
 //! constraints `a·x {≤,≥,=} b`, and a linear objective to *minimize*.
@@ -59,6 +66,6 @@ pub mod sparse;
 
 pub use backend::{LpBackend, LpSession, SimplexBackend, SparseBackend, TunedBackend};
 pub use factor::{FactorKind, WarmStrategy};
-pub use pricing::{bland_fallback_threshold, PricingRule, SolverTuning};
+pub use pricing::{bland_fallback_threshold, PricingRule, SolveBudget, SolverTuning};
 pub use simplex::{Cmp, LpProblem, LpSolution, LpStatus, LpVarId, SolveStats};
 pub use sparse::SparseMatrix;

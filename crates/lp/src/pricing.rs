@@ -28,6 +28,7 @@
 
 use std::fmt;
 use std::str::FromStr;
+use std::time::{Duration, Instant};
 
 /// Reduced costs below `-EPS` qualify a column for entering the basis (the
 /// same tolerance the solvers use).
@@ -166,6 +167,90 @@ impl FromStr for PricingRule {
     }
 }
 
+/// A resource budget for one solver session, covering *every* `minimize`
+/// (and warm re-solve, and in-session extension) the session performs: the
+/// spend carries over, so a session's total cost is bounded no matter how
+/// many times it is re-entered.
+///
+/// Exhausting any limb yields [`LpStatus::BudgetExhausted`](crate::LpStatus::BudgetExhausted)
+/// — a statement about *resources*, never about feasibility.  A budgeted
+/// solve that runs out of budget makes no claim the unbudgeted solve would
+/// not make; in particular it must never be treated as an infeasibility
+/// proof (see the backend contract in [`backend`](crate::backend)).
+///
+/// All limbs default to `None` (unlimited); `SolveBudget::default()` is the
+/// unbudgeted solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SolveBudget {
+    /// Wall-clock deadline.  Checked cooperatively once per pivot batch
+    /// (every `DEADLINE_CHECK_PERIOD` pivots and at every
+    /// refactorization), so overshoot is bounded by a batch of pivots.
+    pub deadline: Option<Instant>,
+    /// Cap on total simplex iterations (primal and dual pivots both count)
+    /// across the session's lifetime.
+    pub max_iters: Option<usize>,
+    /// Cap on total basis refactorizations across the session's lifetime.
+    pub max_refactorizations: Option<usize>,
+}
+
+/// Pivots between cooperative deadline checks: `Instant::now()` per pivot
+/// would dominate small pivots, and the refresh period (100) is too coarse
+/// for tight timeouts on expensive pivots.
+pub(crate) const DEADLINE_CHECK_PERIOD: usize = 16;
+
+impl SolveBudget {
+    /// The unlimited budget (every limb `None`).
+    pub const UNLIMITED: SolveBudget = SolveBudget {
+        deadline: None,
+        max_iters: None,
+        max_refactorizations: None,
+    };
+
+    /// A budget with only a wall-clock deadline `timeout` from now.
+    pub fn with_timeout(timeout: Duration) -> SolveBudget {
+        SolveBudget {
+            deadline: Some(Instant::now() + timeout),
+            ..SolveBudget::UNLIMITED
+        }
+    }
+
+    /// A budget with only an iteration cap.
+    pub fn with_max_iters(max_iters: usize) -> SolveBudget {
+        SolveBudget {
+            max_iters: Some(max_iters),
+            ..SolveBudget::UNLIMITED
+        }
+    }
+
+    /// Whether no limb is set (the default, unbudgeted solve).
+    pub fn is_unlimited(&self) -> bool {
+        self.deadline.is_none() && self.max_iters.is_none() && self.max_refactorizations.is_none()
+    }
+
+    /// Whether the wall-clock deadline (if any) has passed.
+    pub fn deadline_passed(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// Iterations remaining before the cap, given `spent` so far
+    /// (`usize::MAX` when uncapped).
+    pub fn iters_remaining(&self, spent: usize) -> usize {
+        match self.max_iters {
+            Some(cap) => cap.saturating_sub(spent),
+            None => usize::MAX,
+        }
+    }
+
+    /// Refactorizations remaining before the cap, given `spent` so far
+    /// (`usize::MAX` when uncapped).
+    pub fn refactorizations_remaining(&self, spent: usize) -> usize {
+        match self.max_refactorizations {
+            Some(cap) => cap.saturating_sub(spent),
+            None => usize::MAX,
+        }
+    }
+}
+
 /// Per-solve tuning knobs threaded from the analysis down to the solvers
 /// (see [`LpBackend::open_with`](crate::LpBackend::open_with)).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -182,6 +267,10 @@ pub struct SolverTuning {
     /// pivots by default, or the legacy phase-1 restart; see
     /// [`WarmStrategy`](crate::factor::WarmStrategy)).
     pub warm: crate::factor::WarmStrategy,
+    /// Resource budget for the whole session (deadline, iteration and
+    /// refactorization caps; default unlimited).  The spend carries over
+    /// across every minimize/re-solve of the session.
+    pub budget: SolveBudget,
 }
 
 impl Default for SolverTuning {
@@ -191,6 +280,7 @@ impl Default for SolverTuning {
             presolve: true,
             factor: crate::factor::FactorKind::default(),
             warm: crate::factor::WarmStrategy::default(),
+            budget: SolveBudget::default(),
         }
     }
 }
@@ -208,6 +298,14 @@ impl SolverTuning {
     pub fn with_factor(factor: crate::factor::FactorKind) -> Self {
         SolverTuning {
             factor,
+            ..SolverTuning::default()
+        }
+    }
+
+    /// Tuning with the given budget and everything else at defaults.
+    pub fn with_budget(budget: SolveBudget) -> Self {
+        SolverTuning {
+            budget,
             ..SolverTuning::default()
         }
     }

@@ -94,9 +94,17 @@ pub enum LpStatus {
     Infeasible,
     /// The objective is unbounded below on the feasible region.
     Unbounded,
-    /// The iteration limit was exceeded (should not happen with Bland's rule;
-    /// reported rather than looping forever if numerics degenerate).
-    IterationLimit,
+    /// The solve ran out of resources — its wall-clock deadline, its
+    /// iteration cap (explicit via [`SolveBudget`](crate::SolveBudget), or
+    /// the solver's built-in runaway backstop), or its refactorization cap —
+    /// before reaching a verdict.
+    ///
+    /// This is a statement about *resources*, never about the problem:
+    /// callers must not treat it as infeasibility (it must not trigger
+    /// poly-degree escalation retries) and must not trust the accompanying
+    /// objective/values.  The [`SolveStats`] on the solution record how much
+    /// was spent before the budget ran out.
+    BudgetExhausted,
 }
 
 impl fmt::Display for LpStatus {
@@ -105,7 +113,7 @@ impl fmt::Display for LpStatus {
             LpStatus::Optimal => "optimal",
             LpStatus::Infeasible => "infeasible",
             LpStatus::Unbounded => "unbounded",
-            LpStatus::IterationLimit => "iteration limit",
+            LpStatus::BudgetExhausted => "budget exhausted",
         };
         write!(f, "{s}")
     }
@@ -267,6 +275,7 @@ impl LpProblem {
             presolve: false,
             factor: FactorKind::Dense,
             warm: WarmStrategy::Dual,
+            ..SolverTuning::default()
         };
         SimplexCore::solve_problem(self, &tuning, true)
     }

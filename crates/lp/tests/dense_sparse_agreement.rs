@@ -44,11 +44,11 @@ fn decode(seed: &[(f64, f64, f64)], vars: usize) -> (LpProblem, Vec<LpVarId>) {
 }
 
 fn statuses_agree(dense: &cma_lp::LpSolution, sparse: &cma_lp::LpSolution) -> bool {
-    // Optimal/Infeasible/Unbounded must match exactly; IterationLimit on
+    // Optimal/Infeasible/Unbounded must match exactly; BudgetExhausted on
     // either side (numerical exhaustion) is excused.
     dense.status == sparse.status
-        || dense.status == LpStatus::IterationLimit
-        || sparse.status == LpStatus::IterationLimit
+        || dense.status == LpStatus::BudgetExhausted
+        || sparse.status == LpStatus::BudgetExhausted
 }
 
 proptest! {

@@ -55,8 +55,8 @@ fn decode(seed: &[(f64, f64, f64)], vars: usize) -> (LpProblem, Vec<LpVarId>) {
 
 fn statuses_agree(a: &cma_lp::LpSolution, b: &cma_lp::LpSolution) -> bool {
     a.status == b.status
-        || a.status == LpStatus::IterationLimit
-        || b.status == LpStatus::IterationLimit
+        || a.status == LpStatus::BudgetExhausted
+        || b.status == LpStatus::BudgetExhausted
 }
 
 proptest! {

@@ -35,6 +35,12 @@ pub struct SimConfig {
     /// When set, a read of a variable that was never written aborts the trial
     /// with [`InterpError::UninitializedRead`] instead of silently reading 0.
     pub strict_init: bool,
+    /// Wall-clock budget for the whole campaign, checked between trials: when
+    /// it runs out, the remaining trials are skipped and the statistics cover
+    /// the completed prefix (labeled via
+    /// [`CostSamples::timed_out`](crate::CostSamples::timed_out)).  `None`
+    /// (the default) runs every trial.
+    pub timeout: Option<std::time::Duration>,
 }
 
 impl Default for SimConfig {
@@ -45,6 +51,7 @@ impl Default for SimConfig {
             max_steps: 1_000_000,
             initial: Vec::new(),
             strict_init: false,
+            timeout: None,
         }
     }
 }

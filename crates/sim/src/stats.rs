@@ -10,6 +10,7 @@ pub struct CostSamples {
     costs: Vec<f64>,
     cutoff_trials: usize,
     uninit_reads: usize,
+    timed_out: bool,
 }
 
 impl CostSamples {
@@ -19,6 +20,7 @@ impl CostSamples {
             costs,
             cutoff_trials: 0,
             uninit_reads: 0,
+            timed_out: false,
         }
     }
 
@@ -36,6 +38,13 @@ impl CostSamples {
     /// such read silently evaluated to 0; see [`Trial::uninit_reads`]).
     pub fn uninit_reads(&self) -> usize {
         self.uninit_reads
+    }
+
+    /// Whether the campaign's wall-clock budget ([`SimConfig::timeout`]) ran
+    /// out before all requested trials completed.  The statistics remain
+    /// valid over the completed prefix — this flag labels them as truncated.
+    pub fn timed_out(&self) -> bool {
+        self.timed_out
     }
 
     /// Number of samples.
@@ -170,10 +179,16 @@ pub fn try_simulate_with(
     config: &SimConfig,
     mut observer: impl FnMut(&Trial),
 ) -> Result<CostSamples, InterpError> {
+    let deadline = config.timeout.map(|t| std::time::Instant::now() + t);
     let mut costs = Vec::with_capacity(config.trials);
     let mut cutoffs = 0usize;
     let mut uninit = 0usize;
+    let mut timed_out = false;
     for i in 0..config.trials {
+        if deadline.is_some_and(|d| std::time::Instant::now() >= d) {
+            timed_out = true;
+            break;
+        }
         let trial = run_once(program, config, config.seed.wrapping_add(i as u64))?;
         if !trial.terminated {
             cutoffs += 1;
@@ -186,6 +201,7 @@ pub fn try_simulate_with(
         costs,
         cutoff_trials: cutoffs,
         uninit_reads: uninit,
+        timed_out,
     })
 }
 
@@ -327,6 +343,33 @@ mod tests {
         );
         assert_eq!(stats.len(), 100);
         assert!(steps > 0);
+    }
+
+    #[test]
+    fn expired_timeout_truncates_trials_and_labels_the_stats() {
+        let program = geometric_program();
+        let stats = simulate(
+            &program,
+            &SimConfig {
+                trials: 1_000,
+                seed: 9,
+                timeout: Some(std::time::Duration::ZERO),
+                ..Default::default()
+            },
+        );
+        assert!(stats.timed_out());
+        assert!(stats.len() < 1_000);
+        // Untruncated campaigns must not carry the label.
+        let full = simulate(
+            &program,
+            &SimConfig {
+                trials: 50,
+                seed: 9,
+                ..Default::default()
+            },
+        );
+        assert!(!full.timed_out());
+        assert_eq!(full.len(), 50);
     }
 
     #[test]

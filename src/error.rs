@@ -38,6 +38,16 @@ pub enum CmaError {
     },
     /// Invalid command-line usage or option values.
     Usage(String),
+    /// The engine panicked; the panic was contained (`catch_unwind` at the
+    /// CLI boundary) and converted into this structured error instead of
+    /// tearing the process down — essential for `cma corpus`, where one
+    /// defective program must not sink a whole campaign.
+    Internal {
+        /// Path of the program being processed when the panic fired.
+        path: Option<String>,
+        /// The panic message.
+        message: String,
+    },
     /// An error wrapped with additional context.
     Context {
         /// What the pipeline was doing when the error occurred.
@@ -57,6 +67,14 @@ impl fmt::Display for CmaError {
             CmaError::Check(report) => write!(f, "static checks failed: {}", report.summary()),
             CmaError::Io { path, source } => write!(f, "cannot access `{path}`: {source}"),
             CmaError::Usage(msg) => write!(f, "{msg}"),
+            CmaError::Internal {
+                path: Some(path),
+                message,
+            } => write!(f, "internal error while processing `{path}`: {message}"),
+            CmaError::Internal {
+                path: None,
+                message,
+            } => write!(f, "internal error: {message}"),
             CmaError::Context { context, source } => write!(f, "{context}: {source}"),
         }
     }
@@ -72,6 +90,7 @@ impl std::error::Error for CmaError {
             CmaError::Check(_) => None,
             CmaError::Io { source, .. } => Some(source),
             CmaError::Usage(_) => None,
+            CmaError::Internal { .. } => None,
             CmaError::Context { source, .. } => Some(source),
         }
     }
@@ -118,6 +137,14 @@ impl CmaError {
         }
     }
 
+    /// A contained engine panic that fired while processing `path`.
+    pub fn internal(path: impl Into<String>, message: impl Into<String>) -> CmaError {
+        CmaError::Internal {
+            path: Some(path.into()),
+            message: message.into(),
+        }
+    }
+
     /// Whether the root cause is an analysis (LP/derivation) failure.
     pub fn is_analysis_failure(&self) -> bool {
         match self {
@@ -155,6 +182,18 @@ impl CmaError {
             CmaError::Analysis(e) => e.infeasible_at(),
             CmaError::Context { source, .. } => source.infeasible_at(),
             _ => None,
+        }
+    }
+
+    /// Whether the root cause is an exhausted solve budget (deadline or
+    /// iteration cap) — a resource statement, never a verdict.  Callers like
+    /// the corpus runner use this to classify a failed child as *timed out*
+    /// rather than *wrong*.
+    pub fn budget_exhausted(&self) -> bool {
+        match self {
+            CmaError::Analysis(e) => e.budget_exhausted(),
+            CmaError::Context { source, .. } => source.budget_exhausted(),
+            _ => false,
         }
     }
 }
@@ -203,5 +242,22 @@ mod tests {
         let err = CmaError::Usage("unknown flag --frobnicate".into());
         assert!(std::error::Error::source(&err).is_none());
         assert_eq!(err.to_string(), "unknown flag --frobnicate");
+    }
+
+    #[test]
+    fn internal_errors_carry_the_program_path() {
+        let err = CmaError::internal("bad.appl", "index out of bounds");
+        assert_eq!(
+            err.to_string(),
+            "internal error while processing `bad.appl`: index out of bounds"
+        );
+        assert!(std::error::Error::source(&err).is_none());
+        assert!(!err.is_analysis_failure());
+        assert!(!err.budget_exhausted());
+        let pathless = CmaError::Internal {
+            path: None,
+            message: "boom".into(),
+        };
+        assert_eq!(pathless.to_string(), "internal error: boom");
     }
 }

@@ -58,8 +58,8 @@ pub use report::{json, AnalysisReport, CheckStats, LpStats, PhaseTimings};
 pub use cma_appl::{parse_program, Program, Var};
 pub use cma_check::{CheckConfig, CheckReport};
 pub use cma_inference::{
-    AnalysisOptions, CentralMoments, EscalationStats, GroupLpStats, PlanStats, PruningStats,
-    SolveMode, SoundnessReport, TailBound,
+    AnalysisOptions, CentralMoments, DegradationStats, DegradationStep, EscalationStats,
+    GroupLpStats, PlanStats, PruningStats, SolveMode, SoundnessReport, TailBound,
 };
 pub use cma_lp::{
     FactorKind, LpBackend, LpSession, PricingRule, SimplexBackend, SolveStats, SolverTuning,

@@ -33,8 +33,8 @@ use std::time::{Duration, Instant};
 use cma_appl::{parse_program, Program};
 use cma_check::CheckConfig;
 use cma_inference::{
-    analyze_session, soundness_report_in_session, tail_curve, AnalysisOptions, CentralMoments,
-    SolveMode,
+    analyze_session, analyze_session_resilient, soundness_report_in_session, tail_curve,
+    AnalysisOptions, CentralMoments, DegradationStep, SolveMode,
 };
 use cma_lp::{LpBackend, SimplexBackend};
 use cma_semiring::poly::Var;
@@ -208,6 +208,24 @@ impl<B: LpBackend> Analysis<B> {
         self
     }
 
+    /// Bounds the whole analysis by a wall-clock deadline.  When the budget
+    /// runs out the pipeline does not fail outright: it descends the
+    /// graceful-degradation ladder (compositional mode, lower degree,
+    /// presolve) and labels the result in the report's `degradation`
+    /// section.  Only a ladder that runs completely dry surfaces the
+    /// budget-exhaustion error.
+    pub fn timeout(mut self, timeout: Duration) -> Self {
+        self.options.timeout = Some(timeout);
+        self
+    }
+
+    /// Bounds each LP group solve by its own wall-clock deadline, on top of
+    /// (and capped by) any whole-analysis [`timeout`](Self::timeout).
+    pub fn group_timeout(mut self, timeout: Duration) -> Self {
+        self.options.group_timeout = Some(timeout);
+        self
+    }
+
     /// Labels the report (shown by the CLI and in `to_json`).
     pub fn label(mut self, label: impl Into<String>) -> Self {
         self.label = Some(label.into());
@@ -348,7 +366,9 @@ impl<B: LpBackend> Analysis<B> {
         let analysis_start = Instant::now();
         // With escalation enabled, solve at the starting degree first, then
         // escalate the live session to the target — the warm basis absorbs
-        // the new moment components instead of a cold re-derive.
+        // the new moment components instead of a cold re-derive.  The plain
+        // path runs the resilient driver, which degrades (and labels the
+        // degradation) instead of failing when a budget runs out.
         let (result, mut engine_session) = match self.escalate_from {
             Some(from) => {
                 let mut start_options = options.clone();
@@ -358,9 +378,22 @@ impl<B: LpBackend> Analysis<B> {
                 let result = session.escalate_degree(options.degree)?;
                 (result, session)
             }
-            None => analyze_session(&self.program, &options, &self.backend)?,
+            None => analyze_session_resilient(&self.program, &options, &self.backend)?,
         };
         let analysis_elapsed = analysis_start.elapsed();
+        // Degradation may have landed below the requested degree or switched
+        // the mode; everything downstream — soundness, report header, the
+        // raw-moment listing — must describe the run that actually happened.
+        let degree_used = result.degree();
+        let mode_used = if result
+            .degradation
+            .steps
+            .contains(&DegradationStep::CompositionalMode)
+        {
+            SolveMode::Compositional
+        } else {
+            self.options.mode
+        };
 
         let tail_start = Instant::now();
         let raw_intervals = result.raw_intervals_at(&self.options.valuation);
@@ -377,11 +410,8 @@ impl<B: LpBackend> Analysis<B> {
         // open session and re-minimized — no re-derivation, no extra solve.
         let (soundness, soundness_elapsed) = if self.check_soundness {
             let start = Instant::now();
-            let report = soundness_report_in_session(
-                &mut engine_session,
-                &self.program,
-                self.options.degree,
-            );
+            let report =
+                soundness_report_in_session(&mut engine_session, &self.program, degree_used);
             (Some(report), Some(start.elapsed()))
         } else {
             (None, None)
@@ -401,8 +431,8 @@ impl<B: LpBackend> Analysis<B> {
         });
         Ok(AnalysisReport {
             label: self.label.clone(),
-            degree: self.options.degree,
-            mode: self.options.mode,
+            degree: degree_used,
+            mode: mode_used,
             backend: self.backend.name().to_string(),
             pricing: self.options.pricing.name().to_string(),
             factor: self.options.factor.name().to_string(),
@@ -410,6 +440,7 @@ impl<B: LpBackend> Analysis<B> {
             poly_degree: result.poly_degree,
             poly_retries: result.poly_retries,
             escalation: result.escalation,
+            degradation: result.degradation.clone(),
             plan: result.plan,
             valuation: self.options.valuation.clone(),
             result,
@@ -856,6 +887,7 @@ mod tests {
             "\"groups\":[{\"name\":\"global\"",
             "\"plan\":{\"slots_created\":",
             "\"escalation\":null",
+            "\"degradation\":{\"degraded\":false,\"steps\":[]}",
             "\"check\":{\"warnings\":0",
             "\"pruning\":{\"refuted_branches\":0",
             "\"timings\":{",
@@ -866,5 +898,64 @@ mod tests {
         // Balanced braces/brackets — cheap well-formedness check.
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn expired_timeout_surfaces_as_budget_exhaustion_not_infeasibility() {
+        // A zero budget exhausts every ladder rung before any solve can
+        // finish; the error must say "out of budget", never "infeasible".
+        let err = Analysis::benchmark(&running::rdwalk())
+            .soundness(false)
+            .timeout(Duration::ZERO)
+            .run()
+            .unwrap_err();
+        assert!(err.budget_exhausted(), "{err}");
+        assert!(err.is_analysis_failure());
+        assert_eq!(err.infeasible_at(), None);
+        assert!(err.to_string().contains("budget exhausted"), "{err}");
+    }
+
+    #[test]
+    fn generous_timeout_changes_nothing_and_stays_unlabeled() {
+        let plain = Analysis::benchmark(&running::rdwalk())
+            .soundness(false)
+            .run()
+            .unwrap();
+        let budgeted = Analysis::benchmark(&running::rdwalk())
+            .soundness(false)
+            .timeout(Duration::from_secs(600))
+            .group_timeout(Duration::from_secs(60))
+            .run()
+            .unwrap();
+        assert!(!budgeted.result.degradation.degraded());
+        assert_eq!(budgeted.degree, plain.degree);
+        assert_eq!(budgeted.raw_intervals, plain.raw_intervals);
+    }
+
+    #[test]
+    fn degraded_reports_are_always_labeled_in_text_and_json() {
+        let mut report = Analysis::benchmark(&running::rdwalk())
+            .soundness(false)
+            .run()
+            .unwrap();
+        report.degradation = cma_inference::DegradationStats {
+            steps: vec![
+                DegradationStep::CompositionalMode,
+                DegradationStep::ReduceDegree { from: 2, to: 1 },
+            ],
+        };
+        let rendered = report.to_string();
+        assert!(
+            rendered.contains("degraded: global->compositional, degree:2->1"),
+            "{rendered}"
+        );
+        let json = report.to_json();
+        assert!(
+            json.contains(
+                "\"degradation\":{\"degraded\":true,\
+                 \"steps\":[\"global->compositional\",\"degree:2->1\"]}"
+            ),
+            "{json}"
+        );
     }
 }

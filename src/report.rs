@@ -13,8 +13,8 @@ use std::fmt;
 use std::time::Duration;
 
 use cma_inference::{
-    AnalysisResult, CentralMoments, EscalationStats, GroupLpStats, PlanStats, PruningStats,
-    SolveMode, SoundnessReport, TailBound,
+    AnalysisResult, CentralMoments, DegradationStats, EscalationStats, GroupLpStats, PlanStats,
+    PruningStats, SolveMode, SoundnessReport, TailBound,
 };
 use cma_semiring::poly::Var;
 use cma_semiring::Interval;
@@ -185,6 +185,12 @@ pub struct AnalysisReport {
     /// In-session degree escalation statistics (present when the analysis
     /// reached its target degree by escalating a lower-degree session).
     pub escalation: Option<EscalationStats>,
+    /// Degradation-ladder rungs the analysis descended after budget
+    /// exhaustion (empty for a full-precision run).  A nonempty value means
+    /// every bound below is **degraded**: still sound, but produced under
+    /// weaker options than requested — and this field is the label that
+    /// keeps that fact from ever being silent.
+    pub degradation: DegradationStats,
     /// Derivation-plan reuse counters (slots/columns/recipes reused vs
     /// created across instantiations and extensions).
     pub plan: PlanStats,
@@ -408,6 +414,18 @@ impl AnalysisReport {
         };
         push_field(&mut out, "escalation", &escalation);
 
+        let degradation = format!(
+            "{{\"degraded\":{},\"steps\":[{}]}}",
+            self.degradation.degraded(),
+            self.degradation
+                .steps
+                .iter()
+                .map(|s| json::string(&s.to_string()))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        push_field(&mut out, "degradation", &degradation);
+
         let check = match &self.check {
             Some(c) => {
                 let diags = c
@@ -503,6 +521,14 @@ impl fmt::Display for AnalysisReport {
                     e.from_degree, e.to_degree, e.reused_slots
                 )?;
             }
+        }
+        if self.degradation.degraded() {
+            writeln!(
+                f,
+                "degraded: {} (budget ran out; bounds are sound but below \
+                 the requested precision)",
+                self.degradation
+            )?;
         }
         if !self.valuation.is_empty() {
             let at = self
