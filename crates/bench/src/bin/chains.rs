@@ -18,7 +18,10 @@
 //!
 //! `--escalate` additionally measures every global-mode configuration via an
 //! in-session degree 1 → 2 escalation (`Analysis::escalate_from`), with
-//! plan-reuse and escalation-pivot columns in the JSON rows.
+//! plan-reuse and escalation-pivot columns in the JSON rows.  The sweep then
+//! also visits `--global-cap` itself (even when the stride would skip it):
+//! the cap is the largest size global mode runs at, which is exactly where
+//! the warm-escalation-vs-cold comparison matters.
 //!
 //! Compositional mode (the regime Fig. 10 actually evaluates — one LP per
 //! SCC) is measured across the whole sweep.  Global mode — one monolithic LP
@@ -53,6 +56,18 @@ struct Row {
     lp_iterations: usize,
     lp_etas: usize,
     lp_dual_pivots: usize,
+    /// Nonbasic bound flips (long-step dual ratio test / primal flips on
+    /// absorbed upper bounds).
+    lp_bound_flips: usize,
+    /// Forrest–Tomlin eta-file compactions performed by the LU updates.
+    lp_eta_compactions: usize,
+    /// Peak eta-file length between refactorizations.
+    lp_eta_len: usize,
+    /// Pivot-level time profile, in nanoseconds.
+    ftran_ns: u64,
+    btran_ns: u64,
+    pricing_ns: u64,
+    ratio_ns: u64,
     /// Template columns the escalation replayed from the derivation plan.
     plan_reused_columns: usize,
     /// Dual-simplex pivots the escalated warm re-solve spent.
@@ -109,10 +124,117 @@ fn measure(
         lp_iterations: report.lp.iterations,
         lp_etas: report.lp.etas,
         lp_dual_pivots: report.lp.dual_pivots,
+        lp_bound_flips: report.lp.bound_flips,
+        lp_eta_compactions: report.lp.eta_compactions,
+        lp_eta_len: report.lp.eta_len,
+        ftran_ns: report.lp.ftran_ns,
+        btran_ns: report.lp.btran_ns,
+        pricing_ns: report.lp.pricing_ns,
+        ratio_ns: report.lp.ratio_ns,
         plan_reused_columns: escalation.map_or(0, |e| e.reused_columns),
         escalation_dual_pivots: escalation.map_or(0, |e| e.dual_pivots),
         mean_upper: report.mean().hi(),
     })
+}
+
+/// The boxed-LP family: an LP-level warm-resolve microbench whose columns
+/// carry *finite upper bounds* (singleton `x ≤ u` rows, absorbed into column
+/// bounds by the solver).  The inference LPs are all `=`/`≥` systems, so this
+/// family is what exercises — and keeps nonzero in the committed artifact —
+/// the bound-flip counter of the long-step dual ratio test and, under `lu`,
+/// the Forrest–Tomlin compaction counters.
+///
+/// Shape at size `n`: `3n` boxed variables, overlapping 3-windows capping
+/// their sums, an objective pushing every column to its upper bound, then a
+/// sequence of progressively tighter global cutting rows re-minimized warm.
+fn measure_boxed(n: usize, backend: &'static str, factor: FactorKind) -> Row {
+    use central_moment_analysis::lp::{
+        Cmp, LpBackend, LpProblem, SolveStats, SolverTuning, TunedBackend,
+    };
+
+    let m = 3 * n;
+    let mut lp = LpProblem::new();
+    let vars: Vec<_> = (0..m).map(|j| lp.add_var(format!("x{j}"), false)).collect();
+    for (j, &v) in vars.iter().enumerate() {
+        // Singleton Le rows: absorbed as column bounds, not tableau rows.
+        lp.add_constraint(vec![(v, 1.0)], Cmp::Le, 1.0 + (j % 4) as f64 * 0.25);
+    }
+    for w in vars.windows(3) {
+        lp.add_constraint(vec![(w[0], 1.0), (w[1], 1.0), (w[2], 1.0)], Cmp::Le, 2.75);
+    }
+    let objective: Vec<_> = vars
+        .iter()
+        .enumerate()
+        .map(|(j, &v)| (v, -(1.0 + (j % 3) as f64)))
+        .collect();
+
+    let tuning = SolverTuning::with_factor(factor);
+    let started = std::time::Instant::now();
+    let (stats, solves) = {
+        fn drive<B: LpBackend>(
+            backend: &B,
+            lp: &LpProblem,
+            vars: &[central_moment_analysis::lp::LpVarId],
+            objective: &[(central_moment_analysis::lp::LpVarId, f64)],
+        ) -> (SolveStats, usize) {
+            let mut session = backend.open(lp);
+            let mut solution = session.minimize(objective);
+            assert!(solution.is_optimal(), "boxed LP must solve: {solution:?}");
+            let mut stats = solution.stats;
+            let mut solves = 1;
+            // Progressively tighter global cuts, each re-minimized warm.
+            for _ in 0..3 {
+                let total: f64 = vars.iter().map(|&v| solution.value(v)).sum();
+                let row: Vec<_> = vars.iter().map(|&v| (v, 1.0)).collect();
+                session.add_constraint(&row, Cmp::Le, total * 0.85);
+                solution = session.minimize(objective);
+                assert!(solution.is_optimal(), "cut re-solve must stay optimal");
+                stats = stats.merge(&solution.stats);
+                solves += 1;
+            }
+            (stats, solves)
+        }
+        match backend {
+            "dense" => drive(
+                &TunedBackend::new(SimplexBackend, tuning),
+                &lp,
+                &vars,
+                &objective,
+            ),
+            _ => drive(
+                &TunedBackend::new(SparseBackend, tuning),
+                &lp,
+                &vars,
+                &objective,
+            ),
+        }
+    };
+    Row {
+        family: "boxed-lp",
+        n,
+        mode: "warm",
+        backend,
+        pricing: PricingRule::default().name(),
+        factor: factor.name(),
+        escalated: false,
+        analysis_ms: started.elapsed().as_secs_f64() * 1e3,
+        lp_variables: m,
+        lp_constraints: lp.num_constraints(),
+        lp_solves: solves,
+        lp_iterations: stats.iterations,
+        lp_etas: stats.etas,
+        lp_dual_pivots: stats.dual_pivots,
+        lp_bound_flips: stats.bound_flips,
+        lp_eta_compactions: stats.eta_compactions,
+        lp_eta_len: stats.eta_len,
+        ftran_ns: stats.ftran_ns,
+        btran_ns: stats.btran_ns,
+        pricing_ns: stats.pricing_ns,
+        ratio_ns: stats.ratio_ns,
+        plan_reused_columns: 0,
+        escalation_dual_pivots: 0,
+        mean_upper: 0.0,
+    }
 }
 
 fn main() {
@@ -173,7 +295,12 @@ fn main() {
     };
 
     let mut rows: Vec<Row> = Vec::new();
-    for n in synthetic::sweep(max_n, step) {
+    let mut sizes = synthetic::sweep(max_n, step);
+    if escalate && global_cap <= max_n && !sizes.contains(&global_cap) {
+        sizes.push(global_cap);
+        sizes.sort_unstable();
+    }
+    for n in sizes {
         let coupon = synthetic::coupon_chain(n).in_suite("synthetic");
         let walk = synthetic::random_walk_chain(n).in_suite("synthetic");
         for mode in [SolveMode::Global, SolveMode::Compositional] {
@@ -223,6 +350,25 @@ fn main() {
                 }
             }
         }
+        // The boxed-LP warm family (LP-level, no analysis pipeline): one row
+        // per backend × factorization at this size.
+        for backend in ["dense", "sparse"] {
+            for &factor in &factors {
+                let row = measure_boxed(n, backend, factor);
+                eprintln!(
+                    "boxed-lp/{n} warm {backend} {}/{}: {:.1} ms ({} iters, {} dual pivots, {} bound flips, {} compactions, peak eta {})",
+                    row.pricing,
+                    row.factor,
+                    row.analysis_ms,
+                    row.lp_iterations,
+                    row.lp_dual_pivots,
+                    row.lp_bound_flips,
+                    row.lp_eta_compactions,
+                    row.lp_eta_len,
+                );
+                rows.push(row);
+            }
+        }
     }
 
     // Rows go through the shared report JSON writer so this encoder cannot
@@ -251,6 +397,13 @@ fn main() {
                     ("lp_iterations", r.lp_iterations.to_string()),
                     ("lp_etas", r.lp_etas.to_string()),
                     ("lp_dual_pivots", r.lp_dual_pivots.to_string()),
+                    ("lp_bound_flips", r.lp_bound_flips.to_string()),
+                    ("lp_eta_compactions", r.lp_eta_compactions.to_string()),
+                    ("lp_eta_len", r.lp_eta_len.to_string()),
+                    ("ftran_ns", r.ftran_ns.to_string()),
+                    ("btran_ns", r.btran_ns.to_string()),
+                    ("pricing_ns", r.pricing_ns.to_string()),
+                    ("ratio_ns", r.ratio_ns.to_string()),
                     ("plan_reused_columns", r.plan_reused_columns.to_string()),
                     (
                         "escalation_dual_pivots",

@@ -19,11 +19,14 @@ use central_moment_analysis::inference::{
     analyze_session, soundness_report_in_session, AnalysisOptions,
 };
 use central_moment_analysis::lp::{FactorKind, LpBackend, SolverTuning, TunedBackend};
-use central_moment_analysis::suite::synthetic;
+use central_moment_analysis::suite::{synthetic, Benchmark};
 use central_moment_analysis::{SolveMode, SparseBackend};
 
 /// Dual pivots allowed for a single cutting row on the chain system.
-const CUTTING_ROW_DUAL_BUDGET: usize = 32;
+/// Tightened from 32 to 8: the long-step bound-flipping ratio test plus
+/// weighted (devex) leaving-row pricing repair a single cut in a handful of
+/// pivots where the old most-negative/Harris combination wandered.
+const CUTTING_ROW_DUAL_BUDGET: usize = 8;
 
 fn main() {
     let n = 6;
@@ -116,4 +119,38 @@ fn main() {
          {} dual pivots, {} iterations",
         report.extension_variables, stats.dual_pivots, stats.iterations
     );
+
+    // --- Scenario 3: in-session degree escalation beats the cold solve. --
+    // The warm dual repair after a degree 1 → 2 escalation must spend fewer
+    // total simplex iterations than solving the degree-2 system cold — the
+    // whole point of keeping the session warm.  Guarded on the two largest
+    // chain sizes the CI bench sweep commits.
+    use central_moment_analysis::Analysis;
+    for n in [7usize, 8] {
+        let chain = synthetic::random_walk_chain(n).in_suite("synthetic");
+        let base = |b: &Benchmark| {
+            Analysis::benchmark(b)
+                .degree(2)
+                .mode(SolveMode::Global)
+                .factor(FactorKind::Lu)
+                .soundness(false)
+                .backend(SparseBackend)
+        };
+        let cold = base(&chain).run().expect("cold walk-chain analyzable");
+        let escalated = base(&chain)
+            .escalate_from(1)
+            .run()
+            .expect("escalated walk-chain analyzable");
+        assert!(
+            escalated.lp.iterations < cold.lp.iterations,
+            "escalated walk-chain n={n} took {} iterations, cold took {}: \
+             the warm dual repair regressed",
+            escalated.lp.iterations,
+            cold.lp.iterations
+        );
+        eprintln!(
+            "warmsmoke: walk-chain n={n} escalation {} iterations vs cold {}",
+            escalated.lp.iterations, cold.lp.iterations
+        );
+    }
 }

@@ -21,8 +21,8 @@ use std::process::ExitCode;
 
 use central_moment_analysis::suite::{self, Benchmark};
 use central_moment_analysis::{
-    check, json, Analysis, AnalysisReport, CheckConfig, CmaError, FactorKind, LpBackend,
-    PricingRule, SolveMode, SparseBackend, Var,
+    check, json, Analysis, AnalysisReport, CheckConfig, CmaError, DualPricing, DualRatio,
+    FactorKind, LpBackend, PricingRule, SolveMode, SparseBackend, Var,
 };
 
 const USAGE: &str = "\
@@ -51,6 +51,9 @@ ANALYSIS OPTIONS:
     --backend B          dense | sparse LP solver (default dense)
     --pricing P          dantzig | devex | partial simplex pricing (default devex)
     --factor F           dense | lu basis factorization (default dense)
+    --dual-pricing P     devex | steepest dual leaving-row pricing for warm
+                         re-solves (default devex)
+    --dual-ratio R       bound-flip | harris dual ratio test (default bound-flip)
     --no-presolve        skip the LP presolve pass (row/column reductions)
     --threads N          solve independent compositional groups on N threads
     --timeout SECS       wall-clock budget for the whole analysis; when it runs
@@ -173,6 +176,8 @@ struct AnalyzeOpts {
     backend: BackendChoice,
     pricing: Option<PricingRule>,
     factor: Option<FactorKind>,
+    dual_pricing: Option<DualPricing>,
+    dual_ratio: Option<DualRatio>,
     no_presolve: bool,
     threads: Option<usize>,
     valuation: Option<Vec<(Var, f64)>>,
@@ -286,6 +291,14 @@ fn parse_opts(args: &[String]) -> Result<AnalyzeOpts, CmaError> {
             "--factor" => {
                 let v = it.next().ok_or_else(|| missing("--factor"))?;
                 opts.factor = Some(v.parse().map_err(CmaError::Usage)?);
+            }
+            "--dual-pricing" => {
+                let v = it.next().ok_or_else(|| missing("--dual-pricing"))?;
+                opts.dual_pricing = Some(v.parse().map_err(CmaError::Usage)?);
+            }
+            "--dual-ratio" => {
+                let v = it.next().ok_or_else(|| missing("--dual-ratio"))?;
+                opts.dual_ratio = Some(v.parse().map_err(CmaError::Usage)?);
             }
             "--no-presolve" => opts.no_presolve = true,
             "--threads" => {
@@ -431,6 +444,12 @@ fn apply_analysis_opts<B: LpBackend>(mut analysis: Analysis<B>, opts: &AnalyzeOp
     }
     if let Some(factor) = opts.factor {
         analysis = analysis.factor(factor);
+    }
+    if let Some(dual_pricing) = opts.dual_pricing {
+        analysis = analysis.dual_pricing(dual_pricing);
+    }
+    if let Some(dual_ratio) = opts.dual_ratio {
+        analysis = analysis.dual_ratio(dual_ratio);
     }
     if opts.no_presolve {
         analysis = analysis.presolve(false);

@@ -8,8 +8,8 @@ use std::time::{Duration, Instant};
 use cma_appl::{Program, RangeFacts};
 use cma_logic::Context;
 use cma_lp::{
-    FactorKind, LpBackend, LpSession, LpSolution, LpStatus, PricingRule, SolveBudget, SolveStats,
-    SolverTuning, WarmStrategy,
+    DualPricing, DualRatio, FactorKind, LpBackend, LpSession, LpSolution, LpStatus, PricingRule,
+    SolveBudget, SolveStats, SolverTuning, WarmStrategy, DEADLINE_CHECK_PERIOD,
 };
 use cma_semiring::poly::{Polynomial, Var};
 use cma_semiring::Interval;
@@ -98,6 +98,12 @@ pub struct AnalysisOptions {
     /// remains of [`timeout`](Self::timeout).  `None` (the default) gives
     /// groups no deadline of their own.
     pub group_timeout: Option<Duration>,
+    /// How dual warm re-solves price the leaving row (devex by default,
+    /// exact steepest-edge via `Steepest`; see `cma_lp::DualPricing`).
+    pub dual_pricing: DualPricing,
+    /// The dual ratio test: long-step bound-flipping by default, or the
+    /// classic Harris min-ratio (see `cma_lp::DualRatio`).
+    pub dual_ratio: DualRatio,
 }
 
 impl AnalysisOptions {
@@ -119,6 +125,8 @@ impl AnalysisOptions {
             range_facts: None,
             timeout: None,
             group_timeout: None,
+            dual_pricing: DualPricing::default(),
+            dual_ratio: DualRatio::default(),
         }
     }
 
@@ -176,6 +184,18 @@ impl AnalysisOptions {
         self
     }
 
+    /// Sets the dual leaving-row pricing used by warm re-solves.
+    pub fn with_dual_pricing(mut self, pricing: DualPricing) -> Self {
+        self.dual_pricing = pricing;
+        self
+    }
+
+    /// Sets the dual ratio test used by warm re-solves.
+    pub fn with_dual_ratio(mut self, ratio: DualRatio) -> Self {
+        self.dual_ratio = ratio;
+        self
+    }
+
     /// Enables automatic poly-degree escalation on infeasibility, retrying
     /// `d → d+1` up to `max` while reusing the recorded derivation plan.
     pub fn with_max_poly_degree(mut self, max: u32) -> Self {
@@ -214,6 +234,9 @@ impl AnalysisOptions {
             factor: self.factor,
             warm: self.warm_resolve,
             budget: SolveBudget::UNLIMITED,
+            dual_pricing: self.dual_pricing,
+            dual_ratio: self.dual_ratio,
+            deadline_check_period: DEADLINE_CHECK_PERIOD,
         }
     }
 
@@ -387,7 +410,11 @@ impl MomentBound {
 }
 
 /// Per-group size and solver-effort statistics of one solved linear program.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Equality compares the solver *path* (sizes, pivot and eta counters), not
+/// the `*_ns` wall-clock timers — two runs over the same system are equal
+/// whenever they pivoted identically, however long the clock said it took.
+#[derive(Debug, Clone)]
 pub struct GroupLpStats {
     /// Display name of the group (`"global"`, `"main"`, or the functions of
     /// a compositional SCC joined with `+`).
@@ -412,7 +439,42 @@ pub struct GroupLpStats {
     pub etas: usize,
     /// Dual-simplex pivots spent on warm incremental-row re-solves.
     pub dual_pivots: usize,
+    /// Nonbasic bound flips (long-step dual ratio test, upper-bounded
+    /// columns crossing to their opposite bound without a basis change).
+    pub bound_flips: usize,
+    /// Forrest–Tomlin eta-file compactions performed by the LU updates.
+    pub eta_compactions: usize,
+    /// Peak eta-file length between refactorizations.
+    pub eta_len: usize,
+    /// Nanoseconds spent in forward solves (`ftran`).
+    pub ftran_ns: u64,
+    /// Nanoseconds spent in backward solves (`btran`).
+    pub btran_ns: u64,
+    /// Nanoseconds spent pricing entering columns / leaving rows.
+    pub pricing_ns: u64,
+    /// Nanoseconds spent in primal/dual ratio tests.
+    pub ratio_ns: u64,
 }
+
+impl PartialEq for GroupLpStats {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name
+            && self.functions == other.functions
+            && self.variables == other.variables
+            && self.constraints == other.constraints
+            && self.iterations == other.iterations
+            && self.refactorizations == other.refactorizations
+            && self.presolve_rows == other.presolve_rows
+            && self.presolve_cols == other.presolve_cols
+            && self.etas == other.etas
+            && self.dual_pivots == other.dual_pivots
+            && self.bound_flips == other.bound_flips
+            && self.eta_compactions == other.eta_compactions
+            && self.eta_len == other.eta_len
+    }
+}
+
+impl Eq for GroupLpStats {}
 
 /// The outcome of a successful analysis.
 #[derive(Debug, Clone)]
@@ -1005,6 +1067,13 @@ impl<'a> AnalysisSession<'a> {
             presolve_cols: solution.stats.presolve_cols,
             etas: solution.stats.etas,
             dual_pivots: solution.stats.dual_pivots,
+            bound_flips: solution.stats.bound_flips,
+            eta_compactions: solution.stats.eta_compactions,
+            eta_len: solution.stats.eta_len,
+            ftran_ns: solution.stats.ftran_ns,
+            btran_ns: solution.stats.btran_ns,
+            pricing_ns: solution.stats.pricing_ns,
+            ratio_ns: solution.stats.ratio_ns,
         });
 
         let outcome = extract_outcome(build, &solution, &final_group, true, &options)?;
@@ -1406,6 +1475,13 @@ fn group_lp_stats(
         presolve_cols: stats.presolve_cols,
         etas: stats.etas,
         dual_pivots: stats.dual_pivots,
+        bound_flips: stats.bound_flips,
+        eta_compactions: stats.eta_compactions,
+        eta_len: stats.eta_len,
+        ftran_ns: stats.ftran_ns,
+        btran_ns: stats.btran_ns,
+        pricing_ns: stats.pricing_ns,
+        ratio_ns: stats.ratio_ns,
     }
 }
 

@@ -43,12 +43,13 @@
 #![allow(clippy::needless_range_loop)]
 
 use std::collections::BTreeMap;
+use std::time::Instant;
 
 use crate::backend::LpSession;
 use crate::factor::{FactorKind, Factorization, WarmStrategy};
 use crate::pricing::{
-    bland_fallback_threshold, PivotView, PricingRule, SolveBudget, SolverTuning,
-    DEADLINE_CHECK_PERIOD,
+    bland_fallback_threshold, DualPricing, DualRatio, PivotView, PricingRule, SolveBudget,
+    SolverTuning,
 };
 use crate::simplex::{Cmp, LpProblem, LpSolution, LpStatus, LpVarId, SolveStats};
 
@@ -182,6 +183,20 @@ pub(crate) struct SimplexCore {
     /// Standard-form constraint columns.
     cols: ColumnStore,
     kind: Vec<ColKind>,
+    /// Per-column upper bound (`f64::INFINITY` unless a singleton `≤` row
+    /// was absorbed at initial load; every column's lower bound is 0).
+    up: Vec<f64>,
+    /// Nonbasic-at-upper flags; a set flag always implies the column is
+    /// nonbasic, and contributes `up[j]·A_j` to the effective right-hand
+    /// side.
+    at_upper: Vec<bool>,
+    /// Singleton `≤` rows folded into `up` at initial load — they occupy no
+    /// constraint row but still count toward `num_constraints`.
+    absorbed_rows: usize,
+    /// Absorb eligible singleton rows into column bounds (true only while
+    /// `open_with` loads the initial rows; incremental rows stay rows so the
+    /// warm-extension bookkeeping never changes shape).
+    absorb_bounds: bool,
     /// Right-hand sides, sign-normalized at row entry so the initial basic
     /// value of every row is non-negative.
     b: Vec<f64>,
@@ -216,6 +231,10 @@ pub(crate) struct SimplexCore {
     stale_pivots: usize,
     /// Pricing rule used to choose entering columns.
     pricing: PricingRule,
+    /// Leaving-row pricing used by the dual-simplex restoration.
+    dual_pricing: DualPricing,
+    /// Dual ratio test variant (legacy single-breakpoint vs bound-flipping).
+    dual_ratio: DualRatio,
     /// Warm re-solve strategy for incrementally added rows.
     warm_strategy: WarmStrategy,
     /// Per-`minimize` solver counters (reset at each `minimize`).
@@ -235,6 +254,12 @@ pub(crate) struct SimplexCore {
     /// Lifetime refactorizations charged against
     /// `budget.max_refactorizations`.
     budget_refactorizations: usize,
+    /// How often (in loop iterations) the wall-clock deadline is polled
+    /// (from [`SolverTuning::deadline_check_period`], clamped to ≥ 1).
+    deadline_check_period: usize,
+    /// `factor.compactions()` at the start of the current minimize; the
+    /// per-solve [`SolveStats::eta_compactions`] is the delta.
+    compaction_base: usize,
 }
 
 impl SimplexCore {
@@ -250,6 +275,10 @@ impl SimplexCore {
             var_cols: Vec::new(),
             cols: ColumnStore::new(dense),
             kind: Vec::new(),
+            up: Vec::new(),
+            at_upper: Vec::new(),
+            absorbed_rows: 0,
+            absorb_bounds: true,
             b: Vec::new(),
             init_basis: Vec::new(),
             basis: Vec::new(),
@@ -263,12 +292,16 @@ impl SimplexCore {
             pivots: 0,
             stale_pivots: 0,
             pricing: tuning.pricing,
+            dual_pricing: tuning.dual_pricing,
+            dual_ratio: tuning.dual_ratio,
             warm_strategy: tuning.warm,
             stats: SolveStats::default(),
             xb_shifted: false,
             budget: tuning.budget,
             budget_iters: 0,
             budget_refactorizations: 0,
+            deadline_check_period: tuning.deadline_check_period.max(1),
+            compaction_base: 0,
         };
         for v in 0..problem.num_vars() {
             core.push_var(problem.is_free(LpVarId::from_index(v)));
@@ -277,6 +310,7 @@ impl SimplexCore {
             let terms: Vec<(LpVarId, f64)> = problem.constraint_terms(i).collect();
             core.append_row(&terms, problem.cmp(i), problem.rhs(i));
         }
+        core.absorb_bounds = false;
         core
     }
 
@@ -302,6 +336,8 @@ impl SimplexCore {
         let j = self.cols.push_col();
         self.kind.push(kind);
         self.is_basic.push(false);
+        self.up.push(f64::INFINITY);
+        self.at_upper.push(false);
         j
     }
 
@@ -336,6 +372,22 @@ impl SimplexCore {
                 Cmp::Ge => Cmp::Le,
                 Cmp::Eq => Cmp::Eq,
             };
+        }
+        // A singleton `a·x ≤ rhs` row with `a > 0` at initial load is a plain
+        // upper bound: fold it into `up` instead of spending a constraint
+        // row, a slack column, and ratio-test work on it.  (Free variables
+        // split into two columns and never qualify; incremental rows stay
+        // rows so warm extension keeps its shape.)
+        if self.absorb_bounds && cmp == Cmp::Le && entries.len() == 1 {
+            let (&col, &a) = entries.iter().next().expect("len checked");
+            if a > EPS && self.kind[col] == ColKind::Structural {
+                let bound = rhs / a;
+                if bound < self.up[col] {
+                    self.up[col] = bound;
+                }
+                self.absorbed_rows += 1;
+                return;
+            }
         }
         let row = self.b.len();
         for (&col, &val) in &entries {
@@ -382,13 +434,16 @@ impl SimplexCore {
         init_col: usize,
         rhs: f64,
     ) {
-        // Current point, per column: basic values, everything else zero.
+        // Current point, per column: basic values, nonbasic-at-upper columns
+        // at their bound, everything else zero.
         let lhs: f64 = entries
             .iter()
             .map(|(&col, &a)| {
                 if self.is_basic[col] {
                     let k = self.basis.iter().position(|&c| c == col).expect("basic");
                     a * self.xb[k]
+                } else if self.at_upper[col] {
+                    a * self.up[col]
                 } else {
                     0.0
                 }
@@ -465,6 +520,9 @@ impl SimplexCore {
         for flag in self.is_basic.iter_mut() {
             *flag = false;
         }
+        for flag in self.at_upper.iter_mut() {
+            *flag = false;
+        }
         for &col in &self.basis {
             self.is_basic[col] = true;
         }
@@ -480,13 +538,16 @@ impl SimplexCore {
     }
 
     /// `y = c_Bᵀ B⁻¹` via btran.
-    fn dual_prices(&self, col_costs: &[f64]) -> Vec<f64> {
+    fn dual_prices(&mut self, col_costs: &[f64]) -> Vec<f64> {
         let cb: Vec<f64> = self
             .basis
             .iter()
             .map(|&col| col_costs.get(col).copied().unwrap_or(0.0))
             .collect();
-        self.factor.btran(&cb)
+        let t = Instant::now();
+        let y = self.factor.btran(&cb);
+        self.stats.btran_ns += t.elapsed().as_nanos() as u64;
+        y
     }
 
     /// Reduced cost of one column under dual prices `y`.
@@ -494,35 +555,58 @@ impl SimplexCore {
         col_costs[j] - self.cols.dot(j, y)
     }
 
-    /// `d = B⁻¹ A_j` via the factorization's sparse-rhs ftran.
-    fn direction(&self, j: usize) -> Vec<f64> {
+    /// `d = B⁻¹ A_j` via the factorization's sparse-rhs ftran (timed into
+    /// the per-solve profile).
+    fn direction(&mut self, j: usize) -> Vec<f64> {
         let mut entries: Vec<(usize, f64)> = Vec::new();
         self.cols.for_each(j, &mut |r, v| entries.push((r, v)));
-        self.factor.ftran_sparse(&entries)
+        let t = Instant::now();
+        let d = self.factor.ftran_sparse(&entries);
+        self.stats.ftran_ns += t.elapsed().as_nanos() as u64;
+        d
     }
 
     /// Row `p` of `B⁻¹` (a copy under the dense inverse, a sparse-rhs btran
-    /// under LU).
-    fn inverse_row(&self, p: usize) -> Vec<f64> {
-        self.factor.inverse_row(p)
+    /// under LU — timed as btran work).
+    fn inverse_row(&mut self, p: usize) -> Vec<f64> {
+        let t = Instant::now();
+        let rho = self.factor.inverse_row(p);
+        self.stats.btran_ns += t.elapsed().as_nanos() as u64;
+        rho
     }
 
     /// Performs the basis change bookkeeping and the factorization update.
-    fn pivot(&mut self, p: usize, entering: usize, d: &[f64]) {
+    ///
+    /// `enter_from` is the entering column's current (nonbasic) value — 0 or
+    /// its upper bound — and `delta` the signed change of that value, so the
+    /// entering basic value is `enter_from + delta`.  `leave_at_upper`
+    /// records which bound the leaving column exits at.
+    fn pivot_bounded(
+        &mut self,
+        p: usize,
+        entering: usize,
+        d: &[f64],
+        enter_from: f64,
+        delta: f64,
+        leave_at_upper: bool,
+    ) {
         let m = self.basis.len();
-        let theta = self.xb[p] / d[p];
         for i in 0..m {
             if i != p {
-                self.xb[i] -= theta * d[i];
+                self.xb[i] -= delta * d[i];
             }
         }
-        self.xb[p] = theta;
-        self.is_basic[self.basis[p]] = false;
+        self.xb[p] = enter_from + delta;
+        let leaving = self.basis[p];
+        self.is_basic[leaving] = false;
+        self.at_upper[leaving] = leave_at_upper;
         self.is_basic[entering] = true;
+        self.at_upper[entering] = false;
         self.basis[p] = entering;
         if self.factor.update(p, d).is_ok() {
             if self.factor.kind() == FactorKind::Lu {
                 self.stats.etas += 1;
+                self.stats.eta_len = self.stats.eta_len.max(self.factor.eta_count());
             }
         } else {
             // Unstable or saturated update: rebuild from pristine columns
@@ -547,15 +631,32 @@ impl SimplexCore {
         self.xb_shifted = true;
     }
 
+    /// The right-hand side with every nonbasic-at-upper column's
+    /// contribution subtracted: `b_eff = b − Σ up_j·A_j` over set
+    /// `at_upper` flags.
+    fn effective_b(&self) -> Vec<f64> {
+        let mut beff = self.b.clone();
+        for (j, &at_up) in self.at_upper.iter().enumerate() {
+            if at_up {
+                let u = self.up[j];
+                self.cols.for_each(j, &mut |r, a| beff[r] -= u * a);
+            }
+        }
+        beff
+    }
+
     /// Rebuilds the factorization from the pristine basis columns and
-    /// recomputes `x_B = B⁻¹ b`; returns `false` on a numerically singular
-    /// basis, leaving the state untouched.
+    /// recomputes `x_B = B⁻¹ b_eff`; returns `false` on a numerically
+    /// singular basis, leaving the state untouched.
     fn refactorize(&mut self) -> bool {
         let m = self.basis.len();
         if !self.factor.refactorize(m, &self.basis, &self.cols) {
             return false;
         }
-        self.xb = self.factor.ftran(&self.b);
+        let beff = self.effective_b();
+        let t = Instant::now();
+        self.xb = self.factor.ftran(&beff);
+        self.stats.ftran_ns += t.elapsed().as_nanos() as u64;
         self.stale_pivots = 0;
         self.stats.refactorizations += 1;
         self.budget_refactorizations += 1;
@@ -564,10 +665,18 @@ impl SimplexCore {
         true
     }
 
+    /// Direct wall-clock deadline poll, used right after the expensive
+    /// refactorization/compaction points where a whole refresh just ran —
+    /// the per-pivot period check could otherwise let a hostile deadline
+    /// slip by a full period of heavy work.
+    fn deadline_hit(&self) -> bool {
+        !self.budget.is_unlimited() && self.budget.deadline_passed()
+    }
+
     /// Whether the session's budget has run out, checked cooperatively at
     /// every pivot (iteration/refactorization caps) and every
-    /// [`DEADLINE_CHECK_PERIOD`]-th pivot of a loop (the wall clock —
-    /// `Instant::now()` per pivot would dominate cheap pivots).
+    /// [`SolverTuning::deadline_check_period`]-th pivot of a loop (the wall
+    /// clock — `Instant::now()` per pivot would dominate cheap pivots).
     fn budget_exhausted(&self, iter_in_loop: usize) -> bool {
         if self.budget.is_unlimited() {
             return false;
@@ -577,7 +686,8 @@ impl SimplexCore {
                 .budget
                 .refactorizations_remaining(self.budget_refactorizations)
                 == 0
-            || (iter_in_loop.is_multiple_of(DEADLINE_CHECK_PERIOD) && self.budget.deadline_passed())
+            || (iter_in_loop.is_multiple_of(self.deadline_check_period)
+                && self.budget.deadline_passed())
     }
 
     /// Runs primal simplex iterations for the given standard-form column
@@ -630,8 +740,12 @@ impl SimplexCore {
         // recomputed from scratch at refresh points and before any
         // optimality/unboundedness verdict.
         let mut y = self.dual_prices(col_costs);
-        // Chooses the entering column: the configured pricer, or — in the
-        // last-resort regime — Bland's first improving column.
+        // Chooses the entering column by *bound-adjusted* reduced cost: an
+        // at-lower column improves when its reduced cost is negative, an
+        // at-upper column when it is positive — the pricer sees the negated
+        // value for the latter so "most negative wins" covers both.
+        // Zero-width columns are fixed and never enter.  Falls back to
+        // Bland's first improving column in the last-resort regime.
         let pick = |state: &SimplexCore,
                     pricer: &mut dyn crate::pricing::Pricer,
                     costs: &[f64],
@@ -639,15 +753,22 @@ impl SimplexCore {
                     bland: bool|
          -> Option<usize> {
             let candidate = |j: usize| {
-                !(state.is_basic[j] || ban_artificials && state.kind[j] == ColKind::Artificial)
+                !(state.is_basic[j]
+                    || ban_artificials && state.kind[j] == ColKind::Artificial
+                    || state.up[j] <= EPS)
+            };
+            let adj_rc = |j: usize| {
+                let rc = state.reduced_cost(j, costs, y);
+                if state.at_upper[j] {
+                    -rc
+                } else {
+                    rc
+                }
             };
             if bland {
-                (0..state.cols.num_cols())
-                    .find(|&j| candidate(j) && state.reduced_cost(j, costs, y) < -EPS)
+                (0..state.cols.num_cols()).find(|&j| candidate(j) && adj_rc(j) < -EPS)
             } else {
-                pricer.select(state.cols.num_cols(), &candidate, &|j| {
-                    state.reduced_cost(j, costs, y)
-                })
+                pricer.select(state.cols.num_cols(), &candidate, &adj_rc)
             }
         };
         for iter in 0..max_iters {
@@ -660,6 +781,9 @@ impl SimplexCore {
                 // Also washes out any live anti-degeneracy shift: the basic
                 // values are recomputed from the pristine right-hand sides.
                 self.refactorize();
+                if self.deadline_hit() {
+                    return Err(LpStatus::BudgetExhausted);
+                }
                 y = self.dual_prices(col_costs);
             }
             let bland = iter >= bland_after;
@@ -671,7 +795,9 @@ impl SimplexCore {
                 self.shift_degenerate_basics(shift_rounds);
                 degen_streak = 0;
             }
+            let t_price = Instant::now();
             let mut entering = pick(self, pricer.as_mut(), col_costs, &y, bland);
+            self.stats.pricing_ns += t_price.elapsed().as_nanos() as u64;
             if entering.is_none() {
                 // Recompute the incrementally maintained duals before
                 // trusting the verdict, and — when a full period of drift
@@ -680,38 +806,67 @@ impl SimplexCore {
                     self.refactorize();
                 }
                 y = self.dual_prices(col_costs);
+                let t_price = Instant::now();
                 entering = pick(self, pricer.as_mut(), col_costs, &y, bland);
+                self.stats.pricing_ns += t_price.elapsed().as_nanos() as u64;
                 if entering.is_none() {
                     return Ok(());
                 }
             }
             let entering = entering.expect("checked above");
+            // Direction of motion: an at-upper entering column *decreases*
+            // toward its lower bound, so every basic response flips sign.
+            let dir = if self.at_upper[entering] { -1.0 } else { 1.0 };
 
             let mut d = self.direction(entering);
+            let t_ratio = Instant::now();
             let leaving = if bland {
-                self.ratio_test(&d, ban_artificials)
+                self.ratio_test(&d, dir, ban_artificials)
             } else {
-                self.harris_ratio_test(&d, ban_artificials)
+                self.harris_ratio_test(&d, dir, ban_artificials)
             };
+            self.stats.ratio_ns += t_ratio.elapsed().as_nanos() as u64;
+            // Exact step to the blocking row, if any.
+            let theta_row = leaving.map(|p| {
+                self.blocking_value(p, dir * d[p])
+                    / self.blocking_rate(p, dir * d[p], ban_artificials)
+            });
+            let uq = self.up[entering];
+            if uq.is_finite() && theta_row.is_none_or(|t| uq <= t + EPS) {
+                // The entering column's own bound blocks first: a bound
+                // flip — the point moves, the basis doesn't.
+                let m = self.basis.len();
+                for i in 0..m {
+                    self.xb[i] -= uq * dir * d[i];
+                }
+                self.at_upper[entering] = !self.at_upper[entering];
+                self.stats.bound_flips += 1;
+                if uq > FEAS_EPS {
+                    degen_streak = 0;
+                }
+                continue;
+            }
             let Some(p) = leaving else {
                 // Apparent unboundedness: refactorize and re-confirm before
                 // reporting, so drift (or a live shift) cannot cause a false
                 // positive.
                 self.refactorize();
                 y = self.dual_prices(col_costs);
-                if self.reduced_cost(entering, col_costs, &y) > -UNBOUNDED_EPS {
+                let rc = self.reduced_cost(entering, col_costs, &y);
+                let adj = if self.at_upper[entering] { -rc } else { rc };
+                if adj > -UNBOUNDED_EPS {
                     continue;
                 }
                 d = self.direction(entering);
                 if d.iter()
                     .enumerate()
-                    .any(|(i, &di)| self.blocking_rate(i, di, ban_artificials) > PIVOT_EPS)
+                    .any(|(i, &di)| self.blocking_rate(i, dir * di, ban_artificials) > PIVOT_EPS)
                 {
                     continue;
                 }
                 return Err(LpStatus::Unbounded);
             };
-            let theta = self.xb[p] / d[p];
+            let theta = theta_row.expect("leaving row implies a ratio");
             if theta.abs() <= FEAS_EPS {
                 degen_streak += 1;
             } else {
@@ -738,7 +893,12 @@ impl SimplexCore {
                 });
             }
             let dp = d[p];
-            self.pivot(p, entering, &d);
+            // The leaving basic exits at whichever bound blocked: its upper
+            // when it was *rising* (finite bounds only — the [0,0]
+            // artificial guard and plain lower blocks both exit at 0).
+            let leave_at_upper = dir * dp < 0.0 && self.up[self.basis[p]].is_finite();
+            let enter_from = if dir < 0.0 { uq } else { 0.0 };
+            self.pivot_bounded(p, entering, &d, enter_from, dir * theta, leave_at_upper);
             // Classic dual-price update: Δy = (r_q / d_p) · ρ — it zeroes
             // the entering column's reduced cost.
             if rc_entering.abs() > EPS {
@@ -754,26 +914,33 @@ impl SimplexCore {
     }
 
     /// The rate at which row `i`'s basic value approaches its blocking bound
-    /// as the entering variable grows, or 0 when the row does not block.
+    /// as the entering variable moves (`ei` is the *signed* basic response
+    /// `dir·d_i`), or 0 when the row does not block.
     ///
-    /// Ordinary rows block when `d_i > 0` (the basic value falls toward 0).
-    /// A row whose basic variable is a *zero-valued artificial* also blocks
-    /// when `d_i < 0`: the artificial would re-grow above zero, silently
-    /// abandoning the (equality) row it stands for — it must leave the basis
-    /// in a degenerate pivot instead.
+    /// Ordinary rows block when `ei > 0` (the basic value falls toward 0),
+    /// and when `ei < 0` with a finite upper bound (the value rises toward
+    /// it).  A row whose basic variable is a *zero-valued artificial* also
+    /// blocks when `ei < 0`: the artificial would re-grow above zero,
+    /// silently abandoning the (equality) row it stands for — it must leave
+    /// the basis in a degenerate pivot instead.
     /// `guard_artificials` is set in phase 2 only: there a leaving artificial
     /// can never re-enter (artificials are banned from pricing), so each
     /// guard pivot permanently retires one.  In phase 1 artificials are
     /// ordinary objective variables and the guard would two-cycle them.
-    fn blocking_rate(&self, i: usize, di: f64, guard_artificials: bool) -> f64 {
-        if di > PIVOT_EPS {
-            di
-        } else if guard_artificials
-            && di < -PIVOT_EPS
-            && self.kind[self.basis[i]] == ColKind::Artificial
-            && self.xb[i] <= FEAS_EPS
-        {
-            -di
+    fn blocking_rate(&self, i: usize, ei: f64, guard_artificials: bool) -> f64 {
+        if ei > PIVOT_EPS {
+            ei
+        } else if ei < -PIVOT_EPS {
+            let col = self.basis[i];
+            if self.up[col].is_finite()
+                || guard_artificials
+                    && self.kind[col] == ColKind::Artificial
+                    && self.xb[i] <= FEAS_EPS
+            {
+                -ei
+            } else {
+                0.0
+            }
         } else {
             0.0
         }
@@ -781,24 +948,32 @@ impl SimplexCore {
 
     /// Distance of row `i`'s basic value to the bound it blocks at
     /// (companion of [`blocking_rate`](Self::blocking_rate)).
-    fn blocking_value(&self, i: usize, di: f64) -> f64 {
-        if di > PIVOT_EPS {
+    fn blocking_value(&self, i: usize, ei: f64) -> f64 {
+        if ei > PIVOT_EPS {
             self.xb[i]
         } else {
-            -self.xb[i]
+            let col = self.basis[i];
+            if self.up[col].is_finite() {
+                self.up[col] - self.xb[i]
+            } else {
+                // The [0, 0] artificial guard: distance to its upper bound 0.
+                -self.xb[i]
+            }
         }
     }
 
     /// The classic exact ratio test with smallest-basis-index tie-breaking —
     /// the form Bland's anti-cycling guarantee requires, used only in the
-    /// last-resort Bland regime.
-    fn ratio_test(&self, d: &[f64], guard_artificials: bool) -> Option<usize> {
+    /// last-resort Bland regime.  `dir` is the entering column's direction
+    /// of motion (−1 when it decreases from its upper bound).
+    fn ratio_test(&self, d: &[f64], dir: f64, guard_artificials: bool) -> Option<usize> {
         let mut leaving: Option<usize> = None;
         let mut best_ratio = f64::INFINITY;
         for (i, &di) in d.iter().enumerate() {
-            let rate = self.blocking_rate(i, di, guard_artificials);
+            let ei = dir * di;
+            let rate = self.blocking_rate(i, ei, guard_artificials);
             if rate > PIVOT_EPS {
-                let ratio = self.blocking_value(i, di) / rate;
+                let ratio = self.blocking_value(i, ei) / rate;
                 if ratio < best_ratio - EPS
                     || (ratio < best_ratio + EPS
                         && leaving.is_some_and(|l| self.basis[i] < self.basis[l]))
@@ -815,12 +990,13 @@ impl SimplexCore {
     /// to find the loosest admissible step, pass 2 picks the numerically
     /// largest pivot among rows whose exact ratio stays within it —
     /// degenerate corners get stable pivots instead of tiny cycling ones.
-    fn harris_ratio_test(&self, d: &[f64], guard_artificials: bool) -> Option<usize> {
+    fn harris_ratio_test(&self, d: &[f64], dir: f64, guard_artificials: bool) -> Option<usize> {
         let mut theta_relaxed = f64::INFINITY;
         for (i, &di) in d.iter().enumerate() {
-            let rate = self.blocking_rate(i, di, guard_artificials);
+            let ei = dir * di;
+            let rate = self.blocking_rate(i, ei, guard_artificials);
             if rate > PIVOT_EPS {
-                let relaxed = (self.blocking_value(i, di) + crate::pricing::HARRIS_RELAX) / rate;
+                let relaxed = (self.blocking_value(i, ei) + crate::pricing::HARRIS_RELAX) / rate;
                 if relaxed < theta_relaxed {
                     theta_relaxed = relaxed;
                 }
@@ -832,8 +1008,9 @@ impl SimplexCore {
         let mut leaving: Option<usize> = None;
         let mut best_pivot = 0.0;
         for (i, &di) in d.iter().enumerate() {
-            let rate = self.blocking_rate(i, di, guard_artificials);
-            if rate > PIVOT_EPS && self.blocking_value(i, di) / rate <= theta_relaxed {
+            let ei = dir * di;
+            let rate = self.blocking_rate(i, ei, guard_artificials);
+            if rate > PIVOT_EPS && self.blocking_value(i, ei) / rate <= theta_relaxed {
                 let better = rate > best_pivot
                     || (rate == best_pivot
                         && leaving.is_some_and(|l| self.basis[i] < self.basis[l]));
@@ -896,7 +1073,12 @@ impl SimplexCore {
             });
             if let Some(j) = candidate {
                 let d = self.direction(j);
-                self.pivot(p, j, &d);
+                // The artificial leaves exactly at 0, so the point barely
+                // moves; an at-upper entering column simply becomes basic at
+                // (about) its bound.
+                let enter_from = if self.at_upper[j] { self.up[j] } else { 0.0 };
+                let delta = self.xb[p] / d[p];
+                self.pivot_bounded(p, j, &d, enter_from, delta, false);
                 if self.factor_stale {
                     self.refactorize();
                 }
@@ -912,6 +1094,14 @@ impl SimplexCore {
     /// Basic artificials are treated as bounded in `[0, 0]`: a nonzero value
     /// in either direction makes them leaving candidates, so an equality row
     /// appended warm is enforced the moment its artificial reaches zero.
+    ///
+    /// The leaving row is priced by `viol²/γ` with steepest-edge (or devex)
+    /// reference weights `γ` — on the totally degenerate systems the
+    /// analysis produces, naive row choice repairs the same rows hundreds of
+    /// times over.  The ratio test is, by default, the **bound-flipping**
+    /// (long-step) variant: finite-width nonbasic columns whose reduced cost
+    /// would change sign before the chosen breakpoint are flipped to their
+    /// other bound in one batch instead of each costing a full pivot.
     fn dual_restore(&mut self, max_iters: usize) -> DualOutcome {
         let Some(costs) = self.last_costs.clone() else {
             return DualOutcome::GaveUp;
@@ -922,14 +1112,37 @@ impl SimplexCore {
         let bland_after = bland_fallback_threshold(self.basis.len(), n_cols) / 4;
         let mut y = self.dual_prices(&costs);
 
-        // The warm basis must actually be dual feasible for the old costs;
-        // drift beyond tolerance sends the solve down the cold path.
+        // The warm basis must actually be dual feasible for the old costs —
+        // at-lower columns need rc ≥ 0, at-upper columns rc ≤ 0; drift
+        // beyond tolerance sends the solve down the cold path.
         for j in 0..n_cols {
             if self.is_basic[j] || self.kind[j] == ColKind::Artificial {
                 continue;
             }
-            if self.reduced_cost(j, &costs, &y) < -DUAL_FEAS_EPS {
+            let rc = self.reduced_cost(j, &costs, &y);
+            let drifted = if self.at_upper[j] {
+                rc > DUAL_FEAS_EPS
+            } else {
+                rc < -DUAL_FEAS_EPS
+            };
+            if drifted {
                 return DualOutcome::GaveUp;
+            }
+        }
+
+        let m = self.basis.len();
+        let steepest = self.dual_pricing == DualPricing::Steepest;
+        // Reference weights: γ_i tracks the squared norm of row i of B⁻¹.
+        // Steepest edge pays m btrans up front for the *exact* norms — the
+        // Forrest–Goldfarb recurrence is only as good as its starting point
+        // (seeding it with 1s makes the weights drift arbitrarily far from
+        // the truth within a few degenerate pivots).  Devex starts from the
+        // classic all-ones reference frame and stays approximate.
+        let mut gamma = vec![1.0f64; m];
+        if steepest {
+            for (i, g) in gamma.iter_mut().enumerate() {
+                let row = self.inverse_row(i);
+                *g = row.iter().map(|v| v * v).sum::<f64>().max(1e-10);
             }
         }
 
@@ -937,82 +1150,219 @@ impl SimplexCore {
             if self.budget_exhausted(iter) {
                 return DualOutcome::Exhausted;
             }
-            // Leaving row: the *last* violated row (highest basis
-            // position).  Ordinary basics violate below 0; basic
-            // artificials violate at any nonzero value (their bounds are
-            // [0, 0]).  Appended rows sit at the end, so the scan finds
-            // single cutting rows in O(1); the exact ordering barely moves
-            // the pivot count on bulk extensions (most-violated and
-            // front-to-back were measured within a few percent).
-            let mut p: Option<usize> = None;
-            for (i, &x) in self.xb.iter().enumerate().rev() {
-                let viol = if self.kind[self.basis[i]] == ColKind::Artificial {
-                    x.abs()
+            // Leaving row: maximize viol²/γ over the violated basics.
+            // Ordinary basics violate below 0 or above a finite upper
+            // bound; basic artificials violate at any nonzero value.
+            let t_price = Instant::now();
+            let mut leave: Option<(usize, f64)> = None; // (row, viol)
+            let mut best_score = 0.0f64;
+            for i in 0..m {
+                let col = self.basis[i];
+                let x = self.xb[i];
+                let up_eff = if self.kind[col] == ColKind::Artificial {
+                    0.0
                 } else {
-                    -x
+                    self.up[col]
                 };
+                let mut viol = -x;
+                if up_eff.is_finite() && x - up_eff > viol {
+                    viol = x - up_eff;
+                }
                 if viol > FEAS_EPS {
-                    p = Some(i);
-                    break;
+                    let score = viol * viol / gamma[i];
+                    if score > best_score {
+                        best_score = score;
+                        leave = Some((i, viol));
+                    }
                 }
             }
-            let Some(p) = p else {
+            self.stats.pricing_ns += t_price.elapsed().as_nanos() as u64;
+            let Some((p, viol_p)) = leave else {
                 return DualOutcome::Restored;
             };
-            // Direction the leaving basic must move: up from below its lower
-            // bound, down from above an artificial's upper bound (0).
+            // Direction the leaving basic must move: up from below its
+            // lower bound, down from above its upper (artificials: 0).
             let from_below = self.xb[p] < 0.0;
             let rho = self.inverse_row(p);
             let bland = iter >= bland_after;
-            let mut entering: Option<(usize, f64, f64)> = None; // (j, ratio, |alpha|)
+            // Eligibility: entering at-lower needs `sig·α > 0`, at-upper
+            // the opposite sign (its motion is downward).
+            let sig = if from_below { -1.0 } else { 1.0 };
+
+            let t_ratio = Instant::now();
+            let mut bps: Vec<(f64, usize, f64)> = Vec::new(); // (ratio, j, |α|)
+            let mut bland_pick: Option<usize> = None;
             for j in 0..n_cols {
-                if self.is_basic[j] || self.kind[j] == ColKind::Artificial {
+                if self.is_basic[j] || self.kind[j] == ColKind::Artificial || self.up[j] <= EPS {
                     continue;
                 }
                 let alpha = self.cols.dot(j, &rho);
-                let eligible = if from_below {
-                    alpha < -PIVOT_EPS
+                let eligible = if self.at_upper[j] {
+                    sig * alpha < -PIVOT_EPS
                 } else {
-                    alpha > PIVOT_EPS
+                    sig * alpha > PIVOT_EPS
                 };
                 if !eligible {
                     continue;
                 }
                 if bland {
                     // Bland regime: first eligible column, cycling-proof.
-                    entering = Some((j, 0.0, alpha.abs()));
+                    bland_pick = Some(j);
                     break;
                 }
-                let rc = self.reduced_cost(j, &costs, &y).max(0.0);
-                let ratio = rc / alpha.abs();
-                let better = match entering {
-                    None => true,
-                    Some((_, br, ba)) => ratio < br - EPS || (ratio < br + EPS && alpha.abs() > ba),
-                };
-                if better {
-                    entering = Some((j, ratio, alpha.abs()));
-                }
+                let rc = self.reduced_cost(j, &costs, &y);
+                let rc_eff = if self.at_upper[j] { -rc } else { rc }.max(0.0);
+                bps.push((rc_eff / alpha.abs(), j, alpha.abs()));
             }
-            let Some((q, _, _)) = entering else {
+            let selected: Option<(usize, Vec<usize>)> = if bland {
+                bland_pick.map(|j| (j, Vec::new()))
+            } else if bps.is_empty() {
+                None
+            } else if self.dual_ratio == DualRatio::BoundFlip {
+                // Long step: pass breakpoints while the dual objective's
+                // slope (the remaining primal violation) stays positive;
+                // every passed finite-width column flips instead of
+                // entering.  The slope bookkeeping guarantees the final
+                // entering step never overshoots the flipped columns.
+                // Ratio ascending; among (near-)equal ratios prefer the
+                // larger |α| (the Harris stability rule), then column order
+                // for determinism.
+                bps.sort_by(|a, b| {
+                    a.0.partial_cmp(&b.0)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal))
+                        .then(a.1.cmp(&b.1))
+                });
+                let mut slope = viol_p;
+                let mut flips: Vec<usize> = Vec::new();
+                let mut chosen: Option<usize> = None;
+                for &(_, j, aabs) in &bps {
+                    let width = self.up[j];
+                    if !width.is_finite() || slope - width * aabs <= EPS {
+                        chosen = Some(j);
+                        break;
+                    }
+                    slope -= width * aabs;
+                    flips.push(j);
+                }
+                // Every breakpoint passed with slope still positive: the
+                // dual is unbounded, the primal infeasible (nothing was
+                // committed).
+                chosen.map(|q| (q, flips))
+            } else {
+                // Legacy single-breakpoint test: min ratio, |α| tie-break
+                // for stability.
+                let mut best: Option<(usize, f64, f64)> = None; // (j, ratio, |α|)
+                for &(ratio, j, aabs) in &bps {
+                    let better = match best {
+                        None => true,
+                        Some((_, br, ba)) => ratio < br - EPS || (ratio < br + EPS && aabs > ba),
+                    };
+                    if better {
+                        best = Some((j, ratio, aabs));
+                    }
+                }
+                best.map(|(j, _, _)| (j, Vec::new()))
+            };
+            self.stats.ratio_ns += t_ratio.elapsed().as_nanos() as u64;
+            let Some((q, flips)) = selected else {
                 // No column can repair this row: primal infeasible.  The
                 // caller re-confirms with a cold solve before reporting.
                 return DualOutcome::Infeasible;
             };
+
+            if !flips.is_empty() {
+                // Batch the flips' effect on the basic values through one
+                // sparse ftran: x_B += B⁻¹·Σ s_j·up_j·A_j with s = +1 for
+                // upper→lower flips and −1 for lower→upper.
+                let mut entries: Vec<(usize, f64)> = Vec::new();
+                for &j in &flips {
+                    let s = if self.at_upper[j] {
+                        self.up[j]
+                    } else {
+                        -self.up[j]
+                    };
+                    self.cols.for_each(j, &mut |r, a| entries.push((r, s * a)));
+                }
+                let t = Instant::now();
+                let dxb = self.factor.ftran_sparse(&entries);
+                self.stats.ftran_ns += t.elapsed().as_nanos() as u64;
+                for (x, dx) in self.xb.iter_mut().zip(&dxb) {
+                    *x += dx;
+                }
+                for &j in &flips {
+                    self.at_upper[j] = !self.at_upper[j];
+                }
+                self.stats.bound_flips += flips.len();
+            }
+
             let rc_q = self.reduced_cost(q, &costs, &y);
             let d = self.direction(q);
             if d[p].abs() < PIVOT_EPS {
                 return DualOutcome::GaveUp;
             }
             let dp = d[p];
-            self.pivot(p, q, &d);
+            // Step the entering value by exactly what lands the leaving
+            // basic on its violated bound.
+            let leaving_col = self.basis[p];
+            let target = if from_below || self.kind[leaving_col] == ColKind::Artificial {
+                0.0
+            } else {
+                self.up[leaving_col]
+            };
+            let delta = (self.xb[p] - target) / dp;
+            let enter_from = if self.at_upper[q] { self.up[q] } else { 0.0 };
+            let leave_at_upper = !from_below
+                && self.kind[leaving_col] != ColKind::Artificial
+                && self.up[leaving_col].is_finite();
+            // Steepest-edge needs τ = B⁻¹ρ_p against the *pre-pivot* basis.
+            let tau = if steepest {
+                let t = Instant::now();
+                let tau = self.factor.ftran(&rho);
+                self.stats.ftran_ns += t.elapsed().as_nanos() as u64;
+                Some(tau)
+            } else {
+                None
+            };
+            self.pivot_bounded(p, q, &d, enter_from, delta, leave_at_upper);
             self.stats.iterations += 1;
             self.stats.dual_pivots += 1;
             self.budget_iters += 1;
+
+            // Reference-weight recurrences for the next leaving choice.
+            let gamma_p = gamma[p];
+            if let Some(tau) = tau {
+                // Exact steepest edge (Forrest–Goldfarb): γ_p' = γ_p/α_p²,
+                // γ_i' = γ_i − 2(α_i/α_p)τ_i + (α_i/α_p)²γ_p.
+                for i in 0..m {
+                    if i == p {
+                        continue;
+                    }
+                    let r = d[i] / dp;
+                    gamma[i] = (gamma[i] - 2.0 * r * tau[i] + r * r * gamma_p).max(1e-10);
+                }
+                gamma[p] = (gamma_p / (dp * dp)).max(1e-10);
+            } else {
+                // Devex: the cheap monotone approximation of the same
+                // weights — no extra ftran.
+                for i in 0..m {
+                    if i == p || d[i] == 0.0 {
+                        continue;
+                    }
+                    let r = d[i] / dp;
+                    gamma[i] = gamma[i].max(r * r * gamma_p);
+                }
+                gamma[p] = (gamma_p / (dp * dp)).max(1.0);
+            }
+
             if self.factor_stale || self.stale_pivots >= 100 {
                 // Refresh point: rebuild the factorization and the dual
                 // prices from scratch, washing out incremental drift.
                 if !self.refactorize() {
                     return DualOutcome::GaveUp;
+                }
+                if self.deadline_hit() {
+                    return DualOutcome::Exhausted;
                 }
                 y = self.dual_prices(&costs);
             } else if rc_q.abs() > EPS {
@@ -1041,8 +1391,24 @@ impl SimplexCore {
         costs
     }
 
+    /// The per-solve stats with the derived fields filled in (the
+    /// eta-compaction delta against this minimize's baseline).
+    fn snapshot_stats(&self) -> SolveStats {
+        let mut s = self.stats;
+        s.eta_compactions = self
+            .factor
+            .compactions()
+            .saturating_sub(self.compaction_base);
+        s
+    }
+
     fn extract(&self, objective: &[(LpVarId, f64)], status: LpStatus) -> LpSolution {
         let mut col_values = vec![0.0; self.cols.num_cols()];
+        for (j, &at_up) in self.at_upper.iter().enumerate() {
+            if at_up {
+                col_values[j] = self.up[j];
+            }
+        }
         for (k, &col) in self.basis.iter().enumerate() {
             col_values[col] = self.xb[k];
         }
@@ -1052,12 +1418,12 @@ impl SimplexCore {
             .map(|&(pos, neg)| col_values[pos] - neg.map(|n| col_values[n]).unwrap_or(0.0))
             .collect();
         let objective_value = objective.iter().map(|&(v, c)| c * values[v.index()]).sum();
-        LpSolution::new(status, objective_value, values).with_stats(self.stats)
+        LpSolution::new(status, objective_value, values).with_stats(self.snapshot_stats())
     }
 
     fn infeasible(&self) -> LpSolution {
         LpSolution::new(LpStatus::Infeasible, 0.0, vec![0.0; self.var_cols.len()])
-            .with_stats(self.stats)
+            .with_stats(self.snapshot_stats())
     }
 
     /// The budget ran out without a verdict: values are meaningless, stats
@@ -1068,18 +1434,19 @@ impl SimplexCore {
             0.0,
             vec![0.0; self.var_cols.len()],
         )
-        .with_stats(self.stats)
+        .with_stats(self.snapshot_stats())
     }
 
-    /// Whether any basic value is primal infeasible (negative, or nonzero
-    /// for a basic artificial) — the condition the dual-simplex restoration
-    /// repairs after warm row extension.
+    /// Whether any basic value is primal infeasible (negative, above a
+    /// finite upper bound, or nonzero for a basic artificial) — the
+    /// condition the dual-simplex restoration repairs after warm row
+    /// extension.
     fn has_infeasible_basics(&self) -> bool {
         self.basis.iter().zip(&self.xb).any(|(&col, &x)| {
             if self.kind[col] == ColKind::Artificial {
                 x.abs() > FEAS_EPS
             } else {
-                x < -FEAS_EPS
+                x < -FEAS_EPS || x - self.up[col] > FEAS_EPS
             }
         })
     }
@@ -1103,6 +1470,7 @@ impl LpSession for SimplexCore {
         let max_iters = (20_000 + 50 * (self.cols.num_cols() + m))
             .min(self.budget.iters_remaining(self.budget_iters));
         self.stats = SolveStats::default();
+        self.compaction_base = self.factor.compactions();
         if self.budget_exhausted(0) {
             // The session's budget was already spent by earlier minimizes:
             // refuse to burn more, and report it as what it is.
@@ -1169,7 +1537,9 @@ impl LpSession for SimplexCore {
     }
 
     fn num_constraints(&self) -> usize {
-        self.b.len()
+        // Singleton `x <= u` rows absorbed into column bounds still count:
+        // callers see the logical problem, not the tableau layout.
+        self.b.len() + self.absorbed_rows
     }
 
     fn warm_resolves_in_place(&self) -> bool {

@@ -66,6 +66,9 @@ pub mod sparse;
 
 pub use backend::{LpBackend, LpSession, SimplexBackend, SparseBackend, TunedBackend};
 pub use factor::{FactorKind, WarmStrategy};
-pub use pricing::{bland_fallback_threshold, PricingRule, SolveBudget, SolverTuning};
+pub use pricing::{
+    bland_fallback_threshold, DualPricing, DualRatio, PricingRule, SolveBudget, SolverTuning,
+    DEADLINE_CHECK_PERIOD,
+};
 pub use simplex::{Cmp, LpProblem, LpSolution, LpStatus, LpVarId, SolveStats};
 pub use sparse::SparseMatrix;

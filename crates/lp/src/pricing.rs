@@ -167,6 +167,111 @@ impl FromStr for PricingRule {
     }
 }
 
+/// How the dual simplex prices *leaving rows* during warm feasibility
+/// restoration.
+///
+/// Both rules score a violated row `i` by `violation² / γᵢ` and pick the
+/// maximum; they differ in how the weights `γᵢ ≈ ‖(B⁻¹)ᵢ‖²` are maintained
+/// across pivots.  `Steepest` keeps them *exact* (m btrans seed the true row
+/// norms at restore start, then one extra ftran per pivot drives the
+/// Forrest–Goldfarb recurrence); `Devex` starts from the all-ones reference
+/// frame and uses the cheap one-sided update that only ever grows weights.
+///
+/// Devex is the default: on the hyper-degenerate chain systems this solver
+/// exists for, the exact norms buy no fewer pivots (the scan is dominated
+/// by ties the weights cannot break) while costing an extra solve per pivot
+/// — see DESIGN.md §3.1 for the measurements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DualPricing {
+    /// Approximate (devex-style) dual weights (the default): no extra solve
+    /// per pivot.
+    #[default]
+    Devex,
+    /// Exact dual steepest edge: reference weights seeded by true row norms
+    /// and updated by the Forrest–Goldfarb recurrence, `τ = B⁻¹ρₚ` per pivot.
+    Steepest,
+}
+
+impl DualPricing {
+    /// The rule's canonical CLI/report name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DualPricing::Devex => "devex",
+            DualPricing::Steepest => "steepest",
+        }
+    }
+
+    /// All rules, for matrix tests and sweeps.
+    pub const ALL: [DualPricing; 2] = [DualPricing::Devex, DualPricing::Steepest];
+}
+
+impl fmt::Display for DualPricing {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for DualPricing {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "devex" => Ok(DualPricing::Devex),
+            "steepest" => Ok(DualPricing::Steepest),
+            other => Err(format!(
+                "unknown dual pricing rule `{other}` (expected devex or steepest)"
+            )),
+        }
+    }
+}
+
+/// The dual-simplex ratio test used to choose the *entering column*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DualRatio {
+    /// The classic single-breakpoint test: smallest ratio wins, largest
+    /// `|α|` breaks ties (the pre-PR-9 behavior, kept as the reference).
+    Harris,
+    /// The bound-flipping (long-step) test (the default): breakpoints are
+    /// passed — flipping boxed nonbasic columns bound-to-bound — for as long
+    /// as the dual slope stays positive, so one pivot absorbs every reduced
+    /// cost that changes sign instead of burning a degenerate pivot each.
+    #[default]
+    BoundFlip,
+}
+
+impl DualRatio {
+    /// The test's canonical CLI/report name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DualRatio::Harris => "harris",
+            DualRatio::BoundFlip => "bound-flip",
+        }
+    }
+
+    /// All tests, for matrix tests and sweeps.
+    pub const ALL: [DualRatio; 2] = [DualRatio::Harris, DualRatio::BoundFlip];
+}
+
+impl fmt::Display for DualRatio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for DualRatio {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "harris" => Ok(DualRatio::Harris),
+            "bound-flip" => Ok(DualRatio::BoundFlip),
+            other => Err(format!(
+                "unknown dual ratio test `{other}` (expected harris or bound-flip)"
+            )),
+        }
+    }
+}
+
 /// A resource budget for one solver session, covering *every* `minimize`
 /// (and warm re-solve, and in-session extension) the session performs: the
 /// spend carries over, so a session's total cost is bounded no matter how
@@ -193,10 +298,11 @@ pub struct SolveBudget {
     pub max_refactorizations: Option<usize>,
 }
 
-/// Pivots between cooperative deadline checks: `Instant::now()` per pivot
+/// Default pivots between cooperative deadline checks
+/// ([`SolverTuning::deadline_check_period`]): `Instant::now()` per pivot
 /// would dominate small pivots, and the refresh period (100) is too coarse
 /// for tight timeouts on expensive pivots.
-pub(crate) const DEADLINE_CHECK_PERIOD: usize = 16;
+pub const DEADLINE_CHECK_PERIOD: usize = 16;
 
 impl SolveBudget {
     /// The unlimited budget (every limb `None`).
@@ -271,6 +377,16 @@ pub struct SolverTuning {
     /// refactorization caps; default unlimited).  The spend carries over
     /// across every minimize/re-solve of the session.
     pub budget: SolveBudget,
+    /// How the dual simplex prices leaving rows during warm restoration
+    /// (devex by default; see [`DualPricing`]).
+    pub dual_pricing: DualPricing,
+    /// The dual-simplex ratio test (bound-flipping long step by default;
+    /// see [`DualRatio`]).
+    pub dual_ratio: DualRatio,
+    /// Pivots between cooperative wall-clock deadline checks (default
+    /// [`DEADLINE_CHECK_PERIOD`]).  Hostile-timeout tests tighten this to 1
+    /// to bound overshoot by a single pivot; `0` is treated as 1.
+    pub deadline_check_period: usize,
 }
 
 impl Default for SolverTuning {
@@ -281,6 +397,9 @@ impl Default for SolverTuning {
             factor: crate::factor::FactorKind::default(),
             warm: crate::factor::WarmStrategy::default(),
             budget: SolveBudget::default(),
+            dual_pricing: DualPricing::default(),
+            dual_ratio: DualRatio::default(),
+            deadline_check_period: DEADLINE_CHECK_PERIOD,
         }
     }
 }
@@ -630,6 +749,24 @@ mod tests {
             SolverTuning::with_pricing(PricingRule::Partial).pricing,
             PricingRule::Partial
         );
+    }
+
+    #[test]
+    fn dual_knob_names_round_trip() {
+        for rule in DualPricing::ALL {
+            assert_eq!(rule.name().parse::<DualPricing>().unwrap(), rule);
+            assert_eq!(rule.to_string(), rule.name());
+        }
+        for test in DualRatio::ALL {
+            assert_eq!(test.name().parse::<DualRatio>().unwrap(), test);
+            assert_eq!(test.to_string(), test.name());
+        }
+        assert!("dantzig".parse::<DualPricing>().is_err());
+        assert!("bland".parse::<DualRatio>().is_err());
+        let tuning = SolverTuning::default();
+        assert_eq!(tuning.dual_pricing, DualPricing::Devex);
+        assert_eq!(tuning.dual_ratio, DualRatio::BoundFlip);
+        assert_eq!(tuning.deadline_check_period, DEADLINE_CHECK_PERIOD);
     }
 
     #[test]

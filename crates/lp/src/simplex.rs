@@ -31,16 +31,41 @@ pub struct SolveStats {
     pub presolve_rows: usize,
     /// Columns removed by presolve (fixed by singleton rows or empty).
     pub presolve_cols: usize,
-    /// Product-form eta updates appended by the LU factorization (0 under
-    /// the dense inverse).
+    /// Factorization update etas appended by the LU factorization (0 under
+    /// the dense inverse).  Under the Forrest–Tomlin scheme each successful
+    /// update appends one row eta.
     pub etas: usize,
     /// Dual-simplex pivots spent restoring primal feasibility after warm
     /// incremental rows (0 for cold solves and the phase-1 strategy).
     pub dual_pivots: usize,
+    /// Nonbasic variables moved bound-to-bound without a basis change — by
+    /// the bound-flipping dual ratio test or by a primal entering step that
+    /// hit the entering variable's own upper bound first.
+    pub bound_flips: usize,
+    /// U entries retired in place by Forrest–Tomlin column replacements —
+    /// the growth a product-form eta file would have accumulated instead
+    /// (0 under the dense inverse).
+    pub eta_compactions: usize,
+    /// Peak length of the LU eta file observed during the solve (0 under
+    /// the dense inverse).  Under `merge` this takes the max, not the sum.
+    pub eta_len: usize,
+    /// Nanoseconds spent in forward solves (`B⁻¹·`: directions, basic-value
+    /// recomputation, bound-flip batches).
+    pub ftran_ns: u64,
+    /// Nanoseconds spent in backward solves (`·B⁻¹`: dual prices, pivot
+    /// rows, steepest-edge reference solves).
+    pub btran_ns: u64,
+    /// Nanoseconds spent choosing entering columns (primal) and leaving
+    /// rows (dual).
+    pub pricing_ns: u64,
+    /// Nanoseconds spent in ratio tests (primal Harris/Bland passes and the
+    /// dual entering scan, bound-flip breakpoint walk included).
+    pub ratio_ns: u64,
 }
 
 impl SolveStats {
-    /// Component-wise sum (used to aggregate phase and group stats).
+    /// Component-wise sum (used to aggregate phase and group stats);
+    /// `eta_len` is a peak, so it merges by max.
     pub fn merge(&self, other: &SolveStats) -> SolveStats {
         SolveStats {
             iterations: self.iterations + other.iterations,
@@ -49,6 +74,13 @@ impl SolveStats {
             presolve_cols: self.presolve_cols + other.presolve_cols,
             etas: self.etas + other.etas,
             dual_pivots: self.dual_pivots + other.dual_pivots,
+            bound_flips: self.bound_flips + other.bound_flips,
+            eta_compactions: self.eta_compactions + other.eta_compactions,
+            eta_len: self.eta_len.max(other.eta_len),
+            ftran_ns: self.ftran_ns + other.ftran_ns,
+            btran_ns: self.btran_ns + other.btran_ns,
+            pricing_ns: self.pricing_ns + other.pricing_ns,
+            ratio_ns: self.ratio_ns + other.ratio_ns,
         }
     }
 }
@@ -509,16 +541,32 @@ mod tests {
             presolve_cols: 4,
             etas: 5,
             dual_pivots: 6,
+            bound_flips: 2,
+            eta_compactions: 3,
+            eta_len: 10,
+            ftran_ns: 100,
+            btran_ns: 200,
+            pricing_ns: 300,
+            ratio_ns: 400,
         }
         .merge(&SolveStats {
             iterations: 5,
             dual_pivots: 1,
+            bound_flips: 4,
+            eta_len: 7,
+            ftran_ns: 11,
             ..SolveStats::default()
         });
         assert_eq!(merged.iterations, 7);
         assert_eq!(merged.presolve_cols, 4);
         assert_eq!(merged.etas, 5);
         assert_eq!(merged.dual_pivots, 7);
+        assert_eq!(merged.bound_flips, 6);
+        assert_eq!(merged.eta_compactions, 3);
+        // Peak, not sum: the longest eta file either side saw.
+        assert_eq!(merged.eta_len, 10);
+        assert_eq!(merged.ftran_ns, 111);
+        assert_eq!(merged.btran_ns, 200);
     }
 
     #[test]

@@ -11,8 +11,8 @@
 //!   solve of the assembled problem, for every factorization.
 
 use cma_lp::{
-    Cmp, FactorKind, LpBackend, LpProblem, LpStatus, LpVarId, PricingRule, SimplexBackend,
-    SolverTuning, SparseBackend, TunedBackend, WarmStrategy,
+    Cmp, DualPricing, DualRatio, FactorKind, LpBackend, LpProblem, LpStatus, LpVarId, PricingRule,
+    SimplexBackend, SolverTuning, SparseBackend, TunedBackend, WarmStrategy,
 };
 use proptest::prelude::*;
 
@@ -154,6 +154,86 @@ proptest! {
                 }
                 if warm == WarmStrategy::Phase1 {
                     prop_assert_eq!(incremental.stats.dual_pivots, 0);
+                }
+            }
+        }
+    }
+
+    /// The dual-knob matrix: every combination of ratio test (bound-flipping
+    /// long step vs classic Harris) and leaving-row pricing (devex vs exact
+    /// steepest edge) must reach the same verdict and the same optimum — to
+    /// 1e-6 — as a cold phase-1 restart and a from-scratch reference solve,
+    /// on both backends and both factorizations.  The knobs change the pivot
+    /// path, never the answer.
+    #[test]
+    fn dual_knobs_agree_with_cold_phase1_on_incremental_rows(
+        seed in proptest::collection::vec((-1.0f64..1.0, -1.0f64..1.0, -1.0f64..1.0), 2..8),
+        vars in 1usize..5,
+        split in 1usize..4,
+    ) {
+        const KNOB_TOL: f64 = 1e-6;
+        let (full, ids) = decode(&seed, vars);
+        let split = split.min(full.num_constraints());
+        let mut prefix = LpProblem::new();
+        for &v in &ids {
+            prefix.add_var(full.var_name(v), full.is_free(v));
+        }
+        for i in 0..split {
+            let terms: Vec<(LpVarId, f64)> = full.constraint_terms(i).collect();
+            prefix.add_constraint(terms, full.cmp(i), full.rhs(i));
+        }
+        let reference = SimplexBackend.solve(&full);
+        for backend in [&SimplexBackend as &dyn LpBackend, &SparseBackend] {
+            for factor in FactorKind::ALL {
+                let run = |tuning: SolverTuning| {
+                    let mut session = backend.open_with(&prefix, &tuning);
+                    session.minimize(full.objective());
+                    for i in split..full.num_constraints() {
+                        let terms: Vec<(LpVarId, f64)> = full.constraint_terms(i).collect();
+                        session.add_constraint(&terms, full.cmp(i), full.rhs(i));
+                    }
+                    session.minimize(full.objective())
+                };
+                let cold = run(SolverTuning {
+                    factor,
+                    warm: WarmStrategy::Phase1,
+                    ..SolverTuning::default()
+                });
+                prop_assert!(statuses_agree(&reference, &cold));
+                for dual_pricing in DualPricing::ALL {
+                    for dual_ratio in DualRatio::ALL {
+                        let warm = run(SolverTuning {
+                            factor,
+                            warm: WarmStrategy::Dual,
+                            dual_pricing,
+                            dual_ratio,
+                            ..SolverTuning::default()
+                        });
+                        let context = format!(
+                            "{}/{factor}/{dual_pricing}/{dual_ratio}",
+                            backend.name()
+                        );
+                        prop_assert!(
+                            statuses_agree(&reference, &warm) && statuses_agree(&cold, &warm),
+                            "{context}: verdict mismatch: scratch {:?}, phase-1 {:?}, dual {:?}",
+                            reference.status,
+                            cold.status,
+                            warm.status
+                        );
+                        for (name, other) in [("scratch", &reference), ("phase-1", &cold)] {
+                            if other.status == LpStatus::Optimal
+                                && warm.status == LpStatus::Optimal
+                            {
+                                prop_assert!(
+                                    (other.objective - warm.objective).abs()
+                                        <= KNOB_TOL * (1.0 + other.objective.abs()),
+                                    "{context}: bound diverged from {name}: {} vs {}",
+                                    other.objective,
+                                    warm.objective
+                                );
+                            }
+                        }
+                    }
                 }
             }
         }

@@ -62,7 +62,7 @@ pub use cma_inference::{
     GroupLpStats, PlanStats, PruningStats, SolveMode, SoundnessReport, TailBound,
 };
 pub use cma_lp::{
-    FactorKind, LpBackend, LpSession, PricingRule, SimplexBackend, SolveStats, SolverTuning,
-    SparseBackend, TunedBackend, WarmStrategy,
+    DualPricing, DualRatio, FactorKind, LpBackend, LpSession, PricingRule, SimplexBackend,
+    SolveStats, SolverTuning, SparseBackend, TunedBackend, WarmStrategy,
 };
 pub use cma_semiring::Interval;

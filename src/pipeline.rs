@@ -208,6 +208,20 @@ impl<B: LpBackend> Analysis<B> {
         self
     }
 
+    /// Sets the dual leaving-row pricing (devex by default; `steepest` buys
+    /// exact edge norms at one extra solve per pivot).
+    pub fn dual_pricing(mut self, pricing: cma_lp::DualPricing) -> Self {
+        self.options.dual_pricing = pricing;
+        self
+    }
+
+    /// Sets the dual ratio test (long-step bound-flipping by default;
+    /// `harris` restores the classic min-ratio test).
+    pub fn dual_ratio(mut self, ratio: cma_lp::DualRatio) -> Self {
+        self.options.dual_ratio = ratio;
+        self
+    }
+
     /// Bounds the whole analysis by a wall-clock deadline.  When the budget
     /// runs out the pipeline does not fail outright: it descends the
     /// graceful-degradation ladder (compositional mode, lower degree,

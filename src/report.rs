@@ -132,6 +132,21 @@ pub struct LpStats {
     pub etas: usize,
     /// Total dual-simplex pivots spent on warm incremental-row re-solves.
     pub dual_pivots: usize,
+    /// Total nonbasic bound flips performed by the long-step dual ratio test.
+    pub bound_flips: usize,
+    /// Total Forrest–Tomlin eta-file compactions performed by the LU updates.
+    pub eta_compactions: usize,
+    /// Peak eta-file length observed between refactorizations (max over
+    /// groups).
+    pub eta_len: usize,
+    /// Total nanoseconds spent in forward solves (`ftran`).
+    pub ftran_ns: u64,
+    /// Total nanoseconds spent in backward solves (`btran`).
+    pub btran_ns: u64,
+    /// Total nanoseconds spent pricing entering columns / leaving rows.
+    pub pricing_ns: u64,
+    /// Total nanoseconds spent in primal/dual ratio tests.
+    pub ratio_ns: u64,
     /// Per-group sizes and solver counters, in solve order.
     pub groups: Vec<GroupLpStats>,
 }
@@ -154,6 +169,13 @@ impl LpStats {
             presolve_cols: groups.iter().map(|g| g.presolve_cols).sum(),
             etas: groups.iter().map(|g| g.etas).sum(),
             dual_pivots: groups.iter().map(|g| g.dual_pivots).sum(),
+            bound_flips: groups.iter().map(|g| g.bound_flips).sum(),
+            eta_compactions: groups.iter().map(|g| g.eta_compactions).sum(),
+            eta_len: groups.iter().map(|g| g.eta_len).max().unwrap_or(0),
+            ftran_ns: groups.iter().map(|g| g.ftran_ns).sum(),
+            btran_ns: groups.iter().map(|g| g.btran_ns).sum(),
+            pricing_ns: groups.iter().map(|g| g.pricing_ns).sum(),
+            ratio_ns: groups.iter().map(|g| g.ratio_ns).sum(),
             groups,
         }
     }
@@ -354,7 +376,7 @@ impl AnalysisReport {
             .iter()
             .map(|g| {
                 format!(
-                    "{{\"name\":{},\"variables\":{},\"constraints\":{},\"iterations\":{},\"refactorizations\":{},\"presolve_rows\":{},\"presolve_cols\":{},\"etas\":{},\"dual_pivots\":{}}}",
+                    "{{\"name\":{},\"variables\":{},\"constraints\":{},\"iterations\":{},\"refactorizations\":{},\"presolve_rows\":{},\"presolve_cols\":{},\"etas\":{},\"dual_pivots\":{},\"bound_flips\":{},\"eta_compactions\":{},\"eta_len\":{},\"ftran_ns\":{},\"btran_ns\":{},\"pricing_ns\":{},\"ratio_ns\":{}}}",
                     json::string(&g.name),
                     g.variables,
                     g.constraints,
@@ -364,12 +386,19 @@ impl AnalysisReport {
                     g.presolve_cols,
                     g.etas,
                     g.dual_pivots,
+                    g.bound_flips,
+                    g.eta_compactions,
+                    g.eta_len,
+                    g.ftran_ns,
+                    g.btran_ns,
+                    g.pricing_ns,
+                    g.ratio_ns,
                 )
             })
             .collect::<Vec<_>>()
             .join(",");
         let lp = format!(
-            "{{\"variables\":{},\"constraints\":{},\"solves\":{},\"iterations\":{},\"refactorizations\":{},\"presolve_rows\":{},\"presolve_cols\":{},\"etas\":{},\"dual_pivots\":{},\"groups\":[{groups}]}}",
+            "{{\"variables\":{},\"constraints\":{},\"solves\":{},\"iterations\":{},\"refactorizations\":{},\"presolve_rows\":{},\"presolve_cols\":{},\"etas\":{},\"dual_pivots\":{},\"bound_flips\":{},\"eta_compactions\":{},\"eta_len\":{},\"ftran_ns\":{},\"btran_ns\":{},\"pricing_ns\":{},\"ratio_ns\":{},\"groups\":[{groups}]}}",
             self.lp.variables,
             self.lp.constraints,
             self.lp.solves,
@@ -379,6 +408,13 @@ impl AnalysisReport {
             self.lp.presolve_cols,
             self.lp.etas,
             self.lp.dual_pivots,
+            self.lp.bound_flips,
+            self.lp.eta_compactions,
+            self.lp.eta_len,
+            self.lp.ftran_ns,
+            self.lp.btran_ns,
+            self.lp.pricing_ns,
+            self.lp.ratio_ns,
         );
         push_field(&mut out, "lp", &lp);
 
@@ -646,6 +682,13 @@ impl fmt::Display for AnalysisReport {
                 f,
                 " · {} etas, {} dual pivots",
                 self.lp.etas, self.lp.dual_pivots
+            )?;
+        }
+        if self.lp.bound_flips > 0 || self.lp.eta_compactions > 0 {
+            write!(
+                f,
+                " · {} bound flips, {} eta compactions (peak eta {})",
+                self.lp.bound_flips, self.lp.eta_compactions, self.lp.eta_len
             )?;
         }
         if self.lp.presolve_rows > 0 || self.lp.presolve_cols > 0 {
