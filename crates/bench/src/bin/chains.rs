@@ -68,6 +68,12 @@ struct Row {
     btran_ns: u64,
     pricing_ns: u64,
     ratio_ns: u64,
+    /// Kernel-path counters: solves completing hyper-sparse, dense
+    /// fallbacks, and workspace reallocations after first sizing.
+    hyper_sparse_ftrans: u64,
+    hyper_sparse_btrans: u64,
+    dense_fallbacks: u64,
+    kernel_allocs: u64,
     /// Template columns the escalation replayed from the derivation plan.
     plan_reused_columns: usize,
     /// Dual-simplex pivots the escalated warm re-solve spent.
@@ -131,6 +137,10 @@ fn measure(
         btran_ns: report.lp.btran_ns,
         pricing_ns: report.lp.pricing_ns,
         ratio_ns: report.lp.ratio_ns,
+        hyper_sparse_ftrans: report.lp.hyper_sparse_ftrans,
+        hyper_sparse_btrans: report.lp.hyper_sparse_btrans,
+        dense_fallbacks: report.lp.dense_fallbacks,
+        kernel_allocs: report.lp.kernel_allocs,
         plan_reused_columns: escalation.map_or(0, |e| e.reused_columns),
         escalation_dual_pivots: escalation.map_or(0, |e| e.dual_pivots),
         mean_upper: report.mean().hi(),
@@ -231,6 +241,10 @@ fn measure_boxed(n: usize, backend: &'static str, factor: FactorKind) -> Row {
         btran_ns: stats.btran_ns,
         pricing_ns: stats.pricing_ns,
         ratio_ns: stats.ratio_ns,
+        hyper_sparse_ftrans: stats.hyper_sparse_ftrans,
+        hyper_sparse_btrans: stats.hyper_sparse_btrans,
+        dense_fallbacks: stats.dense_fallbacks,
+        kernel_allocs: stats.kernel_allocs,
         plan_reused_columns: 0,
         escalation_dual_pivots: 0,
         mean_upper: 0.0,
@@ -404,6 +418,10 @@ fn main() {
                     ("btran_ns", r.btran_ns.to_string()),
                     ("pricing_ns", r.pricing_ns.to_string()),
                     ("ratio_ns", r.ratio_ns.to_string()),
+                    ("hyper_sparse_ftrans", r.hyper_sparse_ftrans.to_string()),
+                    ("hyper_sparse_btrans", r.hyper_sparse_btrans.to_string()),
+                    ("dense_fallbacks", r.dense_fallbacks.to_string()),
+                    ("kernel_allocs", r.kernel_allocs.to_string()),
                     ("plan_reused_columns", r.plan_reused_columns.to_string()),
                     (
                         "escalation_dual_pivots",

@@ -51,7 +51,16 @@ fn strip_timings(json: &str) -> String {
 /// report, their values are as volatile as the timings section.
 fn zero_ns_fields(json: &str) -> String {
     let mut out = json.to_string();
-    for key in ["ftran_ns", "btran_ns", "pricing_ns", "ratio_ns"] {
+    for key in [
+        "ftran_ns",
+        "btran_ns",
+        "pricing_ns",
+        "ratio_ns",
+        "hyper_sparse_ftrans",
+        "hyper_sparse_btrans",
+        "dense_fallbacks",
+        "kernel_allocs",
+    ] {
         let pat = format!("\"{key}\":");
         let mut normalized = String::with_capacity(out.len());
         let mut rest = out.as_str();

@@ -454,6 +454,15 @@ pub struct GroupLpStats {
     pub pricing_ns: u64,
     /// Nanoseconds spent in primal/dual ratio tests.
     pub ratio_ns: u64,
+    /// Forward solves completed on the hyper-sparse kernel path.
+    pub hyper_sparse_ftrans: u64,
+    /// Backward solves completed on the hyper-sparse kernel path.
+    pub hyper_sparse_btrans: u64,
+    /// LU kernel solves that ran (or fell back to) the dense scan.
+    pub dense_fallbacks: u64,
+    /// Kernel workspace growth events after first sizing (0 in steady
+    /// state — the hot loop allocates nothing).
+    pub kernel_allocs: u64,
 }
 
 impl PartialEq for GroupLpStats {
@@ -1074,6 +1083,10 @@ impl<'a> AnalysisSession<'a> {
             btran_ns: solution.stats.btran_ns,
             pricing_ns: solution.stats.pricing_ns,
             ratio_ns: solution.stats.ratio_ns,
+            hyper_sparse_ftrans: solution.stats.hyper_sparse_ftrans,
+            hyper_sparse_btrans: solution.stats.hyper_sparse_btrans,
+            dense_fallbacks: solution.stats.dense_fallbacks,
+            kernel_allocs: solution.stats.kernel_allocs,
         });
 
         let outcome = extract_outcome(build, &solution, &final_group, true, &options)?;
@@ -1482,6 +1495,10 @@ fn group_lp_stats(
         btran_ns: stats.btran_ns,
         pricing_ns: stats.pricing_ns,
         ratio_ns: stats.ratio_ns,
+        hyper_sparse_ftrans: stats.hyper_sparse_ftrans,
+        hyper_sparse_btrans: stats.hyper_sparse_btrans,
+        dense_fallbacks: stats.dense_fallbacks,
+        kernel_allocs: stats.kernel_allocs,
     }
 }
 

@@ -46,7 +46,7 @@ use std::collections::BTreeMap;
 use std::time::Instant;
 
 use crate::backend::LpSession;
-use crate::factor::{FactorKind, Factorization, WarmStrategy};
+use crate::factor::{FactorKind, Factorization, KernelWs, WarmStrategy};
 use crate::pricing::{
     bland_fallback_threshold, DualPricing, DualRatio, PivotView, PricingRule, SolveBudget,
     SolverTuning,
@@ -62,6 +62,9 @@ const FEAS_EPS: f64 = 1e-6;
 /// Reduced costs this far below zero disqualify the warm basis from a dual
 /// re-solve (numerics drifted; fall back to a cold start).
 const DUAL_FEAS_EPS: f64 = 1e-6;
+/// Below this many rows the dual steepest-edge seeding btrans run
+/// sequentially — a pool fan-out cannot amortize its queue traffic.
+const PAR_SEED_MIN_ROWS: usize = 64;
 
 /// What a standard-form column stands for.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -79,11 +82,16 @@ enum ColKind {
 /// of the core.
 ///
 /// `Sparse` stores one `(row, coeff)` list per column (what the session
-/// backend uses); `Dense` stores plain column vectors, the thin
-/// configuration the dense reference backend runs the same core with.
+/// backend uses) plus a row-major mirror of the same entries — the
+/// adjacency the devex α-scatter walks when the pivot row is hyper-sparse;
+/// `Dense` stores plain column vectors, the thin configuration the dense
+/// reference backend runs the same core with.
 #[derive(Debug, Clone)]
 pub(crate) enum ColumnStore {
-    Sparse(Vec<Vec<(usize, f64)>>),
+    Sparse {
+        cols: Vec<Vec<(usize, f64)>>,
+        rows: Vec<Vec<(u32, f64)>>,
+    },
     Dense(Vec<Vec<f64>>),
 }
 
@@ -93,14 +101,17 @@ impl ColumnStore {
         if dense {
             ColumnStore::Dense(Vec::new())
         } else {
-            ColumnStore::Sparse(Vec::new())
+            ColumnStore::Sparse {
+                cols: Vec::new(),
+                rows: Vec::new(),
+            }
         }
     }
 
     /// Number of columns.
     pub(crate) fn num_cols(&self) -> usize {
         match self {
-            ColumnStore::Sparse(cols) => cols.len(),
+            ColumnStore::Sparse { cols, .. } => cols.len(),
             ColumnStore::Dense(cols) => cols.len(),
         }
     }
@@ -108,7 +119,7 @@ impl ColumnStore {
     /// Appends an empty column, returning its index.
     pub(crate) fn push_col(&mut self) -> usize {
         match self {
-            ColumnStore::Sparse(cols) => {
+            ColumnStore::Sparse { cols, .. } => {
                 cols.push(Vec::new());
                 cols.len() - 1
             }
@@ -122,7 +133,13 @@ impl ColumnStore {
     /// Adds `val` to entry (`row`, `j`).
     pub(crate) fn push_entry(&mut self, j: usize, row: usize, val: f64) {
         match self {
-            ColumnStore::Sparse(cols) => cols[j].push((row, val)),
+            ColumnStore::Sparse { cols, rows } => {
+                cols[j].push((row, val));
+                if rows.len() <= row {
+                    rows.resize_with(row + 1, Vec::new);
+                }
+                rows[row].push((j as u32, val));
+            }
             ColumnStore::Dense(cols) => {
                 let col = &mut cols[j];
                 if col.len() <= row {
@@ -136,7 +153,7 @@ impl ColumnStore {
     /// Visits the nonzero `(row, value)` entries of column `j`.
     pub(crate) fn for_each(&self, j: usize, f: &mut dyn FnMut(usize, f64)) {
         match self {
-            ColumnStore::Sparse(cols) => {
+            ColumnStore::Sparse { cols, .. } => {
                 for &(r, a) in &cols[j] {
                     f(r, a);
                 }
@@ -151,10 +168,19 @@ impl ColumnStore {
         }
     }
 
+    /// The row-major mirror of the sparse store (`None` for the dense
+    /// store, which has no scatter path to feed).
+    pub(crate) fn rows_adjacency(&self) -> Option<&[Vec<(u32, f64)>]> {
+        match self {
+            ColumnStore::Sparse { rows, .. } => Some(rows),
+            ColumnStore::Dense(_) => None,
+        }
+    }
+
     /// The dot product of column `j` with a row-indexed vector.
     fn dot(&self, j: usize, x: &[f64]) -> f64 {
         match self {
-            ColumnStore::Sparse(cols) => cols[j].iter().map(|&(r, a)| a * x[r]).sum(),
+            ColumnStore::Sparse { cols, .. } => cols[j].iter().map(|&(r, a)| a * x[r]).sum(),
             ColumnStore::Dense(cols) => cols[j].iter().zip(x).map(|(a, xr)| a * xr).sum(),
         }
     }
@@ -260,6 +286,22 @@ pub(crate) struct SimplexCore {
     /// `factor.compactions()` at the start of the current minimize; the
     /// per-solve [`SolveStats::eta_compactions`] is the delta.
     compaction_base: usize,
+    /// The session-lifetime kernel workspace: every ftran/btran of the hot
+    /// loop writes into these buffers, so pivots allocate nothing.
+    ws: KernelWs,
+    /// Reusable staging buffer for sparse right-hand sides (column entries,
+    /// basic costs, bound-flip batches).
+    rhs_buf: Vec<(usize, f64)>,
+    /// Devex α-scatter workspace: accumulated pivot-row entries by column
+    /// (all-zero outside `alpha_touched` between pivots).
+    alpha_scratch: Vec<f64>,
+    /// Columns the last α-scatter wrote (may contain duplicates).
+    alpha_touched: Vec<usize>,
+    /// Sorted, deduplicated copy of the pivot row's support (scratch).
+    alpha_rows: Vec<usize>,
+    /// `ws.counters()` at the start of the current minimize; the per-solve
+    /// kernel counters in [`SolveStats`] are deltas against it.
+    ws_base: (u64, u64, u64, u64),
 }
 
 impl SimplexCore {
@@ -302,6 +344,12 @@ impl SimplexCore {
             budget_refactorizations: 0,
             deadline_check_period: tuning.deadline_check_period.max(1),
             compaction_base: 0,
+            ws: KernelWs::default(),
+            rhs_buf: Vec::new(),
+            alpha_scratch: Vec::new(),
+            alpha_touched: Vec::new(),
+            alpha_rows: Vec::new(),
+            ws_base: (0, 0, 0, 0),
         };
         for v in 0..problem.num_vars() {
             core.push_var(problem.is_free(LpVarId::from_index(v)));
@@ -537,17 +585,26 @@ impl SimplexCore {
         self.last_costs = None;
     }
 
-    /// `y = c_Bᵀ B⁻¹` via btran.
-    fn dual_prices(&mut self, col_costs: &[f64]) -> Vec<f64> {
-        let cb: Vec<f64> = self
-            .basis
-            .iter()
-            .map(|&col| col_costs.get(col).copied().unwrap_or(0.0))
-            .collect();
+    /// `y = c_Bᵀ B⁻¹` via btran, into the caller's reusable buffer.  The
+    /// basic-cost right-hand side is loaded *sparse* — most basics (slacks,
+    /// retired artificials, off-objective structurals) cost 0 — so the
+    /// hyper-sparse kernel engages on shallow objectives.
+    pub(crate) fn dual_prices_into(&mut self, col_costs: &[f64], y: &mut Vec<f64>) {
+        let m = self.basis.len();
+        let mut entries = std::mem::take(&mut self.rhs_buf);
+        entries.clear();
+        for (i, &col) in self.basis.iter().enumerate() {
+            let c = col_costs.get(col).copied().unwrap_or(0.0);
+            if c != 0.0 {
+                entries.push((i, c));
+            }
+        }
+        self.ws.load_sparse(&entries, m);
+        self.rhs_buf = entries;
         let t = Instant::now();
-        let y = self.factor.btran(&cb);
+        self.factor.btran_ws(&mut self.ws);
         self.stats.btran_ns += t.elapsed().as_nanos() as u64;
-        y
+        self.ws.copy_sol_into(y);
     }
 
     /// Reduced cost of one column under dual prices `y`.
@@ -555,24 +612,28 @@ impl SimplexCore {
         col_costs[j] - self.cols.dot(j, y)
     }
 
-    /// `d = B⁻¹ A_j` via the factorization's sparse-rhs ftran (timed into
-    /// the per-solve profile).
-    fn direction(&mut self, j: usize) -> Vec<f64> {
-        let mut entries: Vec<(usize, f64)> = Vec::new();
+    /// `d = B⁻¹ A_j` via the sparse-rhs ftran kernel, into the caller's
+    /// reusable buffer (timed into the per-solve profile).
+    pub(crate) fn direction_into(&mut self, j: usize, out: &mut Vec<f64>) {
+        let mut entries = std::mem::take(&mut self.rhs_buf);
+        entries.clear();
         self.cols.for_each(j, &mut |r, v| entries.push((r, v)));
+        self.ws.load_sparse(&entries, self.basis.len());
+        self.rhs_buf = entries;
         let t = Instant::now();
-        let d = self.factor.ftran_sparse(&entries);
+        self.factor.ftran_ws(&mut self.ws);
         self.stats.ftran_ns += t.elapsed().as_nanos() as u64;
-        d
+        self.ws.copy_sol_into(out);
     }
 
-    /// Row `p` of `B⁻¹` (a copy under the dense inverse, a sparse-rhs btran
-    /// under LU — timed as btran work).
-    fn inverse_row(&mut self, p: usize) -> Vec<f64> {
+    /// Row `p` of `B⁻¹` (a row copy under the dense inverse, a hyper-sparse
+    /// unit-rhs btran under LU — timed as btran work), into the caller's
+    /// reusable buffer.
+    pub(crate) fn inverse_row_into(&mut self, p: usize, out: &mut Vec<f64>) {
         let t = Instant::now();
-        let rho = self.factor.inverse_row(p);
+        self.factor.inverse_row_ws(p, &mut self.ws);
         self.stats.btran_ns += t.elapsed().as_nanos() as u64;
-        rho
+        self.ws.copy_sol_into(out);
     }
 
     /// Performs the basis change bookkeeping and the factorization update.
@@ -654,9 +715,11 @@ impl SimplexCore {
             return false;
         }
         let beff = self.effective_b();
+        self.ws.load_dense(&beff);
         let t = Instant::now();
-        self.xb = self.factor.ftran(&beff);
+        self.factor.ftran_ws(&mut self.ws);
         self.stats.ftran_ns += t.elapsed().as_nanos() as u64;
+        self.ws.copy_sol_into(&mut self.xb);
         self.stale_pivots = 0;
         self.stats.refactorizations += 1;
         self.budget_refactorizations += 1;
@@ -738,8 +801,13 @@ impl SimplexCore {
         let mut shift_rounds = 0usize;
         // Dual prices are maintained incrementally (one btran per pivot) and
         // recomputed from scratch at refresh points and before any
-        // optimality/unboundedness verdict.
-        let mut y = self.dual_prices(col_costs);
+        // optimality/unboundedness verdict.  The direction/pivot-row/price
+        // buffers below are the loop's only vectors: allocated (at most)
+        // once per phase, written in place by the workspace kernels.
+        let mut y: Vec<f64> = Vec::new();
+        self.dual_prices_into(col_costs, &mut y);
+        let mut d: Vec<f64> = Vec::new();
+        let mut rho: Vec<f64> = Vec::new();
         // Chooses the entering column by *bound-adjusted* reduced cost: an
         // at-lower column improves when its reduced cost is negative, an
         // at-upper column when it is positive — the pricer sees the negated
@@ -784,7 +852,7 @@ impl SimplexCore {
                 if self.deadline_hit() {
                     return Err(LpStatus::BudgetExhausted);
                 }
-                y = self.dual_prices(col_costs);
+                self.dual_prices_into(col_costs, &mut y);
             }
             let bland = iter >= bland_after;
             if !bland && degen_streak >= crate::pricing::DEGEN_PIVOT_STREAK {
@@ -805,7 +873,7 @@ impl SimplexCore {
                 if self.stale_pivots >= refresh_period {
                     self.refactorize();
                 }
-                y = self.dual_prices(col_costs);
+                self.dual_prices_into(col_costs, &mut y);
                 let t_price = Instant::now();
                 entering = pick(self, pricer.as_mut(), col_costs, &y, bland);
                 self.stats.pricing_ns += t_price.elapsed().as_nanos() as u64;
@@ -818,7 +886,7 @@ impl SimplexCore {
             // toward its lower bound, so every basic response flips sign.
             let dir = if self.at_upper[entering] { -1.0 } else { 1.0 };
 
-            let mut d = self.direction(entering);
+            self.direction_into(entering, &mut d);
             let t_ratio = Instant::now();
             let leaving = if bland {
                 self.ratio_test(&d, dir, ban_artificials)
@@ -851,13 +919,13 @@ impl SimplexCore {
                 // reporting, so drift (or a live shift) cannot cause a false
                 // positive.
                 self.refactorize();
-                y = self.dual_prices(col_costs);
+                self.dual_prices_into(col_costs, &mut y);
                 let rc = self.reduced_cost(entering, col_costs, &y);
                 let adj = if self.at_upper[entering] { -rc } else { rc };
                 if adj > -UNBOUNDED_EPS {
                     continue;
                 }
-                d = self.direction(entering);
+                self.direction_into(entering, &mut d);
                 if d.iter()
                     .enumerate()
                     .any(|(i, &di)| self.blocking_rate(i, dir * di, ban_artificials) > PIVOT_EPS)
@@ -875,14 +943,62 @@ impl SimplexCore {
             let rc_entering = self.reduced_cost(entering, col_costs, &y);
             // Pre-pivot pivot row ρ = (B⁻¹)ₚ: feeds the devex weight update
             // (α_j = ρ·A_j) and the incremental dual-price update.
-            let rho = self.inverse_row(p);
+            self.inverse_row_into(p, &mut rho);
             {
+                // The weight propagation's α_j = ρ·A_j scan is pricing
+                // work — timed into the same bucket as `select`.  A
+                // hyper-sparse ρ turns the scan inside out: α_j can only be
+                // nonzero on columns adjacent to ρ's support rows, so
+                // scatter along the row-major mirror instead of dotting
+                // every column against the dense ρ.  Ascending-row
+                // accumulation keeps each α bit-identical to the full dot
+                // (the skipped terms are exact zeros), so the pivot
+                // sequence cannot depend on which kernel path produced ρ.
+                let t_price = Instant::now();
+                let mut scratch = std::mem::take(&mut self.alpha_scratch);
+                let mut touched = std::mem::take(&mut self.alpha_touched);
+                let mut support = std::mem::take(&mut self.alpha_rows);
+                for &j in &touched {
+                    scratch[j] = 0.0;
+                }
+                touched.clear();
+                let mut scattered = false;
+                if self.ws.sparse {
+                    if let Some(rows) = self.cols.rows_adjacency() {
+                        if scratch.len() < self.cols.num_cols() {
+                            scratch.resize(self.cols.num_cols(), 0.0);
+                        }
+                        support.clear();
+                        support.extend_from_slice(&self.ws.pattern);
+                        support.sort_unstable();
+                        support.dedup();
+                        for &r in &support {
+                            let rr = rho[r];
+                            if rr == 0.0 {
+                                continue;
+                            }
+                            let Some(adj) = rows.get(r) else { continue };
+                            for &(j, a) in adj {
+                                scratch[j as usize] += a * rr;
+                                touched.push(j as usize);
+                            }
+                        }
+                        scattered = true;
+                    }
+                }
                 let cols = &self.cols;
                 let is_basic = &self.is_basic;
                 let kind = &self.kind;
                 let candidate =
                     |j: usize| !(is_basic[j] || ban_artificials && kind[j] == ColKind::Artificial);
-                let alpha = |j: usize| cols.dot(j, &rho);
+                let scratch_ref = &scratch;
+                let alpha = |j: usize| {
+                    if scattered {
+                        scratch_ref[j]
+                    } else {
+                        cols.dot(j, &rho)
+                    }
+                };
                 pricer.observe_pivot(&PivotView {
                     entering,
                     leaving: self.basis[p],
@@ -890,7 +1006,12 @@ impl SimplexCore {
                     n_cols: cols.num_cols(),
                     candidate: &candidate,
                     alpha: &alpha,
+                    touched: scattered.then_some(&touched[..]),
                 });
+                self.stats.pricing_ns += t_price.elapsed().as_nanos() as u64;
+                self.alpha_scratch = scratch;
+                self.alpha_touched = touched;
+                self.alpha_rows = support;
             }
             let dp = d[p];
             // The leaving basic exits at whichever bound blocked: its upper
@@ -1060,11 +1181,13 @@ impl SimplexCore {
     /// non-artificial column with a usable pivot element exists.
     fn drive_out_artificials(&mut self) {
         let m = self.basis.len();
+        let mut rho: Vec<f64> = Vec::new();
+        let mut d: Vec<f64> = Vec::new();
         for p in 0..m {
             if self.kind[self.basis[p]] != ColKind::Artificial {
                 continue;
             }
-            let rho = self.inverse_row(p);
+            self.inverse_row_into(p, &mut rho);
             let candidate = (0..self.cols.num_cols()).find(|&j| {
                 if self.is_basic[j] || self.kind[j] == ColKind::Artificial {
                     return false;
@@ -1072,7 +1195,7 @@ impl SimplexCore {
                 self.cols.dot(j, &rho).abs() > PIVOT_EPS
             });
             if let Some(j) = candidate {
-                let d = self.direction(j);
+                self.direction_into(j, &mut d);
                 // The artificial leaves exactly at 0, so the point barely
                 // moves; an at-upper entering column simply becomes basic at
                 // (about) its bound.
@@ -1110,7 +1233,8 @@ impl SimplexCore {
         costs.resize(self.cols.num_cols(), 0.0);
         let n_cols = self.cols.num_cols();
         let bland_after = bland_fallback_threshold(self.basis.len(), n_cols) / 4;
-        let mut y = self.dual_prices(&costs);
+        let mut y: Vec<f64> = Vec::new();
+        self.dual_prices_into(&costs, &mut y);
 
         // The warm basis must actually be dual feasible for the old costs —
         // at-lower columns need rc ≥ 0, at-upper columns rc ≤ 0; drift
@@ -1140,11 +1264,53 @@ impl SimplexCore {
         // classic all-ones reference frame and stays approximate.
         let mut gamma = vec![1.0f64; m];
         if steepest {
-            for (i, g) in gamma.iter_mut().enumerate() {
-                let row = self.inverse_row(i);
-                *g = row.iter().map(|v| v * v).sum::<f64>().max(1e-10);
+            let t = Instant::now();
+            let threads = rayon::current_num_threads().clamp(1, 8);
+            if m >= PAR_SEED_MIN_ROWS && threads > 1 {
+                // The m seeding btrans are independent row solves: fan them
+                // out over the persistent worker pool, one private
+                // workspace per chunk (hyper/fallback counts are carried
+                // back per chunk; workspace sizing does not count as a
+                // hot-loop allocation).
+                let chunk = m.div_ceil(threads);
+                let factor: &dyn Factorization = &*self.factor;
+                let mut chunk_counters = vec![(0u64, 0u64); m.div_ceil(chunk)];
+                rayon::scope(|s| {
+                    for ((ci, g), ctr) in gamma
+                        .chunks_mut(chunk)
+                        .enumerate()
+                        .zip(chunk_counters.iter_mut())
+                    {
+                        s.spawn(move || {
+                            let mut ws = KernelWs::default();
+                            for (k, gi) in g.iter_mut().enumerate() {
+                                factor.inverse_row_ws(ci * chunk + k, &mut ws);
+                                *gi = ws.sol_norm_sq().max(1e-10);
+                            }
+                            *ctr = (ws.hyper_btrans, ws.dense_fallbacks);
+                        });
+                    }
+                });
+                for (hb, df) in chunk_counters {
+                    self.stats.hyper_sparse_btrans += hb;
+                    self.stats.dense_fallbacks += df;
+                }
+            } else {
+                for (i, g) in gamma.iter_mut().enumerate() {
+                    self.factor.inverse_row_ws(i, &mut self.ws);
+                    *g = self.ws.sol_norm_sq().max(1e-10);
+                }
             }
+            self.stats.btran_ns += t.elapsed().as_nanos() as u64;
         }
+
+        // Hot-loop scratch: allocated (at most) once per restoration,
+        // written in place by the workspace kernels each pivot.
+        let mut rho: Vec<f64> = Vec::new();
+        let mut d: Vec<f64> = Vec::new();
+        let mut tau: Vec<f64> = Vec::new();
+        let mut bps: Vec<(f64, usize, f64)> = Vec::new(); // (ratio, j, |α|)
+        let mut flips: Vec<usize> = Vec::new();
 
         for iter in 0..max_iters {
             if self.budget_exhausted(iter) {
@@ -1183,14 +1349,15 @@ impl SimplexCore {
             // Direction the leaving basic must move: up from below its
             // lower bound, down from above its upper (artificials: 0).
             let from_below = self.xb[p] < 0.0;
-            let rho = self.inverse_row(p);
+            self.inverse_row_into(p, &mut rho);
             let bland = iter >= bland_after;
             // Eligibility: entering at-lower needs `sig·α > 0`, at-upper
             // the opposite sign (its motion is downward).
             let sig = if from_below { -1.0 } else { 1.0 };
 
             let t_ratio = Instant::now();
-            let mut bps: Vec<(f64, usize, f64)> = Vec::new(); // (ratio, j, |α|)
+            bps.clear();
+            flips.clear();
             let mut bland_pick: Option<usize> = None;
             for j in 0..n_cols {
                 if self.is_basic[j] || self.kind[j] == ColKind::Artificial || self.up[j] <= EPS {
@@ -1214,8 +1381,8 @@ impl SimplexCore {
                 let rc_eff = if self.at_upper[j] { -rc } else { rc }.max(0.0);
                 bps.push((rc_eff / alpha.abs(), j, alpha.abs()));
             }
-            let selected: Option<(usize, Vec<usize>)> = if bland {
-                bland_pick.map(|j| (j, Vec::new()))
+            let selected: Option<usize> = if bland {
+                bland_pick
             } else if bps.is_empty() {
                 None
             } else if self.dual_ratio == DualRatio::BoundFlip {
@@ -1234,7 +1401,6 @@ impl SimplexCore {
                         .then(a.1.cmp(&b.1))
                 });
                 let mut slope = viol_p;
-                let mut flips: Vec<usize> = Vec::new();
                 let mut chosen: Option<usize> = None;
                 for &(_, j, aabs) in &bps {
                     let width = self.up[j];
@@ -1247,8 +1413,11 @@ impl SimplexCore {
                 }
                 // Every breakpoint passed with slope still positive: the
                 // dual is unbounded, the primal infeasible (nothing was
-                // committed).
-                chosen.map(|q| (q, flips))
+                // committed — discard the staged flips).
+                if chosen.is_none() {
+                    flips.clear();
+                }
+                chosen
             } else {
                 // Legacy single-breakpoint test: min ratio, |α| tie-break
                 // for stability.
@@ -1262,10 +1431,10 @@ impl SimplexCore {
                         best = Some((j, ratio, aabs));
                     }
                 }
-                best.map(|(j, _, _)| (j, Vec::new()))
+                best.map(|(j, _, _)| j)
             };
             self.stats.ratio_ns += t_ratio.elapsed().as_nanos() as u64;
-            let Some((q, flips)) = selected else {
+            let Some(q) = selected else {
                 // No column can repair this row: primal infeasible.  The
                 // caller re-confirms with a cold solve before reporting.
                 return DualOutcome::Infeasible;
@@ -1274,8 +1443,10 @@ impl SimplexCore {
             if !flips.is_empty() {
                 // Batch the flips' effect on the basic values through one
                 // sparse ftran: x_B += B⁻¹·Σ s_j·up_j·A_j with s = +1 for
-                // upper→lower flips and −1 for lower→upper.
-                let mut entries: Vec<(usize, f64)> = Vec::new();
+                // upper→lower flips and −1 for lower→upper.  The update
+                // walks the kernel's result pattern when it stayed sparse.
+                let mut entries = std::mem::take(&mut self.rhs_buf);
+                entries.clear();
                 for &j in &flips {
                     let s = if self.at_upper[j] {
                         self.up[j]
@@ -1284,11 +1455,19 @@ impl SimplexCore {
                     };
                     self.cols.for_each(j, &mut |r, a| entries.push((r, s * a)));
                 }
+                self.ws.load_sparse(&entries, m);
+                self.rhs_buf = entries;
                 let t = Instant::now();
-                let dxb = self.factor.ftran_sparse(&entries);
+                self.factor.ftran_ws(&mut self.ws);
                 self.stats.ftran_ns += t.elapsed().as_nanos() as u64;
-                for (x, dx) in self.xb.iter_mut().zip(&dxb) {
-                    *x += dx;
+                if self.ws.sparse {
+                    for &r in &self.ws.pattern {
+                        self.xb[r] += self.ws.sol[r];
+                    }
+                } else {
+                    for (x, dx) in self.xb.iter_mut().zip(&self.ws.sol) {
+                        *x += dx;
+                    }
                 }
                 for &j in &flips {
                     self.at_upper[j] = !self.at_upper[j];
@@ -1297,7 +1476,7 @@ impl SimplexCore {
             }
 
             let rc_q = self.reduced_cost(q, &costs, &y);
-            let d = self.direction(q);
+            self.direction_into(q, &mut d);
             if d[p].abs() < PIVOT_EPS {
                 return DualOutcome::GaveUp;
             }
@@ -1316,14 +1495,13 @@ impl SimplexCore {
                 && self.kind[leaving_col] != ColKind::Artificial
                 && self.up[leaving_col].is_finite();
             // Steepest-edge needs τ = B⁻¹ρ_p against the *pre-pivot* basis.
-            let tau = if steepest {
+            if steepest {
+                self.ws.load_dense(&rho);
                 let t = Instant::now();
-                let tau = self.factor.ftran(&rho);
+                self.factor.ftran_ws(&mut self.ws);
                 self.stats.ftran_ns += t.elapsed().as_nanos() as u64;
-                Some(tau)
-            } else {
-                None
-            };
+                self.ws.copy_sol_into(&mut tau);
+            }
             self.pivot_bounded(p, q, &d, enter_from, delta, leave_at_upper);
             self.stats.iterations += 1;
             self.stats.dual_pivots += 1;
@@ -1331,7 +1509,7 @@ impl SimplexCore {
 
             // Reference-weight recurrences for the next leaving choice.
             let gamma_p = gamma[p];
-            if let Some(tau) = tau {
+            if steepest {
                 // Exact steepest edge (Forrest–Goldfarb): γ_p' = γ_p/α_p²,
                 // γ_i' = γ_i − 2(α_i/α_p)τ_i + (α_i/α_p)²γ_p.
                 for i in 0..m {
@@ -1364,7 +1542,7 @@ impl SimplexCore {
                 if self.deadline_hit() {
                     return DualOutcome::Exhausted;
                 }
-                y = self.dual_prices(&costs);
+                self.dual_prices_into(&costs, &mut y);
             } else if rc_q.abs() > EPS {
                 // Same O(m) incremental dual-price update as the primal
                 // loop: Δy = (r_q / α_pq)·ρ zeroes the entering column's
@@ -1379,7 +1557,7 @@ impl SimplexCore {
     }
 
     /// Standard-form column costs for a problem-variable objective.
-    fn split_costs(&self, objective: &[(LpVarId, f64)]) -> Vec<f64> {
+    pub(crate) fn split_costs(&self, objective: &[(LpVarId, f64)]) -> Vec<f64> {
         let mut costs = vec![0.0; self.cols.num_cols()];
         for &(v, coeff) in objective {
             let (pos, neg) = self.var_cols[v.index()];
@@ -1399,6 +1577,15 @@ impl SimplexCore {
             .factor
             .compactions()
             .saturating_sub(self.compaction_base);
+        // Kernel counters accumulate on the session workspace for its whole
+        // lifetime; the per-solve numbers are deltas against the baseline
+        // captured when this minimize started.  (Parallel seeding adds its
+        // private-workspace counts straight into `stats`.)
+        let (hf, hb, df, ka) = self.ws.counters();
+        s.hyper_sparse_ftrans += hf.saturating_sub(self.ws_base.0);
+        s.hyper_sparse_btrans += hb.saturating_sub(self.ws_base.1);
+        s.dense_fallbacks += df.saturating_sub(self.ws_base.2);
+        s.kernel_allocs += ka.saturating_sub(self.ws_base.3);
         s
     }
 
@@ -1437,6 +1624,59 @@ impl SimplexCore {
         .with_stats(self.snapshot_stats())
     }
 
+    /// Benchmark window (see [`crate::bench_support`]): basis dimension.
+    pub(crate) fn kernel_rows(&self) -> usize {
+        self.basis.len()
+    }
+
+    /// Benchmark window: number of standard-form columns.
+    pub(crate) fn kernel_num_cols(&self) -> usize {
+        self.cols.num_cols()
+    }
+
+    /// Benchmark window: whether standard-form column `j` is basic.
+    pub(crate) fn kernel_is_basic(&self, j: usize) -> bool {
+        self.is_basic[j]
+    }
+
+    /// Benchmark window: pins the session workspace to the dense scan
+    /// (the hyper-vs-dense baseline switch).
+    pub(crate) fn kernel_force_dense(&mut self, on: bool) {
+        self.ws.force_dense = on;
+    }
+
+    /// Benchmark window: the session workspace's lifetime kernel counters.
+    pub(crate) fn kernel_counters(&self) -> (u64, u64, u64, u64) {
+        self.ws.counters()
+    }
+
+    /// Benchmark window: current eta-file length of the factorization.
+    pub(crate) fn kernel_eta_count(&self) -> usize {
+        self.factor.eta_count()
+    }
+
+    /// Benchmark window: applies one factorization update (entering column
+    /// `j` at the most stable row of its ftran direction), growing the eta
+    /// file without a re-solve — a completed `minimize` always ends on a
+    /// freshly refactorized basis, so this is the only way a fixture can
+    /// hold an eta-laden factorization still.  The basis bookkeeping is
+    /// deliberately left alone: the fixture needs a longer eta file to
+    /// time, not a meaningful basis, and the core is not used for solving
+    /// afterwards.  Returns `false` when the update was declined.
+    pub(crate) fn kernel_grow_eta(&mut self, j: usize) -> bool {
+        let mut d = Vec::new();
+        self.direction_into(j, &mut d);
+        let p = match d
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.abs().total_cmp(&b.1.abs()))
+        {
+            Some((p, &dp)) if dp.abs() > PIVOT_EPS => p,
+            _ => return false,
+        };
+        self.factor.update(p, &d).is_ok()
+    }
+
     /// Whether any basic value is primal infeasible (negative, above a
     /// finite upper bound, or nonzero for a basic artificial) — the
     /// condition the dual-simplex restoration repairs after warm row
@@ -1471,6 +1711,7 @@ impl LpSession for SimplexCore {
             .min(self.budget.iters_remaining(self.budget_iters));
         self.stats = SolveStats::default();
         self.compaction_base = self.factor.compactions();
+        self.ws_base = self.ws.counters();
         if self.budget_exhausted(0) {
             // The session's budget was already spent by earlier minimizes:
             // refuse to burn more, and report it as what it is.

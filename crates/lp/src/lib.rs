@@ -57,6 +57,8 @@
 //! ```
 
 pub mod backend;
+#[doc(hidden)]
+pub mod bench_support;
 mod core;
 pub mod factor;
 mod presolve;

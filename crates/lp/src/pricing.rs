@@ -446,6 +446,12 @@ pub(crate) struct PivotView<'a> {
     pub candidate: &'a (dyn Fn(usize) -> bool + Sync),
     /// Pre-pivot pivot-row entry of a column.
     pub alpha: &'a (dyn Fn(usize) -> f64 + Sync),
+    /// When the pivot row came off the hyper-sparse kernel path: the exact
+    /// set of columns with `alpha(j) ≠ 0` (may contain duplicates — weight
+    /// updates are idempotent).  Every other column's entry is an exact
+    /// zero.  `None` means the row is dense and every column must be
+    /// visited.
+    pub touched: Option<&'a [usize]>,
 }
 
 /// A pricing rule instance, stateful across the iterations of one solve.
@@ -499,12 +505,21 @@ impl Pricer for DantzigPricer {
 /// Approximate steepest edge (devex) with reference-framework resets.
 pub(crate) struct DevexPricer {
     weights: Vec<f64>,
+    /// Columns whose weight may exceed [`DEVEX_RESET`].  Only the
+    /// post-scan leaving-column assignment can park a weight above the
+    /// reset threshold without tripping the reset (an in-scan update that
+    /// high trips it immediately), so tracking those few columns lets the
+    /// touched-only path decide the reset exactly as the full scan would
+    /// — without visiting every candidate weight.  May carry stale
+    /// entries; they are pruned lazily.
+    hot: Vec<usize>,
 }
 
 impl DevexPricer {
     pub(crate) fn new(n_cols: usize) -> Self {
         DevexPricer {
             weights: vec![1.0; n_cols],
+            hot: Vec::new(),
         }
     }
 
@@ -550,28 +565,66 @@ impl Pricer for DevexPricer {
         // Reference weight carried by the entering column, propagated to the
         // rest of the framework through the pivot row.
         let ratio = (self.weights[view.entering] / aq2).max(1.0 / aq2);
-        let mut max_weight: f64 = 1.0;
-        for j in 0..view.n_cols {
-            if j == view.entering || !(view.candidate)(j) {
-                continue;
-            }
-            let a = (view.alpha)(j);
-            if a != 0.0 {
-                let w = a * a * ratio;
-                if w > self.weights[j] {
-                    self.weights[j] = w;
+        // Whether any candidate's post-update weight exceeds the reset
+        // threshold — exactly the `max_weight > DEVEX_RESET` verdict of a
+        // full scan.
+        let mut trip = false;
+        match view.touched {
+            // Touched-only path: candidates off the list have an exactly
+            // zero pivot-row entry, so their weights are unchanged — only
+            // `hot` carry-overs can push the scan's maximum past the
+            // threshold without being updated here.
+            Some(touched) => {
+                for &j in touched {
+                    if j == view.entering || !(view.candidate)(j) {
+                        continue;
+                    }
+                    let a = (view.alpha)(j);
+                    if a != 0.0 {
+                        let w = a * a * ratio;
+                        if w > self.weights[j] {
+                            self.weights[j] = w;
+                        }
+                        trip = trip || self.weights[j] > DEVEX_RESET;
+                    }
                 }
+                let weights = &self.weights;
+                self.hot.retain(|&j| weights[j] > DEVEX_RESET);
+                trip = trip
+                    || self
+                        .hot
+                        .iter()
+                        .any(|&j| j != view.entering && (view.candidate)(j));
             }
-            max_weight = max_weight.max(self.weights[j]);
+            None => {
+                for j in 0..view.n_cols {
+                    if j == view.entering || !(view.candidate)(j) {
+                        continue;
+                    }
+                    let a = (view.alpha)(j);
+                    if a != 0.0 {
+                        let w = a * a * ratio;
+                        if w > self.weights[j] {
+                            self.weights[j] = w;
+                        }
+                    }
+                    trip = trip || self.weights[j] > DEVEX_RESET;
+                }
+                let weights = &self.weights;
+                self.hot.retain(|&j| weights[j] > DEVEX_RESET);
+            }
         }
         // The leaving column re-enters the nonbasic pool with the reference
         // weight of the pivot.
         self.weights[view.leaving] = ratio.max(1.0);
-        if max_weight > DEVEX_RESET {
+        if trip {
             // Reference-framework reset: the approximation drifted too far.
             for w in &mut self.weights {
                 *w = 1.0;
             }
+            self.hot.clear();
+        } else if self.weights[view.leaving] > DEVEX_RESET && !self.hot.contains(&view.leaving) {
+            self.hot.push(view.leaving);
         }
     }
 }
@@ -589,6 +642,9 @@ pub(crate) struct PartialPricer {
     parallel_min: usize,
     /// Sections priced concurrently per round when the parallel path is on.
     round: usize,
+    /// Reusable per-round result slots (one per concurrent section) — the
+    /// parallel scan must not allocate per pivot.
+    slots: Vec<Option<(usize, f64)>>,
 }
 
 /// Below this width a parallel scan cannot amortize thread spawns (the rayon
@@ -612,6 +668,7 @@ impl PartialPricer {
             cursor: 0,
             parallel_min,
             round: round.max(1),
+            slots: Vec::new(),
         }
     }
 
@@ -665,7 +722,9 @@ impl Pricer for PartialPricer {
                 // Price the round's sections concurrently; the winner is the
                 // first section *in ring order* with a candidate, so the
                 // outcome does not depend on thread timing.
-                let mut slots: Vec<Option<(usize, f64)>> = vec![None; in_round];
+                self.slots.clear();
+                self.slots.resize(in_round, None);
+                let slots = &mut self.slots;
                 rayon::scope(|scope| {
                     for (k, slot) in slots.iter_mut().enumerate() {
                         let s = (self.cursor + scanned + k) % sections;
@@ -794,6 +853,7 @@ mod tests {
             n_cols: 3,
             candidate: &all,
             alpha: &|j| [0.0, 0.5, 40.0][j],
+            touched: None,
         });
         // …so column 2 (weight exploded) loses to column 1's replacement
         // score even at a slightly larger reduced cost.
@@ -806,11 +866,61 @@ mod tests {
             n_cols: 3,
             candidate: &all,
             alpha: &|_| 1e3,
+            touched: None,
         });
         assert!(
             devex.weights.iter().all(|&w| w == 1.0),
             "{:?}",
             devex.weights
+        );
+    }
+
+    #[test]
+    fn devex_touched_path_matches_full_scan() {
+        // Two pricers fed the same pivot sequence — one through the full
+        // scan, one through the touched-only path — must evolve identical
+        // weights, including the reference-framework reset triggered by a
+        // column whose weight was parked above the threshold by an earlier
+        // leaving assignment and that no later pivot row touches.
+        let mut dense = DevexPricer::new(6);
+        let mut sparse = DevexPricer::new(6);
+        // Pivot 1: a tiny pivot element explodes the reference ratio, so
+        // the leaving column 1 re-enters the pool with weight 1e8 — above
+        // DEVEX_RESET, but parked *after* the scan, so no reset fires.
+        let alphas1 = [0.0, 0.0, 1e-3, 1e-3, 0.0, 0.0];
+        for (pricer, touched) in [(&mut dense, None), (&mut sparse, Some(&[2usize, 3][..]))] {
+            pricer.observe_pivot(&PivotView {
+                entering: 0,
+                leaving: 1,
+                alpha_q: 1e-4,
+                n_cols: 6,
+                candidate: &|j| j != 0,
+                alpha: &|j| alphas1[j],
+                touched,
+            });
+        }
+        assert_eq!(dense.weights, sparse.weights);
+        assert!(dense.weights[1] > DEVEX_RESET, "{:?}", dense.weights);
+        // Pivot 2 does not touch column 1, but its oversized weight must
+        // still trip the reset on both paths (the full scan sees it
+        // directly, the touched-only path through its hot set).
+        let alphas2 = [0.0, 0.0, 0.0, 0.0, 0.5, 0.0];
+        for (pricer, touched) in [(&mut dense, None), (&mut sparse, Some(&[4usize][..]))] {
+            pricer.observe_pivot(&PivotView {
+                entering: 2,
+                leaving: 3,
+                alpha_q: 1.0,
+                n_cols: 6,
+                candidate: &|j| j != 2,
+                alpha: &|j| alphas2[j],
+                touched,
+            });
+        }
+        assert_eq!(dense.weights, sparse.weights);
+        assert!(
+            sparse.weights.iter().all(|&w| w == 1.0),
+            "{:?}",
+            sparse.weights
         );
     }
 

@@ -61,6 +61,19 @@ pub struct SolveStats {
     /// Nanoseconds spent in ratio tests (primal Harris/Bland passes and the
     /// dual entering scan, bound-flip breakpoint walk included).
     pub ratio_ns: u64,
+    /// Forward solves completed on the hyper-sparse (Gilbert–Peierls)
+    /// path of the LU kernels (0 under the dense inverse).
+    pub hyper_sparse_ftrans: u64,
+    /// Backward solves completed on the hyper-sparse path (0 under the
+    /// dense inverse).
+    pub hyper_sparse_btrans: u64,
+    /// LU kernel calls that ran — or mid-solve fell back to — the dense
+    /// scan because the result density crossed the threshold.
+    pub dense_fallbacks: u64,
+    /// Kernel-workspace growth events after initial sizing — heap
+    /// allocations on the per-pivot hot path, 0 in steady state (CI
+    /// asserts this).
+    pub kernel_allocs: u64,
 }
 
 impl SolveStats {
@@ -81,6 +94,10 @@ impl SolveStats {
             btran_ns: self.btran_ns + other.btran_ns,
             pricing_ns: self.pricing_ns + other.pricing_ns,
             ratio_ns: self.ratio_ns + other.ratio_ns,
+            hyper_sparse_ftrans: self.hyper_sparse_ftrans + other.hyper_sparse_ftrans,
+            hyper_sparse_btrans: self.hyper_sparse_btrans + other.hyper_sparse_btrans,
+            dense_fallbacks: self.dense_fallbacks + other.dense_fallbacks,
+            kernel_allocs: self.kernel_allocs + other.kernel_allocs,
         }
     }
 }
@@ -548,6 +565,10 @@ mod tests {
             btran_ns: 200,
             pricing_ns: 300,
             ratio_ns: 400,
+            hyper_sparse_ftrans: 9,
+            hyper_sparse_btrans: 8,
+            dense_fallbacks: 2,
+            kernel_allocs: 1,
         }
         .merge(&SolveStats {
             iterations: 5,
@@ -555,6 +576,8 @@ mod tests {
             bound_flips: 4,
             eta_len: 7,
             ftran_ns: 11,
+            hyper_sparse_ftrans: 1,
+            dense_fallbacks: 3,
             ..SolveStats::default()
         });
         assert_eq!(merged.iterations, 7);
@@ -567,6 +590,10 @@ mod tests {
         assert_eq!(merged.eta_len, 10);
         assert_eq!(merged.ftran_ns, 111);
         assert_eq!(merged.btran_ns, 200);
+        assert_eq!(merged.hyper_sparse_ftrans, 10);
+        assert_eq!(merged.hyper_sparse_btrans, 8);
+        assert_eq!(merged.dense_fallbacks, 5);
+        assert_eq!(merged.kernel_allocs, 1);
     }
 
     #[test]

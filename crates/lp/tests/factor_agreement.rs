@@ -283,3 +283,56 @@ fn cutting_row_resolves_via_dual_pivots() {
         assert_eq!(restart.stats.dual_pivots, 0);
     }
 }
+
+/// Per-component tolerance for hyper-sparse vs dense-scan kernels: both run
+/// over the *same* factorization, so they differ only in traversal order
+/// and dropped ~0 entries — essentially bit-level agreement.
+const KERNEL_TOL: f64 = 1e-9;
+
+proptest! {
+    /// On random solved LU bases, every kernel (ftran of each nonbasic
+    /// column, btran of the objective costs, each row of B⁻¹) must produce
+    /// the same vector on the hyper-sparse path and pinned to the dense
+    /// scan (`force_dense`).  The hyper-sparse traversal is an access-order
+    /// optimization, never an answer change.
+    #[test]
+    fn hyper_sparse_kernels_agree_with_dense_scan(
+        seed in proptest::collection::vec((-1.0f64..1.0, -1.0f64..1.0, -1.0f64..1.0), 1..9),
+        vars in 1usize..6,
+    ) {
+        let (lp, _ids) = decode(&seed, vars);
+        let tuning = SolverTuning::with_factor(FactorKind::Lu);
+        // Infeasible/unbounded decodes have no basis to probe.
+        let Some(mut fx) = cma_lp::bench_support::KernelFixture::solve(&lp, &tuning) else {
+            return;
+        };
+        let (mut hyper, mut dense) = (Vec::new(), Vec::new());
+        let check = |hyper: &[f64], dense: &[f64], what: &str| {
+            for (i, (h, d)) in hyper.iter().zip(dense).enumerate() {
+                assert!(
+                    (h - d).abs() <= KERNEL_TOL,
+                    "{what}[{i}]: hyper {h} vs dense {d}"
+                );
+            }
+        };
+        for j in fx.nonbasic_cols() {
+            fx.force_dense(false);
+            fx.ftran_into(j, &mut hyper);
+            fx.force_dense(true);
+            fx.ftran_into(j, &mut dense);
+            check(&hyper, &dense, "ftran");
+        }
+        fx.force_dense(false);
+        fx.btran_into(&mut hyper);
+        fx.force_dense(true);
+        fx.btran_into(&mut dense);
+        check(&hyper, &dense, "btran");
+        for p in 0..fx.rows() {
+            fx.force_dense(false);
+            fx.inverse_row_into(p, &mut hyper);
+            fx.force_dense(true);
+            fx.inverse_row_into(p, &mut dense);
+            check(&hyper, &dense, "inverse_row");
+        }
+    }
+}

@@ -147,6 +147,15 @@ pub struct LpStats {
     pub pricing_ns: u64,
     /// Total nanoseconds spent in primal/dual ratio tests.
     pub ratio_ns: u64,
+    /// Total LU forward solves that completed on the hyper-sparse path.
+    pub hyper_sparse_ftrans: u64,
+    /// Total LU backward solves that completed on the hyper-sparse path.
+    pub hyper_sparse_btrans: u64,
+    /// Total kernel solves that ran (or fell back to) the dense scan.
+    pub dense_fallbacks: u64,
+    /// Total kernel-workspace reallocations after first sizing (0 in a
+    /// steady-state solve: the hot loop is allocation-free).
+    pub kernel_allocs: u64,
     /// Per-group sizes and solver counters, in solve order.
     pub groups: Vec<GroupLpStats>,
 }
@@ -176,6 +185,10 @@ impl LpStats {
             btran_ns: groups.iter().map(|g| g.btran_ns).sum(),
             pricing_ns: groups.iter().map(|g| g.pricing_ns).sum(),
             ratio_ns: groups.iter().map(|g| g.ratio_ns).sum(),
+            hyper_sparse_ftrans: groups.iter().map(|g| g.hyper_sparse_ftrans).sum(),
+            hyper_sparse_btrans: groups.iter().map(|g| g.hyper_sparse_btrans).sum(),
+            dense_fallbacks: groups.iter().map(|g| g.dense_fallbacks).sum(),
+            kernel_allocs: groups.iter().map(|g| g.kernel_allocs).sum(),
             groups,
         }
     }
@@ -376,7 +389,7 @@ impl AnalysisReport {
             .iter()
             .map(|g| {
                 format!(
-                    "{{\"name\":{},\"variables\":{},\"constraints\":{},\"iterations\":{},\"refactorizations\":{},\"presolve_rows\":{},\"presolve_cols\":{},\"etas\":{},\"dual_pivots\":{},\"bound_flips\":{},\"eta_compactions\":{},\"eta_len\":{},\"ftran_ns\":{},\"btran_ns\":{},\"pricing_ns\":{},\"ratio_ns\":{}}}",
+                    "{{\"name\":{},\"variables\":{},\"constraints\":{},\"iterations\":{},\"refactorizations\":{},\"presolve_rows\":{},\"presolve_cols\":{},\"etas\":{},\"dual_pivots\":{},\"bound_flips\":{},\"eta_compactions\":{},\"eta_len\":{},\"ftran_ns\":{},\"btran_ns\":{},\"pricing_ns\":{},\"ratio_ns\":{},\"hyper_sparse_ftrans\":{},\"hyper_sparse_btrans\":{},\"dense_fallbacks\":{},\"kernel_allocs\":{}}}",
                     json::string(&g.name),
                     g.variables,
                     g.constraints,
@@ -393,12 +406,16 @@ impl AnalysisReport {
                     g.btran_ns,
                     g.pricing_ns,
                     g.ratio_ns,
+                    g.hyper_sparse_ftrans,
+                    g.hyper_sparse_btrans,
+                    g.dense_fallbacks,
+                    g.kernel_allocs,
                 )
             })
             .collect::<Vec<_>>()
             .join(",");
         let lp = format!(
-            "{{\"variables\":{},\"constraints\":{},\"solves\":{},\"iterations\":{},\"refactorizations\":{},\"presolve_rows\":{},\"presolve_cols\":{},\"etas\":{},\"dual_pivots\":{},\"bound_flips\":{},\"eta_compactions\":{},\"eta_len\":{},\"ftran_ns\":{},\"btran_ns\":{},\"pricing_ns\":{},\"ratio_ns\":{},\"groups\":[{groups}]}}",
+            "{{\"variables\":{},\"constraints\":{},\"solves\":{},\"iterations\":{},\"refactorizations\":{},\"presolve_rows\":{},\"presolve_cols\":{},\"etas\":{},\"dual_pivots\":{},\"bound_flips\":{},\"eta_compactions\":{},\"eta_len\":{},\"ftran_ns\":{},\"btran_ns\":{},\"pricing_ns\":{},\"ratio_ns\":{},\"hyper_sparse_ftrans\":{},\"hyper_sparse_btrans\":{},\"dense_fallbacks\":{},\"kernel_allocs\":{},\"groups\":[{groups}]}}",
             self.lp.variables,
             self.lp.constraints,
             self.lp.solves,
@@ -415,6 +432,10 @@ impl AnalysisReport {
             self.lp.btran_ns,
             self.lp.pricing_ns,
             self.lp.ratio_ns,
+            self.lp.hyper_sparse_ftrans,
+            self.lp.hyper_sparse_btrans,
+            self.lp.dense_fallbacks,
+            self.lp.kernel_allocs,
         );
         push_field(&mut out, "lp", &lp);
 
@@ -689,6 +710,16 @@ impl fmt::Display for AnalysisReport {
                 f,
                 " · {} bound flips, {} eta compactions (peak eta {})",
                 self.lp.bound_flips, self.lp.eta_compactions, self.lp.eta_len
+            )?;
+        }
+        if self.lp.hyper_sparse_ftrans > 0 || self.lp.hyper_sparse_btrans > 0 {
+            write!(
+                f,
+                " · hyper-sparse {} ftran / {} btran ({} dense fallbacks, {} kernel allocs)",
+                self.lp.hyper_sparse_ftrans,
+                self.lp.hyper_sparse_btrans,
+                self.lp.dense_fallbacks,
+                self.lp.kernel_allocs
             )?;
         }
         if self.lp.presolve_rows > 0 || self.lp.presolve_cols > 0 {
